@@ -1,0 +1,92 @@
+//! Criterion comparison of the two Bw-tree write paths (Figs. 9/10 as
+//! micro-benchmarks): write cost, warm-read cost, and cold-read cost.
+
+use bg3_bwtree::{BwTree, BwTreeConfig, WriteMode};
+use bg3_storage::{AppendOnlyStore, StoreConfig};
+use bg3_workloads::Zipf;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn tree(mode: WriteMode, read_cache: bool) -> BwTree {
+    let config = BwTreeConfig::default()
+        .with_mode(mode)
+        .with_read_cache(read_cache)
+        .with_consolidate_threshold(10)
+        .with_max_page_entries(256);
+    BwTree::new(
+        1,
+        AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1 << 20)),
+        config,
+    )
+}
+
+fn label(mode: WriteMode) -> &'static str {
+    match mode {
+        WriteMode::Traditional => "traditional",
+        WriteMode::ReadOptimized => "read-optimized",
+    }
+}
+
+fn bench_writes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bwtree_write");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for mode in [WriteMode::Traditional, WriteMode::ReadOptimized] {
+        let t = tree(mode, true);
+        let zipf = Zipf::new(1_024, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        group.bench_function(BenchmarkId::from_parameter(label(mode)), |b| {
+            b.iter(|| {
+                let key = zipf.sample(&mut rng).to_be_bytes();
+                t.put(&key, &[7u8; 16]).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cold_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bwtree_cold_read");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for mode in [WriteMode::Traditional, WriteMode::ReadOptimized] {
+        let t = tree(mode, false);
+        let zipf = Zipf::new(1_024, 1.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20_000 {
+            let key = zipf.sample(&mut rng).to_be_bytes();
+            t.put(&key, &[7u8; 16]).unwrap();
+        }
+        group.bench_function(BenchmarkId::from_parameter(label(mode)), |b| {
+            b.iter(|| {
+                let key = zipf.sample(&mut rng).to_be_bytes();
+                t.get(&key).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_warm_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bwtree_warm_read");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for mode in [WriteMode::Traditional, WriteMode::ReadOptimized] {
+        let t = tree(mode, true);
+        let zipf = Zipf::new(1_024, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20_000 {
+            let key = zipf.sample(&mut rng).to_be_bytes();
+            t.put(&key, &[7u8; 16]).unwrap();
+        }
+        group.bench_function(BenchmarkId::from_parameter(label(mode)), |b| {
+            b.iter(|| {
+                let key = zipf.sample(&mut rng).to_be_bytes();
+                t.get(&key).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_writes, bench_cold_reads, bench_warm_reads);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks of the three engines' core operations —
+//! the per-op costs underlying Fig. 8.
+
+use bg3_bench::{Engine, EngineKind};
+use bg3_graph::{Edge, EdgeType, GraphStore, VertexId};
+use bg3_workloads::Zipf;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn preload(engine: &Engine, edges: usize) {
+    let zipf = Zipf::new(5_000, 1.0);
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..edges {
+        let src = VertexId(zipf.sample(&mut rng));
+        let dst = VertexId(zipf.sample(&mut rng));
+        engine
+            .insert_edge(&Edge::new(src, EdgeType::FOLLOW, dst))
+            .unwrap();
+    }
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_edge");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for kind in EngineKind::all() {
+        let engine = Engine::build(kind);
+        preload(&engine, 5_000);
+        let zipf = Zipf::new(5_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut next_dst = 100_000u64;
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                let src = VertexId(zipf.sample(&mut rng));
+                next_dst += 1;
+                engine
+                    .insert_edge(&Edge::new(src, EdgeType::FOLLOW, VertexId(next_dst)))
+                    .unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_one_hop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_hop");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for kind in EngineKind::all() {
+        let engine = Engine::build(kind);
+        preload(&engine, 10_000);
+        let zipf = Zipf::new(5_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                let src = VertexId(zipf.sample(&mut rng));
+                engine.neighbors(src, EdgeType::FOLLOW, 100).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_get_edge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("get_edge");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for kind in EngineKind::all() {
+        let engine = Engine::build(kind);
+        preload(&engine, 10_000);
+        let zipf = Zipf::new(5_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                let src = VertexId(zipf.sample(&mut rng));
+                let dst = VertexId(zipf.sample(&mut rng));
+                engine.get_edge(src, EdgeType::FOLLOW, dst).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_one_hop, bench_get_edge);
+criterion_main!(benches);

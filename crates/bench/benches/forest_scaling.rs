@@ -1,0 +1,63 @@
+//! Criterion benchmark of the Bw-tree forest write path at different
+//! split-out thresholds (Fig. 11's per-op cost side).
+
+use bg3_forest::{BwTreeForest, ForestConfig};
+use bg3_storage::{AppendOnlyStore, StoreConfig};
+use bg3_workloads::Zipf;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_forest_put(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_put");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for (label, threshold) in [
+        ("single-tree", usize::MAX),
+        ("threshold-512", 512),
+        ("threshold-32", 32),
+    ] {
+        let forest = BwTreeForest::new(
+            AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1 << 20)),
+            ForestConfig::default()
+                .with_split_out_threshold(threshold)
+                .with_init_tree_max_entries(usize::MAX),
+        );
+        let zipf = Zipf::new(10_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut seq = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                seq += 1;
+                let group_key = zipf.sample(&mut rng).to_be_bytes();
+                forest.put(&group_key, &seq.to_be_bytes(), &[0u8; 16]).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_forest_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_scan_group");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let forest = BwTreeForest::new(
+        AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1 << 20)),
+        ForestConfig::default().with_split_out_threshold(64),
+    );
+    let zipf = Zipf::new(2_000, 1.0);
+    let mut rng = StdRng::seed_from_u64(9);
+    for seq in 0..50_000u64 {
+        let group_key = zipf.sample(&mut rng).to_be_bytes();
+        forest.put(&group_key, &seq.to_be_bytes(), &[0u8; 8]).unwrap();
+    }
+    group.bench_function("scan_100", |b| {
+        b.iter(|| {
+            let group_key = zipf.sample(&mut rng).to_be_bytes();
+            forest.scan_group(&group_key, 100)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forest_put, bench_forest_scan);
+criterion_main!(benches);

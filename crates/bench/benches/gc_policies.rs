@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the space-reclamation policies (Table 2 as a
+//! micro-benchmark): plan construction cost and full-cycle cost.
+
+use bg3_gc::{
+    DirtyRatioPolicy, FifoPolicy, NullRouter, ReclaimPolicy, SpaceReclaimer, WorkloadAwarePolicy,
+};
+use bg3_storage::{AppendOnlyStore, StoreConfig, StreamId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Builds a store with many fragmented sealed extents.
+fn fragmented_store(extents: usize) -> AppendOnlyStore {
+    let store = AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1024));
+    let per_extent = 1024 / 64;
+    for i in 0..extents * per_extent {
+        let addr = store
+            .append(StreamId::DELTA, &[0u8; 56], i as u64, None)
+            .unwrap();
+        store.clock().advance_micros(10);
+        if i % 3 != 0 {
+            store.invalidate(addr).unwrap();
+        }
+    }
+    store
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc_plan");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let store = fragmented_store(200);
+    let candidates = store.extent_infos(StreamId::DELTA).unwrap();
+    let now = store.clock().now();
+    let policies: [(&str, &dyn ReclaimPolicy); 3] = [
+        ("fifo", &FifoPolicy),
+        ("dirty-ratio", &DirtyRatioPolicy),
+        ("workload-aware", &WorkloadAwarePolicy { cold_fraction: 0.5 }),
+    ];
+    for (name, policy) in policies {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| policy.plan(&candidates, now, 16))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc_cycle");
+    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    group.bench_function("dirty_ratio_cycle_of_8", |b| {
+        b.iter_with_setup(
+            || {
+                SpaceReclaimer::new(fragmented_store(64), DirtyRatioPolicy, NullRouter)
+                    .with_streams(vec![StreamId::DELTA])
+            },
+            |reclaimer| reclaimer.run_cycle(8).unwrap(),
+        )
+    });
+    group.bench_function("workload_aware_cycle_of_8", |b| {
+        b.iter_with_setup(
+            || {
+                SpaceReclaimer::new(
+                    fragmented_store(64),
+                    WorkloadAwarePolicy::default(),
+                    NullRouter,
+                )
+                .with_streams(vec![StreamId::DELTA])
+            },
+            |reclaimer| reclaimer.run_cycle(8).unwrap(),
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_planning, bench_full_cycle);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the query layer: parsing, planning, and
+//! execution over a warm BG3 engine.
+
+use bg3_core::{Bg3Config, Bg3Db};
+use bg3_graph::{Edge, EdgeType, GraphStore, VertexId};
+use bg3_query::{optimize, parse, Executor};
+use bg3_workloads::Zipf;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn warm_engine() -> Bg3Db {
+    let db = Bg3Db::new(Bg3Config {
+        maintain_reverse_edges: true,
+        ..Bg3Config::default()
+    });
+    let zipf = Zipf::new(2_000, 1.0);
+    let mut rng = StdRng::seed_from_u64(14);
+    for _ in 0..30_000 {
+        let src = VertexId(zipf.sample(&mut rng));
+        let dst = VertexId(zipf.sample(&mut rng));
+        db.insert_edge(&Edge::new(src, EdgeType::FOLLOW, VertexId(dst.0)))
+            .unwrap();
+    }
+    db
+}
+
+fn bench_parse_and_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_frontend");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let text = "g.V(1).repeat(out(follow), 2).dedup().order().limit(20).count()";
+    group.bench_function("parse", |b| b.iter(|| parse(text).unwrap()));
+    let query = parse(text).unwrap();
+    group.bench_function("optimize", |b| b.iter(|| optimize(&query)));
+    group.finish();
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_exec");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let db = warm_engine();
+    let exec = Executor::default();
+    for (label, text) in [
+        ("one_hop_limit", "g.V(1).out(follow).limit(20)"),
+        ("two_hop_dedup_count", "g.V(1).out(follow).out(follow).dedup().count()"),
+        ("in_edges", "g.V(1).in(follow).limit(20)"),
+        ("three_hop_repeat", "g.V(1).repeat(out(follow), 3).limit(50).count()"),
+    ] {
+        let plan = optimize(&parse(text).unwrap());
+        group.bench_function(label, |b| b.iter(|| exec.run_plan(&db, &plan).unwrap()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse_and_plan, bench_execution);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the synchronization path (Figs. 12–14 as
+//! micro-benchmarks): leader write cost, WAL shipping, follower replay.
+
+use bg3_storage::{AppendOnlyStore, StoreConfig};
+use bg3_sync::{RoNode, RoNodeConfig, RwNode, RwNodeConfig};
+use bg3_wal::{WalPayload, WalWriter};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_wal_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let wal = WalWriter::new(AppendOnlyStore::new(StoreConfig::counting()));
+    let mut i = 0u64;
+    group.bench_function("append_upsert", |b| {
+        b.iter(|| {
+            i += 1;
+            wal.append(
+                1,
+                i % 64,
+                WalPayload::Upsert {
+                    key: i.to_be_bytes().to_vec(),
+                    value: vec![0u8; 16],
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_leader_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leader");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let rw = RwNode::new(
+        AppendOnlyStore::new(StoreConfig::counting()),
+        RwNodeConfig::default(),
+    );
+    let mut i = 0u64;
+    group.bench_function("put_with_wal", |b| {
+        b.iter(|| {
+            i += 1;
+            rw.put(&i.to_be_bytes(), &[1u8; 16]).unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_follower(c: &mut Criterion) {
+    let mut group = c.benchmark_group("follower");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let store = AppendOnlyStore::new(StoreConfig::counting());
+    let rw = RwNode::new(store.clone(), RwNodeConfig::default());
+    for i in 0..50_000u64 {
+        rw.put(&(i % 4096).to_be_bytes(), &i.to_le_bytes()).unwrap();
+    }
+    let ro = RoNode::new(
+        store,
+        rw.mapping().clone(),
+        rw.open_wal_reader(),
+        RoNodeConfig::default(),
+    );
+    ro.poll().unwrap();
+    let mut i = 0u64;
+    group.bench_function("warm_get", |b| {
+        b.iter(|| {
+            i += 1;
+            ro.get(1, &(i % 4096).to_be_bytes()).unwrap()
+        })
+    });
+    group.bench_function("poll_quiet_log", |b| b.iter(|| ro.poll().unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal_append, bench_leader_write, bench_follower);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the workload generators and the Zipf sampler —
+//! the harness must never be the bottleneck of a throughput experiment.
+
+use bg3_workloads::{DouyinFollow, DouyinRecommendation, FinancialRiskControl, WorkloadGen, Zipf};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf_sample");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for (label, n, s) in [
+        ("n=10k,s=1.0", 10_000u64, 1.0),
+        ("n=10M,s=1.0", 10_000_000, 1.0),
+        ("n=10M,s=0.8", 10_000_000, 0.8),
+    ] {
+        let zipf = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(10);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| zipf.sample(&mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_next_op");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let mut follow = DouyinFollow::new(1_000_000, 1.0, 11);
+    group.bench_function("douyin_follow", |b| b.iter(|| follow.next_op()));
+    let mut risk = FinancialRiskControl::new(1_000_000, 1.0, 12);
+    group.bench_function("risk_control", |b| b.iter(|| risk.next_op()));
+    let mut rec = DouyinRecommendation::new(1_000_000, 1.0, 13);
+    group.bench_function("recommendation", |b| b.iter(|| rec.next_op()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_zipf, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! reproduce [all|table1|fig8|cost|fig9|fig10|fig11|table2|fig12|fig13|fig14]
+//!           [--scale full|quick] [--json <path>]
+//! ```
+//!
+//! Prints each experiment's rows in the shape of the paper's artifact and,
+//! with `--json`, writes all raw results to a JSON file.
+
+use bg3_bench::experiments::*;
+use serde_json::{json, Value};
+use std::time::Instant;
+
+struct Scale {
+    fig8_ops: usize,
+    fig9_ops: usize,
+    fig10_ops: usize,
+    fig11_ops: usize,
+    table2_ops: usize,
+    cost_ops: usize,
+    fig12_writes: usize,
+    fig13_sim_millis: u64,
+    fig14_reads: usize,
+}
+
+const FULL: Scale = Scale {
+    fig8_ops: 20_000,
+    fig9_ops: 20_000,
+    fig10_ops: 20_000,
+    fig11_ops: 40_000,
+    table2_ops: 40_000,
+    cost_ops: 30_000,
+    fig12_writes: 20_000,
+    fig13_sim_millis: 1_500,
+    fig14_reads: 30_000,
+};
+
+const QUICK: Scale = Scale {
+    fig8_ops: 3_000,
+    fig9_ops: 4_000,
+    fig10_ops: 4_000,
+    fig11_ops: 8_000,
+    table2_ops: 10_000,
+    cost_ops: 8_000,
+    fig12_writes: 4_000,
+    fig13_sim_millis: 600,
+    fig14_reads: 6_000,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut scale = &FULL;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json_path = it.next().cloned(),
+            "--scale" => {
+                scale = match it.next().map(|s| s.as_str()) {
+                    Some("quick") => &QUICK,
+                    _ => &FULL,
+                }
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() || which.iter().any(|w| w == "all") {
+        which = [
+            "table1", "fig8", "cost", "fig9", "fig10", "fig11", "table2", "fig12", "fig13",
+            "fig14", "ablation",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let mut results: Vec<(String, Value)> = Vec::new();
+    for name in &which {
+        let started = Instant::now();
+        let (rendered, value) = run_one(name, scale);
+        println!("{rendered}");
+        println!("[{name} took {:.1}s]\n", started.elapsed().as_secs_f64());
+        results.push((name.clone(), value));
+    }
+
+    if let Some(path) = json_path {
+        let doc: Value = Value::Object(results.into_iter().collect());
+        std::fs::write(&path, serde_json::to_string_pretty(&doc).unwrap())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("raw results written to {path}");
+    }
+}
+
+fn run_one(name: &str, scale: &Scale) -> (String, Value) {
+    match name {
+        "table1" => (table1::render(), json!(null)),
+        "fig8" => {
+            let report = fig8::run(scale.fig8_ops);
+            let mut rendered = fig8::render(&report);
+            for (workload, factor) in fig8::speedups(&report) {
+                rendered.push_str(&format!(
+                    "BG3 over ByteGraph on {workload}: {factor:.2}x\n"
+                ));
+            }
+            (rendered, serde_json::to_value(&report).unwrap())
+        }
+        "cost" => {
+            let report = cost::run(scale.cost_ops);
+            (cost::render(&report), serde_json::to_value(&report).unwrap())
+        }
+        "fig9" => {
+            let report = fig9::run(scale.fig9_ops);
+            (fig9::render(&report), serde_json::to_value(&report).unwrap())
+        }
+        "fig10" => {
+            let report = fig10::run(scale.fig10_ops);
+            (fig10::render(&report), serde_json::to_value(&report).unwrap())
+        }
+        "fig11" => {
+            let report = fig11::run(scale.fig11_ops, 50_000);
+            (fig11::render(&report), serde_json::to_value(&report).unwrap())
+        }
+        "table2" => {
+            let report = table2::run(scale.table2_ops);
+            (table2::render(&report), serde_json::to_value(&report).unwrap())
+        }
+        "fig12" => {
+            let report = fig12::run(scale.fig12_writes);
+            (fig12::render(&report), serde_json::to_value(&report).unwrap())
+        }
+        "fig13" => {
+            let report = fig13::run(scale.fig13_sim_millis);
+            (fig13::render(&report), serde_json::to_value(&report).unwrap())
+        }
+        "ablation" => {
+            let report = ablation::run(scale.table2_ops / 2);
+            (
+                ablation::render(&report),
+                serde_json::to_value(&report).unwrap(),
+            )
+        }
+        "fig14" => {
+            let report = fig14::run(scale.fig14_reads);
+            (fig14::render(&report), serde_json::to_value(&report).unwrap())
+        }
+        other => (format!("unknown experiment: {other}"), json!(null)),
+    }
+}

@@ -1,0 +1,133 @@
+//! Fig. 11 — Bw-tree forest scaling: write throughput and memory cost as
+//! the number of trees grows.
+//!
+//! The paper adjusts the split-out threshold to move between 1 tree and 1M
+//! trees and observes write QPS climbing (50→289 KQPS) while memory grows
+//! super-linearly past ~100k trees. We sweep the threshold the same way on
+//! a scaled population: the tree count *emerges* from the workload, and
+//! throughput comes from the virtual-time driver (16 workers, one latch per
+//! tree — the Observation 1 contention model).
+
+use crate::vdriver::VirtualCluster;
+use bg3_forest::{BwTreeForest, ForestConfig};
+use bg3_storage::{AppendOnlyStore, StoreConfig};
+use bg3_workloads::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One threshold configuration's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11Row {
+    /// Split-out threshold (`None` = splitting disabled → single tree).
+    pub threshold: Option<usize>,
+    /// Trees that emerged (including INIT).
+    pub trees: usize,
+    /// Write throughput on 16 virtual workers, ops/second.
+    pub write_qps: f64,
+    /// Estimated memory footprint in bytes.
+    pub memory_bytes: usize,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11Report {
+    /// One row per threshold, most-coarse first.
+    pub rows: Vec<Fig11Row>,
+}
+
+fn run_threshold(threshold: Option<usize>, ops: usize, groups: u64) -> Fig11Row {
+    let store = AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1 << 20));
+    let config = ForestConfig::default()
+        .with_split_out_threshold(threshold.unwrap_or(usize::MAX))
+        .with_init_tree_max_entries(usize::MAX);
+    let forest = BwTreeForest::new(store, config);
+    let zipf = Zipf::new(groups, 1.0);
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut cluster = VirtualCluster::new(16);
+    for i in 0..ops {
+        let group = format!("user{:07}", zipf.sample(&mut rng)).into_bytes();
+        let item = (i as u64).to_be_bytes();
+        // Latch: the tree the write lands on (Observation 1/2 of §3.2.1).
+        let resource = if forest.dedicated_tree(&group).is_some() {
+            Some(16 + fxhash(&group))
+        } else {
+            Some(0)
+        };
+        let started = Instant::now();
+        forest.put(&group, &item, &[0u8; 16]).unwrap();
+        cluster.submit(started.elapsed().as_nanos() as u64, resource);
+    }
+    Fig11Row {
+        threshold,
+        trees: forest.tree_count(),
+        write_qps: cluster.throughput(),
+        memory_bytes: forest.memory_footprint(),
+    }
+}
+
+fn fxhash(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Sweeps the threshold over `ops` power-law writes across `groups` users.
+pub fn run(ops: usize, groups: u64) -> Fig11Report {
+    let thresholds = [None, Some(512), Some(32), Some(2)];
+    Fig11Report {
+        rows: thresholds
+            .into_iter()
+            .map(|t| run_threshold(t, ops, groups))
+            .collect(),
+    }
+}
+
+/// Renders the figure's series.
+pub fn render(report: &Fig11Report) -> String {
+    let mut out = String::from(
+        "Fig. 11: Scaling performance & space cost with varying number of Bw-trees\n",
+    );
+    for row in &report.rows {
+        out.push_str(&format!(
+            "threshold {:>9} -> {:>6} trees  write {}  memory {}\n",
+            row.threshold
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "off".into()),
+            row.trees,
+            super::kqps(row.write_qps),
+            super::mib(row.memory_bytes as u64),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn more_trees_means_more_throughput_and_more_memory() {
+        let report = super::run(6_000, 20_000);
+        let rows = &report.rows;
+        assert_eq!(rows[0].trees, 1, "threshold off → single INIT tree");
+        assert!(
+            rows.windows(2).all(|w| w[0].trees <= w[1].trees),
+            "lower thresholds → more trees"
+        );
+        let single = &rows[0];
+        let many = rows.last().unwrap();
+        assert!(many.trees > 10);
+        assert!(
+            many.write_qps > single.write_qps,
+            "parallel trees beat one latch: {} vs {}",
+            many.write_qps,
+            single.write_qps
+        );
+        assert!(
+            many.memory_bytes > single.memory_bytes,
+            "per-tree overhead shows up"
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablation;
+pub mod cost;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+
+/// Formats a throughput as `x.y Kq/s`.
+pub(crate) fn kqps(ops_per_sec: f64) -> String {
+    format!("{:.1} Kq/s", ops_per_sec / 1e3)
+}
+
+/// Formats bytes as MiB.
+pub(crate) fn mib(bytes: u64) -> String {
+    format!("{:.2} MiB", bytes as f64 / (1024.0 * 1024.0))
+}

@@ -1,0 +1,31 @@
+//! Table 1 — workload descriptions.
+
+use bg3_workloads::{table1, WorkloadSpec};
+
+/// Returns the three Table 1 rows.
+pub fn run() -> [WorkloadSpec; 3] {
+    table1()
+}
+
+/// Renders the table like the paper's.
+pub fn render() -> String {
+    let mut out = String::from("Table 1: Workload description\n");
+    out.push_str("workload | read/write | graph | hops | ttl | description\n");
+    for spec in run() {
+        out.push_str(&spec.row());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_three_rows() {
+        let rendered = super::render();
+        assert_eq!(rendered.lines().count(), 5);
+        assert!(rendered.contains("Douyin Follow"));
+        assert!(rendered.contains("Financial Risk Control"));
+        assert!(rendered.contains("Douyin Recommendation"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # bg3-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the BG3
+//! paper's evaluation (§4). Each experiment lives in [`experiments`] and
+//! returns a serializable report; the `reproduce` binary runs them and
+//! prints rows shaped like the paper's.
+//!
+//! | experiment | paper artifact |
+//! |---|---|
+//! | [`experiments::table1`] | Table 1 — workload descriptions |
+//! | [`experiments::fig8`] | Fig. 8 — overall throughput, scale-up + scale-out |
+//! | [`experiments::cost`] | §4.2 — storage cost comparison |
+//! | [`experiments::fig9`] | Fig. 9 — read amplification, SLED vs read-optimized |
+//! | [`experiments::fig10`] | Fig. 10 — write bandwidth, SLED vs read-optimized |
+//! | [`experiments::fig11`] | Fig. 11 — Bw-tree forest scaling |
+//! | [`experiments::table2`] | Table 2 — space-reclamation policies |
+//! | [`experiments::fig12`] | Fig. 12 — recall under packet loss |
+//! | [`experiments::fig13`] | Fig. 13 — leader-follower latency vs write load |
+//! | [`experiments::fig14`] | Fig. 14 — RO read scaling + sync latency |
+//!
+//! Timing methodology: throughput experiments (Figs. 8/11/14) run ops
+//! sequentially, measure each op's real cost, and replay them through the
+//! [`vdriver::VirtualCluster`] discrete-event simulator — see DESIGN.md for
+//! why (single-core CI host). Latency experiments (Figs. 13/14) use the
+//! storage layer's simulated clock. Counting experiments (Figs. 9/10,
+//! Table 2, cost) read the store's I/O counters directly.
+
+pub mod driver;
+pub mod experiments;
+pub mod vdriver;
+
+pub use driver::{execute_op, Engine, EngineKind};
+pub use vdriver::VirtualCluster;

@@ -1,0 +1,141 @@
+//! Virtual-time concurrency driver.
+//!
+//! A discrete-event simulator of N workers executing a stream of operations
+//! whose costs were measured on the real CPU. Each operation optionally
+//! serializes on a *resource* (a latch: a Bw-tree, an engine-global
+//! structure); operations without a resource run fully parallel.
+//!
+//! This replays exactly the contention structure of a multi-core run —
+//! which worker waits on which latch — without needing physical cores, and
+//! is the throughput methodology for Figs. 8, 11, and 14 (see DESIGN.md).
+
+use std::collections::HashMap;
+
+/// N virtual workers plus a set of serializing resources.
+#[derive(Debug, Clone)]
+pub struct VirtualCluster {
+    workers: Vec<u64>,
+    resources: HashMap<u64, u64>,
+    ops: u64,
+}
+
+impl VirtualCluster {
+    /// Creates a cluster of `workers` virtual workers at time zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        VirtualCluster {
+            workers: vec![0; workers],
+            resources: HashMap::new(),
+            ops: 0,
+        }
+    }
+
+    /// Schedules one operation of `cost_ns` on the least-loaded worker.
+    /// When `resource` is `Some(r)`, the operation additionally waits for
+    /// (and then occupies) resource `r` — a latch held for the whole op.
+    pub fn submit(&mut self, cost_ns: u64, resource: Option<u64>) {
+        self.ops += 1;
+        let worker = self
+            .workers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .expect("at least one worker");
+        let mut start = self.workers[worker];
+        if let Some(r) = resource {
+            let rt = self.resources.entry(r).or_insert(0);
+            start = start.max(*rt);
+            let end = start + cost_ns;
+            *rt = end;
+            self.workers[worker] = end;
+        } else {
+            self.workers[worker] = start + cost_ns;
+        }
+    }
+
+    /// Virtual makespan: when the busiest worker finishes.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.workers.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Operations submitted.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Throughput in operations per virtual second.
+    pub fn throughput(&self) -> f64 {
+        let elapsed = self.elapsed_ns();
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1e9 / elapsed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_ops_scale_with_workers() {
+        // 100 independent 1µs ops: 1 worker → 100µs, 4 workers → 25µs.
+        let mut one = VirtualCluster::new(1);
+        let mut four = VirtualCluster::new(4);
+        for _ in 0..100 {
+            one.submit(1_000, None);
+            four.submit(1_000, None);
+        }
+        assert_eq!(one.elapsed_ns(), 100_000);
+        assert_eq!(four.elapsed_ns(), 25_000);
+        assert!((four.throughput() / one.throughput() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn a_single_resource_serializes_everything() {
+        let mut c = VirtualCluster::new(8);
+        for _ in 0..100 {
+            c.submit(1_000, Some(7));
+        }
+        assert_eq!(c.elapsed_ns(), 100_000, "no speedup through one latch");
+    }
+
+    #[test]
+    fn disjoint_resources_run_in_parallel() {
+        let mut c = VirtualCluster::new(4);
+        for i in 0..100u64 {
+            c.submit(1_000, Some(i % 4));
+        }
+        assert_eq!(c.elapsed_ns(), 25_000);
+    }
+
+    #[test]
+    fn more_resources_than_workers_is_worker_bound() {
+        let mut c = VirtualCluster::new(2);
+        for i in 0..100u64 {
+            c.submit(1_000, Some(i)); // every op its own resource
+        }
+        assert_eq!(c.elapsed_ns(), 50_000, "bounded by 2 workers");
+    }
+
+    #[test]
+    fn mixed_contention_lands_between_the_extremes() {
+        // Half the ops hit one hot latch, half are free.
+        let mut c = VirtualCluster::new(4);
+        for i in 0..100u64 {
+            c.submit(1_000, (i % 2 == 0).then_some(1));
+        }
+        let elapsed = c.elapsed_ns();
+        assert!(elapsed >= 50_000, "hot latch serializes its 50 ops");
+        assert!(elapsed < 100_000, "free ops overlap");
+    }
+
+    #[test]
+    fn throughput_of_empty_cluster_is_zero() {
+        let c = VirtualCluster::new(2);
+        assert_eq!(c.throughput(), 0.0);
+        assert_eq!(c.ops(), 0);
+    }
+}

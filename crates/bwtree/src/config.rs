@@ -1,0 +1,144 @@
+//! Bw-tree configuration.
+
+/// Which write path the tree uses (§3.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WriteMode {
+    /// Classic Bw-tree: one delta appended per update, chain grows until
+    /// consolidation. This is the SLED baseline of §4.3.1.
+    Traditional,
+    /// BG3's read-optimized path: at most one (merged) delta per page.
+    #[default]
+    ReadOptimized,
+}
+
+/// Tuning knobs for one Bw-tree.
+#[derive(Debug, Clone)]
+pub struct BwTreeConfig {
+    /// Write path selection.
+    pub mode: WriteMode,
+    /// Consolidate a page once its delta count would exceed this many
+    /// buffered updates. The paper's micro-benchmarks use 10.
+    pub consolidate_threshold: usize,
+    /// Split a leaf once its consolidated entry count exceeds this.
+    pub max_page_entries: usize,
+    /// Allow structural splits. §4.3.1 disables splits to isolate the
+    /// delta-merging variable.
+    pub split_enabled: bool,
+    /// Serve reads from the in-memory page images. When `false`, every read
+    /// fetches base+delta records from storage (the "cache size zero"
+    /// setting of Fig. 9).
+    pub read_cache: bool,
+    /// Optional TTL attached to every flushed record, in simulated
+    /// nanoseconds. Workloads with expiring data (Financial Risk Control,
+    /// Table 1) set this so extents inherit batch-expiry deadlines (§3.3).
+    pub ttl_nanos: Option<u64>,
+}
+
+impl Default for BwTreeConfig {
+    fn default() -> Self {
+        BwTreeConfig {
+            mode: WriteMode::ReadOptimized,
+            consolidate_threshold: 10,
+            max_page_entries: 128,
+            split_enabled: true,
+            read_cache: true,
+            ttl_nanos: None,
+        }
+    }
+}
+
+impl BwTreeConfig {
+    /// The SLED-style baseline configuration used in §4.3.1: traditional
+    /// write path, consolidate every 10 deltas, no splits, no read cache.
+    pub fn sled_baseline() -> Self {
+        BwTreeConfig {
+            mode: WriteMode::Traditional,
+            consolidate_threshold: 10,
+            split_enabled: false,
+            read_cache: false,
+            ..BwTreeConfig::default()
+        }
+    }
+
+    /// BG3's configuration for the same micro-benchmark: read-optimized
+    /// write path, everything else identical.
+    pub fn read_optimized_baseline() -> Self {
+        BwTreeConfig {
+            mode: WriteMode::ReadOptimized,
+            ..Self::sled_baseline()
+        }
+    }
+
+    /// Builder-style setter for [`WriteMode`].
+    pub fn with_mode(mut self, mode: WriteMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Builder-style setter for the read cache.
+    pub fn with_read_cache(mut self, enabled: bool) -> Self {
+        self.read_cache = enabled;
+        self
+    }
+
+    /// Builder-style setter for the TTL.
+    pub fn with_ttl_nanos(mut self, ttl: Option<u64>) -> Self {
+        self.ttl_nanos = ttl;
+        self
+    }
+
+    /// Builder-style setter for the split limit.
+    pub fn with_max_page_entries(mut self, n: usize) -> Self {
+        self.max_page_entries = n;
+        self
+    }
+
+    /// Builder-style setter for the consolidation threshold.
+    pub fn with_consolidate_threshold(mut self, n: usize) -> Self {
+        self.consolidate_threshold = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_read_optimized() {
+        let c = BwTreeConfig::default();
+        assert_eq!(c.mode, WriteMode::ReadOptimized);
+        assert_eq!(c.consolidate_threshold, 10);
+        assert!(c.split_enabled);
+        assert!(c.read_cache);
+    }
+
+    #[test]
+    fn sled_baseline_matches_section_4_3_1() {
+        let c = BwTreeConfig::sled_baseline();
+        assert_eq!(c.mode, WriteMode::Traditional);
+        assert_eq!(c.consolidate_threshold, 10);
+        assert!(!c.split_enabled);
+        assert!(!c.read_cache);
+        let b = BwTreeConfig::read_optimized_baseline();
+        assert_eq!(b.mode, WriteMode::ReadOptimized);
+        assert_eq!(b.consolidate_threshold, c.consolidate_threshold);
+        assert_eq!(b.split_enabled, c.split_enabled);
+        assert_eq!(b.read_cache, c.read_cache);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = BwTreeConfig::default()
+            .with_mode(WriteMode::Traditional)
+            .with_read_cache(false)
+            .with_ttl_nanos(Some(5))
+            .with_max_page_entries(64)
+            .with_consolidate_threshold(3);
+        assert_eq!(c.mode, WriteMode::Traditional);
+        assert!(!c.read_cache);
+        assert_eq!(c.ttl_nanos, Some(5));
+        assert_eq!(c.max_page_entries, 64);
+        assert_eq!(c.consolidate_threshold, 3);
+    }
+}

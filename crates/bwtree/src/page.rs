@@ -1,0 +1,302 @@
+//! Page representations and their storage codec.
+//!
+//! A **base page** is an immutable sorted run of key/value entries. A
+//! **delta** is a sorted batch of not-yet-consolidated operations. Both are
+//! encoded to byte images before being appended to the shared store, so the
+//! latency model and the I/O counters see realistic sizes.
+
+use std::fmt;
+
+/// A sorted run of key/value entries — the content of one base page.
+pub type Entries = Vec<(Vec<u8>, Vec<u8>)>;
+
+/// A single buffered operation inside a delta.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Insert or overwrite `key` with `value`.
+    Put { key: Vec<u8>, value: Vec<u8> },
+    /// Remove `key` (tombstone until consolidation).
+    Delete { key: Vec<u8> },
+}
+
+impl DeltaOp {
+    /// The key this operation applies to.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            DeltaOp::Put { key, .. } | DeltaOp::Delete { key } => key,
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        match self {
+            DeltaOp::Put { key, value } => key.len() + value.len(),
+            DeltaOp::Delete { key } => key.len(),
+        }
+    }
+}
+
+/// Errors raised while decoding page images.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageCodecError {
+    /// Buffer ended early.
+    Truncated,
+    /// Unknown delta op tag.
+    UnknownOp(u8),
+}
+
+impl fmt::Display for PageCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageCodecError::Truncated => write!(f, "truncated page image"),
+            PageCodecError::UnknownOp(op) => write!(f, "unknown delta op tag {op}"),
+        }
+    }
+}
+
+impl std::error::Error for PageCodecError {}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PageCodecError> {
+        if self.buf.len() - self.pos < n {
+            return Err(PageCodecError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, PageCodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, PageCodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, PageCodecError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Encodes a base page: `u32 count | (key, value)*` with length-prefixed
+/// byte strings. Entries must be sorted by key (callers uphold this).
+pub fn encode_base_page(entries: &[(Vec<u8>, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + entries.iter().map(|(k, v)| k.len() + v.len() + 8).sum::<usize>());
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (k, v) in entries {
+        put_bytes(&mut out, k);
+        put_bytes(&mut out, v);
+    }
+    out
+}
+
+/// Decodes a base page image.
+pub fn decode_base_page(buf: &[u8]) -> Result<Entries, PageCodecError> {
+    let mut c = Cursor { buf, pos: 0 };
+    let count = c.u32()? as usize;
+    let mut entries = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let k = c.bytes()?;
+        let v = c.bytes()?;
+        entries.push((k, v));
+    }
+    if !c.finished() {
+        return Err(PageCodecError::Truncated);
+    }
+    Ok(entries)
+}
+
+/// Encodes a delta: `u32 count | (u8 tag, key, [value])*`.
+pub fn encode_delta(ops: &[DeltaOp]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + ops.iter().map(|o| o.heap_size() + 9).sum::<usize>());
+    out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for op in ops {
+        match op {
+            DeltaOp::Put { key, value } => {
+                out.push(0);
+                put_bytes(&mut out, key);
+                put_bytes(&mut out, value);
+            }
+            DeltaOp::Delete { key } => {
+                out.push(1);
+                put_bytes(&mut out, key);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a delta image.
+pub fn decode_delta(buf: &[u8]) -> Result<Vec<DeltaOp>, PageCodecError> {
+    let mut c = Cursor { buf, pos: 0 };
+    let count = c.u32()? as usize;
+    let mut ops = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let tag = c.u8()?;
+        let op = match tag {
+            0 => DeltaOp::Put {
+                key: c.bytes()?,
+                value: c.bytes()?,
+            },
+            1 => DeltaOp::Delete { key: c.bytes()? },
+            other => return Err(PageCodecError::UnknownOp(other)),
+        };
+        ops.push(op);
+    }
+    if !c.finished() {
+        return Err(PageCodecError::Truncated);
+    }
+    Ok(ops)
+}
+
+/// Applies `ops` (already deduplicated, any order) over `base` (sorted),
+/// producing a new sorted entry list. Tombstones remove entries.
+pub fn apply_ops(base: &[(Vec<u8>, Vec<u8>)], ops: &[DeltaOp]) -> Entries {
+    let mut merged: Vec<(Vec<u8>, Vec<u8>)> = base.to_vec();
+    for op in ops {
+        match op {
+            DeltaOp::Put { key, value } => {
+                match merged.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => merged[i].1 = value.clone(),
+                    Err(i) => merged.insert(i, (key.clone(), value.clone())),
+                }
+            }
+            DeltaOp::Delete { key } => {
+                if let Ok(i) = merged.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    merged.remove(i);
+                }
+            }
+        }
+    }
+    merged
+}
+
+/// Merges `older` then `newer` op lists, keeping only the latest op per key.
+/// This is the delta-merging step of the read-optimized write path
+/// (Algorithm 1 line 20): the result is the page's single delta.
+pub fn merge_ops(older: &[DeltaOp], newer: &[DeltaOp]) -> Vec<DeltaOp> {
+    let mut out: Vec<DeltaOp> = Vec::with_capacity(older.len() + newer.len());
+    for op in older.iter().chain(newer.iter()) {
+        match out.binary_search_by(|existing| existing.key().cmp(op.key())) {
+            Ok(i) => out[i] = op.clone(),
+            Err(i) => out.insert(i, op.clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(k: &str, v: &str) -> (Vec<u8>, Vec<u8>) {
+        (k.as_bytes().to_vec(), v.as_bytes().to_vec())
+    }
+
+    fn put(k: &str, v: &str) -> DeltaOp {
+        DeltaOp::Put {
+            key: k.as_bytes().to_vec(),
+            value: v.as_bytes().to_vec(),
+        }
+    }
+
+    fn del(k: &str) -> DeltaOp {
+        DeltaOp::Delete {
+            key: k.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn base_page_round_trip() {
+        let entries = vec![kv("a", "1"), kv("b", "2"), kv("c", "3")];
+        let img = encode_base_page(&entries);
+        assert_eq!(decode_base_page(&img).unwrap(), entries);
+        assert_eq!(decode_base_page(&encode_base_page(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn delta_round_trip() {
+        let ops = vec![put("a", "1"), del("b"), put("c", "33")];
+        let img = encode_delta(&ops);
+        assert_eq!(decode_delta(&img).unwrap(), ops);
+    }
+
+    #[test]
+    fn truncated_images_error() {
+        let img = encode_base_page(&[kv("key", "value")]);
+        for cut in 0..img.len() {
+            assert!(decode_base_page(&img[..cut]).is_err(), "cut {cut}");
+        }
+        let dimg = encode_delta(&[put("k", "v")]);
+        for cut in 0..dimg.len() {
+            assert!(decode_delta(&dimg[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_op_tag_errors() {
+        let mut img = encode_delta(&[del("x")]);
+        img[4] = 7;
+        assert_eq!(decode_delta(&img), Err(PageCodecError::UnknownOp(7)));
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut img = encode_base_page(&[kv("a", "b")]);
+        img.push(0);
+        assert_eq!(decode_base_page(&img), Err(PageCodecError::Truncated));
+    }
+
+    #[test]
+    fn apply_ops_overwrites_inserts_and_deletes() {
+        let base = vec![kv("b", "old"), kv("d", "keep")];
+        let merged = apply_ops(&base, &[put("a", "new"), put("b", "upd"), del("d")]);
+        assert_eq!(merged, vec![kv("a", "new"), kv("b", "upd")]);
+    }
+
+    #[test]
+    fn apply_ops_delete_of_absent_key_is_noop() {
+        let base = vec![kv("a", "1")];
+        assert_eq!(apply_ops(&base, &[del("zz")]), base);
+    }
+
+    #[test]
+    fn merge_ops_keeps_latest_per_key() {
+        let older = vec![put("a", "1"), del("b")];
+        let newer = vec![put("b", "2"), put("a", "3")];
+        let merged = merge_ops(&older, &newer);
+        assert_eq!(merged, vec![put("a", "3"), put("b", "2")]);
+    }
+
+    #[test]
+    fn merge_then_apply_equals_sequential_apply() {
+        let base = vec![kv("k1", "v"), kv("k3", "v")];
+        let older = vec![put("k2", "x"), del("k1")];
+        let newer = vec![put("k1", "back"), put("k2", "y")];
+        let sequential = apply_ops(&apply_ops(&base, &older), &newer);
+        let merged = apply_ops(&base, &merge_ops(&older, &newer));
+        assert_eq!(sequential, merged);
+    }
+
+    #[test]
+    fn heap_size_accounts_key_and_value() {
+        assert_eq!(put("ab", "cde").heap_size(), 5);
+        assert_eq!(del("ab").heap_size(), 2);
+    }
+}

@@ -1,0 +1,1149 @@
+//! The Bw-tree proper.
+//!
+//! ## Structure
+//!
+//! A tree is a routing table (the in-memory equivalent of the paper's Root
+//! and Meta nodes, §2.2) over a set of logical **leaf pages**. Each leaf has
+//! a durable representation on the shared store — one base-page record plus
+//! zero or more delta records — and an authoritative in-memory image. The
+//! mapping from page id to storage addresses is the tree's mapping table.
+//!
+//! ## Write paths (Algorithm 1)
+//!
+//! With [`WriteMode::Traditional`], each update appends one delta record to
+//! the page's chain. With [`WriteMode::ReadOptimized`], the update is merged
+//! with the page's existing delta into a single new delta that points
+//! directly at the base page, keeping the invariant *at most one delta per
+//! page*; the replaced delta record is invalidated on the store. Both modes
+//! consolidate into a fresh base page after `consolidate_threshold` buffered
+//! updates, and split leaves that outgrow `max_page_entries`.
+//!
+//! ## Flush modes
+//!
+//! * [`FlushMode::Synchronous`] — every write flushes its delta (or base)
+//!   before returning. This is the configuration of the §4.3 storage
+//!   micro-benchmarks.
+//! * [`FlushMode::Deferred`] — writes mutate memory only and mark pages
+//!   dirty; a background group-commit (driven by bg3-sync, Fig. 7 step (7))
+//!   calls [`BwTree::flush_dirty`] to persist consolidated page images in
+//!   batch. Durability before the flush is provided by the WAL.
+
+use crate::config::{BwTreeConfig, WriteMode};
+use crate::events::{NullListener, TreeEvent, TreeEventListener};
+use crate::page::{
+    apply_ops, decode_base_page, decode_delta, encode_base_page, encode_delta, DeltaOp,
+    Entries,
+};
+use crate::stats::BwTreeStats;
+use crate::tag::PageTag;
+use bg3_storage::{AppendOnlyStore, PageAddr, StorageResult, StreamId};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// Identifies a logical page within one tree. The first leaf of every tree
+/// is always page 1, which lets a read-only replica bootstrap its routing
+/// table from an empty state plus the WAL.
+pub type PageId = u32;
+
+/// The id of the initial leaf page of every tree.
+pub const FIRST_LEAF: PageId = 1;
+
+/// Whether writes flush synchronously or accumulate as dirty pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushMode {
+    /// Flush delta/base records on every write (§4.3 micro-benchmarks).
+    #[default]
+    Synchronous,
+    /// Accumulate dirty pages; [`BwTree::flush_dirty`] persists them in
+    /// batch (group commit, §3.4 "I/O Efficiency").
+    Deferred,
+}
+
+#[derive(Debug, Default)]
+struct PageState {
+    /// Durable base page record, if ever flushed.
+    base_addr: Option<PageAddr>,
+    /// Durable delta records, oldest first. In read-optimized mode this
+    /// holds at most one element.
+    delta_addrs: Vec<PageAddr>,
+    /// Authoritative consolidated entries (sorted by key).
+    base: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Updates buffered since the last consolidation. In read-optimized
+    /// mode this is the content of the single merged delta (deduplicated);
+    /// in traditional mode it is the concatenated chain, oldest first.
+    pending: Vec<DeltaOp>,
+    /// Number of updates buffered since the last consolidation (Algorithm 1
+    /// `old_delta.count`).
+    update_count: usize,
+}
+
+impl PageState {
+    /// Merges one op into the (sorted, deduplicated) pending delta in
+    /// place — the hot write path of the read-optimized mode, avoiding the
+    /// full-chain clone `merge_ops` would do.
+    fn merge_pending(&mut self, op: DeltaOp) {
+        match self
+            .pending
+            .binary_search_by(|existing| existing.key().cmp(op.key()))
+        {
+            Ok(i) => self.pending[i] = op,
+            Err(i) => self.pending.insert(i, op),
+        }
+    }
+
+    /// Existence check without cloning the value (hot-path helper for the
+    /// live-entry counter).
+    fn contains(&self, key: &[u8]) -> bool {
+        for op in self.pending.iter().rev() {
+            match op {
+                DeltaOp::Put { key: k, .. } if k.as_slice() == key => return true,
+                DeltaOp::Delete { key: k } if k.as_slice() == key => return false,
+                _ => {}
+            }
+        }
+        self.base
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .is_ok()
+    }
+
+    fn lookup(&self, key: &[u8]) -> Option<Option<Vec<u8>>> {
+        // Newest pending op for the key wins; fall through to the base.
+        for op in self.pending.iter().rev() {
+            match op {
+                DeltaOp::Put { key: k, value } if k.as_slice() == key => {
+                    return Some(Some(value.clone()))
+                }
+                DeltaOp::Delete { key: k } if k.as_slice() == key => return Some(None),
+                _ => {}
+            }
+        }
+        match self.base.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => Some(Some(self.base[i].1.clone())),
+            Err(_) => None,
+        }
+    }
+
+    /// Consolidated view of the page (base + pending applied).
+    fn merged_entries(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        if self.pending.is_empty() {
+            self.base.clone()
+        } else {
+            apply_ops(&self.base, &self.pending)
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        let base: usize = self
+            .base
+            .iter()
+            .map(|(k, v)| k.len() + v.len() + 48)
+            .sum();
+        let pending: usize = self.pending.iter().map(|op| op.heap_size() + 40).sum();
+        base + pending + std::mem::size_of::<PageState>()
+    }
+}
+
+struct TreeInner {
+    /// Separator key → leaf page covering keys `>=` separator (up to the
+    /// next separator). Always contains the empty key.
+    routing: BTreeMap<Vec<u8>, PageId>,
+    pages: HashMap<PageId, PageState>,
+    next_page: PageId,
+    dirty: HashSet<PageId>,
+}
+
+impl TreeInner {
+    fn leaf_for(&self, key: &[u8]) -> PageId {
+        *self
+            .routing
+            .range::<[u8], _>((Bound::Unbounded, Bound::Included(key)))
+            .next_back()
+            .expect("routing always contains the empty separator")
+            .1
+    }
+}
+
+/// One page flushed by [`BwTree::flush_dirty`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushedPage {
+    /// The page that was persisted.
+    pub page: PageId,
+    /// Its new base-page address on the shared store.
+    pub addr: PageAddr,
+}
+
+/// A Bw-tree over an append-only shared store.
+pub struct BwTree {
+    id: u32,
+    config: BwTreeConfig,
+    flush_mode: FlushMode,
+    store: AppendOnlyStore,
+    stats: BwTreeStats,
+    listener: Arc<dyn TreeEventListener>,
+    inner: RwLock<TreeInner>,
+    /// Live entry count, maintained incrementally by the write paths so
+    /// `entry_count` is O(1) (the forest consults it on every write).
+    live_entries: std::sync::atomic::AtomicU64,
+}
+
+impl BwTree {
+    /// Creates an empty tree with the default (no-op) event listener.
+    pub fn new(id: u32, store: AppendOnlyStore, config: BwTreeConfig) -> Self {
+        Self::with_listener(id, store, config, Arc::new(NullListener))
+    }
+
+    /// Creates an empty tree that reports mutations to `listener`.
+    pub fn with_listener(
+        id: u32,
+        store: AppendOnlyStore,
+        config: BwTreeConfig,
+        listener: Arc<dyn TreeEventListener>,
+    ) -> Self {
+        let mut routing = BTreeMap::new();
+        routing.insert(Vec::new(), FIRST_LEAF);
+        let mut pages = HashMap::new();
+        pages.insert(FIRST_LEAF, PageState::default());
+        BwTree {
+            id,
+            config,
+            flush_mode: FlushMode::Synchronous,
+            store,
+            stats: BwTreeStats::default(),
+            listener,
+            inner: RwLock::new(TreeInner {
+                routing,
+                pages,
+                next_page: FIRST_LEAF + 1,
+                dirty: HashSet::new(),
+            }),
+            live_entries: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Switches the flush mode. Intended to be set once at construction
+    /// time by the owning node.
+    pub fn set_flush_mode(&mut self, mode: FlushMode) {
+        self.flush_mode = mode;
+    }
+
+    /// Assembles a tree from recovered state: a routing table and fully
+    /// consolidated pages (entries + their durable base address, if any).
+    /// Used by crash recovery (`bg3-sync::recovery`), which reconstructs
+    /// pages from the shared mapping table plus WAL replay.
+    pub fn assemble(
+        id: u32,
+        store: AppendOnlyStore,
+        config: BwTreeConfig,
+        listener: Arc<dyn TreeEventListener>,
+        routing: BTreeMap<Vec<u8>, PageId>,
+        pages: Vec<(PageId, Entries, Option<PageAddr>)>,
+    ) -> Self {
+        assert!(
+            routing.contains_key(&Vec::new()),
+            "routing must cover the empty separator"
+        );
+        let live: usize = pages.iter().map(|(_, e, _)| e.len()).sum();
+        let next_page = pages.iter().map(|(p, _, _)| *p).max().unwrap_or(FIRST_LEAF) + 1;
+        let pages: HashMap<PageId, PageState> = pages
+            .into_iter()
+            .map(|(page, base, base_addr)| {
+                (
+                    page,
+                    PageState {
+                        base,
+                        base_addr,
+                        ..PageState::default()
+                    },
+                )
+            })
+            .collect();
+        for leaf in routing.values() {
+            assert!(pages.contains_key(leaf), "routing points at missing page");
+        }
+        BwTree {
+            id,
+            config,
+            flush_mode: FlushMode::Synchronous,
+            store,
+            stats: BwTreeStats::default(),
+            listener,
+            inner: RwLock::new(TreeInner {
+                routing,
+                pages,
+                next_page,
+                dirty: HashSet::new(),
+            }),
+            live_entries: std::sync::atomic::AtomicU64::new(live as u64),
+        }
+    }
+
+    /// This tree's id within the forest.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The tree's configuration.
+    pub fn config(&self) -> &BwTreeConfig {
+        &self.config
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &BwTreeStats {
+        &self.stats
+    }
+
+    fn tag(&self, page: PageId) -> u64 {
+        PageTag {
+            tree: self.id,
+            page,
+        }
+        .encode()
+    }
+
+    /// Inserts or overwrites `key`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> StorageResult<()> {
+        self.write(DeltaOp::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })
+    }
+
+    /// Deletes `key` (no-op if absent; a tombstone is still recorded).
+    pub fn delete(&self, key: &[u8]) -> StorageResult<()> {
+        self.write(DeltaOp::Delete { key: key.to_vec() })
+    }
+
+    fn write(&self, op: DeltaOp) -> StorageResult<()> {
+        BwTreeStats::bump(&self.stats.writes);
+        let mut inner = self.inner.write();
+        let leaf = inner.leaf_for(op.key());
+        let event = match &op {
+            DeltaOp::Put { key, value } => TreeEvent::Upsert {
+                page: leaf as u64,
+                key: key.clone(),
+                value: value.clone(),
+            },
+            DeltaOp::Delete { key } => TreeEvent::Delete {
+                page: leaf as u64,
+                key: key.clone(),
+            },
+        };
+        // WAL-before-data: the listener (when it is the sync layer) appends
+        // the log record before any page data reaches the store.
+        self.listener.on_event(self.id as u64, &event);
+
+        // Maintain the O(1) live-entry counter.
+        let existed = inner
+            .pages
+            .get(&leaf)
+            .expect("routed page exists")
+            .contains(op.key());
+        use std::sync::atomic::Ordering;
+        match (&op, existed) {
+            (DeltaOp::Put { .. }, false) => {
+                self.live_entries.fetch_add(1, Ordering::Relaxed);
+            }
+            (DeltaOp::Delete { .. }, true) => {
+                self.live_entries.fetch_sub(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+
+        match self.flush_mode {
+            FlushMode::Deferred => self.write_deferred(&mut inner, leaf, op),
+            FlushMode::Synchronous => self.write_synchronous(&mut inner, leaf, op),
+        }
+    }
+
+    /// Deferred path: mutate memory, mark dirty; group commit persists later.
+    fn write_deferred(
+        &self,
+        inner: &mut TreeInner,
+        leaf: PageId,
+        op: DeltaOp,
+    ) -> StorageResult<()> {
+        let state = inner.pages.get_mut(&leaf).expect("routed page exists");
+        state.merge_pending(op);
+        state.update_count += 1;
+        if state.update_count > self.config.consolidate_threshold {
+            state.base = state.merged_entries();
+            state.pending.clear();
+            state.update_count = 0;
+            BwTreeStats::bump(&self.stats.consolidations);
+        }
+        inner.dirty.insert(leaf);
+        self.maybe_split(inner, leaf)?;
+        Ok(())
+    }
+
+    /// Synchronous path: Algorithm 1 of the paper.
+    fn write_synchronous(
+        &self,
+        inner: &mut TreeInner,
+        leaf: PageId,
+        op: DeltaOp,
+    ) -> StorageResult<()> {
+        let tag = self.tag(leaf);
+        let ttl = self.config.ttl_nanos;
+        let state = inner.pages.get_mut(&leaf).expect("routed page exists");
+
+        if state.base_addr.is_none() && state.delta_addrs.is_empty() {
+            // Lines 2-8: fresh page — install the value in the base page and
+            // flush it.
+            state.base = apply_ops(&state.base, std::slice::from_ref(&op));
+            let image = encode_base_page(&state.base);
+            let addr = self.store.append(StreamId::BASE, &image, tag, ttl)?;
+            state.base_addr = Some(addr);
+            BwTreeStats::bump(&self.stats.base_flushes);
+            return self.maybe_split(inner, leaf);
+        }
+
+        if state.pending.is_empty() {
+            // Lines 9-17: unmodified base — allocate a fresh one-op delta.
+            state.pending.push(op.clone());
+            state.update_count = 1;
+            let image = encode_delta(std::slice::from_ref(&op));
+            let addr = self.store.append(StreamId::DELTA, &image, tag, ttl)?;
+            state.delta_addrs.push(addr);
+            BwTreeStats::bump(&self.stats.delta_flushes);
+            return Ok(());
+        }
+
+        // Lines 18-32: the page already has delta state.
+        if state.update_count + 1 > self.config.consolidate_threshold {
+            // Lines 21-27: consolidate base + deltas + new op into a fresh
+            // base page; old records become garbage.
+            state.pending.push(op);
+            state.base = state.merged_entries();
+            state.pending.clear();
+            state.update_count = 0;
+            let image = encode_base_page(&state.base);
+            let addr = self.store.append(StreamId::BASE, &image, tag, ttl)?;
+            let old_base = state.base_addr.replace(addr);
+            let old_deltas = std::mem::take(&mut state.delta_addrs);
+            if let Some(a) = old_base {
+                self.store.invalidate(a)?;
+            }
+            for a in old_deltas {
+                self.store.invalidate(a)?;
+            }
+            BwTreeStats::bump(&self.stats.base_flushes);
+            BwTreeStats::bump(&self.stats.consolidations);
+            let image = encode_base_page(&state.base);
+            self.listener.on_event(
+                self.id as u64,
+                &TreeEvent::Consolidate {
+                    page: leaf as u64,
+                    image,
+                },
+            );
+            return self.maybe_split(inner, leaf);
+        }
+
+        match self.config.mode {
+            WriteMode::Traditional => {
+                // Classic chain growth: flush a one-op delta, keep the old
+                // records valid.
+                let image = encode_delta(std::slice::from_ref(&op));
+                let addr = self.store.append(StreamId::DELTA, &image, tag, ttl)?;
+                state.pending.push(op);
+                state.update_count += 1;
+                state.delta_addrs.push(addr);
+                BwTreeStats::bump(&self.stats.delta_flushes);
+            }
+            WriteMode::ReadOptimized => {
+                // Line 20: merge the old delta with the new update into one
+                // delta pointing straight at the base page; the replaced
+                // delta record is invalidated (out-of-place update).
+                state.merge_pending(op);
+                state.update_count += 1;
+                let image = encode_delta(&state.pending);
+                let addr = self.store.append(StreamId::DELTA, &image, tag, ttl)?;
+                let old = std::mem::replace(&mut state.delta_addrs, vec![addr]);
+                debug_assert!(old.len() <= 1, "read-optimized invariant");
+                for a in old {
+                    self.store.invalidate(a)?;
+                }
+                BwTreeStats::bump(&self.stats.delta_flushes);
+                BwTreeStats::bump(&self.stats.delta_merges);
+            }
+        }
+        Ok(())
+    }
+
+    /// Splits `leaf` if its consolidated size exceeds the limit. Splits only
+    /// trigger when the page has no pending deltas (post-consolidation), so
+    /// the two halves are clean base pages.
+    fn maybe_split(&self, inner: &mut TreeInner, leaf: PageId) -> StorageResult<()> {
+        if !self.config.split_enabled {
+            return Ok(());
+        }
+        loop {
+            let state = inner.pages.get(&leaf).expect("leaf exists");
+            if !state.pending.is_empty() || state.base.len() <= self.config.max_page_entries {
+                return Ok(());
+            }
+            let mid = state.base.len() / 2;
+            let separator = state.base[mid].0.clone();
+            let right_id = inner.next_page;
+            inner.next_page += 1;
+
+            let state = inner.pages.get_mut(&leaf).expect("leaf exists");
+            let right_entries = state.base.split_off(mid);
+            let left_image = encode_base_page(&state.base);
+            let right_image = encode_base_page(&right_entries);
+
+            match self.flush_mode {
+                FlushMode::Synchronous => {
+                    let left_addr =
+                        self.store
+                            .append(StreamId::BASE, &left_image, self.tag(leaf), self.config.ttl_nanos)?;
+                    let old = state.base_addr.replace(left_addr);
+                    if let Some(a) = old {
+                        self.store.invalidate(a)?;
+                    }
+                    let right_addr = self.store.append(
+                        StreamId::BASE,
+                        &right_image,
+                        self.tag(right_id),
+                        self.config.ttl_nanos,
+                    )?;
+                    inner.pages.insert(
+                        right_id,
+                        PageState {
+                            base_addr: Some(right_addr),
+                            base: right_entries,
+                            ..PageState::default()
+                        },
+                    );
+                    BwTreeStats::add(&self.stats.base_flushes, 2);
+                }
+                FlushMode::Deferred => {
+                    inner.pages.insert(
+                        right_id,
+                        PageState {
+                            base: right_entries,
+                            ..PageState::default()
+                        },
+                    );
+                    inner.dirty.insert(leaf);
+                    inner.dirty.insert(right_id);
+                }
+            }
+            inner.routing.insert(separator.clone(), right_id);
+            BwTreeStats::bump(&self.stats.splits);
+            self.listener.on_event(
+                self.id as u64,
+                &TreeEvent::Split {
+                    left: leaf as u64,
+                    right: right_id as u64,
+                    separator,
+                    left_image,
+                    right_image,
+                },
+            );
+            // The right half might still exceed the limit for pathological
+            // limits; loop handles the (rare) cascade on the left half only,
+            // so also check the right half explicitly.
+            let right_needs = inner.pages[&right_id].base.len() > self.config.max_page_entries;
+            if right_needs {
+                self.maybe_split(inner, right_id)?;
+            }
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        BwTreeStats::bump(&self.stats.reads);
+        if self.config.read_cache {
+            let inner = self.inner.read();
+            let leaf = inner.leaf_for(key);
+            let state = inner.pages.get(&leaf).expect("routed page exists");
+            return Ok(state.lookup(key).flatten());
+        }
+        self.get_cold(key)
+    }
+
+    /// Cache-off lookup: fetches the base page and every delta record from
+    /// the shared store, reconstructs the page, and searches it. The number
+    /// of random reads issued is the read amplification under test in
+    /// Fig. 9.
+    fn get_cold(&self, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        let (base_addr, delta_addrs) = {
+            let inner = self.inner.read();
+            let leaf = inner.leaf_for(key);
+            let state = inner.pages.get(&leaf).expect("routed page exists");
+            (state.base_addr, state.delta_addrs.clone())
+        };
+        BwTreeStats::bump(&self.stats.cold_reads);
+        let mut entries = match base_addr {
+            Some(addr) => {
+                let bytes = self.store.read(addr)?;
+                BwTreeStats::bump(&self.stats.cold_read_ios);
+                decode_base_page(&bytes).expect("store returned a valid base image")
+            }
+            None => Vec::new(),
+        };
+        for addr in delta_addrs {
+            let bytes = self.store.read(addr)?;
+            BwTreeStats::bump(&self.stats.cold_read_ios);
+            let ops = decode_delta(&bytes).expect("store returned a valid delta image");
+            entries = apply_ops(&entries, &ops);
+        }
+        Ok(entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| entries[i].1.clone()))
+    }
+
+    /// Returns up to `limit` entries with `start <= key < end`, in key
+    /// order. `None` bounds are unbounded. Served from the authoritative
+    /// in-memory image (adjacency scans run on warm RW/RO caches).
+    ///
+    /// Pages with no buffered updates stream straight from their base slice
+    /// (no copies beyond the returned entries); dirty pages pay one merge.
+    pub fn scan_range(
+        &self,
+        start: Option<&[u8]>,
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let inner = self.inner.read();
+        let mut out = Vec::new();
+        if limit == 0 {
+            return out;
+        }
+        let start_key: &[u8] = start.unwrap_or(&[]);
+        // Leaf covering `start`, then every later leaf, visited lazily.
+        let first = inner
+            .routing
+            .range::<[u8], _>((Bound::Unbounded, Bound::Included(start_key)))
+            .next_back()
+            .map(|(_, &id)| id);
+        let rest = inner
+            .routing
+            .range::<[u8], _>((Bound::Excluded(start_key), Bound::Unbounded))
+            .map(|(_, &id)| id);
+        'outer: for leaf in first.into_iter().chain(rest) {
+            let state = inner.pages.get(&leaf).expect("routed page exists");
+            // Fast path: clean page — binary-search the start position and
+            // copy only the entries returned.
+            let merged_storage;
+            let entries: &[(Vec<u8>, Vec<u8>)] = if state.pending.is_empty() {
+                &state.base
+            } else {
+                merged_storage = state.merged_entries();
+                &merged_storage
+            };
+            let begin = match start {
+                Some(s) => entries.partition_point(|(k, _)| k.as_slice() < s),
+                None => 0,
+            };
+            for (k, v) in &entries[begin..] {
+                if let Some(e) = end {
+                    if k.as_slice() >= e {
+                        break 'outer;
+                    }
+                }
+                out.push((k.clone(), v.clone()));
+                if out.len() == limit {
+                    break 'outer;
+                }
+            }
+        }
+        out
+    }
+
+    /// All entries whose key starts with `prefix`, up to `limit`.
+    pub fn scan_prefix(&self, prefix: &[u8], limit: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut end = prefix.to_vec();
+        // Successor prefix; if the prefix is all 0xFF, scan to the end.
+        let mut bounded = false;
+        for i in (0..end.len()).rev() {
+            if end[i] != 0xFF {
+                end[i] += 1;
+                end.truncate(i + 1);
+                bounded = true;
+                break;
+            }
+        }
+        if bounded {
+            self.scan_range(Some(prefix), Some(&end), limit)
+        } else {
+            self.scan_range(Some(prefix), None, limit)
+        }
+    }
+
+    /// Total number of live entries. O(1): maintained by the write paths.
+    pub fn entry_count(&self) -> usize {
+        self.live_entries
+            .load(std::sync::atomic::Ordering::Relaxed) as usize
+    }
+
+    /// Number of leaf pages.
+    pub fn page_count(&self) -> usize {
+        self.inner.read().pages.len()
+    }
+
+    /// Estimated in-memory footprint: page images plus mapping-table and
+    /// routing overhead. This is the quantity Fig. 11 tracks as the forest
+    /// grows: each tree pays a fixed overhead for its mapping table and
+    /// root/meta structures even when nearly empty.
+    pub fn memory_footprint(&self) -> usize {
+        /// Fixed cost of tree bookkeeping: mapping table, routing nodes,
+        /// latches, registry entry. Mirrors §3.2.1 Observation 3.
+        const TREE_FIXED_OVERHEAD: usize = 512;
+        let inner = self.inner.read();
+        let pages: usize = inner.pages.values().map(|s| s.heap_bytes()).sum();
+        let routing: usize = inner
+            .routing
+            .keys()
+            .map(|k| k.len() + 64)
+            .sum();
+        TREE_FIXED_OVERHEAD + pages + routing + inner.pages.len() * 48
+    }
+
+    /// Flushes every dirty page as a consolidated base image (group commit,
+    /// deferred mode only). Returns the flushed pages; the caller publishes
+    /// the new addresses to the shared mapping table and then writes the
+    /// `CheckpointComplete` WAL record (Fig. 7 steps (7)/(8)).
+    pub fn flush_dirty(&self) -> StorageResult<Vec<FlushedPage>> {
+        let mut inner = self.inner.write();
+        let dirty: Vec<PageId> = inner.dirty.drain().collect();
+        let mut flushed = Vec::with_capacity(dirty.len());
+        for page in dirty {
+            let tag = self.tag(page);
+            let state = inner.pages.get_mut(&page).expect("dirty page exists");
+            state.base = state.merged_entries();
+            state.pending.clear();
+            state.update_count = 0;
+            let image = encode_base_page(&state.base);
+            let addr = self
+                .store
+                .append(StreamId::BASE, &image, tag, self.config.ttl_nanos)?;
+            let old_base = state.base_addr.replace(addr);
+            let old_deltas = std::mem::take(&mut state.delta_addrs);
+            if let Some(a) = old_base {
+                self.store.invalidate(a)?;
+            }
+            for a in old_deltas {
+                self.store.invalidate(a)?;
+            }
+            BwTreeStats::bump(&self.stats.base_flushes);
+            flushed.push(FlushedPage { page, addr });
+        }
+        Ok(flushed)
+    }
+
+    /// Number of pages currently dirty (deferred mode).
+    pub fn dirty_count(&self) -> usize {
+        self.inner.read().dirty.len()
+    }
+
+    /// Repairs the mapping after the space reclaimer moved a record of
+    /// `page` from `old` to `new`. Returns `true` if an address matched.
+    pub fn repair_relocated(&self, page: PageId, old: PageAddr, new: PageAddr) -> bool {
+        let mut inner = self.inner.write();
+        let Some(state) = inner.pages.get_mut(&page) else {
+            return false;
+        };
+        let matches_slot =
+            |a: &PageAddr| a.extent == old.extent && a.offset == old.offset && a.stream == old.stream;
+        if state.base_addr.as_ref().is_some_and(matches_slot) {
+            state.base_addr = Some(new);
+            return true;
+        }
+        if let Some(slot) = state.delta_addrs.iter_mut().find(|a| matches_slot(a)) {
+            *slot = new;
+            return true;
+        }
+        false
+    }
+
+    /// The shared store this tree persists to.
+    pub fn store(&self) -> &AppendOnlyStore {
+        &self.store
+    }
+}
+
+impl std::fmt::Debug for BwTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BwTree")
+            .field("id", &self.id)
+            .field("pages", &self.page_count())
+            .field("entries", &self.entry_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bg3_storage::StoreConfig;
+
+    fn store() -> AppendOnlyStore {
+        AppendOnlyStore::new(StoreConfig::counting())
+    }
+
+    fn tree_with(config: BwTreeConfig) -> BwTree {
+        BwTree::new(1, store(), config)
+    }
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("key{i:06}").into_bytes()
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let t = tree_with(BwTreeConfig::default());
+        t.put(b"alpha", b"1").unwrap();
+        t.put(b"beta", b"2").unwrap();
+        assert_eq!(t.get(b"alpha").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(t.get(b"beta").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(t.get(b"gamma").unwrap(), None);
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let t = tree_with(BwTreeConfig::default());
+        t.put(b"k", b"v1").unwrap();
+        t.put(b"k", b"v2").unwrap();
+        assert_eq!(t.get(b"k").unwrap(), Some(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn delete_tombstones_then_base_removal() {
+        let t = tree_with(BwTreeConfig::default().with_consolidate_threshold(2));
+        t.put(b"a", b"1").unwrap();
+        t.put(b"b", b"2").unwrap();
+        t.delete(b"a").unwrap();
+        assert_eq!(t.get(b"a").unwrap(), None);
+        // Push past consolidation so the tombstone is applied to the base.
+        t.put(b"c", b"3").unwrap();
+        t.put(b"d", b"4").unwrap();
+        assert_eq!(t.get(b"a").unwrap(), None);
+        assert_eq!(t.get(b"b").unwrap(), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn read_optimized_keeps_at_most_one_delta() {
+        let t = tree_with(
+            BwTreeConfig::default()
+                .with_mode(WriteMode::ReadOptimized)
+                .with_consolidate_threshold(100),
+        );
+        for i in 0..20 {
+            t.put(&key(i), b"v").unwrap();
+        }
+        let inner = t.inner.read();
+        for state in inner.pages.values() {
+            assert!(state.delta_addrs.len() <= 1, "single-delta invariant");
+        }
+    }
+
+    #[test]
+    fn traditional_grows_chains_until_consolidation() {
+        let t = tree_with(
+            BwTreeConfig::default()
+                .with_mode(WriteMode::Traditional)
+                .with_consolidate_threshold(5)
+                .with_max_page_entries(1000),
+        );
+        // First write creates the base; next 5 writes are deltas; the 7th
+        // (update_count 5 + 1 > 5) consolidates.
+        for i in 0..6 {
+            t.put(&key(i), b"v").unwrap();
+        }
+        {
+            let inner = t.inner.read();
+            let state = &inner.pages[&FIRST_LEAF];
+            assert_eq!(state.delta_addrs.len(), 5);
+        }
+        t.put(&key(6), b"v").unwrap();
+        {
+            let inner = t.inner.read();
+            let state = &inner.pages[&FIRST_LEAF];
+            assert_eq!(state.delta_addrs.len(), 0, "chain consolidated");
+            assert_eq!(state.base.len(), 7);
+        }
+        assert_eq!(t.stats().snapshot().consolidations, 1);
+    }
+
+    #[test]
+    fn cold_reads_count_ios_traditional_vs_read_optimized() {
+        // Mirrors Fig. 9: same writes, very different read amplification.
+        let writes = 8; // base + 7 buffered updates, below threshold 10
+        let trad = tree_with(BwTreeConfig::sled_baseline());
+        let opt = tree_with(BwTreeConfig::read_optimized_baseline());
+        for t in [&trad, &opt] {
+            for i in 0..writes {
+                t.put(&key(0), format!("v{i}").as_bytes()).unwrap();
+            }
+        }
+        assert_eq!(trad.get(&key(0)).unwrap(), Some(b"v7".to_vec()));
+        assert_eq!(opt.get(&key(0)).unwrap(), Some(b"v7".to_vec()));
+        let ts = trad.stats().snapshot();
+        let os = opt.stats().snapshot();
+        // Traditional: 1 base + 7 deltas = 8 reads. Read-optimized: 2.
+        assert_eq!(ts.cold_read_ios, 8);
+        assert_eq!(os.cold_read_ios, 2);
+        assert!(ts.read_amplification() > os.read_amplification());
+    }
+
+    #[test]
+    fn read_optimized_writes_more_bytes_sequentially() {
+        // Mirrors Fig. 10: merged deltas re-write earlier ops.
+        let store_t = store();
+        let store_o = store();
+        let trad = BwTree::new(1, store_t.clone(), BwTreeConfig::sled_baseline());
+        let opt = BwTree::new(1, store_o.clone(), BwTreeConfig::read_optimized_baseline());
+        for t in [&trad, &opt] {
+            for i in 0..9 {
+                t.put(&key(i), b"valuevalue").unwrap();
+            }
+        }
+        let bytes_t = store_t.stats().snapshot().bytes_appended;
+        let bytes_o = store_o.stats().snapshot().bytes_appended;
+        assert!(
+            bytes_o > bytes_t,
+            "merged deltas cost more write bytes ({bytes_o} <= {bytes_t})"
+        );
+    }
+
+    #[test]
+    fn splits_preserve_contents_and_route_correctly() {
+        let t = tree_with(
+            BwTreeConfig::default()
+                .with_max_page_entries(8)
+                .with_consolidate_threshold(4),
+        );
+        for i in 0..100 {
+            t.put(&key(i), format!("v{i}").as_bytes()).unwrap();
+        }
+        assert!(t.page_count() > 1, "tree split");
+        assert!(t.stats().snapshot().splits > 0);
+        for i in 0..100 {
+            assert_eq!(
+                t.get(&key(i)).unwrap(),
+                Some(format!("v{i}").into_bytes()),
+                "key {i} lost after splits"
+            );
+        }
+        assert_eq!(t.entry_count(), 100);
+    }
+
+    #[test]
+    fn splits_disabled_keeps_single_page() {
+        let t = tree_with(
+            BwTreeConfig::default()
+                .with_max_page_entries(4)
+                .with_consolidate_threshold(2),
+        );
+        let t = {
+            let mut cfg = t.config().clone();
+            cfg.split_enabled = false;
+            tree_with(cfg)
+        };
+        for i in 0..50 {
+            t.put(&key(i), b"v").unwrap();
+        }
+        assert_eq!(t.page_count(), 1);
+        assert_eq!(t.stats().snapshot().splits, 0);
+    }
+
+    #[test]
+    fn scan_range_and_prefix() {
+        let t = tree_with(BwTreeConfig::default().with_max_page_entries(8));
+        for i in 0..40 {
+            t.put(&key(i), format!("v{i}").as_bytes()).unwrap();
+        }
+        let all = t.scan_range(None, None, usize::MAX);
+        assert_eq!(all.len(), 40);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "sorted output");
+
+        let window = t.scan_range(Some(&key(10)), Some(&key(20)), usize::MAX);
+        assert_eq!(window.len(), 10);
+        assert_eq!(window[0].0, key(10));
+
+        let limited = t.scan_range(None, None, 5);
+        assert_eq!(limited.len(), 5);
+
+        let prefixed = t.scan_prefix(b"key00000", usize::MAX);
+        assert_eq!(prefixed.len(), 10, "key000000..key000009");
+        let prefixed_all = t.scan_prefix(b"key0000", usize::MAX);
+        assert_eq!(prefixed_all.len(), 40, "all keys share key0000");
+    }
+
+    #[test]
+    fn scan_prefix_all_ff_prefix() {
+        let t = tree_with(BwTreeConfig::default());
+        t.put(&[0xFF, 0xFF, 0x01], b"a").unwrap();
+        t.put(&[0xFF, 0xFE], b"b").unwrap();
+        let hits = t.scan_prefix(&[0xFF, 0xFF], usize::MAX);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, b"a".to_vec());
+    }
+
+    #[test]
+    fn deferred_mode_writes_nothing_until_flush() {
+        let s = store();
+        let mut t = BwTree::new(1, s.clone(), BwTreeConfig::default());
+        t.set_flush_mode(FlushMode::Deferred);
+        for i in 0..10 {
+            t.put(&key(i), b"v").unwrap();
+        }
+        assert_eq!(s.stats().snapshot().appends, 0, "no flushes yet");
+        assert_eq!(t.dirty_count(), 1);
+        assert_eq!(t.get(&key(3)).unwrap(), Some(b"v".to_vec()));
+        let flushed = t.flush_dirty().unwrap();
+        assert_eq!(flushed.len(), 1);
+        assert!(s.stats().snapshot().appends >= 1);
+        assert_eq!(t.dirty_count(), 0);
+        // Re-flushing with nothing dirty is a no-op.
+        assert!(t.flush_dirty().unwrap().is_empty());
+    }
+
+    #[test]
+    fn deferred_flush_invalidates_replaced_pages() {
+        let s = store();
+        let mut t = BwTree::new(1, s.clone(), BwTreeConfig::default());
+        t.set_flush_mode(FlushMode::Deferred);
+        t.put(b"a", b"1").unwrap();
+        t.flush_dirty().unwrap();
+        t.put(b"a", b"2").unwrap();
+        t.flush_dirty().unwrap();
+        let snap = s.stats().snapshot();
+        assert_eq!(snap.invalidations, 1, "first image became garbage");
+    }
+
+    #[test]
+    fn events_fire_in_order() {
+        let rec = crate::events::RecordingListener::new();
+        let t = BwTree::with_listener(
+            9,
+            store(),
+            BwTreeConfig::default()
+                .with_consolidate_threshold(2)
+                .with_max_page_entries(1000),
+            rec.clone(),
+        );
+        t.put(b"a", b"1").unwrap();
+        t.delete(b"a").unwrap();
+        t.put(b"b", b"2").unwrap();
+        t.put(b"c", b"3").unwrap(); // triggers consolidation (3 > 2)
+        let events = rec.drain();
+        assert!(matches!(events[0].1, TreeEvent::Upsert { .. }));
+        assert!(matches!(events[1].1, TreeEvent::Delete { .. }));
+        assert!(events
+            .iter()
+            .any(|(_, e)| matches!(e, TreeEvent::Consolidate { .. })));
+        assert!(events.iter().all(|(id, _)| *id == 9));
+    }
+
+    #[test]
+    fn split_event_carries_both_images() {
+        let rec = crate::events::RecordingListener::new();
+        let t = BwTree::with_listener(
+            1,
+            store(),
+            BwTreeConfig::default()
+                .with_max_page_entries(4)
+                .with_consolidate_threshold(2),
+            rec.clone(),
+        );
+        for i in 0..10 {
+            t.put(&key(i), b"v").unwrap();
+        }
+        let events = rec.drain();
+        let split = events
+            .iter()
+            .find_map(|(_, e)| match e {
+                TreeEvent::Split {
+                    left_image,
+                    right_image,
+                    separator,
+                    ..
+                } => Some((left_image.clone(), right_image.clone(), separator.clone())),
+                _ => None,
+            })
+            .expect("a split happened");
+        let left = decode_base_page(&split.0).unwrap();
+        let right = decode_base_page(&split.1).unwrap();
+        assert!(!left.is_empty() && !right.is_empty());
+        assert!(left.last().unwrap().0 < split.2);
+        assert_eq!(right.first().unwrap().0, split.2);
+    }
+
+    #[test]
+    fn repair_relocated_fixes_addresses() {
+        let s = store();
+        let t = BwTree::new(1, s.clone(), BwTreeConfig::default());
+        t.put(b"a", b"1").unwrap();
+        let (page, old_addr) = {
+            let inner = t.inner.read();
+            let st = &inner.pages[&FIRST_LEAF];
+            (FIRST_LEAF, st.base_addr.unwrap())
+        };
+        // Simulate a GC move: write the same bytes elsewhere.
+        let bytes = s.read(old_addr).unwrap();
+        let new_addr = s
+            .append(StreamId::BASE, &bytes, 0, None)
+            .unwrap();
+        assert!(t.repair_relocated(page, old_addr, new_addr));
+        assert!(!t.repair_relocated(page, old_addr, new_addr), "already moved");
+        let inner = t.inner.read();
+        assert_eq!(inner.pages[&FIRST_LEAF].base_addr, Some(new_addr));
+    }
+
+    #[test]
+    fn memory_footprint_grows_with_data() {
+        let t = tree_with(BwTreeConfig::default());
+        let empty = t.memory_footprint();
+        for i in 0..100 {
+            t.put(&key(i), &[0u8; 64]).unwrap();
+        }
+        assert!(t.memory_footprint() > empty + 100 * 64);
+    }
+
+    #[test]
+    fn ttl_config_propagates_to_extents() {
+        let s = store();
+        let cfg = BwTreeConfig::default().with_ttl_nanos(Some(1_000_000));
+        let t = BwTree::new(1, s.clone(), cfg);
+        t.put(b"a", b"1").unwrap();
+        let infos = s.extent_infos(StreamId::BASE).unwrap();
+        assert!(infos[0].ttl_deadline.is_some());
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_are_safe() {
+        let t = Arc::new(tree_with(
+            BwTreeConfig::default()
+                .with_max_page_entries(32)
+                .with_consolidate_threshold(5),
+        ));
+        let mut handles = Vec::new();
+        for w in 0..4u32 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    t.put(&key(w * 1000 + i), b"v").unwrap();
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    let _ = t.get(&key(i)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.entry_count(), 800);
+    }
+}

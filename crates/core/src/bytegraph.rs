@@ -1,0 +1,353 @@
+//! The ByteGraph baseline: B-tree-style edge cache over an LSM KV engine.
+//!
+//! This reproduces the §2 architecture the paper replaces: the memory layer
+//! (BGS) keeps adjacency lists in a B-tree-like index with bounded DRAM;
+//! misses fall through to a leveled LSM KV store whose read path probes
+//! multiple levels ("reading a data piece necessitates massive I/O to scan
+//! through multiple layers", §2.4). Edges are persisted as one KV pair per
+//! edge under `group ++ dst` keys, so an uncached adjacency scan is an LSM
+//! range scan across overlapping runs.
+
+use bg3_graph::{
+    decode_dst, edge_group, edge_item, vertex_key, Edge, EdgeType, GraphStore, Vertex, VertexId,
+};
+use bg3_lsm::{LsmConfig, LsmKv};
+use bg3_storage::{AppendOnlyStore, StorageResult, StoreConfig};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+
+/// Baseline configuration.
+#[derive(Debug, Clone)]
+pub struct ByteGraphConfig {
+    /// Shared-store parameters for the LSM's SST stream.
+    pub store: StoreConfig,
+    /// LSM engine knobs.
+    pub lsm: LsmConfig,
+    /// Adjacency lists cached in the memory layer (BGS). Power-law traffic
+    /// with a bounded cache leaves the long tail on the LSM path.
+    pub cache_capacity_groups: usize,
+}
+
+impl Default for ByteGraphConfig {
+    fn default() -> Self {
+        ByteGraphConfig {
+            store: StoreConfig::counting(),
+            lsm: LsmConfig::default(),
+            cache_capacity_groups: 4096,
+        }
+    }
+}
+
+struct EdgeCache {
+    /// group key → adjacency (dst item → props).
+    groups: HashMap<Vec<u8>, BTreeMap<Vec<u8>, Vec<u8>>>,
+    /// LRU stamps.
+    stamps: HashMap<Vec<u8>, u64>,
+    clock: u64,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl EdgeCache {
+    fn touch(&mut self, group: &[u8]) {
+        self.clock += 1;
+        self.stamps.insert(group.to_vec(), self.clock);
+    }
+
+    fn evict_if_full(&mut self) {
+        if self.groups.len() < self.capacity {
+            return;
+        }
+        if let Some(victim) = self
+            .stamps
+            .iter()
+            .min_by_key(|(_, &stamp)| stamp)
+            .map(|(k, _)| k.clone())
+        {
+            self.groups.remove(&victim);
+            self.stamps.remove(&victim);
+        }
+    }
+}
+
+/// The previous-generation ByteGraph engine (single node).
+pub struct ByteGraphDb {
+    lsm: LsmKv,
+    cache: Mutex<EdgeCache>,
+}
+
+impl ByteGraphDb {
+    /// Opens a baseline engine over a fresh store.
+    pub fn new(config: ByteGraphConfig) -> Self {
+        let store = AppendOnlyStore::new(config.store.clone());
+        Self::with_store(store, config)
+    }
+
+    /// Opens a baseline engine over an existing store.
+    pub fn with_store(store: AppendOnlyStore, config: ByteGraphConfig) -> Self {
+        ByteGraphDb {
+            lsm: LsmKv::new(store, config.lsm.clone()),
+            cache: Mutex::new(EdgeCache {
+                groups: HashMap::new(),
+                stamps: HashMap::new(),
+                clock: 0,
+                capacity: config.cache_capacity_groups.max(1),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// The LSM persistence layer (I/O statistics).
+    pub fn lsm(&self) -> &LsmKv {
+        &self.lsm
+    }
+
+    /// `(hits, misses)` of the memory layer.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let cache = self.cache.lock();
+        (cache.hits, cache.misses)
+    }
+
+    fn edge_key(src: VertexId, etype: EdgeType, dst: VertexId) -> Vec<u8> {
+        let mut key = edge_group(src, etype);
+        key.extend_from_slice(&edge_item(dst));
+        key
+    }
+
+    /// Loads one adjacency list into the cache from the LSM (range scan
+    /// across levels — the expensive path).
+    fn load_group(&self, group: &[u8]) -> StorageResult<BTreeMap<Vec<u8>, Vec<u8>>> {
+        let mut end = group.to_vec();
+        // Group keys are fixed width (10 bytes, src+etype) and never all
+        // 0xFF in practice; a simple increment produces the scan bound.
+        for i in (0..end.len()).rev() {
+            if end[i] != 0xFF {
+                end[i] += 1;
+                end.truncate(i + 1);
+                break;
+            }
+        }
+        let hits = self.lsm.scan(Some(group), Some(&end), usize::MAX)?;
+        Ok(hits
+            .into_iter()
+            .map(|(k, v)| (k[group.len()..].to_vec(), v))
+            .collect())
+    }
+}
+
+impl GraphStore for ByteGraphDb {
+    fn insert_edge(&self, edge: &Edge) -> StorageResult<()> {
+        let group = edge_group(edge.src, edge.etype);
+        self.lsm.put(
+            &Self::edge_key(edge.src, edge.etype, edge.dst),
+            &edge.props,
+        )?;
+        let mut cache = self.cache.lock();
+        if let Some(adj) = cache.groups.get_mut(&group) {
+            adj.insert(edge_item(edge.dst), edge.props.clone());
+        }
+        Ok(())
+    }
+
+    fn get_edge(
+        &self,
+        src: VertexId,
+        etype: EdgeType,
+        dst: VertexId,
+    ) -> StorageResult<Option<Vec<u8>>> {
+        let group = edge_group(src, etype);
+        {
+            let mut cache = self.cache.lock();
+            let hit = cache
+                .groups
+                .get(&group)
+                .map(|adj| adj.get(&edge_item(dst)).cloned());
+            if let Some(hit) = hit {
+                cache.hits += 1;
+                cache.touch(&group);
+                return Ok(hit);
+            }
+            cache.misses += 1;
+        }
+        // Miss: single-key LSM probe (multi-level).
+        self.lsm.get(&Self::edge_key(src, etype, dst))
+    }
+
+    fn delete_edge(&self, src: VertexId, etype: EdgeType, dst: VertexId) -> StorageResult<()> {
+        let group = edge_group(src, etype);
+        self.lsm.delete(&Self::edge_key(src, etype, dst))?;
+        let mut cache = self.cache.lock();
+        if let Some(adj) = cache.groups.get_mut(&group) {
+            adj.remove(&edge_item(dst));
+        }
+        Ok(())
+    }
+
+    fn neighbors(
+        &self,
+        src: VertexId,
+        etype: EdgeType,
+        limit: usize,
+    ) -> StorageResult<Vec<(VertexId, Vec<u8>)>> {
+        let group = edge_group(src, etype);
+        {
+            let mut cache = self.cache.lock();
+            let hit: Option<Vec<(VertexId, Vec<u8>)>> = cache.groups.get(&group).map(|adj| {
+                adj.iter()
+                    .take(limit)
+                    .filter_map(|(item, props)| decode_dst(item).map(|d| (d, props.clone())))
+                    .collect()
+            });
+            if let Some(out) = hit {
+                cache.hits += 1;
+                cache.touch(&group);
+                return Ok(out);
+            }
+            cache.misses += 1;
+        }
+        // Miss: LSM range scan, then install in the cache.
+        let adj = self.load_group(&group)?;
+        let out = adj
+            .iter()
+            .take(limit)
+            .filter_map(|(item, props)| decode_dst(item).map(|d| (d, props.clone())))
+            .collect();
+        let mut cache = self.cache.lock();
+        cache.evict_if_full();
+        cache.touch(&group);
+        cache.groups.insert(group, adj);
+        Ok(out)
+    }
+
+    fn insert_vertex(&self, vertex: &Vertex) -> StorageResult<()> {
+        let mut key = b"V:".to_vec();
+        key.extend_from_slice(&vertex_key(vertex.id));
+        self.lsm.put(&key, &vertex.props)
+    }
+
+    fn get_vertex(&self, id: VertexId) -> StorageResult<Option<Vec<u8>>> {
+        let mut key = b"V:".to_vec();
+        key.extend_from_slice(&vertex_key(id));
+        self.lsm.get(&key)
+    }
+}
+
+impl std::fmt::Debug for ByteGraphDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ByteGraphDb")
+            .field("lsm", &self.lsm)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> ByteGraphDb {
+        ByteGraphDb::new(ByteGraphConfig {
+            lsm: LsmConfig::tiny(),
+            ..ByteGraphConfig::default()
+        })
+    }
+
+    #[test]
+    fn edge_round_trip_through_lsm() {
+        let db = db();
+        let e = Edge::new(VertexId(1), EdgeType::FOLLOW, VertexId(2)).with_props(b"p".to_vec());
+        db.insert_edge(&e).unwrap();
+        assert_eq!(
+            db.get_edge(VertexId(1), EdgeType::FOLLOW, VertexId(2)).unwrap(),
+            Some(b"p".to_vec())
+        );
+        db.delete_edge(VertexId(1), EdgeType::FOLLOW, VertexId(2)).unwrap();
+        assert_eq!(
+            db.get_edge(VertexId(1), EdgeType::FOLLOW, VertexId(2)).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn neighbors_from_cold_and_warm_paths_agree() {
+        let db = db();
+        for dst in [4u64, 2, 8, 6] {
+            db.insert_edge(&Edge::new(VertexId(1), EdgeType::FOLLOW, VertexId(dst)))
+                .unwrap();
+        }
+        let cold = db.neighbors(VertexId(1), EdgeType::FOLLOW, usize::MAX).unwrap();
+        let warm = db.neighbors(VertexId(1), EdgeType::FOLLOW, usize::MAX).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(
+            cold.iter().map(|(v, _)| v.0).collect::<Vec<_>>(),
+            vec![2, 4, 6, 8]
+        );
+        let (hits, misses) = db.cache_stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 1);
+    }
+
+    #[test]
+    fn cache_sees_inserts_after_load() {
+        let db = db();
+        db.insert_edge(&Edge::new(VertexId(1), EdgeType::FOLLOW, VertexId(2)))
+            .unwrap();
+        db.neighbors(VertexId(1), EdgeType::FOLLOW, usize::MAX).unwrap(); // warm
+        db.insert_edge(&Edge::new(VertexId(1), EdgeType::FOLLOW, VertexId(3)))
+            .unwrap();
+        let n = db.neighbors(VertexId(1), EdgeType::FOLLOW, usize::MAX).unwrap();
+        assert_eq!(n.len(), 2, "write-through into the warm cache");
+    }
+
+    #[test]
+    fn cache_capacity_evicts_lru() {
+        let db = ByteGraphDb::new(ByteGraphConfig {
+            lsm: LsmConfig::tiny(),
+            cache_capacity_groups: 2,
+            ..ByteGraphConfig::default()
+        });
+        for src in 1..=4u64 {
+            db.insert_edge(&Edge::new(VertexId(src), EdgeType::FOLLOW, VertexId(9)))
+                .unwrap();
+            db.neighbors(VertexId(src), EdgeType::FOLLOW, 10).unwrap();
+        }
+        let cache = db.cache.lock();
+        assert!(cache.groups.len() <= 2);
+    }
+
+    #[test]
+    fn uncached_reads_probe_storage() {
+        let db = ByteGraphDb::new(ByteGraphConfig {
+            lsm: LsmConfig::tiny(),
+            cache_capacity_groups: 1,
+            ..ByteGraphConfig::default()
+        });
+        // Enough writes to force memtable flushes so reads hit SSTables.
+        for src in 0..200u64 {
+            db.insert_edge(&Edge::new(VertexId(src), EdgeType::FOLLOW, VertexId(1)))
+                .unwrap();
+        }
+        db.lsm().flush().unwrap();
+        let before = db.lsm().stats().sst_probes;
+        for src in 0..50u64 {
+            db.get_edge(VertexId(src), EdgeType::FOLLOW, VertexId(1)).unwrap();
+        }
+        assert!(
+            db.lsm().stats().sst_probes > before,
+            "cold gets reach the LSM read path"
+        );
+    }
+
+    #[test]
+    fn vertices_round_trip() {
+        let db = db();
+        db.insert_vertex(&Vertex {
+            id: VertexId(77),
+            props: b"x".to_vec(),
+        })
+        .unwrap();
+        assert_eq!(db.get_vertex(VertexId(77)).unwrap(), Some(b"x".to_vec()));
+        assert_eq!(db.get_vertex(VertexId(78)).unwrap(), None);
+    }
+}

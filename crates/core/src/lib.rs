@@ -1,0 +1,33 @@
+//! # bg3-core
+//!
+//! The public face of the BG3 reproduction: three complete graph-database
+//! engines behind one [`bg3_graph::GraphStore`] interface, plus the
+//! deployment machinery the paper's evaluation exercises.
+//!
+//! * [`Bg3Db`] — the paper's system (§3): a space-optimized Bw-tree forest
+//!   over append-only shared cloud storage, with read-optimized single-delta
+//!   pages and workload-aware space reclamation.
+//! * [`ByteGraphDb`] — the previous generation (§2): a B-tree-style
+//!   in-memory adjacency cache layered over a leveled LSM KV engine. The
+//!   elongated read path (cache → LSM levels → storage) is the paper's
+//!   first motivation.
+//! * [`NeptuneLike`] — a conventional-design comparator standing in for
+//!   Amazon Neptune (closed source; see DESIGN.md): one global index with
+//!   coarse locking and write-through pages, no graph-native adjacency
+//!   optimization.
+//! * [`Cluster`] — hash-sharded scale-out wrapper: the multi-node axis of
+//!   Fig. 8.
+//! * [`ReplicatedBg3`] — one RW node plus N RO nodes over one shared store,
+//!   synchronized through the WAL: the deployment of Figs. 12–14.
+
+pub mod bg3db;
+pub mod bytegraph;
+pub mod cluster;
+pub mod deployment;
+pub mod neptune;
+
+pub use bg3db::{Bg3Config, Bg3Db, GcPolicyKind};
+pub use bytegraph::{ByteGraphConfig, ByteGraphDb};
+pub use cluster::Cluster;
+pub use deployment::{ReplicatedBg3, ReplicatedConfig};
+pub use neptune::NeptuneLike;

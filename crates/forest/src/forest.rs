@@ -1,0 +1,538 @@
+//! The forest itself.
+
+use crate::keys::{composite_key, decode_composite, group_prefix};
+use bg3_bwtree::{BwTree, BwTreeConfig, Entries, TreeEventListener};
+use bg3_storage::{AppendOnlyStore, StorageResult};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tree id reserved for the INIT tree in every forest.
+pub const INIT_TREE_ID: u32 = 0;
+
+/// Forest tuning knobs.
+#[derive(Clone)]
+pub struct ForestConfig {
+    /// A group is split out into a dedicated tree once its edge count in the
+    /// INIT tree crosses this threshold. §4.3.2 sweeps this to control the
+    /// total number of trees. `usize::MAX` disables split-out (single-tree
+    /// forest).
+    pub split_out_threshold: usize,
+    /// When the INIT tree holds more total entries than this, the group with
+    /// the most edges is evicted into a dedicated tree.
+    pub init_tree_max_entries: usize,
+    /// Configuration applied to every tree in the forest.
+    pub tree_config: BwTreeConfig,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            split_out_threshold: 64,
+            init_tree_max_entries: 1 << 20,
+            tree_config: BwTreeConfig::default(),
+        }
+    }
+}
+
+impl ForestConfig {
+    /// Builder-style setter for the split-out threshold.
+    pub fn with_split_out_threshold(mut self, threshold: usize) -> Self {
+        self.split_out_threshold = threshold;
+        self
+    }
+
+    /// Builder-style setter for the INIT-tree size limit.
+    pub fn with_init_tree_max_entries(mut self, max: usize) -> Self {
+        self.init_tree_max_entries = max;
+        self
+    }
+
+    /// Builder-style setter for the per-tree config.
+    pub fn with_tree_config(mut self, cfg: BwTreeConfig) -> Self {
+        self.tree_config = cfg;
+        self
+    }
+}
+
+/// Point-in-time statistics of a forest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForestStatsSnapshot {
+    /// Dedicated trees created so far (excludes INIT).
+    pub dedicated_trees: u64,
+    /// Groups split out due to their own edge count.
+    pub threshold_split_outs: u64,
+    /// Groups evicted because the INIT tree grew too large.
+    pub init_evictions: u64,
+}
+
+struct ForestInner {
+    /// group → dedicated tree.
+    directory: HashMap<Vec<u8>, Arc<BwTree>>,
+}
+
+/// The Space-Optimized Bw-tree Forest (Fig. 3, right side).
+pub struct BwTreeForest {
+    store: AppendOnlyStore,
+    config: ForestConfig,
+    listener: Option<Arc<dyn TreeEventListener>>,
+    init: Arc<BwTree>,
+    inner: RwLock<ForestInner>,
+    /// Edge counts of groups still resident in the INIT tree.
+    init_counts: Mutex<HashMap<Vec<u8>, usize>>,
+    next_tree_id: AtomicU32,
+    threshold_split_outs: AtomicU64,
+    init_evictions: AtomicU64,
+}
+
+impl BwTreeForest {
+    /// Creates an empty forest.
+    pub fn new(store: AppendOnlyStore, config: ForestConfig) -> Self {
+        Self::build(store, config, None)
+    }
+
+    /// Creates an empty forest whose trees all report to `listener`.
+    pub fn with_listener(
+        store: AppendOnlyStore,
+        config: ForestConfig,
+        listener: Arc<dyn TreeEventListener>,
+    ) -> Self {
+        Self::build(store, config, Some(listener))
+    }
+
+    fn build(
+        store: AppendOnlyStore,
+        config: ForestConfig,
+        listener: Option<Arc<dyn TreeEventListener>>,
+    ) -> Self {
+        let init = Arc::new(Self::make_tree(
+            INIT_TREE_ID,
+            &store,
+            &config.tree_config,
+            listener.as_ref(),
+        ));
+        BwTreeForest {
+            store,
+            config,
+            listener,
+            init,
+            inner: RwLock::new(ForestInner {
+                directory: HashMap::new(),
+            }),
+            init_counts: Mutex::new(HashMap::new()),
+            next_tree_id: AtomicU32::new(INIT_TREE_ID + 1),
+            threshold_split_outs: AtomicU64::new(0),
+            init_evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn make_tree(
+        id: u32,
+        store: &AppendOnlyStore,
+        cfg: &BwTreeConfig,
+        listener: Option<&Arc<dyn TreeEventListener>>,
+    ) -> BwTree {
+        match listener {
+            Some(l) => BwTree::with_listener(id, store.clone(), cfg.clone(), Arc::clone(l)),
+            None => BwTree::new(id, store.clone(), cfg.clone()),
+        }
+    }
+
+    /// The forest's configuration.
+    pub fn config(&self) -> &ForestConfig {
+        &self.config
+    }
+
+    /// The dedicated tree for `group`, if it has one.
+    pub fn dedicated_tree(&self, group: &[u8]) -> Option<Arc<BwTree>> {
+        self.inner.read().directory.get(group).cloned()
+    }
+
+    /// The INIT tree (exposed for inspection and benchmarks).
+    pub fn init_tree(&self) -> &Arc<BwTree> {
+        &self.init
+    }
+
+    /// Inserts or overwrites `(group, item) -> value`.
+    pub fn put(&self, group: &[u8], item: &[u8], value: &[u8]) -> StorageResult<()> {
+        if let Some(tree) = self.dedicated_tree(group) {
+            return tree.put(item, value);
+        }
+        self.init.put(&composite_key(group, item), value)?;
+        let group_count = {
+            let mut counts = self.init_counts.lock();
+            let c = counts.entry(group.to_vec()).or_insert(0);
+            *c += 1;
+            *c
+        };
+        if group_count > self.config.split_out_threshold {
+            self.split_out(group, false)?;
+        } else if self.init.entry_count() > self.config.init_tree_max_entries {
+            // Evict the heaviest group to keep INIT queries fast.
+            let heaviest = {
+                let counts = self.init_counts.lock();
+                counts
+                    .iter()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(g, _)| g.clone())
+            };
+            if let Some(g) = heaviest {
+                self.split_out(&g, true)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves every `group` edge from the INIT tree into a fresh dedicated
+    /// tree with truncated keys (§3.2.1, Fig. 3: Bw-tree (A)).
+    fn split_out(&self, group: &[u8], eviction: bool) -> StorageResult<()> {
+        let mut inner = self.inner.write();
+        if inner.directory.contains_key(group) {
+            return Ok(()); // another writer raced us here
+        }
+        let id = self.next_tree_id.fetch_add(1, Ordering::Relaxed);
+        let tree = Arc::new(Self::make_tree(
+            id,
+            &self.store,
+            &self.config.tree_config,
+            self.listener.as_ref(),
+        ));
+        let prefix = group_prefix(group);
+        let moved = self.init.scan_prefix(&prefix, usize::MAX);
+        for (composite, value) in &moved {
+            let (_, item) = decode_composite(composite).expect("forest wrote this key");
+            tree.put(item, value)?;
+        }
+        for (composite, _) in &moved {
+            self.init.delete(composite)?;
+        }
+        inner.directory.insert(group.to_vec(), tree);
+        drop(inner);
+        self.init_counts.lock().remove(group);
+        if eviction {
+            self.init_evictions.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.threshold_split_outs.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Point lookup.
+    pub fn get(&self, group: &[u8], item: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        match self.dedicated_tree(group) {
+            Some(tree) => tree.get(item),
+            None => self.init.get(&composite_key(group, item)),
+        }
+    }
+
+    /// Deletes one edge.
+    pub fn delete(&self, group: &[u8], item: &[u8]) -> StorageResult<()> {
+        match self.dedicated_tree(group) {
+            Some(tree) => tree.delete(item),
+            None => {
+                self.init.delete(&composite_key(group, item))?;
+                let mut counts = self.init_counts.lock();
+                if let Some(c) = counts.get_mut(group) {
+                    *c = c.saturating_sub(1);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// All `(item, value)` pairs of `group`, in item order, up to `limit`.
+    /// This is the adjacency-list scan behind one-hop neighbor queries.
+    pub fn scan_group(&self, group: &[u8], limit: usize) -> Entries {
+        match self.dedicated_tree(group) {
+            Some(tree) => tree.scan_range(None, None, limit),
+            None => self
+                .init
+                .scan_prefix(&group_prefix(group), limit)
+                .into_iter()
+                .map(|(composite, value)| {
+                    let (_, item) = decode_composite(&composite).expect("forest key");
+                    (item.to_vec(), value)
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of edges stored for `group`.
+    pub fn group_len(&self, group: &[u8]) -> usize {
+        match self.dedicated_tree(group) {
+            Some(tree) => tree.entry_count(),
+            None => self.init.scan_prefix(&group_prefix(group), usize::MAX).len(),
+        }
+    }
+
+    /// Total trees in the forest, including INIT.
+    pub fn tree_count(&self) -> usize {
+        1 + self.inner.read().directory.len()
+    }
+
+    /// Total edges across all trees.
+    pub fn total_entries(&self) -> usize {
+        let inner = self.inner.read();
+        self.init.entry_count()
+            + inner
+                .directory
+                .values()
+                .map(|t| t.entry_count())
+                .sum::<usize>()
+    }
+
+    /// Estimated memory footprint: every tree's footprint plus the hash
+    /// directory. This is the "space cost" axis of Fig. 11 — many small
+    /// trees pay per-tree overhead.
+    pub fn memory_footprint(&self) -> usize {
+        let inner = self.inner.read();
+        let directory: usize = inner
+            .directory
+            .keys()
+            .map(|g| g.len() + 80) // key + Arc + table slot
+            .sum();
+        self.init.memory_footprint()
+            + inner
+                .directory
+                .values()
+                .map(|t| t.memory_footprint())
+                .sum::<usize>()
+            + directory
+    }
+
+    /// Counters describing the forest's structural activity.
+    pub fn stats(&self) -> ForestStatsSnapshot {
+        ForestStatsSnapshot {
+            dedicated_trees: self.inner.read().directory.len() as u64,
+            threshold_split_outs: self.threshold_split_outs.load(Ordering::Relaxed),
+            init_evictions: self.init_evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The shared store backing this forest.
+    pub fn store(&self) -> &AppendOnlyStore {
+        &self.store
+    }
+
+    /// Routes a relocation fix-up from the space reclaimer to the right
+    /// tree. `tag` is the `bg3_bwtree::PageTag` the record carried.
+    pub fn repair_relocated(
+        &self,
+        tag: u64,
+        old: bg3_storage::PageAddr,
+        new: bg3_storage::PageAddr,
+    ) -> bool {
+        let decoded = bg3_bwtree::PageTag::decode(tag);
+        if decoded.tree == INIT_TREE_ID {
+            return self.init.repair_relocated(decoded.page, old, new);
+        }
+        let inner = self.inner.read();
+        inner
+            .directory
+            .values()
+            .find(|t| t.id() == decoded.tree)
+            .is_some_and(|t| t.repair_relocated(decoded.page, old, new))
+    }
+}
+
+impl std::fmt::Debug for BwTreeForest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BwTreeForest")
+            .field("trees", &self.tree_count())
+            .field("entries", &self.total_entries())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bg3_storage::StoreConfig;
+
+    fn forest(threshold: usize) -> BwTreeForest {
+        BwTreeForest::new(
+            AppendOnlyStore::new(StoreConfig::counting()),
+            ForestConfig::default().with_split_out_threshold(threshold),
+        )
+    }
+
+    #[test]
+    fn put_get_before_split_out() {
+        let f = forest(100);
+        f.put(b"userA", b"video1", b"t=1").unwrap();
+        f.put(b"userB", b"video1", b"t=2").unwrap();
+        assert_eq!(f.get(b"userA", b"video1").unwrap(), Some(b"t=1".to_vec()));
+        assert_eq!(f.get(b"userB", b"video1").unwrap(), Some(b"t=2".to_vec()));
+        assert_eq!(f.get(b"userC", b"video1").unwrap(), None);
+        assert_eq!(f.tree_count(), 1, "everyone lives in INIT");
+    }
+
+    #[test]
+    fn active_group_splits_out_and_keeps_data() {
+        let f = forest(10);
+        for i in 0..25u32 {
+            f.put(b"userA", format!("video{i:03}").as_bytes(), b"x")
+                .unwrap();
+        }
+        // userA crossed the threshold → dedicated tree.
+        assert!(f.dedicated_tree(b"userA").is_some());
+        assert_eq!(f.tree_count(), 2);
+        assert_eq!(f.group_len(b"userA"), 25);
+        for i in 0..25u32 {
+            assert_eq!(
+                f.get(b"userA", format!("video{i:03}").as_bytes()).unwrap(),
+                Some(b"x".to_vec())
+            );
+        }
+        // INIT no longer holds userA's edges.
+        assert_eq!(f.init_tree().entry_count(), 0);
+        assert_eq!(f.stats().threshold_split_outs, 1);
+    }
+
+    #[test]
+    fn ordinary_groups_stay_in_init() {
+        let f = forest(10);
+        for u in 0..50u32 {
+            let user = format!("user{u:03}");
+            for v in 0..3u32 {
+                f.put(user.as_bytes(), format!("v{v}").as_bytes(), b"x")
+                    .unwrap();
+            }
+        }
+        assert_eq!(f.tree_count(), 1, "3 edges each: nobody splits out");
+        assert_eq!(f.total_entries(), 150);
+    }
+
+    #[test]
+    fn dedicated_tree_uses_truncated_keys() {
+        let f = forest(2);
+        for i in 0..5u32 {
+            f.put(b"heavy_user_with_long_id", format!("v{i}").as_bytes(), b"x")
+                .unwrap();
+        }
+        let tree = f.dedicated_tree(b"heavy_user_with_long_id").unwrap();
+        let entries = tree.scan_range(None, None, usize::MAX);
+        // Keys are bare item ids — no group prefix.
+        assert!(entries.iter().all(|(k, _)| k.starts_with(b"v")));
+    }
+
+    #[test]
+    fn init_tree_eviction_kicks_out_heaviest_group() {
+        let f = BwTreeForest::new(
+            AppendOnlyStore::new(StoreConfig::counting()),
+            ForestConfig::default()
+                .with_split_out_threshold(usize::MAX)
+                .with_init_tree_max_entries(10),
+        );
+        for i in 0..8u32 {
+            f.put(b"whale", format!("v{i}").as_bytes(), b"x").unwrap();
+        }
+        for i in 0..3u32 {
+            f.put(b"minnow", format!("v{i}").as_bytes(), b"x").unwrap();
+        }
+        // 11 entries > 10 → the whale (8 edges) gets evicted.
+        assert!(f.dedicated_tree(b"whale").is_some());
+        assert!(f.dedicated_tree(b"minnow").is_none());
+        assert_eq!(f.stats().init_evictions, 1);
+        assert_eq!(f.group_len(b"whale"), 8);
+        assert_eq!(f.group_len(b"minnow"), 3);
+    }
+
+    #[test]
+    fn scan_group_is_ordered_and_limited() {
+        let f = forest(100);
+        for i in (0..10u32).rev() {
+            f.put(b"u", format!("item{i}").as_bytes(), format!("{i}").as_bytes())
+                .unwrap();
+        }
+        let scan = f.scan_group(b"u", usize::MAX);
+        assert_eq!(scan.len(), 10);
+        assert!(scan.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(f.scan_group(b"u", 4).len(), 4);
+        // After split-out the scan result is identical.
+        let f2 = forest(5);
+        for i in (0..10u32).rev() {
+            f2.put(b"u", format!("item{i}").as_bytes(), format!("{i}").as_bytes())
+                .unwrap();
+        }
+        assert!(f2.dedicated_tree(b"u").is_some());
+        assert_eq!(f2.scan_group(b"u", usize::MAX), scan);
+    }
+
+    #[test]
+    fn delete_works_in_both_tiers() {
+        let f = forest(3);
+        f.put(b"small", b"v1", b"x").unwrap();
+        f.delete(b"small", b"v1").unwrap();
+        assert_eq!(f.get(b"small", b"v1").unwrap(), None);
+
+        for i in 0..6u32 {
+            f.put(b"big", format!("v{i}").as_bytes(), b"x").unwrap();
+        }
+        assert!(f.dedicated_tree(b"big").is_some());
+        f.delete(b"big", b"v0").unwrap();
+        assert_eq!(f.get(b"big", b"v0").unwrap(), None);
+        assert_eq!(f.group_len(b"big"), 5);
+    }
+
+    #[test]
+    fn groups_are_isolated() {
+        let f = forest(4);
+        for i in 0..8u32 {
+            f.put(b"a", format!("v{i}").as_bytes(), b"from-a").unwrap();
+        }
+        f.put(b"b", b"v0", b"from-b").unwrap();
+        assert_eq!(f.get(b"b", b"v0").unwrap(), Some(b"from-b".to_vec()));
+        assert_eq!(f.get(b"a", b"v0").unwrap(), Some(b"from-a".to_vec()));
+        assert_eq!(f.scan_group(b"b", usize::MAX).len(), 1);
+    }
+
+    #[test]
+    fn memory_footprint_reflects_tree_count() {
+        // Mirrors Fig. 11: same data, more trees → more memory.
+        let few = forest(usize::MAX);
+        let many = forest(1);
+        for u in 0..50u32 {
+            let user = format!("user{u:03}");
+            for v in 0..4u32 {
+                let item = format!("v{v}");
+                few.put(user.as_bytes(), item.as_bytes(), b"x").unwrap();
+                many.put(user.as_bytes(), item.as_bytes(), b"x").unwrap();
+            }
+        }
+        assert_eq!(few.tree_count(), 1);
+        assert_eq!(many.tree_count(), 51);
+        assert!(
+            many.memory_footprint() > few.memory_footprint(),
+            "per-tree overhead dominates: {} vs {}",
+            many.memory_footprint(),
+            few.memory_footprint()
+        );
+        assert_eq!(few.total_entries(), many.total_entries());
+    }
+
+    #[test]
+    fn concurrent_writers_on_distinct_groups() {
+        let f = Arc::new(forest(16));
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let f = Arc::clone(&f);
+            handles.push(std::thread::spawn(move || {
+                let group = format!("user{t}");
+                for i in 0..100u32 {
+                    f.put(group.as_bytes(), format!("v{i:03}").as_bytes(), b"x")
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(f.total_entries(), 800);
+        assert_eq!(f.stats().dedicated_trees, 8, "every writer crossed 16");
+        for t in 0..8u32 {
+            assert_eq!(f.group_len(format!("user{t}").as_bytes()), 100);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # bg3-gc
+//!
+//! Space reclamation for BG3's append-only storage (§3.3 of the paper).
+//!
+//! Out-of-place updates leave invalid records behind; a background reclaimer
+//! periodically picks extents, rewrites their still-valid records to the
+//! stream tail, and frees the extent. Every byte rewritten is write
+//! amplification, so *which* extent gets picked matters:
+//!
+//! * [`FifoPolicy`] — the traditional Bw-tree approach: reclaim from the
+//!   back of the queue (oldest extent first), regardless of content.
+//! * [`DirtyRatioPolicy`] — the ArkDB-style baseline the paper compares
+//!   against (Table 2 "Dirty ratio"): pick the extent with the highest
+//!   fragmentation rate.
+//! * [`WorkloadAwarePolicy`] — BG3's contribution (Algorithm 2): among the
+//!   *coldest* extents (smallest update gradient) pick the most fragmented;
+//!   skip extents with a pending TTL deadline entirely (they will expire
+//!   wholesale for free) and drop extents whose deadline has passed without
+//!   moving a byte.
+//!
+//! [`SpaceReclaimer`] executes a policy's plan against the store, routing
+//! address fix-ups back to the owning Bw-trees through a
+//! [`RelocationRouter`].
+
+pub mod policy;
+pub mod reclaimer;
+
+pub use policy::{
+    DirtyRatioPolicy, FifoPolicy, HybridTtlGradientPolicy, PlanAction, ReclaimPlan,
+    ReclaimPolicy, WorkloadAwarePolicy,
+};
+pub use reclaimer::{CycleReport, NullRouter, RelocationRouter, SpaceReclaimer};

@@ -1,0 +1,138 @@
+//! In-memory reference implementation of [`GraphStore`].
+
+use crate::model::{Edge, EdgeType, Vertex, VertexId};
+use crate::store::GraphStore;
+use bg3_storage::StorageResult;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// A plain in-memory graph: the semantics oracle the storage-backed engines
+/// are tested against, and the substrate for pattern-matcher unit tests.
+#[derive(Debug, Default)]
+pub struct MemGraph {
+    edges: RwLock<BTreeMap<(VertexId, EdgeType, VertexId), Vec<u8>>>,
+    vertices: RwLock<BTreeMap<VertexId, Vec<u8>>>,
+}
+
+impl MemGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.read().len()
+    }
+
+    /// Total vertex count (vertex table only; edge endpoints are implicit).
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.read().len()
+    }
+}
+
+impl GraphStore for MemGraph {
+    fn insert_edge(&self, edge: &Edge) -> StorageResult<()> {
+        self.edges
+            .write()
+            .insert((edge.src, edge.etype, edge.dst), edge.props.clone());
+        Ok(())
+    }
+
+    fn get_edge(
+        &self,
+        src: VertexId,
+        etype: EdgeType,
+        dst: VertexId,
+    ) -> StorageResult<Option<Vec<u8>>> {
+        Ok(self.edges.read().get(&(src, etype, dst)).cloned())
+    }
+
+    fn delete_edge(&self, src: VertexId, etype: EdgeType, dst: VertexId) -> StorageResult<()> {
+        self.edges.write().remove(&(src, etype, dst));
+        Ok(())
+    }
+
+    fn neighbors(
+        &self,
+        src: VertexId,
+        etype: EdgeType,
+        limit: usize,
+    ) -> StorageResult<Vec<(VertexId, Vec<u8>)>> {
+        let edges = self.edges.read();
+        Ok(edges
+            .range((src, etype, VertexId(0))..=(src, etype, VertexId(u64::MAX)))
+            .take(limit)
+            .map(|((_, _, dst), props)| (*dst, props.clone()))
+            .collect())
+    }
+
+    fn insert_vertex(&self, vertex: &Vertex) -> StorageResult<()> {
+        self.vertices
+            .write()
+            .insert(vertex.id, vertex.props.clone());
+        Ok(())
+    }
+
+    fn get_vertex(&self, id: VertexId) -> StorageResult<Option<Vec<u8>>> {
+        Ok(self.vertices.read().get(&id).cloned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_crud() {
+        let g = MemGraph::new();
+        let e = Edge::new(VertexId(1), EdgeType::LIKE, VertexId(2)).with_props(b"t=9".to_vec());
+        g.insert_edge(&e).unwrap();
+        assert_eq!(
+            g.get_edge(VertexId(1), EdgeType::LIKE, VertexId(2)).unwrap(),
+            Some(b"t=9".to_vec())
+        );
+        assert_eq!(
+            g.get_edge(VertexId(1), EdgeType::FOLLOW, VertexId(2)).unwrap(),
+            None,
+            "types are distinct"
+        );
+        g.delete_edge(VertexId(1), EdgeType::LIKE, VertexId(2)).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_limited() {
+        let g = MemGraph::new();
+        for dst in [5u64, 1, 9, 3] {
+            g.insert_edge(&Edge::new(VertexId(7), EdgeType::FOLLOW, VertexId(dst)))
+                .unwrap();
+        }
+        // An edge of a different source/type must not leak in.
+        g.insert_edge(&Edge::new(VertexId(8), EdgeType::FOLLOW, VertexId(2)))
+            .unwrap();
+        g.insert_edge(&Edge::new(VertexId(7), EdgeType::LIKE, VertexId(2)))
+            .unwrap();
+        let n: Vec<u64> = g
+            .neighbors(VertexId(7), EdgeType::FOLLOW, usize::MAX)
+            .unwrap()
+            .into_iter()
+            .map(|(v, _)| v.0)
+            .collect();
+        assert_eq!(n, vec![1, 3, 5, 9]);
+        assert_eq!(g.neighbors(VertexId(7), EdgeType::FOLLOW, 2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn vertex_crud() {
+        let g = MemGraph::new();
+        g.insert_vertex(&Vertex {
+            id: VertexId(3),
+            props: b"name=alice".to_vec(),
+        })
+        .unwrap();
+        assert_eq!(g.get_vertex(VertexId(3)).unwrap(), Some(b"name=alice".to_vec()));
+        assert_eq!(g.get_vertex(VertexId(4)).unwrap(), None);
+        assert_eq!(g.vertex_count(), 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! Core property-graph types.
+
+use std::fmt;
+
+/// Vertex identifier. ByteDance graphs identify users/videos with 64-bit
+/// ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VertexId(pub u64);
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Edge type (e.g. Follow, Like, Transfer). Adjacency lists are segregated
+/// per type (§2.2: edges are "divided into multiple groups based on the
+/// edge type").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct EdgeType(pub u16);
+
+impl EdgeType {
+    /// Douyin follow relationship.
+    pub const FOLLOW: EdgeType = EdgeType(1);
+    /// Douyin like action.
+    pub const LIKE: EdgeType = EdgeType(2);
+    /// Financial transfer (risk-control workload).
+    pub const TRANSFER: EdgeType = EdgeType(3);
+
+    /// The top bit marks reverse-adjacency indexes: engines that maintain
+    /// in-edges store `dst -> src` under `etype.reversed()`. User-visible
+    /// edge types must stay below `0x8000`.
+    pub const REVERSE_BIT: u16 = 0x8000;
+
+    /// The edge type under which this type's reverse index is stored.
+    pub fn reversed(self) -> EdgeType {
+        EdgeType(self.0 | Self::REVERSE_BIT)
+    }
+
+    /// True for reverse-index types.
+    pub fn is_reverse(self) -> bool {
+        self.0 & Self::REVERSE_BIT != 0
+    }
+}
+
+impl fmt::Display for EdgeType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EdgeType::FOLLOW => write!(f, "follow"),
+            EdgeType::LIKE => write!(f, "like"),
+            EdgeType::TRANSFER => write!(f, "transfer"),
+            EdgeType(other) => write!(f, "etype#{other}"),
+        }
+    }
+}
+
+/// A property value. The storage engines treat property lists as opaque
+/// bytes; this enum is the application-level view.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropertyValue {
+    /// 64-bit integer (timestamps, counters).
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+}
+
+impl PropertyValue {
+    /// Serializes to a tagged byte representation.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            PropertyValue::Int(v) => {
+                let mut out = Vec::with_capacity(9);
+                out.push(0);
+                out.extend_from_slice(&v.to_le_bytes());
+                out
+            }
+            PropertyValue::Str(s) => {
+                let mut out = Vec::with_capacity(1 + s.len());
+                out.push(1);
+                out.extend_from_slice(s.as_bytes());
+                out
+            }
+            PropertyValue::Bytes(b) => {
+                let mut out = Vec::with_capacity(1 + b.len());
+                out.push(2);
+                out.extend_from_slice(b);
+                out
+            }
+        }
+    }
+
+    /// Parses the tagged byte representation.
+    pub fn decode(bytes: &[u8]) -> Option<PropertyValue> {
+        match bytes.split_first()? {
+            (0, rest) => Some(PropertyValue::Int(i64::from_le_bytes(
+                rest.try_into().ok()?,
+            ))),
+            (1, rest) => Some(PropertyValue::Str(String::from_utf8(rest.to_vec()).ok()?)),
+            (2, rest) => Some(PropertyValue::Bytes(rest.to_vec())),
+            _ => None,
+        }
+    }
+}
+
+/// A directed, typed edge with opaque properties.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Edge type.
+    pub etype: EdgeType,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Encoded property list (e.g. the like timestamp).
+    pub props: Vec<u8>,
+}
+
+impl Edge {
+    /// Convenience constructor with empty properties.
+    pub fn new(src: VertexId, etype: EdgeType, dst: VertexId) -> Edge {
+        Edge {
+            src,
+            etype,
+            dst,
+            props: Vec::new(),
+        }
+    }
+
+    /// Attaches properties.
+    pub fn with_props(mut self, props: Vec<u8>) -> Edge {
+        self.props = props;
+        self
+    }
+}
+
+/// A vertex with opaque properties.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vertex {
+    /// Vertex identity.
+    pub id: VertexId,
+    /// Encoded property list.
+    pub props: Vec<u8>,
+}
+
+impl Vertex {
+    /// Convenience constructor with empty properties.
+    pub fn new(id: VertexId) -> Vertex {
+        Vertex {
+            id,
+            props: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VertexId(7).to_string(), "v7");
+        assert_eq!(EdgeType::FOLLOW.to_string(), "follow");
+        assert_eq!(EdgeType(99).to_string(), "etype#99");
+    }
+
+    #[test]
+    fn reversed_marks_the_top_bit() {
+        assert_eq!(EdgeType::FOLLOW.reversed(), EdgeType(0x8001));
+        assert!(EdgeType::FOLLOW.reversed().is_reverse());
+        assert!(!EdgeType::FOLLOW.is_reverse());
+        // Idempotent.
+        assert_eq!(
+            EdgeType::LIKE.reversed().reversed(),
+            EdgeType::LIKE.reversed()
+        );
+    }
+
+    #[test]
+    fn property_round_trip() {
+        for p in [
+            PropertyValue::Int(-42),
+            PropertyValue::Str("liked_at".into()),
+            PropertyValue::Bytes(vec![1, 2, 3]),
+        ] {
+            assert_eq!(PropertyValue::decode(&p.encode()), Some(p));
+        }
+    }
+
+    #[test]
+    fn property_decode_rejects_garbage() {
+        assert_eq!(PropertyValue::decode(&[]), None);
+        assert_eq!(PropertyValue::decode(&[9, 1, 2]), None);
+        assert_eq!(PropertyValue::decode(&[0, 1, 2]), None, "short int");
+    }
+
+    #[test]
+    fn edge_builders() {
+        let e = Edge::new(VertexId(1), EdgeType::LIKE, VertexId(2))
+            .with_props(PropertyValue::Int(123).encode());
+        assert_eq!(e.src, VertexId(1));
+        assert_eq!(PropertyValue::decode(&e.props), Some(PropertyValue::Int(123)));
+    }
+}

@@ -1,0 +1,153 @@
+//! Typed, named property lists.
+//!
+//! §2.2: "the value comprises a list of associated properties". The storage
+//! engines treat that list as opaque bytes; this codec gives applications a
+//! schema-light typed view: an ordered list of `(name, value)` pairs with a
+//! compact binary form.
+
+use crate::model::PropertyValue;
+
+/// An ordered list of named properties.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PropertyList {
+    entries: Vec<(String, PropertyValue)>,
+}
+
+impl PropertyList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style append.
+    pub fn with(mut self, name: impl Into<String>, value: PropertyValue) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Sets (or replaces) a property.
+    pub fn set(&mut self, name: impl Into<String>, value: PropertyValue) {
+        let name = name.into();
+        match self.entries.iter_mut().find(|(n, _)| *n == name) {
+            Some(slot) => slot.1 = value,
+            None => self.entries.push((name, value)),
+        }
+    }
+
+    /// Looks a property up by name.
+    pub fn get(&self, name: &str) -> Option<&PropertyValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no properties are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &PropertyValue)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Serializes to the compact binary form:
+    /// `u16 count | (u16 name_len, name, u32 val_len, tagged-value)*`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + self.entries.len() * 16);
+        out.extend_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        for (name, value) in &self.entries {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            let encoded = value.encode();
+            out.extend_from_slice(&(encoded.len() as u32).to_le_bytes());
+            out.extend_from_slice(&encoded);
+        }
+        out
+    }
+
+    /// Parses the binary form. Returns `None` on any malformation.
+    pub fn decode(buf: &[u8]) -> Option<PropertyList> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            if buf.len() - *pos < n {
+                return None;
+            }
+            let out = &buf[*pos..*pos + n];
+            *pos += n;
+            Some(out)
+        };
+        let count = u16::from_le_bytes(take(&mut pos, 2)?.try_into().ok()?) as usize;
+        let mut entries = Vec::with_capacity(count.min(256));
+        for _ in 0..count {
+            let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().ok()?) as usize;
+            let name = String::from_utf8(take(&mut pos, name_len)?.to_vec()).ok()?;
+            let val_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+            let value = PropertyValue::decode(take(&mut pos, val_len)?)?;
+            entries.push((name, value));
+        }
+        (pos == buf.len()).then_some(PropertyList { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PropertyList {
+        PropertyList::new()
+            .with("liked_at", PropertyValue::Int(1_700_000_000))
+            .with("source", PropertyValue::Str("feed".into()))
+            .with("raw", PropertyValue::Bytes(vec![1, 2, 3]))
+    }
+
+    #[test]
+    fn round_trip() {
+        let p = sample();
+        let decoded = PropertyList::decode(&p.encode()).unwrap();
+        assert_eq!(decoded, p);
+        assert_eq!(
+            decoded.get("liked_at"),
+            Some(&PropertyValue::Int(1_700_000_000))
+        );
+        assert_eq!(decoded.get("missing"), None);
+    }
+
+    #[test]
+    fn empty_list_round_trips() {
+        let p = PropertyList::new();
+        assert!(p.is_empty());
+        assert_eq!(PropertyList::decode(&p.encode()), Some(p));
+    }
+
+    #[test]
+    fn set_replaces_in_place_preserving_order() {
+        let mut p = sample();
+        p.set("source", PropertyValue::Str("search".into()));
+        assert_eq!(p.len(), 3);
+        let names: Vec<&str> = p.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["liked_at", "source", "raw"]);
+        assert_eq!(p.get("source"), Some(&PropertyValue::Str("search".into())));
+    }
+
+    #[test]
+    fn truncated_buffers_are_rejected() {
+        let encoded = sample().encode();
+        for cut in 1..encoded.len() {
+            assert!(
+                PropertyList::decode(&encoded[..cut]).is_none(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut encoded = sample().encode();
+        encoded.push(0);
+        assert!(PropertyList::decode(&encoded).is_none());
+    }
+}

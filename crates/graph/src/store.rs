@@ -1,0 +1,65 @@
+//! The storage abstraction every engine implements.
+
+use crate::model::{Edge, EdgeType, Vertex, VertexId};
+use bg3_storage::StorageResult;
+
+/// Backend-neutral property-graph storage.
+///
+/// Implementations in this workspace:
+/// * [`crate::MemGraph`] — an in-memory reference used by tests and the
+///   pattern matcher's unit tests;
+/// * `bg3_core::Bg3Db` — the paper's system: a Bw-tree forest over
+///   append-only shared storage;
+/// * `bg3_core::ByteGraphDb` — the baseline: B-tree-style edge cache over
+///   an LSM KV engine;
+/// * `bg3_core::NeptuneLike` — the conventional-comparator simulation.
+pub trait GraphStore: Send + Sync {
+    /// Inserts (or overwrites) one directed edge.
+    fn insert_edge(&self, edge: &Edge) -> StorageResult<()>;
+
+    /// Fetches one edge's properties, if the edge exists.
+    fn get_edge(&self, src: VertexId, etype: EdgeType, dst: VertexId)
+        -> StorageResult<Option<Vec<u8>>>;
+
+    /// Removes one edge (no-op if absent).
+    fn delete_edge(&self, src: VertexId, etype: EdgeType, dst: VertexId) -> StorageResult<()>;
+
+    /// Enumerates up to `limit` out-neighbors of `src` along `etype`,
+    /// sorted by destination id.
+    fn neighbors(
+        &self,
+        src: VertexId,
+        etype: EdgeType,
+        limit: usize,
+    ) -> StorageResult<Vec<(VertexId, Vec<u8>)>>;
+
+    /// Out-degree of `src` along `etype`.
+    fn degree(&self, src: VertexId, etype: EdgeType) -> StorageResult<usize> {
+        Ok(self.neighbors(src, etype, usize::MAX)?.len())
+    }
+
+    /// Inserts (or overwrites) a vertex.
+    fn insert_vertex(&self, vertex: &Vertex) -> StorageResult<()>;
+
+    /// Fetches a vertex's properties, if present.
+    fn get_vertex(&self, id: VertexId) -> StorageResult<Option<Vec<u8>>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memgraph::MemGraph;
+
+    // The trait's default `degree` is exercised through MemGraph here; the
+    // engine-specific implementations get their own integration tests.
+    #[test]
+    fn degree_default_counts_neighbors() {
+        let g = MemGraph::new();
+        for dst in 1..=5u64 {
+            g.insert_edge(&Edge::new(VertexId(1), EdgeType::FOLLOW, VertexId(dst)))
+                .unwrap();
+        }
+        assert_eq!(g.degree(VertexId(1), EdgeType::FOLLOW).unwrap(), 5);
+        assert_eq!(g.degree(VertexId(2), EdgeType::FOLLOW).unwrap(), 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! A compact bloom filter for SSTable probes.
+//!
+//! Uses the standard double-hashing scheme (`h1 + i*h2`) over an FNV-1a
+//! base hash — no cryptographic strength required, just uniformity.
+
+/// Bloom filter sized at construction for a target bits-per-key budget.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: usize,
+    num_hashes: u32,
+}
+
+fn fnv1a(data: &[u8], seed: u64) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+impl BloomFilter {
+    /// Builds a filter for `expected_keys` keys at `bits_per_key` bits each.
+    /// 10 bits/key gives ~1% false positives with 7 hashes.
+    pub fn new(expected_keys: usize, bits_per_key: usize) -> Self {
+        let num_bits = (expected_keys.max(1) * bits_per_key).max(64);
+        // Optimal hash count: ln2 * bits/key, clamped to something sane.
+        let num_hashes = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 8);
+        BloomFilter {
+            bits: vec![0u64; num_bits.div_ceil(64)],
+            num_bits,
+            num_hashes,
+        }
+    }
+
+    fn positions(&self, key: &[u8]) -> impl Iterator<Item = usize> + '_ {
+        let h1 = fnv1a(key, 0);
+        let h2 = fnv1a(key, 0x9e37_79b9_7f4a_7c15) | 1;
+        let num_bits = self.num_bits as u64;
+        (0..self.num_hashes as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % num_bits) as usize)
+    }
+
+    /// Records `key` in the filter.
+    pub fn insert(&mut self, key: &[u8]) {
+        let positions: Vec<usize> = self.positions(key).collect();
+        for pos in positions {
+            self.bits[pos / 64] |= 1u64 << (pos % 64);
+        }
+    }
+
+    /// True if `key` *may* be present; false means definitely absent.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        self.positions(key)
+            .all(|pos| self.bits[pos / 64] & (1u64 << (pos % 64)) != 0)
+    }
+
+    /// Heap bytes used by the bit array.
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserted_keys_are_found() {
+        let mut f = BloomFilter::new(1000, 10);
+        for i in 0..1000u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        for i in 0..1000u32 {
+            assert!(f.may_contain(&i.to_le_bytes()), "false negative for {i}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut f = BloomFilter::new(1000, 10);
+        for i in 0..1000u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        let false_positives = (10_000u32..20_000)
+            .filter(|i| f.may_contain(&i.to_le_bytes()))
+            .count();
+        // Expect ~1%; allow generous slack for the simple hash.
+        assert!(
+            false_positives < 500,
+            "false positive rate too high: {false_positives}/10000"
+        );
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = BloomFilter::new(100, 10);
+        assert!(!f.may_contain(b"anything"));
+    }
+
+    #[test]
+    fn tiny_filters_are_still_valid() {
+        let mut f = BloomFilter::new(0, 10);
+        f.insert(b"x");
+        assert!(f.may_contain(b"x"));
+        assert!(f.heap_bytes() >= 8);
+    }
+}

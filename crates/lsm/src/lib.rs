@@ -1,0 +1,32 @@
+//! # bg3-lsm
+//!
+//! A leveled LSM-tree key-value engine, built as the persistence substrate
+//! for the **ByteGraph baseline** (§2 of the BG3 paper). ByteGraph layers a
+//! B-tree-like in-memory edge index over a distributed LSM KV store; BG3's
+//! central claim is that replacing this layer with Bw-trees over shared
+//! storage removes the LSM read path's multi-level probing and compaction
+//! cost (§2.4).
+//!
+//! The engine is deliberately conventional:
+//!
+//! * a sorted **memtable** with tombstones, flushed when full,
+//! * **SSTables** persisted to the shared store's SST stream, each with an
+//!   in-memory index entry (key range, bloom filter) and its data on
+//!   storage — so every probe of a table costs a random storage read,
+//! * an overlapping **L0** plus sorted-run levels **L1..** with size-tiered
+//!   leveled compaction,
+//! * a **bloom filter** per table to short-circuit misses.
+//!
+//! The read path probes memtable → L0 (newest first) → deeper levels, which
+//! is exactly the "massive I/O to scan through multiple layers" BG3
+//! motivates against; the I/O counters of the underlying store quantify it.
+
+pub mod bloom;
+pub mod engine;
+pub mod memtable;
+pub mod sstable;
+
+pub use bloom::BloomFilter;
+pub use engine::{LsmConfig, LsmKv, LsmStatsSnapshot};
+pub use memtable::Memtable;
+pub use sstable::SsTable;

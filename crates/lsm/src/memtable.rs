@@ -1,0 +1,140 @@
+//! The in-memory write buffer.
+
+use std::collections::BTreeMap;
+
+/// A sorted write buffer. `None` values are tombstones, which must survive
+/// until compaction has dropped every older version of the key.
+#[derive(Debug, Default)]
+pub struct Memtable {
+    entries: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    approx_bytes: usize,
+}
+
+impl Memtable {
+    /// Creates an empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers an upsert.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.insert(key.to_vec(), Some(value.to_vec()));
+    }
+
+    /// Buffers a delete (tombstone).
+    pub fn delete(&mut self, key: &[u8]) {
+        self.insert(key.to_vec(), None);
+    }
+
+    fn insert(&mut self, key: Vec<u8>, value: Option<Vec<u8>>) {
+        let added = key.len() + value.as_ref().map_or(0, |v| v.len()) + 32;
+        if let Some(old) = self.entries.insert(key, value) {
+            self.approx_bytes = self
+                .approx_bytes
+                .saturating_sub(old.map_or(0, |v| v.len()));
+        } else {
+            self.approx_bytes += added;
+            return;
+        }
+        self.approx_bytes += added;
+    }
+
+    /// Looks the key up. `Some(None)` means "deleted here" — the caller must
+    /// not fall through to older data.
+    pub fn get(&self, key: &[u8]) -> Option<Option<&[u8]>> {
+        self.entries.get(key).map(|v| v.as_deref())
+    }
+
+    /// Number of buffered entries (including tombstones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Rough heap usage, the flush trigger.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Drains the memtable into a sorted run for SSTable construction.
+    pub fn drain_sorted(&mut self) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        self.approx_bytes = 0;
+        std::mem::take(&mut self.entries).into_iter().collect()
+    }
+
+    /// Iterates entries in `start..end` (end exclusive, `None` = unbounded).
+    pub fn range<'a>(
+        &'a self,
+        start: Option<&'a [u8]>,
+        end: Option<&'a [u8]>,
+    ) -> impl Iterator<Item = (&'a [u8], Option<&'a [u8]>)> + 'a {
+        use std::ops::Bound;
+        let lo = start.map_or(Bound::Unbounded, Bound::Included);
+        let hi = end.map_or(Bound::Unbounded, Bound::Excluded);
+        self.entries
+            .range::<[u8], _>((lo, hi))
+            .map(|(k, v)| (k.as_slice(), v.as_deref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut m = Memtable::new();
+        m.put(b"k", b"v1");
+        m.put(b"k", b"v2");
+        assert_eq!(m.get(b"k"), Some(Some(&b"v2"[..])));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn tombstones_shadow_values() {
+        let mut m = Memtable::new();
+        m.put(b"k", b"v");
+        m.delete(b"k");
+        assert_eq!(m.get(b"k"), Some(None), "deleted-here marker");
+        assert_eq!(m.get(b"other"), None, "never seen");
+    }
+
+    #[test]
+    fn drain_is_sorted_and_resets() {
+        let mut m = Memtable::new();
+        m.put(b"b", b"2");
+        m.put(b"a", b"1");
+        m.delete(b"c");
+        let drained = m.drain_sorted();
+        assert_eq!(drained.len(), 3);
+        assert!(drained.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(m.is_empty());
+        assert_eq!(m.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_growth() {
+        let mut m = Memtable::new();
+        assert_eq!(m.approx_bytes(), 0);
+        m.put(b"key", &[0u8; 100]);
+        let after_one = m.approx_bytes();
+        assert!(after_one >= 103);
+        m.put(b"key2", &[0u8; 100]);
+        assert!(m.approx_bytes() > after_one);
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut m = Memtable::new();
+        for k in [b"a", b"b", b"c", b"d"] {
+            m.put(k, b"v");
+        }
+        let hits: Vec<&[u8]> = m.range(Some(b"b"), Some(b"d")).map(|(k, _)| k).collect();
+        assert_eq!(hits, vec![&b"b"[..], &b"c"[..]]);
+        assert_eq!(m.range(None, None).count(), 4);
+    }
+}

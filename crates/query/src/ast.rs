@@ -1,0 +1,128 @@
+//! Query AST.
+
+use bg3_graph::{EdgeType, VertexId};
+
+/// One traversal step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Start traversers at the given vertices (must be the first step).
+    V(Vec<VertexId>),
+    /// Expand every traverser along out-edges of `etype`.
+    Out(EdgeType),
+    /// Expand along in-edges of `etype` (requires the engine to maintain
+    /// the reverse index — see [`crate::reverse_etype`]).
+    In(EdgeType),
+    /// Expand along both directions of `etype` (out-edges plus the reverse
+    /// index), deduplicating the per-traverser neighbor set.
+    Both(EdgeType),
+    /// Apply `inner` (an expansion step) `times` times — the paper's
+    /// multi-hop queries, e.g. `repeat(out(follow), 3)` for 3-hop.
+    Repeat {
+        /// The expansion to apply each round (`Out`/`In`/`Both`).
+        inner: Box<Step>,
+        /// Number of rounds.
+        times: usize,
+    },
+    /// Keep only traversers whose head vertex exists in the vertex table.
+    HasVertex,
+    /// Drop traversers whose head vertex was already seen.
+    Dedup,
+    /// Keep only the first `n` traversers.
+    Limit(usize),
+    /// Sort traversers by head vertex id, ascending.
+    Order,
+    /// Terminal: the number of traversers.
+    Count,
+    /// Terminal: head vertices with their vertex properties.
+    Values,
+    /// Terminal: the full path (start → … → head) of every traverser.
+    Path,
+}
+
+impl Step {
+    /// Terminal steps end the pipeline.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, Step::Count | Step::Values | Step::Path)
+    }
+}
+
+/// A parsed query: a `V(...)` source followed by steps, optionally ending
+/// in a terminal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The pipeline, starting with [`Step::V`].
+    pub steps: Vec<Step>,
+}
+
+impl Query {
+    /// Validates the structural rules: starts with `V`, `V` appears only
+    /// first, terminals only last.
+    pub fn validate(&self) -> Result<(), String> {
+        if !matches!(self.steps.first(), Some(Step::V(_))) {
+            return Err("query must start with V(...)".into());
+        }
+        for (i, step) in self.steps.iter().enumerate() {
+            if i > 0 && matches!(step, Step::V(_)) {
+                return Err("V(...) may only appear first".into());
+            }
+            if step.is_terminal() && i + 1 != self.steps.len() {
+                return Err(format!("{step:?} must be the final step"));
+            }
+            if let Step::Repeat { inner, .. } = step {
+                if !matches!(**inner, Step::Out(_) | Step::In(_) | Step::Both(_)) {
+                    return Err("repeat(...) only accepts an expansion step".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rules() {
+        let ok = Query {
+            steps: vec![
+                Step::V(vec![VertexId(1)]),
+                Step::Out(EdgeType::FOLLOW),
+                Step::Dedup,
+                Step::Count,
+            ],
+        };
+        assert!(ok.validate().is_ok());
+
+        let no_source = Query {
+            steps: vec![Step::Out(EdgeType::FOLLOW)],
+        };
+        assert!(no_source.validate().is_err());
+
+        let mid_v = Query {
+            steps: vec![
+                Step::V(vec![VertexId(1)]),
+                Step::V(vec![VertexId(2)]),
+            ],
+        };
+        assert!(mid_v.validate().is_err());
+
+        let mid_terminal = Query {
+            steps: vec![
+                Step::V(vec![VertexId(1)]),
+                Step::Count,
+                Step::Limit(3),
+            ],
+        };
+        assert!(mid_terminal.validate().is_err());
+    }
+
+    #[test]
+    fn terminal_classification() {
+        assert!(Step::Count.is_terminal());
+        assert!(Step::Values.is_terminal());
+        assert!(Step::Path.is_terminal());
+        assert!(!Step::Dedup.is_terminal());
+        assert!(!Step::Out(EdgeType::LIKE).is_terminal());
+    }
+}

@@ -1,0 +1,73 @@
+//! Query-layer errors.
+
+use std::fmt;
+
+/// A parse failure with byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the query text.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Any error the query layer can produce.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The query text did not parse.
+    Parse(ParseError),
+    /// The query parsed but violates structural rules.
+    Invalid(String),
+    /// The storage engine failed mid-execution.
+    Storage(bg3_storage::StorageError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::Invalid(msg) => write!(f, "invalid query: {msg}"),
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+impl From<bg3_storage::StorageError> for QueryError {
+    fn from(e: bg3_storage::StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let p = ParseError {
+            position: 7,
+            message: "expected '('".into(),
+        };
+        assert_eq!(p.to_string(), "parse error at byte 7: expected '('");
+        assert!(QueryError::from(p).to_string().contains("byte 7"));
+        assert!(QueryError::Invalid("no source".into())
+            .to_string()
+            .contains("no source"));
+    }
+}

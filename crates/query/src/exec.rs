@@ -1,0 +1,358 @@
+//! Plan execution over any [`GraphStore`].
+
+use crate::ast::Query;
+use crate::error::QueryError;
+use crate::plan::{optimize, Dir, Plan, PlannedStep};
+use crate::reverse_etype;
+use bg3_graph::{GraphStore, VertexId};
+use std::collections::HashSet;
+
+/// Execution knobs.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Neighbors fetched per vertex per unbounded expansion — the fan-out
+    /// guard the risk-control workload requires ("10 hops and 100 edges").
+    pub default_fanout: usize,
+    /// Hard cap on live traversers; exceeding it aborts the query rather
+    /// than melting the node.
+    pub max_traversers: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            default_fanout: 100,
+            max_traversers: 100_000,
+        }
+    }
+}
+
+/// The result of a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryResult {
+    /// Head vertices (non-terminal pipelines end here implicitly).
+    Vertices(Vec<VertexId>),
+    /// `count()`.
+    Count(u64),
+    /// `values()`: head vertices and their vertex-table properties.
+    Values(Vec<(VertexId, Option<Vec<u8>>)>),
+    /// `path()`: full traverser paths.
+    Paths(Vec<Vec<VertexId>>),
+}
+
+/// One in-flight traverser: its path from source to head.
+#[derive(Debug, Clone)]
+struct Traverser {
+    path: Vec<VertexId>,
+}
+
+impl Traverser {
+    fn head(&self) -> VertexId {
+        *self.path.last().expect("traversers are never empty")
+    }
+}
+
+/// Executes plans against a graph store.
+#[derive(Default)]
+pub struct Executor {
+    config: ExecutorConfig,
+}
+
+impl Executor {
+    /// Creates an executor with explicit limits.
+    pub fn new(config: ExecutorConfig) -> Self {
+        Executor { config }
+    }
+
+    /// Parses, optimizes, and runs a textual query.
+    pub fn run_text(
+        &self,
+        store: &dyn GraphStore,
+        text: &str,
+    ) -> Result<QueryResult, QueryError> {
+        let query = crate::parser::parse(text)?;
+        self.run(store, &query)
+    }
+
+    /// Optimizes and runs a parsed query.
+    pub fn run(&self, store: &dyn GraphStore, query: &Query) -> Result<QueryResult, QueryError> {
+        query.validate().map_err(QueryError::Invalid)?;
+        self.run_plan(store, &optimize(query))
+    }
+
+    /// Runs an already-optimized plan.
+    pub fn run_plan(
+        &self,
+        store: &dyn GraphStore,
+        plan: &Plan,
+    ) -> Result<QueryResult, QueryError> {
+        let mut traversers: Vec<Traverser> = Vec::new();
+        for step in &plan.steps {
+            match step {
+                PlannedStep::Source(ids) => {
+                    traversers = ids
+                        .iter()
+                        .map(|&id| Traverser { path: vec![id] })
+                        .collect();
+                }
+                PlannedStep::Expand { etype, dir, bound } => {
+                    let cap = bound.unwrap_or(usize::MAX);
+                    let fanout = self.config.default_fanout.min(cap);
+                    let mut next = Vec::new();
+                    'expand: for t in &traversers {
+                        // Gather this traverser's neighbor set, per direction,
+                        // deduplicated for `both`.
+                        let mut nbrs: Vec<VertexId> = Vec::new();
+                        if matches!(dir, Dir::Out | Dir::Both) {
+                            nbrs.extend(
+                                store
+                                    .neighbors(t.head(), *etype, fanout)?
+                                    .into_iter()
+                                    .map(|(n, _)| n),
+                            );
+                        }
+                        if matches!(dir, Dir::In | Dir::Both) {
+                            for (n, _) in
+                                store.neighbors(t.head(), reverse_etype(*etype), fanout)?
+                            {
+                                if !(matches!(dir, Dir::Both) && nbrs.contains(&n)) {
+                                    nbrs.push(n);
+                                }
+                            }
+                        }
+                        for n in nbrs {
+                            let mut path = t.path.clone();
+                            path.push(n);
+                            next.push(Traverser { path });
+                            if next.len() >= cap {
+                                break 'expand;
+                            }
+                            if next.len() > self.config.max_traversers {
+                                return Err(QueryError::Invalid(format!(
+                                    "traverser budget exceeded ({})",
+                                    self.config.max_traversers
+                                )));
+                            }
+                        }
+                    }
+                    traversers = next;
+                }
+                PlannedStep::HasVertex => {
+                    let mut kept = Vec::with_capacity(traversers.len());
+                    for t in traversers {
+                        if store.get_vertex(t.head())?.is_some() {
+                            kept.push(t);
+                        }
+                    }
+                    traversers = kept;
+                }
+                PlannedStep::Dedup => {
+                    let mut seen: HashSet<VertexId> = HashSet::new();
+                    traversers.retain(|t| seen.insert(t.head()));
+                }
+                PlannedStep::Limit(n) => traversers.truncate(*n),
+                PlannedStep::Order => traversers.sort_by_key(|t| t.head()),
+                PlannedStep::Count => return Ok(QueryResult::Count(traversers.len() as u64)),
+                PlannedStep::Values => {
+                    let mut out = Vec::with_capacity(traversers.len());
+                    for t in &traversers {
+                        out.push((t.head(), store.get_vertex(t.head())?));
+                    }
+                    return Ok(QueryResult::Values(out));
+                }
+                PlannedStep::Path => {
+                    return Ok(QueryResult::Paths(
+                        traversers.iter().map(|t| t.path.clone()).collect(),
+                    ))
+                }
+            }
+        }
+        Ok(QueryResult::Vertices(
+            traversers.iter().map(Traverser::head).collect(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bg3_graph::{Edge, EdgeType, MemGraph, Vertex};
+
+    /// 1→{2,3}, 2→{4}, 3→{4,5}, plus reverse indexes, plus vertex props.
+    fn graph() -> MemGraph {
+        let g = MemGraph::new();
+        for (s, d) in [(1u64, 2u64), (1, 3), (2, 4), (3, 4), (3, 5)] {
+            g.insert_edge(&Edge::new(VertexId(s), EdgeType::FOLLOW, VertexId(d)))
+                .unwrap();
+            g.insert_edge(&Edge::new(
+                VertexId(d),
+                reverse_etype(EdgeType::FOLLOW),
+                VertexId(s),
+            ))
+            .unwrap();
+        }
+        for v in 1..=5u64 {
+            g.insert_vertex(&Vertex {
+                id: VertexId(v),
+                props: format!("user{v}").into_bytes(),
+            })
+            .unwrap();
+        }
+        g
+    }
+
+    fn run(text: &str) -> QueryResult {
+        Executor::default().run_text(&graph(), text).unwrap()
+    }
+
+    #[test]
+    fn both_unions_directions() {
+        assert_eq!(
+            run("g.V(3).both(follow).order()"),
+            QueryResult::Vertices(vec![VertexId(1), VertexId(4), VertexId(5)])
+        );
+    }
+
+    #[test]
+    fn repeat_matches_manual_unrolling() {
+        assert_eq!(
+            run("g.V(1).repeat(out(follow), 2).dedup().order()"),
+            run("g.V(1).out(follow).out(follow).dedup().order()"),
+        );
+    }
+
+    #[test]
+    fn has_vertex_filters_unregistered_heads() {
+        // The fixture registers vertices 1..=5; edges also reach nothing
+        // else, so add an edge to an unregistered vertex.
+        let g = graph();
+        g.insert_edge(&Edge::new(VertexId(1), EdgeType::FOLLOW, VertexId(99)))
+            .unwrap();
+        let exec = Executor::default();
+        let all = exec
+            .run_text(&g, "g.V(1).out(follow).order()")
+            .unwrap();
+        assert_eq!(
+            all,
+            QueryResult::Vertices(vec![VertexId(2), VertexId(3), VertexId(99)])
+        );
+        let registered = exec
+            .run_text(&g, "g.V(1).out(follow).has_vertex().order()")
+            .unwrap();
+        assert_eq!(
+            registered,
+            QueryResult::Vertices(vec![VertexId(2), VertexId(3)])
+        );
+    }
+
+    #[test]
+    fn out_and_count() {
+        assert_eq!(run("g.V(1).out(follow).count()"), QueryResult::Count(2));
+        assert_eq!(
+            run("g.V(1).out(follow).out(follow).count()"),
+            QueryResult::Count(3), // 2→4, 3→4, 3→5
+        );
+    }
+
+    #[test]
+    fn dedup_and_order() {
+        assert_eq!(
+            run("g.V(1).out(follow).out(follow).dedup().order()"),
+            QueryResult::Vertices(vec![VertexId(4), VertexId(5)])
+        );
+    }
+
+    #[test]
+    fn in_uses_reverse_index() {
+        assert_eq!(
+            run("g.V(4).in(follow).order()"),
+            QueryResult::Vertices(vec![VertexId(2), VertexId(3)])
+        );
+    }
+
+    #[test]
+    fn values_fetches_vertex_props() {
+        let QueryResult::Values(vals) = run("g.V(1).out(follow).order().values()") else {
+            panic!("expected values");
+        };
+        assert_eq!(
+            vals,
+            vec![
+                (VertexId(2), Some(b"user2".to_vec())),
+                (VertexId(3), Some(b"user3".to_vec())),
+            ]
+        );
+    }
+
+    #[test]
+    fn paths_are_complete() {
+        let QueryResult::Paths(mut paths) = run("g.V(1).out(follow).out(follow).path()") else {
+            panic!("expected paths");
+        };
+        paths.sort();
+        assert_eq!(
+            paths,
+            vec![
+                vec![VertexId(1), VertexId(2), VertexId(4)],
+                vec![VertexId(1), VertexId(3), VertexId(4)],
+                vec![VertexId(1), VertexId(3), VertexId(5)],
+            ]
+        );
+    }
+
+    #[test]
+    fn pushed_down_limit_bounds_expansion_io() {
+        // A super-vertex with 1000 out-edges; limit(3) must not fetch them
+        // all. MemGraph can't count fetches directly, but the bound also
+        // shows in the result size and in not exceeding max_traversers.
+        let g = MemGraph::new();
+        for d in 0..1000u64 {
+            g.insert_edge(&Edge::new(VertexId(1), EdgeType::LIKE, VertexId(d)))
+                .unwrap();
+        }
+        let exec = Executor::new(ExecutorConfig {
+            default_fanout: 100,
+            max_traversers: 10, // would abort an unbounded expansion
+        });
+        let result = exec.run_text(&g, "g.V(1).out(like).limit(3)").unwrap();
+        assert_eq!(
+            result,
+            QueryResult::Vertices(vec![VertexId(0), VertexId(1), VertexId(2)])
+        );
+        // Without the pushdown (dedup in between), the same budget aborts.
+        let err = exec.run_text(&g, "g.V(1).out(like).dedup().limit(3)");
+        assert!(err.is_err(), "unbounded expansion exceeds the budget");
+    }
+
+    #[test]
+    fn empty_source_yields_empty_results() {
+        assert_eq!(run("g.V().out(follow).count()"), QueryResult::Count(0));
+        assert_eq!(run("g.V()"), QueryResult::Vertices(vec![]));
+    }
+
+    #[test]
+    fn non_terminal_query_returns_heads() {
+        assert_eq!(
+            run("g.V(2).out(follow)"),
+            QueryResult::Vertices(vec![VertexId(4)])
+        );
+    }
+
+    #[test]
+    fn fanout_guard_caps_unbounded_expansions() {
+        let g = MemGraph::new();
+        for d in 0..500u64 {
+            g.insert_edge(&Edge::new(VertexId(1), EdgeType::LIKE, VertexId(d)))
+                .unwrap();
+        }
+        let exec = Executor::new(ExecutorConfig {
+            default_fanout: 50,
+            max_traversers: 100_000,
+        });
+        let QueryResult::Count(n) = exec.run_text(&g, "g.V(1).out(like).count()").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(n, 50, "default fanout guard applied");
+    }
+}

@@ -1,0 +1,59 @@
+//! # bg3-query
+//!
+//! The execution layer of the BG3 architecture (the paper's Fig. 1/2 "BGE":
+//! it "converts query language into specific execution plans and handles
+//! computation-intensive operations such as sorting and aggregation").
+//! ByteGraph's wire language is Gremlin; this crate implements a
+//! Gremlin-flavored subset:
+//!
+//! ```text
+//! g.V(1, 2).out(follow).dedup().order().limit(10)
+//! g.V(42).out(like).in(like).dedup().count()
+//! g.V(7).out(transfer).out(transfer).path().limit(5)
+//! g.V(3).out(follow).values()
+//! ```
+//!
+//! Pipeline: [`parse`] (text → [`Query`]) → [`optimize`] ([`Query`] →
+//! [`Plan`], with limit pushdown and dedup fusion) → [`Executor::run`]
+//! (plan → [`QueryResult`] against any [`bg3_graph::GraphStore`]).
+//!
+//! Reverse traversal (`in(...)`) uses the reverse-adjacency convention of
+//! [`bg3_graph`]-based engines: an edge type's reverse index is stored
+//! under [`reverse_etype`]; engines that maintain it (see
+//! `bg3_core::Bg3Config`) serve `in()` at the same cost as `out()`.
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod parser;
+pub mod plan;
+
+pub use ast::{Query, Step};
+pub use error::{ParseError, QueryError};
+pub use exec::{Executor, ExecutorConfig, QueryResult};
+pub use parser::parse;
+pub use plan::{optimize, Plan, PlannedStep};
+
+use bg3_graph::EdgeType;
+
+/// The edge type under which the reverse index of `etype` is stored
+/// (delegates to [`EdgeType::reversed`]).
+pub fn reverse_etype(etype: EdgeType) -> EdgeType {
+    etype.reversed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverse_is_involution_free_marker() {
+        assert_eq!(reverse_etype(EdgeType(1)), EdgeType(0x8001));
+        assert_eq!(reverse_etype(EdgeType(0x7FFF)), EdgeType(0xFFFF));
+        // Marking twice is idempotent.
+        assert_eq!(
+            reverse_etype(reverse_etype(EdgeType(5))),
+            reverse_etype(EdgeType(5))
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! Recursive-descent parser for the Gremlin-flavored text form.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query  := "g" "." step ("." step)*
+//! step   := name "(" args? ")"
+//! name   := "V" | "out" | "in" | "both" | "repeat" | "has_vertex"
+//!         | "dedup" | "limit" | "order" | "count" | "values" | "path"
+//! args   := arg ("," arg)*
+//! arg    := integer | edge-type-name | step (inside repeat)
+//! ```
+//!
+//! Edge types accept the well-known names (`follow`, `like`, `transfer`) or
+//! a bare integer.
+
+use crate::ast::{Query, Step};
+use crate::error::ParseError;
+use bg3_graph::{EdgeType, VertexId};
+
+struct Parser<'a> {
+    text: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            position: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.text.len() && self.text[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.text.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", byte as char))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .text
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected identifier");
+        }
+        Ok(String::from_utf8_lossy(&self.text[start..self.pos]).into_owned())
+    }
+
+    fn integer(&mut self) -> Result<u64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.text.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected integer");
+        }
+        std::str::from_utf8(&self.text[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map_or_else(|| self.err("integer out of range"), Ok)
+    }
+
+    fn int_args(&mut self) -> Result<Vec<u64>, ParseError> {
+        self.expect(b'(')?;
+        let mut args = Vec::new();
+        if self.peek() != Some(b')') {
+            loop {
+                args.push(self.integer()?);
+                if self.peek() == Some(b',') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(b')')?;
+        Ok(args)
+    }
+
+    fn etype_arg(&mut self) -> Result<EdgeType, ParseError> {
+        self.expect(b'(')?;
+        let etype = match self.peek() {
+            Some(b) if b.is_ascii_digit() => EdgeType(
+                u16::try_from(self.integer()?)
+                    .map_err(|_| ParseError {
+                        position: self.pos,
+                        message: "edge type out of range".into(),
+                    })?,
+            ),
+            _ => {
+                let name = self.ident()?;
+                match name.as_str() {
+                    "follow" => EdgeType::FOLLOW,
+                    "like" => EdgeType::LIKE,
+                    "transfer" => EdgeType::TRANSFER,
+                    other => return self.err(format!("unknown edge type '{other}'")),
+                }
+            }
+        };
+        self.expect(b')')?;
+        Ok(etype)
+    }
+
+    fn no_args(&mut self) -> Result<(), ParseError> {
+        self.expect(b'(')?;
+        self.expect(b')')
+    }
+
+    fn step(&mut self) -> Result<Step, ParseError> {
+        let name = self.ident()?;
+        match name.as_str() {
+            "V" => Ok(Step::V(
+                self.int_args()?.into_iter().map(VertexId).collect(),
+            )),
+            "out" => Ok(Step::Out(self.etype_arg()?)),
+            "in" => Ok(Step::In(self.etype_arg()?)),
+            "both" => Ok(Step::Both(self.etype_arg()?)),
+            "has_vertex" => {
+                self.no_args()?;
+                Ok(Step::HasVertex)
+            }
+            "repeat" => {
+                // repeat(<expansion>, <times>)
+                self.expect(b'(')?;
+                let inner = self.step()?;
+                self.expect(b',')?;
+                let times = self.integer()? as usize;
+                self.expect(b')')?;
+                Ok(Step::Repeat {
+                    inner: Box::new(inner),
+                    times,
+                })
+            }
+            "dedup" => {
+                self.no_args()?;
+                Ok(Step::Dedup)
+            }
+            "limit" => {
+                let args = self.int_args()?;
+                if args.len() != 1 {
+                    return self.err("limit takes exactly one argument");
+                }
+                Ok(Step::Limit(args[0] as usize))
+            }
+            "order" => {
+                self.no_args()?;
+                Ok(Step::Order)
+            }
+            "count" => {
+                self.no_args()?;
+                Ok(Step::Count)
+            }
+            "values" => {
+                self.no_args()?;
+                Ok(Step::Values)
+            }
+            "path" => {
+                self.no_args()?;
+                Ok(Step::Path)
+            }
+            other => self.err(format!("unknown step '{other}'")),
+        }
+    }
+}
+
+/// Parses the text form into a validated [`Query`].
+pub fn parse(text: &str) -> Result<Query, ParseError> {
+    let mut p = Parser {
+        text: text.as_bytes(),
+        pos: 0,
+    };
+    let g = p.ident()?;
+    if g != "g" {
+        return Err(ParseError {
+            position: 0,
+            message: "queries start with 'g.'".into(),
+        });
+    }
+    let mut steps = Vec::new();
+    while p.peek() == Some(b'.') {
+        p.pos += 1;
+        steps.push(p.step()?);
+    }
+    p.skip_ws();
+    if p.pos != p.text.len() {
+        return Err(ParseError {
+            position: p.pos,
+            message: "trailing input".into(),
+        });
+    }
+    let query = Query { steps };
+    query.validate().map_err(|message| ParseError {
+        position: text.len(),
+        message,
+    })?;
+    Ok(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_pipeline() {
+        let q = parse("g.V(1, 2).out(follow).dedup().order().limit(10).count()").unwrap();
+        assert_eq!(
+            q.steps,
+            vec![
+                Step::V(vec![VertexId(1), VertexId(2)]),
+                Step::Out(EdgeType::FOLLOW),
+                Step::Dedup,
+                Step::Order,
+                Step::Limit(10),
+                Step::Count,
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_numeric_edge_types_and_in() {
+        let q = parse("g.V(7).in(2).out(9)").unwrap();
+        assert_eq!(
+            q.steps,
+            vec![
+                Step::V(vec![VertexId(7)]),
+                Step::In(EdgeType::LIKE),
+                Step::Out(EdgeType(9)),
+            ]
+        );
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        let a = parse("g.V(1).out(like).count()").unwrap();
+        let b = parse("  g . V ( 1 ) . out ( like ) . count ( )  ").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "V(1)",                          // missing g.
+            "g.out(follow)",                 // no source
+            "g.V(1).count().limit(2)",       // terminal not last
+            "g.V(1).V(2)",                   // V not first
+            "g.V(1).out(unknown_type)",      // bad edge type
+            "g.V(1).limit()",                // missing arg
+            "g.V(1).limit(1,2)",             // too many args
+            "g.V(1).frobnicate()",           // unknown step
+            "g.V(1).out(follow) trailing",   // trailing junk
+            "g.V(1).out(99999)",             // etype out of u16 range
+        ] {
+            assert!(parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn parses_repeat_both_and_has_vertex() {
+        let q = parse("g.V(1).repeat(out(follow), 3).both(like).has_vertex()").unwrap();
+        assert_eq!(
+            q.steps,
+            vec![
+                Step::V(vec![VertexId(1)]),
+                Step::Repeat {
+                    inner: Box::new(Step::Out(EdgeType::FOLLOW)),
+                    times: 3,
+                },
+                Step::Both(EdgeType::LIKE),
+                Step::HasVertex,
+            ]
+        );
+        // repeat's inner step must be an expansion.
+        assert!(parse("g.V(1).repeat(dedup(), 2)").is_err());
+        assert!(parse("g.V(1).repeat(out(follow))").is_err(), "missing count");
+    }
+
+    #[test]
+    fn empty_v_is_allowed() {
+        let q = parse("g.V().count()").unwrap();
+        assert_eq!(q.steps[0], Step::V(vec![]));
+    }
+
+    #[test]
+    fn error_positions_point_at_the_problem() {
+        let err = parse("g.V(1).bogus()").unwrap_err();
+        assert!(err.position >= 7, "position {} in text", err.position);
+        assert!(err.message.contains("bogus"));
+    }
+}

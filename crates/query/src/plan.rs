@@ -1,0 +1,250 @@
+//! Logical planning: turns a validated [`Query`] into an executable
+//! [`Plan`] with a few classic rewrites.
+//!
+//! * **Dedup fusion** — consecutive `dedup()` steps collapse into one.
+//! * **Limit pushdown** — `out(e).limit(n)` (with nothing order-sensitive
+//!   between them) becomes a bounded expansion: the executor stops
+//!   expanding once `n` traversers exist, instead of materializing the
+//!   full fan-out of a super-vertex and discarding most of it. This is the
+//!   practical difference between touching one Bw-tree page and scanning a
+//!   celebrity's whole adjacency list.
+//! * **Limit fusion** — consecutive limits keep the smallest.
+
+use crate::ast::{Query, Step};
+use bg3_graph::{EdgeType, VertexId};
+
+/// Traversal direction of an expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Out-edges.
+    Out,
+    /// In-edges via the reverse index.
+    In,
+    /// Both directions.
+    Both,
+}
+
+/// One executable step. Mirrors [`Step`] but expansions carry an inline
+/// bound when a limit was pushed down, and `repeat` is unrolled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlannedStep {
+    /// Source vertices.
+    Source(Vec<VertexId>),
+    /// Expansion along `etype` in direction `dir`; `bound` caps the number
+    /// of surviving traversers (pushed-down limit).
+    Expand {
+        /// Edge type to follow.
+        etype: EdgeType,
+        /// Traversal direction.
+        dir: Dir,
+        /// Stop expanding once this many traversers exist.
+        bound: Option<usize>,
+    },
+    /// Keep only traversers whose head exists in the vertex table.
+    HasVertex,
+    /// Head-vertex dedup.
+    Dedup,
+    /// Explicit limit (not pushed into an expansion).
+    Limit(usize),
+    /// Sort by head vertex id.
+    Order,
+    /// Terminal: count.
+    Count,
+    /// Terminal: head vertices + properties.
+    Values,
+    /// Terminal: full paths.
+    Path,
+}
+
+/// An optimized, executable pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Steps in execution order.
+    pub steps: Vec<PlannedStep>,
+}
+
+/// Optimizes a validated query.
+pub fn optimize(query: &Query) -> Plan {
+    // 1. Translate; `repeat` unrolls into consecutive expansions.
+    fn expand_of(step: &Step) -> PlannedStep {
+        match step {
+            Step::Out(e) => PlannedStep::Expand {
+                etype: *e,
+                dir: Dir::Out,
+                bound: None,
+            },
+            Step::In(e) => PlannedStep::Expand {
+                etype: *e,
+                dir: Dir::In,
+                bound: None,
+            },
+            Step::Both(e) => PlannedStep::Expand {
+                etype: *e,
+                dir: Dir::Both,
+                bound: None,
+            },
+            other => unreachable!("validated expansion step, got {other:?}"),
+        }
+    }
+    let mut steps: Vec<PlannedStep> = Vec::with_capacity(query.steps.len());
+    for s in &query.steps {
+        match s {
+            Step::V(ids) => steps.push(PlannedStep::Source(ids.clone())),
+            Step::Out(_) | Step::In(_) | Step::Both(_) => steps.push(expand_of(s)),
+            Step::Repeat { inner, times } => {
+                for _ in 0..*times {
+                    steps.push(expand_of(inner));
+                }
+            }
+            Step::HasVertex => steps.push(PlannedStep::HasVertex),
+            Step::Dedup => steps.push(PlannedStep::Dedup),
+            Step::Limit(n) => steps.push(PlannedStep::Limit(*n)),
+            Step::Order => steps.push(PlannedStep::Order),
+            Step::Count => steps.push(PlannedStep::Count),
+            Step::Values => steps.push(PlannedStep::Values),
+            Step::Path => steps.push(PlannedStep::Path),
+        }
+    }
+
+    // 2. Fuse consecutive dedups and consecutive limits.
+    let mut fused: Vec<PlannedStep> = Vec::with_capacity(steps.len());
+    for step in steps.drain(..) {
+        match (&step, fused.last_mut()) {
+            (PlannedStep::Dedup, Some(PlannedStep::Dedup)) => {}
+            (PlannedStep::Limit(n), Some(PlannedStep::Limit(m))) => *m = (*m).min(*n),
+            _ => fused.push(step),
+        }
+    }
+
+    // 3. Push `Limit(n)` into a directly preceding expansion. Only safe
+    //    when the limit immediately follows the expansion: any intervening
+    //    dedup/order changes which traversers survive.
+    let mut pushed: Vec<PlannedStep> = Vec::with_capacity(fused.len());
+    for step in fused {
+        match (&step, pushed.last_mut()) {
+            (
+                PlannedStep::Limit(n),
+                Some(PlannedStep::Expand { bound, .. }),
+            ) => {
+                *bound = Some(bound.map_or(*n, |b| b.min(*n)));
+            }
+            _ => pushed.push(step),
+        }
+    }
+    Plan { steps: pushed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn plan_of(text: &str) -> Plan {
+        optimize(&parse(text).unwrap())
+    }
+
+    #[test]
+    fn limit_pushes_into_expansion() {
+        let plan = plan_of("g.V(1).out(follow).limit(5)");
+        assert_eq!(
+            plan.steps,
+            vec![
+                PlannedStep::Source(vec![bg3_graph::VertexId(1)]),
+                PlannedStep::Expand {
+                    etype: EdgeType::FOLLOW,
+                    dir: Dir::Out,
+                    bound: Some(5),
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn limit_does_not_cross_dedup_or_order() {
+        let plan = plan_of("g.V(1).out(follow).dedup().limit(5)");
+        assert!(matches!(
+            plan.steps[1],
+            PlannedStep::Expand { bound: None, .. }
+        ));
+        assert_eq!(plan.steps[3], PlannedStep::Limit(5));
+
+        let plan = plan_of("g.V(1).out(follow).order().limit(5)");
+        assert!(matches!(
+            plan.steps[1],
+            PlannedStep::Expand { bound: None, .. }
+        ));
+    }
+
+    #[test]
+    fn consecutive_dedups_and_limits_fuse() {
+        let plan = plan_of("g.V(1).dedup().dedup().limit(9).limit(4)");
+        assert_eq!(
+            plan.steps,
+            vec![
+                PlannedStep::Source(vec![bg3_graph::VertexId(1)]),
+                PlannedStep::Dedup,
+                PlannedStep::Limit(4),
+            ]
+        );
+    }
+
+    #[test]
+    fn pushed_bounds_take_the_minimum() {
+        let plan = plan_of("g.V(1).out(like).limit(9).limit(3)");
+        assert!(matches!(
+            plan.steps[1],
+            PlannedStep::Expand { bound: Some(3), .. }
+        ));
+    }
+
+    #[test]
+    fn in_becomes_reverse_expansion() {
+        let plan = plan_of("g.V(1).in(like)");
+        assert!(matches!(
+            plan.steps[1],
+            PlannedStep::Expand {
+                dir: Dir::In,
+                etype: EdgeType::LIKE,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn repeat_unrolls_into_expansions() {
+        let plan = plan_of("g.V(1).repeat(out(follow), 3).dedup()");
+        assert_eq!(plan.steps.len(), 5, "source + 3 expands + dedup");
+        for i in 1..=3 {
+            assert!(matches!(
+                plan.steps[i],
+                PlannedStep::Expand {
+                    dir: Dir::Out,
+                    etype: EdgeType::FOLLOW,
+                    bound: None,
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn limit_pushes_into_the_last_unrolled_hop() {
+        let plan = plan_of("g.V(1).repeat(out(follow), 2).limit(4)");
+        assert!(matches!(
+            plan.steps[1],
+            PlannedStep::Expand { bound: None, .. }
+        ));
+        assert!(matches!(
+            plan.steps[2],
+            PlannedStep::Expand { bound: Some(4), .. }
+        ));
+    }
+
+    #[test]
+    fn both_becomes_bidirectional_expansion() {
+        let plan = plan_of("g.V(1).both(follow)");
+        assert!(matches!(
+            plan.steps[1],
+            PlannedStep::Expand { dir: Dir::Both, .. }
+        ));
+    }
+}

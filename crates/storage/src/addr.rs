@@ -1,0 +1,133 @@
+//! Addressing types for the append-only store.
+//!
+//! A record written to the store is identified by the stream it was appended
+//! to, the extent within that stream, and its byte offset/length inside the
+//! extent. Addresses are stable for the lifetime of the record: relocation
+//! during space reclamation produces a *new* address and invalidates the old
+//! one (out-of-place update, §2.5).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one append-only stream within the store.
+///
+/// BG3 separates base pages and delta pages into distinct streams so that
+/// their very different lifetimes do not pollute each other's extents
+/// (adopted from ArkDB, §3.3). The WAL lives in its own stream as well.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct StreamId(pub u8);
+
+impl StreamId {
+    /// Stream holding Bw-tree base pages (long-lived, low churn).
+    pub const BASE: StreamId = StreamId(0);
+    /// Stream holding Bw-tree delta pages (short-lived, high churn).
+    pub const DELTA: StreamId = StreamId(1);
+    /// Stream holding the write-ahead log used for RW→RO synchronization.
+    pub const WAL: StreamId = StreamId(2);
+    /// Stream holding LSM SSTable blocks (used by the ByteGraph baseline).
+    pub const SST: StreamId = StreamId(3);
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            StreamId::BASE => write!(f, "base"),
+            StreamId::DELTA => write!(f, "delta"),
+            StreamId::WAL => write!(f, "wal"),
+            StreamId::SST => write!(f, "sst"),
+            StreamId(other) => write!(f, "stream#{other}"),
+        }
+    }
+}
+
+/// Identifies an extent. Extent ids are unique across streams and never
+/// reused, which keeps space-reclamation bookkeeping simple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ExtentId(pub u64);
+
+impl fmt::Display for ExtentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ext#{}", self.0)
+    }
+}
+
+/// Monotonically increasing id assigned to every record appended to the
+/// store. Used to correlate invalidation with the original append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RecordId(pub u64);
+
+/// The durable address of one record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PageAddr {
+    /// Stream the record lives in.
+    pub stream: StreamId,
+    /// Extent within the stream.
+    pub extent: ExtentId,
+    /// Byte offset inside the extent.
+    pub offset: u32,
+    /// Length of the record in bytes.
+    pub len: u32,
+    /// Unique record id (survives nothing: relocation mints a new one).
+    pub record: RecordId,
+}
+
+impl PageAddr {
+    /// Number of payload bytes the record occupies.
+    pub fn byte_len(&self) -> usize {
+        self.len as usize
+    }
+}
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}@{}+{}",
+            self.stream, self.extent, self.offset, self.len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_display_names() {
+        assert_eq!(StreamId::BASE.to_string(), "base");
+        assert_eq!(StreamId::DELTA.to_string(), "delta");
+        assert_eq!(StreamId::WAL.to_string(), "wal");
+        assert_eq!(StreamId::SST.to_string(), "sst");
+        assert_eq!(StreamId(9).to_string(), "stream#9");
+    }
+
+    #[test]
+    fn addr_byte_len_matches_len_field() {
+        let addr = PageAddr {
+            stream: StreamId::BASE,
+            extent: ExtentId(3),
+            offset: 128,
+            len: 512,
+            record: RecordId(7),
+        };
+        assert_eq!(addr.byte_len(), 512);
+        assert_eq!(addr.to_string(), "base/ext#3@128+512");
+    }
+
+    #[test]
+    fn addr_equality_is_structural() {
+        let a = PageAddr {
+            stream: StreamId::DELTA,
+            extent: ExtentId(1),
+            offset: 0,
+            len: 10,
+            record: RecordId(1),
+        };
+        let mut b = a;
+        assert_eq!(a, b);
+        b.offset = 1;
+        assert_ne!(a, b);
+    }
+}

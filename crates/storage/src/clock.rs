@@ -1,0 +1,124 @@
+//! A virtual clock for deterministic latency experiments.
+//!
+//! The paper's synchronization experiments (Fig. 13/14) report wall-clock
+//! latencies that are dominated by the shared store's millisecond-level
+//! append/read latency. Re-running those on a laptop against real sleeps
+//! would be slow and noisy, so every storage operation instead *charges*
+//! its modelled latency to a shared [`SimClock`]. Throughput-oriented
+//! experiments (Fig. 8/9/10/11) use real wall time and only read the byte/op
+//! counters.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A point on the simulated timeline, in nanoseconds since clock creation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimInstant(pub u64);
+
+impl SimInstant {
+    /// Nanoseconds elapsed from `earlier` to `self`, saturating at zero.
+    pub fn duration_since(&self, earlier: SimInstant) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// This instant expressed in microseconds.
+    pub fn as_micros(&self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// This instant expressed in milliseconds.
+    pub fn as_millis(&self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns the instant `nanos` nanoseconds later.
+    pub fn plus_nanos(&self, nanos: u64) -> SimInstant {
+        SimInstant(self.0 + nanos)
+    }
+}
+
+/// A shareable, monotonically advancing virtual clock.
+///
+/// Cloning is cheap; all clones observe the same timeline.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock positioned at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimInstant {
+        SimInstant(self.nanos.load(Ordering::Acquire))
+    }
+
+    /// Advances the clock by `nanos` nanoseconds and returns the new time.
+    pub fn advance_nanos(&self, nanos: u64) -> SimInstant {
+        SimInstant(self.nanos.fetch_add(nanos, Ordering::AcqRel) + nanos)
+    }
+
+    /// Advances the clock by `micros` microseconds and returns the new time.
+    pub fn advance_micros(&self, micros: u64) -> SimInstant {
+        self.advance_nanos(micros * 1_000)
+    }
+
+    /// Advances the clock by `millis` milliseconds and returns the new time.
+    pub fn advance_millis(&self, millis: u64) -> SimInstant {
+        self.advance_nanos(millis * 1_000_000)
+    }
+
+    /// Moves the clock forward to at least `instant` (no-op if already past).
+    ///
+    /// Used when merging timelines, e.g. an RO node observing a WAL record
+    /// stamped by the RW node's clock.
+    pub fn advance_to(&self, instant: SimInstant) {
+        self.nanos.fetch_max(instant.0, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now(), SimInstant(0));
+        let t = clock.advance_micros(5);
+        assert_eq!(t, SimInstant(5_000));
+        assert_eq!(clock.now().as_micros(), 5);
+    }
+
+    #[test]
+    fn clones_share_the_timeline() {
+        let clock = SimClock::new();
+        let peer = clock.clone();
+        clock.advance_millis(3);
+        assert_eq!(peer.now().as_millis(), 3);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let clock = SimClock::new();
+        clock.advance_nanos(100);
+        clock.advance_to(SimInstant(50)); // behind: no-op
+        assert_eq!(clock.now(), SimInstant(100));
+        clock.advance_to(SimInstant(250));
+        assert_eq!(clock.now(), SimInstant(250));
+    }
+
+    #[test]
+    fn duration_since_saturates() {
+        let a = SimInstant(10);
+        let b = SimInstant(30);
+        assert_eq!(b.duration_since(a), 20);
+        assert_eq!(a.duration_since(b), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types shared by the storage layer.
+
+use crate::addr::{ExtentId, PageAddr, StreamId};
+use std::fmt;
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors produced by the append-only store and mapping table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The addressed record was never written, was relocated, or its extent
+    /// has been reclaimed.
+    AddrNotFound(PageAddr),
+    /// The record bytes at the address do not span the requested range
+    /// (offset/len mismatch — indicates a stale or corrupted address).
+    AddrOutOfBounds(PageAddr),
+    /// The stream has not been opened on this store.
+    UnknownStream(StreamId),
+    /// The extent is not (or no longer) present.
+    UnknownExtent(ExtentId),
+    /// A record larger than the extent capacity was appended.
+    RecordTooLarge { len: usize, capacity: usize },
+    /// The record was already invalidated (double free of log space).
+    AlreadyInvalid(PageAddr),
+    /// An extent that still holds valid records was asked to be freed
+    /// without relocation.
+    ExtentStillLive { extent: ExtentId, valid: usize },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::AddrNotFound(addr) => write!(f, "address not found: {addr}"),
+            StorageError::AddrOutOfBounds(addr) => write!(f, "address out of bounds: {addr}"),
+            StorageError::UnknownStream(s) => write!(f, "unknown stream: {s}"),
+            StorageError::UnknownExtent(e) => write!(f, "unknown extent: {e}"),
+            StorageError::RecordTooLarge { len, capacity } => {
+                write!(f, "record of {len} bytes exceeds extent capacity {capacity}")
+            }
+            StorageError::AlreadyInvalid(addr) => {
+                write!(f, "record already invalidated: {addr}")
+            }
+            StorageError::ExtentStillLive { extent, valid } => {
+                write!(f, "{extent} still holds {valid} valid records")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::RecordId;
+
+    #[test]
+    fn errors_render_human_readable() {
+        let addr = PageAddr {
+            stream: StreamId::BASE,
+            extent: ExtentId(2),
+            offset: 4,
+            len: 8,
+            record: RecordId(11),
+        };
+        assert_eq!(
+            StorageError::AddrNotFound(addr).to_string(),
+            "address not found: base/ext#2@4+8"
+        );
+        assert_eq!(
+            StorageError::RecordTooLarge { len: 10, capacity: 4 }.to_string(),
+            "record of 10 bytes exceeds extent capacity 4"
+        );
+        assert_eq!(
+            StorageError::ExtentStillLive { extent: ExtentId(1), valid: 3 }.to_string(),
+            "ext#1 still holds 3 valid records"
+        );
+    }
+}

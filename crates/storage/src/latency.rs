@@ -1,0 +1,114 @@
+//! Latency model for the simulated shared store.
+//!
+//! The defaults mimic a Pangu/Tectonic-class append-only cloud store
+//! (§4.1: "millisecond-level latency"): appends are cheap sequential I/O,
+//! random reads pay a seek-equivalent, and both scale mildly with size.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation latency parameters, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Fixed cost of one append (sequential tail write), µs.
+    pub append_us: u64,
+    /// Fixed cost of one random read, µs.
+    pub random_read_us: u64,
+    /// Additional cost per KiB transferred (either direction), µs.
+    pub per_kib_us: u64,
+    /// Fixed cost of publishing a mapping-table version, µs.
+    pub mapping_publish_us: u64,
+    /// Network round-trip between a node and the store, µs. Charged once per
+    /// operation on top of the storage-side cost.
+    pub network_rtt_us: u64,
+}
+
+impl LatencyModel {
+    /// A cloud-storage-like profile: ~1 ms appends, ~0.8 ms random reads.
+    pub fn cloud() -> Self {
+        LatencyModel {
+            append_us: 500,
+            random_read_us: 400,
+            per_kib_us: 2,
+            mapping_publish_us: 300,
+            network_rtt_us: 500,
+        }
+    }
+
+    /// A zero-latency profile for pure-throughput experiments where only the
+    /// byte/op counters matter (Fig. 9/10/11).
+    pub fn zero() -> Self {
+        LatencyModel {
+            append_us: 0,
+            random_read_us: 0,
+            per_kib_us: 0,
+            mapping_publish_us: 0,
+            network_rtt_us: 0,
+        }
+    }
+
+    /// Total simulated cost of appending `len` bytes, in nanoseconds.
+    pub fn append_cost_nanos(&self, len: usize) -> u64 {
+        (self.append_us + self.network_rtt_us + self.size_cost_us(len)) * 1_000
+    }
+
+    /// Total simulated cost of randomly reading `len` bytes, in nanoseconds.
+    pub fn read_cost_nanos(&self, len: usize) -> u64 {
+        (self.random_read_us + self.network_rtt_us + self.size_cost_us(len)) * 1_000
+    }
+
+    /// Total simulated cost of a mapping-table publish, in nanoseconds.
+    pub fn mapping_cost_nanos(&self) -> u64 {
+        (self.mapping_publish_us + self.network_rtt_us) * 1_000
+    }
+
+    fn size_cost_us(&self, len: usize) -> u64 {
+        // Round up to whole KiB so tiny records still pay a sliver.
+        let kib = (len as u64).div_ceil(1024);
+        kib * self.per_kib_us
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::cloud()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_charges_nothing() {
+        let m = LatencyModel::zero();
+        assert_eq!(m.append_cost_nanos(4096), 0);
+        assert_eq!(m.read_cost_nanos(4096), 0);
+        assert_eq!(m.mapping_cost_nanos(), 0);
+    }
+
+    #[test]
+    fn cloud_model_is_millisecond_scale() {
+        let m = LatencyModel::cloud();
+        let one_page = m.append_cost_nanos(8192);
+        // 500µs append + 500µs rtt + 8KiB * 2µs = 1016µs.
+        assert_eq!(one_page, 1_016_000);
+        let read = m.read_cost_nanos(1);
+        // 400 + 500 + 1 KiB rounded up * 2.
+        assert_eq!(read, 902_000);
+    }
+
+    #[test]
+    fn size_cost_rounds_up_to_kib() {
+        let m = LatencyModel {
+            append_us: 0,
+            random_read_us: 0,
+            per_kib_us: 10,
+            mapping_publish_us: 0,
+            network_rtt_us: 0,
+        };
+        assert_eq!(m.append_cost_nanos(0), 0);
+        assert_eq!(m.append_cost_nanos(1), 10_000);
+        assert_eq!(m.append_cost_nanos(1024), 10_000);
+        assert_eq!(m.append_cost_nanos(1025), 20_000);
+    }
+}

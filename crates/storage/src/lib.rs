@@ -1,0 +1,51 @@
+//! # bg3-storage
+//!
+//! A faithful, in-process stand-in for the append-only shared cloud storage
+//! that BG3 (SIGMOD-Companion '24) is deployed on at ByteDance (an internal
+//! Pangu/Tectonic-style service with millisecond-level latency).
+//!
+//! The store is *append-only*: data is written out-of-place to the tail of a
+//! stream and old versions are invalidated rather than overwritten (§2.5 of
+//! the paper). Each stream is partitioned into fixed-size **extents**, the
+//! unit of space reclamation. The store keeps, per extent, the usage metadata
+//! that BG3's workload-aware garbage collector consumes (§3.3):
+//!
+//! * latest update time,
+//! * valid/invalid record counts (fragmentation rate),
+//! * a history of invalidation events (update gradient),
+//! * an optional TTL deadline (batch expiry).
+//!
+//! Two measurement facilities make the paper's experiments reproducible on a
+//! laptop:
+//!
+//! * [`SimClock`] — a virtual clock; every storage operation charges a
+//!   configurable latency so experiments that report *milliseconds*
+//!   (e.g. leader-follower sync latency, Fig. 13/14) are deterministic.
+//! * [`IoStats`] — atomic counters for appends, random reads, and bytes in
+//!   both directions, the quantities behind Fig. 9 (read amplification),
+//!   Fig. 10 (write bandwidth) and Table 2 (background move bandwidth).
+//!
+//! The crate also provides [`SharedMappingTable`], the multi-versioned
+//! page-id → storage-address directory that lives *on* the shared store and
+//! lets read-only nodes observe a consistent old version until the read-write
+//! node publishes (§3.4, Fig. 7 step (8)).
+
+pub mod addr;
+pub mod clock;
+pub mod error;
+pub mod extent;
+pub mod latency;
+pub mod mapping;
+pub mod stats;
+pub mod store;
+pub mod stream;
+
+pub use addr::{ExtentId, PageAddr, RecordId, StreamId};
+pub use clock::{SimClock, SimInstant};
+pub use error::{StorageError, StorageResult};
+pub use extent::{ExtentInfo, ExtentState, UsageSample};
+pub use latency::LatencyModel;
+pub use mapping::{MappingSnapshot, SharedMappingTable};
+pub use stats::{IoStats, IoStatsSnapshot};
+pub use store::{AppendOnlyStore, StoreConfig};
+pub use stream::StreamStats;

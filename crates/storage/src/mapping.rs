@@ -1,0 +1,223 @@
+//! The shared, versioned mapping table.
+//!
+//! BG3 keeps the Bw-tree mapping table (page id → storage address) *on* the
+//! shared store, and updates it only after dirty pages have been flushed
+//! (§3.4, Fig. 7 step (8)). Until that publish, read-only nodes that miss in
+//! cache resolve pages through the **old** mapping version and patch them
+//! forward by replaying WAL records — this is what makes the design
+//! consistent without blocking the leader.
+//!
+//! We model this with a copy-on-publish table: readers always see the last
+//! published version; the RW node stages a batch of updates and publishes
+//! them atomically, bumping the version number.
+
+use crate::clock::SimClock;
+use crate::latency::LatencyModel;
+use crate::stats::IoStats;
+use crate::PageAddr;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An immutable snapshot of the mapping table at some published version.
+#[derive(Debug, Clone)]
+pub struct MappingSnapshot {
+    version: u64,
+    entries: Arc<HashMap<u64, PageAddr>>,
+}
+
+impl MappingSnapshot {
+    /// The published version this snapshot reflects.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Resolves `page_id` to its storage address at this version.
+    pub fn get(&self, page_id: u64) -> Option<PageAddr> {
+        self.entries.get(&page_id).copied()
+    }
+
+    /// Number of mapped pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+struct MappingInner {
+    current: RwLock<MappingSnapshot>,
+}
+
+/// Thread-safe handle to the shared mapping table. Clones observe the same
+/// table (they model different nodes resolving through the same service).
+#[derive(Clone)]
+pub struct SharedMappingTable {
+    inner: Arc<MappingInner>,
+    clock: SimClock,
+    latency: LatencyModel,
+    stats: Arc<IoStats>,
+}
+
+impl SharedMappingTable {
+    /// Creates an empty table at version 0.
+    pub fn new(clock: SimClock, latency: LatencyModel) -> Self {
+        SharedMappingTable {
+            inner: Arc::new(MappingInner {
+                current: RwLock::new(MappingSnapshot {
+                    version: 0,
+                    entries: Arc::new(HashMap::new()),
+                }),
+            }),
+            clock,
+            latency,
+            stats: Arc::new(IoStats::new()),
+        }
+    }
+
+    /// Convenience constructor tied to a store's clock and latency model.
+    pub fn for_store(store: &crate::AppendOnlyStore) -> Self {
+        // The mapping service shares the store's clock; it keeps its own
+        // publish counters (the store's stats track data-plane I/O only).
+        Self::new(store.clock().clone(), LatencyModel::default())
+    }
+
+    /// Latest published snapshot. Cheap: clones two `Arc`s.
+    pub fn snapshot(&self) -> MappingSnapshot {
+        self.inner.current.read().clone()
+    }
+
+    /// Resolves one page through the latest published version.
+    pub fn get(&self, page_id: u64) -> Option<PageAddr> {
+        self.inner.current.read().get(page_id)
+    }
+
+    /// Atomically applies a batch of `(page_id, new_addr)` updates and
+    /// removals, charging one publish latency. Returns the new version.
+    ///
+    /// `None` as an address removes the page (page was merged away).
+    pub fn publish(&self, updates: impl IntoIterator<Item = (u64, Option<PageAddr>)>) -> u64 {
+        let mut guard = self.inner.current.write();
+        let mut next: HashMap<u64, PageAddr> = (*guard.entries).clone();
+        for (page_id, addr) in updates {
+            match addr {
+                Some(a) => {
+                    next.insert(page_id, a);
+                }
+                None => {
+                    next.remove(&page_id);
+                }
+            }
+        }
+        let version = guard.version + 1;
+        *guard = MappingSnapshot {
+            version,
+            entries: Arc::new(next),
+        };
+        drop(guard);
+        self.clock
+            .advance_nanos(self.latency.mapping_cost_nanos());
+        self.stats.record_mapping_publish();
+        version
+    }
+
+    /// Number of publishes so far.
+    pub fn publish_count(&self) -> u64 {
+        self.stats.snapshot().mapping_publishes
+    }
+}
+
+impl std::fmt::Debug for SharedMappingTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("SharedMappingTable")
+            .field("version", &snap.version())
+            .field("pages", &snap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{ExtentId, RecordId, StreamId};
+
+    fn addr(n: u32) -> PageAddr {
+        PageAddr {
+            stream: StreamId::BASE,
+            extent: ExtentId(1),
+            offset: n,
+            len: 8,
+            record: RecordId(n as u64),
+        }
+    }
+
+    fn table() -> SharedMappingTable {
+        SharedMappingTable::new(SimClock::new(), LatencyModel::zero())
+    }
+
+    #[test]
+    fn publish_is_atomic_and_versioned() {
+        let t = table();
+        assert_eq!(t.snapshot().version(), 0);
+        let v1 = t.publish([(1, Some(addr(0))), (2, Some(addr(16)))]);
+        assert_eq!(v1, 1);
+        assert_eq!(t.get(1), Some(addr(0)));
+        assert_eq!(t.get(2), Some(addr(16)));
+        let v2 = t.publish([(1, Some(addr(32))), (2, None)]);
+        assert_eq!(v2, 2);
+        assert_eq!(t.get(1), Some(addr(32)));
+        assert_eq!(t.get(2), None);
+    }
+
+    #[test]
+    fn old_snapshots_keep_old_versions() {
+        // This is the §3.4 consistency mechanism: an RO node resolving
+        // through an older snapshot still sees the pre-split addresses.
+        let t = table();
+        t.publish([(7, Some(addr(0)))]);
+        let old = t.snapshot();
+        t.publish([(7, Some(addr(64)))]);
+        assert_eq!(old.get(7), Some(addr(0)), "old version immutable");
+        assert_eq!(t.get(7), Some(addr(64)), "new readers see the publish");
+        assert_eq!(old.version() + 1, t.snapshot().version());
+    }
+
+    #[test]
+    fn publish_charges_latency() {
+        let clock = SimClock::new();
+        let t = SharedMappingTable::new(
+            clock.clone(),
+            LatencyModel {
+                mapping_publish_us: 250,
+                network_rtt_us: 0,
+                append_us: 0,
+                random_read_us: 0,
+                per_kib_us: 0,
+            },
+        );
+        t.publish([(1, Some(addr(0)))]);
+        assert_eq!(clock.now().as_micros(), 250);
+        assert_eq!(t.publish_count(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_table() {
+        let t = table();
+        let peer = t.clone();
+        t.publish([(3, Some(addr(8)))]);
+        assert_eq!(peer.get(3), Some(addr(8)));
+    }
+
+    #[test]
+    fn empty_snapshot_reports_empty() {
+        let t = table();
+        assert!(t.snapshot().is_empty());
+        t.publish([(1, Some(addr(0)))]);
+        assert!(!t.snapshot().is_empty());
+        assert_eq!(t.snapshot().len(), 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Atomic I/O accounting.
+//!
+//! These counters are the primary measurement surface for the paper's
+//! micro-benchmarks: storage-side read QPS (Fig. 9), bytes written (Fig. 10),
+//! and background relocation bandwidth (Table 2) are all derived from here.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe I/O counters for one store.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    appends: AtomicU64,
+    bytes_appended: AtomicU64,
+    random_reads: AtomicU64,
+    bytes_read: AtomicU64,
+    invalidations: AtomicU64,
+    relocation_moves: AtomicU64,
+    relocation_bytes: AtomicU64,
+    wasted_relocation_bytes: AtomicU64,
+    extents_reclaimed: AtomicU64,
+    extents_expired: AtomicU64,
+    mapping_publishes: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_append(&self, len: usize) {
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.bytes_appended.fetch_add(len as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_read(&self, len: usize) {
+        self.random_reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_invalidation(&self) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_relocation(&self, len: usize) {
+        self.relocation_moves.fetch_add(1, Ordering::Relaxed);
+        self.relocation_bytes.fetch_add(len as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wasted_relocation(&self, len: u64) {
+        self.wasted_relocation_bytes.fetch_add(len, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_extent_reclaimed(&self) {
+        self.extents_reclaimed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_extent_expired(&self) {
+        self.extents_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_mapping_publish(&self) {
+        self.mapping_publishes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough point-in-time copy of all counters.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            appends: self.appends.load(Ordering::Relaxed),
+            bytes_appended: self.bytes_appended.load(Ordering::Relaxed),
+            random_reads: self.random_reads.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            relocation_moves: self.relocation_moves.load(Ordering::Relaxed),
+            relocation_bytes: self.relocation_bytes.load(Ordering::Relaxed),
+            wasted_relocation_bytes: self.wasted_relocation_bytes.load(Ordering::Relaxed),
+            extents_reclaimed: self.extents_reclaimed.load(Ordering::Relaxed),
+            extents_expired: self.extents_expired.load(Ordering::Relaxed),
+            mapping_publishes: self.mapping_publishes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`IoStats`]; supports subtraction for intervals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoStatsSnapshot {
+    /// Number of append operations.
+    pub appends: u64,
+    /// Bytes written by appends (foreground + relocation).
+    pub bytes_appended: u64,
+    /// Number of random read operations.
+    pub random_reads: u64,
+    /// Bytes returned by reads.
+    pub bytes_read: u64,
+    /// Number of record invalidations.
+    pub invalidations: u64,
+    /// Valid records moved by space reclamation.
+    pub relocation_moves: u64,
+    /// Bytes rewritten by space reclamation (the write-amplification term).
+    pub relocation_bytes: u64,
+    /// Relocated bytes that later became garbage anyway — the wasted
+    /// background I/O of Fig. 5 (moving pages that were about to die).
+    pub wasted_relocation_bytes: u64,
+    /// Extents freed after relocation.
+    pub extents_reclaimed: u64,
+    /// Extents dropped wholesale because their TTL elapsed.
+    pub extents_expired: u64,
+    /// Mapping-table version publishes.
+    pub mapping_publishes: u64,
+}
+
+impl IoStatsSnapshot {
+    /// Counter deltas from `earlier` to `self` (saturating).
+    pub fn delta_since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            appends: self.appends.saturating_sub(earlier.appends),
+            bytes_appended: self.bytes_appended.saturating_sub(earlier.bytes_appended),
+            random_reads: self.random_reads.saturating_sub(earlier.random_reads),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+            relocation_moves: self.relocation_moves.saturating_sub(earlier.relocation_moves),
+            relocation_bytes: self.relocation_bytes.saturating_sub(earlier.relocation_bytes),
+            wasted_relocation_bytes: self
+                .wasted_relocation_bytes
+                .saturating_sub(earlier.wasted_relocation_bytes),
+            extents_reclaimed: self.extents_reclaimed.saturating_sub(earlier.extents_reclaimed),
+            extents_expired: self.extents_expired.saturating_sub(earlier.extents_expired),
+            mapping_publishes: self.mapping_publishes.saturating_sub(earlier.mapping_publishes),
+        }
+    }
+
+    /// Write amplification: total bytes appended divided by "useful" bytes
+    /// (total minus relocation rewrites). 1.0 means no background movement.
+    pub fn write_amplification(&self) -> f64 {
+        let useful = self.bytes_appended.saturating_sub(self.relocation_bytes);
+        if useful == 0 {
+            return if self.bytes_appended == 0 { 1.0 } else { f64::INFINITY };
+        }
+        self.bytes_appended as f64 / useful as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_recorded_ops() {
+        let stats = IoStats::new();
+        stats.record_append(100);
+        stats.record_append(50);
+        stats.record_read(30);
+        stats.record_invalidation();
+        stats.record_relocation(50);
+        stats.record_extent_reclaimed();
+        stats.record_mapping_publish();
+        let snap = stats.snapshot();
+        assert_eq!(snap.appends, 2);
+        assert_eq!(snap.bytes_appended, 150);
+        assert_eq!(snap.random_reads, 1);
+        assert_eq!(snap.bytes_read, 30);
+        assert_eq!(snap.invalidations, 1);
+        assert_eq!(snap.relocation_moves, 1);
+        assert_eq!(snap.relocation_bytes, 50);
+        assert_eq!(snap.extents_reclaimed, 1);
+        assert_eq!(snap.mapping_publishes, 1);
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let stats = IoStats::new();
+        stats.record_append(10);
+        let first = stats.snapshot();
+        stats.record_append(20);
+        stats.record_read(5);
+        let second = stats.snapshot();
+        let delta = second.delta_since(&first);
+        assert_eq!(delta.appends, 1);
+        assert_eq!(delta.bytes_appended, 20);
+        assert_eq!(delta.random_reads, 1);
+    }
+
+    #[test]
+    fn write_amplification_math() {
+        let mut snap = IoStatsSnapshot::default();
+        assert_eq!(snap.write_amplification(), 1.0);
+        snap.bytes_appended = 150;
+        snap.relocation_bytes = 50;
+        assert!((snap.write_amplification() - 1.5).abs() < 1e-9);
+        snap.relocation_bytes = 150;
+        assert!(snap.write_amplification().is_infinite());
+    }
+}

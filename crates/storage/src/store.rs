@@ -1,0 +1,563 @@
+//! The append-only shared store.
+//!
+//! [`AppendOnlyStore`] is the single shared-storage device in a BG3
+//! deployment: RW nodes append page and WAL data to it, RO nodes read from
+//! it, and the space reclaimer relocates or expires whole extents. It is
+//! cheap to clone (`Arc` internals); clones model different nodes attached
+//! to the same storage service.
+
+use crate::addr::{ExtentId, PageAddr, RecordId, StreamId};
+use crate::clock::{SimClock, SimInstant};
+use crate::error::{StorageError, StorageResult};
+use crate::extent::{ExtentInfo, ExtentState};
+use crate::latency::LatencyModel;
+use crate::stats::IoStats;
+use crate::stream::{StreamInner, StreamStats};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Construction parameters for [`AppendOnlyStore`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Extent capacity in bytes. ArkDB-style uniform sizing (§3.3).
+    pub extent_capacity: usize,
+    /// Latency charged to the simulated clock per operation.
+    pub latency: LatencyModel,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            extent_capacity: 256 * 1024,
+            latency: LatencyModel::cloud(),
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Zero-latency config for counting-only experiments.
+    pub fn counting() -> Self {
+        StoreConfig {
+            extent_capacity: 256 * 1024,
+            latency: LatencyModel::zero(),
+        }
+    }
+
+    /// Overrides the extent capacity.
+    pub fn with_extent_capacity(mut self, capacity: usize) -> Self {
+        self.extent_capacity = capacity;
+        self
+    }
+}
+
+struct StoreInner {
+    config: StoreConfig,
+    clock: SimClock,
+    stats: IoStats,
+    streams: HashMap<StreamId, Mutex<StreamInner>>,
+    next_extent: AtomicU64,
+    next_record: AtomicU64,
+}
+
+/// Shared, thread-safe handle to the storage service.
+#[derive(Clone)]
+pub struct AppendOnlyStore {
+    inner: Arc<StoreInner>,
+}
+
+impl AppendOnlyStore {
+    /// Opens a store with the four well-known streams (BASE/DELTA/WAL/SST)
+    /// and a fresh clock.
+    pub fn new(config: StoreConfig) -> Self {
+        Self::with_clock(config, SimClock::new())
+    }
+
+    /// Opens a store that shares an existing simulated clock.
+    pub fn with_clock(config: StoreConfig, clock: SimClock) -> Self {
+        let mut streams = HashMap::new();
+        for id in [StreamId::BASE, StreamId::DELTA, StreamId::WAL, StreamId::SST] {
+            streams.insert(id, Mutex::new(StreamInner::new(id)));
+        }
+        AppendOnlyStore {
+            inner: Arc::new(StoreInner {
+                config,
+                clock,
+                stats: IoStats::new(),
+                streams,
+                next_extent: AtomicU64::new(1),
+                next_record: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// The store's simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    /// The store's I/O counters.
+    pub fn stats(&self) -> &IoStats {
+        &self.inner.stats
+    }
+
+    /// Extent capacity configured for this store.
+    pub fn extent_capacity(&self) -> usize {
+        self.inner.config.extent_capacity
+    }
+
+    fn stream(&self, id: StreamId) -> StorageResult<&Mutex<StreamInner>> {
+        self.inner
+            .streams
+            .get(&id)
+            .ok_or(StorageError::UnknownStream(id))
+    }
+
+    /// Appends `bytes` to the tail of `stream`.
+    ///
+    /// `tag` is an owner-defined cookie (e.g. a Bw-tree page id) returned
+    /// during relocation so the owner can repair its mapping table.
+    /// `ttl_nanos`, when set, declares the record dead after `now + ttl`; the
+    /// extent inherits the latest such deadline (§3.3, Observation 2).
+    pub fn append(
+        &self,
+        stream: StreamId,
+        bytes: &[u8],
+        tag: u64,
+        ttl_nanos: Option<u64>,
+    ) -> StorageResult<PageAddr> {
+        self.append_impl(stream, bytes, tag, ttl_nanos, false)
+    }
+
+    fn append_impl(
+        &self,
+        stream: StreamId,
+        bytes: &[u8],
+        tag: u64,
+        ttl_nanos: Option<u64>,
+        is_relocation: bool,
+    ) -> StorageResult<PageAddr> {
+        let capacity = self.inner.config.extent_capacity;
+        if bytes.len() > capacity {
+            return Err(StorageError::RecordTooLarge {
+                len: bytes.len(),
+                capacity,
+            });
+        }
+        let now = self
+            .inner
+            .clock
+            .advance_nanos(self.inner.config.latency.append_cost_nanos(bytes.len()));
+        let expires_at = ttl_nanos.map(|ttl| now.plus_nanos(ttl));
+        let record = RecordId(self.inner.next_record.fetch_add(1, Ordering::Relaxed));
+
+        let mut guard = self.stream(stream)?.lock();
+        let ext_id = guard.extent_for_append(bytes.len(), capacity, now, || {
+            ExtentId(self.inner.next_extent.fetch_add(1, Ordering::Relaxed))
+        });
+        let ext = guard.extents.get_mut(&ext_id).expect("extent just chosen");
+        let offset = ext.push(record, bytes, tag, now, expires_at, is_relocation);
+        drop(guard);
+
+        self.inner.stats.record_append(bytes.len());
+        if is_relocation {
+            self.inner.stats.record_relocation(bytes.len());
+        }
+        Ok(PageAddr {
+            stream,
+            extent: ext_id,
+            offset,
+            len: bytes.len() as u32,
+            record,
+        })
+    }
+
+    /// Randomly reads the record at `addr`.
+    pub fn read(&self, addr: PageAddr) -> StorageResult<Bytes> {
+        let guard = self.stream(addr.stream)?.lock();
+        let ext = guard
+            .extents
+            .get(&addr.extent)
+            .ok_or(StorageError::UnknownExtent(addr.extent))?;
+        if ext.state == ExtentState::Reclaimed {
+            return Err(StorageError::AddrNotFound(addr));
+        }
+        let end = addr.offset as usize + addr.len as usize;
+        if end > ext.data.len() {
+            return Err(StorageError::AddrOutOfBounds(addr));
+        }
+        let bytes = Bytes::copy_from_slice(&ext.data[addr.offset as usize..end]);
+        drop(guard);
+
+        self.inner
+            .clock
+            .advance_nanos(self.inner.config.latency.read_cost_nanos(bytes.len()));
+        self.inner.stats.record_read(bytes.len());
+        Ok(bytes)
+    }
+
+    /// Marks the record at `addr` garbage (out-of-place update or delete).
+    ///
+    /// Invalidating a record whose extent was already reclaimed (e.g. a
+    /// TTL expiry raced ahead of the owner's mapping cleanup — the §3.3
+    /// risk-control pattern) is a no-op: the space is already free.
+    pub fn invalidate(&self, addr: PageAddr) -> StorageResult<()> {
+        let now = self.inner.clock.now();
+        let mut guard = self.stream(addr.stream)?.lock();
+        let ext = guard
+            .extents
+            .get_mut(&addr.extent)
+            .ok_or(StorageError::UnknownExtent(addr.extent))?;
+        if ext.state == ExtentState::Reclaimed {
+            return Ok(());
+        }
+        let Some(wasted) = ext.invalidate(addr.offset, now) else {
+            return Err(StorageError::AlreadyInvalid(addr));
+        };
+        drop(guard);
+        self.inner.stats.record_invalidation();
+        if wasted > 0 {
+            self.inner.stats.record_wasted_relocation(wasted);
+        }
+        Ok(())
+    }
+
+    /// Snapshot of every live extent's usage-tracking data in `stream`
+    /// (the GC policy input). Sealed and open extents are both reported;
+    /// reclaimed tombstones are skipped.
+    pub fn extent_infos(&self, stream: StreamId) -> StorageResult<Vec<ExtentInfo>> {
+        let now = self.inner.clock.now();
+        let guard = self.stream(stream)?.lock();
+        Ok(guard
+            .extents
+            .iter()
+            .filter(|(_, e)| e.state != ExtentState::Reclaimed)
+            .map(|(&id, e)| e.info(id, stream, now))
+            .collect())
+    }
+
+    /// Aggregate stream statistics.
+    pub fn stream_stats(&self, stream: StreamId) -> StorageResult<StreamStats> {
+        Ok(self.stream(stream)?.lock().stats())
+    }
+
+    /// Total valid bytes across all streams — the store's logical footprint.
+    pub fn total_valid_bytes(&self) -> u64 {
+        self.inner
+            .streams
+            .values()
+            .map(|s| s.lock().stats().valid_bytes)
+            .sum()
+    }
+
+    /// Total occupied bytes across all streams (valid + garbage) — what the
+    /// operator pays for.
+    pub fn total_used_bytes(&self) -> u64 {
+        self.inner
+            .streams
+            .values()
+            .map(|s| s.lock().stats().used_bytes)
+            .sum()
+    }
+
+    /// Relocates every valid record of `extent` to the stream tail and frees
+    /// the extent. For each moved record, `on_move(tag, old, new)` lets the
+    /// owner repair its pointers. Returns the number of bytes rewritten.
+    ///
+    /// This is the `doSpaceReclamation` primitive of Algorithm 2.
+    pub fn relocate_extent(
+        &self,
+        stream: StreamId,
+        extent: ExtentId,
+        mut on_move: impl FnMut(u64, PageAddr, PageAddr),
+    ) -> StorageResult<u64> {
+        // Collect the valid slots under the lock, then release it: the
+        // re-appends below take the same stream lock.
+        let victims: Vec<(RecordId, u32, u32, u64, Option<SimInstant>)> = {
+            let mut guard = self.stream(stream)?.lock();
+            let ext = guard
+                .extents
+                .get_mut(&extent)
+                .ok_or(StorageError::UnknownExtent(extent))?;
+            if ext.state == ExtentState::Open {
+                // Never reclaim the active tail; seal it first so appends
+                // move on. (Policies normally only see sealed extents.)
+                ext.state = ExtentState::Sealed;
+                if guard.active == Some(extent) {
+                    guard.active = None;
+                }
+            }
+            let ext = guard.extents.get(&extent).expect("checked above");
+            let deadline = ext.ttl_deadline;
+            ext.slots
+                .iter()
+                .filter(|s| s.valid)
+                .map(|s| (s.record, s.offset, s.len, s.tag, deadline))
+                .collect()
+        };
+
+        let mut moved_bytes = 0u64;
+        for (_, offset, len, tag, deadline) in &victims {
+            let old = PageAddr {
+                stream,
+                extent,
+                offset: *offset,
+                len: *len,
+                record: RecordId(0), // record id not needed for the read
+            };
+            let bytes = self.read(old)?;
+            let remaining_ttl = deadline.map(|d| d.duration_since(self.inner.clock.now()));
+            let new = self.append_impl(stream, &bytes, *tag, remaining_ttl, true)?;
+            moved_bytes += *len as u64;
+            on_move(*tag, old, new);
+        }
+
+        let mut guard = self.stream(stream)?.lock();
+        let ext = guard
+            .extents
+            .get_mut(&extent)
+            .ok_or(StorageError::UnknownExtent(extent))?;
+        ext.state = ExtentState::Reclaimed;
+        ext.data = Vec::new();
+        ext.slots = Vec::new();
+        ext.valid_count = 0;
+        ext.valid_bytes = 0;
+        drop(guard);
+        self.inner.stats.record_extent_reclaimed();
+        Ok(moved_bytes)
+    }
+
+    /// Drops `extent` wholesale because its TTL deadline has passed — no data
+    /// movement at all (§3.3, Observation 2 / Table 2 "+TTL" row).
+    ///
+    /// Fails with [`StorageError::ExtentStillLive`] if the deadline has not
+    /// passed (callers must not expire live data).
+    pub fn expire_extent(&self, stream: StreamId, extent: ExtentId) -> StorageResult<u64> {
+        let now = self.inner.clock.now();
+        let mut guard = self.stream(stream)?.lock();
+        let ext = guard
+            .extents
+            .get_mut(&extent)
+            .ok_or(StorageError::UnknownExtent(extent))?;
+        if ext.state == ExtentState::Reclaimed {
+            return Err(StorageError::UnknownExtent(extent));
+        }
+        match ext.ttl_deadline {
+            Some(deadline) if deadline <= now => {}
+            _ => {
+                return Err(StorageError::ExtentStillLive {
+                    extent,
+                    valid: ext.valid_count as usize,
+                })
+            }
+        }
+        let freed = ext.valid_count;
+        ext.state = ExtentState::Reclaimed;
+        ext.data = Vec::new();
+        ext.slots = Vec::new();
+        ext.valid_count = 0;
+        ext.valid_bytes = 0;
+        if guard.active == Some(extent) {
+            guard.active = None;
+        }
+        drop(guard);
+        self.inner.stats.record_extent_expired();
+        Ok(freed)
+    }
+}
+
+impl std::fmt::Debug for AppendOnlyStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppendOnlyStore")
+            .field("extent_capacity", &self.inner.config.extent_capacity)
+            .field("stats", &self.inner.stats.snapshot())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> AppendOnlyStore {
+        AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(64))
+    }
+
+    #[test]
+    fn append_then_read_round_trips() {
+        let s = store();
+        let addr = s.append(StreamId::BASE, b"payload", 42, None).unwrap();
+        assert_eq!(&s.read(addr).unwrap()[..], b"payload");
+        let snap = s.stats().snapshot();
+        assert_eq!(snap.appends, 1);
+        assert_eq!(snap.bytes_appended, 7);
+        assert_eq!(snap.random_reads, 1);
+        assert_eq!(snap.bytes_read, 7);
+    }
+
+    #[test]
+    fn reads_of_unknown_addresses_fail() {
+        let s = store();
+        let addr = s.append(StreamId::BASE, b"x", 0, None).unwrap();
+        let bogus = PageAddr {
+            extent: ExtentId(999),
+            ..addr
+        };
+        assert!(matches!(
+            s.read(bogus),
+            Err(StorageError::UnknownExtent(_))
+        ));
+        let oob = PageAddr {
+            offset: 60,
+            len: 32,
+            ..addr
+        };
+        assert!(matches!(s.read(oob), Err(StorageError::AddrOutOfBounds(_))));
+    }
+
+    #[test]
+    fn record_too_large_is_rejected() {
+        let s = store();
+        let big = vec![0u8; 65];
+        assert!(matches!(
+            s.append(StreamId::BASE, &big, 0, None),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn appends_roll_over_extents() {
+        let s = store();
+        let a1 = s.append(StreamId::DELTA, &[0u8; 40], 0, None).unwrap();
+        let a2 = s.append(StreamId::DELTA, &[0u8; 40], 0, None).unwrap();
+        assert_ne!(a1.extent, a2.extent);
+        let infos = s.extent_infos(StreamId::DELTA).unwrap();
+        assert_eq!(infos.len(), 2);
+        let sealed = infos.iter().find(|i| i.id == a1.extent).unwrap();
+        assert_eq!(sealed.state, ExtentState::Sealed);
+    }
+
+    #[test]
+    fn streams_are_isolated() {
+        let s = store();
+        s.append(StreamId::BASE, b"b", 0, None).unwrap();
+        s.append(StreamId::DELTA, b"d", 0, None).unwrap();
+        assert_eq!(s.stream_stats(StreamId::BASE).unwrap().valid_records, 1);
+        assert_eq!(s.stream_stats(StreamId::DELTA).unwrap().valid_records, 1);
+        assert_eq!(s.stream_stats(StreamId::WAL).unwrap().valid_records, 0);
+    }
+
+    #[test]
+    fn invalidate_updates_fragmentation() {
+        let s = store();
+        let a = s.append(StreamId::BASE, &[0u8; 16], 0, None).unwrap();
+        let _b = s.append(StreamId::BASE, &[0u8; 16], 0, None).unwrap();
+        s.invalidate(a).unwrap();
+        assert!(matches!(
+            s.invalidate(a),
+            Err(StorageError::AlreadyInvalid(_))
+        ));
+        let info = &s.extent_infos(StreamId::BASE).unwrap()[0];
+        assert_eq!(info.invalid_records, 1);
+        assert_eq!(info.valid_records, 1);
+        assert!((info.fragmentation_rate - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relocation_moves_only_valid_records_and_fixes_tags() {
+        let s = store();
+        let a = s.append(StreamId::BASE, &[1u8; 16], 101, None).unwrap();
+        let b = s.append(StreamId::BASE, &[2u8; 16], 102, None).unwrap();
+        let c = s.append(StreamId::BASE, &[3u8; 16], 103, None).unwrap();
+        s.invalidate(b).unwrap();
+        let victim = a.extent;
+        assert_eq!(victim, c.extent);
+
+        let mut moves: Vec<(u64, PageAddr)> = Vec::new();
+        let moved = s
+            .relocate_extent(StreamId::BASE, victim, |tag, old, new| {
+                assert_eq!(old.extent, victim);
+                assert_ne!(new.extent, victim);
+                moves.push((tag, new));
+            })
+            .unwrap();
+        assert_eq!(moved, 32);
+        assert_eq!(moves.len(), 2);
+        let tags: Vec<u64> = moves.iter().map(|(t, _)| *t).collect();
+        assert_eq!(tags, vec![101, 103]);
+        // New addresses are readable; old extent is gone.
+        for (_, new) in &moves {
+            assert!(s.read(*new).is_ok());
+        }
+        assert!(s.read(a).is_err());
+        let snap = s.stats().snapshot();
+        assert_eq!(snap.relocation_moves, 2);
+        assert_eq!(snap.relocation_bytes, 32);
+        assert_eq!(snap.extents_reclaimed, 1);
+    }
+
+    #[test]
+    fn expire_extent_requires_elapsed_ttl() {
+        let cfg = StoreConfig {
+            extent_capacity: 64,
+            latency: LatencyModel::zero(),
+        };
+        let s = AppendOnlyStore::new(cfg);
+        let a = s
+            .append(StreamId::DELTA, &[0u8; 16], 0, Some(1_000_000))
+            .unwrap();
+        // TTL not elapsed: refuse.
+        assert!(matches!(
+            s.expire_extent(StreamId::DELTA, a.extent),
+            Err(StorageError::ExtentStillLive { .. })
+        ));
+        s.clock().advance_nanos(2_000_000);
+        let freed = s.expire_extent(StreamId::DELTA, a.extent).unwrap();
+        assert_eq!(freed, 1);
+        assert!(s.read(a).is_err());
+        assert_eq!(s.stats().snapshot().extents_expired, 1);
+        // Double-expire fails.
+        assert!(s.expire_extent(StreamId::DELTA, a.extent).is_err());
+    }
+
+    #[test]
+    fn footprint_counters_track_valid_and_used() {
+        let s = store();
+        let a = s.append(StreamId::BASE, &[0u8; 20], 0, None).unwrap();
+        s.append(StreamId::DELTA, &[0u8; 10], 0, None).unwrap();
+        assert_eq!(s.total_valid_bytes(), 30);
+        assert_eq!(s.total_used_bytes(), 30);
+        s.invalidate(a).unwrap();
+        assert_eq!(s.total_valid_bytes(), 10);
+        assert_eq!(s.total_used_bytes(), 30, "garbage still occupies space");
+    }
+
+    #[test]
+    fn latency_is_charged_to_sim_clock() {
+        let cfg = StoreConfig {
+            extent_capacity: 1024,
+            latency: LatencyModel {
+                append_us: 100,
+                random_read_us: 50,
+                per_kib_us: 0,
+                mapping_publish_us: 0,
+                network_rtt_us: 0,
+            },
+        };
+        let s = AppendOnlyStore::new(cfg);
+        let addr = s.append(StreamId::BASE, b"x", 0, None).unwrap();
+        assert_eq!(s.clock().now().as_micros(), 100);
+        s.read(addr).unwrap();
+        assert_eq!(s.clock().now().as_micros(), 150);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let s = store();
+        let peer = s.clone();
+        let addr = s.append(StreamId::BASE, b"shared", 0, None).unwrap();
+        assert_eq!(&peer.read(addr).unwrap()[..], b"shared");
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-stream state: an ordered collection of extents with one open tail.
+
+use crate::addr::{ExtentId, StreamId};
+use crate::clock::SimInstant;
+use crate::extent::{Extent, ExtentState};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Mutable state of a single append-only stream. Guarded by a per-stream
+/// mutex in [`crate::store::AppendOnlyStore`]; appends to one stream
+/// serialize (it has a single tail), different streams proceed in parallel.
+#[derive(Debug)]
+pub(crate) struct StreamInner {
+    pub id: StreamId,
+    pub extents: BTreeMap<ExtentId, Extent>,
+    /// Extent currently receiving appends, if any.
+    pub active: Option<ExtentId>,
+}
+
+impl StreamInner {
+    pub fn new(id: StreamId) -> Self {
+        StreamInner {
+            id,
+            extents: BTreeMap::new(),
+            active: None,
+        }
+    }
+
+    /// Returns the active extent id, opening a fresh one via `alloc` when the
+    /// current one cannot hold `len` more bytes.
+    pub fn extent_for_append(
+        &mut self,
+        len: usize,
+        capacity: usize,
+        now: SimInstant,
+        mut alloc: impl FnMut() -> ExtentId,
+    ) -> ExtentId {
+        if let Some(active) = self.active {
+            let ext = self.extents.get_mut(&active).expect("active extent exists");
+            if ext.remaining() >= len {
+                return active;
+            }
+            ext.state = ExtentState::Sealed;
+        }
+        let id = alloc();
+        self.extents.insert(id, Extent::new(capacity, now));
+        self.active = Some(id);
+        id
+    }
+
+    /// Aggregate live statistics for this stream.
+    pub fn stats(&self) -> StreamStats {
+        let mut s = StreamStats {
+            stream: self.id,
+            ..StreamStats::default()
+        };
+        for ext in self.extents.values() {
+            match ext.state {
+                ExtentState::Reclaimed => s.reclaimed_extents += 1,
+                ExtentState::Open | ExtentState::Sealed => {
+                    s.live_extents += 1;
+                    s.valid_records += ext.valid_count;
+                    s.invalid_records += ext.invalid_count;
+                    s.valid_bytes += ext.valid_bytes;
+                    s.used_bytes += ext.data.len() as u64;
+                    s.capacity_bytes += ext.capacity as u64;
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Aggregate snapshot of a stream's space usage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Which stream this snapshot describes.
+    pub stream: StreamId,
+    /// Extents still holding data (open or sealed).
+    pub live_extents: u64,
+    /// Extents already freed.
+    pub reclaimed_extents: u64,
+    /// Valid records across live extents.
+    pub valid_records: u64,
+    /// Invalid (garbage) records across live extents.
+    pub invalid_records: u64,
+    /// Bytes of valid data.
+    pub valid_bytes: u64,
+    /// Bytes appended into live extents (valid + garbage).
+    pub used_bytes: u64,
+    /// Total provisioned capacity of live extents.
+    pub capacity_bytes: u64,
+}
+
+impl StreamStats {
+    /// Space utilization: valid bytes over occupied bytes.
+    pub fn utilization(&self) -> f64 {
+        if self.used_bytes == 0 {
+            1.0
+        } else {
+            self.valid_bytes as f64 / self.used_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::RecordId;
+
+    #[test]
+    fn extent_rollover_seals_previous() {
+        let mut s = StreamInner::new(StreamId::BASE);
+        let mut next = 0u64;
+        let mut alloc = || {
+            next += 1;
+            ExtentId(next)
+        };
+        let e1 = s.extent_for_append(10, 16, SimInstant(0), &mut alloc);
+        assert_eq!(e1, ExtentId(1));
+        s.extents
+            .get_mut(&e1)
+            .unwrap()
+            .push(RecordId(0), &[0u8; 10], 0, SimInstant(0), None, false);
+        // 6 bytes left; a 10-byte append must roll over.
+        let e2 = s.extent_for_append(10, 16, SimInstant(1), &mut alloc);
+        assert_eq!(e2, ExtentId(2));
+        assert_eq!(s.extents[&e1].state, ExtentState::Sealed);
+        assert_eq!(s.extents[&e2].state, ExtentState::Open);
+        assert_eq!(s.active, Some(e2));
+    }
+
+    #[test]
+    fn stats_aggregate_live_extents_only() {
+        let mut s = StreamInner::new(StreamId::DELTA);
+        let mut next = 0u64;
+        let mut alloc = || {
+            next += 1;
+            ExtentId(next)
+        };
+        let e1 = s.extent_for_append(4, 8, SimInstant(0), &mut alloc);
+        s.extents
+            .get_mut(&e1)
+            .unwrap()
+            .push(RecordId(0), &[1, 2, 3, 4], 0, SimInstant(0), None, false);
+        let e2 = s.extent_for_append(8, 8, SimInstant(1), &mut alloc);
+        s.extents
+            .get_mut(&e2)
+            .unwrap()
+            .push(RecordId(1), &[0u8; 8], 0, SimInstant(1), None, false);
+        s.extents.get_mut(&e1).unwrap().state = ExtentState::Reclaimed;
+
+        let stats = s.stats();
+        assert_eq!(stats.live_extents, 1);
+        assert_eq!(stats.reclaimed_extents, 1);
+        assert_eq!(stats.valid_records, 1);
+        assert_eq!(stats.valid_bytes, 8);
+        assert_eq!(stats.used_bytes, 8);
+        assert!((stats.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_of_empty_stream_is_one() {
+        let s = StreamInner::new(StreamId::WAL);
+        assert_eq!(s.stats().utilization(), 1.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! The legacy command-forwarding replication baseline.
+//!
+//! The previous ByteGraph generation synchronized RW and RO nodes by
+//! asynchronously forwarding write commands (Gremlin) to every RO node and
+//! replaying them (§2.3). The forwarding path can drop or reorder packets
+//! under load; without acknowledgements the system is only eventually
+//! consistent, and the paper measures the damage as a *recall rate* —
+//! the fraction of leader writes a follower can read (Fig. 12).
+//!
+//! We model the forwarding fabric as an independent lossy channel per
+//! replica with a configurable packet-loss probability.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Configuration of the forwarding baseline.
+#[derive(Debug, Clone)]
+pub struct ForwardingConfig {
+    /// Number of RO replicas commands are forwarded to.
+    pub replicas: usize,
+    /// Probability that a forwarded command is lost (0.0..=1.0), applied
+    /// independently per replica.
+    pub packet_loss: f64,
+    /// RNG seed for reproducible experiments.
+    pub seed: u64,
+}
+
+impl Default for ForwardingConfig {
+    fn default() -> Self {
+        ForwardingConfig {
+            replicas: 1,
+            packet_loss: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+type Replica = Arc<Mutex<BTreeMap<Vec<u8>, Vec<u8>>>>;
+
+/// The leader plus its forwarding fabric.
+pub struct ForwardingReplicator {
+    leader: Mutex<BTreeMap<Vec<u8>, Vec<u8>>>,
+    replicas: Vec<Replica>,
+    rng: Mutex<StdRng>,
+    config: ForwardingConfig,
+    forwarded: Mutex<u64>,
+    dropped: Mutex<u64>,
+}
+
+impl ForwardingReplicator {
+    /// Creates a leader with `config.replicas` empty followers.
+    pub fn new(config: ForwardingConfig) -> Self {
+        ForwardingReplicator {
+            leader: Mutex::new(BTreeMap::new()),
+            replicas: (0..config.replicas)
+                .map(|_| Arc::new(Mutex::new(BTreeMap::new())))
+                .collect(),
+            rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
+            config,
+            forwarded: Mutex::new(0),
+            dropped: Mutex::new(0),
+        }
+    }
+
+    /// Applies a write on the leader and forwards it to every replica,
+    /// losing each copy independently with `packet_loss` probability.
+    pub fn put(&self, key: &[u8], value: &[u8]) {
+        self.leader
+            .lock()
+            .insert(key.to_vec(), value.to_vec());
+        for replica in &self.replicas {
+            let lost = self.rng.lock().gen_bool(self.config.packet_loss);
+            if lost {
+                *self.dropped.lock() += 1;
+            } else {
+                *self.forwarded.lock() += 1;
+                replica.lock().insert(key.to_vec(), value.to_vec());
+            }
+        }
+    }
+
+    /// Reads from the leader.
+    pub fn leader_get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.leader.lock().get(key).cloned()
+    }
+
+    /// Reads from replica `idx`.
+    pub fn replica_get(&self, idx: usize, key: &[u8]) -> Option<Vec<u8>> {
+        self.replicas[idx].lock().get(key).cloned()
+    }
+
+    /// Fraction of the leader's keys replica `idx` can read — the recall
+    /// rate of Fig. 12.
+    pub fn recall(&self, idx: usize) -> f64 {
+        let leader = self.leader.lock();
+        if leader.is_empty() {
+            return 1.0;
+        }
+        let replica = self.replicas[idx].lock();
+        let hit = leader
+            .iter()
+            .filter(|(k, v)| replica.get(*k) == Some(v))
+            .count();
+        hit as f64 / leader.len() as f64
+    }
+
+    /// `(forwarded, dropped)` command counts across all replicas.
+    pub fn channel_stats(&self) -> (u64, u64) {
+        (*self.forwarded.lock(), *self.dropped.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(r: &ForwardingReplicator, n: u32) {
+        for i in 0..n {
+            r.put(format!("key{i}").as_bytes(), format!("v{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn lossless_channel_gives_full_recall() {
+        let r = ForwardingReplicator::new(ForwardingConfig {
+            replicas: 2,
+            packet_loss: 0.0,
+            seed: 1,
+        });
+        fill(&r, 500);
+        assert_eq!(r.recall(0), 1.0);
+        assert_eq!(r.recall(1), 1.0);
+        assert_eq!(r.channel_stats().1, 0);
+    }
+
+    #[test]
+    fn recall_degrades_with_packet_loss() {
+        // The Fig. 12 shape: ~1% loss → ~99% recall, 10% → ~90%.
+        let mut last = 1.0;
+        for loss in [0.01, 0.05, 0.10] {
+            let r = ForwardingReplicator::new(ForwardingConfig {
+                replicas: 1,
+                packet_loss: loss,
+                seed: 7,
+            });
+            fill(&r, 4000);
+            let recall = r.recall(0);
+            let expected = 1.0 - loss;
+            assert!(
+                (recall - expected).abs() < 0.02,
+                "loss {loss}: recall {recall} far from {expected}"
+            );
+            assert!(recall < last, "recall strictly degrades");
+            last = recall;
+        }
+    }
+
+    #[test]
+    fn replicas_lose_independently() {
+        let r = ForwardingReplicator::new(ForwardingConfig {
+            replicas: 3,
+            packet_loss: 0.5,
+            seed: 3,
+        });
+        fill(&r, 1000);
+        let recalls: Vec<f64> = (0..3).map(|i| r.recall(i)).collect();
+        // All should hover around 0.5 but not be identical.
+        for r in &recalls {
+            assert!((r - 0.5).abs() < 0.08, "recall {r}");
+        }
+        assert!(recalls.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn leader_always_reads_its_own_writes() {
+        let r = ForwardingReplicator::new(ForwardingConfig {
+            replicas: 1,
+            packet_loss: 1.0,
+            seed: 9,
+        });
+        fill(&r, 10);
+        assert_eq!(r.leader_get(b"key3"), Some(b"v3".to_vec()));
+        assert_eq!(r.recall(0), 0.0, "everything dropped");
+        assert_eq!(r.replica_get(0, b"key3"), None);
+    }
+
+    #[test]
+    fn empty_leader_reports_perfect_recall() {
+        let r = ForwardingReplicator::new(ForwardingConfig::default());
+        assert_eq!(r.recall(0), 1.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Simple latency statistics over simulated-clock durations.
+
+use parking_lot::Mutex;
+
+/// Collects nanosecond samples and reports count/mean/percentiles.
+///
+/// Samples are kept exactly up to a cap and then reservoir-style replaced,
+/// which keeps long experiments O(1) in memory while preserving percentile
+/// fidelity well enough for the sync experiments (Fig. 13/14).
+#[derive(Debug)]
+pub struct LatencyRecorder {
+    inner: Mutex<Inner>,
+    cap: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    samples: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::new(65_536)
+    }
+}
+
+impl LatencyRecorder {
+    /// Creates a recorder retaining at most `cap` raw samples.
+    pub fn new(cap: usize) -> Self {
+        LatencyRecorder {
+            inner: Mutex::new(Inner::default()),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Records one sample (nanoseconds).
+    pub fn record(&self, nanos: u64) {
+        let mut inner = self.inner.lock();
+        inner.count += 1;
+        inner.sum += nanos;
+        inner.max = inner.max.max(nanos);
+        if inner.samples.len() < self.cap {
+            inner.samples.push(nanos);
+        } else {
+            // Deterministic reservoir: overwrite a pseudo-random slot
+            // derived from the running count (no RNG dependency).
+            let cap = self.cap as u64;
+            let slot = (inner.count.wrapping_mul(0x9e37_79b9_7f4a_7c15) % cap) as usize;
+            inner.samples[slot] = nanos;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().count
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.sum.checked_div(inner.count).unwrap_or(0)
+    }
+
+    /// Maximum observed latency.
+    pub fn max_nanos(&self) -> u64 {
+        self.inner.lock().max
+    }
+
+    /// Approximate percentile (0.0..=1.0) from retained samples.
+    pub fn percentile_nanos(&self, q: f64) -> u64 {
+        let inner = self.inner.lock();
+        if inner.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = inner.samples.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Clears all state.
+    pub fn reset(&self) {
+        *self.inner.lock() = Inner::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let r = LatencyRecorder::new(16);
+        for v in [10, 20, 30, 40] {
+            r.record(v);
+        }
+        assert_eq!(r.count(), 4);
+        assert_eq!(r.mean_nanos(), 25);
+        assert_eq!(r.max_nanos(), 40);
+        assert_eq!(r.percentile_nanos(0.0), 10);
+        assert_eq!(r.percentile_nanos(1.0), 40);
+        assert_eq!(r.percentile_nanos(0.5), 30, "upper median of 4");
+    }
+
+    #[test]
+    fn empty_recorder_reports_zero() {
+        let r = LatencyRecorder::default();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.mean_nanos(), 0);
+        assert_eq!(r.percentile_nanos(0.5), 0);
+    }
+
+    #[test]
+    fn reservoir_keeps_stats_exact_past_the_cap() {
+        let r = LatencyRecorder::new(8);
+        for v in 0..1000u64 {
+            r.record(v);
+        }
+        assert_eq!(r.count(), 1000);
+        assert_eq!(r.mean_nanos(), 499);
+        assert_eq!(r.max_nanos(), 999);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let r = LatencyRecorder::new(8);
+        r.record(5);
+        r.reset();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.max_nanos(), 0);
+    }
+}

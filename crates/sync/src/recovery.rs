@@ -1,0 +1,276 @@
+//! Crash recovery for an RW node.
+//!
+//! A leader's in-memory Bw-tree is reconstructible entirely from shared
+//! state, because BG3 writes the WAL before acknowledging and publishes the
+//! mapping table only after dirty pages are flushed (§3.4):
+//!
+//! 1. the **mapping table** names every flushed page's latest base image;
+//! 2. WAL records after the last `CheckpointComplete` describe everything
+//!    newer than those images;
+//! 3. `Split` records (any LSN) rebuild the routing table from scratch —
+//!    every tree's first leaf is page 1 by construction.
+//!
+//! Replaying WAL records older than a page's recovered image is safe: the
+//! record stream is ordered and per-key last-writer-wins, so re-applying a
+//! covered prefix converges to the same state (the same argument that makes
+//! RO lazy replay correct).
+
+use bg3_bwtree::tree::FIRST_LEAF;
+use bg3_bwtree::{
+    decode_base_page, BwTree, BwTreeConfig, Entries, PageTag, TreeEventListener,
+};
+use bg3_storage::{AppendOnlyStore, PageAddr, SharedMappingTable, StorageResult};
+use bg3_wal::{Lsn, WalPayload, WalRecord};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Rebuilds tree `tree_id` from the shared store.
+///
+/// `records` must be the full WAL stream in LSN order (from a
+/// [`bg3_wal::WalReader`] positioned at the start). The recovered tree has
+/// consolidated pages, an empty dirty set, and correct `entry_count`.
+pub fn recover_tree(
+    tree_id: u32,
+    store: AppendOnlyStore,
+    mapping: &SharedMappingTable,
+    records: &[WalRecord],
+    config: BwTreeConfig,
+    listener: Arc<dyn TreeEventListener>,
+) -> StorageResult<BwTree> {
+    // 1. Checkpoint horizon: content records at or below it are reflected
+    //    in the mapping's page images.
+    let durable = records
+        .iter()
+        .filter_map(|r| match r.payload {
+            WalPayload::CheckpointComplete { upto } if r.tree == tree_id as u64 => Some(upto),
+            _ => None,
+        })
+        .max()
+        .map(Lsn)
+        .unwrap_or(Lsn::ZERO);
+
+    // 2. Page images from the published mapping.
+    let snapshot = mapping.snapshot();
+    let mut pages: HashMap<u32, (Entries, Option<PageAddr>)> = HashMap::new();
+    let mut routing: BTreeMap<Vec<u8>, u32> = BTreeMap::new();
+    routing.insert(Vec::new(), FIRST_LEAF);
+    pages.insert(FIRST_LEAF, (Entries::new(), None));
+    for record in records {
+        if record.tree != tree_id as u64 {
+            continue;
+        }
+        // Pre-create every page the log mentions so replay has a slot.
+        if record.payload.is_page_scoped() {
+            pages.entry(record.page as u32).or_default();
+        }
+    }
+    for (&page, slot) in pages.iter_mut() {
+        let tag = PageTag {
+            tree: tree_id,
+            page,
+        }
+        .encode();
+        if let Some(addr) = snapshot.get(tag) {
+            let bytes = store.read(addr)?;
+            slot.0 = decode_base_page(&bytes).expect("mapping points at a valid image");
+            slot.1 = Some(addr);
+        }
+    }
+
+    // 3. Replay. Structural records rebuild routing unconditionally; content
+    //    records above the checkpoint horizon patch page entries (replaying
+    //    a covered prefix would also converge, but skipping it is cheaper).
+    for record in records {
+        if record.tree != tree_id as u64 {
+            continue;
+        }
+        let page = record.page as u32;
+        match &record.payload {
+            WalPayload::Split {
+                right_page,
+                separator,
+            } => {
+                routing.insert(separator.clone(), *right_page as u32);
+                if record.lsn > durable {
+                    let slot = pages.entry(page).or_default();
+                    slot.0.retain(|(k, _)| k.as_slice() < separator.as_slice());
+                }
+            }
+            WalPayload::Upsert { key, value } if record.lsn > durable => {
+                let entries = &mut pages.entry(page).or_default().0;
+                match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => entries[i].1 = value.clone(),
+                    Err(i) => entries.insert(i, (key.clone(), value.clone())),
+                }
+            }
+            WalPayload::Delete { key } if record.lsn > durable => {
+                let entries = &mut pages.entry(page).or_default().0;
+                if let Ok(i) = entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    entries.remove(i);
+                }
+            }
+            WalPayload::PageImage { image } | WalPayload::NewPage { image }
+                if record.lsn > durable =>
+            {
+                pages.entry(page).or_default().0 =
+                    decode_base_page(image).expect("leader wrote a valid image");
+            }
+            _ => {}
+        }
+    }
+
+    // 4. Assemble. Pages resurrected from replay lose their (stale) base
+    //    address if the replay rewrote them past the image — keeping the
+    //    address is still correct because it is only used for relocation
+    //    fix-ups and cold reads, both of which re-verify through storage.
+    Ok(BwTree::assemble(
+        tree_id,
+        store,
+        config,
+        listener,
+        routing,
+        pages
+            .into_iter()
+            .map(|(page, (entries, addr))| (page, entries, addr))
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rw::{RwNode, RwNodeConfig};
+    use bg3_bwtree::events::NullListener;
+    use bg3_storage::StoreConfig;
+
+    fn recover_from(rw: &RwNode) -> BwTree {
+        let mut reader = rw.open_wal_reader();
+        let records = reader.fetch_new().unwrap();
+        recover_tree(
+            1,
+            rw.store().clone(),
+            rw.mapping(),
+            &records,
+            BwTreeConfig::default(),
+            Arc::new(NullListener),
+        )
+        .unwrap()
+    }
+
+    fn assert_same_content(a: &BwTree, b: &RwNode, keys: impl Iterator<Item = Vec<u8>>) {
+        for key in keys {
+            assert_eq!(
+                a.get(&key).unwrap(),
+                b.get(&key).unwrap(),
+                "divergence at {key:?}"
+            );
+        }
+        assert_eq!(a.entry_count(), b.tree().entry_count());
+        assert_eq!(
+            a.scan_range(None, None, usize::MAX),
+            b.tree().scan_range(None, None, usize::MAX)
+        );
+    }
+
+    #[test]
+    fn recovers_unflushed_writes_from_wal_alone() {
+        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let rw = RwNode::new(
+            store,
+            RwNodeConfig {
+                group_commit_pages: usize::MAX,
+                ..RwNodeConfig::default()
+            },
+        );
+        for i in 0..50u32 {
+            rw.put(format!("key{i:03}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        rw.delete(b"key007").unwrap();
+        let recovered = recover_from(&rw);
+        assert_same_content(
+            &recovered,
+            &rw,
+            (0..50).map(|i| format!("key{i:03}").into_bytes()),
+        );
+    }
+
+    #[test]
+    fn recovers_across_checkpoints_and_splits() {
+        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let mut config = RwNodeConfig {
+            group_commit_pages: usize::MAX,
+            ..RwNodeConfig::default()
+        };
+        config.tree_config = config
+            .tree_config
+            .with_max_page_entries(8)
+            .with_consolidate_threshold(4);
+        let rw = RwNode::new(store, config);
+        for i in 0..60u32 {
+            rw.put(format!("key{i:03}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+            if i % 20 == 19 {
+                rw.checkpoint().unwrap();
+            }
+        }
+        // More writes after the last checkpoint, including deletes.
+        for i in 0..10u32 {
+            rw.delete(format!("key{i:03}").as_bytes()).unwrap();
+        }
+        assert!(rw.tree().page_count() > 1, "splits happened");
+        let mut reader = rw.open_wal_reader();
+        let records = reader.fetch_new().unwrap();
+        let recovered = recover_tree(
+            1,
+            rw.store().clone(),
+            rw.mapping(),
+            &records,
+            bg3_bwtree::BwTreeConfig::default()
+                .with_max_page_entries(8)
+                .with_consolidate_threshold(4),
+            Arc::new(NullListener),
+        )
+        .unwrap();
+        assert_same_content(
+            &recovered,
+            &rw,
+            (0..60).map(|i| format!("key{i:03}").into_bytes()),
+        );
+        assert_eq!(recovered.page_count(), rw.tree().page_count());
+    }
+
+    #[test]
+    fn recovered_tree_accepts_new_writes() {
+        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let rw = RwNode::new(store, RwNodeConfig::default());
+        for i in 0..30u32 {
+            rw.put(format!("k{i:02}").as_bytes(), b"v").unwrap();
+        }
+        rw.checkpoint().unwrap();
+        let recovered = recover_from(&rw);
+        recovered.put(b"post-recovery", b"ok").unwrap();
+        assert_eq!(
+            recovered.get(b"post-recovery").unwrap(),
+            Some(b"ok".to_vec())
+        );
+        assert_eq!(recovered.entry_count(), 31);
+    }
+
+    #[test]
+    fn empty_log_recovers_an_empty_tree() {
+        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let mapping = SharedMappingTable::for_store(&store);
+        let tree = recover_tree(
+            1,
+            store,
+            &mapping,
+            &[],
+            BwTreeConfig::default(),
+            Arc::new(NullListener),
+        )
+        .unwrap();
+        assert_eq!(tree.entry_count(), 0);
+        assert_eq!(tree.get(b"anything").unwrap(), None);
+    }
+}

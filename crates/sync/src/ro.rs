@@ -1,0 +1,641 @@
+//! The read-only (follower) node.
+
+use crate::latency::LatencyRecorder;
+use bg3_bwtree::tree::FIRST_LEAF;
+use bg3_bwtree::{decode_base_page, Entries, PageTag};
+use bg3_storage::{AppendOnlyStore, SharedMappingTable, StorageResult};
+use bg3_wal::{Lsn, WalPayload, WalReader};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// RO-node configuration.
+#[derive(Debug, Clone)]
+pub struct RoNodeConfig {
+    /// Maximum pages cached in memory; beyond it, the least recently used
+    /// page is evicted (the paper: "the cache on RO node dynamically evicts
+    /// pages from DRAM based on the read requests").
+    pub cache_capacity_pages: usize,
+}
+
+impl Default for RoNodeConfig {
+    fn default() -> Self {
+        RoNodeConfig {
+            cache_capacity_pages: 4096,
+        }
+    }
+}
+
+struct CachedPage {
+    entries: Entries,
+    /// Highest parked-record LSN already applied to `entries`.
+    applied_lsn: Lsn,
+    last_access: u64,
+}
+
+type PageKey = (u64, u64); // (tree, page)
+
+struct RoInner {
+    /// Per-tree routing table, rebuilt from WAL `Split` records.
+    routing: HashMap<u64, BTreeMap<Vec<u8>, u64>>,
+    cache: HashMap<PageKey, CachedPage>,
+    /// The page-indexed log area (§3.4 "I/O Efficiency"): parked records
+    /// waiting for lazy replay, in LSN order per page.
+    log_area: HashMap<PageKey, Vec<(Lsn, WalPayload)>>,
+}
+
+/// Counters describing an RO node's behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoStatsSnapshot {
+    /// Point lookups served.
+    pub reads: u64,
+    /// Lookups served from cached pages.
+    pub cache_hits: u64,
+    /// Lookups that fetched a page image from shared storage.
+    pub cache_misses: u64,
+    /// WAL records parked into the log area.
+    pub records_parked: u64,
+    /// Parked records applied to cached pages (lazy replay).
+    pub records_applied: u64,
+    /// Parked records discarded after a checkpoint covered them.
+    pub records_discarded: u64,
+}
+
+/// A follower: tails the WAL, parks page records for lazy replay, serves
+/// reads from its cache + the published mapping version (Fig. 7, right).
+pub struct RoNode {
+    store: AppendOnlyStore,
+    mapping: SharedMappingTable,
+    reader: Mutex<WalReader>,
+    inner: Mutex<RoInner>,
+    latency: LatencyRecorder,
+    config: RoNodeConfig,
+    access_clock: AtomicU64,
+    reads: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    records_parked: AtomicU64,
+    records_applied: AtomicU64,
+    records_discarded: AtomicU64,
+}
+
+impl RoNode {
+    /// Attaches a follower to the shared store, the leader's mapping table,
+    /// and a WAL reader (from [`crate::RwNode::open_wal_reader`]).
+    pub fn new(
+        store: AppendOnlyStore,
+        mapping: SharedMappingTable,
+        reader: WalReader,
+        config: RoNodeConfig,
+    ) -> Self {
+        RoNode {
+            store,
+            mapping,
+            reader: Mutex::new(reader),
+            inner: Mutex::new(RoInner {
+                routing: HashMap::new(),
+                cache: HashMap::new(),
+                log_area: HashMap::new(),
+            }),
+            latency: LatencyRecorder::default(),
+            config,
+            access_clock: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            records_parked: AtomicU64::new(0),
+            records_applied: AtomicU64::new(0),
+            records_discarded: AtomicU64::new(0),
+        }
+    }
+
+    /// Leader-to-follower propagation latency (record timestamp → poll),
+    /// on the simulated clock.
+    pub fn sync_latency(&self) -> &LatencyRecorder {
+        &self.latency
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RoStatsSnapshot {
+        RoStatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            records_parked: self.records_parked.load(Ordering::Relaxed),
+            records_applied: self.records_applied.load(Ordering::Relaxed),
+            records_discarded: self.records_discarded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The highest LSN this follower has consumed from the WAL. Use with
+    /// [`RoNode::ensure_seen`] for read-your-writes session consistency:
+    /// the leader hands the client `rw.last_lsn()` as a session token, and
+    /// any follower can serve the client once it has caught up to it.
+    pub fn seen_lsn(&self) -> Lsn {
+        self.reader.lock().position()
+    }
+
+    /// Catches up to at least `lsn` (polling the WAL if behind). Returns
+    /// `true` when the follower now covers the token; `false` means the
+    /// leader has not durably logged that LSN yet, so serving the session
+    /// here would violate read-your-writes.
+    pub fn ensure_seen(&self, lsn: Lsn) -> StorageResult<bool> {
+        if self.seen_lsn() >= lsn {
+            return Ok(true);
+        }
+        self.poll()?;
+        Ok(self.seen_lsn() >= lsn)
+    }
+
+    /// Tails the WAL: parks page records, applies splits to the routing
+    /// table eagerly, and processes checkpoints. Returns the number of new
+    /// records consumed.
+    pub fn poll(&self) -> StorageResult<usize> {
+        let records = self.reader.lock().fetch_new()?;
+        if records.is_empty() {
+            return Ok(0);
+        }
+        let now = self.store.clock().now();
+        let mut inner = self.inner.lock();
+        let count = records.len();
+        for record in records {
+            self.latency
+                .record(now.duration_since(record.timestamp));
+            match &record.payload {
+                WalPayload::CheckpointComplete { upto } => {
+                    self.handle_checkpoint(&mut inner, Lsn(*upto));
+                }
+                WalPayload::Split {
+                    right_page,
+                    separator,
+                } => {
+                    // Routing must be current before any read routes a key;
+                    // the content truncation of the left page stays lazy.
+                    inner
+                        .routing
+                        .entry(record.tree)
+                        .or_insert_with(Self::fresh_routing)
+                        .insert(separator.clone(), *right_page);
+                    self.park(&mut inner, record.tree, record.page, record.lsn, record.payload);
+                }
+                _ => {
+                    self.park(&mut inner, record.tree, record.page, record.lsn, record.payload);
+                }
+            }
+        }
+        Ok(count)
+    }
+
+    fn fresh_routing() -> BTreeMap<Vec<u8>, u64> {
+        let mut routing = BTreeMap::new();
+        routing.insert(Vec::new(), FIRST_LEAF as u64);
+        routing
+    }
+
+    fn park(&self, inner: &mut RoInner, tree: u64, page: u64, lsn: Lsn, payload: WalPayload) {
+        inner
+            .log_area
+            .entry((tree, page))
+            .or_default()
+            .push((lsn, payload));
+        self.records_parked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Checkpoint: shared storage now reflects LSNs `<= upto`. Apply covered
+    /// records to any *cached* pages (so dropping them loses nothing), then
+    /// discard them; uncached pages will be re-fetched current from storage.
+    fn handle_checkpoint(&self, inner: &mut RoInner, upto: Lsn) {
+        let RoInner {
+            cache, log_area, ..
+        } = inner;
+        log_area.retain(|page_key, records| {
+            let covered = records.iter().filter(|(lsn, _)| *lsn <= upto).count();
+            if covered > 0 {
+                if let Some(cached) = cache.get_mut(page_key) {
+                    for (lsn, payload) in records.iter().take(covered) {
+                        if *lsn > cached.applied_lsn {
+                            Self::apply_to_entries(&mut cached.entries, payload);
+                            cached.applied_lsn = *lsn;
+                            self.records_applied.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                records.drain(..covered);
+                self.records_discarded
+                    .fetch_add(covered as u64, Ordering::Relaxed);
+            }
+            !records.is_empty()
+        });
+    }
+
+    fn apply_to_entries(entries: &mut Entries, payload: &WalPayload) {
+        match payload {
+            WalPayload::Upsert { key, value } => {
+                match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => entries[i].1 = value.clone(),
+                    Err(i) => entries.insert(i, (key.clone(), value.clone())),
+                }
+            }
+            WalPayload::Delete { key } => {
+                if let Ok(i) = entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    entries.remove(i);
+                }
+            }
+            WalPayload::PageImage { image } | WalPayload::NewPage { image } => {
+                *entries = decode_base_page(image).expect("leader wrote a valid image");
+            }
+            WalPayload::Split { separator, .. } => {
+                // This page is the left half: keys >= separator moved away.
+                entries.retain(|(k, _)| k.as_slice() < separator.as_slice());
+            }
+            WalPayload::CheckpointComplete { .. } => {}
+        }
+    }
+
+    /// Point lookup with lazy replay (Fig. 7 steps (4)–(6)).
+    pub fn get(&self, tree: u64, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let stamp = self.access_clock.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        let page = {
+            let routing = inner
+                .routing
+                .entry(tree)
+                .or_insert_with(Self::fresh_routing);
+            *routing
+                .range::<[u8], _>((Bound::Unbounded, Bound::Included(key)))
+                .next_back()
+                .expect("routing contains the empty separator")
+                .1
+        };
+        let page_key = (tree, page);
+
+        if !inner.cache.contains_key(&page_key) {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            // Resolve through the *published* mapping version. A page the
+            // mapping does not know is brand new (paper's page Q): it is
+            // built purely from parked records.
+            let tag = PageTag {
+                tree: tree as u32,
+                page: page as u32,
+            }
+            .encode();
+            let entries = match self.mapping.get(tag) {
+                Some(addr) => {
+                    let bytes = self.store.read(addr)?;
+                    decode_base_page(&bytes).expect("valid base image on the store")
+                }
+                None => Entries::new(),
+            };
+            self.evict_if_full(&mut inner);
+            inner.cache.insert(
+                page_key,
+                CachedPage {
+                    entries,
+                    applied_lsn: Lsn::ZERO,
+                    last_access: stamp,
+                },
+            );
+        } else {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Lazy replay: apply parked records newer than the page has seen.
+        let RoInner {
+            cache, log_area, ..
+        } = &mut *inner;
+        let cached = cache.get_mut(&page_key).expect("just ensured");
+        cached.last_access = stamp;
+        if let Some(records) = log_area.get(&page_key) {
+            for (lsn, payload) in records {
+                if *lsn > cached.applied_lsn {
+                    Self::apply_to_entries(&mut cached.entries, payload);
+                    cached.applied_lsn = *lsn;
+                    self.records_applied.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        Ok(cached
+            .entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| cached.entries[i].1.clone()))
+    }
+
+    /// Ordered scan of `[start, end)` limited to `limit` entries, with lazy
+    /// replay on every page touched.
+    pub fn scan_range(
+        &self,
+        tree: u64,
+        start: Option<&[u8]>,
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> StorageResult<Entries> {
+        // Collect the page ids covering the range, then reuse `get`'s fetch
+        // logic page by page via a probe key.
+        let pages: Vec<(Vec<u8>, u64)> = {
+            let mut inner = self.inner.lock();
+            let routing = inner
+                .routing
+                .entry(tree)
+                .or_insert_with(Self::fresh_routing);
+            let first_key = start.map(|s| s.to_vec()).unwrap_or_default();
+            let mut pages = Vec::new();
+            if let Some((sep, &id)) = routing
+                .range::<[u8], _>((Bound::Unbounded, Bound::Included(first_key.as_slice())))
+                .next_back()
+            {
+                pages.push((sep.clone(), id));
+            }
+            for (sep, &id) in routing
+                .range::<[u8], _>((Bound::Excluded(first_key.as_slice()), Bound::Unbounded))
+            {
+                if let Some(e) = end {
+                    if sep.as_slice() >= e {
+                        break;
+                    }
+                }
+                pages.push((sep.clone(), id));
+            }
+            pages
+        };
+        let mut out = Entries::new();
+        for (sep, _) in pages {
+            // Touch the page via its separator key to fault it in + replay.
+            self.get(tree, &sep)?;
+            let inner = self.inner.lock();
+            let routing = &inner.routing[&tree];
+            let page = *routing
+                .range::<[u8], _>((Bound::Unbounded, Bound::Included(sep.as_slice())))
+                .next_back()
+                .unwrap()
+                .1;
+            if let Some(cached) = inner.cache.get(&(tree, page)) {
+                for (k, v) in &cached.entries {
+                    if start.is_some_and(|s| k.as_slice() < s) {
+                        continue;
+                    }
+                    if end.is_some_and(|e| k.as_slice() >= e) {
+                        break;
+                    }
+                    out.push((k.clone(), v.clone()));
+                    if out.len() == limit {
+                        return Ok(out);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn evict_if_full(&self, inner: &mut RoInner) {
+        if inner.cache.len() < self.config.cache_capacity_pages {
+            return;
+        }
+        if let Some((&victim, _)) = inner
+            .cache
+            .iter()
+            .min_by_key(|(_, p)| p.last_access)
+        {
+            inner.cache.remove(&victim);
+        }
+    }
+
+    /// Drops every cached page (tests and failover simulations).
+    pub fn evict_all(&self) {
+        self.inner.lock().cache.clear();
+    }
+
+    /// Number of records currently parked in the log area.
+    pub fn parked_records(&self) -> usize {
+        self.inner.lock().log_area.values().map(|v| v.len()).sum()
+    }
+
+    /// Number of cached pages.
+    pub fn cached_pages(&self) -> usize {
+        self.inner.lock().cache.len()
+    }
+}
+
+impl std::fmt::Debug for RoNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoNode")
+            .field("cached_pages", &self.cached_pages())
+            .field("parked_records", &self.parked_records())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rw::{RwNode, RwNodeConfig};
+    use bg3_storage::StoreConfig;
+
+    fn pair(group_commit: usize) -> (RwNode, RoNode) {
+        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let rw = RwNode::new(
+            store.clone(),
+            RwNodeConfig {
+                group_commit_pages: group_commit,
+                ..RwNodeConfig::default()
+            },
+        );
+        let ro = RoNode::new(
+            store,
+            rw.mapping().clone(),
+            rw.open_wal_reader(),
+            RoNodeConfig::default(),
+        );
+        (rw, ro)
+    }
+
+    #[test]
+    fn follower_reads_unflushed_writes_after_poll() {
+        let (rw, ro) = pair(usize::MAX);
+        rw.put(b"k1", b"v1").unwrap();
+        rw.put(b"k2", b"v2").unwrap();
+        ro.poll().unwrap();
+        // No checkpoint ran: data exists only in WAL + RW memory, yet the RO
+        // serves it — this is the strong-consistency property of Fig. 12.
+        assert_eq!(ro.get(1, b"k1").unwrap(), Some(b"v1".to_vec()));
+        assert_eq!(ro.get(1, b"k2").unwrap(), Some(b"v2".to_vec()));
+        assert_eq!(ro.get(1, b"k3").unwrap(), None);
+    }
+
+    #[test]
+    fn lazy_replay_applies_only_on_access() {
+        let (rw, ro) = pair(usize::MAX);
+        for i in 0..10u32 {
+            rw.put(format!("key{i}").as_bytes(), b"v").unwrap();
+        }
+        ro.poll().unwrap();
+        assert_eq!(ro.stats().records_applied, 0, "nothing touched yet");
+        assert!(ro.parked_records() >= 10);
+        ro.get(1, b"key0").unwrap();
+        assert!(ro.stats().records_applied > 0, "replayed on access");
+    }
+
+    #[test]
+    fn checkpoint_discards_covered_records() {
+        let (rw, ro) = pair(usize::MAX);
+        for i in 0..8u32 {
+            rw.put(format!("key{i}").as_bytes(), b"v").unwrap();
+        }
+        ro.poll().unwrap();
+        let parked_before = ro.parked_records();
+        rw.checkpoint().unwrap();
+        ro.poll().unwrap();
+        assert!(ro.parked_records() < parked_before, "log area trimmed");
+        // Data still readable: now through mapping + storage.
+        assert_eq!(ro.get(1, b"key3").unwrap(), Some(b"v".to_vec()));
+        assert!(ro.stats().records_discarded > 0);
+    }
+
+    #[test]
+    fn cache_miss_resolves_old_mapping_plus_wal() {
+        // The Fig. 6/7 scenario: page flushed, then more writes logged but
+        // not flushed; an RO cold read must merge storage + parked records.
+        let (rw, ro) = pair(usize::MAX);
+        rw.put(b"a", b"old").unwrap();
+        rw.checkpoint().unwrap();
+        rw.put(b"a", b"new").unwrap(); // only in WAL
+        rw.put(b"b", b"fresh").unwrap(); // only in WAL
+        ro.poll().unwrap();
+        ro.evict_all();
+        assert_eq!(ro.get(1, b"a").unwrap(), Some(b"new".to_vec()));
+        assert_eq!(ro.get(1, b"b").unwrap(), Some(b"fresh".to_vec()));
+        assert!(ro.stats().cache_misses >= 1);
+    }
+
+    #[test]
+    fn splits_replicate_via_routing_and_new_pages() {
+        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let mut cfg = RwNodeConfig {
+            group_commit_pages: usize::MAX,
+            ..RwNodeConfig::default()
+        };
+        cfg.tree_config = cfg
+            .tree_config
+            .with_max_page_entries(8)
+            .with_consolidate_threshold(4);
+        let rw = RwNode::new(store.clone(), cfg);
+        let ro = RoNode::new(
+            store,
+            rw.mapping().clone(),
+            rw.open_wal_reader(),
+            RoNodeConfig::default(),
+        );
+        for i in 0..64u32 {
+            rw.put(format!("key{i:03}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        assert!(rw.tree().page_count() > 1, "leader split");
+        ro.poll().unwrap();
+        for i in 0..64u32 {
+            assert_eq!(
+                ro.get(1, format!("key{i:03}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes()),
+                "key {i} readable on follower after split"
+            );
+        }
+    }
+
+    #[test]
+    fn deletes_propagate() {
+        let (rw, ro) = pair(usize::MAX);
+        rw.put(b"k", b"v").unwrap();
+        rw.delete(b"k").unwrap();
+        ro.poll().unwrap();
+        assert_eq!(ro.get(1, b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn cache_eviction_respects_capacity() {
+        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let mut cfg = RwNodeConfig {
+            group_commit_pages: usize::MAX,
+            ..RwNodeConfig::default()
+        };
+        cfg.tree_config = cfg
+            .tree_config
+            .with_max_page_entries(4)
+            .with_consolidate_threshold(2);
+        let rw = RwNode::new(store.clone(), cfg);
+        let ro = RoNode::new(
+            store,
+            rw.mapping().clone(),
+            rw.open_wal_reader(),
+            RoNodeConfig {
+                cache_capacity_pages: 2,
+            },
+        );
+        for i in 0..64u32 {
+            rw.put(format!("key{i:03}").as_bytes(), b"v").unwrap();
+        }
+        ro.poll().unwrap();
+        for i in 0..64u32 {
+            ro.get(1, format!("key{i:03}").as_bytes()).unwrap();
+        }
+        assert!(ro.cached_pages() <= 2, "capacity enforced");
+        // Reads remain correct despite evictions.
+        for i in (0..64u32).step_by(9) {
+            assert_eq!(
+                ro.get(1, format!("key{i:03}").as_bytes()).unwrap(),
+                Some(b"v".to_vec())
+            );
+        }
+    }
+
+    #[test]
+    fn scan_range_on_follower_merges_replayed_pages() {
+        let (rw, ro) = pair(usize::MAX);
+        for i in 0..30u32 {
+            rw.put(format!("key{i:03}").as_bytes(), format!("{i}").as_bytes())
+                .unwrap();
+        }
+        rw.checkpoint().unwrap();
+        for i in 30..40u32 {
+            rw.put(format!("key{i:03}").as_bytes(), format!("{i}").as_bytes())
+                .unwrap();
+        }
+        ro.poll().unwrap();
+        let hits = ro.scan_range(1, Some(b"key010"), Some(b"key035"), usize::MAX).unwrap();
+        assert_eq!(hits.len(), 25);
+        assert!(hits.windows(2).all(|w| w[0].0 < w[1].0));
+        let limited = ro.scan_range(1, None, None, 7).unwrap();
+        assert_eq!(limited.len(), 7);
+    }
+
+    #[test]
+    fn session_tokens_give_read_your_writes() {
+        let (rw, ro) = pair(usize::MAX);
+        rw.put(b"k", b"v1").unwrap();
+        let token = rw.last_lsn();
+        // Fresh follower has seen nothing yet.
+        assert!(ro.seen_lsn() < token);
+        // ensure_seen catches it up and the write is visible.
+        assert!(ro.ensure_seen(token).unwrap());
+        assert_eq!(ro.get(1, b"k").unwrap(), Some(b"v1".to_vec()));
+        // A token from the future cannot be served.
+        assert!(!ro.ensure_seen(bg3_wal::Lsn(token.0 + 10)).unwrap());
+    }
+
+    #[test]
+    fn sync_latency_is_recorded() {
+        let store = AppendOnlyStore::new(bg3_storage::StoreConfig::default()); // real latency
+        let rw = RwNode::new(store.clone(), RwNodeConfig::default());
+        let ro = RoNode::new(
+            store,
+            rw.mapping().clone(),
+            rw.open_wal_reader(),
+            RoNodeConfig::default(),
+        );
+        rw.put(b"k", b"v").unwrap();
+        ro.poll().unwrap();
+        assert_eq!(ro.sync_latency().count(), 1);
+        assert!(ro.sync_latency().mean_nanos() > 0, "simulated delay seen");
+    }
+}

@@ -1,0 +1,226 @@
+//! Binary codec for WAL records.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! u64 lsn | u64 tree | u64 page | u64 timestamp_nanos | u8 kind | body
+//!
+//! body by kind:
+//!   0 Upsert            u32 key_len, key, u32 val_len, val
+//!   1 Delete            u32 key_len, key
+//!   2 PageImage         u32 image_len, image
+//!   3 NewPage           u32 image_len, image
+//!   4 Split             u64 right_page, u32 sep_len, sep
+//!   5 CheckpointComplete u64 upto
+//! ```
+//!
+//! The format is intentionally simple — it exists so the storage latency
+//! model charges realistic byte counts, and so corrupted/truncated records
+//! are detected instead of silently misread.
+
+use crate::record::{Lsn, WalPayload, WalRecord};
+use bg3_storage::SimInstant;
+use std::fmt;
+
+/// Errors raised while decoding a WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the record did.
+    Truncated { needed: usize, remaining: usize },
+    /// Unknown payload kind tag.
+    UnknownKind(u8),
+    /// The record decoded but `len` trailing bytes remain.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, remaining } => {
+                write!(f, "truncated record: needed {needed} bytes, {remaining} remain")
+            }
+            CodecError::UnknownKind(k) => write!(f, "unknown WAL record kind {k}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after record"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let remaining = self.buf.len() - self.pos;
+        if remaining < n {
+            return Err(CodecError::Truncated {
+                needed: n,
+                remaining,
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Serializes a record into a fresh buffer.
+pub fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&record.lsn.0.to_le_bytes());
+    out.extend_from_slice(&record.tree.to_le_bytes());
+    out.extend_from_slice(&record.page.to_le_bytes());
+    out.extend_from_slice(&record.timestamp.0.to_le_bytes());
+    out.push(record.payload.kind_tag());
+    match &record.payload {
+        WalPayload::Upsert { key, value } => {
+            put_bytes(&mut out, key);
+            put_bytes(&mut out, value);
+        }
+        WalPayload::Delete { key } => put_bytes(&mut out, key),
+        WalPayload::PageImage { image } | WalPayload::NewPage { image } => {
+            put_bytes(&mut out, image)
+        }
+        WalPayload::Split {
+            right_page,
+            separator,
+        } => {
+            out.extend_from_slice(&right_page.to_le_bytes());
+            put_bytes(&mut out, separator);
+        }
+        WalPayload::CheckpointComplete { upto } => out.extend_from_slice(&upto.to_le_bytes()),
+    }
+    out
+}
+
+/// Deserializes a record, requiring the buffer to contain exactly one record.
+pub fn decode_record(buf: &[u8]) -> Result<WalRecord, CodecError> {
+    let mut r = Reader { buf, pos: 0 };
+    let lsn = Lsn(r.u64()?);
+    let tree = r.u64()?;
+    let page = r.u64()?;
+    let timestamp = SimInstant(r.u64()?);
+    let kind = r.u8()?;
+    let payload = match kind {
+        0 => WalPayload::Upsert {
+            key: r.bytes()?,
+            value: r.bytes()?,
+        },
+        1 => WalPayload::Delete { key: r.bytes()? },
+        2 => WalPayload::PageImage { image: r.bytes()? },
+        3 => WalPayload::NewPage { image: r.bytes()? },
+        4 => WalPayload::Split {
+            right_page: r.u64()?,
+            separator: r.bytes()?,
+        },
+        5 => WalPayload::CheckpointComplete { upto: r.u64()? },
+        other => return Err(CodecError::UnknownKind(other)),
+    };
+    if r.pos != buf.len() {
+        return Err(CodecError::TrailingBytes(buf.len() - r.pos));
+    }
+    Ok(WalRecord {
+        lsn,
+        tree,
+        page,
+        timestamp,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(payload: WalPayload) -> WalRecord {
+        WalRecord {
+            lsn: Lsn(31),
+            tree: 7,
+            page: 12,
+            timestamp: SimInstant(99_000),
+            payload,
+        }
+    }
+
+    #[test]
+    fn round_trip_every_variant() {
+        let variants = [
+            WalPayload::Upsert {
+                key: b"video:42".to_vec(),
+                value: b"liked_at=170".to_vec(),
+            },
+            WalPayload::Delete {
+                key: b"video:42".to_vec(),
+            },
+            WalPayload::PageImage {
+                image: vec![1, 2, 3, 4, 5],
+            },
+            WalPayload::NewPage { image: vec![] },
+            WalPayload::Split {
+                right_page: 1234,
+                separator: b"user:500".to_vec(),
+            },
+            WalPayload::CheckpointComplete { upto: 34 },
+        ];
+        for payload in variants {
+            let original = rec(payload);
+            let encoded = encode_record(&original);
+            let decoded = decode_record(&encoded).unwrap();
+            assert_eq!(decoded, original);
+        }
+    }
+
+    #[test]
+    fn truncated_buffers_are_rejected() {
+        let encoded = encode_record(&rec(WalPayload::Upsert {
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+        }));
+        for cut in 0..encoded.len() {
+            let err = decode_record(&encoded[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let mut encoded = encode_record(&rec(WalPayload::CheckpointComplete { upto: 1 }));
+        encoded[32] = 250; // kind byte follows the four u64 header fields
+        assert_eq!(decode_record(&encoded), Err(CodecError::UnknownKind(250)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut encoded = encode_record(&rec(WalPayload::Delete { key: vec![9] }));
+        encoded.push(0);
+        assert_eq!(decode_record(&encoded), Err(CodecError::TrailingBytes(1)));
+    }
+}

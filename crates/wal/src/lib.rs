@@ -1,0 +1,27 @@
+//! # bg3-wal
+//!
+//! The write-ahead log BG3 uses for I/O-efficient leader-follower
+//! synchronization (§3.4 of the paper).
+//!
+//! The RW node records every in-memory Bw-tree mutation — upserts, deletes,
+//! consolidations, splits — as a WAL record and appends it to the shared
+//! store *before* acknowledging the write (Fig. 7 step (2)). RO nodes tail
+//! the log (step (3)), cache records in a page-indexed log area, and replay
+//! them lazily when a page is actually brought into memory (steps (4)/(6)).
+//! After the background flush publishes a new mapping-table version, the RW
+//! node appends a [`WalPayload::CheckpointComplete`] record (step (8)) and
+//! ROs discard replay entries at or below that LSN.
+//!
+//! Records use a compact hand-rolled binary codec ([`codec`]) — the log is
+//! the hottest write path in the system and every byte appended is charged
+//! by the storage latency model.
+
+pub mod codec;
+pub mod reader;
+pub mod record;
+pub mod writer;
+
+pub use codec::{decode_record, encode_record, CodecError};
+pub use reader::WalReader;
+pub use record::{Lsn, WalPayload, WalRecord};
+pub use writer::WalWriter;

@@ -1,0 +1,125 @@
+//! WAL reader (RO-node side).
+
+use crate::codec::decode_record;
+use crate::record::{Lsn, WalRecord};
+use bg3_storage::{AppendOnlyStore, PageAddr, StorageError, StorageResult};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Tails the shared-storage WAL: each call to [`WalReader::fetch_new`]
+/// returns (and charges the read cost of) every record appended since the
+/// previous call. Each RO node owns one reader; its position is private.
+pub struct WalReader {
+    store: AppendOnlyStore,
+    index: Arc<RwLock<Vec<PageAddr>>>,
+    /// Next index position to read (== LSN of the next record minus one).
+    next: usize,
+}
+
+impl WalReader {
+    pub(crate) fn new(store: AppendOnlyStore, index: Arc<RwLock<Vec<PageAddr>>>) -> Self {
+        WalReader {
+            store,
+            index,
+            next: 0,
+        }
+    }
+
+    /// The LSN this reader has consumed up to (exclusive of what a
+    /// subsequent `fetch_new` would return).
+    pub fn position(&self) -> Lsn {
+        Lsn(self.next as u64)
+    }
+
+    /// Reads every record the writer has published since the last call.
+    /// Records arrive in LSN order.
+    pub fn fetch_new(&mut self) -> StorageResult<Vec<WalRecord>> {
+        let addrs: Vec<PageAddr> = {
+            let guard = self.index.read();
+            guard[self.next.min(guard.len())..].to_vec()
+        };
+        let mut out = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let bytes = self.store.read(addr)?;
+            let record = decode_record(&bytes).map_err(|_| StorageError::AddrOutOfBounds(addr))?;
+            out.push(record);
+            self.next += 1;
+        }
+        Ok(out)
+    }
+
+    /// True if the writer has records this reader has not consumed.
+    pub fn has_new(&self) -> bool {
+        self.index.read().len() > self.next
+    }
+}
+
+impl std::fmt::Debug for WalReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalReader")
+            .field("position", &self.position())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::WalPayload;
+    use crate::writer::WalWriter;
+    use bg3_storage::{StoreConfig, StreamId};
+
+    #[test]
+    fn reader_sees_records_in_order_and_once() {
+        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let w = WalWriter::new(store);
+        let mut r = w.open_reader();
+        assert!(!r.has_new());
+        assert!(r.fetch_new().unwrap().is_empty());
+
+        for i in 0..3u64 {
+            w.append(1, i, WalPayload::CheckpointComplete { upto: i })
+                .unwrap();
+        }
+        assert!(r.has_new());
+        let batch = r.fetch_new().unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].lsn, Lsn(1));
+        assert_eq!(batch[2].lsn, Lsn(3));
+        assert_eq!(r.position(), Lsn(3));
+        // Nothing new until the writer appends again.
+        assert!(r.fetch_new().unwrap().is_empty());
+        w.append(1, 9, WalPayload::Delete { key: vec![1] }).unwrap();
+        assert_eq!(r.fetch_new().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn independent_readers_have_independent_positions() {
+        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let w = WalWriter::new(store);
+        w.append(1, 1, WalPayload::CheckpointComplete { upto: 0 })
+            .unwrap();
+        let mut r1 = w.open_reader();
+        let mut r2 = w.open_reader();
+        assert_eq!(r1.fetch_new().unwrap().len(), 1);
+        w.append(1, 2, WalPayload::CheckpointComplete { upto: 0 })
+            .unwrap();
+        assert_eq!(r1.fetch_new().unwrap().len(), 1);
+        assert_eq!(r2.fetch_new().unwrap().len(), 2, "r2 reads from the start");
+    }
+
+    #[test]
+    fn tailing_charges_storage_reads() {
+        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let w = WalWriter::new(store.clone());
+        let mut r = w.open_reader();
+        w.append(1, 1, WalPayload::CheckpointComplete { upto: 0 })
+            .unwrap();
+        let before = store.stats().snapshot();
+        r.fetch_new().unwrap();
+        let delta = store.stats().snapshot().delta_since(&before);
+        assert_eq!(delta.random_reads, 1, "RO pays for reading the log");
+        let wal_bytes = store.stream_stats(StreamId::WAL).unwrap().valid_bytes;
+        assert_eq!(delta.bytes_read, wal_bytes);
+    }
+}

@@ -1,0 +1,26 @@
+//! # bg3-workloads
+//!
+//! Synthetic workload generators reproducing Table 1 of the BG3 paper.
+//!
+//! ByteDance's graph access patterns are power-law distributed — a few
+//! celebrities/viral videos receive most of the traffic — so every
+//! generator draws vertices from a [`Zipf`] distribution (the paper's
+//! micro-benchmarks explicitly use "a power-law benchmark").
+//!
+//! Three workloads are modelled, one per Table 1 row:
+//!
+//! | workload | read/write | shape |
+//! |---|---|---|
+//! | [`DouyinFollow`] | 99% / 1% | single-edge inserts + one-hop queries |
+//! | [`FinancialRiskControl`] | 50% / 50% | edge inserts (TTL'd) + existence checks + pattern matching, 5–10 hops |
+//! | [`DouyinRecommendation`] | read-only | 70% 1-hop, 20% 2-hop, 10% 3-hop |
+
+pub mod ops;
+pub mod spec;
+pub mod workload;
+pub mod zipf;
+
+pub use ops::Op;
+pub use spec::{table1, WorkloadSpec};
+pub use workload::{DouyinFollow, DouyinRecommendation, FinancialRiskControl, WorkloadGen};
+pub use zipf::Zipf;

@@ -1,0 +1,117 @@
+//! Printable workload descriptions — the content of the paper's Table 1.
+
+/// One Table 1 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Workload name.
+    pub name: &'static str,
+    /// Read fraction (0.0..=1.0).
+    pub read_fraction: f64,
+    /// Prose description matching the paper's wording.
+    pub description: &'static str,
+    /// Vertex count of the production graph the row describes.
+    pub vertices: u64,
+    /// Edge count of the production graph the row describes.
+    pub edges: u64,
+    /// Hop range accessed.
+    pub hops: (usize, usize),
+    /// Whether the workload relies on TTL-based expiry.
+    pub uses_ttl: bool,
+}
+
+impl WorkloadSpec {
+    /// Formats the row like the paper's table.
+    pub fn row(&self) -> String {
+        format!(
+            "{} | {:.0}%/{:.0}% | |V|={} |E|={} | hops {}..{} | ttl={} | {}",
+            self.name,
+            self.read_fraction * 100.0,
+            (1.0 - self.read_fraction) * 100.0,
+            human(self.vertices),
+            human(self.edges),
+            self.hops.0,
+            self.hops.1,
+            self.uses_ttl,
+            self.description,
+        )
+    }
+}
+
+fn human(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.1}B", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.0}M", n as f64 / 1e6)
+    } else {
+        n.to_string()
+    }
+}
+
+/// The three Table 1 rows.
+pub fn table1() -> [WorkloadSpec; 3] {
+    [
+        WorkloadSpec {
+            name: "Douyin Follow",
+            read_fraction: 0.99,
+            description: "single edge insertion, one-hop neighbor query",
+            vertices: 3_000_000,
+            edges: 500_000_000,
+            hops: (1, 1),
+            uses_ttl: false,
+        },
+        WorkloadSpec {
+            name: "Financial Risk Control",
+            read_fraction: 0.50,
+            description: "pattern matching, single edge insertion, edge verification",
+            vertices: 5_000_000_000,
+            edges: 100_000_000_000,
+            hops: (5, 10),
+            uses_ttl: true,
+        },
+        WorkloadSpec {
+            name: "Douyin Recommendation",
+            read_fraction: 1.0,
+            description: "multi-hop neighbor query: 70% 1-hop, 20% 2-hop, 10% 3-hop",
+            vertices: 3_000_000,
+            edges: 500_000_000,
+            hops: (1, 3),
+            uses_ttl: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper() {
+        let [follow, risk, rec] = table1();
+        assert_eq!(follow.read_fraction, 0.99);
+        assert_eq!(follow.hops, (1, 1));
+        assert!(!follow.uses_ttl);
+        assert_eq!(risk.read_fraction, 0.50);
+        assert!(risk.uses_ttl);
+        assert_eq!(risk.vertices, 5_000_000_000);
+        assert_eq!(rec.read_fraction, 1.0);
+        assert_eq!(rec.hops, (1, 3));
+    }
+
+    #[test]
+    fn rows_render() {
+        for spec in table1() {
+            let row = spec.row();
+            assert!(row.contains(spec.name));
+            assert!(row.contains("hops"));
+        }
+        assert!(table1()[1].row().contains("5.0B"));
+        assert!(table1()[0].row().contains("3M"));
+    }
+
+    #[test]
+    fn human_format_boundaries() {
+        assert_eq!(human(999), "999");
+        assert_eq!(human(3_000_000), "3M");
+        assert_eq!(human(100_000_000_000), "100.0B");
+    }
+}

@@ -1,0 +1,280 @@
+//! The three workload generators.
+
+use crate::ops::Op;
+use crate::zipf::Zipf;
+use bg3_graph::{EdgeType, PropertyValue, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic, seedable stream of operations.
+pub trait WorkloadGen {
+    /// Produces the next operation.
+    fn next_op(&mut self) -> Op;
+
+    /// The edge type this workload exercises.
+    fn etype(&self) -> EdgeType;
+}
+
+/// "Douyin Follow" (Table 1): 99% one-hop follower queries, 1% single-edge
+/// follow insertions, over a power-law population of users.
+pub struct DouyinFollow {
+    rng: StdRng,
+    users: Zipf,
+    clock: u64,
+}
+
+impl DouyinFollow {
+    /// Creates a generator over `users` users with Zipf exponent
+    /// `exponent` (ByteDance-style skew ≈ 1.0).
+    pub fn new(users: u64, exponent: f64, seed: u64) -> Self {
+        DouyinFollow {
+            rng: StdRng::seed_from_u64(seed),
+            users: Zipf::new(users, exponent),
+            clock: 0,
+        }
+    }
+}
+
+impl WorkloadGen for DouyinFollow {
+    fn next_op(&mut self) -> Op {
+        self.clock += 1;
+        let src = VertexId(self.users.sample(&mut self.rng));
+        if self.rng.gen_bool(0.01) {
+            let dst = VertexId(self.users.sample(&mut self.rng));
+            Op::InsertEdge {
+                src,
+                etype: EdgeType::FOLLOW,
+                dst,
+                props: PropertyValue::Int(self.clock as i64).encode(),
+            }
+        } else {
+            Op::OneHop {
+                src,
+                etype: EdgeType::FOLLOW,
+                limit: 100,
+            }
+        }
+    }
+
+    fn etype(&self) -> EdgeType {
+        EdgeType::FOLLOW
+    }
+}
+
+/// "Financial Risk Control" (Table 1): strict 50/50 read/write. Writes are
+/// transfer-edge insertions (TTL'd upstream); reads alternate between
+/// verifying recently inserted edges and pattern matching (5–10 hop cycle
+/// checks) — the anti-money-laundering loop detection of §2.6.
+pub struct FinancialRiskControl {
+    rng: StdRng,
+    accounts: Zipf,
+    clock: u64,
+    /// Recently inserted edges pending verification (bounded FIFO).
+    pending: Vec<(VertexId, VertexId)>,
+    write_turn: bool,
+}
+
+impl FinancialRiskControl {
+    /// Creates a generator over `accounts` accounts.
+    pub fn new(accounts: u64, exponent: f64, seed: u64) -> Self {
+        FinancialRiskControl {
+            rng: StdRng::seed_from_u64(seed),
+            accounts: Zipf::new(accounts, exponent),
+            clock: 0,
+            pending: Vec::new(),
+            write_turn: true,
+        }
+    }
+}
+
+impl WorkloadGen for FinancialRiskControl {
+    fn next_op(&mut self) -> Op {
+        self.clock += 1;
+        // Alternate deterministically: the paper fixes the ratio at exactly
+        // 1:1.
+        self.write_turn = !self.write_turn;
+        if !self.write_turn {
+            let src = VertexId(self.accounts.sample(&mut self.rng));
+            let dst = VertexId(self.accounts.sample(&mut self.rng));
+            if self.pending.len() < 4096 {
+                self.pending.push((src, dst));
+            }
+            Op::InsertEdge {
+                src,
+                etype: EdgeType::TRANSFER,
+                dst,
+                props: PropertyValue::Int(self.clock as i64).encode(),
+            }
+        } else if let Some((src, dst)) = (!self.pending.is_empty())
+            .then(|| self.pending.remove(0))
+            .filter(|_| self.rng.gen_bool(0.7))
+        {
+            // Reconciliation: check the edge the RW node just wrote.
+            Op::CheckEdge {
+                src,
+                etype: EdgeType::TRANSFER,
+                dst,
+            }
+        } else {
+            // Deep analysis: 5..=10-hop cycle detection.
+            Op::PatternCycle {
+                anchor: VertexId(self.accounts.sample(&mut self.rng)),
+                etype: EdgeType::TRANSFER,
+                length: self.rng.gen_range(5..=10),
+            }
+        }
+    }
+
+    fn etype(&self) -> EdgeType {
+        EdgeType::TRANSFER
+    }
+}
+
+/// "Douyin Recommendation" (Table 1): read-only multi-hop sampling with the
+/// paper's hop mix — 70% 1-hop, 20% 2-hop, 10% 3-hop.
+pub struct DouyinRecommendation {
+    rng: StdRng,
+    users: Zipf,
+}
+
+impl DouyinRecommendation {
+    /// Creates a generator over `users` users.
+    pub fn new(users: u64, exponent: f64, seed: u64) -> Self {
+        DouyinRecommendation {
+            rng: StdRng::seed_from_u64(seed),
+            users: Zipf::new(users, exponent),
+        }
+    }
+}
+
+impl WorkloadGen for DouyinRecommendation {
+    fn next_op(&mut self) -> Op {
+        let src = VertexId(self.users.sample(&mut self.rng));
+        let roll: f64 = self.rng.gen();
+        let hops = if roll < 0.7 {
+            1
+        } else if roll < 0.9 {
+            2
+        } else {
+            3
+        };
+        if hops == 1 {
+            Op::OneHop {
+                src,
+                etype: EdgeType::FOLLOW,
+                limit: 100,
+            }
+        } else {
+            Op::KHop {
+                src,
+                etype: EdgeType::FOLLOW,
+                hops,
+                fanout: 20,
+            }
+        }
+    }
+
+    fn etype(&self) -> EdgeType {
+        EdgeType::FOLLOW
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_ops(gen: &mut dyn WorkloadGen, n: usize) -> (usize, usize) {
+        let mut writes = 0;
+        let mut reads = 0;
+        for _ in 0..n {
+            if gen.next_op().is_write() {
+                writes += 1;
+            } else {
+                reads += 1;
+            }
+        }
+        (reads, writes)
+    }
+
+    #[test]
+    fn follow_is_99_to_1() {
+        let mut w = DouyinFollow::new(10_000, 1.0, 42);
+        let (reads, writes) = count_ops(&mut w, 50_000);
+        let write_frac = writes as f64 / (reads + writes) as f64;
+        assert!(
+            (write_frac - 0.01).abs() < 0.005,
+            "write fraction {write_frac}"
+        );
+    }
+
+    #[test]
+    fn follow_reads_are_one_hop() {
+        let mut w = DouyinFollow::new(1000, 1.0, 1);
+        for _ in 0..1000 {
+            match w.next_op() {
+                Op::OneHop { etype, .. } => assert_eq!(etype, EdgeType::FOLLOW),
+                Op::InsertEdge { etype, .. } => assert_eq!(etype, EdgeType::FOLLOW),
+                other => panic!("unexpected op {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn risk_control_is_exactly_50_50() {
+        let mut w = FinancialRiskControl::new(10_000, 1.0, 42);
+        let (reads, writes) = count_ops(&mut w, 10_000);
+        assert_eq!(reads, 5000);
+        assert_eq!(writes, 5000);
+    }
+
+    #[test]
+    fn risk_control_reads_mix_checks_and_patterns() {
+        let mut w = FinancialRiskControl::new(10_000, 1.0, 7);
+        let mut checks = 0;
+        let mut patterns = 0;
+        for _ in 0..10_000 {
+            match w.next_op() {
+                Op::CheckEdge { .. } => checks += 1,
+                Op::PatternCycle { length, .. } => {
+                    assert!((5..=10).contains(&length));
+                    patterns += 1;
+                }
+                Op::InsertEdge { .. } => {}
+                other => panic!("unexpected op {other:?}"),
+            }
+        }
+        assert!(checks > 1000, "verification reads present: {checks}");
+        assert!(patterns > 500, "pattern reads present: {patterns}");
+    }
+
+    #[test]
+    fn recommendation_is_read_only_with_hop_mix() {
+        let mut w = DouyinRecommendation::new(10_000, 1.0, 42);
+        let mut hops = [0usize; 4];
+        for _ in 0..30_000 {
+            match w.next_op() {
+                Op::OneHop { .. } => hops[1] += 1,
+                Op::KHop { hops: h, .. } => hops[h] += 1,
+                other => panic!("write in a read-only workload: {other:?}"),
+            }
+        }
+        let total = 30_000f64;
+        assert!((hops[1] as f64 / total - 0.7).abs() < 0.02);
+        assert!((hops[2] as f64 / total - 0.2).abs() < 0.02);
+        assert!((hops[3] as f64 / total - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let mut a = DouyinFollow::new(1000, 1.0, 9);
+        let mut b = DouyinFollow::new(1000, 1.0, 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        let mut c = DouyinFollow::new(1000, 1.0, 10);
+        let first_100: Vec<Op> = (0..100).map(|_| c.next_op()).collect();
+        let mut d = DouyinFollow::new(1000, 1.0, 9);
+        let other: Vec<Op> = (0..100).map(|_| d.next_op()).collect();
+        assert_ne!(first_100, other, "different seeds diverge");
+    }
+}

@@ -1,0 +1,184 @@
+//! Zipf sampling by rejection-inversion.
+//!
+//! Implements Hörmann's rejection-inversion method for monotone discrete
+//! distributions (the same algorithm behind Apache Commons RNG's
+//! `RejectionInversionZipfSampler`): O(1) per sample with no per-rank
+//! tables, which matters because the paper's workloads draw from vertex
+//! populations of millions.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^-s`.
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf {
+    n: u64,
+    exponent: f64,
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `1..=n` with exponent `exponent` (> 0).
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `exponent <= 0`.
+    pub fn new(n: u64, exponent: f64) -> Zipf {
+        assert!(n >= 1, "population must be non-empty");
+        assert!(exponent > 0.0, "exponent must be positive");
+        let h_x1 = h_integral(1.5, exponent) - 1.0;
+        let h_n = h_integral(n as f64 + 0.5, exponent);
+        let s = 2.0 - h_integral_inverse(h_integral(2.5, exponent) - h(2.0, exponent), exponent);
+        Zipf {
+            n,
+            exponent,
+            h_x1,
+            h_n,
+            s,
+        }
+    }
+
+    /// Population size.
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.n == 1 {
+            return 1;
+        }
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = h_integral_inverse(u, self.exponent);
+            let k = (x + 0.5) as u64;
+            let k = k.clamp(1, self.n);
+            if k as f64 - x <= self.s
+                || u >= h_integral(k as f64 + 0.5, self.exponent) - h(k as f64, self.exponent)
+            {
+                return k;
+            }
+        }
+    }
+
+    /// Draws a rank and scrambles it into `0..n` with a fixed multiplicative
+    /// permutation, so "hot" ids are spread across the key space instead of
+    /// clustering at small values. Useful when key locality would otherwise
+    /// bias page placement.
+    pub fn sample_scrambled<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let rank = self.sample(rng) - 1;
+        // Odd multiplier => bijection modulo 2^64; fold into the population.
+        rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.n
+    }
+}
+
+/// `H(x) = ∫ t^-s dt`, the antiderivative used by rejection-inversion.
+fn h_integral(x: f64, exponent: f64) -> f64 {
+    if (exponent - 1.0).abs() < 1e-9 {
+        x.ln()
+    } else {
+        (x.powf(1.0 - exponent) - 1.0) / (1.0 - exponent)
+    }
+}
+
+/// `h(x) = x^-s`.
+fn h(x: f64, exponent: f64) -> f64 {
+    x.powf(-exponent)
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inverse(t: f64, exponent: f64) -> f64 {
+    if (exponent - 1.0).abs() < 1e-9 {
+        t.exp()
+    } else {
+        // Guard the radicand: extreme t from floating error must not go
+        // negative.
+        let radicand = (1.0 + t * (1.0 - exponent)).max(f64::MIN_POSITIVE);
+        radicand.powf(1.0 / (1.0 - exponent))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(n: u64, exponent: f64, draws: usize) -> Vec<u64> {
+        let zipf = Zipf::new(n, exponent);
+        let mut rng = StdRng::seed_from_u64(12345);
+        let mut counts = vec![0u64; n as usize + 1];
+        for _ in 0..draws {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let k = zipf.sample(&mut rng);
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn rank_one_frequency_matches_theory() {
+        // For s=1, n=100: P(1) = 1/H_100 ≈ 1/5.187 ≈ 0.1928.
+        let counts = histogram(100, 1.0, 200_000);
+        let p1 = counts[1] as f64 / 200_000.0;
+        assert!((p1 - 0.1928).abs() < 0.01, "P(1) = {p1}");
+    }
+
+    #[test]
+    fn heavier_exponent_concentrates_mass() {
+        let light = histogram(1000, 0.8, 100_000);
+        let heavy = histogram(1000, 1.5, 100_000);
+        assert!(heavy[1] > light[1], "larger s → hotter head");
+    }
+
+    #[test]
+    fn counts_are_roughly_monotone_decreasing() {
+        let counts = histogram(50, 1.1, 500_000);
+        // Compare well-separated ranks to tolerate sampling noise.
+        assert!(counts[1] > counts[5]);
+        assert!(counts[5] > counts[20]);
+        assert!(counts[20] > counts[45]);
+    }
+
+    #[test]
+    fn population_of_one_always_returns_one() {
+        let zipf = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn scrambled_samples_cover_the_space() {
+        let zipf = Zipf::new(1_000_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut high = 0;
+        for _ in 0..1000 {
+            if zipf.sample_scrambled(&mut rng) > 500_000 {
+                high += 1;
+            }
+        }
+        // Unscrambled Zipf almost never exceeds 500k; scrambled should be
+        // spread out.
+        assert!(high > 200, "scrambling spreads hot ids: {high}/1000 high");
+    }
+
+    #[test]
+    fn large_population_is_cheap_to_construct() {
+        // No per-rank table: constructing for 100M ranks must be instant.
+        let zipf = Zipf::new(100_000_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        let k = zipf.sample(&mut rng);
+        assert!((1..=100_000_000).contains(&k));
+    }
+}

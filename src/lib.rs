@@ -1,0 +1,2 @@
+//! Umbrella crate: integration tests and examples live here.
+pub use bg3_core as core_api;

@@ -1,0 +1,101 @@
+//! Differential testing: all three engines must agree with the in-memory
+//! oracle on arbitrary operation sequences.
+
+use bg3_core::{Bg3Config, Bg3Db, ByteGraphConfig, ByteGraphDb, NeptuneLike};
+use bg3_graph::{Edge, EdgeType, GraphStore, MemGraph, VertexId};
+use bg3_storage::StoreConfig;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Insert { src: u64, dst: u64, props: Vec<u8> },
+    Delete { src: u64, dst: u64 },
+    Get { src: u64, dst: u64 },
+    Neighbors { src: u64 },
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    // A small id space maximizes collisions (overwrites, deletes of
+    // existing edges, non-empty scans).
+    let id = 0u64..24;
+    prop_oneof![
+        4 => (id.clone(), 0u64..24, proptest::collection::vec(any::<u8>(), 0..8))
+            .prop_map(|(src, dst, props)| Action::Insert { src, dst, props }),
+        1 => (id.clone(), 0u64..24).prop_map(|(src, dst)| Action::Delete { src, dst }),
+        2 => (id.clone(), 0u64..24).prop_map(|(src, dst)| Action::Get { src, dst }),
+        2 => id.prop_map(|src| Action::Neighbors { src }),
+    ]
+}
+
+fn apply_and_compare(oracle: &MemGraph, engine: &dyn GraphStore, actions: &[Action]) {
+    const ETYPE: EdgeType = EdgeType::FOLLOW;
+    for action in actions {
+        match action {
+            Action::Insert { src, dst, props } => {
+                let edge = Edge::new(VertexId(*src), ETYPE, VertexId(*dst))
+                    .with_props(props.clone());
+                oracle.insert_edge(&edge).unwrap();
+                engine.insert_edge(&edge).unwrap();
+            }
+            Action::Delete { src, dst } => {
+                oracle.delete_edge(VertexId(*src), ETYPE, VertexId(*dst)).unwrap();
+                engine.delete_edge(VertexId(*src), ETYPE, VertexId(*dst)).unwrap();
+            }
+            Action::Get { src, dst } => {
+                assert_eq!(
+                    oracle.get_edge(VertexId(*src), ETYPE, VertexId(*dst)).unwrap(),
+                    engine.get_edge(VertexId(*src), ETYPE, VertexId(*dst)).unwrap(),
+                    "get({src},{dst}) diverged"
+                );
+            }
+            Action::Neighbors { src } => {
+                assert_eq!(
+                    oracle.neighbors(VertexId(*src), ETYPE, usize::MAX).unwrap(),
+                    engine.neighbors(VertexId(*src), ETYPE, usize::MAX).unwrap(),
+                    "neighbors({src}) diverged"
+                );
+            }
+        }
+    }
+    // Final sweep: every adjacency list must agree.
+    for src in 0..24u64 {
+        assert_eq!(
+            oracle.neighbors(VertexId(src), ETYPE, usize::MAX).unwrap(),
+            engine.neighbors(VertexId(src), ETYPE, usize::MAX).unwrap(),
+            "final adjacency of {src} diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bg3_matches_oracle(actions in proptest::collection::vec(action_strategy(), 1..120)) {
+        // A tiny split-out threshold exercises the INIT→dedicated migration
+        // mid-sequence.
+        let mut config = Bg3Config::default();
+        config.forest = config.forest.with_split_out_threshold(6);
+        config.forest.tree_config = config.forest.tree_config
+            .with_max_page_entries(8)
+            .with_consolidate_threshold(3);
+        let engine = Bg3Db::new(config);
+        apply_and_compare(&MemGraph::new(), &engine, &actions);
+    }
+
+    #[test]
+    fn bytegraph_matches_oracle(actions in proptest::collection::vec(action_strategy(), 1..120)) {
+        let engine = ByteGraphDb::new(ByteGraphConfig {
+            lsm: bg3_lsm::LsmConfig::tiny(),
+            cache_capacity_groups: 4, // force evictions + reloads
+            ..ByteGraphConfig::default()
+        });
+        apply_and_compare(&MemGraph::new(), &engine, &actions);
+    }
+
+    #[test]
+    fn neptune_matches_oracle(actions in proptest::collection::vec(action_strategy(), 1..120)) {
+        let engine = NeptuneLike::new(StoreConfig::counting().with_extent_capacity(1 << 20));
+        apply_and_compare(&MemGraph::new(), &engine, &actions);
+    }
+}

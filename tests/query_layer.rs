@@ -1,0 +1,119 @@
+//! The execution layer over real engines: the same query must return the
+//! same result on every backend, and the optimizer must never change
+//! results.
+
+use bg3_core::{Bg3Config, Bg3Db, ByteGraphConfig, ByteGraphDb};
+use bg3_graph::{Edge, EdgeType, GraphStore, MemGraph, VertexId};
+use bg3_query::{optimize, parse, Executor, QueryResult};
+use proptest::prelude::*;
+
+fn load(store: &dyn GraphStore, edges: &[(u64, u64)]) {
+    for &(s, d) in edges {
+        store
+            .insert_edge(&Edge::new(VertexId(s), EdgeType::FOLLOW, VertexId(d)))
+            .unwrap();
+        // Reverse index for in() steps.
+        store
+            .insert_edge(&Edge::new(
+                VertexId(d),
+                EdgeType::FOLLOW.reversed(),
+                VertexId(s),
+            ))
+            .unwrap();
+    }
+}
+
+const QUERIES: &[&str] = &[
+    "g.V(1).out(follow).order()",
+    "g.V(1).out(follow).out(follow).dedup().order()",
+    "g.V(1).out(follow).count()",
+    "g.V(2).in(follow).order()",
+    "g.V(1).out(follow).order().limit(2)",
+    "g.V(1).out(follow).out(follow).limit(4).path()",
+    "g.V(9).out(follow).count()",
+];
+
+#[test]
+fn engines_agree_on_every_query() {
+    let edges = [
+        (1u64, 2u64),
+        (1, 3),
+        (1, 4),
+        (2, 5),
+        (3, 5),
+        (3, 6),
+        (4, 1),
+        (5, 6),
+    ];
+    let mem = MemGraph::new();
+    let bg3 = Bg3Db::new(Bg3Config::default());
+    let byte = ByteGraphDb::new(ByteGraphConfig::default());
+    load(&mem, &edges);
+    load(&bg3, &edges);
+    load(&byte, &edges);
+    let exec = Executor::default();
+    for text in QUERIES {
+        let expected = exec.run_text(&mem, text).unwrap();
+        assert_eq!(
+            exec.run_text(&bg3, text).unwrap(),
+            expected,
+            "BG3 diverged on {text}"
+        );
+        assert_eq!(
+            exec.run_text(&byte, text).unwrap(),
+            expected,
+            "ByteGraph diverged on {text}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn optimizer_never_changes_results(
+        edges in proptest::collection::vec((0u64..12, 0u64..12), 1..60),
+        anchor in 0u64..12,
+        steps in proptest::collection::vec(0usize..5, 0..4),
+    ) {
+        let g = MemGraph::new();
+        load(&g, &edges);
+        // Build a random (valid) pipeline textually.
+        let mut text = format!("g.V({anchor})");
+        for s in steps {
+            text.push_str(match s {
+                0 => ".out(follow)",
+                1 => ".in(follow)",
+                2 => ".dedup()",
+                3 => ".limit(3)",
+                _ => ".order()",
+            });
+        }
+        let query = parse(&text).unwrap();
+        let exec = Executor::default();
+        // Unoptimized: run the naive translation (optimize of a query with
+        // no adjacent limit/dedup pairs is identity, so compare against a
+        // manually de-optimized plan: insert Dedup fusion blockers is hard;
+        // instead compare optimized run to a step-by-step reference).
+        let optimized = exec.run_plan(&g, &optimize(&query)).unwrap();
+        let reference = exec.run(&g, &query).unwrap();
+        prop_assert_eq!(optimized, reference);
+    }
+}
+
+#[test]
+fn limit_pushdown_saves_storage_reads_on_bg3() {
+    // A super-vertex on BG3; limit(5) right after out() must not enumerate
+    // the whole adjacency list.
+    let bg3 = Bg3Db::new(Bg3Config::default());
+    for d in 0..2_000u64 {
+        bg3.insert_edge(&Edge::new(VertexId(1), EdgeType::FOLLOW, VertexId(d)))
+            .unwrap();
+    }
+    let exec = Executor::default();
+    let result = exec.run_text(&bg3, "g.V(1).out(follow).limit(5)").unwrap();
+    assert_eq!(
+        result,
+        QueryResult::Vertices((0..5).map(VertexId).collect())
+    );
+}

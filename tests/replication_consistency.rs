@@ -1,0 +1,159 @@
+//! Cross-crate integration tests of the leader-follower machinery:
+//! a follower must agree with the leader's tree after any interleaving of
+//! writes, checkpoints, polls, and cache evictions.
+
+use bg3_storage::{AppendOnlyStore, StoreConfig};
+use bg3_sync::{RoNode, RoNodeConfig, RwNode, RwNodeConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Put { key: u8, value: u8 },
+    Delete { key: u8 },
+    Checkpoint,
+    Poll,
+    EvictRoCache,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        6 => (any::<u8>(), any::<u8>()).prop_map(|(key, value)| Step::Put { key, value }),
+        2 => any::<u8>().prop_map(|key| Step::Delete { key }),
+        1 => Just(Step::Checkpoint),
+        2 => Just(Step::Poll),
+        1 => Just(Step::EvictRoCache),
+    ]
+}
+
+fn build_pair() -> (RwNode, RoNode) {
+    let store = AppendOnlyStore::new(StoreConfig::counting());
+    let mut config = RwNodeConfig {
+        group_commit_pages: usize::MAX, // checkpoints only when scripted
+        ..RwNodeConfig::default()
+    };
+    // Small pages force splits and consolidations into the mix.
+    config.tree_config = config
+        .tree_config
+        .with_max_page_entries(8)
+        .with_consolidate_threshold(3);
+    let rw = RwNode::new(store.clone(), config);
+    let ro = RoNode::new(
+        store,
+        rw.mapping().clone(),
+        rw.open_wal_reader(),
+        RoNodeConfig {
+            cache_capacity_pages: 4, // force evictions + storage re-fetches
+        },
+    );
+    (rw, ro)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn follower_converges_to_leader(steps in proptest::collection::vec(step_strategy(), 1..150)) {
+        let (rw, ro) = build_pair();
+        let mut model = std::collections::BTreeMap::new();
+        for step in &steps {
+            match step {
+                Step::Put { key, value } => {
+                    rw.put(&[*key], &[*value]).unwrap();
+                    model.insert(*key, *value);
+                }
+                Step::Delete { key } => {
+                    rw.delete(&[*key]).unwrap();
+                    model.remove(key);
+                }
+                Step::Checkpoint => { rw.checkpoint().unwrap(); }
+                Step::Poll => { ro.poll().unwrap(); }
+                Step::EvictRoCache => ro.evict_all(),
+            }
+        }
+        // After one final poll the follower must agree with both the
+        // leader's memory and the logical model, for every possible key.
+        ro.poll().unwrap();
+        for key in 0u8..=255 {
+            let expected = model.get(&key).map(|v| vec![*v]);
+            prop_assert_eq!(
+                rw.get(&[key]).unwrap(),
+                expected.clone(),
+                "leader diverged from model at {}", key
+            );
+            prop_assert_eq!(
+                ro.get(1, &[key]).unwrap(),
+                expected,
+                "follower diverged at {}", key
+            );
+        }
+    }
+
+    #[test]
+    fn follower_is_consistent_even_mid_stream(
+        writes in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..80),
+        poll_every in 1usize..10,
+    ) {
+        // Strong-consistency check the paper's Fig. 12 formalizes: any key
+        // the leader wrote before the follower's latest poll is readable.
+        let (rw, ro) = build_pair();
+        let mut acked = std::collections::BTreeMap::new();
+        for (i, (key, value)) in writes.iter().enumerate() {
+            rw.put(&[*key], &[*value]).unwrap();
+            acked.insert(*key, *value);
+            if i % poll_every == 0 {
+                ro.poll().unwrap();
+                // Everything acknowledged so far must be visible now.
+                for (k, v) in &acked {
+                    prop_assert_eq!(
+                        ro.get(1, &[*k]).unwrap(),
+                        Some(vec![*v]),
+                        "recall violated for {}", k
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn two_followers_with_different_access_patterns_agree() {
+    let store = AppendOnlyStore::new(StoreConfig::counting());
+    let rw = RwNode::new(
+        store.clone(),
+        RwNodeConfig {
+            group_commit_pages: 8,
+            ..RwNodeConfig::default()
+        },
+    );
+    let hot = RoNode::new(
+        store.clone(),
+        rw.mapping().clone(),
+        rw.open_wal_reader(),
+        RoNodeConfig::default(),
+    );
+    let cold = RoNode::new(
+        store,
+        rw.mapping().clone(),
+        rw.open_wal_reader(),
+        RoNodeConfig {
+            cache_capacity_pages: 1,
+        },
+    );
+    for i in 0..300u32 {
+        rw.put(format!("key{i:04}").as_bytes(), &i.to_le_bytes())
+            .unwrap();
+        if i % 7 == 0 {
+            hot.poll().unwrap();
+            // The hot follower reads constantly (lazy replay keeps firing).
+            let _ = hot.get(1, format!("key{:04}", i / 2).as_bytes()).unwrap();
+        }
+    }
+    hot.poll().unwrap();
+    cold.poll().unwrap();
+    for i in 0..300u32 {
+        let key = format!("key{i:04}");
+        let expected = Some(i.to_le_bytes().to_vec());
+        assert_eq!(hot.get(1, key.as_bytes()).unwrap(), expected, "hot {i}");
+        assert_eq!(cold.get(1, key.as_bytes()).unwrap(), expected, "cold {i}");
+    }
+}
