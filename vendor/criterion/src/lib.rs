@@ -1,0 +1,204 @@
+//! Vendored stand-in for `criterion`.
+//!
+//! Provides the types and macros the workspace's benches compile against
+//! (`Criterion`, benchmark groups, `Bencher::iter`/`iter_with_setup`,
+//! `BenchmarkId`, `criterion_group!`/`criterion_main!`). Measurement is a
+//! simple mean over a fixed warm-up + sample loop printed as ns/iter —
+//! enough to compare orders of magnitude locally, with none of the real
+//! crate's statistics, plotting, or CLI.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Number of timed iterations per `bench_function` (after warm-up).
+const MEASURED_ITERS: u32 = 30;
+const WARMUP_ITERS: u32 = 5;
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one(&format!("{id}"), &mut f);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in uses fixed iteration
+    /// counts instead of a time budget.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; see [`Self::measurement_time`].
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one(&format!("{}/{id}", self.name), &mut f);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut bencher = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let per_iter = if bencher.iters > 0 {
+        bencher.total.as_nanos() / bencher.iters as u128
+    } else {
+        0
+    };
+    println!("  {label}: {per_iter} ns/iter ({} iters)", bencher.iters);
+}
+
+/// Runs and times the benchmarked routine.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed warm-up + sample loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURED_ITERS {
+            std::hint::black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += MEASURED_ITERS as u64;
+    }
+
+    /// Times `routine` on inputs built (untimed) by `setup`.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        for _ in 0..MEASURED_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Parameterized benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label composed of a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Label from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Re-export so `criterion::black_box` call sites keep working.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test --benches` the harness passes test flags;
+            // a bench run takes no arguments we care about either way.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_counts_iters() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls as u32, WARMUP_ITERS + MEASURED_ITERS);
+    }
+
+    #[test]
+    fn group_chaining_compiles() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .measurement_time(Duration::from_secs(1))
+            .sample_size(10);
+        group.bench_function(BenchmarkId::from_parameter("p"), |b| {
+            b.iter_with_setup(|| 21u64, |x| x * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,448 @@
+//! Vendored stand-in for `proptest`.
+//!
+//! Provides deterministic random-input property testing with the subset
+//! of the real API this workspace uses: `proptest!`, `prop_oneof!`,
+//! `prop_assert*!`, `Just`, `any`, integer-range and tuple strategies,
+//! `prop_map`, and `collection::vec`. Inputs for each case derive from a
+//! hash of the test's module path, name, and case index, so failures are
+//! reproducible run-to-run. Unlike the real crate there is no shrinking:
+//! a failing case reports its index and re-panics.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-proptest configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic RNG for one test case. Public for use by the `proptest!`
+/// expansion only.
+#[doc(hidden)]
+pub fn __rng_for(test_path: &str, case: u32) -> StdRng {
+    // FNV-1a over the test path, mixed with the case index.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash ^ ((case as u64) << 32 | case as u64))
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Mapped<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Mapped { inner: self, f }
+        }
+
+        /// Erases the strategy type for heterogeneous composition
+        /// (`prop_oneof!` arms).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut StdRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut StdRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Strategy producing a fixed value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy applying a function to another strategy's output.
+    #[derive(Clone)]
+    pub struct Mapped<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Mapped<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice among type-erased strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(
+                arms.iter().any(|(w, _)| *w > 0),
+                "prop_oneof!: all weights are zero"
+            );
+            Union { arms }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+            let mut roll = rng.gen_range(0..total);
+            for (weight, arm) in &self.arms {
+                let weight = *weight as u64;
+                if roll < weight {
+                    return arm.generate(rng);
+                }
+                roll -= weight;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! impl_strategy_for_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+                self.3.generate(rng),
+            )
+        }
+    }
+
+    /// Strategy behind [`crate::any`]: uniform over the whole type.
+    pub struct AnyStrategy<T>(PhantomData<fn() -> T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy(PhantomData)
+        }
+    }
+
+    impl<T> Default for AnyStrategy<T> {
+        fn default() -> Self {
+            AnyStrategy(PhantomData)
+        }
+    }
+
+    impl<T: rand::Standard> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen()
+        }
+    }
+}
+
+/// Uniform strategy over all values of `T` (primitives).
+pub fn any<T: rand::Standard>() -> strategy::AnyStrategy<T> {
+    strategy::AnyStrategy::default()
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Element-count bounds for collection strategies. Half-open: `hi` is
+    /// exclusive, matching `Range<usize>` inputs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "collection size range is empty");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy generating `Vec`s of another strategy's values.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr); ) => {};
+    ( ($cfg:expr);
+      $(#[$attr:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __strategies = ( $( $strat, )+ );
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::__rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let ( $( $arg, )+ ) = {
+                    let ( $( ref $arg, )+ ) = __strategies;
+                    ( $( $crate::strategy::Strategy::generate($arg, &mut __rng), )+ )
+                };
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| { $body })
+                );
+                if let Err(__err) = __outcome {
+                    eprintln!(
+                        "[proptest] {} failed at case {} of {}",
+                        stringify!($name), __case, __config.cases
+                    );
+                    ::std::panic::resume_unwind(__err);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{any, collection, ProptestConfig};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy as _;
+
+    #[test]
+    fn same_path_same_values() {
+        let strat = crate::collection::vec(0u64..100, 1..20);
+        let a: Vec<u64> = strat.generate(&mut crate::__rng_for("t", 3));
+        let b: Vec<u64> = strat.generate(&mut crate::__rng_for("t", 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let strat = prop_oneof![
+            9 => Just(1u8),
+            1 => Just(2u8),
+        ];
+        let mut rng = crate::__rng_for("weights", 0);
+        let ones = (0..1000)
+            .filter(|_| strat.generate(&mut rng) == 1)
+            .count();
+        assert!(ones > 700, "expected mostly 1s, got {ones}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn generated_vecs_respect_bounds(
+            v in collection::vec(any::<u8>(), 2..5),
+            k in 1u64..=4,
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!((1..=4).contains(&k));
+        }
+
+        #[test]
+        fn mapped_tuples_work(p in (0u32..10, 0u32..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(p < 19);
+        }
+    }
+}

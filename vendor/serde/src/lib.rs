@@ -1,0 +1,246 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The real serde is a visitor-based framework; this workspace only ever
+//! *serializes* (reports → JSON), so the stand-in collapses the model to a
+//! single method: `Serialize::to_value` produces a [`value::Value`] tree
+//! that `serde_json` renders. `Deserialize` is a derivable marker — nothing
+//! in-tree deserializes at runtime.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    //! The serialized value tree (what `serde_json` calls `Value`).
+
+    /// A JSON-shaped value.
+    #[derive(Debug, Clone, PartialEq, Default)]
+    pub enum Value {
+        #[default]
+        Null,
+        Bool(bool),
+        Number(Number),
+        String(String),
+        Array(Vec<Value>),
+        Object(Map),
+    }
+
+    /// A JSON number: unsigned, signed, or floating.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub enum Number {
+        U64(u64),
+        I64(i64),
+        F64(f64),
+    }
+
+    /// An insertion-ordered string→value map (deterministic output order,
+    /// which the reproduce artifacts rely on).
+    #[derive(Debug, Clone, Default, PartialEq)]
+    pub struct Map {
+        entries: Vec<(String, Value)>,
+    }
+
+    impl Map {
+        /// Creates an empty map.
+        pub fn new() -> Self {
+            Map::default()
+        }
+
+        /// Inserts `value` under `key`, replacing any prior entry in place.
+        pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+            for (k, v) in self.entries.iter_mut() {
+                if *k == key {
+                    return Some(std::mem::replace(v, value));
+                }
+            }
+            self.entries.push((key, value));
+            None
+        }
+
+        /// Looks up `key`.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+
+        /// Number of entries.
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+
+        /// True when the map has no entries.
+        pub fn is_empty(&self) -> bool {
+            self.entries.is_empty()
+        }
+
+        /// Iterates entries in insertion order.
+        pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+            self.entries.iter().map(|(k, v)| (k, v))
+        }
+    }
+
+    impl FromIterator<(String, Value)> for Map {
+        fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+            let mut map = Map::new();
+            for (k, v) in iter {
+                map.insert(k, v);
+            }
+            map
+        }
+    }
+}
+
+use value::{Number, Value};
+
+/// Conversion into the serialized value tree.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Marker for types that could be deserialized. Derivable; carries no
+/// behavior because nothing in this workspace deserializes at runtime.
+pub trait Deserialize {}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::I64(*self as i64))
+            }
+        }
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::value::{Map, Number, Value};
+    use super::Serialize;
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(7u64.to_value(), Value::Number(Number::U64(7)));
+        assert_eq!((-3i32).to_value(), Value::Number(Number::I64(-3)));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::String("x".into()));
+        assert_eq!(Option::<u8>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn map_preserves_insertion_order_and_replaces() {
+        let mut m = Map::new();
+        m.insert("b".into(), 1u64.to_value());
+        m.insert("a".into(), 2u64.to_value());
+        m.insert("b".into(), 3u64.to_value());
+        let keys: Vec<&String> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["b", "a"]);
+        assert_eq!(m.get("b"), Some(&Value::Number(Number::U64(3))));
+    }
+}

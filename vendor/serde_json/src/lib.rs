@@ -1,0 +1,193 @@
+//! Vendored stand-in for `serde_json`: renders the workspace `serde`
+//! value tree as JSON text. Serialization only — nothing in-tree parses
+//! JSON at runtime.
+
+pub use serde::value::{Map, Number, Value};
+
+/// Serialization error. The value-tree model is infallible, so this is
+/// never constructed; it exists so call sites can keep the real crate's
+/// `Result` signatures.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Renders `value` as two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Builds a [`Value`] from a JSON-ish literal.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:tt : $val:tt),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(($key).to_string(), $crate::json!($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).unwrap()
+    };
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::U64(v) => out.push_str(&v.to_string()),
+        Number::I64(v) => out.push_str(&v.to_string()),
+        Number::F64(v) => {
+            if v.is_finite() {
+                // `{}` prints integral floats without a fraction; add one so
+                // the output stays a JSON *number* that reads back as float.
+                let s = format!("{v}");
+                out.push_str(&s);
+                if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+                    out.push_str(".0");
+                }
+            } else {
+                // Real serde_json refuses non-finite floats; null keeps the
+                // artifact valid JSON without aborting a whole report.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let mut map = Map::new();
+        map.insert("a".into(), json!(null));
+        map.insert("b".into(), Value::Array(vec![json!(true), json!(2u64)]));
+        let doc = Value::Object(map);
+        assert_eq!(to_string(&doc).unwrap(), r#"{"a":null,"b":[true,2]}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let mut map = Map::new();
+        map.insert("k".into(), json!(1u64));
+        let text = to_string_pretty(&Value::Object(map)).unwrap();
+        assert_eq!(text, "{\n  \"k\": 1\n}");
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(to_string(&"a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn json_macro_objects() {
+        let v = json!({ "x": null, "y": [true, false] });
+        assert_eq!(to_string(&v).unwrap(), r#"{"x":null,"y":[true,false]}"#);
+    }
+}
