@@ -31,7 +31,9 @@ fn label(mode: WriteMode) -> &'static str {
 
 fn bench_writes(c: &mut Criterion) {
     let mut group = c.benchmark_group("bwtree_write");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for mode in [WriteMode::Traditional, WriteMode::ReadOptimized] {
         let t = tree(mode, true);
         let zipf = Zipf::new(1_024, 1.0);
@@ -48,7 +50,9 @@ fn bench_writes(c: &mut Criterion) {
 
 fn bench_cold_reads(c: &mut Criterion) {
     let mut group = c.benchmark_group("bwtree_cold_read");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for mode in [WriteMode::Traditional, WriteMode::ReadOptimized] {
         let t = tree(mode, false);
         let zipf = Zipf::new(1_024, 1.0);
@@ -69,7 +73,9 @@ fn bench_cold_reads(c: &mut Criterion) {
 
 fn bench_warm_reads(c: &mut Criterion) {
     let mut group = c.benchmark_group("bwtree_warm_read");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for mode in [WriteMode::Traditional, WriteMode::ReadOptimized] {
         let t = tree(mode, true);
         let zipf = Zipf::new(1_024, 1.0);

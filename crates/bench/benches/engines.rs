@@ -23,7 +23,9 @@ fn preload(engine: &Engine, edges: usize) {
 
 fn bench_insert(c: &mut Criterion) {
     let mut group = c.benchmark_group("insert_edge");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for kind in EngineKind::all() {
         let engine = Engine::build(kind);
         preload(&engine, 5_000);
@@ -45,7 +47,9 @@ fn bench_insert(c: &mut Criterion) {
 
 fn bench_one_hop(c: &mut Criterion) {
     let mut group = c.benchmark_group("one_hop");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for kind in EngineKind::all() {
         let engine = Engine::build(kind);
         preload(&engine, 10_000);
@@ -63,7 +67,9 @@ fn bench_one_hop(c: &mut Criterion) {
 
 fn bench_get_edge(c: &mut Criterion) {
     let mut group = c.benchmark_group("get_edge");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for kind in EngineKind::all() {
         let engine = Engine::build(kind);
         preload(&engine, 10_000);

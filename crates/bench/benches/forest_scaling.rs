@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_forest_put(c: &mut Criterion) {
     let mut group = c.benchmark_group("forest_put");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for (label, threshold) in [
         ("single-tree", usize::MAX),
         ("threshold-512", 512),
@@ -30,7 +32,9 @@ fn bench_forest_put(c: &mut Criterion) {
             b.iter(|| {
                 seq += 1;
                 let group_key = zipf.sample(&mut rng).to_be_bytes();
-                forest.put(&group_key, &seq.to_be_bytes(), &[0u8; 16]).unwrap();
+                forest
+                    .put(&group_key, &seq.to_be_bytes(), &[0u8; 16])
+                    .unwrap();
             })
         });
     }
@@ -39,7 +43,9 @@ fn bench_forest_put(c: &mut Criterion) {
 
 fn bench_forest_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("forest_scan_group");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let forest = BwTreeForest::new(
         AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1 << 20)),
         ForestConfig::default().with_split_out_threshold(64),
@@ -48,7 +54,9 @@ fn bench_forest_scan(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(9);
     for seq in 0..50_000u64 {
         let group_key = zipf.sample(&mut rng).to_be_bytes();
-        forest.put(&group_key, &seq.to_be_bytes(), &[0u8; 8]).unwrap();
+        forest
+            .put(&group_key, &seq.to_be_bytes(), &[0u8; 8])
+            .unwrap();
     }
     group.bench_function("scan_100", |b| {
         b.iter(|| {

@@ -26,14 +26,19 @@ fn fragmented_store(extents: usize) -> AppendOnlyStore {
 
 fn bench_planning(c: &mut Criterion) {
     let mut group = c.benchmark_group("gc_plan");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let store = fragmented_store(200);
     let candidates = store.extent_infos(StreamId::DELTA).unwrap();
     let now = store.clock().now();
     let policies: [(&str, &dyn ReclaimPolicy); 3] = [
         ("fifo", &FifoPolicy),
         ("dirty-ratio", &DirtyRatioPolicy),
-        ("workload-aware", &WorkloadAwarePolicy { cold_fraction: 0.5 }),
+        (
+            "workload-aware",
+            &WorkloadAwarePolicy { cold_fraction: 0.5 },
+        ),
     ];
     for (name, policy) in policies {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
@@ -45,7 +50,9 @@ fn bench_planning(c: &mut Criterion) {
 
 fn bench_full_cycle(c: &mut Criterion) {
     let mut group = c.benchmark_group("gc_cycle");
-    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
     group.bench_function("dirty_ratio_cycle_of_8", |b| {
         b.iter_with_setup(
             || {

@@ -28,7 +28,9 @@ fn warm_engine() -> Bg3Db {
 
 fn bench_parse_and_plan(c: &mut Criterion) {
     let mut group = c.benchmark_group("query_frontend");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let text = "g.V(1).repeat(out(follow), 2).dedup().order().limit(20).count()";
     group.bench_function("parse", |b| b.iter(|| parse(text).unwrap()));
     let query = parse(text).unwrap();
@@ -38,14 +40,22 @@ fn bench_parse_and_plan(c: &mut Criterion) {
 
 fn bench_execution(c: &mut Criterion) {
     let mut group = c.benchmark_group("query_exec");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let db = warm_engine();
     let exec = Executor::default();
     for (label, text) in [
         ("one_hop_limit", "g.V(1).out(follow).limit(20)"),
-        ("two_hop_dedup_count", "g.V(1).out(follow).out(follow).dedup().count()"),
+        (
+            "two_hop_dedup_count",
+            "g.V(1).out(follow).out(follow).dedup().count()",
+        ),
         ("in_edges", "g.V(1).in(follow).limit(20)"),
-        ("three_hop_repeat", "g.V(1).repeat(out(follow), 3).limit(50).count()"),
+        (
+            "three_hop_repeat",
+            "g.V(1).repeat(out(follow), 3).limit(50).count()",
+        ),
     ] {
         let plan = optimize(&parse(text).unwrap());
         group.bench_function(label, |b| b.iter(|| exec.run_plan(&db, &plan).unwrap()));

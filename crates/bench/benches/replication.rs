@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_wal_append(c: &mut Criterion) {
     let mut group = c.benchmark_group("wal");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let wal = WalWriter::new(AppendOnlyStore::new(StoreConfig::counting()));
     let mut i = 0u64;
     group.bench_function("append_upsert", |b| {
@@ -31,7 +33,9 @@ fn bench_wal_append(c: &mut Criterion) {
 
 fn bench_leader_write(c: &mut Criterion) {
     let mut group = c.benchmark_group("leader");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let rw = RwNode::new(
         AppendOnlyStore::new(StoreConfig::counting()),
         RwNodeConfig::default(),
@@ -48,7 +52,9 @@ fn bench_leader_write(c: &mut Criterion) {
 
 fn bench_follower(c: &mut Criterion) {
     let mut group = c.benchmark_group("follower");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let store = AppendOnlyStore::new(StoreConfig::counting());
     let rw = RwNode::new(store.clone(), RwNodeConfig::default());
     for i in 0..50_000u64 {
@@ -72,5 +78,10 @@ fn bench_follower(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_wal_append, bench_leader_write, bench_follower);
+criterion_group!(
+    benches,
+    bench_wal_append,
+    bench_leader_write,
+    bench_follower
+);
 criterion_main!(benches);

@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_zipf(c: &mut Criterion) {
     let mut group = c.benchmark_group("zipf_sample");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for (label, n, s) in [
         ("n=10k,s=1.0", 10_000u64, 1.0),
         ("n=10M,s=1.0", 10_000_000, 1.0),
@@ -26,7 +28,9 @@ fn bench_zipf(c: &mut Criterion) {
 
 fn bench_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload_next_op");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let mut follow = DouyinFollow::new(1_000_000, 1.0, 11);
     group.bench_function("douyin_follow", |b| b.iter(|| follow.next_op()));
     let mut risk = FinancialRiskControl::new(1_000_000, 1.0, 12);

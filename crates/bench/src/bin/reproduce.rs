@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! reproduce [all|table1|fig8|cost|fig9|fig10|fig11|table2|fig12|fig13|fig14]
+//! reproduce [all|table1|fig8|cost|fig9|fig10|fig11|table2|fig12|fig13|fig14|chaos]
 //!           [--scale full|quick] [--json <path>]
 //! ```
 //!
@@ -22,6 +22,7 @@ struct Scale {
     fig12_writes: usize,
     fig13_sim_millis: u64,
     fig14_reads: usize,
+    chaos_ops: u64,
 }
 
 const FULL: Scale = Scale {
@@ -34,6 +35,7 @@ const FULL: Scale = Scale {
     fig12_writes: 20_000,
     fig13_sim_millis: 1_500,
     fig14_reads: 30_000,
+    chaos_ops: 6_000,
 };
 
 const QUICK: Scale = Scale {
@@ -46,6 +48,7 @@ const QUICK: Scale = Scale {
     fig12_writes: 4_000,
     fig13_sim_millis: 600,
     fig14_reads: 6_000,
+    chaos_ops: 1_500,
 };
 
 fn main() {
@@ -69,7 +72,7 @@ fn main() {
     if which.is_empty() || which.iter().any(|w| w == "all") {
         which = [
             "table1", "fig8", "cost", "fig9", "fig10", "fig11", "table2", "fig12", "fig13",
-            "fig14", "ablation",
+            "fig14", "ablation", "chaos",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -100,39 +103,58 @@ fn run_one(name: &str, scale: &Scale) -> (String, Value) {
             let report = fig8::run(scale.fig8_ops);
             let mut rendered = fig8::render(&report);
             for (workload, factor) in fig8::speedups(&report) {
-                rendered.push_str(&format!(
-                    "BG3 over ByteGraph on {workload}: {factor:.2}x\n"
-                ));
+                rendered.push_str(&format!("BG3 over ByteGraph on {workload}: {factor:.2}x\n"));
             }
             (rendered, serde_json::to_value(&report).unwrap())
         }
         "cost" => {
             let report = cost::run(scale.cost_ops);
-            (cost::render(&report), serde_json::to_value(&report).unwrap())
+            (
+                cost::render(&report),
+                serde_json::to_value(&report).unwrap(),
+            )
         }
         "fig9" => {
             let report = fig9::run(scale.fig9_ops);
-            (fig9::render(&report), serde_json::to_value(&report).unwrap())
+            (
+                fig9::render(&report),
+                serde_json::to_value(&report).unwrap(),
+            )
         }
         "fig10" => {
             let report = fig10::run(scale.fig10_ops);
-            (fig10::render(&report), serde_json::to_value(&report).unwrap())
+            (
+                fig10::render(&report),
+                serde_json::to_value(&report).unwrap(),
+            )
         }
         "fig11" => {
             let report = fig11::run(scale.fig11_ops, 50_000);
-            (fig11::render(&report), serde_json::to_value(&report).unwrap())
+            (
+                fig11::render(&report),
+                serde_json::to_value(&report).unwrap(),
+            )
         }
         "table2" => {
             let report = table2::run(scale.table2_ops);
-            (table2::render(&report), serde_json::to_value(&report).unwrap())
+            (
+                table2::render(&report),
+                serde_json::to_value(&report).unwrap(),
+            )
         }
         "fig12" => {
             let report = fig12::run(scale.fig12_writes);
-            (fig12::render(&report), serde_json::to_value(&report).unwrap())
+            (
+                fig12::render(&report),
+                serde_json::to_value(&report).unwrap(),
+            )
         }
         "fig13" => {
             let report = fig13::run(scale.fig13_sim_millis);
-            (fig13::render(&report), serde_json::to_value(&report).unwrap())
+            (
+                fig13::render(&report),
+                serde_json::to_value(&report).unwrap(),
+            )
         }
         "ablation" => {
             let report = ablation::run(scale.table2_ops / 2);
@@ -143,7 +165,17 @@ fn run_one(name: &str, scale: &Scale) -> (String, Value) {
         }
         "fig14" => {
             let report = fig14::run(scale.fig14_reads);
-            (fig14::render(&report), serde_json::to_value(&report).unwrap())
+            (
+                fig14::render(&report),
+                serde_json::to_value(&report).unwrap(),
+            )
+        }
+        "chaos" => {
+            let report = chaos::run(scale.chaos_ops);
+            (
+                chaos::render(&report),
+                serde_json::to_value(&report).unwrap(),
+            )
         }
         other => (format!("unknown experiment: {other}"), json!(null)),
     }

@@ -1,11 +1,11 @@
 //! Engine wrapper: op execution and per-engine contention models.
+//!
+//! All three engines are built through [`GraphEngine`] and observed through
+//! [`EngineRuntime`] — the only per-engine code left here is the contention
+//! model, which is a property of each design rather than of its API.
 
-use bg3_core::{Bg3Config, Bg3Db, ByteGraphConfig, ByteGraphDb, NeptuneLike};
-use bg3_graph::{
-    edge_group, k_hop_neighbors, CycleQuery, Edge, GraphStore, HopSpec, PatternMatcher, Vertex,
-    VertexId,
-};
-use bg3_storage::{StorageResult, StoreConfig};
+use bg3_core::prelude::*;
+use bg3_graph::{edge_group, k_hop_neighbors, CycleQuery, HopSpec, PatternMatcher};
 use bg3_workloads::Op;
 
 /// Which engine an [`Engine`] wraps.
@@ -46,22 +46,33 @@ pub enum Engine {
     Neptune(NeptuneLike),
 }
 
+/// Builds an engine from its `Default` config after applying one tweak —
+/// the single construction path every [`EngineKind`] goes through.
+fn open_tuned<E: GraphEngine>(tweak: impl FnOnce(&mut E::Config)) -> E {
+    let mut config = E::Config::default();
+    tweak(&mut config);
+    E::open(config)
+}
+
 impl Engine {
     /// Builds a fresh engine of `kind` with experiment-friendly settings.
+    /// Every arm constructs through [`GraphEngine::open`]; the closures
+    /// only adjust config fields.
     pub fn build(kind: EngineKind) -> Engine {
         match kind {
-            EngineKind::Bg3 => {
-                let mut config = Bg3Config::default();
+            EngineKind::Bg3 => Engine::Bg3(open_tuned(|config: &mut Bg3Config| {
                 // Modest threshold so hot vertices get dedicated trees.
-                config.forest = config.forest.with_split_out_threshold(64);
-                Engine::Bg3(Bg3Db::new(config))
-            }
-            EngineKind::ByteGraph => Engine::ByteGraph(ByteGraphDb::new(ByteGraphConfig {
-                // A bounded cache leaves the power-law tail on the LSM path.
-                cache_capacity_groups: 2048,
-                ..ByteGraphConfig::default()
+                config.forest = config.forest.clone().with_split_out_threshold(64);
             })),
-            EngineKind::Neptune => Engine::Neptune(NeptuneLike::new(StoreConfig::counting())),
+            EngineKind::ByteGraph => {
+                Engine::ByteGraph(open_tuned(|config: &mut ByteGraphConfig| {
+                    // A bounded cache leaves the power-law tail on the LSM path.
+                    config.cache_capacity_groups = 2048;
+                }))
+            }
+            EngineKind::Neptune => Engine::Neptune(open_tuned(|config: &mut StoreConfig| {
+                *config = StoreConfig::counting();
+            })),
         }
     }
 
@@ -74,7 +85,8 @@ impl Engine {
         }
     }
 
-    fn store(&self) -> &dyn GraphStore {
+    /// The unified runtime surface — queries, I/O accounting, maintenance.
+    pub fn runtime(&self) -> &dyn EngineRuntime {
         match self {
             Engine::Bg3(db) => db,
             Engine::ByteGraph(db) => db,
@@ -87,11 +99,7 @@ impl Engine {
     /// random reads stall the op (one storage round-trip each), while
     /// appends pipeline behind group commit and are not latency-bound.
     pub fn io_reads(&self) -> u64 {
-        match self {
-            Engine::Bg3(db) => db.store().stats().snapshot().random_reads,
-            Engine::ByteGraph(db) => db.lsm().store().stats().snapshot().random_reads,
-            Engine::Neptune(db) => db.store().stats().snapshot().random_reads,
-        }
+        self.runtime().io_snapshot().random_reads
     }
 
     /// The latch an operation serializes on, for the virtual driver:
@@ -140,42 +148,37 @@ fn fxhash(bytes: &[u8]) -> u64 {
 
 impl GraphStore for Engine {
     fn insert_edge(&self, edge: &Edge) -> StorageResult<()> {
-        self.store().insert_edge(edge)
+        self.runtime().insert_edge(edge)
     }
 
     fn get_edge(
         &self,
         src: VertexId,
-        etype: bg3_graph::EdgeType,
+        etype: EdgeType,
         dst: VertexId,
     ) -> StorageResult<Option<Vec<u8>>> {
-        self.store().get_edge(src, etype, dst)
+        self.runtime().get_edge(src, etype, dst)
     }
 
-    fn delete_edge(
-        &self,
-        src: VertexId,
-        etype: bg3_graph::EdgeType,
-        dst: VertexId,
-    ) -> StorageResult<()> {
-        self.store().delete_edge(src, etype, dst)
+    fn delete_edge(&self, src: VertexId, etype: EdgeType, dst: VertexId) -> StorageResult<()> {
+        self.runtime().delete_edge(src, etype, dst)
     }
 
     fn neighbors(
         &self,
         src: VertexId,
-        etype: bg3_graph::EdgeType,
+        etype: EdgeType,
         limit: usize,
     ) -> StorageResult<Vec<(VertexId, Vec<u8>)>> {
-        self.store().neighbors(src, etype, limit)
+        self.runtime().neighbors(src, etype, limit)
     }
 
     fn insert_vertex(&self, vertex: &Vertex) -> StorageResult<()> {
-        self.store().insert_vertex(vertex)
+        self.runtime().insert_vertex(vertex)
     }
 
     fn get_vertex(&self, id: VertexId) -> StorageResult<Option<Vec<u8>>> {
-        self.store().get_vertex(id)
+        self.runtime().get_vertex(id)
     }
 }
 
@@ -193,9 +196,7 @@ pub fn execute_op(store: &dyn GraphStore, op: &Op) -> StorageResult<()> {
             dst: *dst,
             props: props.clone(),
         }),
-        Op::OneHop { src, etype, limit } => {
-            store.neighbors(*src, *etype, *limit).map(|_| ())
-        }
+        Op::OneHop { src, etype, limit } => store.neighbors(*src, *etype, *limit).map(|_| ()),
         Op::KHop {
             src,
             etype,

@@ -68,9 +68,7 @@ fn workload(store_ops: usize, mut insert: impl FnMut(Edge)) {
         // A small per-user id space => heavy overwrite churn, as follow /
         // unfollow / re-follow traffic produces in production.
         let dst = VertexId(rng.gen_range(0..8));
-        insert(
-            Edge::new(src, EdgeType::FOLLOW, dst).with_props((i as u64).to_le_bytes().to_vec()),
-        );
+        insert(Edge::new(src, EdgeType::FOLLOW, dst).with_props((i as u64).to_le_bytes().to_vec()));
     }
 }
 

@@ -74,8 +74,7 @@ pub fn run(ops: usize) -> Fig10Report {
 
 /// Renders the figure's series.
 pub fn render(report: &Fig10Report) -> String {
-    let mut out =
-        String::from("Fig. 10: Write bandwidth, traditional vs read-optimized Bw-tree\n");
+    let mut out = String::from("Fig. 10: Write bandwidth, traditional vs read-optimized Bw-tree\n");
     for row in &report.rows {
         out.push_str(&format!(
             "{:<22} base {}  delta {}  total {}\n",

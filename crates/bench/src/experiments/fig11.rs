@@ -88,9 +88,8 @@ pub fn run(ops: usize, groups: u64) -> Fig11Report {
 
 /// Renders the figure's series.
 pub fn render(report: &Fig11Report) -> String {
-    let mut out = String::from(
-        "Fig. 11: Scaling performance & space cost with varying number of Bw-trees\n",
-    );
+    let mut out =
+        String::from("Fig. 11: Scaling performance & space cost with varying number of Bw-trees\n");
     for row in &report.rows {
         out.push_str(&format!(
             "threshold {:>9} -> {:>6} trees  write {}  memory {}\n",

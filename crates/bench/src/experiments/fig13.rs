@@ -59,6 +59,7 @@ fn run_rate(write_qps: u64, sim_millis: u64) -> Fig13Row {
         store: StoreConfig {
             extent_capacity: 1 << 20,
             latency: wal_latency(),
+            ..StoreConfig::default()
         },
         ro_nodes: 1,
         rw: RwNodeConfig {
@@ -97,9 +98,7 @@ fn run_rate(write_qps: u64, sim_millis: u64) -> Fig13Row {
 /// Runs the sweep, simulating `sim_millis` milliseconds per write rate.
 pub fn run(sim_millis: u64) -> Fig13Report {
     Fig13Report {
-        rows: (1..=6)
-            .map(|i| run_rate(i * 10_000, sim_millis))
-            .collect(),
+        rows: (1..=6).map(|i| run_rate(i * 10_000, sim_millis)).collect(),
     }
 }
 

@@ -45,6 +45,7 @@ fn run_scale(ro_nodes: usize, reads: usize, writes: usize) -> Fig14Row {
                 mapping_publish_us: 0,
                 network_rtt_us: 0,
             },
+            ..StoreConfig::default()
         },
         ro_nodes,
         ..ReplicatedConfig::default()
@@ -136,6 +137,9 @@ mod tests {
         let lat: Vec<f64> = rows.iter().map(|r| r.sync_latency_ms).collect();
         let min = lat.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = lat.iter().cloned().fold(0.0, f64::max);
-        assert!(max / min < 1.6, "sync latency flat across RO counts: {lat:?}");
+        assert!(
+            max / min < 1.6,
+            "sync latency flat across RO counts: {lat:?}"
+        );
     }
 }

@@ -11,9 +11,7 @@
 use crate::driver::{execute_op, Engine, EngineKind};
 use crate::vdriver::VirtualCluster;
 use bg3_graph::{Edge, EdgeType, GraphStore, VertexId};
-use bg3_workloads::{
-    DouyinFollow, DouyinRecommendation, FinancialRiskControl, Op, WorkloadGen,
-};
+use bg3_workloads::{DouyinFollow, DouyinRecommendation, FinancialRiskControl, Op, WorkloadGen};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -39,7 +37,11 @@ pub struct Fig8Report {
     pub rows: Vec<Fig8Row>,
 }
 
-const WORKLOADS: [&str; 3] = ["Douyin Follow", "Financial Risk Control", "Douyin Recommendation"];
+const WORKLOADS: [&str; 3] = [
+    "Douyin Follow",
+    "Financial Risk Control",
+    "Douyin Recommendation",
+];
 
 fn make_gen(workload: &str, population: u64, seed: u64) -> Box<dyn WorkloadGen> {
     match workload {
@@ -75,7 +77,12 @@ const RANDOM_READ_NS: u64 = 150_000;
 /// op's cost is its CPU time plus one storage round-trip per random read
 /// it issued — the read-amplification tax of Figs. 9/4.2 expressed in
 /// wall-clock terms.
-fn measure(engine: &Engine, workload: &str, population: u64, ops: usize) -> Vec<(u64, Option<u64>)> {
+fn measure(
+    engine: &Engine,
+    workload: &str,
+    population: u64,
+    ops: usize,
+) -> Vec<(u64, Option<u64>)> {
     let mut gen = make_gen(workload, population, 42);
     let mut samples = Vec::with_capacity(ops);
     let mut reads_before = engine.io_reads();
@@ -172,12 +179,17 @@ pub fn speedups(report: &Fig8Report) -> Vec<(String, f64)> {
                 report
                     .rows
                     .iter()
-                    .find(|r| r.workload == w && r.system == sys && r.axis == "cores" && r.scale == 16)
+                    .find(|r| {
+                        r.workload == w && r.system == sys && r.axis == "cores" && r.scale == 16
+                    })
                     .map(|r| r.qps)
                     .unwrap_or(0.0)
             };
             let byte = at("ByteGraph");
-            (w.to_string(), if byte > 0.0 { at("BG3") / byte } else { 0.0 })
+            (
+                w.to_string(),
+                if byte > 0.0 { at("BG3") / byte } else { 0.0 },
+            )
         })
         .collect()
 }

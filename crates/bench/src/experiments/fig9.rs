@@ -77,9 +77,8 @@ pub fn run(ops: usize) -> Fig9Report {
 
 /// Renders the figure's series.
 pub fn render(report: &Fig9Report) -> String {
-    let mut out = String::from(
-        "Fig. 9: Read amplification, traditional vs read-optimized Bw-tree\n",
-    );
+    let mut out =
+        String::from("Fig. 9: Read amplification, traditional vs read-optimized Bw-tree\n");
     for row in &report.rows {
         out.push_str(&format!(
             "{:<22} entry reads {:>7}  storage reads {:>8}  amplification {:.2}x\n",

@@ -124,8 +124,7 @@ fn run_risk(policy: GcPolicyKind, ops: usize) -> Table2Cell {
         let dst = VertexId(accounts.sample(&mut rng));
         db.store().clock().advance_micros(25); // 40K QPS pacing
         db.insert_edge(
-            &Edge::new(src, EdgeType::TRANSFER, dst)
-                .with_props((i as u64).to_le_bytes().to_vec()),
+            &Edge::new(src, EdgeType::TRANSFER, dst).with_props((i as u64).to_le_bytes().to_vec()),
         )
         .unwrap();
         if i % 500 == 499 {

@@ -1,5 +1,8 @@
 //! Bw-tree configuration.
 
+use crate::tree::FlushMode;
+use bg3_storage::RetryPolicy;
+
 /// Which write path the tree uses (§3.2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum WriteMode {
@@ -32,6 +35,13 @@ pub struct BwTreeConfig {
     /// nanoseconds. Workloads with expiring data (Financial Risk Control,
     /// Table 1) set this so extents inherit batch-expiry deadlines (§3.3).
     pub ttl_nanos: Option<u64>,
+    /// Retry policy applied to every storage append the tree issues.
+    /// Transient (injected) failures are retried with simulated-clock
+    /// backoff; organic errors and crashes surface immediately.
+    pub retry: RetryPolicy,
+    /// Initial flush mode. Durable nodes set [`FlushMode::Deferred`] so the
+    /// WAL carries durability and dirty pages group-commit in batches.
+    pub flush_mode: FlushMode,
 }
 
 impl Default for BwTreeConfig {
@@ -43,6 +53,8 @@ impl Default for BwTreeConfig {
             split_enabled: true,
             read_cache: true,
             ttl_nanos: None,
+            retry: RetryPolicy::default(),
+            flush_mode: FlushMode::Synchronous,
         }
     }
 }
@@ -98,6 +110,18 @@ impl BwTreeConfig {
         self.consolidate_threshold = n;
         self
     }
+
+    /// Builder-style setter for the append retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder-style setter for the initial flush mode.
+    pub fn with_flush_mode(mut self, mode: FlushMode) -> Self {
+        self.flush_mode = mode;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -140,5 +164,13 @@ mod tests {
         assert_eq!(c.ttl_nanos, Some(5));
         assert_eq!(c.max_page_entries, 64);
         assert_eq!(c.consolidate_threshold, 3);
+    }
+
+    #[test]
+    fn retry_policy_defaults_and_overrides() {
+        let c = BwTreeConfig::default();
+        assert_eq!(c.retry, RetryPolicy::default());
+        let c = c.with_retry(RetryPolicy::no_retries());
+        assert_eq!(c.retry, RetryPolicy::no_retries());
     }
 }

@@ -30,6 +30,10 @@ pub enum TreeEvent {
         left_image: Vec<u8>,
         right_image: Vec<u8>,
     },
+    /// Emitted by the *forest* (not a tree) once a split-out commits: the
+    /// tree the event is reported under is now the dedicated tree for
+    /// `group`. Ordered after the copied entries and INIT-tree deletes.
+    ForestSplitOut { group: Vec<u8> },
 }
 
 /// Observer of tree mutations. Implementations must be cheap: they run on
@@ -98,7 +102,13 @@ mod tests {
                 value: vec![2],
             },
         );
-        rec.on_event(1, &TreeEvent::Delete { page: 2, key: vec![1] });
+        rec.on_event(
+            1,
+            &TreeEvent::Delete {
+                page: 2,
+                key: vec![1],
+            },
+        );
         assert_eq!(rec.len(), 2);
         let drained = rec.drain();
         assert!(matches!(drained[0].1, TreeEvent::Upsert { .. }));

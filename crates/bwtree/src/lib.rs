@@ -33,11 +33,11 @@ pub mod tag;
 pub mod tree;
 
 pub use config::{BwTreeConfig, WriteMode};
-pub use events::{TreeEvent, TreeEventListener};
+pub use events::{NullListener, RecordingListener, TreeEvent, TreeEventListener};
 pub use page::{
     decode_base_page, decode_delta, encode_base_page, encode_delta, DeltaOp, Entries,
     PageCodecError,
 };
 pub use stats::{BwTreeStats, BwTreeStatsSnapshot};
 pub use tag::PageTag;
-pub use tree::{BwTree, PageId};
+pub use tree::{BwTree, FlushMode, FlushedPage, PageId, FIRST_LEAF};

@@ -97,7 +97,12 @@ fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
 /// Encodes a base page: `u32 count | (key, value)*` with length-prefixed
 /// byte strings. Entries must be sorted by key (callers uphold this).
 pub fn encode_base_page(entries: &[(Vec<u8>, Vec<u8>)]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(8 + entries.iter().map(|(k, v)| k.len() + v.len() + 8).sum::<usize>());
+    let mut out = Vec::with_capacity(
+        8 + entries
+            .iter()
+            .map(|(k, v)| k.len() + v.len() + 8)
+            .sum::<usize>(),
+    );
     out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
     for (k, v) in entries {
         put_bytes(&mut out, k);

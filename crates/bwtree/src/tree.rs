@@ -31,12 +31,13 @@
 use crate::config::{BwTreeConfig, WriteMode};
 use crate::events::{NullListener, TreeEvent, TreeEventListener};
 use crate::page::{
-    apply_ops, decode_base_page, decode_delta, encode_base_page, encode_delta, DeltaOp,
-    Entries,
+    apply_ops, decode_base_page, decode_delta, encode_base_page, encode_delta, DeltaOp, Entries,
 };
 use crate::stats::BwTreeStats;
 use crate::tag::PageTag;
-use bg3_storage::{AppendOnlyStore, PageAddr, StorageResult, StreamId};
+use bg3_storage::{
+    AppendOnlyStore, CrashPoint, CrashSwitch, ErrorKind, PageAddr, StorageResult, StreamId,
+};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::ops::Bound;
@@ -135,11 +136,7 @@ impl PageState {
     }
 
     fn heap_bytes(&self) -> usize {
-        let base: usize = self
-            .base
-            .iter()
-            .map(|(k, v)| k.len() + v.len() + 48)
-            .sum();
+        let base: usize = self.base.iter().map(|(k, v)| k.len() + v.len() + 48).sum();
         let pending: usize = self.pending.iter().map(|op| op.heap_size() + 40).sum();
         base + pending + std::mem::size_of::<PageState>()
     }
@@ -182,6 +179,9 @@ pub struct BwTree {
     store: AppendOnlyStore,
     stats: BwTreeStats,
     listener: Arc<dyn TreeEventListener>,
+    /// Crash harness hook: [`CrashPoint::MidFlush`] fires inside the
+    /// group-commit flush loop. Disarmed by default (zero-cost).
+    crash: CrashSwitch,
     inner: RwLock<TreeInner>,
     /// Live entry count, maintained incrementally by the write paths so
     /// `entry_count` is O(1) (the forest consults it on every write).
@@ -205,13 +205,15 @@ impl BwTree {
         routing.insert(Vec::new(), FIRST_LEAF);
         let mut pages = HashMap::new();
         pages.insert(FIRST_LEAF, PageState::default());
+        let flush_mode = config.flush_mode;
         BwTree {
             id,
             config,
-            flush_mode: FlushMode::Synchronous,
+            flush_mode,
             store,
             stats: BwTreeStats::default(),
             listener,
+            crash: CrashSwitch::new(),
             inner: RwLock::new(TreeInner {
                 routing,
                 pages,
@@ -228,10 +230,26 @@ impl BwTree {
         self.flush_mode = mode;
     }
 
+    /// Installs a shared crash switch (chaos harness). Intended to be set
+    /// once at construction time by the owning node.
+    pub fn set_crash_switch(&mut self, switch: CrashSwitch) {
+        self.crash = switch;
+    }
+
+    /// The tree's crash switch (shared with whoever armed it).
+    pub fn crash_switch(&self) -> &CrashSwitch {
+        &self.crash
+    }
+
     /// Assembles a tree from recovered state: a routing table and fully
     /// consolidated pages (entries + their durable base address, if any).
     /// Used by crash recovery (`bg3-sync::recovery`), which reconstructs
     /// pages from the shared mapping table plus WAL replay.
+    ///
+    /// `dirty` must list every page whose in-memory content is newer than
+    /// its durable image (i.e. pages patched by WAL replay past the
+    /// checkpoint horizon): they need re-flushing before the next horizon
+    /// advance, or a second crash would lose the replayed content.
     pub fn assemble(
         id: u32,
         store: AppendOnlyStore,
@@ -239,6 +257,7 @@ impl BwTree {
         listener: Arc<dyn TreeEventListener>,
         routing: BTreeMap<Vec<u8>, PageId>,
         pages: Vec<(PageId, Entries, Option<PageAddr>)>,
+        dirty: Vec<PageId>,
     ) -> Self {
         assert!(
             routing.contains_key(&Vec::new()),
@@ -262,18 +281,20 @@ impl BwTree {
         for leaf in routing.values() {
             assert!(pages.contains_key(leaf), "routing points at missing page");
         }
+        let flush_mode = config.flush_mode;
         BwTree {
             id,
             config,
-            flush_mode: FlushMode::Synchronous,
+            flush_mode,
             store,
             stats: BwTreeStats::default(),
             listener,
+            crash: CrashSwitch::new(),
             inner: RwLock::new(TreeInner {
                 routing,
                 pages,
                 next_page,
-                dirty: HashSet::new(),
+                dirty: dirty.into_iter().collect(),
             }),
             live_entries: std::sync::atomic::AtomicU64::new(live as u64),
         }
@@ -300,6 +321,15 @@ impl BwTree {
             page,
         }
         .encode()
+    }
+
+    /// Appends one record under the tree's retry policy: transient injected
+    /// failures are retried with simulated-clock backoff; anything else
+    /// (crashes, organic errors) surfaces immediately.
+    fn append_retrying(&self, stream: StreamId, image: &[u8], tag: u64) -> StorageResult<PageAddr> {
+        self.config.retry.run(self.store.clock(), || {
+            self.store.append(stream, image, tag, self.config.ttl_nanos)
+        })
     }
 
     /// Inserts or overwrites `key`.
@@ -386,7 +416,6 @@ impl BwTree {
         op: DeltaOp,
     ) -> StorageResult<()> {
         let tag = self.tag(leaf);
-        let ttl = self.config.ttl_nanos;
         let state = inner.pages.get_mut(&leaf).expect("routed page exists");
 
         if state.base_addr.is_none() && state.delta_addrs.is_empty() {
@@ -394,7 +423,7 @@ impl BwTree {
             // flush it.
             state.base = apply_ops(&state.base, std::slice::from_ref(&op));
             let image = encode_base_page(&state.base);
-            let addr = self.store.append(StreamId::BASE, &image, tag, ttl)?;
+            let addr = self.append_retrying(StreamId::BASE, &image, tag)?;
             state.base_addr = Some(addr);
             BwTreeStats::bump(&self.stats.base_flushes);
             return self.maybe_split(inner, leaf);
@@ -405,7 +434,7 @@ impl BwTree {
             state.pending.push(op.clone());
             state.update_count = 1;
             let image = encode_delta(std::slice::from_ref(&op));
-            let addr = self.store.append(StreamId::DELTA, &image, tag, ttl)?;
+            let addr = self.append_retrying(StreamId::DELTA, &image, tag)?;
             state.delta_addrs.push(addr);
             BwTreeStats::bump(&self.stats.delta_flushes);
             return Ok(());
@@ -420,7 +449,7 @@ impl BwTree {
             state.pending.clear();
             state.update_count = 0;
             let image = encode_base_page(&state.base);
-            let addr = self.store.append(StreamId::BASE, &image, tag, ttl)?;
+            let addr = self.append_retrying(StreamId::BASE, &image, tag)?;
             let old_base = state.base_addr.replace(addr);
             let old_deltas = std::mem::take(&mut state.delta_addrs);
             if let Some(a) = old_base {
@@ -447,7 +476,7 @@ impl BwTree {
                 // Classic chain growth: flush a one-op delta, keep the old
                 // records valid.
                 let image = encode_delta(std::slice::from_ref(&op));
-                let addr = self.store.append(StreamId::DELTA, &image, tag, ttl)?;
+                let addr = self.append_retrying(StreamId::DELTA, &image, tag)?;
                 state.pending.push(op);
                 state.update_count += 1;
                 state.delta_addrs.push(addr);
@@ -460,7 +489,7 @@ impl BwTree {
                 state.merge_pending(op);
                 state.update_count += 1;
                 let image = encode_delta(&state.pending);
-                let addr = self.store.append(StreamId::DELTA, &image, tag, ttl)?;
+                let addr = self.append_retrying(StreamId::DELTA, &image, tag)?;
                 let old = std::mem::replace(&mut state.delta_addrs, vec![addr]);
                 debug_assert!(old.len() <= 1, "read-optimized invariant");
                 for a in old {
@@ -498,18 +527,13 @@ impl BwTree {
             match self.flush_mode {
                 FlushMode::Synchronous => {
                     let left_addr =
-                        self.store
-                            .append(StreamId::BASE, &left_image, self.tag(leaf), self.config.ttl_nanos)?;
+                        self.append_retrying(StreamId::BASE, &left_image, self.tag(leaf))?;
                     let old = state.base_addr.replace(left_addr);
                     if let Some(a) = old {
                         self.store.invalidate(a)?;
                     }
-                    let right_addr = self.store.append(
-                        StreamId::BASE,
-                        &right_image,
-                        self.tag(right_id),
-                        self.config.ttl_nanos,
-                    )?;
+                    let right_addr =
+                        self.append_retrying(StreamId::BASE, &right_image, self.tag(right_id))?;
                     inner.pages.insert(
                         right_id,
                         PageState {
@@ -678,8 +702,7 @@ impl BwTree {
 
     /// Total number of live entries. O(1): maintained by the write paths.
     pub fn entry_count(&self) -> usize {
-        self.live_entries
-            .load(std::sync::atomic::Ordering::Relaxed) as usize
+        self.live_entries.load(std::sync::atomic::Ordering::Relaxed) as usize
     }
 
     /// Number of leaf pages.
@@ -697,11 +720,7 @@ impl BwTree {
         const TREE_FIXED_OVERHEAD: usize = 512;
         let inner = self.inner.read();
         let pages: usize = inner.pages.values().map(|s| s.heap_bytes()).sum();
-        let routing: usize = inner
-            .routing
-            .keys()
-            .map(|k| k.len() + 64)
-            .sum();
+        let routing: usize = inner.routing.keys().map(|k| k.len() + 64).sum();
         TREE_FIXED_OVERHEAD + pages + routing + inner.pages.len() * 48
     }
 
@@ -709,32 +728,73 @@ impl BwTree {
     /// deferred mode only). Returns the flushed pages; the caller publishes
     /// the new addresses to the shared mapping table and then writes the
     /// `CheckpointComplete` WAL record (Fig. 7 steps (7)/(8)).
+    ///
+    /// On error, the failed page and every page not yet attempted go back
+    /// into the dirty set so the next group commit retries them; pages
+    /// already flushed this round stay clean (their new images are durable,
+    /// and the WAL still covers them until `CheckpointComplete`).
     pub fn flush_dirty(&self) -> StorageResult<Vec<FlushedPage>> {
         let mut inner = self.inner.write();
         let dirty: Vec<PageId> = inner.dirty.drain().collect();
         let mut flushed = Vec::with_capacity(dirty.len());
-        for page in dirty {
-            let tag = self.tag(page);
-            let state = inner.pages.get_mut(&page).expect("dirty page exists");
-            state.base = state.merged_entries();
-            state.pending.clear();
-            state.update_count = 0;
-            let image = encode_base_page(&state.base);
-            let addr = self
-                .store
-                .append(StreamId::BASE, &image, tag, self.config.ttl_nanos)?;
-            let old_base = state.base_addr.replace(addr);
-            let old_deltas = std::mem::take(&mut state.delta_addrs);
-            if let Some(a) = old_base {
-                self.store.invalidate(a)?;
+        for (i, &page) in dirty.iter().enumerate() {
+            if let Err(err) = self.flush_page(&mut inner, page, &mut flushed) {
+                for &p in &dirty[i..] {
+                    inner.dirty.insert(p);
+                }
+                return Err(err);
             }
-            for a in old_deltas {
-                self.store.invalidate(a)?;
+            // Chaos hook: die with a partially flushed batch — some new
+            // images durable, nothing published, WAL intact.
+            if let Err(crash) = self.crash.fire(CrashPoint::MidFlush) {
+                for &p in &dirty[i + 1..] {
+                    inner.dirty.insert(p);
+                }
+                return Err(crash);
             }
-            BwTreeStats::bump(&self.stats.base_flushes);
-            flushed.push(FlushedPage { page, addr });
         }
         Ok(flushed)
+    }
+
+    /// Flushes one dirty page; appends go through the retry policy.
+    fn flush_page(
+        &self,
+        inner: &mut TreeInner,
+        page: PageId,
+        flushed: &mut Vec<FlushedPage>,
+    ) -> StorageResult<()> {
+        let tag = self.tag(page);
+        let state = inner.pages.get_mut(&page).expect("dirty page exists");
+        state.base = state.merged_entries();
+        state.pending.clear();
+        state.update_count = 0;
+        let image = encode_base_page(&state.base);
+        let addr = self.append_retrying(StreamId::BASE, &image, tag)?;
+        let state = inner.pages.get_mut(&page).expect("dirty page exists");
+        let old_base = state.base_addr.replace(addr);
+        let old_deltas = std::mem::take(&mut state.delta_addrs);
+        // Tolerate records that are already invalid: after a crash between
+        // a flush and its mapping publish, recovery re-adopts the *mapped*
+        // (older) image address while the pre-crash flush already
+        // invalidated it. Re-flushing such a page must stay idempotent.
+        if let Some(a) = old_base {
+            self.invalidate_idempotent(a)?;
+        }
+        for a in old_deltas {
+            self.invalidate_idempotent(a)?;
+        }
+        BwTreeStats::bump(&self.stats.base_flushes);
+        flushed.push(FlushedPage { page, addr });
+        Ok(())
+    }
+
+    /// Invalidates `addr`, treating "already invalid" as success (see the
+    /// crash-recovery note in [`Self::flush_page`]).
+    fn invalidate_idempotent(&self, addr: PageAddr) -> StorageResult<()> {
+        match self.store.invalidate(addr) {
+            Err(err) if err.kind == ErrorKind::AlreadyInvalid => Ok(()),
+            other => other,
+        }
     }
 
     /// Number of pages currently dirty (deferred mode).
@@ -749,8 +809,9 @@ impl BwTree {
         let Some(state) = inner.pages.get_mut(&page) else {
             return false;
         };
-        let matches_slot =
-            |a: &PageAddr| a.extent == old.extent && a.offset == old.offset && a.stream == old.stream;
+        let matches_slot = |a: &PageAddr| {
+            a.extent == old.extent && a.offset == old.offset && a.stream == old.stream
+        };
         if state.base_addr.as_ref().is_some_and(matches_slot) {
             state.base_addr = Some(new);
             return true;
@@ -1088,11 +1149,12 @@ mod tests {
         };
         // Simulate a GC move: write the same bytes elsewhere.
         let bytes = s.read(old_addr).unwrap();
-        let new_addr = s
-            .append(StreamId::BASE, &bytes, 0, None)
-            .unwrap();
+        let new_addr = s.append(StreamId::BASE, &bytes, 0, None).unwrap();
         assert!(t.repair_relocated(page, old_addr, new_addr));
-        assert!(!t.repair_relocated(page, old_addr, new_addr), "already moved");
+        assert!(
+            !t.repair_relocated(page, old_addr, new_addr),
+            "already moved"
+        );
         let inner = t.inner.read();
         assert_eq!(inner.pages[&FIRST_LEAF].base_addr, Some(new_addr));
     }
@@ -1115,6 +1177,73 @@ mod tests {
         t.put(b"a", b"1").unwrap();
         let infos = s.extent_infos(StreamId::BASE).unwrap();
         assert!(infos[0].ttl_deadline.is_some());
+    }
+
+    #[test]
+    fn transient_append_failures_are_retried_transparently() {
+        use bg3_storage::{FaultKind, FaultOp, FaultPlan, FaultRule};
+        // The first three appends fail; the retry policy (4 attempts)
+        // absorbs them without surfacing an error.
+        let plan = FaultPlan::seeded(1)
+            .with_rule(FaultRule::new(FaultOp::Append, FaultKind::AppendFail, 1.0).at_most(3));
+        let s = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let clock = s.clock().clone();
+        let t = BwTree::new(1, s.clone(), BwTreeConfig::default());
+        t.put(b"a", b"1").unwrap();
+        assert_eq!(t.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(s.fault_injector().total_fired(), 3, "all three faults hit");
+        // Backoff doubled per retry: 100 + 200 + 400 µs of simulated wait.
+        assert_eq!(clock.now().as_micros(), 700);
+    }
+
+    #[test]
+    fn failed_group_commit_keeps_pages_dirty() {
+        use bg3_storage::{FaultKind, FaultOp, FaultPlan, FaultRule};
+        // Ten straight failures: two whole commits (4 attempts each) fail,
+        // the third succeeds on its final attempt.
+        let plan = FaultPlan::seeded(1)
+            .with_rule(FaultRule::new(FaultOp::Append, FaultKind::AppendFail, 1.0).at_most(10));
+        let s = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let mut t = BwTree::new(1, s.clone(), BwTreeConfig::default());
+        t.set_flush_mode(FlushMode::Deferred);
+        t.put(b"a", b"1").unwrap();
+        assert_eq!(t.dirty_count(), 1);
+        assert!(t.flush_dirty().is_err(), "budget 10: attempts 1-4 fail");
+        assert_eq!(t.dirty_count(), 1, "page stays dirty for the next commit");
+        assert!(t.flush_dirty().is_err(), "attempts 5-8 fail");
+        assert_eq!(t.dirty_count(), 1);
+        let flushed = t.flush_dirty().unwrap();
+        assert_eq!(flushed.len(), 1, "attempts 9-10 fail, 11 succeeds");
+        assert_eq!(t.dirty_count(), 0);
+        assert_eq!(t.get(b"a").unwrap(), Some(b"1".to_vec()), "nothing lost");
+    }
+
+    #[test]
+    fn mid_flush_crash_fires_once_and_keeps_the_rest_dirty() {
+        let s = store();
+        let mut t = BwTree::new(
+            1,
+            s.clone(),
+            BwTreeConfig::default()
+                .with_max_page_entries(4)
+                .with_consolidate_threshold(2),
+        );
+        t.set_flush_mode(FlushMode::Deferred);
+        let switch = CrashSwitch::new();
+        t.set_crash_switch(switch.clone());
+        for i in 0..30 {
+            t.put(&key(i), b"v").unwrap();
+        }
+        let before = t.dirty_count();
+        assert!(before > 1, "several pages dirty");
+        switch.arm(CrashPoint::MidFlush);
+        let err = t.flush_dirty().unwrap_err();
+        assert!(err.is_crash());
+        assert_eq!(t.dirty_count(), before - 1, "one page flushed pre-crash");
+        // Firing disarmed the switch: the next commit completes.
+        let flushed = t.flush_dirty().unwrap();
+        assert_eq!(flushed.len(), before - 1);
+        assert_eq!(t.dirty_count(), 0);
     }
 
     #[test]

@@ -1,12 +1,19 @@
 //! The BG3 engine: Bw-tree forest over append-only shared storage.
 
-use bg3_bwtree::{BwTree, BwTreeConfig};
-use bg3_forest::{BwTreeForest, ForestConfig};
+use bg3_bwtree::{BwTree, BwTreeConfig, FlushMode, PageTag, TreeEventListener};
+use bg3_forest::{BwTreeForest, ForestConfig, INIT_TREE_ID};
 use bg3_gc::{DirtyRatioPolicy, FifoPolicy, SpaceReclaimer, WorkloadAwarePolicy};
 use bg3_graph::{
     decode_dst, edge_group, edge_item, vertex_key, Edge, EdgeType, GraphStore, Vertex, VertexId,
 };
-use bg3_storage::{AppendOnlyStore, StorageResult, StoreConfig};
+use bg3_storage::{
+    AppendOnlyStore, CrashPoint, CrashSwitch, PageAddr, SharedMappingTable, StorageResult,
+    StoreConfig,
+};
+use bg3_sync::{recover_tree, WalListener};
+use bg3_wal::{Lsn, WalPayload, WalWriter};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Which space-reclamation policy the engine's background GC runs.
@@ -19,6 +26,23 @@ pub enum GcPolicyKind {
     /// BG3's gradient + TTL policy (Algorithm 2).
     #[default]
     WorkloadAware,
+}
+
+/// Durable-mode knobs (WAL + group commit + crash recovery).
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Group commit: checkpoint once this many pages are dirty across all
+    /// trees (the paper's "accumulated dirty pages reach a specific
+    /// threshold").
+    pub group_commit_pages: usize,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            group_commit_pages: 16,
+        }
+    }
 }
 
 /// Engine configuration.
@@ -34,6 +58,12 @@ pub struct Bg3Config {
     /// [`EdgeType::reversed`]) so in-edge traversals (`g.V(x).in(...)`)
     /// are as cheap as out-edge ones. Doubles edge write volume.
     pub maintain_reverse_edges: bool,
+    /// When set, the engine runs durably: every mutation is WAL-logged
+    /// before it is acknowledged, page flushes defer to group commits, and
+    /// [`Bg3Db::recover`] can rebuild the engine from the shared store and
+    /// mapping table after a crash. `None` (the default) keeps the original
+    /// synchronous-flush engine byte-for-byte identical.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for Bg3Config {
@@ -43,6 +73,7 @@ impl Default for Bg3Config {
             forest: ForestConfig::default(),
             gc_policy: GcPolicyKind::WorkloadAware,
             maintain_reverse_edges: false,
+            durability: None,
         }
     }
 }
@@ -54,10 +85,37 @@ impl Bg3Config {
         self.forest.tree_config = self.forest.tree_config.clone().with_ttl_nanos(ttl);
         self
     }
+
+    /// Enables durable mode with default group-commit settings.
+    pub fn with_durability(mut self) -> Self {
+        self.durability = Some(DurabilityConfig::default());
+        self
+    }
+
+    /// Enables durable mode with an explicit group-commit threshold.
+    pub fn with_group_commit_pages(mut self, pages: usize) -> Self {
+        self.durability = Some(DurabilityConfig {
+            group_commit_pages: pages,
+        });
+        self
+    }
+
+    /// The per-tree config durable trees run with: the caller's knobs plus
+    /// deferred flushing (the WAL carries durability).
+    fn durable_tree_config(&self) -> BwTreeConfig {
+        self.forest
+            .tree_config
+            .clone()
+            .with_flush_mode(FlushMode::Deferred)
+    }
 }
 
 /// Reserved tree id for the vertex table.
 const VERTEX_TREE_ID: u32 = u32::MAX;
+
+/// Mapping updates flushed but not yet published, shared with the GC router
+/// so relocation can patch addresses that are still awaiting publication.
+type PendingPublish = Arc<Mutex<Vec<(u64, Option<PageAddr>)>>>;
 
 /// The BG3 graph database engine (single node).
 pub struct Bg3Db {
@@ -65,6 +123,17 @@ pub struct Bg3Db {
     forest: Arc<BwTreeForest>,
     vertices: Arc<BwTree>,
     config: Bg3Config,
+    /// Durable-mode handles; `None` when running without durability.
+    wal: Option<Arc<WalWriter>>,
+    mapping: Option<SharedMappingTable>,
+    /// Flushed-but-unpublished mapping updates, carried over when a publish
+    /// is dropped by an injected metadata fault (or a crash interrupts a
+    /// checkpoint): pages leave the dirty set on flush, so these addresses
+    /// must reach the mapping before a `CheckpointComplete` may cover them.
+    pending_publish: PendingPublish,
+    /// Crash switch shared with the forest and every tree; arming it kills
+    /// the engine at the corresponding named crash point.
+    crash: CrashSwitch,
 }
 
 impl Bg3Db {
@@ -76,18 +145,150 @@ impl Bg3Db {
 
     /// Opens an engine over an existing (possibly shared) store.
     pub fn with_store(store: AppendOnlyStore, config: Bg3Config) -> Self {
-        let forest = Arc::new(BwTreeForest::new(store.clone(), config.forest.clone()));
-        let vertices = Arc::new(BwTree::new(
+        if config.durability.is_none() {
+            let forest = Arc::new(BwTreeForest::new(store.clone(), config.forest.clone()));
+            let crash = forest.crash_switch().clone();
+            let vertices = Arc::new(BwTree::new(
+                VERTEX_TREE_ID,
+                store.clone(),
+                BwTreeConfig::default(),
+            ));
+            return Bg3Db {
+                store,
+                forest,
+                vertices,
+                config,
+                wal: None,
+                mapping: None,
+                pending_publish: Arc::new(Mutex::new(Vec::new())),
+                crash,
+            };
+        }
+        let wal =
+            Arc::new(WalWriter::new(store.clone()).with_retry(config.forest.tree_config.retry));
+        let listener: Arc<dyn TreeEventListener> = WalListener::new(Arc::clone(&wal));
+        let mut forest_config = config.forest.clone();
+        forest_config.tree_config = config.durable_tree_config();
+        let forest = Arc::new(BwTreeForest::with_listener(
+            store.clone(),
+            forest_config,
+            Arc::clone(&listener),
+        ));
+        let crash = forest.crash_switch().clone();
+        let mut vertices = BwTree::with_listener(
             VERTEX_TREE_ID,
             store.clone(),
-            BwTreeConfig::default(),
-        ));
+            BwTreeConfig::default()
+                .with_flush_mode(FlushMode::Deferred)
+                .with_retry(config.forest.tree_config.retry),
+            listener,
+        );
+        vertices.set_crash_switch(crash.clone());
+        let mapping = SharedMappingTable::for_store(&store);
         Bg3Db {
             store,
             forest,
-            vertices,
+            vertices: Arc::new(vertices),
             config,
+            wal: Some(wal),
+            mapping: Some(mapping),
+            pending_publish: Arc::new(Mutex::new(Vec::new())),
+            crash,
         }
+    }
+
+    /// Rebuilds a durable engine after a crash, from the two pieces of
+    /// state that survive an RW node's death: the shared store (pages +
+    /// WAL) and the shared mapping table (the metadata service).
+    ///
+    /// The WAL stream is rescanned from storage; `ForestSplitOut` commit
+    /// records rebuild the forest directory (a split-out that crashed
+    /// before its commit record leaves the INIT tree authoritative and its
+    /// half-built tree an ignored orphan); each surviving tree is then
+    /// recovered via `bg3-sync` from its mapped page images plus WAL
+    /// replay past the last `CheckpointComplete` horizon.
+    pub fn recover(
+        store: AppendOnlyStore,
+        mapping: SharedMappingTable,
+        mut config: Bg3Config,
+    ) -> StorageResult<Self> {
+        config.durability = Some(config.durability.unwrap_or_default());
+        let (wal, records) = WalWriter::recover(store.clone())?;
+        let wal = Arc::new(wal.with_retry(config.forest.tree_config.retry));
+        let listener: Arc<dyn TreeEventListener> = WalListener::new(Arc::clone(&wal));
+        let tree_config = config.durable_tree_config();
+
+        // Committed split-outs only; BTreeMap for deterministic recovery
+        // order (reads charge I/O and advance the simulated clock).
+        let mut directory_ids: BTreeMap<Vec<u8>, u32> = BTreeMap::new();
+        for record in &records {
+            if let WalPayload::ForestSplitOut { group } = &record.payload {
+                directory_ids.insert(group.clone(), record.tree as u32);
+            }
+        }
+        let init = recover_tree(
+            INIT_TREE_ID,
+            store.clone(),
+            &mapping,
+            &records,
+            tree_config.clone(),
+            Arc::clone(&listener),
+        )?;
+        let mut directory = Vec::with_capacity(directory_ids.len());
+        for (group, id) in directory_ids {
+            let tree = recover_tree(
+                id,
+                store.clone(),
+                &mapping,
+                &records,
+                tree_config.clone(),
+                Arc::clone(&listener),
+            )?;
+            directory.push((group, tree));
+        }
+        // Never reuse a forest tree id — orphans from crashed split-outs
+        // still own WAL records under theirs.
+        let next_tree_id = records
+            .iter()
+            .map(|r| r.tree)
+            .filter(|&t| t < VERTEX_TREE_ID as u64)
+            .max()
+            .unwrap_or(INIT_TREE_ID as u64) as u32
+            + 1;
+        let forest = Arc::new(BwTreeForest::assemble(
+            store.clone(),
+            {
+                let mut fc = config.forest.clone();
+                fc.tree_config = tree_config.clone();
+                fc
+            },
+            Some(Arc::clone(&listener)),
+            init,
+            directory,
+            next_tree_id,
+        ));
+        let mut vertices = recover_tree(
+            VERTEX_TREE_ID,
+            store.clone(),
+            &mapping,
+            &records,
+            BwTreeConfig::default()
+                .with_flush_mode(FlushMode::Deferred)
+                .with_retry(config.forest.tree_config.retry),
+            listener,
+        )?;
+        let crash = forest.crash_switch().clone();
+        vertices.set_crash_switch(crash.clone());
+        Ok(Bg3Db {
+            store,
+            forest,
+            vertices: Arc::new(vertices),
+            config,
+            wal: Some(wal),
+            mapping: Some(mapping),
+            pending_publish: Arc::new(Mutex::new(Vec::new())),
+            crash,
+        })
     }
 
     /// The shared store (I/O counters, clock).
@@ -100,9 +301,105 @@ impl Bg3Db {
         &self.forest
     }
 
+    /// The shared mapping table (durable mode only) — the handle a crash
+    /// harness carries across restarts.
+    pub fn mapping(&self) -> Option<&SharedMappingTable> {
+        self.mapping.as_ref()
+    }
+
+    /// Last WAL LSN written (durable mode; [`Lsn::ZERO`] otherwise).
+    pub fn last_lsn(&self) -> Lsn {
+        self.wal.as_ref().map(|w| w.last_lsn()).unwrap_or(Lsn::ZERO)
+    }
+
+    /// The crash switch shared by the engine, its forest, and every tree.
+    pub fn crash_switch(&self) -> &CrashSwitch {
+        &self.crash
+    }
+
+    /// Flushes every dirty page across the forest and vertex trees,
+    /// publishes the new addresses to the shared mapping table, and logs a
+    /// `CheckpointComplete` horizon per affected tree. Durable mode only
+    /// (a no-op returning [`Lsn::ZERO`] otherwise).
+    pub fn checkpoint(&self) -> StorageResult<Lsn> {
+        let (Some(wal), Some(mapping)) = (&self.wal, &self.mapping) else {
+            return Ok(Lsn::ZERO);
+        };
+        let upto = wal.last_lsn();
+        // Flushed pages leave the dirty set immediately, so their addresses
+        // must survive any interruption from here on — stash them back into
+        // `pending_publish` on every early exit.
+        let mut updates = std::mem::take(&mut *self.pending_publish.lock());
+        let mut flushed_trees = Vec::new();
+        let mut trees = self.forest.all_trees();
+        trees.push(Arc::clone(&self.vertices));
+        for tree in trees {
+            let flushed = match tree.flush_dirty() {
+                Ok(flushed) => flushed,
+                Err(err) => {
+                    *self.pending_publish.lock() = updates;
+                    return Err(err);
+                }
+            };
+            if flushed.is_empty() {
+                continue;
+            }
+            updates.extend(flushed.iter().map(|f| {
+                (
+                    PageTag {
+                        tree: tree.id(),
+                        page: f.page,
+                    }
+                    .encode(),
+                    Some(f.addr),
+                )
+            }));
+            flushed_trees.push(tree.id());
+        }
+        // Chaos hook: die after the flushes but before the publish — new
+        // page images are durable yet unreachable, and no horizon advanced,
+        // so recovery replays the WAL past the previous checkpoint.
+        if let Err(crash) = self.crash.fire(CrashPoint::MidGroupCommit) {
+            *self.pending_publish.lock() = updates;
+            return Err(crash);
+        }
+        if !updates.is_empty() {
+            let before = mapping.snapshot().version();
+            let after = mapping.publish(updates.clone());
+            if after == before {
+                // The publish was dropped (injected metadata fault). Do NOT
+                // log a checkpoint: a horizon the mapping does not cover
+                // would lose these pages on recovery. Retry next time.
+                *self.pending_publish.lock() = updates;
+                return Ok(upto);
+            }
+        }
+        for id in flushed_trees {
+            wal.append(
+                id as u64,
+                0,
+                WalPayload::CheckpointComplete { upto: upto.0 },
+            )?;
+        }
+        Ok(upto)
+    }
+
+    fn maybe_group_commit(&self) -> StorageResult<()> {
+        let Some(durability) = &self.config.durability else {
+            return Ok(());
+        };
+        if self.forest.dirty_count() + self.vertices.dirty_count() >= durability.group_commit_pages
+        {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
     fn gc_router(&self) -> impl Fn(u64, bg3_storage::PageAddr, bg3_storage::PageAddr) {
         let forest = Arc::clone(&self.forest);
         let vertices = Arc::clone(&self.vertices);
+        let mapping = self.mapping.clone();
+        let pending = Arc::clone(&self.pending_publish);
         move |tag: u64, old, new| {
             if !forest.repair_relocated(tag, old, new) {
                 let decoded = bg3_bwtree::PageTag::decode(tag);
@@ -110,23 +407,50 @@ impl Bg3Db {
                     vertices.repair_relocated(decoded.page, old, new);
                 }
             }
+            // Relocation reports `old` with a placeholder record id, so
+            // match mapping entries by physical slot, not full address.
+            let same_slot = |a: PageAddr| {
+                a.stream == old.stream && a.extent == old.extent && a.offset == old.offset
+            };
+            // Durable mode: the metadata service must follow the move too.
+            // The fix-up publishes before the old extent is reclaimed, so a
+            // crash anywhere around it leaves the mapping readable — either
+            // address is still live when the publish hasn't happened yet.
+            if let Some(mapping) = &mapping {
+                if mapping.snapshot().get(tag).is_some_and(same_slot) {
+                    mapping.publish([(tag, Some(new))]);
+                }
+            }
+            // Flushed-but-unpublished addresses stashed for the next
+            // checkpoint go stale the same way.
+            for slot in pending.lock().iter_mut() {
+                if slot.0 == tag && slot.1.is_some_and(same_slot) {
+                    slot.1 = Some(new);
+                }
+            }
         }
     }
 
     /// Runs one space-reclamation cycle with the configured policy, routing
     /// relocation fix-ups back into the forest's mapping tables. Returns
-    /// the cycle report (moved bytes = write amplification).
+    /// the cycle report (moved bytes = write amplification). The engine's
+    /// crash switch rides along, so arming [`CrashPoint::MidGcCycle`] kills
+    /// the cycle mid-relocation.
     pub fn run_gc_cycle(&self, budget: usize) -> StorageResult<bg3_gc::CycleReport> {
         let router = self.gc_router();
+        let crash = self.crash.clone();
         match self.config.gc_policy {
-            GcPolicyKind::Fifo => {
-                SpaceReclaimer::new(self.store.clone(), FifoPolicy, router).run_cycle(budget)
-            }
+            GcPolicyKind::Fifo => SpaceReclaimer::new(self.store.clone(), FifoPolicy, router)
+                .with_crash_switch(crash)
+                .run_cycle(budget),
             GcPolicyKind::DirtyRatio => {
-                SpaceReclaimer::new(self.store.clone(), DirtyRatioPolicy, router).run_cycle(budget)
+                SpaceReclaimer::new(self.store.clone(), DirtyRatioPolicy, router)
+                    .with_crash_switch(crash)
+                    .run_cycle(budget)
             }
             GcPolicyKind::WorkloadAware => {
                 SpaceReclaimer::new(self.store.clone(), WorkloadAwarePolicy::default(), router)
+                    .with_crash_switch(crash)
                     .run_cycle(budget)
             }
         }
@@ -170,7 +494,7 @@ impl GraphStore for Bg3Db {
                 &[],
             )?;
         }
-        Ok(())
+        self.maybe_group_commit()
     }
 
     fn get_edge(
@@ -189,7 +513,7 @@ impl GraphStore for Bg3Db {
             self.forest
                 .delete(&edge_group(dst, etype.reversed()), &edge_item(src))?;
         }
-        Ok(())
+        self.maybe_group_commit()
     }
 
     fn neighbors(
@@ -207,7 +531,8 @@ impl GraphStore for Bg3Db {
     }
 
     fn insert_vertex(&self, vertex: &Vertex) -> StorageResult<()> {
-        self.vertices.put(&vertex_key(vertex.id), &vertex.props)
+        self.vertices.put(&vertex_key(vertex.id), &vertex.props)?;
+        self.maybe_group_commit()
     }
 
     fn get_vertex(&self, id: VertexId) -> StorageResult<Option<Vec<u8>>> {
@@ -239,16 +564,20 @@ mod tests {
             .with_props(PropertyValue::Int(170).encode());
         db.insert_edge(&e).unwrap();
         assert_eq!(
-            db.get_edge(VertexId(1), EdgeType::LIKE, VertexId(42)).unwrap(),
+            db.get_edge(VertexId(1), EdgeType::LIKE, VertexId(42))
+                .unwrap(),
             Some(PropertyValue::Int(170).encode())
         );
         assert_eq!(
-            db.get_edge(VertexId(1), EdgeType::FOLLOW, VertexId(42)).unwrap(),
+            db.get_edge(VertexId(1), EdgeType::FOLLOW, VertexId(42))
+                .unwrap(),
             None
         );
-        db.delete_edge(VertexId(1), EdgeType::LIKE, VertexId(42)).unwrap();
+        db.delete_edge(VertexId(1), EdgeType::LIKE, VertexId(42))
+            .unwrap();
         assert_eq!(
-            db.get_edge(VertexId(1), EdgeType::LIKE, VertexId(42)).unwrap(),
+            db.get_edge(VertexId(1), EdgeType::LIKE, VertexId(42))
+                .unwrap(),
             None
         );
     }
@@ -280,7 +609,9 @@ mod tests {
         }
         assert!(db.forest().tree_count() > 1, "super-vertex split out");
         assert_eq!(
-            db.neighbors(VertexId(1), EdgeType::LIKE, usize::MAX).unwrap().len(),
+            db.neighbors(VertexId(1), EdgeType::LIKE, usize::MAX)
+                .unwrap()
+                .len(),
             20
         );
     }
@@ -323,7 +654,8 @@ mod tests {
         // Every edge still readable after relocation.
         for dst in 0..10u64 {
             assert_eq!(
-                db.get_edge(VertexId(1), EdgeType::LIKE, VertexId(dst)).unwrap(),
+                db.get_edge(VertexId(1), EdgeType::LIKE, VertexId(dst))
+                    .unwrap(),
                 Some(19u64.to_le_bytes().to_vec()),
                 "edge {dst} survived GC"
             );
@@ -348,13 +680,120 @@ mod tests {
             .map(|(v, _)| v.0)
             .collect();
         assert_eq!(followers, vec![10, 20, 30]);
-        db.delete_edge(VertexId(20), EdgeType::FOLLOW, VertexId(1)).unwrap();
+        db.delete_edge(VertexId(20), EdgeType::FOLLOW, VertexId(1))
+            .unwrap();
         assert_eq!(
             db.neighbors(VertexId(1), EdgeType::FOLLOW.reversed(), usize::MAX)
                 .unwrap()
                 .len(),
             2,
             "reverse index follows deletes"
+        );
+    }
+
+    #[test]
+    fn durable_engine_recovers_graph_after_crash() {
+        let config = Bg3Config::default().with_group_commit_pages(4);
+        let mut fc = config.forest.clone();
+        fc = fc.with_split_out_threshold(8);
+        let config = Bg3Config {
+            forest: fc,
+            ..config
+        };
+        let db = Bg3Db::new(config.clone());
+        let store = db.store().clone();
+        let mapping = db.mapping().unwrap().clone();
+        // Enough edges on vertex 1 to force a split-out, plus scattered
+        // edges and vertices; some writes land after the last checkpoint.
+        for dst in 0..20u64 {
+            db.insert_edge(&Edge::new(VertexId(1), EdgeType::LIKE, VertexId(dst)))
+                .unwrap();
+        }
+        for src in 2..6u64 {
+            db.insert_edge(&Edge::new(VertexId(src), EdgeType::FOLLOW, VertexId(1)))
+                .unwrap();
+            db.insert_vertex(&Vertex {
+                id: VertexId(src),
+                props: src.to_le_bytes().to_vec(),
+            })
+            .unwrap();
+        }
+        db.delete_edge(VertexId(1), EdgeType::LIKE, VertexId(7))
+            .unwrap();
+        assert!(db.forest().tree_count() > 1, "split-out happened");
+        drop(db); // crash: only the store and mapping survive
+
+        let recovered = Bg3Db::recover(store, mapping, config).unwrap();
+        assert!(recovered.forest().tree_count() > 1, "directory rebuilt");
+        for dst in 0..20u64 {
+            let expect = dst != 7;
+            assert_eq!(
+                recovered
+                    .get_edge(VertexId(1), EdgeType::LIKE, VertexId(dst))
+                    .unwrap()
+                    .is_some(),
+                expect,
+                "edge 1->{dst}"
+            );
+        }
+        assert_eq!(
+            recovered
+                .neighbors(VertexId(1), EdgeType::LIKE, usize::MAX)
+                .unwrap()
+                .len(),
+            19
+        );
+        for src in 2..6u64 {
+            assert_eq!(
+                recovered.get_vertex(VertexId(src)).unwrap(),
+                Some(src.to_le_bytes().to_vec())
+            );
+            assert!(recovered
+                .get_edge(VertexId(src), EdgeType::FOLLOW, VertexId(1))
+                .unwrap()
+                .is_some());
+        }
+        // The recovered engine keeps working durably.
+        recovered
+            .insert_edge(&Edge::new(VertexId(9), EdgeType::LIKE, VertexId(1)))
+            .unwrap();
+        assert!(recovered.last_lsn().0 > 0);
+    }
+
+    #[test]
+    fn dropped_mapping_publish_never_advances_the_horizon() {
+        use bg3_storage::{FaultKind, FaultOp, FaultPlan, FaultRule};
+        // The first mapping publish is silently dropped by the metadata
+        // service; the engine must not log a checkpoint horizon for pages
+        // the mapping cannot resolve, and must re-publish them later.
+        let plan = FaultPlan::seeded(3).with_rule(
+            FaultRule::new(FaultOp::MappingPublish, FaultKind::PublishDrop, 1.0).at_most(1),
+        );
+        let config = Bg3Config {
+            store: StoreConfig::counting().with_faults(plan),
+            ..Bg3Config::default().with_group_commit_pages(usize::MAX)
+        };
+        let db = Bg3Db::new(config.clone());
+        db.insert_vertex(&Vertex {
+            id: VertexId(1),
+            props: b"v".to_vec(),
+        })
+        .unwrap();
+        db.checkpoint().unwrap();
+        let mapping = db.mapping().unwrap();
+        assert!(mapping.snapshot().is_empty(), "publish was dropped");
+        // No CheckpointComplete may exist: recovery must replay the WAL.
+        let (_, records) = bg3_wal::WalWriter::recover(db.store().clone()).unwrap();
+        assert!(records
+            .iter()
+            .all(|r| !matches!(r.payload, WalPayload::CheckpointComplete { .. })));
+        // The stashed batch publishes on the next checkpoint.
+        db.checkpoint().unwrap();
+        assert!(!mapping.snapshot().is_empty(), "pending batch re-published");
+        let recovered = Bg3Db::recover(db.store().clone(), mapping.clone(), config).unwrap();
+        assert_eq!(
+            recovered.get_vertex(VertexId(1)).unwrap(),
+            Some(b"v".to_vec())
         );
     }
 

@@ -140,10 +140,8 @@ impl ByteGraphDb {
 impl GraphStore for ByteGraphDb {
     fn insert_edge(&self, edge: &Edge) -> StorageResult<()> {
         let group = edge_group(edge.src, edge.etype);
-        self.lsm.put(
-            &Self::edge_key(edge.src, edge.etype, edge.dst),
-            &edge.props,
-        )?;
+        self.lsm
+            .put(&Self::edge_key(edge.src, edge.etype, edge.dst), &edge.props)?;
         let mut cache = self.cache.lock();
         if let Some(adj) = cache.groups.get_mut(&group) {
             adj.insert(edge_item(edge.dst), edge.props.clone());
@@ -259,12 +257,15 @@ mod tests {
         let e = Edge::new(VertexId(1), EdgeType::FOLLOW, VertexId(2)).with_props(b"p".to_vec());
         db.insert_edge(&e).unwrap();
         assert_eq!(
-            db.get_edge(VertexId(1), EdgeType::FOLLOW, VertexId(2)).unwrap(),
+            db.get_edge(VertexId(1), EdgeType::FOLLOW, VertexId(2))
+                .unwrap(),
             Some(b"p".to_vec())
         );
-        db.delete_edge(VertexId(1), EdgeType::FOLLOW, VertexId(2)).unwrap();
+        db.delete_edge(VertexId(1), EdgeType::FOLLOW, VertexId(2))
+            .unwrap();
         assert_eq!(
-            db.get_edge(VertexId(1), EdgeType::FOLLOW, VertexId(2)).unwrap(),
+            db.get_edge(VertexId(1), EdgeType::FOLLOW, VertexId(2))
+                .unwrap(),
             None
         );
     }
@@ -276,8 +277,12 @@ mod tests {
             db.insert_edge(&Edge::new(VertexId(1), EdgeType::FOLLOW, VertexId(dst)))
                 .unwrap();
         }
-        let cold = db.neighbors(VertexId(1), EdgeType::FOLLOW, usize::MAX).unwrap();
-        let warm = db.neighbors(VertexId(1), EdgeType::FOLLOW, usize::MAX).unwrap();
+        let cold = db
+            .neighbors(VertexId(1), EdgeType::FOLLOW, usize::MAX)
+            .unwrap();
+        let warm = db
+            .neighbors(VertexId(1), EdgeType::FOLLOW, usize::MAX)
+            .unwrap();
         assert_eq!(cold, warm);
         assert_eq!(
             cold.iter().map(|(v, _)| v.0).collect::<Vec<_>>(),
@@ -293,10 +298,13 @@ mod tests {
         let db = db();
         db.insert_edge(&Edge::new(VertexId(1), EdgeType::FOLLOW, VertexId(2)))
             .unwrap();
-        db.neighbors(VertexId(1), EdgeType::FOLLOW, usize::MAX).unwrap(); // warm
+        db.neighbors(VertexId(1), EdgeType::FOLLOW, usize::MAX)
+            .unwrap(); // warm
         db.insert_edge(&Edge::new(VertexId(1), EdgeType::FOLLOW, VertexId(3)))
             .unwrap();
-        let n = db.neighbors(VertexId(1), EdgeType::FOLLOW, usize::MAX).unwrap();
+        let n = db
+            .neighbors(VertexId(1), EdgeType::FOLLOW, usize::MAX)
+            .unwrap();
         assert_eq!(n.len(), 2, "write-through into the warm cache");
     }
 
@@ -331,7 +339,8 @@ mod tests {
         db.lsm().flush().unwrap();
         let before = db.lsm().stats().sst_probes;
         for src in 0..50u64 {
-            db.get_edge(VertexId(src), EdgeType::FOLLOW, VertexId(1)).unwrap();
+            db.get_edge(VertexId(src), EdgeType::FOLLOW, VertexId(1))
+                .unwrap();
         }
         assert!(
             db.lsm().stats().sst_probes > before,

@@ -146,10 +146,15 @@ mod tests {
             })
             .unwrap();
         assert_eq!(
-            cluster.get_edge(VertexId(1), EdgeType::LIKE, VertexId(2)).unwrap(),
+            cluster
+                .get_edge(VertexId(1), EdgeType::LIKE, VertexId(2))
+                .unwrap(),
             Some(vec![])
         );
-        assert_eq!(cluster.get_vertex(VertexId(1)).unwrap(), Some(b"u".to_vec()));
+        assert_eq!(
+            cluster.get_vertex(VertexId(1)).unwrap(),
+            Some(b"u".to_vec())
+        );
     }
 
     #[test]

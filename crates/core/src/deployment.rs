@@ -127,9 +127,7 @@ impl ReplicatedBg3 {
         let hits = self.ros[idx].scan_range(self.tree_id, Some(&prefix), Some(&end), limit)?;
         Ok(hits
             .into_iter()
-            .filter_map(|(k, _)| {
-                decode_composite(&k).and_then(|(_, item)| decode_dst(item))
-            })
+            .filter_map(|(k, _)| decode_composite(&k).and_then(|(_, item)| decode_dst(item)))
             .collect())
     }
 

@@ -24,10 +24,27 @@ pub mod bg3db;
 pub mod bytegraph;
 pub mod cluster;
 pub mod deployment;
+pub mod engine;
 pub mod neptune;
 
-pub use bg3db::{Bg3Config, Bg3Db, GcPolicyKind};
+pub use bg3db::{Bg3Config, Bg3Db, DurabilityConfig, GcPolicyKind};
 pub use bytegraph::{ByteGraphConfig, ByteGraphDb};
 pub use cluster::Cluster;
 pub use deployment::{ReplicatedBg3, ReplicatedConfig};
+pub use engine::{EngineRuntime, GraphEngine, MaintenanceReport};
 pub use neptune::NeptuneLike;
+
+/// One-line import for code that drives engines: the unified engine API,
+/// the three engines with their configs, the graph data model, and the
+/// shared-store types experiments touch (config, faults, crash points).
+pub mod prelude {
+    pub use crate::engine::{EngineRuntime, GraphEngine, MaintenanceReport};
+    pub use crate::{
+        Bg3Config, Bg3Db, ByteGraphConfig, ByteGraphDb, DurabilityConfig, GcPolicyKind, NeptuneLike,
+    };
+    pub use bg3_graph::{Edge, EdgeType, GraphStore, Vertex, VertexId};
+    pub use bg3_storage::{
+        AppendOnlyStore, CrashPoint, FaultKind, FaultOp, FaultPlan, FaultRule, IoStatsSnapshot,
+        RetryPolicy, StorageError, StorageResult, StoreConfig,
+    };
+}

@@ -9,9 +9,7 @@
 //! the way Fig. 8 shows: poorly with concurrency and very poorly with
 //! multi-hop fan-out.
 
-use bg3_graph::{
-    edge_group, edge_item, vertex_key, Edge, EdgeType, GraphStore, Vertex, VertexId,
-};
+use bg3_graph::{edge_group, edge_item, vertex_key, Edge, EdgeType, GraphStore, Vertex, VertexId};
 use bg3_storage::{AppendOnlyStore, PageAddr, StorageResult, StoreConfig, StreamId};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -94,7 +92,9 @@ impl NeptuneLike {
                 rec
             })
             .collect();
-        let addr = self.store.append(StreamId::BASE, &image, seq as u64, None)?;
+        let addr = self
+            .store
+            .append(StreamId::BASE, &image, seq as u64, None)?;
         if let Some(old) = inner.pages.insert((prefix, seq), addr) {
             // Old page version becomes garbage.
             let _ = self.store.invalidate(old);
@@ -172,9 +172,7 @@ impl GraphStore for NeptuneLike {
             ))
             .take_while(|(k, _)| k.starts_with(&group))
             .take(limit)
-            .filter_map(|(k, v)| {
-                bg3_graph::decode_dst(&k[group.len()..]).map(|d| (d, v.clone()))
-            })
+            .filter_map(|(k, v)| bg3_graph::decode_dst(&k[group.len()..]).map(|d| (d, v.clone())))
             .collect();
         // Charge page reads proportional to the scan size.
         let pages_touched = hits.len().div_ceil(PAGE_ENTRIES).max(1);
@@ -220,15 +218,20 @@ mod tests {
     #[test]
     fn edge_round_trip() {
         let db = db();
-        db.insert_edge(&Edge::new(VertexId(1), EdgeType::FOLLOW, VertexId(2)).with_props(b"p".to_vec()))
-            .unwrap();
+        db.insert_edge(
+            &Edge::new(VertexId(1), EdgeType::FOLLOW, VertexId(2)).with_props(b"p".to_vec()),
+        )
+        .unwrap();
         assert_eq!(
-            db.get_edge(VertexId(1), EdgeType::FOLLOW, VertexId(2)).unwrap(),
+            db.get_edge(VertexId(1), EdgeType::FOLLOW, VertexId(2))
+                .unwrap(),
             Some(b"p".to_vec())
         );
-        db.delete_edge(VertexId(1), EdgeType::FOLLOW, VertexId(2)).unwrap();
+        db.delete_edge(VertexId(1), EdgeType::FOLLOW, VertexId(2))
+            .unwrap();
         assert_eq!(
-            db.get_edge(VertexId(1), EdgeType::FOLLOW, VertexId(2)).unwrap(),
+            db.get_edge(VertexId(1), EdgeType::FOLLOW, VertexId(2))
+                .unwrap(),
             None
         );
     }
@@ -269,7 +272,8 @@ mod tests {
         db.insert_edge(&Edge::new(VertexId(1), EdgeType::LIKE, VertexId(2)))
             .unwrap();
         let before = db.store().stats().snapshot().random_reads;
-        db.get_edge(VertexId(1), EdgeType::LIKE, VertexId(2)).unwrap();
+        db.get_edge(VertexId(1), EdgeType::LIKE, VertexId(2))
+            .unwrap();
         db.neighbors(VertexId(1), EdgeType::LIKE, 10).unwrap();
         assert!(db.store().stats().snapshot().random_reads > before);
     }

@@ -1,8 +1,8 @@
 //! The forest itself.
 
 use crate::keys::{composite_key, decode_composite, group_prefix};
-use bg3_bwtree::{BwTree, BwTreeConfig, Entries, TreeEventListener};
-use bg3_storage::{AppendOnlyStore, StorageResult};
+use bg3_bwtree::{BwTree, BwTreeConfig, Entries, TreeEvent, TreeEventListener};
+use bg3_storage::{AppendOnlyStore, CrashPoint, CrashSwitch, StorageResult};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -78,6 +78,9 @@ pub struct BwTreeForest {
     config: ForestConfig,
     listener: Option<Arc<dyn TreeEventListener>>,
     init: Arc<BwTree>,
+    /// Chaos hook: [`CrashPoint::MidSplit`] fires inside `split_out` after
+    /// the copy but before the split commits. Disarmed by default.
+    crash: CrashSwitch,
     inner: RwLock<ForestInner>,
     /// Edge counts of groups still resident in the INIT tree.
     init_counts: Mutex<HashMap<Vec<u8>, usize>>,
@@ -106,17 +109,20 @@ impl BwTreeForest {
         config: ForestConfig,
         listener: Option<Arc<dyn TreeEventListener>>,
     ) -> Self {
+        let crash = CrashSwitch::new();
         let init = Arc::new(Self::make_tree(
             INIT_TREE_ID,
             &store,
             &config.tree_config,
             listener.as_ref(),
+            &crash,
         ));
         BwTreeForest {
             store,
             config,
             listener,
             init,
+            crash,
             inner: RwLock::new(ForestInner {
                 directory: HashMap::new(),
             }),
@@ -127,21 +133,75 @@ impl BwTreeForest {
         }
     }
 
+    /// Reassembles a forest from recovered trees (crash recovery).
+    ///
+    /// `directory` maps each committed split-out group to its recovered
+    /// dedicated tree; `next_tree_id` must exceed every tree id ever
+    /// logged — *including* orphans from crashed split-outs — so ids are
+    /// never reused. Per-group INIT edge counts are rebuilt by scanning the
+    /// recovered INIT tree; the split-out/eviction counters restart at zero
+    /// (they count activity since this handle opened).
+    pub fn assemble(
+        store: AppendOnlyStore,
+        config: ForestConfig,
+        listener: Option<Arc<dyn TreeEventListener>>,
+        mut init: BwTree,
+        directory: Vec<(Vec<u8>, BwTree)>,
+        next_tree_id: u32,
+    ) -> Self {
+        let crash = CrashSwitch::new();
+        init.set_crash_switch(crash.clone());
+        let mut dir = HashMap::new();
+        for (group, mut tree) in directory {
+            tree.set_crash_switch(crash.clone());
+            dir.insert(group, Arc::new(tree));
+        }
+        let mut counts: HashMap<Vec<u8>, usize> = HashMap::new();
+        for (composite, _) in init.scan_range(None, None, usize::MAX) {
+            if let Some((group, _)) = decode_composite(&composite) {
+                *counts.entry(group.to_vec()).or_insert(0) += 1;
+            }
+        }
+        BwTreeForest {
+            store,
+            config,
+            listener,
+            init: Arc::new(init),
+            crash,
+            inner: RwLock::new(ForestInner { directory: dir }),
+            init_counts: Mutex::new(counts),
+            next_tree_id: AtomicU32::new(next_tree_id),
+            threshold_split_outs: AtomicU64::new(0),
+            init_evictions: AtomicU64::new(0),
+        }
+    }
+
     fn make_tree(
         id: u32,
         store: &AppendOnlyStore,
         cfg: &BwTreeConfig,
         listener: Option<&Arc<dyn TreeEventListener>>,
+        crash: &CrashSwitch,
     ) -> BwTree {
-        match listener {
+        let mut tree = match listener {
             Some(l) => BwTree::with_listener(id, store.clone(), cfg.clone(), Arc::clone(l)),
             None => BwTree::new(id, store.clone(), cfg.clone()),
-        }
+        };
+        tree.set_crash_switch(crash.clone());
+        tree
     }
 
     /// The forest's configuration.
     pub fn config(&self) -> &ForestConfig {
         &self.config
+    }
+
+    /// The crash switch shared by the forest and every tree it creates.
+    /// Clones share arming state, so arm through this accessor to kill the
+    /// forest at [`CrashPoint::MidSplit`] or its trees at
+    /// [`CrashPoint::MidFlush`].
+    pub fn crash_switch(&self) -> &CrashSwitch {
+        &self.crash
     }
 
     /// The dedicated tree for `group`, if it has one.
@@ -197,6 +257,7 @@ impl BwTreeForest {
             &self.store,
             &self.config.tree_config,
             self.listener.as_ref(),
+            &self.crash,
         ));
         let prefix = group_prefix(group);
         let moved = self.init.scan_prefix(&prefix, usize::MAX);
@@ -204,10 +265,25 @@ impl BwTreeForest {
             let (_, item) = decode_composite(composite).expect("forest wrote this key");
             tree.put(item, value)?;
         }
+        // Chaos hook: die after the copy but before the commit — the INIT
+        // tree still holds every entry, and the half-built tree is an
+        // orphan recovery ignores (no `ForestSplitOut` record was logged).
+        self.crash.fire(CrashPoint::MidSplit)?;
         for (composite, _) in &moved {
             self.init.delete(composite)?;
         }
         inner.directory.insert(group.to_vec(), tree);
+        // Commit record: logged only once the copy and deletes are durable,
+        // so replaying the WAL rebuilds the directory exactly when the
+        // split-out actually completed.
+        if let Some(listener) = &self.listener {
+            listener.on_event(
+                id as u64,
+                &TreeEvent::ForestSplitOut {
+                    group: group.to_vec(),
+                },
+            );
+        }
         drop(inner);
         self.init_counts.lock().remove(group);
         if eviction {
@@ -262,13 +338,40 @@ impl BwTreeForest {
     pub fn group_len(&self, group: &[u8]) -> usize {
         match self.dedicated_tree(group) {
             Some(tree) => tree.entry_count(),
-            None => self.init.scan_prefix(&group_prefix(group), usize::MAX).len(),
+            None => self
+                .init
+                .scan_prefix(&group_prefix(group), usize::MAX)
+                .len(),
         }
     }
 
     /// Total trees in the forest, including INIT.
     pub fn tree_count(&self) -> usize {
         1 + self.inner.read().directory.len()
+    }
+
+    /// Total dirty pages across every tree (the group-commit trigger input
+    /// for a durable node running deferred flushes).
+    pub fn dirty_count(&self) -> usize {
+        let inner = self.inner.read();
+        self.init.dirty_count()
+            + inner
+                .directory
+                .values()
+                .map(|t| t.dirty_count())
+                .sum::<usize>()
+    }
+
+    /// Every tree in the forest, sorted by tree id (INIT first). For
+    /// maintenance passes that must visit each tree deterministically,
+    /// e.g. group-commit flushes.
+    pub fn all_trees(&self) -> Vec<Arc<BwTree>> {
+        let inner = self.inner.read();
+        let mut trees = Vec::with_capacity(1 + inner.directory.len());
+        trees.push(Arc::clone(&self.init));
+        trees.extend(inner.directory.values().cloned());
+        trees.sort_by_key(|t| t.id());
+        trees
     }
 
     /// Total edges across all trees.
@@ -443,8 +546,12 @@ mod tests {
     fn scan_group_is_ordered_and_limited() {
         let f = forest(100);
         for i in (0..10u32).rev() {
-            f.put(b"u", format!("item{i}").as_bytes(), format!("{i}").as_bytes())
-                .unwrap();
+            f.put(
+                b"u",
+                format!("item{i}").as_bytes(),
+                format!("{i}").as_bytes(),
+            )
+            .unwrap();
         }
         let scan = f.scan_group(b"u", usize::MAX);
         assert_eq!(scan.len(), 10);
@@ -453,8 +560,12 @@ mod tests {
         // After split-out the scan result is identical.
         let f2 = forest(5);
         for i in (0..10u32).rev() {
-            f2.put(b"u", format!("item{i}").as_bytes(), format!("{i}").as_bytes())
-                .unwrap();
+            f2.put(
+                b"u",
+                format!("item{i}").as_bytes(),
+                format!("{i}").as_bytes(),
+            )
+            .unwrap();
         }
         assert!(f2.dedicated_tree(b"u").is_some());
         assert_eq!(f2.scan_group(b"u", usize::MAX), scan);
@@ -510,6 +621,54 @@ mod tests {
             few.memory_footprint()
         );
         assert_eq!(few.total_entries(), many.total_entries());
+    }
+
+    #[test]
+    fn mid_split_crash_leaves_init_tree_authoritative() {
+        let f = forest(10);
+        for i in 0..10u32 {
+            f.put(b"userA", format!("v{i:02}").as_bytes(), b"x")
+                .unwrap();
+        }
+        f.crash_switch().arm(CrashPoint::MidSplit);
+        // The 11th put crosses the threshold and dies mid-split-out.
+        let err = f.put(b"userA", b"v10", b"x").unwrap_err();
+        assert!(err.is_crash());
+        // Nothing committed: no dedicated tree, INIT still holds the group
+        // (including the put that was logged before the split began).
+        assert!(f.dedicated_tree(b"userA").is_none());
+        assert_eq!(f.group_len(b"userA"), 11);
+        assert_eq!(f.stats().threshold_split_outs, 0);
+        // The switch disarmed itself: the next write completes the split.
+        f.put(b"userA", b"v11", b"x").unwrap();
+        assert!(f.dedicated_tree(b"userA").is_some());
+        assert_eq!(f.group_len(b"userA"), 12);
+    }
+
+    #[test]
+    fn split_out_commit_event_is_emitted_last() {
+        use bg3_bwtree::RecordingListener;
+        let rec = RecordingListener::new();
+        let f = BwTreeForest::with_listener(
+            AppendOnlyStore::new(StoreConfig::counting()),
+            ForestConfig::default().with_split_out_threshold(3),
+            rec.clone(),
+        );
+        for i in 0..4u32 {
+            f.put(b"hot", format!("v{i}").as_bytes(), b"x").unwrap();
+        }
+        let tree_id = f.dedicated_tree(b"hot").unwrap().id();
+        let events = rec.drain();
+        let commit = events
+            .iter()
+            .position(|(_, e)| matches!(e, TreeEvent::ForestSplitOut { group } if group == b"hot"))
+            .expect("split-out commit logged");
+        assert_eq!(events[commit].0, tree_id as u64, "tagged with the new tree");
+        assert_eq!(
+            commit,
+            events.len() - 1,
+            "commit record follows every copy and delete"
+        );
     }
 
     #[test]

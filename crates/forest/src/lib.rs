@@ -23,5 +23,5 @@
 pub mod forest;
 pub mod keys;
 
-pub use forest::{BwTreeForest, ForestConfig, ForestStatsSnapshot};
+pub use forest::{BwTreeForest, ForestConfig, ForestStatsSnapshot, INIT_TREE_ID};
 pub use keys::{composite_key, decode_composite, group_prefix};

@@ -26,7 +26,7 @@ pub mod policy;
 pub mod reclaimer;
 
 pub use policy::{
-    DirtyRatioPolicy, FifoPolicy, HybridTtlGradientPolicy, PlanAction, ReclaimPlan,
-    ReclaimPolicy, WorkloadAwarePolicy,
+    DirtyRatioPolicy, FifoPolicy, HybridTtlGradientPolicy, PlanAction, ReclaimPlan, ReclaimPolicy,
+    WorkloadAwarePolicy,
 };
 pub use reclaimer::{CycleReport, NullRouter, RelocationRouter, SpaceReclaimer};

@@ -30,7 +30,9 @@ pub trait ReclaimPolicy: Send + Sync {
 fn reclaimable(candidates: &[ExtentInfo]) -> Vec<&ExtentInfo> {
     candidates
         .iter()
-        .filter(|e| e.state == ExtentState::Sealed && (e.invalid_records > 0 || e.ttl_deadline.is_some()))
+        .filter(|e| {
+            e.state == ExtentState::Sealed && (e.invalid_records > 0 || e.ttl_deadline.is_some())
+        })
         .collect()
 }
 
@@ -237,9 +239,8 @@ impl ReclaimPolicy for HybridTtlGradientPolicy {
         // Relocatable: fragmented extents that are either TTL-free or far
         // from expiry (relocating near-expiry data would be wasted I/O).
         let near = |e: &ExtentInfo| {
-            e.ttl_deadline.is_some_and(|d| {
-                d > now && d.duration_since(now) <= self.bypass_window_nanos
-            })
+            e.ttl_deadline
+                .is_some_and(|d| d > now && d.duration_since(now) <= self.bypass_window_nanos)
         };
         let mut movable: Vec<&ExtentInfo> = reclaimable(candidates)
             .into_iter()
@@ -397,9 +398,7 @@ mod tests {
         ];
         let plan = WorkloadAwarePolicy::default().plan(&candidates, SimInstant(100), 2);
         assert_eq!(plan.len(), 2);
-        assert!(plan
-            .iter()
-            .all(|a| matches!(a, PlanAction::Expire(_))));
+        assert!(plan.iter().all(|a| matches!(a, PlanAction::Expire(_))));
     }
 
     #[test]

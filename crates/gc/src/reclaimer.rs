@@ -1,7 +1,9 @@
 //! The reclamation engine: executes a policy's plan against the store.
 
 use crate::policy::{PlanAction, ReclaimPolicy};
-use bg3_storage::{AppendOnlyStore, PageAddr, StorageResult, StreamId};
+use bg3_storage::{
+    AppendOnlyStore, CrashPoint, CrashSwitch, PageAddr, RetryPolicy, StorageResult, StreamId,
+};
 use serde::{Deserialize, Serialize};
 
 /// Receives address fix-ups when the reclaimer moves records. In a full
@@ -58,6 +60,8 @@ pub struct SpaceReclaimer<P, R> {
     policy: P,
     router: R,
     streams: Vec<StreamId>,
+    retry: RetryPolicy,
+    crash: CrashSwitch,
 }
 
 impl<P: ReclaimPolicy, R: RelocationRouter> SpaceReclaimer<P, R> {
@@ -69,12 +73,27 @@ impl<P: ReclaimPolicy, R: RelocationRouter> SpaceReclaimer<P, R> {
             policy,
             router,
             streams: vec![StreamId::BASE, StreamId::DELTA],
+            retry: RetryPolicy::default(),
+            crash: CrashSwitch::new(),
         }
     }
 
     /// Restricts the reclaimer to specific streams.
     pub fn with_streams(mut self, streams: Vec<StreamId>) -> Self {
         self.streams = streams;
+        self
+    }
+
+    /// Overrides the relocation retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Installs a shared crash switch (chaos harness):
+    /// [`CrashPoint::MidGcCycle`] fires between plan actions.
+    pub fn with_crash_switch(mut self, switch: CrashSwitch) -> Self {
+        self.crash = switch;
         self
     }
 
@@ -94,11 +113,15 @@ impl<P: ReclaimPolicy, R: RelocationRouter> SpaceReclaimer<P, R> {
             for action in plan {
                 match action {
                     PlanAction::Relocate(extent) => {
-                        let moved =
-                            self.store
-                                .relocate_extent(stream, extent, |tag, old, new| {
-                                    self.router.repair(tag, old, new)
-                                })?;
+                        // Transient injected failures mid-relocation are
+                        // retried whole: a repeated pass re-moves every
+                        // still-valid record (duplicates from the aborted
+                        // pass are a bounded space leak, never corruption).
+                        let moved = self.retry.run(self.store.clock(), || {
+                            self.store.relocate_extent(stream, extent, |tag, old, new| {
+                                self.router.repair(tag, old, new)
+                            })
+                        })?;
                         report.relocated_extents += 1;
                         report.moved_bytes += moved;
                     }
@@ -107,6 +130,9 @@ impl<P: ReclaimPolicy, R: RelocationRouter> SpaceReclaimer<P, R> {
                         report.expired_extents += 1;
                     }
                 }
+                // Chaos hook: die between reclamation actions, leaving the
+                // cycle half done.
+                self.crash.fire(CrashPoint::MidGcCycle)?;
             }
         }
         Ok(report)
@@ -222,9 +248,12 @@ mod tests {
         }
         store.clock().advance_nanos(10_000);
         // Force-seal the open tail so it is a candidate.
-        store.append(StreamId::DELTA, &[0xEE; 64], 99, None).unwrap();
-        let reclaimer = SpaceReclaimer::new(store.clone(), WorkloadAwarePolicy::default(), NullRouter)
-            .with_streams(vec![StreamId::DELTA]);
+        store
+            .append(StreamId::DELTA, &[0xEE; 64], 99, None)
+            .unwrap();
+        let reclaimer =
+            SpaceReclaimer::new(store.clone(), WorkloadAwarePolicy::default(), NullRouter)
+                .with_streams(vec![StreamId::DELTA]);
         let report = reclaimer.run_cycle(10).unwrap();
         assert!(report.expired_extents > 0, "TTL extents expired");
         assert_eq!(report.moved_bytes, 0, "no bytes moved for TTL data");
@@ -252,6 +281,50 @@ mod tests {
             .with_streams(vec![StreamId::DELTA]);
         let report = reclaimer.reclaim_to_utilization(0.99, 4).unwrap();
         assert_eq!(report, CycleReport::default());
+    }
+
+    #[test]
+    fn relocation_retries_through_transient_append_faults() {
+        use bg3_storage::{FaultKind, FaultOp, FaultPlan, FaultRule};
+        // The relocation's first re-append fails; the whole-extent retry
+        // succeeds on the second pass.
+        let plan = FaultPlan::seeded(11).with_rule(
+            FaultRule::new(FaultOp::Append, FaultKind::AppendFail, 1.0)
+                .after(20)
+                .at_most(1),
+        );
+        let store = AppendOnlyStore::new(
+            StoreConfig::counting()
+                .with_extent_capacity(64)
+                .with_faults(plan),
+        );
+        let live = seed(&store, 20, 2);
+        let reclaimer = SpaceReclaimer::new(store.clone(), DirtyRatioPolicy, NullRouter)
+            .with_streams(vec![StreamId::DELTA]);
+        let report = reclaimer.run_cycle(10).unwrap();
+        assert!(report.relocated_extents > 0);
+        assert_eq!(store.fault_injector().total_fired(), 1, "the fault fired");
+        // Every live record still reads back somewhere (NullRouter: sealed
+        // extents keep old addresses only until their extent is reclaimed,
+        // so just check the store stayed consistent).
+        assert!(store.total_valid_bytes() >= live.len() as u64 * 16);
+    }
+
+    #[test]
+    fn mid_gc_crash_stops_the_cycle_and_next_cycle_finishes() {
+        use bg3_storage::{CrashPoint, CrashSwitch};
+        let store = small_store();
+        seed(&store, 40, 2);
+        let switch = CrashSwitch::new();
+        let reclaimer = SpaceReclaimer::new(store.clone(), DirtyRatioPolicy, NullRouter)
+            .with_streams(vec![StreamId::DELTA])
+            .with_crash_switch(switch.clone());
+        switch.arm(CrashPoint::MidGcCycle);
+        let err = reclaimer.run_cycle(10).unwrap_err();
+        assert!(err.is_crash(), "cycle died after its first action");
+        // Firing disarmed the switch: the next cycle reclaims the rest.
+        let report = reclaimer.run_cycle(10).unwrap();
+        assert!(report.relocated_extents + report.expired_extents > 0);
     }
 
     #[test]

@@ -147,8 +147,7 @@ pub fn pagerank(
     }
 
     let n = vertices.len() as f64;
-    let mut rank: HashMap<VertexId, f64> =
-        vertices.iter().map(|&v| (v, 1.0 / n)).collect();
+    let mut rank: HashMap<VertexId, f64> = vertices.iter().map(|&v| (v, 1.0 / n)).collect();
     for _ in 0..iterations {
         let mut next: HashMap<VertexId, f64> =
             vertices.iter().map(|&v| (v, (1.0 - damping) / n)).collect();
@@ -222,7 +221,10 @@ mod tests {
     fn no_triangles_in_a_tree() {
         let g = graph(&[(1, 2), (1, 3), (2, 4), (2, 5)]);
         let seeds: Vec<VertexId> = (1..=5).map(VertexId).collect();
-        assert_eq!(triangle_count(&g, EdgeType::FOLLOW, &seeds, 100).unwrap(), 0);
+        assert_eq!(
+            triangle_count(&g, EdgeType::FOLLOW, &seeds, 100).unwrap(),
+            0
+        );
     }
 
     #[test]
@@ -246,14 +248,8 @@ mod tests {
     #[test]
     fn wcc_representative_is_smallest_member() {
         let g = graph(&[(5, 3), (3, 7)]);
-        let comp = weakly_connected_components(
-            &g,
-            &[EdgeType::FOLLOW],
-            &[VertexId(5)],
-            100,
-            1000,
-        )
-        .unwrap();
+        let comp = weakly_connected_components(&g, &[EdgeType::FOLLOW], &[VertexId(5)], 100, 1000)
+            .unwrap();
         assert_eq!(comp[&VertexId(5)], VertexId(3));
         assert_eq!(comp[&VertexId(7)], VertexId(3));
     }
@@ -301,17 +297,10 @@ mod tests {
         // A long chain: max_vertices truncates exploration.
         let edges: Vec<(u64, u64)> = (0..100).map(|i| (i, i + 1)).collect();
         let g = graph(&edges);
-        let comp = weakly_connected_components(
-            &g,
-            &[EdgeType::FOLLOW],
-            &[VertexId(0)],
-            100,
-            10,
-        )
-        .unwrap();
+        let comp =
+            weakly_connected_components(&g, &[EdgeType::FOLLOW], &[VertexId(0)], 100, 10).unwrap();
         assert!(comp.len() <= 11, "bounded exploration: {}", comp.len());
-        let ranks =
-            pagerank(&g, EdgeType::FOLLOW, &[VertexId(0)], 100, 10, 5, 0.85).unwrap();
+        let ranks = pagerank(&g, EdgeType::FOLLOW, &[VertexId(0)], 100, 10, 5, 0.85).unwrap();
         assert!(ranks.len() <= 10);
     }
 }

@@ -89,15 +89,18 @@ mod tests {
         let e = Edge::new(VertexId(1), EdgeType::LIKE, VertexId(2)).with_props(b"t=9".to_vec());
         g.insert_edge(&e).unwrap();
         assert_eq!(
-            g.get_edge(VertexId(1), EdgeType::LIKE, VertexId(2)).unwrap(),
+            g.get_edge(VertexId(1), EdgeType::LIKE, VertexId(2))
+                .unwrap(),
             Some(b"t=9".to_vec())
         );
         assert_eq!(
-            g.get_edge(VertexId(1), EdgeType::FOLLOW, VertexId(2)).unwrap(),
+            g.get_edge(VertexId(1), EdgeType::FOLLOW, VertexId(2))
+                .unwrap(),
             None,
             "types are distinct"
         );
-        g.delete_edge(VertexId(1), EdgeType::LIKE, VertexId(2)).unwrap();
+        g.delete_edge(VertexId(1), EdgeType::LIKE, VertexId(2))
+            .unwrap();
         assert_eq!(g.edge_count(), 0);
     }
 
@@ -120,7 +123,10 @@ mod tests {
             .map(|(v, _)| v.0)
             .collect();
         assert_eq!(n, vec![1, 3, 5, 9]);
-        assert_eq!(g.neighbors(VertexId(7), EdgeType::FOLLOW, 2).unwrap().len(), 2);
+        assert_eq!(
+            g.neighbors(VertexId(7), EdgeType::FOLLOW, 2).unwrap().len(),
+            2
+        );
     }
 
     #[test]
@@ -131,7 +137,10 @@ mod tests {
             props: b"name=alice".to_vec(),
         })
         .unwrap();
-        assert_eq!(g.get_vertex(VertexId(3)).unwrap(), Some(b"name=alice".to_vec()));
+        assert_eq!(
+            g.get_vertex(VertexId(3)).unwrap(),
+            Some(b"name=alice".to_vec())
+        );
         assert_eq!(g.get_vertex(VertexId(4)).unwrap(), None);
         assert_eq!(g.vertex_count(), 1);
     }

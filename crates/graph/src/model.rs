@@ -200,6 +200,9 @@ mod tests {
         let e = Edge::new(VertexId(1), EdgeType::LIKE, VertexId(2))
             .with_props(PropertyValue::Int(123).encode());
         assert_eq!(e.src, VertexId(1));
-        assert_eq!(PropertyValue::decode(&e.props), Some(PropertyValue::Int(123)));
+        assert_eq!(
+            PropertyValue::decode(&e.props),
+            Some(PropertyValue::Int(123))
+        );
     }
 }

@@ -240,7 +240,10 @@ mod tests {
         assert!(!m
             .has_cycle(&g, CycleQuery { length: 4, ..q }, VertexId(1))
             .unwrap());
-        assert!(!m.has_cycle(&g, q, VertexId(4)).unwrap(), "4 is not on a loop");
+        assert!(
+            !m.has_cycle(&g, q, VertexId(4)).unwrap(),
+            "4 is not on a loop"
+        );
     }
 
     #[test]

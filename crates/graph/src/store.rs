@@ -18,8 +18,12 @@ pub trait GraphStore: Send + Sync {
     fn insert_edge(&self, edge: &Edge) -> StorageResult<()>;
 
     /// Fetches one edge's properties, if the edge exists.
-    fn get_edge(&self, src: VertexId, etype: EdgeType, dst: VertexId)
-        -> StorageResult<Option<Vec<u8>>>;
+    fn get_edge(
+        &self,
+        src: VertexId,
+        etype: EdgeType,
+        dst: VertexId,
+    ) -> StorageResult<Option<Vec<u8>>>;
 
     /// Removes one edge (no-op if absent).
     fn delete_edge(&self, src: VertexId, etype: EdgeType, dst: VertexId) -> StorageResult<()>;

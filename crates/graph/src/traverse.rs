@@ -98,8 +98,13 @@ mod tests {
         let g = layered();
         let n = one_hop(&g, VertexId(1), EdgeType::FOLLOW, usize::MAX).unwrap();
         assert_eq!(n, vec![VertexId(2), VertexId(3)]);
-        assert_eq!(one_hop(&g, VertexId(1), EdgeType::FOLLOW, 1).unwrap().len(), 1);
-        assert!(one_hop(&g, VertexId(9), EdgeType::FOLLOW, 10).unwrap().is_empty());
+        assert_eq!(
+            one_hop(&g, VertexId(1), EdgeType::FOLLOW, 1).unwrap().len(),
+            1
+        );
+        assert!(one_hop(&g, VertexId(9), EdgeType::FOLLOW, 10)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -112,7 +117,10 @@ mod tests {
         };
         let reached = k_hop_neighbors(&g, VertexId(1), EdgeType::FOLLOW, spec).unwrap();
         // Hop 1: {2,3}; hop 2: {4,5} (4 reached once despite two paths).
-        assert_eq!(reached, vec![VertexId(2), VertexId(3), VertexId(4), VertexId(5)]);
+        assert_eq!(
+            reached,
+            vec![VertexId(2), VertexId(3), VertexId(4), VertexId(5)]
+        );
     }
 
     #[test]
@@ -127,7 +135,13 @@ mod tests {
         // Hop 3 adds 6 (via 4); the 5→1 back edge must not re-add vertex 1.
         assert_eq!(
             reached,
-            vec![VertexId(2), VertexId(3), VertexId(4), VertexId(5), VertexId(6)]
+            vec![
+                VertexId(2),
+                VertexId(3),
+                VertexId(4),
+                VertexId(5),
+                VertexId(6)
+            ]
         );
     }
 

@@ -38,7 +38,8 @@ impl BloomFilter {
         let h1 = fnv1a(key, 0);
         let h2 = fnv1a(key, 0x9e37_79b9_7f4a_7c15) | 1;
         let num_bits = self.num_bits as u64;
-        (0..self.num_hashes as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % num_bits) as usize)
+        (0..self.num_hashes as u64)
+            .map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % num_bits) as usize)
     }
 
     /// Records `key` in the filter.

@@ -236,9 +236,7 @@ impl LsmKv {
             }
         }
         // Drop tombstones if nothing lives below the output level.
-        let is_bottom = inner.levels[level + 2..]
-            .iter()
-            .all(|l| l.is_empty());
+        let is_bottom = inner.levels[level + 2..].iter().all(|l| l.is_empty());
         let run: Vec<(Vec<u8>, Option<Vec<u8>>)> = merged
             .into_iter()
             .filter(|(_, v)| !(is_bottom && v.is_none()))
@@ -254,20 +252,19 @@ impl LsmKv {
         let mut next = disjoint;
         let mut chunk: Vec<(Vec<u8>, Option<Vec<u8>>)> = Vec::new();
         let mut chunk_size = 0usize;
-        let mut flush_chunk = |chunk: &mut Vec<(Vec<u8>, Option<Vec<u8>>)>,
-                               bytes: &mut u64|
-         -> StorageResult<()> {
-            if chunk.is_empty() {
-                return Ok(());
-            }
-            let id = self.next_table.fetch_add(1, Ordering::Relaxed);
-            if let Some(table) = SsTable::build(id, &self.store, chunk)? {
-                *bytes += table.data_bytes() as u64;
-                next.push(table);
-            }
-            chunk.clear();
-            Ok(())
-        };
+        let mut flush_chunk =
+            |chunk: &mut Vec<(Vec<u8>, Option<Vec<u8>>)>, bytes: &mut u64| -> StorageResult<()> {
+                if chunk.is_empty() {
+                    return Ok(());
+                }
+                let id = self.next_table.fetch_add(1, Ordering::Relaxed);
+                if let Some(table) = SsTable::build(id, &self.store, chunk)? {
+                    *bytes += table.data_bytes() as u64;
+                    next.push(table);
+                }
+                chunk.clear();
+                Ok(())
+            };
         for (k, v) in run {
             chunk_size += k.len() + v.as_ref().map_or(0, |v| v.len()) + 9;
             chunk.push((k, v));
@@ -329,9 +326,7 @@ impl LsmKv {
     ) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
         let inner = self.inner.read();
         let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
-        let in_range = |k: &[u8]| {
-            start.is_none_or(|s| k >= s) && end.is_none_or(|e| k < e)
-        };
+        let in_range = |k: &[u8]| start.is_none_or(|s| k >= s) && end.is_none_or(|e| k < e);
         // Oldest to newest: deepest level first, L0 back-to-front, memtable
         // last, so newer versions overwrite older ones.
         for tables in inner.levels.iter().rev() {
@@ -457,7 +452,11 @@ mod tests {
         }
         e.flush().unwrap();
         for i in 0..200u32 {
-            let expect = if i % 2 == 0 { None } else { Some(b"v".to_vec()) };
+            let expect = if i % 2 == 0 {
+                None
+            } else {
+                Some(b"v".to_vec())
+            };
             assert_eq!(e.get(&key(i)).unwrap(), expect, "key {i}");
         }
     }

@@ -29,9 +29,7 @@ impl Memtable {
     fn insert(&mut self, key: Vec<u8>, value: Option<Vec<u8>>) {
         let added = key.len() + value.as_ref().map_or(0, |v| v.len()) + 32;
         if let Some(old) = self.entries.insert(key, value) {
-            self.approx_bytes = self
-                .approx_bytes
-                .saturating_sub(old.map_or(0, |v| v.len()));
+            self.approx_bytes = self.approx_bytes.saturating_sub(old.map_or(0, |v| v.len()));
         } else {
             self.approx_bytes += added;
             return;

@@ -100,19 +100,12 @@ mod tests {
         assert!(no_source.validate().is_err());
 
         let mid_v = Query {
-            steps: vec![
-                Step::V(vec![VertexId(1)]),
-                Step::V(vec![VertexId(2)]),
-            ],
+            steps: vec![Step::V(vec![VertexId(1)]), Step::V(vec![VertexId(2)])],
         };
         assert!(mid_v.validate().is_err());
 
         let mid_terminal = Query {
-            steps: vec![
-                Step::V(vec![VertexId(1)]),
-                Step::Count,
-                Step::Limit(3),
-            ],
+            steps: vec![Step::V(vec![VertexId(1)]), Step::Count, Step::Limit(3)],
         };
         assert!(mid_terminal.validate().is_err());
     }

@@ -65,11 +65,7 @@ impl Executor {
     }
 
     /// Parses, optimizes, and runs a textual query.
-    pub fn run_text(
-        &self,
-        store: &dyn GraphStore,
-        text: &str,
-    ) -> Result<QueryResult, QueryError> {
+    pub fn run_text(&self, store: &dyn GraphStore, text: &str) -> Result<QueryResult, QueryError> {
         let query = crate::parser::parse(text)?;
         self.run(store, &query)
     }
@@ -81,19 +77,12 @@ impl Executor {
     }
 
     /// Runs an already-optimized plan.
-    pub fn run_plan(
-        &self,
-        store: &dyn GraphStore,
-        plan: &Plan,
-    ) -> Result<QueryResult, QueryError> {
+    pub fn run_plan(&self, store: &dyn GraphStore, plan: &Plan) -> Result<QueryResult, QueryError> {
         let mut traversers: Vec<Traverser> = Vec::new();
         for step in &plan.steps {
             match step {
                 PlannedStep::Source(ids) => {
-                    traversers = ids
-                        .iter()
-                        .map(|&id| Traverser { path: vec![id] })
-                        .collect();
+                    traversers = ids.iter().map(|&id| Traverser { path: vec![id] }).collect();
                 }
                 PlannedStep::Expand { etype, dir, bound } => {
                     let cap = bound.unwrap_or(usize::MAX);
@@ -229,9 +218,7 @@ mod tests {
         g.insert_edge(&Edge::new(VertexId(1), EdgeType::FOLLOW, VertexId(99)))
             .unwrap();
         let exec = Executor::default();
-        let all = exec
-            .run_text(&g, "g.V(1).out(follow).order()")
-            .unwrap();
+        let all = exec.run_text(&g, "g.V(1).out(follow).order()").unwrap();
         assert_eq!(
             all,
             QueryResult::Vertices(vec![VertexId(2), VertexId(3), VertexId(99)])
@@ -349,8 +336,7 @@ mod tests {
             default_fanout: 50,
             max_traversers: 100_000,
         });
-        let QueryResult::Count(n) = exec.run_text(&g, "g.V(1).out(like).count()").unwrap()
-        else {
+        let QueryResult::Count(n) = exec.run_text(&g, "g.V(1).out(like).count()").unwrap() else {
             panic!()
         };
         assert_eq!(n, 50, "default fanout guard applied");

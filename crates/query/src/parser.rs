@@ -102,13 +102,12 @@ impl<'a> Parser<'a> {
     fn etype_arg(&mut self) -> Result<EdgeType, ParseError> {
         self.expect(b'(')?;
         let etype = match self.peek() {
-            Some(b) if b.is_ascii_digit() => EdgeType(
-                u16::try_from(self.integer()?)
-                    .map_err(|_| ParseError {
-                        position: self.pos,
-                        message: "edge type out of range".into(),
-                    })?,
-            ),
+            Some(b) if b.is_ascii_digit() => {
+                EdgeType(u16::try_from(self.integer()?).map_err(|_| ParseError {
+                    position: self.pos,
+                    message: "edge type out of range".into(),
+                })?)
+            }
             _ => {
                 let name = self.ident()?;
                 match name.as_str() {
@@ -261,16 +260,16 @@ mod tests {
     #[test]
     fn rejects_malformed_queries() {
         for bad in [
-            "V(1)",                          // missing g.
-            "g.out(follow)",                 // no source
-            "g.V(1).count().limit(2)",       // terminal not last
-            "g.V(1).V(2)",                   // V not first
-            "g.V(1).out(unknown_type)",      // bad edge type
-            "g.V(1).limit()",                // missing arg
-            "g.V(1).limit(1,2)",             // too many args
-            "g.V(1).frobnicate()",           // unknown step
-            "g.V(1).out(follow) trailing",   // trailing junk
-            "g.V(1).out(99999)",             // etype out of u16 range
+            "V(1)",                        // missing g.
+            "g.out(follow)",               // no source
+            "g.V(1).count().limit(2)",     // terminal not last
+            "g.V(1).V(2)",                 // V not first
+            "g.V(1).out(unknown_type)",    // bad edge type
+            "g.V(1).limit()",              // missing arg
+            "g.V(1).limit(1,2)",           // too many args
+            "g.V(1).frobnicate()",         // unknown step
+            "g.V(1).out(follow) trailing", // trailing junk
+            "g.V(1).out(99999)",           // etype out of u16 range
         ] {
             assert!(parse(bad).is_err(), "{bad} should not parse");
         }
@@ -293,7 +292,10 @@ mod tests {
         );
         // repeat's inner step must be an expansion.
         assert!(parse("g.V(1).repeat(dedup(), 2)").is_err());
-        assert!(parse("g.V(1).repeat(out(follow))").is_err(), "missing count");
+        assert!(
+            parse("g.V(1).repeat(out(follow))").is_err(),
+            "missing count"
+        );
     }
 
     #[test]

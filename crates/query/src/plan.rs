@@ -122,10 +122,7 @@ pub fn optimize(query: &Query) -> Plan {
     let mut pushed: Vec<PlannedStep> = Vec::with_capacity(fused.len());
     for step in fused {
         match (&step, pushed.last_mut()) {
-            (
-                PlannedStep::Limit(n),
-                Some(PlannedStep::Expand { bound, .. }),
-            ) => {
+            (PlannedStep::Limit(n), Some(PlannedStep::Expand { bound, .. })) => {
                 *bound = Some(bound.map_or(*n, |b| b.min(*n)));
             }
             _ => pushed.push(step),

@@ -1,20 +1,64 @@
-//! Error types shared by the storage layer.
+//! Structured errors for the storage layer.
+//!
+//! Every failure carries three orthogonal pieces of context: *what went
+//! wrong* ([`ErrorKind`]), *which operation was in flight* ([`StorageOp`]),
+//! and *which address it concerned* (when one exists). Injected faults and
+//! crash-point kills flow through the same type, so retry policies and
+//! recovery code can classify failures without string matching.
 
 use crate::addr::{ExtentId, PageAddr, StreamId};
+use crate::fault::{CrashPoint, FaultKind};
 use std::fmt;
 
 /// Result alias for storage operations.
 pub type StorageResult<T> = Result<T, StorageError>;
 
-/// Errors produced by the append-only store and mapping table.
+/// The operation that was executing when the error arose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageOp {
+    /// Appending a record to a stream tail.
+    Append,
+    /// Random read of a record.
+    Read,
+    /// Invalidating a superseded record.
+    Invalidate,
+    /// Relocating an extent's valid records during space reclamation.
+    Relocate,
+    /// Expiring a TTL extent wholesale.
+    Expire,
+    /// Publishing a mapping-table version.
+    MappingPublish,
+    /// Replaying or decoding WAL records.
+    WalReplay,
+    /// Crash-recovery orchestration.
+    Recovery,
+}
+
+impl fmt::Display for StorageOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            StorageOp::Append => "append",
+            StorageOp::Read => "read",
+            StorageOp::Invalidate => "invalidate",
+            StorageOp::Relocate => "relocate",
+            StorageOp::Expire => "expire",
+            StorageOp::MappingPublish => "mapping-publish",
+            StorageOp::WalReplay => "wal-replay",
+            StorageOp::Recovery => "recovery",
+        };
+        f.write_str(name)
+    }
+}
+
+/// What went wrong.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum StorageError {
+pub enum ErrorKind {
     /// The addressed record was never written, was relocated, or its extent
     /// has been reclaimed.
-    AddrNotFound(PageAddr),
+    AddrNotFound,
     /// The record bytes at the address do not span the requested range
     /// (offset/len mismatch — indicates a stale or corrupted address).
-    AddrOutOfBounds(PageAddr),
+    AddrOutOfBounds,
     /// The stream has not been opened on this store.
     UnknownStream(StreamId),
     /// The extent is not (or no longer) present.
@@ -22,28 +66,157 @@ pub enum StorageError {
     /// A record larger than the extent capacity was appended.
     RecordTooLarge { len: usize, capacity: usize },
     /// The record was already invalidated (double free of log space).
-    AlreadyInvalid(PageAddr),
+    AlreadyInvalid,
     /// An extent that still holds valid records was asked to be freed
     /// without relocation.
     ExtentStillLive { extent: ExtentId, valid: usize },
+    /// The bytes at the address do not decode as the expected record shape.
+    CorruptRecord,
+    /// A fault injected by the chaos layer (see [`crate::fault`]).
+    Injected(FaultKind),
+    /// A crash-point kill fired by the chaos harness.
+    Crash(CrashPoint),
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::AddrNotFound => write!(f, "address not found"),
+            ErrorKind::AddrOutOfBounds => write!(f, "address out of bounds"),
+            ErrorKind::UnknownStream(s) => write!(f, "unknown stream {s}"),
+            ErrorKind::UnknownExtent(e) => write!(f, "unknown extent {e}"),
+            ErrorKind::RecordTooLarge { len, capacity } => {
+                write!(
+                    f,
+                    "record of {len} bytes exceeds extent capacity {capacity}"
+                )
+            }
+            ErrorKind::AlreadyInvalid => write!(f, "record already invalidated"),
+            ErrorKind::ExtentStillLive { extent, valid } => {
+                write!(f, "{extent} still holds {valid} valid records")
+            }
+            ErrorKind::CorruptRecord => write!(f, "record bytes failed to decode"),
+            ErrorKind::Injected(fault) => write!(f, "injected fault: {fault}"),
+            ErrorKind::Crash(point) => write!(f, "crashed at {point}"),
+        }
+    }
+}
+
+/// A storage failure with full context: kind, operation, and (when one
+/// exists) the address involved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageError {
+    /// What went wrong.
+    pub kind: ErrorKind,
+    /// The operation that was executing.
+    pub op: StorageOp,
+    /// The record address involved, when the failure concerns one.
+    pub addr: Option<PageAddr>,
+}
+
+impl StorageError {
+    /// Creates an error with no address context.
+    pub fn new(kind: ErrorKind, op: StorageOp) -> Self {
+        StorageError {
+            kind,
+            op,
+            addr: None,
+        }
+    }
+
+    /// Attaches the address the failure concerns.
+    pub fn with_addr(mut self, addr: PageAddr) -> Self {
+        self.addr = Some(addr);
+        self
+    }
+
+    /// Missing record during `op` at `addr`.
+    pub fn addr_not_found(op: StorageOp, addr: PageAddr) -> Self {
+        Self::new(ErrorKind::AddrNotFound, op).with_addr(addr)
+    }
+
+    /// Range mismatch during `op` at `addr`.
+    pub fn addr_out_of_bounds(op: StorageOp, addr: PageAddr) -> Self {
+        Self::new(ErrorKind::AddrOutOfBounds, op).with_addr(addr)
+    }
+
+    /// Unopened stream touched during `op`.
+    pub fn unknown_stream(op: StorageOp, stream: StreamId) -> Self {
+        Self::new(ErrorKind::UnknownStream(stream), op)
+    }
+
+    /// Missing extent touched during `op`.
+    pub fn unknown_extent(op: StorageOp, extent: ExtentId) -> Self {
+        Self::new(ErrorKind::UnknownExtent(extent), op)
+    }
+
+    /// Oversized append.
+    pub fn record_too_large(len: usize, capacity: usize) -> Self {
+        Self::new(
+            ErrorKind::RecordTooLarge { len, capacity },
+            StorageOp::Append,
+        )
+    }
+
+    /// Double invalidation at `addr`.
+    pub fn already_invalid(addr: PageAddr) -> Self {
+        Self::new(ErrorKind::AlreadyInvalid, StorageOp::Invalidate).with_addr(addr)
+    }
+
+    /// Premature expiry of a live extent.
+    pub fn extent_still_live(extent: ExtentId, valid: usize) -> Self {
+        Self::new(
+            ErrorKind::ExtentStillLive { extent, valid },
+            StorageOp::Expire,
+        )
+    }
+
+    /// Undecodable record bytes during `op` at `addr`.
+    pub fn corrupt_record(op: StorageOp, addr: PageAddr) -> Self {
+        Self::new(ErrorKind::CorruptRecord, op).with_addr(addr)
+    }
+
+    /// A fault injected by the chaos layer during `op`.
+    pub fn injected(op: StorageOp, fault: FaultKind) -> Self {
+        Self::new(ErrorKind::Injected(fault), op)
+    }
+
+    /// A crash-point kill at `point`.
+    pub fn crash(point: CrashPoint) -> Self {
+        Self::new(ErrorKind::Crash(point), point.op())
+    }
+
+    /// True when this error was injected by the chaos layer (fault or
+    /// crash), as opposed to arising organically.
+    pub fn is_injected(&self) -> bool {
+        matches!(self.kind, ErrorKind::Injected(_) | ErrorKind::Crash(_))
+    }
+
+    /// True when this error is a crash-point kill. Crash errors must
+    /// propagate to the harness — retrying them would defeat the kill.
+    pub fn is_crash(&self) -> bool {
+        matches!(self.kind, ErrorKind::Crash(_))
+    }
+
+    /// True when the failure is transient and retrying the same operation
+    /// can succeed: injected append/read failures and torn appends. Crashes
+    /// and organic errors (bad address, oversized record, ...) are
+    /// permanent for a given call.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self.kind,
+            ErrorKind::Injected(
+                FaultKind::AppendFail | FaultKind::AppendTorn | FaultKind::ReadFail
+            )
+        )
+    }
 }
 
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            StorageError::AddrNotFound(addr) => write!(f, "address not found: {addr}"),
-            StorageError::AddrOutOfBounds(addr) => write!(f, "address out of bounds: {addr}"),
-            StorageError::UnknownStream(s) => write!(f, "unknown stream: {s}"),
-            StorageError::UnknownExtent(e) => write!(f, "unknown extent: {e}"),
-            StorageError::RecordTooLarge { len, capacity } => {
-                write!(f, "record of {len} bytes exceeds extent capacity {capacity}")
-            }
-            StorageError::AlreadyInvalid(addr) => {
-                write!(f, "record already invalidated: {addr}")
-            }
-            StorageError::ExtentStillLive { extent, valid } => {
-                write!(f, "{extent} still holds {valid} valid records")
-            }
+        match self.addr {
+            Some(addr) => write!(f, "{} failed at {addr}: {}", self.op, self.kind),
+            None => write!(f, "{} failed: {}", self.op, self.kind),
         }
     }
 }
@@ -55,26 +228,61 @@ mod tests {
     use super::*;
     use crate::addr::RecordId;
 
-    #[test]
-    fn errors_render_human_readable() {
-        let addr = PageAddr {
+    fn addr() -> PageAddr {
+        PageAddr {
             stream: StreamId::BASE,
             extent: ExtentId(2),
             offset: 4,
             len: 8,
             record: RecordId(11),
-        };
+        }
+    }
+
+    #[test]
+    fn errors_render_kind_op_and_addr() {
         assert_eq!(
-            StorageError::AddrNotFound(addr).to_string(),
-            "address not found: base/ext#2@4+8"
+            StorageError::addr_not_found(StorageOp::Read, addr()).to_string(),
+            "read failed at base/ext#2@4+8: address not found"
         );
         assert_eq!(
-            StorageError::RecordTooLarge { len: 10, capacity: 4 }.to_string(),
-            "record of 10 bytes exceeds extent capacity 4"
+            StorageError::record_too_large(10, 4).to_string(),
+            "append failed: record of 10 bytes exceeds extent capacity 4"
         );
         assert_eq!(
-            StorageError::ExtentStillLive { extent: ExtentId(1), valid: 3 }.to_string(),
-            "ext#1 still holds 3 valid records"
+            StorageError::extent_still_live(ExtentId(1), 3).to_string(),
+            "expire failed: ext#1 still holds 3 valid records"
         );
+    }
+
+    #[test]
+    fn classification_flags() {
+        let organic = StorageError::addr_not_found(StorageOp::Read, addr());
+        assert!(!organic.is_injected());
+        assert!(!organic.is_transient());
+        assert!(!organic.is_crash());
+
+        let fault = StorageError::injected(StorageOp::Append, FaultKind::AppendFail);
+        assert!(fault.is_injected());
+        assert!(fault.is_transient());
+        assert!(!fault.is_crash());
+
+        let crash = StorageError::crash(CrashPoint::MidFlush);
+        assert!(crash.is_injected());
+        assert!(!crash.is_transient(), "crashes must not be retried");
+        assert!(crash.is_crash());
+    }
+
+    #[test]
+    fn delay_and_publish_drop_are_not_surfaced_as_transient() {
+        // Delay and PublishDrop never surface as errors at all; if one is
+        // wrapped manually it is not retryable.
+        let e = StorageError::injected(StorageOp::Read, FaultKind::Delay { nanos: 5 });
+        assert!(!e.is_transient());
+    }
+
+    #[test]
+    fn implements_std_error_end_to_end() {
+        let e: Box<dyn std::error::Error> = Box::new(StorageError::already_invalid(addr()));
+        assert!(e.to_string().contains("already invalidated"));
     }
 }

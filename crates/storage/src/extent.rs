@@ -185,7 +185,9 @@ impl Extent {
             return 0.0;
         };
         let di = last.invalid.saturating_sub(first.invalid) as f64;
-        let dt = now.duration_since(first.at).max(last.at.duration_since(first.at));
+        let dt = now
+            .duration_since(first.at)
+            .max(last.at.duration_since(first.at));
         if dt == 0 {
             // A burst of invalidations within one instant is "infinitely hot"
             // relative to the window, but only if something actually changed.
@@ -277,7 +279,10 @@ mod tests {
         let mut e = ext();
         let off = e.push(RecordId(0), b"abc", 0, SimInstant(0), None, false);
         assert!(e.invalidate(off, SimInstant(5)).is_some());
-        assert!(e.invalidate(off, SimInstant(6)).is_none(), "double invalidation");
+        assert!(
+            e.invalidate(off, SimInstant(6)).is_none(),
+            "double invalidation"
+        );
         assert!(e.invalidate(999, SimInstant(7)).is_none(), "unknown offset");
         assert_eq!(e.valid_count, 0);
         assert_eq!(e.invalid_count, 1);
@@ -342,10 +347,31 @@ mod tests {
     #[test]
     fn ttl_deadline_takes_newest_record() {
         let mut e = ext();
-        e.push(RecordId(0), b"a", 0, SimInstant(0), Some(SimInstant(100)), false);
-        e.push(RecordId(1), b"b", 0, SimInstant(1), Some(SimInstant(50)), false);
+        e.push(
+            RecordId(0),
+            b"a",
+            0,
+            SimInstant(0),
+            Some(SimInstant(100)),
+            false,
+        );
+        e.push(
+            RecordId(1),
+            b"b",
+            0,
+            SimInstant(1),
+            Some(SimInstant(50)),
+            false,
+        );
         assert_eq!(e.ttl_deadline, Some(SimInstant(100)));
-        e.push(RecordId(2), b"c", 0, SimInstant(2), Some(SimInstant(200)), false);
+        e.push(
+            RecordId(2),
+            b"c",
+            0,
+            SimInstant(2),
+            Some(SimInstant(200)),
+            false,
+        );
         assert_eq!(e.ttl_deadline, Some(SimInstant(200)));
     }
 
@@ -360,13 +386,23 @@ mod tests {
         }
         assert_eq!(e.usage_history.len(), USAGE_HISTORY_CAP);
         // Oldest retained sample is the (64 - 16 + 1)-th invalidation.
-        assert_eq!(e.usage_history[0].invalid, 64 - USAGE_HISTORY_CAP as u64 + 1);
+        assert_eq!(
+            e.usage_history[0].invalid,
+            64 - USAGE_HISTORY_CAP as u64 + 1
+        );
     }
 
     #[test]
     fn info_snapshot_is_consistent() {
         let mut e = ext();
-        let off = e.push(RecordId(0), b"abcd", 7, SimInstant(3), Some(SimInstant(99)), false);
+        let off = e.push(
+            RecordId(0),
+            b"abcd",
+            7,
+            SimInstant(3),
+            Some(SimInstant(99)),
+            false,
+        );
         e.invalidate(off, SimInstant(4));
         let info = e.info(ExtentId(5), StreamId::DELTA, SimInstant(4));
         assert_eq!(info.id, ExtentId(5));

@@ -1,0 +1,718 @@
+//! Deterministic fault injection for the shared store.
+//!
+//! BG3's durability machinery (WAL-through-shared-storage, multi-version
+//! mapping publishes, crash recovery) is only meaningful if the storage
+//! substrate can *fail*. This module makes it fail on demand, and —
+//! critically for reproducibility — *deterministically*:
+//!
+//! * a [`FaultPlan`] is a seed plus a list of [`FaultRule`]s;
+//! * whether the rule fires at the *n*-th operation of its class is a pure
+//!   function of `(seed, rule index, n)` — no wall clock, no global RNG —
+//!   so the same plan produces the same fault schedule on every run;
+//! * with an empty plan ([`FaultPlan::none`]) the injector is a single
+//!   branch per operation: counters are not even incremented, keeping every
+//!   no-fault experiment byte-identical to a build without the layer.
+//!
+//! The module also provides the two consumers of injected failures:
+//! [`RetryPolicy`] (bounded retries with simulated-clock backoff, used by
+//! the Bw-tree flush path, forest split-out, GC relocation, and WAL
+//! append), and [`CrashPoint`]/[`CrashSwitch`] (named kill points the chaos
+//! harness arms to stop an engine mid-protocol and exercise recovery).
+
+use crate::addr::StreamId;
+use crate::clock::SimClock;
+use crate::error::{StorageOp, StorageResult};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A fault the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The append fails outright; nothing reaches the store.
+    AppendFail,
+    /// The append writes its bytes (space is consumed at the tail) but the
+    /// record is left invalid and the call errors — a torn tail write.
+    AppendTorn,
+    /// The random read fails.
+    ReadFail,
+    /// The operation succeeds but charges extra simulated latency.
+    Delay {
+        /// Extra simulated nanoseconds charged to the clock.
+        nanos: u64,
+    },
+    /// The mapping-table publish is silently dropped: readers keep seeing
+    /// the previous version. Models a lost metadata-service RPC.
+    PublishDrop,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::AppendFail => write!(f, "append-fail"),
+            FaultKind::AppendTorn => write!(f, "append-torn"),
+            FaultKind::ReadFail => write!(f, "read-fail"),
+            FaultKind::Delay { nanos } => write!(f, "delay({nanos}ns)"),
+            FaultKind::PublishDrop => write!(f, "publish-drop"),
+        }
+    }
+}
+
+/// The operation class a [`FaultRule`] applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    /// Stream appends ([`FaultKind::AppendFail`], [`FaultKind::AppendTorn`],
+    /// [`FaultKind::Delay`]).
+    Append,
+    /// Random reads ([`FaultKind::ReadFail`], [`FaultKind::Delay`]).
+    Read,
+    /// Mapping-table publishes ([`FaultKind::PublishDrop`],
+    /// [`FaultKind::Delay`]).
+    MappingPublish,
+}
+
+impl FaultOp {
+    const ALL: [FaultOp; 3] = [FaultOp::Append, FaultOp::Read, FaultOp::MappingPublish];
+
+    fn index(self) -> usize {
+        match self {
+            FaultOp::Append => 0,
+            FaultOp::Read => 1,
+            FaultOp::MappingPublish => 2,
+        }
+    }
+}
+
+/// One injection rule: fire `kind` on `op` with `probability`, optionally
+/// restricted to a stream, an operation-index window, and a fire budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRule {
+    /// Operation class the rule watches.
+    pub op: FaultOp,
+    /// Restrict to one stream (`None` = all streams / not stream-scoped).
+    pub stream: Option<StreamId>,
+    /// Fault to produce when the rule fires.
+    pub kind: FaultKind,
+    /// Per-operation fire probability in `[0, 1]`.
+    pub probability: f64,
+    /// Operations with index below this never fire (lets workloads warm up).
+    pub after_op: u64,
+    /// Maximum number of times the rule fires (`u64::MAX` = unbounded).
+    pub max_fires: u64,
+}
+
+impl FaultRule {
+    /// Rule firing `kind` on every matching `op` with `probability`.
+    pub fn new(op: FaultOp, kind: FaultKind, probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "fault probability out of [0,1]"
+        );
+        FaultRule {
+            op,
+            stream: None,
+            kind,
+            probability,
+            after_op: 0,
+            max_fires: u64::MAX,
+        }
+    }
+
+    /// Restricts the rule to `stream`.
+    pub fn on_stream(mut self, stream: StreamId) -> Self {
+        self.stream = Some(stream);
+        self
+    }
+
+    /// Skips the first `n` matching operations.
+    pub fn after(mut self, n: u64) -> Self {
+        self.after_op = n;
+        self
+    }
+
+    /// Caps the number of fires.
+    pub fn at_most(mut self, fires: u64) -> Self {
+        self.max_fires = fires;
+        self
+    }
+
+    /// Pure decision: does this rule (ignoring its fire budget) fire at
+    /// operation index `op_index` under `seed` as rule number `rule_index`?
+    fn fires_at(&self, seed: u64, rule_index: usize, op_index: u64) -> bool {
+        if op_index < self.after_op {
+            return false;
+        }
+        if self.probability <= 0.0 {
+            return false;
+        }
+        if self.probability >= 1.0 {
+            return true;
+        }
+        let h = splitmix64(
+            seed ^ (rule_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ op_index.wrapping_mul(0xD1B5_4A32_D192_ED03),
+        );
+        // Map the hash to [0, 1) with 53 bits of precision.
+        let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < self.probability
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded, declarative fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed all per-operation decisions derive from.
+    pub seed: u64,
+    /// Rules evaluated in order; the first match wins.
+    pub rules: Vec<FaultRule>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: never injects anything, and costs one branch per
+    /// operation.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            rules: Vec::new(),
+        }
+    }
+
+    /// An empty plan carrying `seed`, ready for `with_rule` chaining.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a rule.
+    pub fn with_rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Convenience: fail appends with `probability`.
+    pub fn fail_appends(self, probability: f64) -> Self {
+        self.with_rule(FaultRule::new(
+            FaultOp::Append,
+            FaultKind::AppendFail,
+            probability,
+        ))
+    }
+
+    /// Convenience: tear the tail of appends with `probability`.
+    pub fn tear_appends(self, probability: f64) -> Self {
+        self.with_rule(FaultRule::new(
+            FaultOp::Append,
+            FaultKind::AppendTorn,
+            probability,
+        ))
+    }
+
+    /// Convenience: fail reads with `probability`.
+    pub fn fail_reads(self, probability: f64) -> Self {
+        self.with_rule(FaultRule::new(
+            FaultOp::Read,
+            FaultKind::ReadFail,
+            probability,
+        ))
+    }
+
+    /// Convenience: delay operations of `op` by `nanos` with `probability`.
+    pub fn delay(self, op: FaultOp, nanos: u64, probability: f64) -> Self {
+        self.with_rule(FaultRule::new(op, FaultKind::Delay { nanos }, probability))
+    }
+
+    /// Convenience: drop mapping publishes with `probability`.
+    pub fn drop_publishes(self, probability: f64) -> Self {
+        self.with_rule(FaultRule::new(
+            FaultOp::MappingPublish,
+            FaultKind::PublishDrop,
+            probability,
+        ))
+    }
+
+    /// True when the plan can never inject anything.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Pure, stateless decision: the fault (if any) for the `op_index`-th
+    /// operation of class `op` on `stream`. Ignores fire budgets (which are
+    /// runtime state); [`FaultInjector`] applies those on top. Exposed so
+    /// tests can check the schedule is a function of the plan alone.
+    pub fn decision(
+        &self,
+        op: FaultOp,
+        stream: Option<StreamId>,
+        op_index: u64,
+    ) -> Option<FaultKind> {
+        for (rule_index, rule) in self.rules.iter().enumerate() {
+            if rule.op != op {
+                continue;
+            }
+            if let Some(rule_stream) = rule.stream {
+                if stream != Some(rule_stream) {
+                    continue;
+                }
+            }
+            if rule.fires_at(self.seed, rule_index, op_index) {
+                return Some(rule.kind);
+            }
+        }
+        None
+    }
+
+    /// The first `n` decisions for `(op, stream)` — the fault schedule.
+    pub fn schedule(
+        &self,
+        op: FaultOp,
+        stream: Option<StreamId>,
+        n: u64,
+    ) -> Vec<Option<FaultKind>> {
+        (0..n).map(|i| self.decision(op, stream, i)).collect()
+    }
+}
+
+struct InjectorInner {
+    plan: FaultPlan,
+    /// Per-class operation counters (index = FaultOp::index()).
+    op_counters: [AtomicU64; 3],
+    /// Remaining fire budget per rule.
+    budgets: Vec<AtomicU64>,
+    /// Total faults fired per class.
+    fired: [AtomicU64; 3],
+}
+
+/// Runtime fault decisions over a [`FaultPlan`]. Cheap to clone; clones
+/// share counters (they model one storage service observed from several
+/// handles).
+#[derive(Clone)]
+pub struct FaultInjector {
+    inner: Arc<InjectorInner>,
+}
+
+impl FaultInjector {
+    /// Injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let budgets = plan
+            .rules
+            .iter()
+            .map(|r| AtomicU64::new(r.max_fires))
+            .collect();
+        FaultInjector {
+            inner: Arc::new(InjectorInner {
+                plan,
+                op_counters: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+                budgets,
+                fired: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            }),
+        }
+    }
+
+    /// Injector that never fires (zero-cost: one branch per operation).
+    pub fn disabled() -> Self {
+        Self::new(FaultPlan::none())
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.inner.plan
+    }
+
+    /// True when the injector can never fire.
+    pub fn is_disabled(&self) -> bool {
+        self.inner.plan.is_empty()
+    }
+
+    /// Decides the fault (if any) for the next operation of class `op` on
+    /// `stream`. With an empty plan this is a single branch — no counter
+    /// traffic — so disabled injection cannot perturb timing or stats.
+    pub fn decide(&self, op: FaultOp, stream: Option<StreamId>) -> Option<FaultKind> {
+        if self.inner.plan.rules.is_empty() {
+            return None;
+        }
+        let op_index = self.inner.op_counters[op.index()].fetch_add(1, Ordering::Relaxed);
+        for (rule_index, rule) in self.inner.plan.rules.iter().enumerate() {
+            if rule.op != op {
+                continue;
+            }
+            if let Some(rule_stream) = rule.stream {
+                if stream != Some(rule_stream) {
+                    continue;
+                }
+            }
+            if !rule.fires_at(self.inner.plan.seed, rule_index, op_index) {
+                continue;
+            }
+            // Spend one unit of the rule's fire budget, if any remains.
+            let budget = &self.inner.budgets[rule_index];
+            let mut remaining = budget.load(Ordering::Relaxed);
+            loop {
+                if remaining == 0 {
+                    break;
+                }
+                match budget.compare_exchange_weak(
+                    remaining,
+                    remaining - 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        self.inner.fired[op.index()].fetch_add(1, Ordering::Relaxed);
+                        return Some(rule.kind);
+                    }
+                    Err(actual) => remaining = actual,
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of operations of class `op` observed so far.
+    pub fn observed(&self, op: FaultOp) -> u64 {
+        self.inner.op_counters[op.index()].load(Ordering::Relaxed)
+    }
+
+    /// Number of faults fired for class `op`.
+    pub fn fired(&self, op: FaultOp) -> u64 {
+        self.inner.fired[op.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total faults fired across all classes.
+    pub fn total_fired(&self) -> u64 {
+        FaultOp::ALL.iter().map(|&op| self.fired(op)).sum()
+    }
+}
+
+impl fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("rules", &self.inner.plan.rules.len())
+            .field("seed", &self.inner.plan.seed)
+            .field("total_fired", &self.total_fired())
+            .finish()
+    }
+}
+
+/// Bounded-retry policy with exponential simulated-clock backoff.
+///
+/// Retries only *transient* failures ([`crate::StorageError::is_transient`]):
+/// injected append/read faults. Crash-point kills and organic errors
+/// propagate immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Simulated backoff before the first retry; doubles per retry.
+    pub initial_backoff_nanos: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            initial_backoff_nanos: 100_000, // 100µs, ~one cloud-storage RTT
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Policy that never retries.
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            initial_backoff_nanos: 0,
+        }
+    }
+
+    /// Policy with `max_attempts` total attempts.
+    pub fn with_attempts(mut self, max_attempts: u32) -> Self {
+        assert!(max_attempts >= 1, "at least one attempt is required");
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Runs `operation` under this policy, charging backoff to `clock`
+    /// between attempts.
+    pub fn run<T>(
+        &self,
+        clock: &SimClock,
+        mut operation: impl FnMut() -> StorageResult<T>,
+    ) -> StorageResult<T> {
+        let mut backoff = self.initial_backoff_nanos;
+        let mut attempt = 1u32;
+        loop {
+            match operation() {
+                Ok(value) => return Ok(value),
+                Err(err) if err.is_transient() && attempt < self.max_attempts => {
+                    clock.advance_nanos(backoff);
+                    backoff = backoff.saturating_mul(2);
+                    attempt += 1;
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+}
+
+/// A named place in the write path where the chaos harness can kill the
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// Inside a checkpoint's dirty-page flush loop: some pages flushed,
+    /// nothing published.
+    MidFlush,
+    /// Inside a forest split-out: entries copied to the dedicated tree, the
+    /// split-out record not yet logged.
+    MidSplit,
+    /// Inside a GC cycle: an extent relocated, the mapping repairs not yet
+    /// republished.
+    MidGcCycle,
+    /// Inside a group commit: dirty pages flushed, the checkpoint record
+    /// and mapping publish not yet issued.
+    MidGroupCommit,
+}
+
+impl CrashPoint {
+    /// All named crash points.
+    pub const ALL: [CrashPoint; 4] = [
+        CrashPoint::MidFlush,
+        CrashPoint::MidSplit,
+        CrashPoint::MidGcCycle,
+        CrashPoint::MidGroupCommit,
+    ];
+
+    /// The storage operation a kill at this point is reported under.
+    pub fn op(self) -> StorageOp {
+        match self {
+            CrashPoint::MidFlush | CrashPoint::MidGroupCommit => StorageOp::Append,
+            CrashPoint::MidSplit => StorageOp::Append,
+            CrashPoint::MidGcCycle => StorageOp::Relocate,
+        }
+    }
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CrashPoint::MidFlush => "mid-flush",
+            CrashPoint::MidSplit => "mid-split",
+            CrashPoint::MidGcCycle => "mid-gc-cycle",
+            CrashPoint::MidGroupCommit => "mid-group-commit",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Shared switchboard of armed crash points. Engine code calls
+/// [`CrashSwitch::fire`] at each named point; the harness arms points and
+/// observes the resulting [`crate::ErrorKind::Crash`] error. Each armed
+/// point fires exactly once (firing disarms it), so recovery and the
+/// restarted engine run fault-free.
+#[derive(Clone, Default)]
+pub struct CrashSwitch {
+    armed: Arc<Mutex<HashSet<CrashPoint>>>,
+}
+
+impl CrashSwitch {
+    /// A switchboard with nothing armed.
+    pub fn new() -> Self {
+        CrashSwitch::default()
+    }
+
+    /// Arms `point`: the next [`Self::fire`] for it returns the crash error.
+    pub fn arm(&self, point: CrashPoint) {
+        self.armed.lock().insert(point);
+    }
+
+    /// Disarms `point` without firing.
+    pub fn disarm(&self, point: CrashPoint) {
+        self.armed.lock().remove(&point);
+    }
+
+    /// True when `point` is armed.
+    pub fn is_armed(&self, point: CrashPoint) -> bool {
+        self.armed.lock().contains(&point)
+    }
+
+    /// Kills the caller if `point` is armed (disarming it), else succeeds.
+    pub fn fire(&self, point: CrashPoint) -> StorageResult<()> {
+        if self.armed.lock().remove(&point) {
+            Err(crate::StorageError::crash(point))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Debug for CrashSwitch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CrashSwitch")
+            .field("armed", &self.armed.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ErrorKind;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let injector = FaultInjector::disabled();
+        for _ in 0..1000 {
+            assert_eq!(injector.decide(FaultOp::Append, Some(StreamId::BASE)), None);
+        }
+        assert_eq!(injector.observed(FaultOp::Append), 0, "no counter traffic");
+        assert_eq!(injector.total_fired(), 0);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_for_a_seed() {
+        let plan = FaultPlan::seeded(42).fail_appends(0.3).fail_reads(0.1);
+        let a = plan.schedule(FaultOp::Append, Some(StreamId::BASE), 500);
+        let b = plan.schedule(FaultOp::Append, Some(StreamId::BASE), 500);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|d| d.is_some()), "p=0.3 over 500 ops fires");
+        assert!(a.iter().any(|d| d.is_none()));
+
+        // A different seed yields a different schedule.
+        let other = FaultPlan::seeded(43).fail_appends(0.3).fail_reads(0.1);
+        assert_ne!(
+            a,
+            other.schedule(FaultOp::Append, Some(StreamId::BASE), 500)
+        );
+    }
+
+    #[test]
+    fn injector_follows_the_pure_schedule() {
+        let plan = FaultPlan::seeded(7).fail_appends(0.25);
+        let injector = FaultInjector::new(plan.clone());
+        for i in 0..300 {
+            let live = injector.decide(FaultOp::Append, Some(StreamId::DELTA));
+            assert_eq!(
+                live,
+                plan.decision(FaultOp::Append, Some(StreamId::DELTA), i)
+            );
+        }
+        assert_eq!(injector.observed(FaultOp::Append), 300);
+    }
+
+    #[test]
+    fn stream_scoping_and_windows_apply() {
+        let rule = FaultRule::new(FaultOp::Append, FaultKind::AppendFail, 1.0)
+            .on_stream(StreamId::WAL)
+            .after(10);
+        let plan = FaultPlan::seeded(1).with_rule(rule);
+        assert_eq!(
+            plan.decision(FaultOp::Append, Some(StreamId::BASE), 50),
+            None
+        );
+        assert_eq!(plan.decision(FaultOp::Append, Some(StreamId::WAL), 5), None);
+        assert_eq!(
+            plan.decision(FaultOp::Append, Some(StreamId::WAL), 10),
+            Some(FaultKind::AppendFail)
+        );
+    }
+
+    #[test]
+    fn fire_budget_caps_injections() {
+        let rule = FaultRule::new(FaultOp::Read, FaultKind::ReadFail, 1.0).at_most(3);
+        let injector = FaultInjector::new(FaultPlan::seeded(1).with_rule(rule));
+        let fired = (0..100)
+            .filter(|_| injector.decide(FaultOp::Read, None).is_some())
+            .count();
+        assert_eq!(fired, 3);
+        assert_eq!(injector.fired(FaultOp::Read), 3);
+    }
+
+    #[test]
+    fn retry_policy_retries_transient_until_success() {
+        let clock = SimClock::new();
+        let mut failures_left = 2;
+        let result = RetryPolicy::default().run(&clock, || {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err(crate::StorageError::injected(
+                    StorageOp::Append,
+                    FaultKind::AppendFail,
+                ))
+            } else {
+                Ok(99)
+            }
+        });
+        assert_eq!(result.unwrap(), 99);
+        // Two backoffs: 100µs + 200µs.
+        assert_eq!(clock.now().as_micros(), 300);
+    }
+
+    #[test]
+    fn retry_policy_gives_up_after_max_attempts() {
+        let clock = SimClock::new();
+        let mut attempts = 0;
+        let result: StorageResult<()> = RetryPolicy::default().with_attempts(3).run(&clock, || {
+            attempts += 1;
+            Err(crate::StorageError::injected(
+                StorageOp::Read,
+                FaultKind::ReadFail,
+            ))
+        });
+        assert_eq!(attempts, 3);
+        assert!(matches!(
+            result.unwrap_err().kind,
+            ErrorKind::Injected(FaultKind::ReadFail)
+        ));
+    }
+
+    #[test]
+    fn retry_policy_does_not_retry_crashes_or_organic_errors() {
+        let clock = SimClock::new();
+        let mut attempts = 0;
+        let result: StorageResult<()> = RetryPolicy::default().run(&clock, || {
+            attempts += 1;
+            Err(crate::StorageError::crash(CrashPoint::MidFlush))
+        });
+        assert_eq!(attempts, 1, "crash must propagate on first attempt");
+        assert!(result.unwrap_err().is_crash());
+        assert_eq!(clock.now().as_micros(), 0, "no backoff charged");
+    }
+
+    #[test]
+    fn crash_switch_fires_exactly_once() {
+        let switch = CrashSwitch::new();
+        assert!(switch.fire(CrashPoint::MidSplit).is_ok(), "disarmed");
+        switch.arm(CrashPoint::MidSplit);
+        assert!(switch.is_armed(CrashPoint::MidSplit));
+        let err = switch.fire(CrashPoint::MidSplit).unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::Crash(CrashPoint::MidSplit)));
+        assert!(
+            switch.fire(CrashPoint::MidSplit).is_ok(),
+            "firing disarms the point"
+        );
+    }
+
+    #[test]
+    fn crash_switch_clones_share_arming() {
+        let switch = CrashSwitch::new();
+        let peer = switch.clone();
+        switch.arm(CrashPoint::MidGcCycle);
+        assert!(peer.fire(CrashPoint::MidGcCycle).is_err());
+    }
+}

@@ -34,6 +34,7 @@ pub mod addr;
 pub mod clock;
 pub mod error;
 pub mod extent;
+pub mod fault;
 pub mod latency;
 pub mod mapping;
 pub mod stats;
@@ -42,8 +43,11 @@ pub mod stream;
 
 pub use addr::{ExtentId, PageAddr, RecordId, StreamId};
 pub use clock::{SimClock, SimInstant};
-pub use error::{StorageError, StorageResult};
+pub use error::{ErrorKind, StorageError, StorageOp, StorageResult};
 pub use extent::{ExtentInfo, ExtentState, UsageSample};
+pub use fault::{
+    CrashPoint, CrashSwitch, FaultInjector, FaultKind, FaultOp, FaultPlan, FaultRule, RetryPolicy,
+};
 pub use latency::LatencyModel;
 pub use mapping::{MappingSnapshot, SharedMappingTable};
 pub use stats::{IoStats, IoStatsSnapshot};

@@ -12,6 +12,7 @@
 //! them atomically, bumping the version number.
 
 use crate::clock::SimClock;
+use crate::fault::{FaultInjector, FaultKind, FaultOp};
 use crate::latency::LatencyModel;
 use crate::stats::IoStats;
 use crate::PageAddr;
@@ -60,11 +61,17 @@ pub struct SharedMappingTable {
     clock: SimClock,
     latency: LatencyModel,
     stats: Arc<IoStats>,
+    faults: FaultInjector,
 }
 
 impl SharedMappingTable {
-    /// Creates an empty table at version 0.
+    /// Creates an empty table at version 0, with fault injection disabled.
     pub fn new(clock: SimClock, latency: LatencyModel) -> Self {
+        Self::with_faults(clock, latency, FaultInjector::disabled())
+    }
+
+    /// Creates an empty table whose publishes draw faults from `faults`.
+    pub fn with_faults(clock: SimClock, latency: LatencyModel, faults: FaultInjector) -> Self {
         SharedMappingTable {
             inner: Arc::new(MappingInner {
                 current: RwLock::new(MappingSnapshot {
@@ -75,14 +82,20 @@ impl SharedMappingTable {
             clock,
             latency,
             stats: Arc::new(IoStats::new()),
+            faults,
         }
     }
 
-    /// Convenience constructor tied to a store's clock and latency model.
+    /// Convenience constructor tied to a store's clock, latency model, and
+    /// fault injector (so one [`crate::FaultPlan`] covers data and metadata).
     pub fn for_store(store: &crate::AppendOnlyStore) -> Self {
         // The mapping service shares the store's clock; it keeps its own
         // publish counters (the store's stats track data-plane I/O only).
-        Self::new(store.clock().clone(), LatencyModel::default())
+        Self::with_faults(
+            store.clock().clone(),
+            LatencyModel::default(),
+            store.fault_injector().clone(),
+        )
     }
 
     /// Latest published snapshot. Cheap: clones two `Arc`s.
@@ -99,7 +112,22 @@ impl SharedMappingTable {
     /// removals, charging one publish latency. Returns the new version.
     ///
     /// `None` as an address removes the page (page was merged away).
+    ///
+    /// Under an armed [`FaultKind::PublishDrop`] the batch is silently
+    /// discarded (the metadata RPC was lost): latency is still charged, the
+    /// version does not advance, and the *current* version is returned —
+    /// callers detecting a stale version can re-publish.
     pub fn publish(&self, updates: impl IntoIterator<Item = (u64, Option<PageAddr>)>) -> u64 {
+        match self.faults.decide(FaultOp::MappingPublish, None) {
+            Some(FaultKind::PublishDrop) => {
+                self.clock.advance_nanos(self.latency.mapping_cost_nanos());
+                return self.inner.current.read().version;
+            }
+            Some(FaultKind::Delay { nanos }) => {
+                self.clock.advance_nanos(nanos);
+            }
+            _ => {}
+        }
         let mut guard = self.inner.current.write();
         let mut next: HashMap<u64, PageAddr> = (*guard.entries).clone();
         for (page_id, addr) in updates {
@@ -118,8 +146,7 @@ impl SharedMappingTable {
             entries: Arc::new(next),
         };
         drop(guard);
-        self.clock
-            .advance_nanos(self.latency.mapping_cost_nanos());
+        self.clock.advance_nanos(self.latency.mapping_cost_nanos());
         self.stats.record_mapping_publish();
         version
     }
@@ -210,6 +237,27 @@ mod tests {
         let peer = t.clone();
         t.publish([(3, Some(addr(8)))]);
         assert_eq!(peer.get(3), Some(addr(8)));
+    }
+
+    #[test]
+    fn publish_drop_keeps_the_old_version_visible() {
+        use crate::fault::{FaultPlan, FaultRule};
+        let plan = FaultPlan::seeded(3).with_rule(
+            FaultRule::new(FaultOp::MappingPublish, FaultKind::PublishDrop, 1.0).at_most(1),
+        );
+        let t = SharedMappingTable::with_faults(
+            SimClock::new(),
+            LatencyModel::zero(),
+            FaultInjector::new(plan),
+        );
+        // First publish is dropped: version stays 0, entry invisible.
+        let v = t.publish([(1, Some(addr(0)))]);
+        assert_eq!(v, 0);
+        assert_eq!(t.get(1), None);
+        // The budget is spent; a retry goes through.
+        let v = t.publish([(1, Some(addr(0)))]);
+        assert_eq!(v, 1);
+        assert_eq!(t.get(1), Some(addr(0)));
     }
 
     #[test]

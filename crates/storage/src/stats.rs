@@ -45,11 +45,13 @@ impl IoStats {
 
     pub(crate) fn record_relocation(&self, len: usize) {
         self.relocation_moves.fetch_add(1, Ordering::Relaxed);
-        self.relocation_bytes.fetch_add(len as u64, Ordering::Relaxed);
+        self.relocation_bytes
+            .fetch_add(len as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn record_wasted_relocation(&self, len: u64) {
-        self.wasted_relocation_bytes.fetch_add(len, Ordering::Relaxed);
+        self.wasted_relocation_bytes
+            .fetch_add(len, Ordering::Relaxed);
     }
 
     pub(crate) fn record_extent_reclaimed(&self) {
@@ -119,14 +121,22 @@ impl IoStatsSnapshot {
             random_reads: self.random_reads.saturating_sub(earlier.random_reads),
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             invalidations: self.invalidations.saturating_sub(earlier.invalidations),
-            relocation_moves: self.relocation_moves.saturating_sub(earlier.relocation_moves),
-            relocation_bytes: self.relocation_bytes.saturating_sub(earlier.relocation_bytes),
+            relocation_moves: self
+                .relocation_moves
+                .saturating_sub(earlier.relocation_moves),
+            relocation_bytes: self
+                .relocation_bytes
+                .saturating_sub(earlier.relocation_bytes),
             wasted_relocation_bytes: self
                 .wasted_relocation_bytes
                 .saturating_sub(earlier.wasted_relocation_bytes),
-            extents_reclaimed: self.extents_reclaimed.saturating_sub(earlier.extents_reclaimed),
+            extents_reclaimed: self
+                .extents_reclaimed
+                .saturating_sub(earlier.extents_reclaimed),
             extents_expired: self.extents_expired.saturating_sub(earlier.extents_expired),
-            mapping_publishes: self.mapping_publishes.saturating_sub(earlier.mapping_publishes),
+            mapping_publishes: self
+                .mapping_publishes
+                .saturating_sub(earlier.mapping_publishes),
         }
     }
 
@@ -135,7 +145,11 @@ impl IoStatsSnapshot {
     pub fn write_amplification(&self) -> f64 {
         let useful = self.bytes_appended.saturating_sub(self.relocation_bytes);
         if useful == 0 {
-            return if self.bytes_appended == 0 { 1.0 } else { f64::INFINITY };
+            return if self.bytes_appended == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         self.bytes_appended as f64 / useful as f64
     }

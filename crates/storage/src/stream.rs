@@ -118,10 +118,14 @@ mod tests {
         };
         let e1 = s.extent_for_append(10, 16, SimInstant(0), &mut alloc);
         assert_eq!(e1, ExtentId(1));
-        s.extents
-            .get_mut(&e1)
-            .unwrap()
-            .push(RecordId(0), &[0u8; 10], 0, SimInstant(0), None, false);
+        s.extents.get_mut(&e1).unwrap().push(
+            RecordId(0),
+            &[0u8; 10],
+            0,
+            SimInstant(0),
+            None,
+            false,
+        );
         // 6 bytes left; a 10-byte append must roll over.
         let e2 = s.extent_for_append(10, 16, SimInstant(1), &mut alloc);
         assert_eq!(e2, ExtentId(2));
@@ -139,10 +143,14 @@ mod tests {
             ExtentId(next)
         };
         let e1 = s.extent_for_append(4, 8, SimInstant(0), &mut alloc);
-        s.extents
-            .get_mut(&e1)
-            .unwrap()
-            .push(RecordId(0), &[1, 2, 3, 4], 0, SimInstant(0), None, false);
+        s.extents.get_mut(&e1).unwrap().push(
+            RecordId(0),
+            &[1, 2, 3, 4],
+            0,
+            SimInstant(0),
+            None,
+            false,
+        );
         let e2 = s.extent_for_append(8, 8, SimInstant(1), &mut alloc);
         s.extents
             .get_mut(&e2)

@@ -1,0 +1,195 @@
+//! Property-based tests for the storage crate's measurement and fault
+//! surfaces: I/O snapshots must behave like monotone saturating counters,
+//! and fault plans must be pure functions of (seed, rules, op index).
+
+use bg3_storage::{
+    AppendOnlyStore, FaultKind, FaultOp, FaultPlan, FaultRule, IoStatsSnapshot, StoreConfig,
+    StreamId,
+};
+use proptest::prelude::*;
+
+/// An arbitrary snapshot built field-by-field (all fields are public).
+fn snapshot_strategy() -> impl Strategy<Value = IoStatsSnapshot> {
+    (proptest::collection::vec(any::<u32>(), 11), Just(())).prop_map(|(v, ())| IoStatsSnapshot {
+        appends: v[0] as u64,
+        bytes_appended: v[1] as u64,
+        random_reads: v[2] as u64,
+        bytes_read: v[3] as u64,
+        invalidations: v[4] as u64,
+        relocation_moves: v[5] as u64,
+        relocation_bytes: v[6] as u64,
+        wasted_relocation_bytes: v[7] as u64,
+        extents_reclaimed: v[8] as u64,
+        extents_expired: v[9] as u64,
+        mapping_publishes: v[10] as u64,
+    })
+}
+
+/// Fieldwise `a <= b`.
+fn le(a: &IoStatsSnapshot, b: &IoStatsSnapshot) -> bool {
+    a.appends <= b.appends
+        && a.bytes_appended <= b.bytes_appended
+        && a.random_reads <= b.random_reads
+        && a.bytes_read <= b.bytes_read
+        && a.invalidations <= b.invalidations
+        && a.relocation_moves <= b.relocation_moves
+        && a.relocation_bytes <= b.relocation_bytes
+        && a.wasted_relocation_bytes <= b.wasted_relocation_bytes
+        && a.extents_reclaimed <= b.extents_reclaimed
+        && a.extents_expired <= b.extents_expired
+        && a.mapping_publishes <= b.mapping_publishes
+}
+
+/// Fieldwise addition.
+fn add(a: &IoStatsSnapshot, b: &IoStatsSnapshot) -> IoStatsSnapshot {
+    IoStatsSnapshot {
+        appends: a.appends + b.appends,
+        bytes_appended: a.bytes_appended + b.bytes_appended,
+        random_reads: a.random_reads + b.random_reads,
+        bytes_read: a.bytes_read + b.bytes_read,
+        invalidations: a.invalidations + b.invalidations,
+        relocation_moves: a.relocation_moves + b.relocation_moves,
+        relocation_bytes: a.relocation_bytes + b.relocation_bytes,
+        wasted_relocation_bytes: a.wasted_relocation_bytes + b.wasted_relocation_bytes,
+        extents_reclaimed: a.extents_reclaimed + b.extents_reclaimed,
+        extents_expired: a.extents_expired + b.extents_expired,
+        mapping_publishes: a.mapping_publishes + b.mapping_publishes,
+    }
+}
+
+/// A storage op for the monotonicity drive.
+#[derive(Debug, Clone)]
+enum StoreCmd {
+    Append(Vec<u8>),
+    ReadLast,
+    InvalidateLast,
+}
+
+fn store_cmd_strategy() -> impl Strategy<Value = StoreCmd> {
+    prop_oneof![
+        3 => proptest::collection::vec(any::<u8>(), 1..64).prop_map(StoreCmd::Append),
+        2 => Just(StoreCmd::ReadLast),
+        1 => Just(StoreCmd::InvalidateLast),
+    ]
+}
+
+fn fault_op_strategy() -> impl Strategy<Value = FaultOp> {
+    prop_oneof![
+        Just(FaultOp::Append),
+        Just(FaultOp::Read),
+        Just(FaultOp::MappingPublish),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `delta_since` saturates per field: never a panic or wrap, and the
+    /// delta is exactly `saturating_sub` regardless of which snapshot is
+    /// "newer".
+    #[test]
+    fn delta_since_is_saturating(pair in (snapshot_strategy(), snapshot_strategy())) {
+        let (a, b) = pair;
+        let d = a.delta_since(&b);
+        prop_assert_eq!(d.appends, a.appends.saturating_sub(b.appends));
+        prop_assert_eq!(d.bytes_appended, a.bytes_appended.saturating_sub(b.bytes_appended));
+        prop_assert_eq!(d.random_reads, a.random_reads.saturating_sub(b.random_reads));
+        prop_assert_eq!(d.bytes_read, a.bytes_read.saturating_sub(b.bytes_read));
+        prop_assert_eq!(d.relocation_bytes, a.relocation_bytes.saturating_sub(b.relocation_bytes));
+        prop_assert_eq!(d.mapping_publishes, a.mapping_publishes.saturating_sub(b.mapping_publishes));
+        // A snapshot's delta against itself is zero everywhere.
+        prop_assert_eq!(a.delta_since(&a), IoStatsSnapshot::default());
+        // When `b <= a` fieldwise, the delta recomposes exactly.
+        if le(&b, &a) {
+            prop_assert_eq!(add(&b, &d), a);
+        }
+    }
+
+    /// Write amplification is total/useful: never NaN, never below 1.0, and
+    /// exactly 1.0 when no relocation traffic exists.
+    #[test]
+    fn write_amplification_is_well_formed(pair in (any::<u32>(), any::<u32>())) {
+        let (total, reloc) = pair;
+        let snap = IoStatsSnapshot {
+            bytes_appended: total as u64,
+            relocation_bytes: reloc as u64,
+            ..IoStatsSnapshot::default()
+        };
+        let wa = snap.write_amplification();
+        prop_assert!(!wa.is_nan());
+        prop_assert!(wa >= 1.0, "write amplification {wa} below 1.0");
+        if reloc == 0 && total > 0 {
+            prop_assert_eq!(wa, 1.0);
+        }
+        if reloc as u64 >= total as u64 && total > 0 {
+            prop_assert!(wa.is_infinite(), "all-relocation traffic has no useful bytes");
+        }
+    }
+
+    /// Live counters only ever grow, and interval deltas recompose to the
+    /// later snapshot: the contract every experiment's before/after
+    /// measurement relies on.
+    #[test]
+    fn store_snapshots_are_monotone(cmds in proptest::collection::vec(store_cmd_strategy(), 1..40)) {
+        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let mut prev = store.stats().snapshot();
+        let mut last_addr = None;
+        for cmd in &cmds {
+            match cmd {
+                StoreCmd::Append(bytes) => {
+                    last_addr = Some(store.append(StreamId::BASE, bytes, 0, None).unwrap());
+                }
+                StoreCmd::ReadLast => {
+                    if let Some(addr) = last_addr {
+                        store.read(addr).unwrap();
+                    }
+                }
+                StoreCmd::InvalidateLast => {
+                    if let Some(addr) = last_addr.take() {
+                        store.invalidate(addr).unwrap();
+                    }
+                }
+            }
+            let now = store.stats().snapshot();
+            prop_assert!(le(&prev, &now), "counters moved backwards");
+            prop_assert_eq!(add(&prev, &now.delta_since(&prev)), now);
+            prev = now;
+        }
+    }
+
+    /// A fault plan is a pure function of its seed and rules: the same plan
+    /// built twice yields the same schedule, for any op/stream/window.
+    #[test]
+    fn fixed_seed_schedules_are_deterministic(
+        params in (any::<u64>(), fault_op_strategy(), 0..=1000u32, 1..200u64),
+    ) {
+        let (seed, op, prob_milli, n) = params;
+        let build = || {
+            FaultPlan::seeded(seed).with_rule(FaultRule::new(
+                op,
+                FaultKind::AppendFail,
+                prob_milli as f64 / 1000.0,
+            ))
+        };
+        let a = build().schedule(op, Some(StreamId::BASE), n);
+        let b = build().schedule(op, Some(StreamId::BASE), n);
+        prop_assert_eq!(&a, &b, "same plan, same schedule");
+        // Re-asking the same plan instance is also stable (no hidden state).
+        let plan = build();
+        prop_assert_eq!(plan.schedule(op, Some(StreamId::BASE), n), a.clone());
+        prop_assert_eq!(plan.schedule(op, Some(StreamId::BASE), n), a.clone());
+        // A different seed exists that changes *some* schedule when the
+        // probability is interior (sanity that the seed participates).
+        if prob_milli > 0 {
+            let fired = a.iter().filter(|d| d.is_some()).count();
+            if prob_milli == 1000 {
+                prop_assert_eq!(fired as u64, n, "p=1.0 fires on every op");
+            }
+        }
+        // The empty plan never schedules anything.
+        prop_assert!(FaultPlan::none()
+            .schedule(op, Some(StreamId::BASE), n)
+            .iter()
+            .all(|d| d.is_none()));
+    }
+}

@@ -68,9 +68,7 @@ impl ForwardingReplicator {
     /// Applies a write on the leader and forwards it to every replica,
     /// losing each copy independently with `packet_loss` probability.
     pub fn put(&self, key: &[u8], value: &[u8]) {
-        self.leader
-            .lock()
-            .insert(key.to_vec(), value.to_vec());
+        self.leader.lock().insert(key.to_vec(), value.to_vec());
         for replica in &self.replicas {
             let lost = self.rng.lock().gen_bool(self.config.packet_loss);
             if lost {

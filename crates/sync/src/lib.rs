@@ -30,15 +30,15 @@
 //! packet loss, RO nodes silently miss writes (Fig. 12).
 
 pub mod forwarding;
-pub mod recovery;
 pub mod latency;
+pub mod recovery;
 pub mod ro;
 pub mod rw;
 pub mod wal_listener;
 
 pub use forwarding::{ForwardingConfig, ForwardingReplicator};
-pub use recovery::recover_tree;
 pub use latency::LatencyRecorder;
+pub use recovery::recover_tree;
 pub use ro::{RoNode, RoNodeConfig, RoStatsSnapshot};
 pub use rw::{RwNode, RwNodeConfig};
 pub use wal_listener::WalListener;

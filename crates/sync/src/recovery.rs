@@ -16,9 +16,7 @@
 //! RO lazy replay correct).
 
 use bg3_bwtree::tree::FIRST_LEAF;
-use bg3_bwtree::{
-    decode_base_page, BwTree, BwTreeConfig, Entries, PageTag, TreeEventListener,
-};
+use bg3_bwtree::{decode_base_page, BwTree, BwTreeConfig, Entries, PageTag, TreeEventListener};
 use bg3_storage::{AppendOnlyStore, PageAddr, SharedMappingTable, StorageResult};
 use bg3_wal::{Lsn, WalPayload, WalRecord};
 use std::collections::{BTreeMap, HashMap};
@@ -80,11 +78,18 @@ pub fn recover_tree(
     // 3. Replay. Structural records rebuild routing unconditionally; content
     //    records above the checkpoint horizon patch page entries (replaying
     //    a covered prefix would also converge, but skipping it is cheaper).
+    //    Pages patched past the horizon come back dirty: their memory is
+    //    newer than their mapped image, so they must re-flush before the
+    //    next checkpoint advances the horizon over them.
+    let mut dirty: std::collections::HashSet<u32> = std::collections::HashSet::new();
     for record in records {
         if record.tree != tree_id as u64 {
             continue;
         }
         let page = record.page as u32;
+        if record.lsn > durable && record.payload.is_page_scoped() {
+            dirty.insert(page);
+        }
         match &record.payload {
             WalPayload::Split {
                 right_page,
@@ -94,6 +99,7 @@ pub fn recover_tree(
                 if record.lsn > durable {
                     let slot = pages.entry(page).or_default();
                     slot.0.retain(|(k, _)| k.as_slice() < separator.as_slice());
+                    dirty.insert(*right_page as u32);
                 }
             }
             WalPayload::Upsert { key, value } if record.lsn > durable => {
@@ -133,6 +139,7 @@ pub fn recover_tree(
             .into_iter()
             .map(|(page, (entries, addr))| (page, entries, addr))
             .collect(),
+        dirty.into_iter().collect(),
     ))
 }
 

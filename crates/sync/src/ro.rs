@@ -160,8 +160,7 @@ impl RoNode {
         let mut inner = self.inner.lock();
         let count = records.len();
         for record in records {
-            self.latency
-                .record(now.duration_since(record.timestamp));
+            self.latency.record(now.duration_since(record.timestamp));
             match &record.payload {
                 WalPayload::CheckpointComplete { upto } => {
                     self.handle_checkpoint(&mut inner, Lsn(*upto));
@@ -177,10 +176,22 @@ impl RoNode {
                         .entry(record.tree)
                         .or_insert_with(Self::fresh_routing)
                         .insert(separator.clone(), *right_page);
-                    self.park(&mut inner, record.tree, record.page, record.lsn, record.payload);
+                    self.park(
+                        &mut inner,
+                        record.tree,
+                        record.page,
+                        record.lsn,
+                        record.payload,
+                    );
                 }
                 _ => {
-                    self.park(&mut inner, record.tree, record.page, record.lsn, record.payload);
+                    self.park(
+                        &mut inner,
+                        record.tree,
+                        record.page,
+                        record.lsn,
+                        record.payload,
+                    );
                 }
             }
         }
@@ -249,7 +260,8 @@ impl RoNode {
                 // This page is the left half: keys >= separator moved away.
                 entries.retain(|(k, _)| k.as_slice() < separator.as_slice());
             }
-            WalPayload::CheckpointComplete { .. } => {}
+            // Not page-scoped: never parked against a page.
+            WalPayload::CheckpointComplete { .. } | WalPayload::ForestSplitOut { .. } => {}
         }
     }
 
@@ -349,8 +361,8 @@ impl RoNode {
             {
                 pages.push((sep.clone(), id));
             }
-            for (sep, &id) in routing
-                .range::<[u8], _>((Bound::Excluded(first_key.as_slice()), Bound::Unbounded))
+            for (sep, &id) in
+                routing.range::<[u8], _>((Bound::Excluded(first_key.as_slice()), Bound::Unbounded))
             {
                 if let Some(e) = end {
                     if sep.as_slice() >= e {
@@ -394,11 +406,7 @@ impl RoNode {
         if inner.cache.len() < self.config.cache_capacity_pages {
             return;
         }
-        if let Some((&victim, _)) = inner
-            .cache
-            .iter()
-            .min_by_key(|(_, p)| p.last_access)
-        {
+        if let Some((&victim, _)) = inner.cache.iter().min_by_key(|(_, p)| p.last_access) {
             inner.cache.remove(&victim);
         }
     }
@@ -602,7 +610,9 @@ mod tests {
                 .unwrap();
         }
         ro.poll().unwrap();
-        let hits = ro.scan_range(1, Some(b"key010"), Some(b"key035"), usize::MAX).unwrap();
+        let hits = ro
+            .scan_range(1, Some(b"key010"), Some(b"key035"), usize::MAX)
+            .unwrap();
         assert_eq!(hits.len(), 25);
         assert!(hits.windows(2).all(|w| w[0].0 < w[1].0));
         let limited = ro.scan_range(1, None, None, 7).unwrap();

@@ -3,7 +3,7 @@
 use crate::wal_listener::WalListener;
 use bg3_bwtree::tree::FlushMode;
 use bg3_bwtree::{BwTree, BwTreeConfig, PageTag};
-use bg3_storage::{AppendOnlyStore, SharedMappingTable, StorageResult};
+use bg3_storage::{AppendOnlyStore, CrashPoint, CrashSwitch, SharedMappingTable, StorageResult};
 use bg3_wal::{Lsn, WalPayload, WalReader, WalWriter};
 use std::sync::Arc;
 
@@ -38,12 +38,19 @@ pub struct RwNode {
     mapping: SharedMappingTable,
     store: AppendOnlyStore,
     config: RwNodeConfig,
+    /// Crash points observed by this node: `MidGroupCommit` fires between
+    /// the flush and the mapping publish inside [`RwNode::checkpoint`];
+    /// `MidFlush` is forwarded to the tree's flush loop. Disarmed (and
+    /// free) by default.
+    crash: CrashSwitch,
 }
 
 impl RwNode {
     /// Creates a leader over `store` with a fresh WAL and mapping table.
+    /// The tree's retry policy also governs WAL appends.
     pub fn new(store: AppendOnlyStore, config: RwNodeConfig) -> Self {
-        let wal = Arc::new(WalWriter::new(store.clone()));
+        let crash = CrashSwitch::new();
+        let wal = Arc::new(WalWriter::new(store.clone()).with_retry(config.tree_config.retry));
         let listener = WalListener::new(Arc::clone(&wal));
         let mut tree = BwTree::with_listener(
             config.tree_id,
@@ -52,6 +59,7 @@ impl RwNode {
             listener,
         );
         tree.set_flush_mode(FlushMode::Deferred);
+        tree.set_crash_switch(crash.clone());
         let mapping = SharedMappingTable::for_store(&store);
         RwNode {
             tree: Arc::new(tree),
@@ -59,7 +67,14 @@ impl RwNode {
             mapping,
             store,
             config,
+            crash,
         }
+    }
+
+    /// The crash switch shared by this node and its tree — arm it to kill
+    /// the node at a named crash point.
+    pub fn crash_switch(&self) -> &CrashSwitch {
+        &self.crash
     }
 
     /// The shared mapping table (hand this to RO nodes).
@@ -119,6 +134,10 @@ impl RwNode {
         // Everything logged up to here is covered once the flush lands.
         let upto = self.wal.last_lsn();
         let flushed = self.tree.flush_dirty()?;
+        // Chaos hook: die after the flush but before the publish — new page
+        // images are durable yet unreachable, and no `CheckpointComplete`
+        // was logged, so recovery replays the WAL past the previous horizon.
+        self.crash.fire(CrashPoint::MidGroupCommit)?;
         if !flushed.is_empty() {
             self.mapping.publish(flushed.iter().map(|f| {
                 (
@@ -171,16 +190,8 @@ mod tests {
         let n = node(usize::MAX); // never auto-commit
         n.put(b"k", b"v").unwrap();
         assert_eq!(n.last_lsn(), Lsn(1));
-        let wal_bytes = n
-            .store()
-            .stream_stats(StreamId::WAL)
-            .unwrap()
-            .valid_bytes;
-        let base_bytes = n
-            .store()
-            .stream_stats(StreamId::BASE)
-            .unwrap()
-            .valid_bytes;
+        let wal_bytes = n.store().stream_stats(StreamId::WAL).unwrap().valid_bytes;
+        let base_bytes = n.store().stream_stats(StreamId::BASE).unwrap().valid_bytes;
         assert!(wal_bytes > 0, "WAL written synchronously");
         assert_eq!(base_bytes, 0, "page flush deferred");
         assert_eq!(n.get(b"k").unwrap(), Some(b"v".to_vec()));
@@ -224,6 +235,47 @@ mod tests {
             "auto group commit published at least once"
         );
         assert!(n.tree().dirty_count() < 64, "dirty set drained");
+    }
+
+    #[test]
+    fn mid_group_commit_crash_flushes_but_never_publishes() {
+        let n = node(usize::MAX);
+        n.put(b"a", b"1").unwrap();
+        n.crash_switch().arm(CrashPoint::MidGroupCommit);
+        let err = n.checkpoint().unwrap_err();
+        assert!(err.is_crash());
+        // The page image landed on the base stream...
+        let base_bytes = n.store().stream_stats(StreamId::BASE).unwrap().valid_bytes;
+        assert!(base_bytes > 0, "flush happened before the crash");
+        // ...but nothing was published and no checkpoint record was logged,
+        // so recovery would replay the WAL from the start.
+        assert!(n.mapping().snapshot().is_empty(), "publish never ran");
+        let mut reader = n.open_wal_reader();
+        let records = reader.fetch_new().unwrap();
+        assert!(
+            records
+                .iter()
+                .all(|r| !matches!(r.payload, WalPayload::CheckpointComplete { .. })),
+            "no checkpoint horizon advanced"
+        );
+    }
+
+    #[test]
+    fn wal_appends_retry_through_transient_faults() {
+        use bg3_storage::{FaultKind, FaultOp, FaultPlan, FaultRule};
+        // Every WAL append fails twice before succeeding; the writer's
+        // retry policy absorbs it so puts never observe an error.
+        let plan = FaultPlan::seeded(7).with_rule(
+            FaultRule::new(FaultOp::Append, FaultKind::AppendFail, 1.0)
+                .on_stream(StreamId::WAL)
+                .at_most(2),
+        );
+        let store = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let n = RwNode::new(store.clone(), RwNodeConfig::default());
+        n.put(b"k", b"v").unwrap();
+        assert_eq!(n.last_lsn(), Lsn(1));
+        assert_eq!(store.fault_injector().total_fired(), 2);
+        assert_eq!(n.get(b"k").unwrap(), Some(b"v".to_vec()));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::sync::Arc;
 /// | `Delete`             | `Delete` on the page                           |
 /// | `Consolidate`        | `PageImage` on the page                        |
 /// | `Split`              | `Split` on the left page + `NewPage` on right  |
+/// | `ForestSplitOut`     | `ForestSplitOut` on page 0                     |
 ///
 /// A split therefore produces multiple consecutive LSNs, like LSNs 30–32 in
 /// the paper's Fig. 7 walk-through.
@@ -81,6 +82,13 @@ impl TreeEventListener for WalListener {
                         },
                     )
                 }),
+            TreeEvent::ForestSplitOut { group } => self.wal.append(
+                tree,
+                0,
+                WalPayload::ForestSplitOut {
+                    group: group.clone(),
+                },
+            ),
         };
         // The WAL stream is in-process; failure here means the simulated
         // store rejected an append, which is a programming error.

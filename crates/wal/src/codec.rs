@@ -12,6 +12,7 @@
 //!   3 NewPage           u32 image_len, image
 //!   4 Split             u64 right_page, u32 sep_len, sep
 //!   5 CheckpointComplete u64 upto
+//!   6 ForestSplitOut    u32 group_len, group
 //! ```
 //!
 //! The format is intentionally simple — it exists so the storage latency
@@ -37,7 +38,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::Truncated { needed, remaining } => {
-                write!(f, "truncated record: needed {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "truncated record: needed {needed} bytes, {remaining} remain"
+                )
             }
             CodecError::UnknownKind(k) => write!(f, "unknown WAL record kind {k}"),
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after record"),
@@ -114,6 +118,7 @@ pub fn encode_record(record: &WalRecord) -> Vec<u8> {
             put_bytes(&mut out, separator);
         }
         WalPayload::CheckpointComplete { upto } => out.extend_from_slice(&upto.to_le_bytes()),
+        WalPayload::ForestSplitOut { group } => put_bytes(&mut out, group),
     }
     out
 }
@@ -139,6 +144,7 @@ pub fn decode_record(buf: &[u8]) -> Result<WalRecord, CodecError> {
             separator: r.bytes()?,
         },
         5 => WalPayload::CheckpointComplete { upto: r.u64()? },
+        6 => WalPayload::ForestSplitOut { group: r.bytes()? },
         other => return Err(CodecError::UnknownKind(other)),
     };
     if r.pos != buf.len() {
@@ -186,6 +192,9 @@ mod tests {
                 separator: b"user:500".to_vec(),
             },
             WalPayload::CheckpointComplete { upto: 34 },
+            WalPayload::ForestSplitOut {
+                group: b"user:7".to_vec(),
+            },
         ];
         for payload in variants {
             let original = rec(payload);

@@ -2,7 +2,7 @@
 
 use crate::codec::decode_record;
 use crate::record::{Lsn, WalRecord};
-use bg3_storage::{AppendOnlyStore, PageAddr, StorageError, StorageResult};
+use bg3_storage::{AppendOnlyStore, PageAddr, StorageError, StorageOp, StorageResult};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -41,7 +41,8 @@ impl WalReader {
         let mut out = Vec::with_capacity(addrs.len());
         for addr in addrs {
             let bytes = self.store.read(addr)?;
-            let record = decode_record(&bytes).map_err(|_| StorageError::AddrOutOfBounds(addr))?;
+            let record = decode_record(&bytes)
+                .map_err(|_| StorageError::corrupt_record(StorageOp::WalReplay, addr))?;
             out.push(record);
             self.next += 1;
         }

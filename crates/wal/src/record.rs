@@ -44,14 +44,16 @@ pub enum WalPayload {
     /// contain it (Fig. 7 step (6), page Q).
     NewPage { image: Vec<u8> },
     /// The page split: keys `>= separator` moved to `right_page`.
-    Split {
-        right_page: u64,
-        separator: Vec<u8>,
-    },
+    Split { right_page: u64, separator: Vec<u8> },
     /// Shared storage now reflects every modification up to (and including)
     /// LSN `upto`: the dirty pages were flushed and the mapping table
     /// published. ROs may discard lazy-replay records with LSN `<= upto`.
     CheckpointComplete { upto: u64 },
+    /// The forest committed a split-out: the enclosing record's `tree` is
+    /// now the dedicated tree for `group`. Logged *after* the copy and the
+    /// INIT-tree deletes, so a crash mid-split-out leaves the INIT tree
+    /// authoritative and the half-built tree an ignorable orphan.
+    ForestSplitOut { group: Vec<u8> },
 }
 
 impl WalPayload {
@@ -64,13 +66,17 @@ impl WalPayload {
             WalPayload::NewPage { .. } => 3,
             WalPayload::Split { .. } => 4,
             WalPayload::CheckpointComplete { .. } => 5,
+            WalPayload::ForestSplitOut { .. } => 6,
         }
     }
 
     /// Whether the payload mutates a specific page (and therefore belongs in
     /// an RO node's page-indexed log area).
     pub fn is_page_scoped(&self) -> bool {
-        !matches!(self, WalPayload::CheckpointComplete { .. })
+        !matches!(
+            self,
+            WalPayload::CheckpointComplete { .. } | WalPayload::ForestSplitOut { .. }
+        )
     }
 }
 
@@ -116,6 +122,7 @@ mod tests {
         }
         .is_page_scoped());
         assert!(!WalPayload::CheckpointComplete { upto: 3 }.is_page_scoped());
+        assert!(!WalPayload::ForestSplitOut { group: vec![7] }.is_page_scoped());
     }
 
     #[test]
@@ -133,6 +140,7 @@ mod tests {
                 separator: vec![3],
             },
             WalPayload::CheckpointComplete { upto: 1 },
+            WalPayload::ForestSplitOut { group: vec![4] },
         ];
         let mut tags: Vec<u8> = payloads.iter().map(|p| p.kind_tag()).collect();
         tags.sort_unstable();

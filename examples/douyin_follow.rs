@@ -45,7 +45,12 @@ fn drive(store: &dyn GraphStore, label: &str) {
                 props,
             } => {
                 store
-                    .insert_edge(&Edge { src, etype, dst, props })
+                    .insert_edge(&Edge {
+                        src,
+                        etype,
+                        dst,
+                        props,
+                    })
                     .unwrap();
                 writes += 1;
             }

@@ -41,14 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_traversers: 1_000_000,
     });
     let queries = [
-        "g.V(1).out(follow).count()",                       // my followees
-        "g.V(1).in(follow).count()",                        // my followers
-        "g.V(1).out(follow).out(follow).dedup().count()",   // friends-of-friends
-        "g.V(1).out(follow).order().limit(5)",              // first five followees
-        "g.V(1).out(follow).limit(3).values()",             // with profile props
-        "g.V(1).out(follow).out(follow).limit(3).path()",   // sample 2-hop paths
-        "g.V(1).repeat(out(follow), 3).dedup().count()",    // 3-hop reach (recommendation)
-        "g.V(1).both(follow).dedup().count()",              // mutual neighborhood
+        "g.V(1).out(follow).count()",                     // my followees
+        "g.V(1).in(follow).count()",                      // my followers
+        "g.V(1).out(follow).out(follow).dedup().count()", // friends-of-friends
+        "g.V(1).out(follow).order().limit(5)",            // first five followees
+        "g.V(1).out(follow).limit(3).values()",           // with profile props
+        "g.V(1).out(follow).out(follow).limit(3).path()", // sample 2-hop paths
+        "g.V(1).repeat(out(follow), 3).dedup().count()",  // 3-hop reach (recommendation)
+        "g.V(1).both(follow).dedup().count()",            // mutual neighborhood
     ];
     for text in queries {
         let query = parse(text)?;

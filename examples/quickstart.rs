@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // One-hop queries: who does alice follow, what did she like?
     let follows = db.neighbors(alice, EdgeType::FOLLOW, 10)?;
-    println!("alice follows {:?}", follows.iter().map(|(v, _)| v.0).collect::<Vec<_>>());
+    println!(
+        "alice follows {:?}",
+        follows.iter().map(|(v, _)| v.0).collect::<Vec<_>>()
+    );
 
     let likes = db.neighbors(alice, EdgeType::LIKE, 100)?;
     println!("alice liked {} videos:", likes.len());

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     dep.poll_all()?;
     for ro in 0..dep.ro_count() {
         let recall = dep.recall(ro, &audit_log)?;
-        println!("RO node {ro}: verified {:.1}% of the leader's transfers", recall * 100.0);
+        println!(
+            "RO node {ro}: verified {:.1}% of the leader's transfers",
+            recall * 100.0
+        );
         assert_eq!(recall, 1.0, "BG3's WAL sync is lossless");
     }
     println!(

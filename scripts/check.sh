@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Pre-merge gate: every PR must pass this locally before review.
+#
+#   scripts/check.sh          # fmt check + clippy (deny warnings) + tests
+#
+# The vendored stand-ins under vendor/ are excluded from the workspace, so
+# fmt/clippy/test all target the reproduction code only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace (tier-1)"
+cargo test --workspace --quiet
+
+echo "==> all checks passed"

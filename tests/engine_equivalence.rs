@@ -32,19 +32,27 @@ fn apply_and_compare(oracle: &MemGraph, engine: &dyn GraphStore, actions: &[Acti
     for action in actions {
         match action {
             Action::Insert { src, dst, props } => {
-                let edge = Edge::new(VertexId(*src), ETYPE, VertexId(*dst))
-                    .with_props(props.clone());
+                let edge =
+                    Edge::new(VertexId(*src), ETYPE, VertexId(*dst)).with_props(props.clone());
                 oracle.insert_edge(&edge).unwrap();
                 engine.insert_edge(&edge).unwrap();
             }
             Action::Delete { src, dst } => {
-                oracle.delete_edge(VertexId(*src), ETYPE, VertexId(*dst)).unwrap();
-                engine.delete_edge(VertexId(*src), ETYPE, VertexId(*dst)).unwrap();
+                oracle
+                    .delete_edge(VertexId(*src), ETYPE, VertexId(*dst))
+                    .unwrap();
+                engine
+                    .delete_edge(VertexId(*src), ETYPE, VertexId(*dst))
+                    .unwrap();
             }
             Action::Get { src, dst } => {
                 assert_eq!(
-                    oracle.get_edge(VertexId(*src), ETYPE, VertexId(*dst)).unwrap(),
-                    engine.get_edge(VertexId(*src), ETYPE, VertexId(*dst)).unwrap(),
+                    oracle
+                        .get_edge(VertexId(*src), ETYPE, VertexId(*dst))
+                        .unwrap(),
+                    engine
+                        .get_edge(VertexId(*src), ETYPE, VertexId(*dst))
+                        .unwrap(),
                     "get({src},{dst}) diverged"
                 );
             }

@@ -88,7 +88,8 @@ fn repeated_reclamation_improves_utilization_without_data_loss() {
     for src in 0..16u64 {
         for dst in 0..4u64 {
             assert_eq!(
-                db.get_edge(VertexId(src), EdgeType::LIKE, VertexId(dst)).unwrap(),
+                db.get_edge(VertexId(src), EdgeType::LIKE, VertexId(dst))
+                    .unwrap(),
                 Some(39u64.to_le_bytes().to_vec())
             );
         }

@@ -2,12 +2,8 @@
 //! engines, including the replicated deployment.
 
 use bg3_core::{Bg3Config, Bg3Db, Cluster, ReplicatedBg3, ReplicatedConfig};
-use bg3_graph::{
-    k_hop_neighbors, CycleQuery, Edge, GraphStore, HopSpec, PatternMatcher,
-};
-use bg3_workloads::{
-    DouyinFollow, DouyinRecommendation, FinancialRiskControl, Op, WorkloadGen,
-};
+use bg3_graph::{k_hop_neighbors, CycleQuery, Edge, GraphStore, HopSpec, PatternMatcher};
+use bg3_workloads::{DouyinFollow, DouyinRecommendation, FinancialRiskControl, Op, WorkloadGen};
 
 fn apply(store: &dyn GraphStore, op: &Op) {
     match op {
@@ -125,7 +121,10 @@ fn risk_control_workload_runs_on_replicated_bg3_with_full_recall() {
     for i in 0..2_000 {
         match gen.next_op() {
             Op::InsertEdge {
-                src, etype, dst, props,
+                src,
+                etype,
+                dst,
+                props,
             } => {
                 dep.insert_edge(&Edge {
                     src,

@@ -422,9 +422,7 @@ mod tests {
             1 => Just(2u8),
         ];
         let mut rng = crate::__rng_for("weights", 0);
-        let ones = (0..1000)
-            .filter(|_| strat.generate(&mut rng) == 1)
-            .count();
+        let ones = (0..1000).filter(|_| strat.generate(&mut rng) == 1).count();
         assert!(ones > 700, "expected mostly 1s, got {ones}");
     }
 

@@ -39,10 +39,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let elems: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
                 .collect();
-            format!(
-                "::serde::value::Value::Array(vec![{}])",
-                elems.join(", ")
-            )
+            format!("::serde::value::Value::Array(vec![{}])", elems.join(", "))
         }
         Shape::Unit => "::serde::value::Value::Null".to_string(),
         Shape::EnumUnit(variants) => {
@@ -113,9 +110,7 @@ fn parse_item(input: TokenStream) -> (String, Shape) {
     (name, shape)
 }
 
-fn skip_attrs_and_vis(
-    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
-) {
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
     loop {
         match iter.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
