@@ -1,0 +1,84 @@
+//! Criterion comparison of the shared store's read path under three page
+//! cache regimes: disabled, cold (budget far below the working set, so
+//! CLOCK churns), and warm (working set resident). Each mode also reports
+//! its cache-adjusted read amplification — storage reads per logical read
+//! — which is the number the `cache_scaling` experiment sweeps.
+
+use bg3_storage::{AppendOnlyStore, CacheConfig, PageAddr, StoreConfig, StreamId};
+use bg3_workloads::Zipf;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const RECORDS: u64 = 4_096;
+const RECORD_BYTES: usize = 128;
+
+fn store_with(cache: CacheConfig) -> (AppendOnlyStore, Vec<PageAddr>) {
+    let store = AppendOnlyStore::new(
+        StoreConfig::counting()
+            .with_extent_capacity(1 << 20)
+            .with_cache(cache),
+    );
+    let addrs = (0..RECORDS)
+        .map(|i| {
+            store
+                .append(StreamId::BASE, &[(i % 251) as u8; RECORD_BYTES], i, None)
+                .unwrap()
+        })
+        .collect();
+    (store, addrs)
+}
+
+fn modes() -> [(&'static str, CacheConfig); 3] {
+    [
+        ("no-cache", CacheConfig::disabled()),
+        // ~1/32 of the working set: every sweep is an eviction fight.
+        (
+            "cold-cache",
+            CacheConfig::default().with_capacity_bytes(16 * 1024),
+        ),
+        // Whole working set resident after one pass.
+        (
+            "warm-cache",
+            CacheConfig::default().with_capacity_bytes(8 << 20),
+        ),
+    ]
+}
+
+fn bench_read_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_read");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    for (label, cache) in modes() {
+        let (store, addrs) = store_with(cache);
+        let zipf = Zipf::new(RECORDS, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        // Warm pass: populates the cache to steady state (a no-op for the
+        // disabled mode, a fully-churning state for the cold one).
+        for _ in 0..RECORDS * 2 {
+            store
+                .read(addrs[zipf.sample(&mut rng) as usize % addrs.len()])
+                .unwrap();
+        }
+        let before = store.stats().snapshot();
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let addr = addrs[zipf.sample(&mut rng) as usize % addrs.len()];
+                store.read(addr).unwrap()
+            })
+        });
+        let delta = store.stats().snapshot().delta_since(&before);
+        eprintln!(
+            "store_read/{label}: read amplification {:.3} ({} storage reads, {} cache hits)",
+            delta.read_amplification(),
+            delta.random_reads,
+            delta.cache_hits
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_read_modes);
+criterion_main!(benches);

@@ -1,12 +1,17 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! reproduce [all|table1|fig8|cost|fig9|fig10|fig11|table2|fig12|fig13|fig14|chaos]
-//!           [--scale full|quick] [--json <path>]
+//! reproduce [all|table1|fig8|cost|fig9|fig10|fig11|table2|fig12|fig13|fig14
+//!            |ablation|chaos|cache_scaling]
+//!           [--scale full|quick] [--json <path>] [--threads N]
 //! ```
 //!
 //! Prints each experiment's rows in the shape of the paper's artifact and,
-//! with `--json`, writes all raw results to a JSON file.
+//! with `--json`, writes all raw results to a JSON file. Experiments whose
+//! reports embed cache-adjusted I/O counters additionally get a
+//! per-experiment `cache:` summary line. `--threads N` appends a
+//! real-OS-thread `cache_scaling` run at that thread count (wall-clock
+//! throughput over one shared engine).
 
 use bg3_bench::experiments::*;
 use serde_json::{json, Value};
@@ -23,6 +28,7 @@ struct Scale {
     fig13_sim_millis: u64,
     fig14_reads: usize,
     chaos_ops: u64,
+    cache_ops: usize,
 }
 
 const FULL: Scale = Scale {
@@ -36,6 +42,7 @@ const FULL: Scale = Scale {
     fig13_sim_millis: 1_500,
     fig14_reads: 30_000,
     chaos_ops: 6_000,
+    cache_ops: 12_000,
 };
 
 const QUICK: Scale = Scale {
@@ -49,6 +56,7 @@ const QUICK: Scale = Scale {
     fig13_sim_millis: 600,
     fig14_reads: 6_000,
     chaos_ops: 1_500,
+    cache_ops: 2_000,
 };
 
 fn main() {
@@ -56,6 +64,7 @@ fn main() {
     let mut which: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
     let mut scale = &FULL;
+    let mut threads: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -66,13 +75,31 @@ fn main() {
                     _ => &FULL,
                 }
             }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .or_else(|| panic!("--threads takes a positive integer"));
+            }
             other => which.push(other.to_string()),
         }
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
         which = [
-            "table1", "fig8", "cost", "fig9", "fig10", "fig11", "table2", "fig12", "fig13",
-            "fig14", "ablation", "chaos",
+            "table1",
+            "fig8",
+            "cost",
+            "fig9",
+            "fig10",
+            "fig11",
+            "table2",
+            "fig12",
+            "fig13",
+            "fig14",
+            "ablation",
+            "chaos",
+            "cache_scaling",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -84,8 +111,25 @@ fn main() {
         let started = Instant::now();
         let (rendered, value) = run_one(name, scale);
         println!("{rendered}");
+        if let Some(line) = cache_summary(&value) {
+            println!("[{name} cache: {line}]");
+        }
         println!("[{name} took {:.1}s]\n", started.elapsed().as_secs_f64());
         results.push((name.clone(), value));
+    }
+
+    if let Some(threads) = threads {
+        let started = Instant::now();
+        let report = cache_scaling::run_threads(threads, scale.cache_ops);
+        print!("{}", cache_scaling::render_threads(&report));
+        println!(
+            "[threaded run took {:.1}s]\n",
+            started.elapsed().as_secs_f64()
+        );
+        results.push((
+            "cache_scaling_threads".to_string(),
+            serde_json::to_value(&report).unwrap(),
+        ));
     }
 
     if let Some(path) = json_path {
@@ -177,6 +221,67 @@ fn run_one(name: &str, scale: &Scale) -> (String, Value) {
                 serde_json::to_value(&report).unwrap(),
             )
         }
+        "cache_scaling" => {
+            let report = cache_scaling::run(scale.cache_ops);
+            (
+                cache_scaling::render(&report),
+                serde_json::to_value(&report).unwrap(),
+            )
+        }
         other => (format!("unknown experiment: {other}"), json!(null)),
     }
+}
+
+/// Sums every embedded [`bg3_bench::experiments::IoSummary`] in a report
+/// (objects carrying the `cache_hits`/`cache_misses` contract) into one
+/// per-experiment cache line. `None` when the report embeds no cache
+/// accounting.
+fn cache_summary(value: &Value) -> Option<String> {
+    fn as_u64(value: Option<&Value>) -> Option<u64> {
+        match value {
+            Some(Value::Number(serde_json::Number::U64(n))) => Some(*n),
+            _ => None,
+        }
+    }
+    fn walk(value: &Value, acc: &mut [u64; 4], seen: &mut bool) {
+        match value {
+            Value::Object(map) => {
+                if let (Some(hits), Some(misses)) = (
+                    as_u64(map.get("cache_hits")),
+                    as_u64(map.get("cache_misses")),
+                ) {
+                    *seen = true;
+                    acc[0] += hits;
+                    acc[1] += misses;
+                    acc[2] += as_u64(map.get("cache_evictions")).unwrap_or(0);
+                    acc[3] += as_u64(map.get("random_reads")).unwrap_or(0);
+                }
+                for (_, v) in map.iter() {
+                    walk(v, acc, seen);
+                }
+            }
+            Value::Array(items) => {
+                for v in items {
+                    walk(v, acc, seen);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut acc = [0u64; 4];
+    let mut seen = false;
+    walk(value, &mut acc, &mut seen);
+    if !seen {
+        return None;
+    }
+    let [hits, misses, evictions, random_reads] = acc;
+    let logical = hits + random_reads;
+    let amp = if logical == 0 {
+        1.0
+    } else {
+        random_reads as f64 / logical as f64
+    };
+    Some(format!(
+        "hits {hits}  misses {misses}  evictions {evictions}  storage reads {random_reads}  read-amp {amp:.2}"
+    ))
 }

@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation.
 
 pub mod ablation;
+pub mod cache_scaling;
 pub mod chaos;
 pub mod cost;
 pub mod fig10;
@@ -12,6 +13,36 @@ pub mod fig8;
 pub mod fig9;
 pub mod table1;
 pub mod table2;
+
+/// Cache-adjusted I/O accounting attached to experiment reports. Reports
+/// that embed one (anywhere in their JSON) get a per-experiment cache line
+/// printed by the `reproduce` binary — the field names are the contract.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct IoSummary {
+    /// Random reads that actually reached storage.
+    pub random_reads: u64,
+    /// Reads served by the page cache without touching storage.
+    pub cache_hits: u64,
+    /// Reads that missed the cache (and went on to storage).
+    pub cache_misses: u64,
+    /// Pages evicted — CLOCK capacity pressure plus GC coherence.
+    pub cache_evictions: u64,
+    /// `random_reads / (cache_hits + random_reads)` — 1.0 without a cache.
+    pub read_amplification: f64,
+}
+
+impl IoSummary {
+    /// Builds a summary from an I/O snapshot (usually a `delta_since`).
+    pub fn from_delta(delta: &bg3_storage::IoStatsSnapshot) -> IoSummary {
+        IoSummary {
+            random_reads: delta.random_reads,
+            cache_hits: delta.cache_hits,
+            cache_misses: delta.cache_misses,
+            cache_evictions: delta.cache_evictions,
+            read_amplification: delta.read_amplification(),
+        }
+    }
+}
 
 /// Formats a throughput as `x.y Kq/s`.
 pub(crate) fn kqps(ops_per_sec: f64) -> String {

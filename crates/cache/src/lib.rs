@@ -1,0 +1,476 @@
+//! # bg3-cache
+//!
+//! A sharded, byte-budgeted page cache for the BG3 read path.
+//!
+//! BG3's read-optimized Bw-tree (§3.2.2) caps a *cold* lookup at two
+//! storage reads, and the RO-replica design (§3.4) assumes hot pages are
+//! served from memory rather than the shared store. This crate supplies
+//! that memory tier: a [`PageCache`] keyed by an arbitrary slot key,
+//! holding immutable [`Bytes`] values, split into independently locked
+//! shards so concurrent readers on different pages never contend.
+//!
+//! Eviction is CLOCK (second-chance): each resident entry carries a
+//! reference bit set on hit; under pressure a per-shard hand sweeps,
+//! clearing bits and reclaiming the first unreferenced entry. Admission is
+//! doorkeeper-style: while a shard has free budget every page is admitted,
+//! but once the shard is full a page must have been *seen before* (its
+//! hash is in a small ghost set) to displace a resident page. One-touch
+//! scan traffic — extent relocation sweeps, WAL rescans — therefore cannot
+//! flush the hot working set.
+//!
+//! The cache is a *cache of the store*, never an authority: owners must
+//! evict on invalidation, relocation, and expiry (see
+//! `AppendOnlyStore` in `bg3-storage` for the wiring), and every eviction
+//! path is counted so experiments can report cache-adjusted read
+//! amplification.
+
+mod shard;
+mod stats;
+
+pub use stats::CacheStatsSnapshot;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use shard::Shard;
+use stats::CacheStats;
+use std::hash::{Hash, Hasher};
+
+/// Construction parameters for [`PageCache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total byte budget across all shards. `0` disables the cache
+    /// entirely: every lookup misses, nothing is admitted, and no cache
+    /// counters move.
+    pub capacity_bytes: usize,
+    /// Number of independently locked shards. Keys are hash-partitioned;
+    /// hits on distinct shards never contend. Clamped to at least 1.
+    pub shards: usize,
+    /// Ghost-set entries per shard for the admission doorkeeper. When a
+    /// shard's ghost set reaches this bound it is reset (the classic
+    /// doorkeeper decay). `0` admits everything, even under pressure.
+    pub ghost_entries: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity_bytes: 8 * 1024 * 1024,
+            shards: 8,
+            ghost_entries: 4096,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A configuration with the cache switched off.
+    pub fn disabled() -> Self {
+        CacheConfig {
+            capacity_bytes: 0,
+            ..CacheConfig::default()
+        }
+    }
+
+    /// Builder-style setter for the total byte budget.
+    pub fn with_capacity_bytes(mut self, bytes: usize) -> Self {
+        self.capacity_bytes = bytes;
+        self
+    }
+
+    /// Builder-style setter for the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Builder-style setter for the per-shard ghost-set bound.
+    pub fn with_ghost_entries(mut self, entries: usize) -> Self {
+        self.ghost_entries = entries;
+        self
+    }
+
+    /// True when this configuration caches anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity_bytes > 0
+    }
+}
+
+/// What [`PageCache::insert`] did with the offered page.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// The page is now resident (fresh admission or overwrite).
+    pub admitted: bool,
+    /// Resident pages displaced by the CLOCK hand to make room.
+    pub evicted: u64,
+    /// Bytes those displaced pages occupied.
+    pub evicted_bytes: u64,
+}
+
+/// A sharded CLOCK-with-admission cache of immutable byte pages.
+///
+/// `K` is the caller's slot key — `bg3-storage` uses the physical
+/// `(stream, extent, offset)` triple. The cache is `Sync`; all interior
+/// mutation is behind per-shard mutexes.
+pub struct PageCache<K> {
+    shards: Vec<Mutex<Shard<K>>>,
+    config: CacheConfig,
+    shard_budget: usize,
+    stats: CacheStats,
+}
+
+impl<K: Hash + Eq + Clone> PageCache<K> {
+    /// Creates a cache with `config.shards` shards splitting
+    /// `config.capacity_bytes` evenly.
+    pub fn new(config: CacheConfig) -> Self {
+        let shard_count = config.shards.max(1);
+        let shard_budget = config.capacity_bytes / shard_count;
+        let shards = (0..shard_count)
+            .map(|_| Mutex::new(Shard::new(config.ghost_entries)))
+            .collect();
+        PageCache {
+            shards,
+            config,
+            shard_budget,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// True when the cache can hold anything.
+    pub fn is_enabled(&self) -> bool {
+        self.shard_budget > 0
+    }
+
+    /// Deterministic key hash: shard routing and the admission ghost set
+    /// must agree across handles and across runs (experiments are seeded).
+    fn hash_of(key: &K) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        h.finish()
+    }
+
+    fn shard_for(&self, hash: u64) -> &Mutex<Shard<K>> {
+        &self.shards[(hash as usize) % self.shards.len()]
+    }
+
+    /// Looks up `key`, setting its CLOCK reference bit on hit.
+    ///
+    /// A disabled cache returns `None` without touching any counter, so
+    /// zero-capacity configurations behave exactly like the pre-cache
+    /// store.
+    pub fn get(&self, key: &K) -> Option<Bytes> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let hash = Self::hash_of(key);
+        let found = self.shard_for(hash).lock().get(key);
+        match &found {
+            Some(_) => self.stats.record_hit(),
+            None => self.stats.record_miss(),
+        }
+        found
+    }
+
+    /// Offers `(key, value)` for residency.
+    ///
+    /// Oversized pages (larger than one shard's budget) and pages rejected
+    /// by the admission doorkeeper are not admitted; both show up in the
+    /// stats as admission rejects. An already-resident key is overwritten
+    /// in place (an owner re-caching after a re-append).
+    pub fn insert(&self, key: K, value: Bytes) -> InsertOutcome {
+        if !self.is_enabled() {
+            return InsertOutcome::default();
+        }
+        if value.len() > self.shard_budget {
+            self.stats.record_admission_reject();
+            return InsertOutcome::default();
+        }
+        let hash = Self::hash_of(&key);
+        let outcome = self
+            .shard_for(hash)
+            .lock()
+            .insert(key, hash, value, self.shard_budget);
+        if outcome.admitted {
+            self.stats.record_admission();
+        } else {
+            self.stats.record_admission_reject();
+        }
+        if outcome.evicted > 0 {
+            self.stats
+                .record_evictions(outcome.evicted, outcome.evicted_bytes);
+        }
+        outcome
+    }
+
+    /// Removes `key` if resident (owner-driven coherence: the slot was
+    /// invalidated or its extent reclaimed). Returns whether anything was
+    /// removed.
+    pub fn evict(&self, key: &K) -> bool {
+        if !self.is_enabled() {
+            return false;
+        }
+        let hash = Self::hash_of(key);
+        let removed = self.shard_for(hash).lock().remove(key);
+        if removed {
+            self.stats.record_invalidation_evictions(1);
+        }
+        removed
+    }
+
+    /// Removes every resident entry matching `pred` (e.g. "all slots of
+    /// extent E" when the reclaimer frees it). Returns how many were
+    /// removed.
+    pub fn evict_matching(&self, mut pred: impl FnMut(&K) -> bool) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        let mut removed = 0u64;
+        for shard in &self.shards {
+            removed += shard.lock().remove_matching(&mut pred);
+        }
+        if removed > 0 {
+            self.stats.record_invalidation_evictions(removed);
+        }
+        removed
+    }
+
+    /// Drops every resident entry and resets the admission ghosts (the
+    /// counters are preserved; they are lifetime totals).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+
+    /// Resident entry count across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resident bytes across all shards.
+    pub fn used_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().used_bytes()).sum()
+    }
+
+    /// Point-in-time copy of the lifetime counters plus residency gauges.
+    pub fn stats(&self) -> CacheStatsSnapshot {
+        let mut snap = self.stats.snapshot();
+        for shard in &self.shards {
+            let guard = shard.lock();
+            snap.resident_entries += guard.len() as u64;
+            snap.resident_bytes += guard.used_bytes() as u64;
+        }
+        snap
+    }
+}
+
+impl<K> std::fmt::Debug for PageCache<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageCache")
+            .field("capacity_bytes", &self.config.capacity_bytes)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(n: usize) -> Bytes {
+        Bytes::from(vec![0xABu8; n])
+    }
+
+    fn small_cache(capacity: usize) -> PageCache<u64> {
+        // Single shard: eviction order is deterministic and easy to reason
+        // about in tests.
+        PageCache::new(
+            CacheConfig::default()
+                .with_capacity_bytes(capacity)
+                .with_shards(1),
+        )
+    }
+
+    #[test]
+    fn hit_and_miss_round_trip() {
+        let c = small_cache(1024);
+        assert_eq!(c.get(&1), None);
+        assert!(c.insert(1, page(10)).admitted);
+        assert_eq!(c.get(&1).unwrap().len(), 10);
+        let snap = c.stats();
+        assert_eq!(snap.hits, 1);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.admissions, 1);
+        assert_eq!(snap.resident_entries, 1);
+        assert_eq!(snap.resident_bytes, 10);
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let c: PageCache<u64> = PageCache::new(CacheConfig::disabled());
+        assert!(!c.is_enabled());
+        assert!(!c.insert(1, page(10)).admitted);
+        assert_eq!(c.get(&1), None);
+        assert!(!c.evict(&1));
+        assert_eq!(c.evict_matching(|_| true), 0);
+        let snap = c.stats();
+        assert_eq!(snap.hits + snap.misses + snap.admissions, 0);
+    }
+
+    #[test]
+    fn free_space_admits_everything() {
+        let c = small_cache(100);
+        for k in 0..10u64 {
+            assert!(c.insert(k, page(10)).admitted, "free-space admit of {k}");
+        }
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.used_bytes(), 100);
+    }
+
+    #[test]
+    fn full_shard_requires_second_touch_to_admit() {
+        let c = small_cache(100);
+        for k in 0..10u64 {
+            c.insert(k, page(10));
+        }
+        // First offer of a cold key under pressure: doorkeeper says no.
+        let first = c.insert(100, page(10));
+        assert!(!first.admitted);
+        assert_eq!(first.evicted, 0, "reject displaces nothing");
+        assert_eq!(c.stats().admission_rejects, 1);
+        // Second offer: the ghost set remembers it; a resident page is
+        // displaced.
+        let second = c.insert(100, page(10));
+        assert!(second.admitted);
+        assert_eq!(second.evicted, 1);
+        assert_eq!(second.evicted_bytes, 10);
+        assert!(c.get(&100).is_some());
+        assert_eq!(c.used_bytes(), 100, "budget holds");
+    }
+
+    #[test]
+    fn clock_spares_recently_hit_pages() {
+        let c = small_cache(30);
+        c.insert(1, page(10));
+        c.insert(2, page(10));
+        c.insert(3, page(10));
+        // Touch 1 and 3: their reference bits protect them for one sweep.
+        c.get(&1);
+        c.get(&3);
+        // Admit a repeat-offender key under pressure.
+        c.insert(9, page(10));
+        c.insert(9, page(10));
+        assert!(c.get(&9).is_some());
+        // The unreferenced page (2) was the victim.
+        assert!(c.get(&2).is_none());
+        assert!(c.get(&1).is_some());
+        assert!(c.get(&3).is_some());
+    }
+
+    #[test]
+    fn overwrite_updates_in_place() {
+        let c = small_cache(100);
+        c.insert(7, page(10));
+        let o = c.insert(7, page(20));
+        assert!(o.admitted);
+        assert_eq!(o.evicted, 0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), 20);
+        assert_eq!(c.get(&7).unwrap().len(), 20);
+    }
+
+    #[test]
+    fn oversized_pages_are_rejected() {
+        let c = PageCache::new(
+            CacheConfig::default()
+                .with_capacity_bytes(100)
+                .with_shards(4),
+        );
+        // Shard budget is 25: a 30-byte page can never fit.
+        assert!(!c.insert(1u64, page(30)).admitted);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats().admission_rejects, 1);
+    }
+
+    #[test]
+    fn evict_and_evict_matching_remove_entries() {
+        let c = small_cache(1024);
+        for k in 0..8u64 {
+            c.insert(k, page(8));
+        }
+        assert!(c.evict(&3));
+        assert!(!c.evict(&3), "already gone");
+        assert_eq!(c.get(&3), None);
+        let removed = c.evict_matching(|k| k % 2 == 0);
+        assert_eq!(removed, 4);
+        assert_eq!(c.len(), 3, "odd keys 1,5,7 remain");
+        assert_eq!(c.stats().invalidation_evictions, 5);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let c = small_cache(1024);
+        c.insert(1, page(4));
+        c.get(&1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+        let snap = c.stats();
+        assert_eq!(snap.hits, 1, "lifetime counters survive clear");
+        assert_eq!(c.get(&1), None, "resident data does not");
+    }
+
+    #[test]
+    fn shard_routing_is_deterministic_and_spread() {
+        let c = PageCache::new(
+            CacheConfig::default()
+                .with_capacity_bytes(64 * 1024)
+                .with_shards(8),
+        );
+        for k in 0..256u64 {
+            c.insert(k, page(16));
+        }
+        // Every insert is retrievable (routing agrees between insert/get).
+        for k in 0..256u64 {
+            assert!(c.get(&k).is_some(), "key {k} lost in routing");
+        }
+        // And the population is not degenerate: multiple shards hold data.
+        let populated = c.shards.iter().filter(|s| s.lock().len() > 0).count();
+        assert!(populated >= 4, "only {populated} of 8 shards populated");
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let c = small_cache(1024);
+        c.insert(1, page(4));
+        c.get(&1);
+        c.get(&1);
+        c.get(&2);
+        let snap = c.stats();
+        assert!((snap.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(CacheStatsSnapshot::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn zero_ghost_entries_admits_under_pressure() {
+        let c = PageCache::new(
+            CacheConfig::default()
+                .with_capacity_bytes(20)
+                .with_shards(1)
+                .with_ghost_entries(0),
+        );
+        c.insert(1, page(10));
+        c.insert(2, page(10));
+        let o = c.insert(3, page(10));
+        assert!(o.admitted, "no doorkeeper: first touch displaces");
+        assert_eq!(o.evicted, 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! One cache shard: a CLOCK ring with a doorkeeper ghost set.
+
+use crate::InsertOutcome;
+use bytes::Bytes;
+use std::collections::{HashMap, HashSet};
+
+struct Slot<K> {
+    key: K,
+    value: Bytes,
+    /// CLOCK reference bit: set on hit, cleared by a passing hand.
+    referenced: bool,
+}
+
+/// A single shard. All methods are called under the owning mutex.
+pub(crate) struct Shard<K> {
+    /// key → index into `slots`.
+    map: HashMap<K, usize>,
+    /// The CLOCK ring. `None` entries are free (on `free`).
+    slots: Vec<Option<Slot<K>>>,
+    /// Indexes of vacant ring positions, reused before the ring grows.
+    free: Vec<usize>,
+    /// The CLOCK hand: next ring position to inspect for eviction.
+    hand: usize,
+    used_bytes: usize,
+    /// Doorkeeper: hashes of keys offered while the shard was full. A key
+    /// must reappear here to displace a resident page.
+    ghost: HashSet<u64>,
+    ghost_cap: usize,
+}
+
+impl<K: std::hash::Hash + Eq + Clone> Shard<K> {
+    pub(crate) fn new(ghost_cap: usize) -> Self {
+        Shard {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            hand: 0,
+            used_bytes: 0,
+            ghost: HashSet::new(),
+            ghost_cap,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub(crate) fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    pub(crate) fn get(&mut self, key: &K) -> Option<Bytes> {
+        let &idx = self.map.get(key)?;
+        let slot = self.slots[idx].as_mut().expect("mapped slot is occupied");
+        slot.referenced = true;
+        Some(slot.value.clone())
+    }
+
+    pub(crate) fn insert(
+        &mut self,
+        key: K,
+        hash: u64,
+        value: Bytes,
+        budget: usize,
+    ) -> InsertOutcome {
+        let mut outcome = InsertOutcome {
+            admitted: true,
+            ..InsertOutcome::default()
+        };
+        // Overwrite in place: the owner re-cached a slot it re-appended.
+        if let Some(&idx) = self.map.get(&key) {
+            let slot = self.slots[idx].as_mut().expect("mapped slot is occupied");
+            self.used_bytes = self.used_bytes - slot.value.len() + value.len();
+            slot.value = value;
+            slot.referenced = true;
+            // An overwrite can still overshoot the budget; sweep others out.
+            let (n, b) = self.evict_until_fits(0, budget, Some(idx));
+            outcome.evicted = n;
+            outcome.evicted_bytes = b;
+            return outcome;
+        }
+        if self.used_bytes + value.len() > budget {
+            // Full shard: the doorkeeper decides. A key never seen before
+            // is noted and turned away; a returning key earns residency.
+            if self.ghost_cap > 0 && !self.ghost.remove(&hash) {
+                if self.ghost.len() >= self.ghost_cap {
+                    self.ghost.clear();
+                }
+                self.ghost.insert(hash);
+                outcome.admitted = false;
+                return outcome;
+            }
+            let (n, b) = self.evict_until_fits(value.len(), budget, None);
+            outcome.evicted = n;
+            outcome.evicted_bytes = b;
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = Some(Slot {
+                    key: key.clone(),
+                    value: value.clone(),
+                    referenced: false,
+                });
+                idx
+            }
+            None => {
+                self.slots.push(Some(Slot {
+                    key: key.clone(),
+                    value: value.clone(),
+                    referenced: false,
+                }));
+                self.slots.len() - 1
+            }
+        };
+        self.used_bytes += value.len();
+        self.map.insert(key, idx);
+        outcome
+    }
+
+    /// Sweeps the CLOCK hand until `incoming` more bytes fit under
+    /// `budget`, sparing `keep` (the slot being overwritten) and any slot
+    /// whose reference bit grants a second chance.
+    fn evict_until_fits(
+        &mut self,
+        incoming: usize,
+        budget: usize,
+        keep: Option<usize>,
+    ) -> (u64, u64) {
+        let mut evicted = 0u64;
+        let mut evicted_bytes = 0u64;
+        // Two full sweeps always find a victim (the first clears every
+        // reference bit); the bound guards against an all-`keep` ring.
+        let mut remaining = self.slots.len().saturating_mul(2) + 1;
+        while self.used_bytes + incoming > budget && self.map.len() > usize::from(keep.is_some()) {
+            if remaining == 0 {
+                break;
+            }
+            remaining -= 1;
+            if self.slots.is_empty() {
+                break;
+            }
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % self.slots.len();
+            if Some(idx) == keep {
+                continue;
+            }
+            let Some(slot) = self.slots[idx].as_mut() else {
+                continue;
+            };
+            if slot.referenced {
+                slot.referenced = false;
+                continue;
+            }
+            let victim = self.slots[idx].take().expect("checked occupied");
+            self.map.remove(&victim.key);
+            self.free.push(idx);
+            self.used_bytes -= victim.value.len();
+            evicted += 1;
+            evicted_bytes += victim.value.len() as u64;
+        }
+        (evicted, evicted_bytes)
+    }
+
+    pub(crate) fn remove(&mut self, key: &K) -> bool {
+        let Some(idx) = self.map.remove(key) else {
+            return false;
+        };
+        let slot = self.slots[idx].take().expect("mapped slot is occupied");
+        self.used_bytes -= slot.value.len();
+        self.free.push(idx);
+        true
+    }
+
+    pub(crate) fn remove_matching(&mut self, pred: &mut impl FnMut(&K) -> bool) -> u64 {
+        let victims: Vec<K> = self.map.keys().filter(|k| pred(k)).cloned().collect();
+        let mut removed = 0u64;
+        for key in victims {
+            if self.remove(&key) {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.hand = 0;
+        self.used_bytes = 0;
+        self.ghost.clear();
+    }
+}

@@ -1,0 +1,91 @@
+//! Lifetime cache counters and their snapshot form.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe counters for one cache.
+#[derive(Debug, Default)]
+pub(crate) struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    admissions: AtomicU64,
+    admission_rejects: AtomicU64,
+    evictions: AtomicU64,
+    evicted_bytes: AtomicU64,
+    invalidation_evictions: AtomicU64,
+}
+
+impl CacheStats {
+    pub(crate) fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_admission(&self) {
+        self.admissions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_admission_reject(&self) {
+        self.admission_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_evictions(&self, n: u64, bytes: u64) {
+        self.evictions.fetch_add(n, Ordering::Relaxed);
+        self.evicted_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_invalidation_evictions(&self, n: u64) {
+        self.invalidation_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            admissions: self.admissions.load(Ordering::Relaxed),
+            admission_rejects: self.admission_rejects.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
+            invalidation_evictions: self.invalidation_evictions.load(Ordering::Relaxed),
+            resident_entries: 0,
+            resident_bytes: 0,
+        }
+    }
+}
+
+/// Point-in-time copy of a cache's counters plus residency gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    /// Lookups served from memory.
+    pub hits: u64,
+    /// Lookups that fell through to storage.
+    pub misses: u64,
+    /// Pages granted residency.
+    pub admissions: u64,
+    /// Pages turned away (doorkeeper or oversize).
+    pub admission_rejects: u64,
+    /// Resident pages displaced by the CLOCK hand under pressure.
+    pub evictions: u64,
+    /// Bytes those displaced pages occupied.
+    pub evicted_bytes: u64,
+    /// Entries removed for coherence (slot invalidated, extent reclaimed
+    /// or expired) rather than for space.
+    pub invalidation_evictions: u64,
+    /// Pages resident at snapshot time.
+    pub resident_entries: u64,
+    /// Bytes resident at snapshot time.
+    pub resident_bytes: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// Fraction of lookups served from memory; 0.0 when nothing was asked.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}

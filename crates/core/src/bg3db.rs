@@ -79,6 +79,13 @@ impl Default for Bg3Config {
 }
 
 impl Bg3Config {
+    /// Sets the page-cache byte budget on the underlying store; `0`
+    /// disables the cache (raw storage reads on every cold lookup).
+    pub fn with_cache_capacity(mut self, bytes: usize) -> Self {
+        self.store.cache = self.store.cache.with_capacity_bytes(bytes);
+        self
+    }
+
     /// Applies a TTL (simulated nanoseconds) to all edge data, as the
     /// Financial Risk Control workload requires.
     pub fn with_ttl_nanos(mut self, ttl: Option<u64>) -> Self {

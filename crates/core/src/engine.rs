@@ -17,7 +17,9 @@ use crate::bg3db::{Bg3Config, Bg3Db};
 use crate::bytegraph::{ByteGraphConfig, ByteGraphDb};
 use crate::neptune::NeptuneLike;
 use bg3_graph::GraphStore;
-use bg3_storage::{AppendOnlyStore, IoStatsSnapshot, StorageResult, StoreConfig};
+use bg3_storage::{
+    AppendOnlyStore, CacheStatsSnapshot, IoStatsSnapshot, StorageResult, StoreConfig,
+};
 
 /// What one bounded background-maintenance pass accomplished, in
 /// engine-neutral terms.
@@ -49,6 +51,14 @@ pub trait EngineRuntime: GraphStore {
     /// phase without per-engine stat plumbing.
     fn io_snapshot(&self) -> IoStatsSnapshot {
         self.shared_store().stats().snapshot()
+    }
+
+    /// Point-in-time copy of the backing store's page-cache counters
+    /// (hits, misses, admissions, evictions, residency). Every engine
+    /// reads through the same store-level cache, so the default is
+    /// authoritative.
+    fn cache_snapshot(&self) -> CacheStatsSnapshot {
+        self.shared_store().cache_stats()
     }
 
     /// Runs one bounded background-maintenance pass. `budget` caps the
@@ -226,6 +236,51 @@ mod tests {
             let report = engine.run_maintenance(2).unwrap();
             assert_eq!(report.reclaimed_extents, 0, "nothing to reclaim yet");
         }
+    }
+
+    /// Durable engine with the Bw-tree's own page image serving disabled:
+    /// every point read takes the cold path to the shared store, which is
+    /// where the page cache sits.
+    fn cold_reading_config(cache_bytes: usize) -> Bg3Config {
+        let mut config = Bg3Config::default()
+            .with_durability()
+            .with_cache_capacity(cache_bytes);
+        config.forest.tree_config = config.forest.tree_config.clone().with_read_cache(false);
+        config
+    }
+
+    #[test]
+    fn cache_stats_flow_through_the_unified_api() {
+        let engine = Bg3Db::open(cold_reading_config(8 * 1024 * 1024));
+        for i in 0..20u64 {
+            engine
+                .insert_edge(&Edge::new(VertexId(1), EdgeType::FOLLOW, VertexId(10 + i)))
+                .unwrap();
+        }
+        engine.checkpoint().unwrap();
+        for _ in 0..5 {
+            assert!(engine
+                .get_edge(VertexId(1), EdgeType::FOLLOW, VertexId(10))
+                .unwrap()
+                .is_some());
+        }
+        let cache = engine.cache_snapshot();
+        assert!(cache.hits > 0, "repeat cold reads hit the page cache");
+        let io = engine.io_snapshot();
+        assert_eq!(io.cache_hits, cache.hits, "both surfaces agree");
+        assert!(io.read_amplification() < 1.0);
+
+        // The knob round-trips: a zero-capacity engine never caches.
+        let cold = Bg3Db::open(cold_reading_config(0));
+        cold.insert_edge(&Edge::new(VertexId(1), EdgeType::FOLLOW, VertexId(2)))
+            .unwrap();
+        cold.checkpoint().unwrap();
+        for _ in 0..3 {
+            cold.get_edge(VertexId(1), EdgeType::FOLLOW, VertexId(2))
+                .unwrap();
+        }
+        assert_eq!(cold.cache_snapshot().hits, 0);
+        assert_eq!(cold.io_snapshot().read_amplification(), 1.0);
     }
 
     #[test]

@@ -44,7 +44,8 @@ pub mod prelude {
     };
     pub use bg3_graph::{Edge, EdgeType, GraphStore, Vertex, VertexId};
     pub use bg3_storage::{
-        AppendOnlyStore, CrashPoint, FaultKind, FaultOp, FaultPlan, FaultRule, IoStatsSnapshot,
-        RetryPolicy, StorageError, StorageResult, StoreConfig,
+        AppendOnlyStore, CacheConfig, CacheStatsSnapshot, CrashPoint, FaultKind, FaultOp,
+        FaultPlan, FaultRule, IoStatsSnapshot, RetryPolicy, StorageError, StorageResult,
+        StoreConfig,
     };
 }

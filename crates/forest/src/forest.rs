@@ -3,8 +3,9 @@
 use crate::keys::{composite_key, decode_composite, group_prefix};
 use bg3_bwtree::{BwTree, BwTreeConfig, Entries, TreeEvent, TreeEventListener};
 use bg3_storage::{AppendOnlyStore, CrashPoint, CrashSwitch, StorageResult};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -22,6 +23,11 @@ pub struct ForestConfig {
     /// When the INIT tree holds more total entries than this, the group with
     /// the most edges is evicted into a dedicated tree.
     pub init_tree_max_entries: usize,
+    /// Lock stripes for the directory and per-group counters. Groups are
+    /// hash-partitioned across stripes, so writers on distinct vertex
+    /// groups contend only when they collide on a stripe. Clamped to at
+    /// least 1.
+    pub stripes: usize,
     /// Configuration applied to every tree in the forest.
     pub tree_config: BwTreeConfig,
 }
@@ -31,6 +37,7 @@ impl Default for ForestConfig {
         ForestConfig {
             split_out_threshold: 64,
             init_tree_max_entries: 1 << 20,
+            stripes: 16,
             tree_config: BwTreeConfig::default(),
         }
     }
@@ -46,6 +53,12 @@ impl ForestConfig {
     /// Builder-style setter for the INIT-tree size limit.
     pub fn with_init_tree_max_entries(mut self, max: usize) -> Self {
         self.init_tree_max_entries = max;
+        self
+    }
+
+    /// Builder-style setter for the lock-stripe count.
+    pub fn with_stripes(mut self, stripes: usize) -> Self {
+        self.stripes = stripes;
         self
     }
 
@@ -67,12 +80,25 @@ pub struct ForestStatsSnapshot {
     pub init_evictions: u64,
 }
 
-struct ForestInner {
+/// One lock stripe: the slice of the group directory and of the INIT-tree
+/// edge counters whose groups hash here. One `RwLock` covers both maps so
+/// a group's routing decision and its counter always agree.
+#[derive(Default)]
+struct Stripe {
     /// group → dedicated tree.
     directory: HashMap<Vec<u8>, Arc<BwTree>>,
+    /// Edge counts of groups still resident in the INIT tree.
+    init_counts: HashMap<Vec<u8>, usize>,
 }
 
 /// The Space-Optimized Bw-tree Forest (Fig. 3, right side).
+///
+/// Directory state is lock-striped: groups are hash-partitioned across
+/// `config.stripes` independent `RwLock`s, so `put`/`get`/`scan_group` on
+/// distinct vertex groups proceed without contending on a global lock.
+/// Cross-stripe aggregates (`total_entries`, `all_trees`, …) snapshot each
+/// stripe's `Arc<BwTree>` list briefly and do the summing outside any
+/// lock.
 pub struct BwTreeForest {
     store: AppendOnlyStore,
     config: ForestConfig,
@@ -81,9 +107,7 @@ pub struct BwTreeForest {
     /// Chaos hook: [`CrashPoint::MidSplit`] fires inside `split_out` after
     /// the copy but before the split commits. Disarmed by default.
     crash: CrashSwitch,
-    inner: RwLock<ForestInner>,
-    /// Edge counts of groups still resident in the INIT tree.
-    init_counts: Mutex<HashMap<Vec<u8>, usize>>,
+    stripes: Vec<RwLock<Stripe>>,
     next_tree_id: AtomicU32,
     threshold_split_outs: AtomicU64,
     init_evictions: AtomicU64,
@@ -117,16 +141,16 @@ impl BwTreeForest {
             listener.as_ref(),
             &crash,
         ));
+        let stripes = (0..config.stripes.max(1))
+            .map(|_| RwLock::new(Stripe::default()))
+            .collect();
         BwTreeForest {
             store,
             config,
             listener,
             init,
             crash,
-            inner: RwLock::new(ForestInner {
-                directory: HashMap::new(),
-            }),
-            init_counts: Mutex::new(HashMap::new()),
+            stripes,
             next_tree_id: AtomicU32::new(INIT_TREE_ID + 1),
             threshold_split_outs: AtomicU64::new(0),
             init_evictions: AtomicU64::new(0),
@@ -151,15 +175,20 @@ impl BwTreeForest {
     ) -> Self {
         let crash = CrashSwitch::new();
         init.set_crash_switch(crash.clone());
-        let mut dir = HashMap::new();
+        let stripe_count = config.stripes.max(1);
+        let mut stripes: Vec<Stripe> = (0..stripe_count).map(|_| Stripe::default()).collect();
         for (group, mut tree) in directory {
             tree.set_crash_switch(crash.clone());
-            dir.insert(group, Arc::new(tree));
+            stripes[Self::stripe_index(&group, stripe_count)]
+                .directory
+                .insert(group, Arc::new(tree));
         }
-        let mut counts: HashMap<Vec<u8>, usize> = HashMap::new();
         for (composite, _) in init.scan_range(None, None, usize::MAX) {
             if let Some((group, _)) = decode_composite(&composite) {
-                *counts.entry(group.to_vec()).or_insert(0) += 1;
+                *stripes[Self::stripe_index(group, stripe_count)]
+                    .init_counts
+                    .entry(group.to_vec())
+                    .or_insert(0) += 1;
             }
         }
         BwTreeForest {
@@ -168,8 +197,7 @@ impl BwTreeForest {
             listener,
             init: Arc::new(init),
             crash,
-            inner: RwLock::new(ForestInner { directory: dir }),
-            init_counts: Mutex::new(counts),
+            stripes: stripes.into_iter().map(RwLock::new).collect(),
             next_tree_id: AtomicU32::new(next_tree_id),
             threshold_split_outs: AtomicU64::new(0),
             init_evictions: AtomicU64::new(0),
@@ -204,9 +232,31 @@ impl BwTreeForest {
         &self.crash
     }
 
+    /// Deterministic group → stripe routing, shared by `build`/`assemble`.
+    fn stripe_index(group: &[u8], stripes: usize) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        group.hash(&mut h);
+        (h.finish() as usize) % stripes
+    }
+
+    /// The stripe owning `group`.
+    fn stripe_of(&self, group: &[u8]) -> &RwLock<Stripe> {
+        &self.stripes[Self::stripe_index(group, self.stripes.len())]
+    }
+
+    /// Snapshot of every dedicated tree, taken stripe by stripe. Callers
+    /// aggregate over the returned `Arc`s without holding any stripe lock.
+    fn dedicated_trees(&self) -> Vec<Arc<BwTree>> {
+        let mut trees = Vec::new();
+        for stripe in &self.stripes {
+            trees.extend(stripe.read().directory.values().cloned());
+        }
+        trees
+    }
+
     /// The dedicated tree for `group`, if it has one.
     pub fn dedicated_tree(&self, group: &[u8]) -> Option<Arc<BwTree>> {
-        self.inner.read().directory.get(group).cloned()
+        self.stripe_of(group).read().directory.get(group).cloned()
     }
 
     /// The INIT tree (exposed for inspection and benchmarks).
@@ -221,22 +271,29 @@ impl BwTreeForest {
         }
         self.init.put(&composite_key(group, item), value)?;
         let group_count = {
-            let mut counts = self.init_counts.lock();
-            let c = counts.entry(group.to_vec()).or_insert(0);
+            let mut stripe = self.stripe_of(group).write();
+            let c = stripe.init_counts.entry(group.to_vec()).or_insert(0);
             *c += 1;
             *c
         };
         if group_count > self.config.split_out_threshold {
             self.split_out(group, false)?;
         } else if self.init.entry_count() > self.config.init_tree_max_entries {
-            // Evict the heaviest group to keep INIT queries fast.
-            let heaviest = {
-                let counts = self.init_counts.lock();
-                counts
-                    .iter()
-                    .max_by_key(|(_, &c)| c)
-                    .map(|(g, _)| g.clone())
-            };
+            // Evict the heaviest group to keep INIT queries fast. Each
+            // stripe nominates its local maximum under a read lock; the
+            // final pick happens outside any lock.
+            let heaviest = self
+                .stripes
+                .iter()
+                .filter_map(|s| {
+                    s.read()
+                        .init_counts
+                        .iter()
+                        .max_by_key(|(_, &c)| c)
+                        .map(|(g, &c)| (g.clone(), c))
+                })
+                .max_by_key(|(_, c)| *c)
+                .map(|(g, _)| g);
             if let Some(g) = heaviest {
                 self.split_out(&g, true)?;
             }
@@ -247,8 +304,10 @@ impl BwTreeForest {
     /// Moves every `group` edge from the INIT tree into a fresh dedicated
     /// tree with truncated keys (§3.2.1, Fig. 3: Bw-tree (A)).
     fn split_out(&self, group: &[u8], eviction: bool) -> StorageResult<()> {
-        let mut inner = self.inner.write();
-        if inner.directory.contains_key(group) {
+        // Only the owning stripe is write-locked for the duration of the
+        // split: writers on other stripes keep going.
+        let mut stripe = self.stripe_of(group).write();
+        if stripe.directory.contains_key(group) {
             return Ok(()); // another writer raced us here
         }
         let id = self.next_tree_id.fetch_add(1, Ordering::Relaxed);
@@ -272,7 +331,8 @@ impl BwTreeForest {
         for (composite, _) in &moved {
             self.init.delete(composite)?;
         }
-        inner.directory.insert(group.to_vec(), tree);
+        stripe.directory.insert(group.to_vec(), tree);
+        stripe.init_counts.remove(group);
         // Commit record: logged only once the copy and deletes are durable,
         // so replaying the WAL rebuilds the directory exactly when the
         // split-out actually completed.
@@ -284,8 +344,7 @@ impl BwTreeForest {
                 },
             );
         }
-        drop(inner);
-        self.init_counts.lock().remove(group);
+        drop(stripe);
         if eviction {
             self.init_evictions.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -308,8 +367,8 @@ impl BwTreeForest {
             Some(tree) => tree.delete(item),
             None => {
                 self.init.delete(&composite_key(group, item))?;
-                let mut counts = self.init_counts.lock();
-                if let Some(c) = counts.get_mut(group) {
+                let mut stripe = self.stripe_of(group).write();
+                if let Some(c) = stripe.init_counts.get_mut(group) {
                     *c = c.saturating_sub(1);
                 }
                 Ok(())
@@ -347,67 +406,68 @@ impl BwTreeForest {
 
     /// Total trees in the forest, including INIT.
     pub fn tree_count(&self) -> usize {
-        1 + self.inner.read().directory.len()
+        1 + self
+            .stripes
+            .iter()
+            .map(|s| s.read().directory.len())
+            .sum::<usize>()
     }
 
     /// Total dirty pages across every tree (the group-commit trigger input
-    /// for a durable node running deferred flushes).
+    /// for a durable node running deferred flushes). The tree list is
+    /// snapshotted once; the per-tree counting runs with no stripe locked.
     pub fn dirty_count(&self) -> usize {
-        let inner = self.inner.read();
-        self.init.dirty_count()
-            + inner
-                .directory
-                .values()
-                .map(|t| t.dirty_count())
-                .sum::<usize>()
+        let trees = self.dedicated_trees();
+        self.init.dirty_count() + trees.iter().map(|t| t.dirty_count()).sum::<usize>()
     }
 
     /// Every tree in the forest, sorted by tree id (INIT first). For
     /// maintenance passes that must visit each tree deterministically,
     /// e.g. group-commit flushes.
     pub fn all_trees(&self) -> Vec<Arc<BwTree>> {
-        let inner = self.inner.read();
-        let mut trees = Vec::with_capacity(1 + inner.directory.len());
+        let mut trees = self.dedicated_trees();
         trees.push(Arc::clone(&self.init));
-        trees.extend(inner.directory.values().cloned());
         trees.sort_by_key(|t| t.id());
         trees
     }
 
-    /// Total edges across all trees.
+    /// Total edges across all trees. Snapshots the `Arc<BwTree>` list once
+    /// and aggregates outside the stripe locks — `entry_count` takes each
+    /// tree's own lock, and holding a directory lock across that walk
+    /// would serialize every concurrent writer.
     pub fn total_entries(&self) -> usize {
-        let inner = self.inner.read();
-        self.init.entry_count()
-            + inner
-                .directory
-                .values()
-                .map(|t| t.entry_count())
-                .sum::<usize>()
+        let trees = self.dedicated_trees();
+        self.init.entry_count() + trees.iter().map(|t| t.entry_count()).sum::<usize>()
     }
 
     /// Estimated memory footprint: every tree's footprint plus the hash
     /// directory. This is the "space cost" axis of Fig. 11 — many small
     /// trees pay per-tree overhead.
     pub fn memory_footprint(&self) -> usize {
-        let inner = self.inner.read();
-        let directory: usize = inner
-            .directory
-            .keys()
-            .map(|g| g.len() + 80) // key + Arc + table slot
-            .sum();
-        self.init.memory_footprint()
-            + inner
+        let mut directory = 0usize;
+        let mut trees = Vec::new();
+        for stripe in &self.stripes {
+            let guard = stripe.read();
+            directory += guard
                 .directory
-                .values()
-                .map(|t| t.memory_footprint())
-                .sum::<usize>()
+                .keys()
+                .map(|g| g.len() + 80) // key + Arc + table slot
+                .sum::<usize>();
+            trees.extend(guard.directory.values().cloned());
+        }
+        self.init.memory_footprint()
+            + trees.iter().map(|t| t.memory_footprint()).sum::<usize>()
             + directory
     }
 
     /// Counters describing the forest's structural activity.
     pub fn stats(&self) -> ForestStatsSnapshot {
         ForestStatsSnapshot {
-            dedicated_trees: self.inner.read().directory.len() as u64,
+            dedicated_trees: self
+                .stripes
+                .iter()
+                .map(|s| s.read().directory.len() as u64)
+                .sum(),
             threshold_split_outs: self.threshold_split_outs.load(Ordering::Relaxed),
             init_evictions: self.init_evictions.load(Ordering::Relaxed),
         }
@@ -430,10 +490,8 @@ impl BwTreeForest {
         if decoded.tree == INIT_TREE_ID {
             return self.init.repair_relocated(decoded.page, old, new);
         }
-        let inner = self.inner.read();
-        inner
-            .directory
-            .values()
+        self.dedicated_trees()
+            .iter()
             .find(|t| t.id() == decoded.tree)
             .is_some_and(|t| t.repair_relocated(decoded.page, old, new))
     }
@@ -669,6 +727,41 @@ mod tests {
             events.len() - 1,
             "commit record follows every copy and delete"
         );
+    }
+
+    #[test]
+    fn single_stripe_forest_behaves_identically() {
+        // stripes=1 degenerates to the old global-lock layout; every
+        // operation must still work (routing, split-out, aggregates).
+        let f = BwTreeForest::new(
+            AppendOnlyStore::new(StoreConfig::counting()),
+            ForestConfig::default()
+                .with_split_out_threshold(4)
+                .with_stripes(1),
+        );
+        for u in 0..10u32 {
+            let user = format!("user{u}");
+            for v in 0..6u32 {
+                f.put(user.as_bytes(), format!("v{v}").as_bytes(), b"x")
+                    .unwrap();
+            }
+        }
+        assert_eq!(f.stats().dedicated_trees, 10);
+        assert_eq!(f.total_entries(), 60);
+        assert_eq!(f.all_trees().len(), 11);
+        for u in 0..10u32 {
+            assert_eq!(f.group_len(format!("user{u}").as_bytes()), 6);
+        }
+    }
+
+    #[test]
+    fn zero_stripes_clamps_to_one() {
+        let f = BwTreeForest::new(
+            AppendOnlyStore::new(StoreConfig::counting()),
+            ForestConfig::default().with_stripes(0),
+        );
+        f.put(b"g", b"i", b"v").unwrap();
+        assert_eq!(f.get(b"g", b"i").unwrap(), Some(b"v".to_vec()));
     }
 
     #[test]

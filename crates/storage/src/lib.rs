@@ -42,6 +42,7 @@ pub mod store;
 pub mod stream;
 
 pub use addr::{ExtentId, PageAddr, RecordId, StreamId};
+pub use bg3_cache::{CacheConfig, CacheStatsSnapshot, PageCache};
 pub use clock::{SimClock, SimInstant};
 pub use error::{ErrorKind, StorageError, StorageOp, StorageResult};
 pub use extent::{ExtentInfo, ExtentState, UsageSample};
@@ -51,5 +52,5 @@ pub use fault::{
 pub use latency::LatencyModel;
 pub use mapping::{MappingSnapshot, SharedMappingTable};
 pub use stats::{IoStats, IoStatsSnapshot};
-pub use store::{AppendOnlyStore, StoreConfig};
+pub use store::{AppendOnlyStore, SlotKey, StoreConfig};
 pub use stream::StreamStats;

@@ -21,6 +21,9 @@ pub struct IoStats {
     extents_reclaimed: AtomicU64,
     extents_expired: AtomicU64,
     mapping_publishes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
 }
 
 impl IoStats {
@@ -66,6 +69,18 @@ impl IoStats {
         self.mapping_publishes.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cache_evictions(&self, n: u64) {
+        self.cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough point-in-time copy of all counters.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
@@ -80,6 +95,9 @@ impl IoStats {
             extents_reclaimed: self.extents_reclaimed.load(Ordering::Relaxed),
             extents_expired: self.extents_expired.load(Ordering::Relaxed),
             mapping_publishes: self.mapping_publishes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -110,6 +128,13 @@ pub struct IoStatsSnapshot {
     pub extents_expired: u64,
     /// Mapping-table version publishes.
     pub mapping_publishes: u64,
+    /// Reads served by the page cache instead of storage.
+    pub cache_hits: u64,
+    /// Cache lookups that fell through to a storage read.
+    pub cache_misses: u64,
+    /// Cache entries removed — CLOCK displacement under pressure plus
+    /// coherence evictions on invalidate/relocate/expire.
+    pub cache_evictions: u64,
 }
 
 impl IoStatsSnapshot {
@@ -137,6 +162,9 @@ impl IoStatsSnapshot {
             mapping_publishes: self
                 .mapping_publishes
                 .saturating_sub(earlier.mapping_publishes),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
         }
     }
 
@@ -152,6 +180,17 @@ impl IoStatsSnapshot {
             };
         }
         self.bytes_appended as f64 / useful as f64
+    }
+
+    /// Cache-adjusted read amplification: storage reads divided by logical
+    /// reads (cache hits + storage reads). 1.0 with the cache disabled or
+    /// stone cold; strictly below 1.0 once the cache absorbs traffic.
+    pub fn read_amplification(&self) -> f64 {
+        let logical = self.cache_hits + self.random_reads;
+        if logical == 0 {
+            return 1.0;
+        }
+        self.random_reads as f64 / logical as f64
     }
 }
 
@@ -193,6 +232,18 @@ mod tests {
         assert_eq!(delta.appends, 1);
         assert_eq!(delta.bytes_appended, 20);
         assert_eq!(delta.random_reads, 1);
+    }
+
+    #[test]
+    fn read_amplification_math() {
+        let mut snap = IoStatsSnapshot::default();
+        assert_eq!(snap.read_amplification(), 1.0, "no traffic: neutral");
+        snap.random_reads = 10;
+        assert_eq!(snap.read_amplification(), 1.0, "no cache: every read pays");
+        snap.cache_hits = 30;
+        assert!((snap.read_amplification() - 0.25).abs() < 1e-9);
+        snap.random_reads = 0;
+        assert_eq!(snap.read_amplification(), 0.0, "fully cached");
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::fault::{FaultInjector, FaultKind, FaultOp, FaultPlan};
 use crate::latency::LatencyModel;
 use crate::stats::IoStats;
 use crate::stream::{StreamInner, StreamStats};
+use bg3_cache::{CacheConfig, CacheStatsSnapshot, PageCache};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -29,6 +30,10 @@ pub struct StoreConfig {
     pub latency: LatencyModel,
     /// Deterministic fault schedule ([`FaultPlan::none`] = never inject).
     pub faults: FaultPlan,
+    /// Page-cache front for random reads. Enabled by default; set
+    /// `capacity_bytes` to 0 (or use [`StoreConfig::without_cache`]) for
+    /// the raw pre-cache behavior.
+    pub cache: CacheConfig,
 }
 
 impl Default for StoreConfig {
@@ -37,6 +42,7 @@ impl Default for StoreConfig {
             extent_capacity: 256 * 1024,
             latency: LatencyModel::cloud(),
             faults: FaultPlan::none(),
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -48,6 +54,7 @@ impl StoreConfig {
             extent_capacity: 256 * 1024,
             latency: LatencyModel::zero(),
             faults: FaultPlan::none(),
+            cache: CacheConfig::default(),
         }
     }
 
@@ -62,13 +69,33 @@ impl StoreConfig {
         self.faults = faults;
         self
     }
+
+    /// Installs a page-cache configuration.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Disables the page cache (raw storage reads on every lookup).
+    pub fn without_cache(mut self) -> Self {
+        self.cache = CacheConfig::disabled();
+        self
+    }
 }
+
+/// Physical identity of a cached record: `(stream, extent, offset)`.
+///
+/// Deliberately *not* the full [`PageAddr`]: relocation reads carry a
+/// placeholder record id, and `len` is derivable from the slot, so the
+/// physical triple is the one spelling every reader of a slot agrees on.
+pub type SlotKey = (StreamId, ExtentId, u32);
 
 struct StoreInner {
     config: StoreConfig,
     clock: SimClock,
     stats: IoStats,
     faults: FaultInjector,
+    cache: PageCache<SlotKey>,
     streams: HashMap<StreamId, Mutex<StreamInner>>,
     next_extent: AtomicU64,
     next_record: AtomicU64,
@@ -99,12 +126,14 @@ impl AppendOnlyStore {
             streams.insert(id, Mutex::new(StreamInner::new(id)));
         }
         let faults = FaultInjector::new(config.faults.clone());
+        let cache = PageCache::new(config.cache.clone());
         AppendOnlyStore {
             inner: Arc::new(StoreInner {
                 config,
                 clock,
                 stats: IoStats::new(),
                 faults,
+                cache,
                 streams,
                 next_extent: AtomicU64::new(1),
                 next_record: AtomicU64::new(1),
@@ -126,6 +155,18 @@ impl AppendOnlyStore {
     /// faults draw from the same plan).
     pub fn fault_injector(&self) -> &FaultInjector {
         &self.inner.faults
+    }
+
+    /// The page cache fronting random reads (shared by all clones).
+    pub fn page_cache(&self) -> &PageCache<SlotKey> {
+        &self.inner.cache
+    }
+
+    /// Point-in-time cache counters (hits, misses, admissions, evictions,
+    /// residency). Storage-level mirrors of hits/misses/evictions also
+    /// appear in [`IoStats::snapshot`].
+    pub fn cache_stats(&self) -> CacheStatsSnapshot {
+        self.inner.cache.stats()
     }
 
     /// Extent capacity configured for this store.
@@ -224,8 +265,43 @@ impl AppendOnlyStore {
         Ok(addr)
     }
 
-    /// Randomly reads the record at `addr`.
+    /// Reads the record at `addr` through the page cache.
+    ///
+    /// A hit is served from memory: no storage latency, no `random_reads`
+    /// tick, no fault-injection draw (the request never leaves the node).
+    /// A miss pays the full storage read and the returned bytes are
+    /// offered to the cache, so the next reader of the same slot hits.
     pub fn read(&self, addr: PageAddr) -> StorageResult<Bytes> {
+        let cache = &self.inner.cache;
+        if !cache.is_enabled() {
+            return self.read_uncached(addr);
+        }
+        let key: SlotKey = (addr.stream, addr.extent, addr.offset);
+        if let Some(bytes) = cache.get(&key) {
+            if bytes.len() == addr.len as usize {
+                self.inner.stats.record_cache_hit();
+                return Ok(bytes);
+            }
+            // A stale shape (same physical slot, different length) can
+            // only come from a caller-constructed addr; drop it and fall
+            // through to storage, which bounds-checks for real.
+            cache.evict(&key);
+            self.inner.stats.record_cache_evictions(1);
+        }
+        self.inner.stats.record_cache_miss();
+        let bytes = self.read_uncached(addr)?;
+        let outcome = cache.insert(key, bytes.clone());
+        if outcome.evicted > 0 {
+            self.inner.stats.record_cache_evictions(outcome.evicted);
+        }
+        Ok(bytes)
+    }
+
+    /// Randomly reads the record at `addr` directly from storage,
+    /// bypassing (and never populating) the page cache. Relocation and
+    /// sequential rescans use this path so one-shot traffic neither
+    /// pollutes the cache nor skews hit-rate measurements.
+    pub fn read_uncached(&self, addr: PageAddr) -> StorageResult<Bytes> {
         match self.inner.faults.decide(FaultOp::Read, Some(addr.stream)) {
             Some(FaultKind::ReadFail) => {
                 return Err(
@@ -278,6 +354,14 @@ impl AppendOnlyStore {
             return Err(StorageError::already_invalid(addr));
         };
         drop(guard);
+        // Coherence: a dead slot must not be served from memory.
+        if self
+            .inner
+            .cache
+            .evict(&(addr.stream, addr.extent, addr.offset))
+        {
+            self.inner.stats.record_cache_evictions(1);
+        }
         self.inner.stats.record_invalidation();
         if wasted > 0 {
             self.inner.stats.record_wasted_relocation(wasted);
@@ -408,7 +492,7 @@ impl AppendOnlyStore {
                 len: *len,
                 record: RecordId(0), // record id not needed for the read
             };
-            let bytes = self.read(old)?;
+            let bytes = self.read_uncached(old)?;
             let remaining_ttl = deadline.map(|d| d.duration_since(self.inner.clock.now()));
             let new = self.append_impl(stream, &bytes, *tag, remaining_ttl, true)?;
             moved_bytes += *len as u64;
@@ -426,6 +510,14 @@ impl AppendOnlyStore {
         ext.valid_count = 0;
         ext.valid_bytes = 0;
         drop(guard);
+        // Coherence: every cached slot of the freed extent is gone.
+        let evicted = self
+            .inner
+            .cache
+            .evict_matching(|&(s, e, _)| s == stream && e == extent);
+        if evicted > 0 {
+            self.inner.stats.record_cache_evictions(evicted);
+        }
         self.inner.stats.record_extent_reclaimed();
         Ok(moved_bytes)
     }
@@ -464,6 +556,15 @@ impl AppendOnlyStore {
             guard.active = None;
         }
         drop(guard);
+        // Coherence: expiry frees the extent without reading it; cached
+        // slots must die with it.
+        let evicted = self
+            .inner
+            .cache
+            .evict_matching(|&(s, e, _)| s == stream && e == extent);
+        if evicted > 0 {
+            self.inner.stats.record_cache_evictions(evicted);
+        }
         self.inner.stats.record_extent_expired();
         Ok(freed)
     }
@@ -674,6 +775,7 @@ mod tests {
                 network_rtt_us: 0,
             },
             faults: FaultPlan::none(),
+            cache: CacheConfig::default(),
         };
         let s = AppendOnlyStore::new(cfg);
         let addr = s.append(StreamId::BASE, b"x", 0, None).unwrap();
@@ -726,6 +828,124 @@ mod tests {
         assert!(s.read(addr).unwrap_err().is_transient());
         assert!(s.read(addr).unwrap_err().is_transient());
         assert_eq!(&s.read(addr).unwrap()[..], b"persistent");
+    }
+
+    #[test]
+    fn repeated_reads_hit_the_cache() {
+        let s = store();
+        let addr = s.append(StreamId::BASE, b"hot page", 0, None).unwrap();
+        for _ in 0..5 {
+            assert_eq!(&s.read(addr).unwrap()[..], b"hot page");
+        }
+        let snap = s.stats().snapshot();
+        assert_eq!(snap.random_reads, 1, "only the cold read touched storage");
+        assert_eq!(snap.cache_hits, 4);
+        assert_eq!(snap.cache_misses, 1);
+        assert!((snap.read_amplification() - 0.2).abs() < 1e-9);
+        let cache = s.cache_stats();
+        assert_eq!(cache.hits, 4);
+        assert_eq!(cache.resident_entries, 1);
+    }
+
+    #[test]
+    fn cache_hits_charge_no_latency() {
+        let cfg = StoreConfig {
+            extent_capacity: 1024,
+            latency: LatencyModel {
+                append_us: 0,
+                random_read_us: 50,
+                per_kib_us: 0,
+                mapping_publish_us: 0,
+                network_rtt_us: 0,
+            },
+            faults: FaultPlan::none(),
+            cache: CacheConfig::default(),
+        };
+        let s = AppendOnlyStore::new(cfg);
+        let addr = s.append(StreamId::BASE, b"x", 0, None).unwrap();
+        s.read(addr).unwrap();
+        assert_eq!(s.clock().now().as_micros(), 50, "cold read pays");
+        s.read(addr).unwrap();
+        s.read(addr).unwrap();
+        assert_eq!(s.clock().now().as_micros(), 50, "warm reads are free");
+    }
+
+    #[test]
+    fn disabled_cache_restores_raw_read_counting() {
+        let s = AppendOnlyStore::new(
+            StoreConfig::counting()
+                .with_extent_capacity(64)
+                .without_cache(),
+        );
+        let addr = s.append(StreamId::BASE, b"cold", 0, None).unwrap();
+        for _ in 0..3 {
+            s.read(addr).unwrap();
+        }
+        let snap = s.stats().snapshot();
+        assert_eq!(snap.random_reads, 3);
+        assert_eq!(snap.cache_hits + snap.cache_misses, 0);
+        assert_eq!(snap.read_amplification(), 1.0);
+    }
+
+    #[test]
+    fn invalidate_evicts_the_cached_slot() {
+        let s = store();
+        let addr = s.append(StreamId::BASE, b"dying", 0, None).unwrap();
+        s.read(addr).unwrap(); // now resident
+        s.invalidate(addr).unwrap();
+        assert_eq!(s.cache_stats().resident_entries, 0);
+        assert!(s.stats().snapshot().cache_evictions >= 1);
+    }
+
+    #[test]
+    fn relocation_evicts_cached_slots_of_the_freed_extent() {
+        let s = store();
+        let a = s.append(StreamId::BASE, &[1u8; 16], 101, None).unwrap();
+        let b = s.append(StreamId::BASE, &[2u8; 16], 102, None).unwrap();
+        s.read(a).unwrap();
+        s.read(b).unwrap();
+        assert_eq!(s.cache_stats().resident_entries, 2);
+        let mut moves = Vec::new();
+        s.relocate_extent(StreamId::BASE, a.extent, |tag, _, new| {
+            moves.push((tag, new));
+        })
+        .unwrap();
+        assert_eq!(s.cache_stats().resident_entries, 0, "old slots evicted");
+        // Old addresses fail everywhere; new addresses read fine (and the
+        // relocation reads themselves never populated the cache).
+        assert!(s.read(a).is_err());
+        for (_, new) in &moves {
+            assert!(s.read(*new).is_ok());
+        }
+    }
+
+    #[test]
+    fn expiry_evicts_cached_slots() {
+        let s = store();
+        let a = s
+            .append(StreamId::DELTA, &[0u8; 16], 0, Some(1_000))
+            .unwrap();
+        s.read(a).unwrap();
+        s.clock().advance_nanos(2_000);
+        s.expire_extent(StreamId::DELTA, a.extent).unwrap();
+        assert_eq!(s.cache_stats().resident_entries, 0);
+        assert!(s.read(a).is_err(), "no ghost hit after expiry");
+    }
+
+    #[test]
+    fn read_faults_still_fire_on_cold_reads_only() {
+        let plan = FaultPlan::seeded(5)
+            .with_rule(FaultRule::new(FaultOp::Read, FaultKind::ReadFail, 1.0).at_most(1));
+        let s = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let addr = s.append(StreamId::BASE, b"page", 0, None).unwrap();
+        assert!(
+            s.read(addr).unwrap_err().is_transient(),
+            "cold read faulted"
+        );
+        assert_eq!(&s.read(addr).unwrap()[..], b"page", "retry lands");
+        // Now resident: a hit never draws from the fault plan.
+        assert_eq!(&s.read(addr).unwrap()[..], b"page");
+        assert_eq!(s.stats().snapshot().cache_hits, 1);
     }
 
     #[test]

@@ -3,14 +3,14 @@
 //! and fault plans must be pure functions of (seed, rules, op index).
 
 use bg3_storage::{
-    AppendOnlyStore, FaultKind, FaultOp, FaultPlan, FaultRule, IoStatsSnapshot, StoreConfig,
-    StreamId,
+    AppendOnlyStore, CacheConfig, FaultKind, FaultOp, FaultPlan, FaultRule, IoStatsSnapshot,
+    PageAddr, StoreConfig, StreamId,
 };
 use proptest::prelude::*;
 
 /// An arbitrary snapshot built field-by-field (all fields are public).
 fn snapshot_strategy() -> impl Strategy<Value = IoStatsSnapshot> {
-    (proptest::collection::vec(any::<u32>(), 11), Just(())).prop_map(|(v, ())| IoStatsSnapshot {
+    (proptest::collection::vec(any::<u32>(), 14), Just(())).prop_map(|(v, ())| IoStatsSnapshot {
         appends: v[0] as u64,
         bytes_appended: v[1] as u64,
         random_reads: v[2] as u64,
@@ -22,6 +22,9 @@ fn snapshot_strategy() -> impl Strategy<Value = IoStatsSnapshot> {
         extents_reclaimed: v[8] as u64,
         extents_expired: v[9] as u64,
         mapping_publishes: v[10] as u64,
+        cache_hits: v[11] as u64,
+        cache_misses: v[12] as u64,
+        cache_evictions: v[13] as u64,
     })
 }
 
@@ -38,6 +41,9 @@ fn le(a: &IoStatsSnapshot, b: &IoStatsSnapshot) -> bool {
         && a.extents_reclaimed <= b.extents_reclaimed
         && a.extents_expired <= b.extents_expired
         && a.mapping_publishes <= b.mapping_publishes
+        && a.cache_hits <= b.cache_hits
+        && a.cache_misses <= b.cache_misses
+        && a.cache_evictions <= b.cache_evictions
 }
 
 /// Fieldwise addition.
@@ -54,6 +60,9 @@ fn add(a: &IoStatsSnapshot, b: &IoStatsSnapshot) -> IoStatsSnapshot {
         extents_reclaimed: a.extents_reclaimed + b.extents_reclaimed,
         extents_expired: a.extents_expired + b.extents_expired,
         mapping_publishes: a.mapping_publishes + b.mapping_publishes,
+        cache_hits: a.cache_hits + b.cache_hits,
+        cache_misses: a.cache_misses + b.cache_misses,
+        cache_evictions: a.cache_evictions + b.cache_evictions,
     }
 }
 
@@ -70,6 +79,27 @@ fn store_cmd_strategy() -> impl Strategy<Value = StoreCmd> {
         3 => proptest::collection::vec(any::<u8>(), 1..64).prop_map(StoreCmd::Append),
         2 => Just(StoreCmd::ReadLast),
         1 => Just(StoreCmd::InvalidateLast),
+    ]
+}
+
+/// A command for the cache-coherence drive. Indices select among live
+/// records (modulo the live count at execution time).
+#[derive(Debug, Clone)]
+enum CacheCmd {
+    Append(Vec<u8>),
+    Read(u8),
+    Invalidate(u8),
+    Relocate(u8),
+    Expire(u8),
+}
+
+fn cache_cmd_strategy() -> impl Strategy<Value = CacheCmd> {
+    prop_oneof![
+        4 => proptest::collection::vec(any::<u8>(), 1..48).prop_map(CacheCmd::Append),
+        4 => any::<u8>().prop_map(CacheCmd::Read),
+        1 => any::<u8>().prop_map(CacheCmd::Invalidate),
+        1 => any::<u8>().prop_map(CacheCmd::Relocate),
+        1 => any::<u8>().prop_map(CacheCmd::Expire),
     ]
 }
 
@@ -154,6 +184,133 @@ proptest! {
             prop_assert!(le(&prev, &now), "counters moved backwards");
             prop_assert_eq!(add(&prev, &now.delta_since(&prev)), now);
             prev = now;
+        }
+    }
+
+    /// The page cache is invisible to correctness: after any interleaving
+    /// of appends, invalidations, relocations, TTL expiries, and injected
+    /// torn writes, a cached `read` returns exactly what `read_uncached`
+    /// returns — live records match their written bytes through both
+    /// paths, and dead addresses error through both paths (never a stale
+    /// cached copy).
+    #[test]
+    fn cached_reads_never_diverge_from_storage(
+        params in (any::<u64>(), proptest::collection::vec(cache_cmd_strategy(), 1..48)),
+    ) {
+        let (seed, cmds) = params;
+        // Tiny extents force many extents; a tiny 2-shard cache forces
+        // CLOCK evictions and doorkeeper churn; torn appends consume
+        // space without producing a readable record.
+        let store = AppendOnlyStore::new(
+            StoreConfig::counting()
+                .with_extent_capacity(256)
+                .with_cache(CacheConfig::default().with_capacity_bytes(2048).with_shards(2))
+                .with_faults(FaultPlan::seeded(seed).with_rule(FaultRule::new(
+                    FaultOp::Append,
+                    FaultKind::AppendTorn,
+                    0.1,
+                ))),
+        );
+        // Shadow model: (tag, addr, bytes) per live record; tags are unique
+        // per append so relocation's `on_move(tag, ..)` pins down the entry.
+        // Invalidated records stay physically readable (the bytes sit in
+        // the extent until reclamation) but are skipped by relocation;
+        // only extent reclaim/expiry makes an address dead.
+        let mut live: Vec<(u64, PageAddr, Vec<u8>)> = Vec::new();
+        let mut invalidated: Vec<(PageAddr, Vec<u8>)> = Vec::new();
+        let mut dead: Vec<PageAddr> = Vec::new();
+        let mut next_tag = 0u64;
+        for cmd in &cmds {
+            match cmd {
+                CacheCmd::Append(bytes) => {
+                    next_tag += 1;
+                    // Every record carries an already-expired TTL so any
+                    // extent is eligible for the Expire command below.
+                    if let Ok(addr) = store.append(StreamId::BASE, bytes, next_tag, Some(0)) {
+                        live.push((next_tag, addr, bytes.clone()));
+                    }
+                }
+                CacheCmd::Read(i) => {
+                    if !live.is_empty() {
+                        let (_, addr, _) = live[*i as usize % live.len()];
+                        // Populate the cache so later GC must evict it.
+                        prop_assert!(store.read(addr).is_ok());
+                    }
+                }
+                CacheCmd::Invalidate(i) => {
+                    if !live.is_empty() {
+                        let (_, addr, bytes) = live.remove(*i as usize % live.len());
+                        store.invalidate(addr).unwrap();
+                        invalidated.push((addr, bytes));
+                    }
+                }
+                CacheCmd::Relocate(i) => {
+                    if !live.is_empty() {
+                        let extent = live[*i as usize % live.len()].1.extent;
+                        let mut moves: Vec<(u64, PageAddr)> = Vec::new();
+                        // A torn re-append aborts the relocation partway;
+                        // moves already reported still hold (both copies
+                        // stay readable until the final reclaim).
+                        let outcome =
+                            store.relocate_extent(StreamId::BASE, extent, |tag, _, new| {
+                                moves.push((tag, new));
+                            });
+                        for (tag, new) in moves {
+                            if let Some(entry) = live.iter_mut().find(|(t, _, _)| *t == tag) {
+                                entry.1 = new;
+                            }
+                        }
+                        if outcome.is_ok() {
+                            // Full reclaim: every address still inside the
+                            // freed extent (invalidated slots the move
+                            // skipped, and any live stragglers) is dead.
+                            let (gone, kept): (Vec<_>, Vec<_>) = live
+                                .drain(..)
+                                .partition(|(_, a, _)| a.extent == extent);
+                            live = kept;
+                            dead.extend(gone.into_iter().map(|(_, a, _)| a));
+                            let (gone, kept): (Vec<_>, Vec<_>) = invalidated
+                                .drain(..)
+                                .partition(|(a, _)| a.extent == extent);
+                            invalidated = kept;
+                            dead.extend(gone.into_iter().map(|(a, _)| a));
+                        }
+                    }
+                }
+                CacheCmd::Expire(i) => {
+                    if !live.is_empty() {
+                        let extent = live[*i as usize % live.len()].1.extent;
+                        if store.expire_extent(StreamId::BASE, extent).is_ok() {
+                            let (gone, kept): (Vec<_>, Vec<_>) = live
+                                .drain(..)
+                                .partition(|(_, a, _)| a.extent == extent);
+                            live = kept;
+                            dead.extend(gone.into_iter().map(|(_, a, _)| a));
+                            let (gone, kept): (Vec<_>, Vec<_>) = invalidated
+                                .drain(..)
+                                .partition(|(a, _)| a.extent == extent);
+                            invalidated = kept;
+                            dead.extend(gone.into_iter().map(|(a, _)| a));
+                        }
+                    }
+                }
+            }
+            // The invariant, after every step, over every address we know.
+            for (addr, expected) in live
+                .iter()
+                .map(|(_, a, b)| (a, b))
+                .chain(invalidated.iter().map(|(a, b)| (a, b)))
+            {
+                let cached = store.read(*addr);
+                let raw = store.read_uncached(*addr);
+                prop_assert!(cached.is_ok() && raw.is_ok(), "record readable both ways");
+                prop_assert_eq!(cached.unwrap().as_ref(), expected.as_slice());
+                prop_assert_eq!(raw.unwrap().as_ref(), expected.as_slice());
+            }
+            for addr in &dead {
+                prop_assert!(store.read(*addr).is_err(), "dead addr served from cache");
+                prop_assert!(store.read_uncached(*addr).is_err());
+            }
         }
     }
 

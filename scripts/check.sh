@@ -17,4 +17,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace (tier-1)"
 cargo test --workspace --quiet
 
+echo "==> concurrent stress test (RUSTFLAGS=-D warnings)"
+RUSTFLAGS="-D warnings" cargo test --quiet --test chaos_recovery \
+    striped_forest_survives_concurrent_put_get_split_out
+
+echo "==> cache_scaling smoke (~5s)"
+cargo run --release --quiet -p bg3-bench --bin reproduce -- cache_scaling --scale quick --threads 2
+
 echo "==> all checks passed"

@@ -221,6 +221,101 @@ fn crash_and_recover_at(point: CrashPoint) -> u64 {
     ops_done
 }
 
+/// 8 OS threads hammer one durable engine (append faults still firing)
+/// through put / delete / read / split-out traffic on the lock-striped
+/// forest. Each thread owns a disjoint source-vertex range, so a
+/// per-thread [`MemGraph`] shadow is race-free; at the end every thread's
+/// shadow must match the shared engine exactly, split-outs must actually
+/// have happened concurrently, and a checkpoint afterwards must not
+/// disturb convergence.
+#[test]
+fn striped_forest_survives_concurrent_put_get_split_out() {
+    const THREADS: u64 = 8;
+    const OPS_PER_THREAD: u64 = 700;
+    /// Sources per thread; the first two are hot enough to split out.
+    const SRCS_PER_THREAD: u64 = 12;
+
+    let db = Bg3Db::new(chaos_config());
+    let shadows: Vec<MemGraph> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let db = &db;
+                scope.spawn(move || {
+                    let shadow = MemGraph::new();
+                    let base = 10_000 + t * 100;
+                    for i in 0..OPS_PER_THREAD {
+                        let r = mix((t << 32) | i);
+                        // Skew toward the two hot sources so split-out
+                        // (threshold 12) fires early and often per thread.
+                        let src = if r.is_multiple_of(3) {
+                            VertexId(base + mix(r) % SRCS_PER_THREAD)
+                        } else {
+                            VertexId(base + mix(r) % 2)
+                        };
+                        let dst = VertexId(1_000 + mix(r ^ 0xABCD) % 150);
+                        let op = match r % 10 {
+                            0..=6 => ShadowOp::InsertEdge(Edge {
+                                src,
+                                etype: EdgeType::FOLLOW,
+                                dst,
+                                props: i.to_le_bytes().to_vec(),
+                            }),
+                            7 => ShadowOp::DeleteEdge(src, EdgeType::FOLLOW, dst),
+                            8 => ShadowOp::InsertVertex(Vertex {
+                                id: src,
+                                props: i.to_le_bytes().to_vec(),
+                            }),
+                            _ => {
+                                // Read beat: this thread's sources only, so
+                                // the local shadow is authoritative.
+                                assert_eq!(
+                                    db.neighbors(src, EdgeType::FOLLOW, 16).unwrap(),
+                                    shadow.neighbors(src, EdgeType::FOLLOW, 16).unwrap(),
+                                    "live divergence at {src:?}"
+                                );
+                                continue;
+                            }
+                        };
+                        apply(db, &op).unwrap();
+                        apply(&shadow, &op).unwrap();
+                    }
+                    shadow
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert!(
+        db.store().fault_injector().total_fired() > 0,
+        "append faults should have fired under the concurrent load"
+    );
+    assert!(
+        db.forest().tree_count() > 1,
+        "hot sources split out into dedicated trees while racing"
+    );
+    let verify = |label: &str| {
+        for (t, shadow) in shadows.iter().enumerate() {
+            for s in 0..SRCS_PER_THREAD {
+                let id = VertexId(10_000 + t as u64 * 100 + s);
+                assert_eq!(
+                    db.neighbors(id, EdgeType::FOLLOW, usize::MAX).unwrap(),
+                    shadow.neighbors(id, EdgeType::FOLLOW, usize::MAX).unwrap(),
+                    "{label}: adjacency divergence at thread {t} src {s}"
+                );
+                assert_eq!(
+                    db.get_vertex(id).unwrap(),
+                    shadow.get_vertex(id).unwrap(),
+                    "{label}: vertex divergence at thread {t} src {s}"
+                );
+            }
+        }
+    };
+    verify("after join");
+    db.checkpoint().unwrap();
+    verify("after checkpoint");
+}
+
 #[test]
 fn crash_mid_flush_recovers_to_shadow_model() {
     crash_and_recover_at(CrashPoint::MidFlush);
