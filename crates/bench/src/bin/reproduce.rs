@@ -2,16 +2,18 @@
 //!
 //! ```text
 //! reproduce [all|table1|fig8|cost|fig9|fig10|fig11|table2|fig12|fig13|fig14
-//!            |ablation|chaos|cache_scaling]
-//!           [--scale full|quick] [--json <path>] [--threads N]
+//!            |ablation|chaos|failover|cache_scaling]
+//!           [--scale full|quick] [--json <path>] [--threads N] [--cycles N]
 //! ```
 //!
 //! Prints each experiment's rows in the shape of the paper's artifact and,
 //! with `--json`, writes all raw results to a JSON file. Experiments whose
 //! reports embed cache-adjusted I/O counters additionally get a
-//! per-experiment `cache:` summary line. `--threads N` appends a
-//! real-OS-thread `cache_scaling` run at that thread count (wall-clock
-//! throughput over one shared engine).
+//! per-experiment `cache:` summary line; reports embedding epoch-fence
+//! counters get a `fencing:` line. `--threads N` appends a real-OS-thread
+//! `cache_scaling` run at that thread count (wall-clock throughput over one
+//! shared engine). `--cycles N` overrides the failover experiment's
+//! kill→promote cycle count.
 
 use bg3_bench::experiments::*;
 use serde_json::{json, Value};
@@ -29,6 +31,7 @@ struct Scale {
     fig14_reads: usize,
     chaos_ops: u64,
     cache_ops: usize,
+    failover_cycles: usize,
 }
 
 const FULL: Scale = Scale {
@@ -43,6 +46,7 @@ const FULL: Scale = Scale {
     fig14_reads: 30_000,
     chaos_ops: 6_000,
     cache_ops: 12_000,
+    failover_cycles: 5,
 };
 
 const QUICK: Scale = Scale {
@@ -57,6 +61,7 @@ const QUICK: Scale = Scale {
     fig14_reads: 6_000,
     chaos_ops: 1_500,
     cache_ops: 2_000,
+    failover_cycles: 3,
 };
 
 fn main() {
@@ -65,6 +70,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut scale = &FULL;
     let mut threads: Option<usize> = None;
+    let mut cycles: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -81,6 +87,13 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .filter(|&n| n >= 1)
                     .or_else(|| panic!("--threads takes a positive integer"));
+            }
+            "--cycles" => {
+                cycles = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .or_else(|| panic!("--cycles takes a positive integer"));
             }
             other => which.push(other.to_string()),
         }
@@ -99,6 +112,7 @@ fn main() {
             "fig14",
             "ablation",
             "chaos",
+            "failover",
             "cache_scaling",
         ]
         .iter()
@@ -109,10 +123,13 @@ fn main() {
     let mut results: Vec<(String, Value)> = Vec::new();
     for name in &which {
         let started = Instant::now();
-        let (rendered, value) = run_one(name, scale);
+        let (rendered, value) = run_one(name, scale, cycles);
         println!("{rendered}");
         if let Some(line) = cache_summary(&value) {
             println!("[{name} cache: {line}]");
+        }
+        if let Some(line) = fencing_summary(&value) {
+            println!("[{name} fencing: {line}]");
         }
         println!("[{name} took {:.1}s]\n", started.elapsed().as_secs_f64());
         results.push((name.clone(), value));
@@ -140,7 +157,7 @@ fn main() {
     }
 }
 
-fn run_one(name: &str, scale: &Scale) -> (String, Value) {
+fn run_one(name: &str, scale: &Scale, cycles: Option<usize>) -> (String, Value) {
     match name {
         "table1" => (table1::render(), json!(null)),
         "fig8" => {
@@ -221,6 +238,13 @@ fn run_one(name: &str, scale: &Scale) -> (String, Value) {
                 serde_json::to_value(&report).unwrap(),
             )
         }
+        "failover" => {
+            let report = failover::run(cycles.unwrap_or(scale.failover_cycles));
+            (
+                failover::render(&report),
+                serde_json::to_value(&report).unwrap(),
+            )
+        }
         "cache_scaling" => {
             let report = cache_scaling::run(scale.cache_ops);
             (
@@ -283,5 +307,64 @@ fn cache_summary(value: &Value) -> Option<String> {
     };
     Some(format!(
         "hits {hits}  misses {misses}  evictions {evictions}  storage reads {random_reads}  read-amp {amp:.2}"
+    ))
+}
+
+/// Walks a report for embedded epoch-fence counters (objects carrying the
+/// `seals`/`rejected_publishes`/`rejected_appends` contract, i.e. a
+/// serialized `EpochFenceSnapshot`) plus the failover counters that ride
+/// beside them, and folds them into one `fencing:` line. `None` when the
+/// report embeds no fence accounting.
+fn fencing_summary(value: &Value) -> Option<String> {
+    fn as_u64(value: Option<&Value>) -> Option<u64> {
+        match value {
+            Some(Value::Number(serde_json::Number::U64(n))) => Some(*n),
+            _ => None,
+        }
+    }
+    fn walk(value: &Value, acc: &mut [u64; 5], seen: &mut bool) {
+        match value {
+            Value::Object(map) => {
+                if let (Some(seals), Some(pubs), Some(appends)) = (
+                    as_u64(map.get("seals")),
+                    as_u64(map.get("rejected_publishes")),
+                    as_u64(map.get("rejected_appends")),
+                ) {
+                    *seen = true;
+                    acc[0] += seals;
+                    acc[1] += pubs;
+                    acc[2] += appends;
+                }
+                // Failover counters ride beside the fence in a stats
+                // snapshot; per-cycle rows carry only one of the pair, so
+                // requiring both avoids double-counting them.
+                if let (Some(replays), Some(stale)) = (
+                    as_u64(map.get("promotion_replay_records")),
+                    as_u64(map.get("stale_reads_served")),
+                ) {
+                    acc[3] += replays;
+                    acc[4] += stale;
+                }
+                for (_, v) in map.iter() {
+                    walk(v, acc, seen);
+                }
+            }
+            Value::Array(items) => {
+                for v in items {
+                    walk(v, acc, seen);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut acc = [0u64; 5];
+    let mut seen = false;
+    walk(value, &mut acc, &mut seen);
+    if !seen {
+        return None;
+    }
+    let [seals, pubs, appends, replays, stale] = acc;
+    Some(format!(
+        "epochs bumped {seals}  zombie publishes rejected {pubs}  zombie appends rejected {appends}  promotion replays {replays}  stale reads served {stale}"
     ))
 }

@@ -739,7 +739,12 @@ impl BwTree {
         let mut flushed = Vec::with_capacity(dirty.len());
         for (i, &page) in dirty.iter().enumerate() {
             if let Err(err) = self.flush_page(&mut inner, page, &mut flushed) {
-                for &p in &dirty[i..] {
+                // Re-dirty the *whole* batch, not just the unflushed tail:
+                // the flushed prefix has new images on storage but its
+                // addresses die with this error before any publish, so the
+                // pages must flush again (idempotent) or the mapping would
+                // point at their old, invalidated images forever.
+                for &p in &dirty {
                     inner.dirty.insert(p);
                 }
                 return Err(err);

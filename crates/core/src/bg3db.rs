@@ -370,22 +370,26 @@ impl Bg3Db {
             *self.pending_publish.lock() = updates;
             return Err(crash);
         }
+        let mut version = mapping.snapshot().version();
         if !updates.is_empty() {
-            let before = mapping.snapshot().version();
             let after = mapping.publish(updates.clone());
-            if after == before {
+            if after == version {
                 // The publish was dropped (injected metadata fault). Do NOT
                 // log a checkpoint: a horizon the mapping does not cover
                 // would lose these pages on recovery. Retry next time.
                 *self.pending_publish.lock() = updates;
                 return Ok(upto);
             }
+            version = after;
         }
         for id in flushed_trees {
             wal.append(
                 id as u64,
                 0,
-                WalPayload::CheckpointComplete { upto: upto.0 },
+                WalPayload::CheckpointComplete {
+                    upto: upto.0,
+                    mapping_version: version,
+                },
             )?;
         }
         Ok(upto)

@@ -19,6 +19,9 @@
 //!   Fig. 8.
 //! * [`ReplicatedBg3`] — one RW node plus N RO nodes over one shared store,
 //!   synchronized through the WAL: the deployment of Figs. 12–14.
+//! * [`FailoverCluster`] — the availability story on top of that topology:
+//!   heartbeat-driven leader-death detection, epoch-fenced promotion of the
+//!   most caught-up follower, stale-flagged reads through the outage.
 
 pub mod bg3db;
 pub mod bytegraph;
@@ -29,7 +32,7 @@ pub mod neptune;
 
 pub use bg3db::{Bg3Config, Bg3Db, DurabilityConfig, GcPolicyKind};
 pub use bytegraph::{ByteGraphConfig, ByteGraphDb};
-pub use cluster::Cluster;
+pub use cluster::{Cluster, FailoverCluster, FailoverConfig, FailoverStatsSnapshot, FailoverTick};
 pub use deployment::{ReplicatedBg3, ReplicatedConfig};
 pub use engine::{EngineRuntime, GraphEngine, MaintenanceReport};
 pub use neptune::NeptuneLike;
@@ -40,7 +43,8 @@ pub use neptune::NeptuneLike;
 pub mod prelude {
     pub use crate::engine::{EngineRuntime, GraphEngine, MaintenanceReport};
     pub use crate::{
-        Bg3Config, Bg3Db, ByteGraphConfig, ByteGraphDb, DurabilityConfig, GcPolicyKind, NeptuneLike,
+        Bg3Config, Bg3Db, ByteGraphConfig, ByteGraphDb, DurabilityConfig, FailoverCluster,
+        FailoverConfig, FailoverStatsSnapshot, FailoverTick, GcPolicyKind, NeptuneLike,
     };
     pub use bg3_graph::{Edge, EdgeType, GraphStore, Vertex, VertexId};
     pub use bg3_storage::{

@@ -1,0 +1,193 @@
+//! Epoch fencing tokens for leader failover.
+//!
+//! BG3 runs exactly one RW node per shard; after a leader crash a follower
+//! is promoted. The promoted node must be protected from the *old* leader
+//! resurrecting with stale state and publishing to the shared mapping table
+//! or appending to the WAL (the classic "zombie writer" problem of
+//! shared-storage designs). The standard defense — used by every
+//! Pangu/Tectonic-style log service — is an **epoch** (fencing token): a
+//! monotonically increasing integer held by the storage service. Promotion
+//! *seals* the old epoch at the store, and every subsequent publish/append
+//! stamped with a lower epoch is rejected atomically.
+//!
+//! [`EpochFence`] is that token. One fence instance is shared (via `Arc`)
+//! between the mapping table, the WAL writer, and the failover coordinator;
+//! rejections are counted so chaos experiments can assert that zombies were
+//! actually fenced rather than merely absent.
+
+use crate::error::{StorageError, StorageOp, StorageResult};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The epoch every cluster starts in.
+pub const INITIAL_EPOCH: u64 = 1;
+
+#[derive(Debug)]
+struct FenceInner {
+    current: AtomicU64,
+    seals: AtomicU64,
+    rejected_publishes: AtomicU64,
+    rejected_appends: AtomicU64,
+}
+
+/// Shared fencing token. Clones observe the same epoch (they model one
+/// storage-service-side token consulted by different components).
+#[derive(Debug, Clone)]
+pub struct EpochFence {
+    inner: Arc<FenceInner>,
+}
+
+impl Default for EpochFence {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EpochFence {
+    /// Creates a fence at [`INITIAL_EPOCH`].
+    pub fn new() -> Self {
+        EpochFence {
+            inner: Arc::new(FenceInner {
+                current: AtomicU64::new(INITIAL_EPOCH),
+                seals: AtomicU64::new(0),
+                rejected_publishes: AtomicU64::new(0),
+                rejected_appends: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The epoch currently accepted by the store.
+    pub fn current(&self) -> u64 {
+        self.inner.current.load(Ordering::Acquire)
+    }
+
+    /// Advances the fence to `epoch`, sealing every lower epoch: after this
+    /// returns, [`EpochFence::check`] rejects writers still on an older
+    /// epoch. Fails (without moving the fence) when `epoch` is not strictly
+    /// newer — a second promotion won the race, and the caller is itself a
+    /// would-be zombie.
+    pub fn seal(&self, epoch: u64) -> StorageResult<u64> {
+        let mut current = self.inner.current.load(Ordering::Acquire);
+        loop {
+            if epoch <= current {
+                return Err(StorageError::epoch_fenced(
+                    StorageOp::MappingPublish,
+                    epoch,
+                    current,
+                ));
+            }
+            match self.inner.current.compare_exchange(
+                current,
+                epoch,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.inner.seals.fetch_add(1, Ordering::Relaxed);
+                    return Ok(epoch);
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Verifies that a writer on `epoch` is still the fenced-in leader for
+    /// `op`. Rejections are counted per operation class.
+    pub fn check(&self, epoch: u64, op: StorageOp) -> StorageResult<()> {
+        let current = self.current();
+        if epoch >= current {
+            return Ok(());
+        }
+        let counter = match op {
+            StorageOp::Append => &self.inner.rejected_appends,
+            _ => &self.inner.rejected_publishes,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        Err(StorageError::epoch_fenced(op, epoch, current))
+    }
+
+    /// Counter snapshot.
+    pub fn snapshot(&self) -> EpochFenceSnapshot {
+        EpochFenceSnapshot {
+            current_epoch: self.current(),
+            seals: self.inner.seals.load(Ordering::Relaxed),
+            rejected_publishes: self.inner.rejected_publishes.load(Ordering::Relaxed),
+            rejected_appends: self.inner.rejected_appends.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of an [`EpochFence`]'s counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EpochFenceSnapshot {
+    /// The epoch currently accepted by the store.
+    pub current_epoch: u64,
+    /// Times the fence advanced (failovers completed).
+    pub seals: u64,
+    /// Mapping publishes rejected for carrying a sealed epoch.
+    pub rejected_publishes: u64,
+    /// WAL appends rejected for carrying a sealed epoch.
+    pub rejected_appends: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ErrorKind;
+
+    #[test]
+    fn starts_at_initial_epoch_and_accepts_it() {
+        let fence = EpochFence::new();
+        assert_eq!(fence.current(), INITIAL_EPOCH);
+        fence.check(INITIAL_EPOCH, StorageOp::Append).unwrap();
+        fence
+            .check(INITIAL_EPOCH, StorageOp::MappingPublish)
+            .unwrap();
+        assert_eq!(
+            fence.snapshot(),
+            EpochFenceSnapshot {
+                current_epoch: INITIAL_EPOCH,
+                ..Default::default()
+            }
+        );
+    }
+
+    #[test]
+    fn seal_advances_and_fences_the_old_epoch() {
+        let fence = EpochFence::new();
+        assert_eq!(fence.seal(2).unwrap(), 2);
+        let err = fence.check(INITIAL_EPOCH, StorageOp::Append).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ErrorKind::EpochFenced {
+                attempted: 1,
+                current: 2
+            }
+        ));
+        fence.check(2, StorageOp::Append).unwrap();
+        let snap = fence.snapshot();
+        assert_eq!(snap.seals, 1);
+        assert_eq!(snap.rejected_appends, 1);
+        assert_eq!(snap.rejected_publishes, 0);
+    }
+
+    #[test]
+    fn seal_to_an_older_or_equal_epoch_is_itself_fenced() {
+        let fence = EpochFence::new();
+        fence.seal(5).unwrap();
+        assert!(fence.seal(5).unwrap_err().is_fenced());
+        assert!(fence.seal(3).unwrap_err().is_fenced());
+        assert_eq!(fence.current(), 5);
+        assert_eq!(fence.snapshot().seals, 1, "losing seals do not count");
+    }
+
+    #[test]
+    fn clones_share_the_token() {
+        let fence = EpochFence::new();
+        let peer = fence.clone();
+        fence.seal(7).unwrap();
+        assert_eq!(peer.current(), 7);
+        assert!(peer.check(1, StorageOp::MappingPublish).is_err());
+        assert_eq!(fence.snapshot().rejected_publishes, 1);
+    }
+}

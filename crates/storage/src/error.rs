@@ -72,6 +72,23 @@ pub enum ErrorKind {
     ExtentStillLive { extent: ExtentId, valid: usize },
     /// The bytes at the address do not decode as the expected record shape.
     CorruptRecord,
+    /// The write carried a sealed (stale) epoch: a newer leader has been
+    /// promoted and the store rejects the zombie writer.
+    EpochFenced {
+        /// Epoch the rejected writer presented.
+        attempted: u64,
+        /// Epoch currently accepted by the store.
+        current: u64,
+    },
+    /// A deadline elapsed (on the virtual clock) before the operation could
+    /// complete — e.g. a follower waiting on a session token from a dead
+    /// leader.
+    Timeout {
+        /// How long the caller waited, in simulated nanoseconds.
+        waited_nanos: u64,
+    },
+    /// No leader is available to serve the request (failover in progress).
+    NoLeader,
     /// A fault injected by the chaos layer (see [`crate::fault`]).
     Injected(FaultKind),
     /// A crash-point kill fired by the chaos harness.
@@ -96,6 +113,13 @@ impl fmt::Display for ErrorKind {
                 write!(f, "{extent} still holds {valid} valid records")
             }
             ErrorKind::CorruptRecord => write!(f, "record bytes failed to decode"),
+            ErrorKind::EpochFenced { attempted, current } => {
+                write!(f, "epoch {attempted} is fenced (store is at {current})")
+            }
+            ErrorKind::Timeout { waited_nanos } => {
+                write!(f, "timed out after {waited_nanos}ns of virtual time")
+            }
+            ErrorKind::NoLeader => write!(f, "no leader available"),
             ErrorKind::Injected(fault) => write!(f, "injected fault: {fault}"),
             ErrorKind::Crash(point) => write!(f, "crashed at {point}"),
         }
@@ -176,6 +200,22 @@ impl StorageError {
         Self::new(ErrorKind::CorruptRecord, op).with_addr(addr)
     }
 
+    /// A write from sealed epoch `attempted` rejected during `op` while the
+    /// store accepts `current`.
+    pub fn epoch_fenced(op: StorageOp, attempted: u64, current: u64) -> Self {
+        Self::new(ErrorKind::EpochFenced { attempted, current }, op)
+    }
+
+    /// A virtual-time deadline elapsed during `op` after `waited_nanos`.
+    pub fn timeout(op: StorageOp, waited_nanos: u64) -> Self {
+        Self::new(ErrorKind::Timeout { waited_nanos }, op)
+    }
+
+    /// No leader was available to serve `op`.
+    pub fn no_leader(op: StorageOp) -> Self {
+        Self::new(ErrorKind::NoLeader, op)
+    }
+
     /// A fault injected by the chaos layer during `op`.
     pub fn injected(op: StorageOp, fault: FaultKind) -> Self {
         Self::new(ErrorKind::Injected(fault), op)
@@ -196,6 +236,18 @@ impl StorageError {
     /// propagate to the harness — retrying them would defeat the kill.
     pub fn is_crash(&self) -> bool {
         matches!(self.kind, ErrorKind::Crash(_))
+    }
+
+    /// True when the error is an epoch-fencing rejection. A fenced writer
+    /// must never retry — it is a zombie; the error is its signal to step
+    /// down.
+    pub fn is_fenced(&self) -> bool {
+        matches!(self.kind, ErrorKind::EpochFenced { .. })
+    }
+
+    /// True when a virtual-time deadline elapsed.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self.kind, ErrorKind::Timeout { .. })
     }
 
     /// True when the failure is transient and retrying the same operation
@@ -270,6 +322,30 @@ mod tests {
         assert!(crash.is_injected());
         assert!(!crash.is_transient(), "crashes must not be retried");
         assert!(crash.is_crash());
+    }
+
+    #[test]
+    fn fencing_and_timeout_classification() {
+        let fenced = StorageError::epoch_fenced(StorageOp::MappingPublish, 3, 5);
+        assert!(fenced.is_fenced());
+        assert!(!fenced.is_transient(), "zombies must not retry");
+        assert!(!fenced.is_crash());
+        assert_eq!(
+            fenced.to_string(),
+            "mapping-publish failed: epoch 3 is fenced (store is at 5)"
+        );
+
+        let timeout = StorageError::timeout(StorageOp::WalReplay, 1_000);
+        assert!(timeout.is_timeout());
+        assert!(!timeout.is_transient());
+        assert_eq!(
+            timeout.to_string(),
+            "wal-replay failed: timed out after 1000ns of virtual time"
+        );
+
+        let no_leader = StorageError::no_leader(StorageOp::Append);
+        assert!(!no_leader.is_transient());
+        assert_eq!(no_leader.to_string(), "append failed: no leader available");
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 pub mod addr;
 pub mod clock;
+pub mod epoch;
 pub mod error;
 pub mod extent;
 pub mod fault;
@@ -44,6 +45,7 @@ pub mod stream;
 pub use addr::{ExtentId, PageAddr, RecordId, StreamId};
 pub use bg3_cache::{CacheConfig, CacheStatsSnapshot, PageCache};
 pub use clock::{SimClock, SimInstant};
+pub use epoch::{EpochFence, EpochFenceSnapshot, INITIAL_EPOCH};
 pub use error::{ErrorKind, StorageError, StorageOp, StorageResult};
 pub use extent::{ExtentInfo, ExtentState, UsageSample};
 pub use fault::{

@@ -12,12 +12,14 @@
 //! them atomically, bumping the version number.
 
 use crate::clock::SimClock;
+use crate::epoch::EpochFence;
+use crate::error::{StorageOp, StorageResult};
 use crate::fault::{FaultInjector, FaultKind, FaultOp};
 use crate::latency::LatencyModel;
 use crate::stats::IoStats;
 use crate::PageAddr;
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// An immutable snapshot of the mapping table at some published version.
@@ -49,8 +51,18 @@ impl MappingSnapshot {
     }
 }
 
+/// How many published versions stay resolvable via
+/// [`SharedMappingTable::snapshot_at`]. Snapshots are `Arc`-backed, so the
+/// cost is one map clone per publish (already paid) plus a pointer here.
+const RETAINED_VERSIONS: usize = 1024;
+
 struct MappingInner {
     current: RwLock<MappingSnapshot>,
+    /// Recent published versions, oldest first. Lets followers adopt the
+    /// *exact* version a `CheckpointComplete` names (§3.3 multi-version
+    /// metadata) instead of the live table, which may run ahead of their
+    /// WAL replay. Bounded to [`RETAINED_VERSIONS`].
+    history: Mutex<VecDeque<MappingSnapshot>>,
 }
 
 /// Thread-safe handle to the shared mapping table. Clones observe the same
@@ -62,6 +74,10 @@ pub struct SharedMappingTable {
     latency: LatencyModel,
     stats: Arc<IoStats>,
     faults: FaultInjector,
+    /// The storage-service-side fencing token: sealed on failover, checked
+    /// by [`SharedMappingTable::publish_fenced`]. Shared with the WAL writer
+    /// so one seal fences both the metadata and the log plane.
+    fence: EpochFence,
 }
 
 impl SharedMappingTable {
@@ -78,11 +94,13 @@ impl SharedMappingTable {
                     version: 0,
                     entries: Arc::new(HashMap::new()),
                 }),
+                history: Mutex::new(VecDeque::new()),
             }),
             clock,
             latency,
             stats: Arc::new(IoStats::new()),
             faults,
+            fence: EpochFence::new(),
         }
     }
 
@@ -108,6 +126,31 @@ impl SharedMappingTable {
         self.inner.current.read().get(page_id)
     }
 
+    /// The snapshot published as exactly `version`, if it is still retained
+    /// (the last [`RETAINED_VERSIONS`] publishes plus the live one). A
+    /// follower processing a `CheckpointComplete` adopts this rather than
+    /// the live table so its cold reads never run ahead of its WAL replay.
+    pub fn snapshot_at(&self, version: u64) -> Option<MappingSnapshot> {
+        let current = self.inner.current.read().clone();
+        if current.version == version {
+            return Some(current);
+        }
+        let history = self.inner.history.lock();
+        // History is version-ordered and dense: index arithmetic from the
+        // back avoids a scan.
+        let newest = history.back()?.version;
+        if version > newest {
+            return None;
+        }
+        let offset = (newest - version) as usize;
+        if offset >= history.len() {
+            return None;
+        }
+        let snap = history[history.len() - 1 - offset].clone();
+        debug_assert_eq!(snap.version, version);
+        Some(snap)
+    }
+
     /// Atomically applies a batch of `(page_id, new_addr)` updates and
     /// removals, charging one publish latency. Returns the new version.
     ///
@@ -128,7 +171,43 @@ impl SharedMappingTable {
             }
             _ => {}
         }
-        let mut guard = self.inner.current.write();
+        let guard = self.inner.current.write();
+        self.apply_locked(guard, updates)
+    }
+
+    /// [`SharedMappingTable::publish`] with an epoch check performed
+    /// *atomically* with the version bump: the fence is consulted under the
+    /// same write lock that serializes publishes and seals, so a zombie
+    /// leader racing a promotion can never slip a batch in between the seal
+    /// and its first check. A rejected batch leaves the table untouched.
+    pub fn publish_fenced(
+        &self,
+        epoch: u64,
+        updates: impl IntoIterator<Item = (u64, Option<PageAddr>)>,
+    ) -> StorageResult<u64> {
+        match self.faults.decide(FaultOp::MappingPublish, None) {
+            Some(FaultKind::PublishDrop) => {
+                self.clock.advance_nanos(self.latency.mapping_cost_nanos());
+                return Ok(self.inner.current.read().version);
+            }
+            Some(FaultKind::Delay { nanos }) => {
+                self.clock.advance_nanos(nanos);
+            }
+            _ => {}
+        }
+        let guard = self.inner.current.write();
+        if let Err(e) = self.fence.check(epoch, StorageOp::MappingPublish) {
+            self.stats.record_fenced_publish();
+            return Err(e);
+        }
+        Ok(self.apply_locked(guard, updates))
+    }
+
+    fn apply_locked(
+        &self,
+        mut guard: std::sync::RwLockWriteGuard<'_, MappingSnapshot>,
+        updates: impl IntoIterator<Item = (u64, Option<PageAddr>)>,
+    ) -> u64 {
         let mut next: HashMap<u64, PageAddr> = (*guard.entries).clone();
         for (page_id, addr) in updates {
             match addr {
@@ -141,19 +220,66 @@ impl SharedMappingTable {
             }
         }
         let version = guard.version + 1;
-        *guard = MappingSnapshot {
+        let snapshot = MappingSnapshot {
             version,
             entries: Arc::new(next),
         };
+        {
+            // Retain the superseded version while the publish lock is still
+            // held, so `snapshot_at` never observes a gap.
+            let mut history = self.inner.history.lock();
+            history.push_back(guard.clone());
+            if history.len() > RETAINED_VERSIONS {
+                history.pop_front();
+            }
+        }
+        *guard = snapshot;
         drop(guard);
         self.clock.advance_nanos(self.latency.mapping_cost_nanos());
         self.stats.record_mapping_publish();
         version
     }
 
+    /// The fencing token guarding this table (share it with WAL writers).
+    pub fn fence(&self) -> &EpochFence {
+        &self.fence
+    }
+
+    /// The epoch currently accepted by the store.
+    pub fn epoch(&self) -> u64 {
+        self.fence.current()
+    }
+
+    /// Checks that a writer on `epoch` is still fenced in, without
+    /// publishing anything. Rejections count as fenced publishes — the
+    /// caller was about to publish and the store turned it away.
+    pub fn check_epoch(&self, epoch: u64) -> StorageResult<()> {
+        if let Err(e) = self.fence.check(epoch, StorageOp::MappingPublish) {
+            self.stats.record_fenced_publish();
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Seals every epoch below `epoch` (failover promotion, §3.4 extended):
+    /// serialized with in-flight publishes via the table's write lock, so
+    /// after this returns no batch from an older epoch can land. Returns
+    /// the sealed-in epoch; fails if a newer epoch already holds the fence.
+    pub fn seal_epoch(&self, epoch: u64) -> StorageResult<u64> {
+        let _guard = self.inner.current.write();
+        let sealed = self.fence.seal(epoch)?;
+        self.stats.record_epoch_seal();
+        Ok(sealed)
+    }
+
     /// Number of publishes so far.
     pub fn publish_count(&self) -> u64 {
         self.stats.snapshot().mapping_publishes
+    }
+
+    /// Metadata-plane I/O counters (publishes, fenced rejections, seals).
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
     }
 }
 
@@ -214,6 +340,21 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_at_resolves_retained_versions_exactly() {
+        let t = table();
+        t.publish([(1, Some(addr(0)))]); // v1
+        t.publish([(1, Some(addr(16)))]); // v2
+        t.publish([(1, Some(addr(32))), (2, Some(addr(8)))]); // v3
+        assert_eq!(t.snapshot_at(0).unwrap().get(1), None);
+        assert_eq!(t.snapshot_at(1).unwrap().get(1), Some(addr(0)));
+        assert_eq!(t.snapshot_at(2).unwrap().get(1), Some(addr(16)));
+        let v3 = t.snapshot_at(3).unwrap();
+        assert_eq!(v3.get(1), Some(addr(32)));
+        assert_eq!(v3.get(2), Some(addr(8)));
+        assert!(t.snapshot_at(4).is_none(), "future versions do not exist");
+    }
+
+    #[test]
     fn publish_charges_latency() {
         let clock = SimClock::new();
         let t = SharedMappingTable::new(
@@ -258,6 +399,53 @@ mod tests {
         let v = t.publish([(1, Some(addr(0)))]);
         assert_eq!(v, 1);
         assert_eq!(t.get(1), Some(addr(0)));
+    }
+
+    #[test]
+    fn sealed_epoch_rejects_zombie_publishes_atomically() {
+        use crate::epoch::INITIAL_EPOCH;
+        let t = table();
+        // The original leader publishes on the initial epoch.
+        assert_eq!(
+            t.publish_fenced(INITIAL_EPOCH, [(1, Some(addr(0)))])
+                .unwrap(),
+            1
+        );
+        // Failover: epoch 2 is sealed in.
+        assert_eq!(t.seal_epoch(2).unwrap(), 2);
+        assert_eq!(t.epoch(), 2);
+        // The zombie's batch is rejected and leaves the table untouched.
+        let err = t
+            .publish_fenced(INITIAL_EPOCH, [(1, Some(addr(64))), (9, Some(addr(8)))])
+            .unwrap_err();
+        assert!(err.is_fenced());
+        assert_eq!(t.get(1), Some(addr(0)), "zombie write not applied");
+        assert_eq!(t.get(9), None);
+        assert_eq!(t.snapshot().version(), 1, "version did not advance");
+        // The new leader publishes on epoch 2.
+        assert_eq!(t.publish_fenced(2, [(1, Some(addr(32)))]).unwrap(), 2);
+        let stats = t.stats().snapshot();
+        assert_eq!(stats.epoch_seals, 1);
+        assert_eq!(stats.fenced_publishes, 1);
+        assert_eq!(t.fence().snapshot().rejected_publishes, 1);
+    }
+
+    #[test]
+    fn check_epoch_counts_rejections_without_publishing() {
+        let t = table();
+        t.seal_epoch(3).unwrap();
+        t.check_epoch(3).unwrap();
+        assert!(t.check_epoch(1).unwrap_err().is_fenced());
+        assert_eq!(t.stats().snapshot().fenced_publishes, 1);
+        assert_eq!(t.snapshot().version(), 0);
+    }
+
+    #[test]
+    fn stale_seal_loses() {
+        let t = table();
+        t.seal_epoch(5).unwrap();
+        assert!(t.seal_epoch(4).unwrap_err().is_fenced());
+        assert_eq!(t.epoch(), 5);
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub struct IoStats {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
+    epoch_seals: AtomicU64,
+    fenced_publishes: AtomicU64,
+    fenced_appends: AtomicU64,
 }
 
 impl IoStats {
@@ -81,6 +84,22 @@ impl IoStats {
         self.cache_evictions.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records an epoch seal (failover promotion). Public: the failover
+    /// machinery lives outside this crate and records on the store's stats.
+    pub fn record_epoch_seal(&self) {
+        self.epoch_seals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a mapping publish rejected by the epoch fence.
+    pub fn record_fenced_publish(&self) {
+        self.fenced_publishes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a WAL append rejected by the epoch fence.
+    pub fn record_fenced_append(&self) {
+        self.fenced_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough point-in-time copy of all counters.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
@@ -98,6 +117,9 @@ impl IoStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            epoch_seals: self.epoch_seals.load(Ordering::Relaxed),
+            fenced_publishes: self.fenced_publishes.load(Ordering::Relaxed),
+            fenced_appends: self.fenced_appends.load(Ordering::Relaxed),
         }
     }
 }
@@ -135,6 +157,12 @@ pub struct IoStatsSnapshot {
     /// Cache entries removed — CLOCK displacement under pressure plus
     /// coherence evictions on invalidate/relocate/expire.
     pub cache_evictions: u64,
+    /// Epoch seals: completed failover promotions observed by this store.
+    pub epoch_seals: u64,
+    /// Mapping publishes rejected by the epoch fence (zombie leaders).
+    pub fenced_publishes: u64,
+    /// WAL appends rejected by the epoch fence (zombie leaders).
+    pub fenced_appends: u64,
 }
 
 impl IoStatsSnapshot {
@@ -165,6 +193,11 @@ impl IoStatsSnapshot {
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
             cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+            epoch_seals: self.epoch_seals.saturating_sub(earlier.epoch_seals),
+            fenced_publishes: self
+                .fenced_publishes
+                .saturating_sub(earlier.fenced_publishes),
+            fenced_appends: self.fenced_appends.saturating_sub(earlier.fenced_appends),
         }
     }
 

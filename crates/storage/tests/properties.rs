@@ -10,7 +10,7 @@ use proptest::prelude::*;
 
 /// An arbitrary snapshot built field-by-field (all fields are public).
 fn snapshot_strategy() -> impl Strategy<Value = IoStatsSnapshot> {
-    (proptest::collection::vec(any::<u32>(), 14), Just(())).prop_map(|(v, ())| IoStatsSnapshot {
+    (proptest::collection::vec(any::<u32>(), 17), Just(())).prop_map(|(v, ())| IoStatsSnapshot {
         appends: v[0] as u64,
         bytes_appended: v[1] as u64,
         random_reads: v[2] as u64,
@@ -25,6 +25,9 @@ fn snapshot_strategy() -> impl Strategy<Value = IoStatsSnapshot> {
         cache_hits: v[11] as u64,
         cache_misses: v[12] as u64,
         cache_evictions: v[13] as u64,
+        epoch_seals: v[14] as u64,
+        fenced_publishes: v[15] as u64,
+        fenced_appends: v[16] as u64,
     })
 }
 
@@ -44,6 +47,9 @@ fn le(a: &IoStatsSnapshot, b: &IoStatsSnapshot) -> bool {
         && a.cache_hits <= b.cache_hits
         && a.cache_misses <= b.cache_misses
         && a.cache_evictions <= b.cache_evictions
+        && a.epoch_seals <= b.epoch_seals
+        && a.fenced_publishes <= b.fenced_publishes
+        && a.fenced_appends <= b.fenced_appends
 }
 
 /// Fieldwise addition.
@@ -63,6 +69,9 @@ fn add(a: &IoStatsSnapshot, b: &IoStatsSnapshot) -> IoStatsSnapshot {
         cache_hits: a.cache_hits + b.cache_hits,
         cache_misses: a.cache_misses + b.cache_misses,
         cache_evictions: a.cache_evictions + b.cache_evictions,
+        epoch_seals: a.epoch_seals + b.epoch_seals,
+        fenced_publishes: a.fenced_publishes + b.fenced_publishes,
+        fenced_appends: a.fenced_appends + b.fenced_appends,
     }
 }
 

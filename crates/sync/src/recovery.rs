@@ -17,7 +17,9 @@
 
 use bg3_bwtree::tree::FIRST_LEAF;
 use bg3_bwtree::{decode_base_page, BwTree, BwTreeConfig, Entries, PageTag, TreeEventListener};
-use bg3_storage::{AppendOnlyStore, PageAddr, SharedMappingTable, StorageResult};
+use bg3_storage::{
+    AppendOnlyStore, PageAddr, SharedMappingTable, StorageError, StorageOp, StorageResult,
+};
 use bg3_wal::{Lsn, WalPayload, WalRecord};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -35,12 +37,29 @@ pub fn recover_tree(
     config: BwTreeConfig,
     listener: Arc<dyn TreeEventListener>,
 ) -> StorageResult<BwTree> {
+    // 0. Fence zombies. A legitimate log's epoch is monotonically
+    //    non-decreasing, so a record whose epoch regresses below the running
+    //    maximum was appended by a deposed leader racing its own demise.
+    //    Drop such records before every pass — including the checkpoint
+    //    scan, whose horizon a zombie must not be allowed to advance.
+    let mut max_epoch = 0u64;
+    let records: Vec<&WalRecord> = records
+        .iter()
+        .filter(|r| {
+            if r.epoch < max_epoch {
+                return false;
+            }
+            max_epoch = r.epoch;
+            true
+        })
+        .collect();
+
     // 1. Checkpoint horizon: content records at or below it are reflected
     //    in the mapping's page images.
     let durable = records
         .iter()
         .filter_map(|r| match r.payload {
-            WalPayload::CheckpointComplete { upto } if r.tree == tree_id as u64 => Some(upto),
+            WalPayload::CheckpointComplete { upto, .. } if r.tree == tree_id as u64 => Some(upto),
             _ => None,
         })
         .max()
@@ -53,7 +72,7 @@ pub fn recover_tree(
     let mut routing: BTreeMap<Vec<u8>, u32> = BTreeMap::new();
     routing.insert(Vec::new(), FIRST_LEAF);
     pages.insert(FIRST_LEAF, (Entries::new(), None));
-    for record in records {
+    for record in &records {
         if record.tree != tree_id as u64 {
             continue;
         }
@@ -70,7 +89,8 @@ pub fn recover_tree(
         .encode();
         if let Some(addr) = snapshot.get(tag) {
             let bytes = store.read(addr)?;
-            slot.0 = decode_base_page(&bytes).expect("mapping points at a valid image");
+            slot.0 = decode_base_page(&bytes)
+                .map_err(|_| StorageError::corrupt_record(StorageOp::Recovery, addr))?;
             slot.1 = Some(addr);
         }
     }
@@ -82,7 +102,7 @@ pub fn recover_tree(
     //    newer than their mapped image, so they must re-flush before the
     //    next checkpoint advances the horizon over them.
     let mut dirty: std::collections::HashSet<u32> = std::collections::HashSet::new();
-    for record in records {
+    for record in &records {
         if record.tree != tree_id as u64 {
             continue;
         }
@@ -118,8 +138,9 @@ pub fn recover_tree(
             WalPayload::PageImage { image } | WalPayload::NewPage { image }
                 if record.lsn > durable =>
             {
-                pages.entry(page).or_default().0 =
-                    decode_base_page(image).expect("leader wrote a valid image");
+                pages.entry(page).or_default().0 = decode_base_page(image).map_err(|_| {
+                    StorageError::new(bg3_storage::ErrorKind::CorruptRecord, StorageOp::WalReplay)
+                })?;
             }
             _ => {}
         }
@@ -262,6 +283,97 @@ mod tests {
             Some(b"ok".to_vec())
         );
         assert_eq!(recovered.entry_count(), 31);
+    }
+
+    #[test]
+    fn corrupt_mapped_image_is_an_error_not_a_panic() {
+        use bg3_storage::StreamId;
+        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let rw = RwNode::new(store, RwNodeConfig::default());
+        for i in 0..10u32 {
+            rw.put(format!("k{i:02}").as_bytes(), b"v").unwrap();
+        }
+        rw.checkpoint().unwrap();
+        // Point the mapping at undecodable bytes, as a torn or misdirected
+        // base-stream write would.
+        let garbage = rw
+            .store()
+            .append(StreamId::BASE, b"\xff\xff\xff\xffnot a page", 0, None)
+            .unwrap();
+        let tag = PageTag { tree: 1, page: 1 }.encode();
+        rw.mapping().publish([(tag, Some(garbage))]);
+        let mut reader = rw.open_wal_reader();
+        let records = reader.fetch_new().unwrap();
+        let err = recover_tree(
+            1,
+            rw.store().clone(),
+            rw.mapping(),
+            &records,
+            BwTreeConfig::default(),
+            Arc::new(NullListener),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err.kind, bg3_storage::ErrorKind::CorruptRecord),
+            "structured corruption error, got {err}"
+        );
+        assert_eq!(err.op, StorageOp::Recovery);
+        assert_eq!(err.addr, Some(garbage), "names the offending address");
+    }
+
+    #[test]
+    fn zombie_epoch_records_are_fenced_out_of_replay() {
+        use bg3_storage::SimInstant;
+        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let rw = RwNode::new(
+            store,
+            RwNodeConfig {
+                group_commit_pages: usize::MAX,
+                ..RwNodeConfig::default()
+            },
+        );
+        rw.put(b"real", b"1").unwrap();
+        rw.put(b"also-real", b"2").unwrap();
+        let mut reader = rw.open_wal_reader();
+        let mut records = reader.fetch_new().unwrap();
+        let max_epoch = records.iter().map(|r| r.epoch).max().unwrap();
+        let next_lsn = records.last().unwrap().lsn.next();
+        // A record from a new leader's epoch, then a straggler the deposed
+        // zombie managed to append before the store fenced it.
+        records.push(WalRecord {
+            lsn: next_lsn,
+            epoch: max_epoch + 1,
+            tree: 1,
+            page: 1,
+            timestamp: SimInstant(0),
+            payload: WalPayload::Upsert {
+                key: b"new-era".to_vec(),
+                value: b"3".to_vec(),
+            },
+        });
+        records.push(WalRecord {
+            lsn: next_lsn.next(),
+            epoch: max_epoch,
+            tree: 1,
+            page: 1,
+            timestamp: SimInstant(0),
+            payload: WalPayload::Upsert {
+                key: b"zombie".to_vec(),
+                value: b"x".to_vec(),
+            },
+        });
+        let recovered = recover_tree(
+            1,
+            rw.store().clone(),
+            rw.mapping(),
+            &records,
+            BwTreeConfig::default(),
+            Arc::new(NullListener),
+        )
+        .unwrap();
+        assert_eq!(recovered.get(b"real").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(recovered.get(b"new-era").unwrap(), Some(b"3".to_vec()));
+        assert_eq!(recovered.get(b"zombie").unwrap(), None, "zombie fenced");
     }
 
     #[test]

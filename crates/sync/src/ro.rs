@@ -1,14 +1,21 @@
 //! The read-only (follower) node.
 
 use crate::latency::LatencyRecorder;
-use bg3_bwtree::tree::FIRST_LEAF;
-use bg3_bwtree::{decode_base_page, Entries, PageTag};
-use bg3_storage::{AppendOnlyStore, SharedMappingTable, StorageResult};
-use bg3_wal::{Lsn, WalPayload, WalReader};
+use crate::recovery::recover_tree;
+use crate::rw::{RwNode, RwNodeConfig};
+use crate::wal_listener::WalListener;
+use bg3_bwtree::tree::{FlushMode, FIRST_LEAF};
+use bg3_bwtree::{decode_base_page, Entries, PageTag, TreeEventListener};
+use bg3_storage::{
+    AppendOnlyStore, CrashSwitch, MappingSnapshot, SharedMappingTable, StorageError, StorageOp,
+    StorageResult, INITIAL_EPOCH,
+};
+use bg3_wal::{Lsn, WalPayload, WalReader, WalWriter};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// RO-node configuration.
 #[derive(Debug, Clone)]
@@ -17,12 +24,22 @@ pub struct RoNodeConfig {
     /// page is evicted (the paper: "the cache on RO node dynamically evicts
     /// pages from DRAM based on the read requests").
     pub cache_capacity_pages: usize,
+    /// Virtual-time budget for [`RoNode::ensure_seen`]: waiting on a
+    /// session token longer than this returns
+    /// [`bg3_storage::ErrorKind::Timeout`] instead of spinning on a log a
+    /// dead leader will never extend.
+    pub ensure_seen_timeout_nanos: u64,
+    /// Virtual time burned per empty poll while waiting in
+    /// [`RoNode::ensure_seen`] (models the tailing interval).
+    pub ensure_seen_poll_nanos: u64,
 }
 
 impl Default for RoNodeConfig {
     fn default() -> Self {
         RoNodeConfig {
             cache_capacity_pages: 4096,
+            ensure_seen_timeout_nanos: 200_000_000, // 200ms of virtual time
+            ensure_seen_poll_nanos: 1_000_000,      // 1ms tailing interval
         }
     }
 }
@@ -43,6 +60,18 @@ struct RoInner {
     /// The page-indexed log area (§3.4 "I/O Efficiency"): parked records
     /// waiting for lazy replay, in LSN order per page.
     log_area: HashMap<PageKey, Vec<(Lsn, WalPayload)>>,
+    /// Highest leadership epoch observed in the log. Records from a lower
+    /// epoch arriving *after* a higher one are zombie artifacts (a fenced
+    /// leader racing its demotion) and are skipped defensively.
+    max_epoch: u64,
+    /// The mapping version this follower reads base images through. Only
+    /// advanced when a `CheckpointComplete` is *processed* — never the live
+    /// table, which may already reflect WAL records this follower has not
+    /// replayed (reading it would serve data from the future and corrupt
+    /// lazy replay). The multi-version store keeps superseded images
+    /// readable until extent reclamation, so an adopted snapshot stays
+    /// resolvable while the follower catches up.
+    adopted: MappingSnapshot,
 }
 
 /// Counters describing an RO node's behaviour.
@@ -60,6 +89,13 @@ pub struct RoStatsSnapshot {
     pub records_applied: u64,
     /// Parked records discarded after a checkpoint covered them.
     pub records_discarded: u64,
+    /// Reads served while the node was flagged stale (leader dead, no new
+    /// WAL arriving) — possibly missing the leader's final writes.
+    pub stale_reads: u64,
+    /// Zombie records (epoch below the log's high-water mark) skipped.
+    pub fenced_records_skipped: u64,
+    /// WAL records past `seen_lsn` replayed during promotion.
+    pub promotion_replay_records: u64,
 }
 
 /// A follower: tails the WAL, parks page records for lazy replay, serves
@@ -78,6 +114,12 @@ pub struct RoNode {
     records_parked: AtomicU64,
     records_applied: AtomicU64,
     records_discarded: AtomicU64,
+    stale_reads: AtomicU64,
+    fenced_records_skipped: AtomicU64,
+    promotion_replay_records: AtomicU64,
+    /// Set by the failover coordinator while the leader is down: reads
+    /// still succeed but are counted as (possibly) stale.
+    serving_stale: AtomicBool,
 }
 
 impl RoNode {
@@ -89,6 +131,7 @@ impl RoNode {
         reader: WalReader,
         config: RoNodeConfig,
     ) -> Self {
+        let adopted = mapping.snapshot();
         RoNode {
             store,
             mapping,
@@ -97,6 +140,8 @@ impl RoNode {
                 routing: HashMap::new(),
                 cache: HashMap::new(),
                 log_area: HashMap::new(),
+                max_epoch: INITIAL_EPOCH,
+                adopted,
             }),
             latency: LatencyRecorder::default(),
             config,
@@ -107,6 +152,10 @@ impl RoNode {
             records_parked: AtomicU64::new(0),
             records_applied: AtomicU64::new(0),
             records_discarded: AtomicU64::new(0),
+            stale_reads: AtomicU64::new(0),
+            fenced_records_skipped: AtomicU64::new(0),
+            promotion_replay_records: AtomicU64::new(0),
+            serving_stale: AtomicBool::new(false),
         }
     }
 
@@ -125,7 +174,21 @@ impl RoNode {
             records_parked: self.records_parked.load(Ordering::Relaxed),
             records_applied: self.records_applied.load(Ordering::Relaxed),
             records_discarded: self.records_discarded.load(Ordering::Relaxed),
+            stale_reads: self.stale_reads.load(Ordering::Relaxed),
+            fenced_records_skipped: self.fenced_records_skipped.load(Ordering::Relaxed),
+            promotion_replay_records: self.promotion_replay_records.load(Ordering::Relaxed),
         }
+    }
+
+    /// Flags (or clears) stale serving: while set, reads are still served —
+    /// availability through the outage — but counted as possibly stale.
+    pub fn set_serving_stale(&self, stale: bool) {
+        self.serving_stale.store(stale, Ordering::Relaxed);
+    }
+
+    /// True while the failover coordinator has flagged reads as stale.
+    pub fn is_serving_stale(&self) -> bool {
+        self.serving_stale.load(Ordering::Relaxed)
     }
 
     /// The highest LSN this follower has consumed from the WAL. Use with
@@ -136,16 +199,34 @@ impl RoNode {
         self.reader.lock().position()
     }
 
-    /// Catches up to at least `lsn` (polling the WAL if behind). Returns
-    /// `true` when the follower now covers the token; `false` means the
-    /// leader has not durably logged that LSN yet, so serving the session
-    /// here would violate read-your-writes.
+    /// Catches up to at least `lsn`, polling the WAL until the token is
+    /// covered or `ensure_seen_timeout_nanos` of virtual time elapse.
+    ///
+    /// Returns `Ok(true)` once the follower covers the token. A token the
+    /// leader never durably logged — e.g. because the leader is dead —
+    /// surfaces as [`bg3_storage::ErrorKind::Timeout`] rather than an
+    /// indefinite wait, so session routing can fail over to another node.
     pub fn ensure_seen(&self, lsn: Lsn) -> StorageResult<bool> {
-        if self.seen_lsn() >= lsn {
-            return Ok(true);
+        let clock = self.store.clock();
+        let start = clock.now();
+        loop {
+            if self.seen_lsn() >= lsn {
+                return Ok(true);
+            }
+            let advanced = self.poll()?;
+            if self.seen_lsn() >= lsn {
+                return Ok(true);
+            }
+            let waited = clock.now().duration_since(start);
+            if advanced == 0 {
+                if waited >= self.config.ensure_seen_timeout_nanos {
+                    return Err(StorageError::timeout(StorageOp::WalReplay, waited));
+                }
+                // Idle tailing interval: burn virtual time so a dead leader
+                // cannot stall the session forever.
+                clock.advance_nanos(self.config.ensure_seen_poll_nanos.max(1));
+            }
         }
-        self.poll()?;
-        Ok(self.seen_lsn() >= lsn)
     }
 
     /// Tails the WAL: parks page records, applies splits to the routing
@@ -159,11 +240,29 @@ impl RoNode {
         let now = self.store.clock().now();
         let mut inner = self.inner.lock();
         let count = records.len();
+        // The reader's position already covers this whole batch, so every
+        // record must be consumed even if one of them reports corruption —
+        // aborting midway would silently lose the rest of the batch.
+        let mut first_error: Option<StorageError> = None;
         for record in records {
+            // Defense in depth: with store-side fencing a zombie record
+            // should never land, but replay tolerates one anyway by
+            // skipping records whose epoch regressed.
+            if record.epoch < inner.max_epoch {
+                self.fenced_records_skipped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            inner.max_epoch = record.epoch;
             self.latency.record(now.duration_since(record.timestamp));
             match &record.payload {
-                WalPayload::CheckpointComplete { upto } => {
-                    self.handle_checkpoint(&mut inner, Lsn(*upto));
+                WalPayload::CheckpointComplete {
+                    upto,
+                    mapping_version,
+                } => {
+                    if let Err(e) = self.handle_checkpoint(&mut inner, Lsn(*upto), *mapping_version)
+                    {
+                        first_error.get_or_insert(e);
+                    }
                 }
                 WalPayload::Split {
                     right_page,
@@ -195,7 +294,10 @@ impl RoNode {
                 }
             }
         }
-        Ok(count)
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(count),
+        }
     }
 
     fn fresh_routing() -> BTreeMap<Vec<u8>, u64> {
@@ -216,21 +318,59 @@ impl RoNode {
     /// Checkpoint: shared storage now reflects LSNs `<= upto`. Apply covered
     /// records to any *cached* pages (so dropping them loses nothing), then
     /// discard them; uncached pages will be re-fetched current from storage.
-    fn handle_checkpoint(&self, inner: &mut RoInner, upto: Lsn) {
+    ///
+    /// A record that fails to apply (torn page image) evicts the affected
+    /// page — storage reflects the checkpoint, so a cold re-read converges —
+    /// and the first such corruption is reported to the caller.
+    fn handle_checkpoint(
+        &self,
+        inner: &mut RoInner,
+        upto: Lsn,
+        mapping_version: u64,
+    ) -> StorageResult<()> {
+        // Adopt the exact mapping version this checkpoint published. Cold
+        // reads resolve through it from now on; everything it covers is
+        // about to be applied-and-discarded below, so image + parked
+        // records stay an exact prefix of the log. The *live* table is
+        // deliberately not used — the leader may have published newer
+        // versions covering WAL records this follower has not replayed.
+        // If retention already pruned the version (a follower lagging by
+        // over a thousand checkpoints), fall back to the live snapshot:
+        // bounded staleness degrades to at-least-once visibility instead
+        // of data loss, because newer images only ever cover *more* LSNs.
+        if mapping_version > inner.adopted.version() {
+            inner.adopted = self
+                .mapping
+                .snapshot_at(mapping_version)
+                .unwrap_or_else(|| self.mapping.snapshot());
+        }
+        let mut first_error: Option<bg3_storage::StorageError> = None;
         let RoInner {
             cache, log_area, ..
         } = inner;
         log_area.retain(|page_key, records| {
             let covered = records.iter().filter(|(lsn, _)| *lsn <= upto).count();
             if covered > 0 {
+                let mut drop_page = false;
                 if let Some(cached) = cache.get_mut(page_key) {
                     for (lsn, payload) in records.iter().take(covered) {
                         if *lsn > cached.applied_lsn {
-                            Self::apply_to_entries(&mut cached.entries, payload);
-                            cached.applied_lsn = *lsn;
-                            self.records_applied.fetch_add(1, Ordering::Relaxed);
+                            match Self::apply_to_entries(&mut cached.entries, payload) {
+                                Ok(()) => {
+                                    cached.applied_lsn = *lsn;
+                                    self.records_applied.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(e) => {
+                                    drop_page = true;
+                                    first_error.get_or_insert(e);
+                                    break;
+                                }
+                            }
                         }
                     }
+                }
+                if drop_page {
+                    cache.remove(page_key);
                 }
                 records.drain(..covered);
                 self.records_discarded
@@ -238,9 +378,13 @@ impl RoNode {
             }
             !records.is_empty()
         });
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
-    fn apply_to_entries(entries: &mut Entries, payload: &WalPayload) {
+    fn apply_to_entries(entries: &mut Entries, payload: &WalPayload) -> StorageResult<()> {
         match payload {
             WalPayload::Upsert { key, value } => {
                 match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
@@ -254,7 +398,11 @@ impl RoNode {
                 }
             }
             WalPayload::PageImage { image } | WalPayload::NewPage { image } => {
-                *entries = decode_base_page(image).expect("leader wrote a valid image");
+                // A torn image must not abort the node: surface it as
+                // corruption so the read path can retry/fail over.
+                *entries = decode_base_page(image).map_err(|_| {
+                    StorageError::new(bg3_storage::ErrorKind::CorruptRecord, StorageOp::WalReplay)
+                })?;
             }
             WalPayload::Split { separator, .. } => {
                 // This page is the left half: keys >= separator moved away.
@@ -263,11 +411,15 @@ impl RoNode {
             // Not page-scoped: never parked against a page.
             WalPayload::CheckpointComplete { .. } | WalPayload::ForestSplitOut { .. } => {}
         }
+        Ok(())
     }
 
     /// Point lookup with lazy replay (Fig. 7 steps (4)–(6)).
     pub fn get(&self, tree: u64, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
         self.reads.fetch_add(1, Ordering::Relaxed);
+        if self.is_serving_stale() {
+            self.stale_reads.fetch_add(1, Ordering::Relaxed);
+        }
         let stamp = self.access_clock.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock();
         let page = {
@@ -285,18 +437,24 @@ impl RoNode {
 
         if !inner.cache.contains_key(&page_key) {
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
-            // Resolve through the *published* mapping version. A page the
-            // mapping does not know is brand new (paper's page Q): it is
-            // built purely from parked records.
+            // Resolve through the *adopted* mapping version — the one whose
+            // checkpoint this follower has processed — never the live table,
+            // which may run ahead of replay. A page the mapping does not
+            // know is brand new (paper's page Q): it is built purely from
+            // parked records.
             let tag = PageTag {
                 tree: tree as u32,
                 page: page as u32,
             }
             .encode();
-            let entries = match self.mapping.get(tag) {
+            let entries = match inner.adopted.get(tag) {
                 Some(addr) => {
                     let bytes = self.store.read(addr)?;
-                    decode_base_page(&bytes).expect("valid base image on the store")
+                    // A torn base image is a storage-corruption event, not a
+                    // process-abort: report it so the caller can retry
+                    // through a republished mapping or fail over.
+                    decode_base_page(&bytes)
+                        .map_err(|_| StorageError::corrupt_record(StorageOp::Read, addr))?
                 }
                 None => Entries::new(),
             };
@@ -317,18 +475,35 @@ impl RoNode {
         let RoInner {
             cache, log_area, ..
         } = &mut *inner;
-        let cached = cache.get_mut(&page_key).expect("just ensured");
-        cached.last_access = stamp;
-        if let Some(records) = log_area.get(&page_key) {
-            for (lsn, payload) in records {
-                if *lsn > cached.applied_lsn {
-                    Self::apply_to_entries(&mut cached.entries, payload);
-                    cached.applied_lsn = *lsn;
-                    self.records_applied.fetch_add(1, Ordering::Relaxed);
+        let mut apply_error = None;
+        {
+            let cached = cache.get_mut(&page_key).expect("just ensured");
+            cached.last_access = stamp;
+            if let Some(records) = log_area.get(&page_key) {
+                for (lsn, payload) in records {
+                    if *lsn > cached.applied_lsn {
+                        match Self::apply_to_entries(&mut cached.entries, payload) {
+                            Ok(()) => {
+                                cached.applied_lsn = *lsn;
+                                self.records_applied.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                apply_error = Some(e);
+                                break;
+                            }
+                        }
+                    }
                 }
             }
         }
+        if let Some(e) = apply_error {
+            // Half-applied page: evict it so the next read starts from a
+            // clean storage fetch instead of compounding the corruption.
+            cache.remove(&page_key);
+            return Err(e);
+        }
 
+        let cached = cache.get(&page_key).expect("just ensured");
         Ok(cached
             .entries
             .binary_search_by(|(k, _)| k.as_slice().cmp(key))
@@ -409,6 +584,71 @@ impl RoNode {
         if let Some((&victim, _)) = inner.cache.iter().min_by_key(|(_, p)| p.last_access) {
             inner.cache.remove(&victim);
         }
+    }
+
+    /// Promotes this follower to a leader on `epoch` (failover, §3.4
+    /// extended). The returned [`RwNode`] shares the cluster's store and
+    /// mapping table; this follower is defunct afterwards (its WAL reader
+    /// tails the dead leader's index).
+    ///
+    /// The sequence is crash-survivable because every step works from
+    /// shared storage only:
+    ///
+    /// 1. **Drain** the WAL through this node's reader (free catch-up for
+    ///    the tail the reader already indexes).
+    /// 2. **Seal** the old epoch at the mapping table — from here on every
+    ///    zombie publish *and* WAL append is rejected atomically; sealing
+    ///    before rebuilding means a zombie cannot extend the log while we
+    ///    replay it.
+    /// 3. **Rescan** the WAL stream from shared storage
+    ///    ([`WalWriter::recover`]) — the dead leader's in-memory LSN index
+    ///    died with it — counting the records past our `seen_lsn` as
+    ///    promotion replay work.
+    /// 4. **Rebuild** the tree via [`recover_tree`] (mapping images + WAL
+    ///    tail) and come up as a deferred-flush leader on the new epoch.
+    pub fn promote(&self, epoch: u64, config: RwNodeConfig) -> StorageResult<RwNode> {
+        // 1. Drain whatever the reader can still see. `seen` is captured
+        //    *before* the drain: promotion replay work is measured against
+        //    what this replica had applied when the failover began.
+        let seen = self.seen_lsn();
+        while self.poll()? > 0 {}
+
+        // 2. Fence out the old leader before reading the log tail.
+        self.mapping.seal_epoch(epoch)?;
+
+        // 3. Crash-survivable rescan from shared storage.
+        let (writer, records) = WalWriter::recover(self.store.clone())?;
+        let replayed_past_seen = records.iter().filter(|r| r.lsn > seen).count() as u64;
+        self.promotion_replay_records
+            .fetch_add(replayed_past_seen, Ordering::Relaxed);
+        let writer = Arc::new(
+            writer
+                .with_retry(config.tree_config.retry)
+                .with_fence(self.mapping.fence().clone(), epoch),
+        );
+
+        // 4. Rebuild the tree and assemble the successor leader.
+        let listener: Arc<dyn TreeEventListener> = WalListener::new(Arc::clone(&writer));
+        let mut tree = recover_tree(
+            config.tree_id,
+            self.store.clone(),
+            &self.mapping,
+            &records,
+            config.tree_config.clone(),
+            listener,
+        )?;
+        tree.set_flush_mode(FlushMode::Deferred);
+        let crash = CrashSwitch::new();
+        tree.set_crash_switch(crash.clone());
+        self.set_serving_stale(false);
+        Ok(RwNode::from_parts(
+            Arc::new(tree),
+            writer,
+            self.mapping.clone(),
+            self.store.clone(),
+            config,
+            crash,
+        ))
     }
 
     /// Drops every cached page (tests and failover simulations).
@@ -578,6 +818,7 @@ mod tests {
             rw.open_wal_reader(),
             RoNodeConfig {
                 cache_capacity_pages: 2,
+                ..RoNodeConfig::default()
             },
         );
         for i in 0..64u32 {
@@ -629,8 +870,146 @@ mod tests {
         // ensure_seen catches it up and the write is visible.
         assert!(ro.ensure_seen(token).unwrap());
         assert_eq!(ro.get(1, b"k").unwrap(), Some(b"v1".to_vec()));
-        // A token from the future cannot be served.
-        assert!(!ro.ensure_seen(bg3_wal::Lsn(token.0 + 10)).unwrap());
+        // A token from the future cannot be served: the wait times out on
+        // the virtual clock instead of spinning forever.
+        let err = ro.ensure_seen(bg3_wal::Lsn(token.0 + 10)).unwrap_err();
+        assert!(err.is_timeout(), "got {err}");
+    }
+
+    #[test]
+    fn ensure_seen_gives_up_after_the_virtual_deadline() {
+        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let rw = RwNode::new(store.clone(), RwNodeConfig::default());
+        let ro = RoNode::new(
+            store.clone(),
+            rw.mapping().clone(),
+            rw.open_wal_reader(),
+            RoNodeConfig {
+                ensure_seen_timeout_nanos: 5_000,
+                ensure_seen_poll_nanos: 1_000,
+                ..RoNodeConfig::default()
+            },
+        );
+        let before = store.clock().now();
+        let err = ro.ensure_seen(Lsn(1)).unwrap_err();
+        assert!(err.is_timeout());
+        let waited = store.clock().now().duration_since(before);
+        assert!(
+            (5_000..50_000).contains(&waited),
+            "bounded wait, got {waited}ns"
+        );
+        // The leader finally writes; the same token is now served.
+        rw.put(b"k", b"v").unwrap();
+        assert!(ro.ensure_seen(Lsn(1)).unwrap());
+    }
+
+    #[test]
+    fn torn_base_image_is_an_error_not_a_panic() {
+        use bg3_storage::StreamId;
+        let (rw, ro) = pair(usize::MAX);
+        rw.put(b"k", b"v").unwrap();
+        rw.checkpoint().unwrap();
+        ro.poll().unwrap();
+        // Corrupt the mapping out from under the follower: point the page's
+        // entry at undecodable bytes on the base stream.
+        let garbage = rw
+            .store()
+            .append(StreamId::BASE, b"\xff\xff\xff\xffnot a page", 0, None)
+            .unwrap();
+        let tag = bg3_bwtree::PageTag { tree: 1, page: 1 }.encode();
+        rw.mapping().publish([(tag, Some(garbage))]);
+        // A checkpoint with nothing dirty names the (corrupted) live
+        // version; the follower adopts it on poll.
+        rw.checkpoint().unwrap();
+        ro.poll().unwrap();
+        ro.evict_all();
+        let err = ro.get(1, b"k").unwrap_err();
+        assert!(
+            matches!(err.kind, bg3_storage::ErrorKind::CorruptRecord),
+            "structured corruption error, got {err}"
+        );
+        // The node survives: repair the mapping and the read succeeds.
+        rw.checkpoint().unwrap();
+        rw.put(b"k2", b"v2").unwrap();
+        rw.checkpoint().unwrap();
+        ro.poll().unwrap();
+        assert_eq!(ro.get(1, b"k2").unwrap(), Some(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn stale_flag_counts_reads_served_during_an_outage() {
+        let (rw, ro) = pair(usize::MAX);
+        rw.put(b"k", b"v").unwrap();
+        ro.poll().unwrap();
+        assert_eq!(ro.stats().stale_reads, 0);
+        ro.set_serving_stale(true);
+        assert!(ro.is_serving_stale());
+        assert_eq!(ro.get(1, b"k").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(ro.get(1, b"missing").unwrap(), None);
+        assert_eq!(ro.stats().stale_reads, 2);
+        ro.set_serving_stale(false);
+        ro.get(1, b"k").unwrap();
+        assert_eq!(ro.stats().stale_reads, 2, "flag cleared");
+    }
+
+    #[test]
+    fn promote_turns_a_follower_into_a_working_leader() {
+        let (rw, ro) = pair(usize::MAX);
+        for i in 0..20u32 {
+            rw.put(format!("key{i:02}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        rw.checkpoint().unwrap();
+        // Writes past the checkpoint AND past the follower's last poll:
+        // promotion must pick them up from the shared log.
+        ro.poll().unwrap();
+        rw.put(b"tail1", b"t1").unwrap();
+        rw.put(b"tail2", b"t2").unwrap();
+
+        let new_leader = ro.promote(2, RwNodeConfig::default()).unwrap();
+        assert_eq!(new_leader.epoch(), 2);
+        assert!(
+            ro.stats().promotion_replay_records >= 2,
+            "replayed the tail"
+        );
+        for i in 0..20u32 {
+            assert_eq!(
+                new_leader.get(format!("key{i:02}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes()),
+                "acked write {i} survives promotion"
+            );
+        }
+        assert_eq!(new_leader.get(b"tail1").unwrap(), Some(b"t1".to_vec()));
+        assert_eq!(new_leader.get(b"tail2").unwrap(), Some(b"t2".to_vec()));
+
+        // The old leader is now a zombie on a sealed epoch.
+        assert!(rw.put(b"zombie", b"w").unwrap_err().is_fenced());
+        assert!(rw.checkpoint().unwrap_err().is_fenced());
+
+        // The new leader writes and checkpoints on the new epoch, and a
+        // fresh follower attached to it sees everything.
+        new_leader.put(b"after", b"failover").unwrap();
+        new_leader.checkpoint().unwrap();
+        let ro2 = RoNode::new(
+            new_leader.store().clone(),
+            new_leader.mapping().clone(),
+            new_leader.open_wal_reader(),
+            RoNodeConfig::default(),
+        );
+        ro2.poll().unwrap();
+        assert_eq!(ro2.get(1, b"after").unwrap(), Some(b"failover".to_vec()));
+        assert_eq!(ro2.get(1, b"tail2").unwrap(), Some(b"t2".to_vec()));
+        assert_eq!(ro2.stats().fenced_records_skipped, 0, "no zombie records");
+    }
+
+    #[test]
+    fn promote_rejects_a_stale_epoch() {
+        let (rw, ro) = pair(usize::MAX);
+        rw.put(b"k", b"v").unwrap();
+        rw.mapping().seal_epoch(5).unwrap();
+        let err = ro.promote(5, RwNodeConfig::default()).unwrap_err();
+        assert!(err.is_fenced(), "equal epoch cannot seal again");
+        assert!(ro.promote(6, RwNodeConfig::default()).is_ok());
     }
 
     #[test]

@@ -3,8 +3,12 @@
 use crate::wal_listener::WalListener;
 use bg3_bwtree::tree::FlushMode;
 use bg3_bwtree::{BwTree, BwTreeConfig, PageTag};
-use bg3_storage::{AppendOnlyStore, CrashPoint, CrashSwitch, SharedMappingTable, StorageResult};
+use bg3_storage::{
+    AppendOnlyStore, CrashPoint, CrashSwitch, PageAddr, SharedMappingTable, StorageResult,
+    INITIAL_EPOCH,
+};
 use bg3_wal::{Lsn, WalPayload, WalReader, WalWriter};
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// RW-node configuration.
@@ -38,6 +42,14 @@ pub struct RwNode {
     mapping: SharedMappingTable,
     store: AppendOnlyStore,
     config: RwNodeConfig,
+    /// Leadership epoch this node writes under. Every WAL record and
+    /// mapping publish carries it; once a successor seals a higher epoch,
+    /// this node's writes are rejected at the store.
+    epoch: u64,
+    /// Flushed-page mapping updates whose publish RPC was dropped: staged
+    /// here and re-published by the next checkpoint so `CheckpointComplete`
+    /// is only ever logged for state storage actually reflects.
+    pending_publish: Mutex<Vec<(u64, Option<PageAddr>)>>,
     /// Crash points observed by this node: `MidGroupCommit` fires between
     /// the flush and the mapping publish inside [`RwNode::checkpoint`];
     /// `MidFlush` is forwarded to the tree's flush loop. Disarmed (and
@@ -46,11 +58,18 @@ pub struct RwNode {
 }
 
 impl RwNode {
-    /// Creates a leader over `store` with a fresh WAL and mapping table.
-    /// The tree's retry policy also governs WAL appends.
+    /// Creates a leader over `store` with a fresh WAL and mapping table,
+    /// on [`INITIAL_EPOCH`]. The tree's retry policy also governs WAL
+    /// appends. The WAL shares the mapping table's fence, so sealing a new
+    /// epoch (failover) cuts this node off from both planes at once.
     pub fn new(store: AppendOnlyStore, config: RwNodeConfig) -> Self {
         let crash = CrashSwitch::new();
-        let wal = Arc::new(WalWriter::new(store.clone()).with_retry(config.tree_config.retry));
+        let mapping = SharedMappingTable::for_store(&store);
+        let wal = Arc::new(
+            WalWriter::new(store.clone())
+                .with_retry(config.tree_config.retry)
+                .with_fence(mapping.fence().clone(), INITIAL_EPOCH),
+        );
         let listener = WalListener::new(Arc::clone(&wal));
         let mut tree = BwTree::with_listener(
             config.tree_id,
@@ -60,15 +79,45 @@ impl RwNode {
         );
         tree.set_flush_mode(FlushMode::Deferred);
         tree.set_crash_switch(crash.clone());
-        let mapping = SharedMappingTable::for_store(&store);
         RwNode {
             tree: Arc::new(tree),
             wal,
             mapping,
             store,
             config,
+            epoch: INITIAL_EPOCH,
+            pending_publish: Mutex::new(Vec::new()),
             crash,
         }
+    }
+
+    /// Assembles a leader from recovered parts (promotion / recovery path).
+    /// The epoch is taken from the WAL writer, which the caller has already
+    /// fenced at the successor epoch.
+    pub(crate) fn from_parts(
+        tree: Arc<BwTree>,
+        wal: Arc<WalWriter>,
+        mapping: SharedMappingTable,
+        store: AppendOnlyStore,
+        config: RwNodeConfig,
+        crash: CrashSwitch,
+    ) -> Self {
+        let epoch = wal.epoch();
+        RwNode {
+            tree,
+            wal,
+            mapping,
+            store,
+            config,
+            epoch,
+            pending_publish: Mutex::new(Vec::new()),
+            crash,
+        }
+    }
+
+    /// The leadership epoch this node writes under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The crash switch shared by this node and its tree — arm it to kill
@@ -104,13 +153,20 @@ impl RwNode {
 
     /// Writes a key/value pair. The WAL record is durable when this
     /// returns; the page flush happens later via group commit.
+    ///
+    /// The fence is checked *before* touching the tree: a zombie leader
+    /// gets a structured [`bg3_storage::ErrorKind::EpochFenced`] error with
+    /// its in-memory state unchanged, instead of diverging from the log it
+    /// can no longer write.
     pub fn put(&self, key: &[u8], value: &[u8]) -> StorageResult<()> {
+        self.wal.check_fence()?;
         self.tree.put(key, value)?;
         self.maybe_group_commit()
     }
 
     /// Deletes a key.
     pub fn delete(&self, key: &[u8]) -> StorageResult<()> {
+        self.wal.check_fence()?;
         self.tree.delete(key)?;
         self.maybe_group_commit()
     }
@@ -131,6 +187,10 @@ impl RwNode {
     /// `CheckpointComplete` (Fig. 7 steps (7)–(8)). Returns the LSN the
     /// checkpoint covers.
     pub fn checkpoint(&self) -> StorageResult<Lsn> {
+        // Reject zombie checkpoints up front: a sealed-out leader must not
+        // flush page images (they would orphan-litter the base stream) and
+        // must observe its demotion as a fenced *publish* attempt.
+        self.mapping.check_epoch(self.epoch)?;
         // Everything logged up to here is covered once the flush lands.
         let upto = self.wal.last_lsn();
         let flushed = self.tree.flush_dirty()?;
@@ -138,23 +198,43 @@ impl RwNode {
         // images are durable yet unreachable, and no `CheckpointComplete`
         // was logged, so recovery replays the WAL past the previous horizon.
         self.crash.fire(CrashPoint::MidGroupCommit)?;
-        if !flushed.is_empty() {
-            self.mapping.publish(flushed.iter().map(|f| {
-                (
-                    PageTag {
-                        tree: self.config.tree_id,
-                        page: f.page,
-                    }
-                    .encode(),
-                    Some(f.addr),
-                )
-            }));
+        let mut pending = self.pending_publish.lock();
+        pending.extend(flushed.iter().map(|f| {
+            (
+                PageTag {
+                    tree: self.config.tree_id,
+                    page: f.page,
+                }
+                .encode(),
+                Some(f.addr),
+            )
+        }));
+        let mut version = self.mapping.snapshot().version();
+        if !pending.is_empty() {
+            let after = self
+                .mapping
+                .publish_fenced(self.epoch, pending.iter().cloned())?;
+            if after == version {
+                // The publish RPC was dropped (injected fault). Keep the
+                // batch staged and do NOT log `CheckpointComplete`: ROs
+                // must not discard parked records that storage does not
+                // reflect. The next checkpoint retries the publish.
+                return Ok(upto);
+            }
+            pending.clear();
+            version = after;
         }
+        drop(pending);
+        // The record names the exact mapping version covering `upto`, so a
+        // follower adopts that version — not the live table — on replay.
         self.wal
             .append(
                 self.config.tree_id as u64,
                 0,
-                WalPayload::CheckpointComplete { upto: upto.0 },
+                WalPayload::CheckpointComplete {
+                    upto: upto.0,
+                    mapping_version: version,
+                },
             )
             .map(|r| r.lsn)?;
         Ok(upto)
@@ -211,7 +291,10 @@ mod tests {
         let last = records.last().unwrap();
         assert!(matches!(
             last.payload,
-            WalPayload::CheckpointComplete { upto: 2 }
+            WalPayload::CheckpointComplete {
+                upto: 2,
+                mapping_version: 1
+            }
         ));
     }
 
@@ -276,6 +359,69 @@ mod tests {
         assert_eq!(n.last_lsn(), Lsn(1));
         assert_eq!(store.fault_injector().total_fired(), 2);
         assert_eq!(n.get(b"k").unwrap(), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn sealed_epoch_turns_the_leader_into_a_fenced_zombie() {
+        let n = node(usize::MAX);
+        n.put(b"before", b"v").unwrap();
+        assert_eq!(n.epoch(), bg3_storage::INITIAL_EPOCH);
+        // A successor seals the next epoch (what promotion does).
+        n.mapping().seal_epoch(n.epoch() + 1).unwrap();
+        // Writes are rejected before touching the tree...
+        let entries_before = n.tree().entry_count();
+        assert!(n.put(b"zombie", b"w").unwrap_err().is_fenced());
+        assert!(n.delete(b"before").unwrap_err().is_fenced());
+        assert_eq!(n.tree().entry_count(), entries_before, "tree untouched");
+        // ...and so are checkpoints (counted as fenced publish attempts).
+        assert!(n.checkpoint().unwrap_err().is_fenced());
+        let fence = n.mapping().fence().snapshot();
+        assert!(fence.rejected_appends >= 2);
+        assert!(fence.rejected_publishes >= 1);
+        // Reads on the zombie still work (stale but local).
+        assert_eq!(n.get(b"before").unwrap(), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn dropped_publish_is_restaged_and_checkpoint_withholds_the_horizon() {
+        use bg3_storage::{FaultKind, FaultOp, FaultPlan, FaultRule};
+        let plan = FaultPlan::seeded(11).with_rule(
+            FaultRule::new(FaultOp::MappingPublish, FaultKind::PublishDrop, 1.0).at_most(1),
+        );
+        let store = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let n = RwNode::new(
+            store,
+            RwNodeConfig {
+                group_commit_pages: usize::MAX,
+                ..RwNodeConfig::default()
+            },
+        );
+        n.put(b"k", b"v").unwrap();
+        // First checkpoint: flush lands, publish RPC is dropped — no
+        // CheckpointComplete may be logged.
+        n.checkpoint().unwrap();
+        assert!(n.mapping().snapshot().is_empty(), "publish was dropped");
+        let mut reader = n.open_wal_reader();
+        assert!(
+            reader
+                .fetch_new()
+                .unwrap()
+                .iter()
+                .all(|r| !matches!(r.payload, WalPayload::CheckpointComplete { .. })),
+            "horizon withheld while storage lags"
+        );
+        // Second checkpoint: the staged batch is re-published and the
+        // horizon advances.
+        n.checkpoint().unwrap();
+        assert!(
+            !n.mapping().snapshot().is_empty(),
+            "restaged publish landed"
+        );
+        assert!(reader
+            .fetch_new()
+            .unwrap()
+            .iter()
+            .any(|r| matches!(r.payload, WalPayload::CheckpointComplete { .. })));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! u64 lsn | u64 tree | u64 page | u64 timestamp_nanos | u8 kind | body
+//! u64 lsn | u64 epoch | u64 tree | u64 page | u64 timestamp_nanos | u8 kind | body
 //!
 //! body by kind:
 //!   0 Upsert            u32 key_len, key, u32 val_len, val
@@ -11,7 +11,7 @@
 //!   2 PageImage         u32 image_len, image
 //!   3 NewPage           u32 image_len, image
 //!   4 Split             u64 right_page, u32 sep_len, sep
-//!   5 CheckpointComplete u64 upto
+//!   5 CheckpointComplete u64 upto, u64 mapping_version
 //!   6 ForestSplitOut    u32 group_len, group
 //! ```
 //!
@@ -97,6 +97,7 @@ fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
 pub fn encode_record(record: &WalRecord) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
     out.extend_from_slice(&record.lsn.0.to_le_bytes());
+    out.extend_from_slice(&record.epoch.to_le_bytes());
     out.extend_from_slice(&record.tree.to_le_bytes());
     out.extend_from_slice(&record.page.to_le_bytes());
     out.extend_from_slice(&record.timestamp.0.to_le_bytes());
@@ -117,7 +118,13 @@ pub fn encode_record(record: &WalRecord) -> Vec<u8> {
             out.extend_from_slice(&right_page.to_le_bytes());
             put_bytes(&mut out, separator);
         }
-        WalPayload::CheckpointComplete { upto } => out.extend_from_slice(&upto.to_le_bytes()),
+        WalPayload::CheckpointComplete {
+            upto,
+            mapping_version,
+        } => {
+            out.extend_from_slice(&upto.to_le_bytes());
+            out.extend_from_slice(&mapping_version.to_le_bytes());
+        }
         WalPayload::ForestSplitOut { group } => put_bytes(&mut out, group),
     }
     out
@@ -127,6 +134,7 @@ pub fn encode_record(record: &WalRecord) -> Vec<u8> {
 pub fn decode_record(buf: &[u8]) -> Result<WalRecord, CodecError> {
     let mut r = Reader { buf, pos: 0 };
     let lsn = Lsn(r.u64()?);
+    let epoch = r.u64()?;
     let tree = r.u64()?;
     let page = r.u64()?;
     let timestamp = SimInstant(r.u64()?);
@@ -143,7 +151,10 @@ pub fn decode_record(buf: &[u8]) -> Result<WalRecord, CodecError> {
             right_page: r.u64()?,
             separator: r.bytes()?,
         },
-        5 => WalPayload::CheckpointComplete { upto: r.u64()? },
+        5 => WalPayload::CheckpointComplete {
+            upto: r.u64()?,
+            mapping_version: r.u64()?,
+        },
         6 => WalPayload::ForestSplitOut { group: r.bytes()? },
         other => return Err(CodecError::UnknownKind(other)),
     };
@@ -152,6 +163,7 @@ pub fn decode_record(buf: &[u8]) -> Result<WalRecord, CodecError> {
     }
     Ok(WalRecord {
         lsn,
+        epoch,
         tree,
         page,
         timestamp,
@@ -166,6 +178,7 @@ mod tests {
     fn rec(payload: WalPayload) -> WalRecord {
         WalRecord {
             lsn: Lsn(31),
+            epoch: 2,
             tree: 7,
             page: 12,
             timestamp: SimInstant(99_000),
@@ -191,7 +204,10 @@ mod tests {
                 right_page: 1234,
                 separator: b"user:500".to_vec(),
             },
-            WalPayload::CheckpointComplete { upto: 34 },
+            WalPayload::CheckpointComplete {
+                upto: 34,
+                mapping_version: 0,
+            },
             WalPayload::ForestSplitOut {
                 group: b"user:7".to_vec(),
             },
@@ -221,8 +237,11 @@ mod tests {
 
     #[test]
     fn unknown_kind_is_rejected() {
-        let mut encoded = encode_record(&rec(WalPayload::CheckpointComplete { upto: 1 }));
-        encoded[32] = 250; // kind byte follows the four u64 header fields
+        let mut encoded = encode_record(&rec(WalPayload::CheckpointComplete {
+            upto: 1,
+            mapping_version: 0,
+        }));
+        encoded[40] = 250; // kind byte follows the five u64 header fields
         assert_eq!(decode_record(&encoded), Err(CodecError::UnknownKind(250)));
     }
 

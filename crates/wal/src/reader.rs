@@ -33,6 +33,12 @@ impl WalReader {
 
     /// Reads every record the writer has published since the last call.
     /// Records arrive in LSN order.
+    ///
+    /// If a read fails partway through a batch, the successfully read
+    /// prefix is *delivered* rather than discarded — the reader's position
+    /// only ever covers records the caller received. The error itself is
+    /// returned only when nothing could be read; a persistent fault
+    /// re-surfaces on the next call.
     pub fn fetch_new(&mut self) -> StorageResult<Vec<WalRecord>> {
         let addrs: Vec<PageAddr> = {
             let guard = self.index.read();
@@ -40,11 +46,18 @@ impl WalReader {
         };
         let mut out = Vec::with_capacity(addrs.len());
         for addr in addrs {
-            let bytes = self.store.read(addr)?;
-            let record = decode_record(&bytes)
-                .map_err(|_| StorageError::corrupt_record(StorageOp::WalReplay, addr))?;
-            out.push(record);
-            self.next += 1;
+            let record = self.store.read(addr).and_then(|bytes| {
+                decode_record(&bytes)
+                    .map_err(|_| StorageError::corrupt_record(StorageOp::WalReplay, addr))
+            });
+            match record {
+                Ok(record) => {
+                    out.push(record);
+                    self.next += 1;
+                }
+                Err(e) if out.is_empty() => return Err(e),
+                Err(_) => break,
+            }
         }
         Ok(out)
     }
@@ -79,8 +92,15 @@ mod tests {
         assert!(r.fetch_new().unwrap().is_empty());
 
         for i in 0..3u64 {
-            w.append(1, i, WalPayload::CheckpointComplete { upto: i })
-                .unwrap();
+            w.append(
+                1,
+                i,
+                WalPayload::CheckpointComplete {
+                    upto: i,
+                    mapping_version: 0,
+                },
+            )
+            .unwrap();
         }
         assert!(r.has_new());
         let batch = r.fetch_new().unwrap();
@@ -95,16 +115,94 @@ mod tests {
     }
 
     #[test]
+    fn mid_batch_read_fault_delivers_the_prefix_without_losing_records() {
+        use bg3_storage::{FaultKind, FaultOp, FaultPlan, FaultRule};
+        // The 3rd WAL-stream read fails once. The batch must surface the
+        // first two records; the rest arrive on the retry — none vanish.
+        let plan = FaultPlan::seeded(7).with_rule(
+            FaultRule::new(FaultOp::Read, FaultKind::ReadFail, 1.0)
+                .on_stream(StreamId::WAL)
+                .after(2)
+                .at_most(1),
+        );
+        let store = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let w = WalWriter::new(store);
+        let mut r = w.open_reader();
+        for i in 0..5u64 {
+            w.append(
+                1,
+                i,
+                WalPayload::CheckpointComplete {
+                    upto: i,
+                    mapping_version: 0,
+                },
+            )
+            .unwrap();
+        }
+        let prefix = r.fetch_new().unwrap();
+        assert_eq!(prefix.len(), 2, "prefix before the fault is delivered");
+        assert_eq!(
+            r.position(),
+            Lsn(2),
+            "position covers only delivered records"
+        );
+        let rest = r.fetch_new().unwrap();
+        assert_eq!(rest.len(), 3, "retry resumes at the faulted record");
+        assert_eq!(rest[0].lsn, Lsn(3));
+        assert_eq!(r.position(), Lsn(5));
+    }
+
+    #[test]
+    fn leading_read_fault_is_an_error_and_retries_cleanly() {
+        use bg3_storage::{FaultKind, FaultOp, FaultPlan, FaultRule};
+        let plan = FaultPlan::seeded(7).with_rule(
+            FaultRule::new(FaultOp::Read, FaultKind::ReadFail, 1.0)
+                .on_stream(StreamId::WAL)
+                .at_most(1),
+        );
+        let store = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let w = WalWriter::new(store);
+        let mut r = w.open_reader();
+        w.append(
+            1,
+            1,
+            WalPayload::CheckpointComplete {
+                upto: 0,
+                mapping_version: 0,
+            },
+        )
+        .unwrap();
+        let err = r.fetch_new().unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(r.position(), Lsn(0), "nothing consumed");
+        assert_eq!(r.fetch_new().unwrap().len(), 1);
+    }
+
+    #[test]
     fn independent_readers_have_independent_positions() {
         let store = AppendOnlyStore::new(StoreConfig::counting());
         let w = WalWriter::new(store);
-        w.append(1, 1, WalPayload::CheckpointComplete { upto: 0 })
-            .unwrap();
+        w.append(
+            1,
+            1,
+            WalPayload::CheckpointComplete {
+                upto: 0,
+                mapping_version: 0,
+            },
+        )
+        .unwrap();
         let mut r1 = w.open_reader();
         let mut r2 = w.open_reader();
         assert_eq!(r1.fetch_new().unwrap().len(), 1);
-        w.append(1, 2, WalPayload::CheckpointComplete { upto: 0 })
-            .unwrap();
+        w.append(
+            1,
+            2,
+            WalPayload::CheckpointComplete {
+                upto: 0,
+                mapping_version: 0,
+            },
+        )
+        .unwrap();
         assert_eq!(r1.fetch_new().unwrap().len(), 1);
         assert_eq!(r2.fetch_new().unwrap().len(), 2, "r2 reads from the start");
     }
@@ -114,8 +212,15 @@ mod tests {
         let store = AppendOnlyStore::new(StoreConfig::counting());
         let w = WalWriter::new(store.clone());
         let mut r = w.open_reader();
-        w.append(1, 1, WalPayload::CheckpointComplete { upto: 0 })
-            .unwrap();
+        w.append(
+            1,
+            1,
+            WalPayload::CheckpointComplete {
+                upto: 0,
+                mapping_version: 0,
+            },
+        )
+        .unwrap();
         let before = store.stats().snapshot();
         r.fetch_new().unwrap();
         let delta = store.stats().snapshot().delta_since(&before);

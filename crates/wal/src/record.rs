@@ -47,8 +47,10 @@ pub enum WalPayload {
     Split { right_page: u64, separator: Vec<u8> },
     /// Shared storage now reflects every modification up to (and including)
     /// LSN `upto`: the dirty pages were flushed and the mapping table
-    /// published. ROs may discard lazy-replay records with LSN `<= upto`.
-    CheckpointComplete { upto: u64 },
+    /// published as `mapping_version`. ROs may discard lazy-replay records
+    /// with LSN `<= upto`, and must adopt exactly `mapping_version` for
+    /// cold reads — the live table may already run ahead of their replay.
+    CheckpointComplete { upto: u64, mapping_version: u64 },
     /// The forest committed a split-out: the enclosing record's `tree` is
     /// now the dedicated tree for `group`. Logged *after* the copy and the
     /// INIT-tree deletes, so a crash mid-split-out leaves the INIT tree
@@ -87,6 +89,10 @@ impl WalPayload {
 pub struct WalRecord {
     /// Sequence number assigned by the writer.
     pub lsn: Lsn,
+    /// Leadership epoch of the writer (fencing token). Monotonically
+    /// non-decreasing along the log; a record with a *lower* epoch than one
+    /// before it is a zombie artifact and must be ignored by replay.
+    pub epoch: u64,
     /// Bw-tree the record belongs to (forest member id).
     pub tree: u64,
     /// Page the record applies to (0 for records that are not page-scoped).
@@ -121,7 +127,11 @@ mod tests {
             separator: vec![]
         }
         .is_page_scoped());
-        assert!(!WalPayload::CheckpointComplete { upto: 3 }.is_page_scoped());
+        assert!(!WalPayload::CheckpointComplete {
+            upto: 3,
+            mapping_version: 0
+        }
+        .is_page_scoped());
         assert!(!WalPayload::ForestSplitOut { group: vec![7] }.is_page_scoped());
     }
 
@@ -139,7 +149,10 @@ mod tests {
                 right_page: 9,
                 separator: vec![3],
             },
-            WalPayload::CheckpointComplete { upto: 1 },
+            WalPayload::CheckpointComplete {
+                upto: 1,
+                mapping_version: 0,
+            },
             WalPayload::ForestSplitOut { group: vec![4] },
         ];
         let mut tags: Vec<u8> = payloads.iter().map(|p| p.kind_tag()).collect();

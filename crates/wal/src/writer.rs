@@ -4,7 +4,8 @@ use crate::codec::{decode_record, encode_record};
 use crate::reader::WalReader;
 use crate::record::{Lsn, WalPayload, WalRecord};
 use bg3_storage::{
-    AppendOnlyStore, PageAddr, RetryPolicy, StorageError, StorageOp, StorageResult, StreamId,
+    AppendOnlyStore, EpochFence, PageAddr, RetryPolicy, StorageError, StorageOp, StorageResult,
+    StreamId, INITIAL_EPOCH,
 };
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
@@ -27,6 +28,12 @@ pub struct WalWriter {
     /// failures back off on the simulated clock and try again, so a flaky
     /// log stream costs latency rather than losing records.
     retry: RetryPolicy,
+    /// Leadership epoch stamped into every record this writer appends.
+    epoch: u64,
+    /// Storage-side fencing token, when the log is fenced: appends carrying
+    /// a sealed epoch are rejected before consuming an LSN, so a zombie
+    /// leader can never interleave records with its successor.
+    fence: Option<EpochFence>,
 }
 
 impl WalWriter {
@@ -37,6 +44,8 @@ impl WalWriter {
             index: Arc::new(RwLock::new(Vec::new())),
             tail: Mutex::new(Lsn::ZERO),
             retry: RetryPolicy::default(),
+            epoch: INITIAL_EPOCH,
+            fence: None,
         }
     }
 
@@ -44,6 +53,33 @@ impl WalWriter {
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Fences the log: this writer claims `epoch` and every append first
+    /// verifies the claim against `fence` (shared with the mapping table,
+    /// so one seal covers both planes).
+    pub fn with_fence(mut self, fence: EpochFence, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self.fence = Some(fence);
+        self
+    }
+
+    /// The epoch this writer stamps into records.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Verifies this writer's epoch is still accepted by the fence. Callers
+    /// use this to reject zombie work *before* mutating in-memory state
+    /// (e.g. the leader's tree) that would then diverge from the log.
+    pub fn check_fence(&self) -> StorageResult<()> {
+        if let Some(fence) = &self.fence {
+            if let Err(e) = fence.check(self.epoch, StorageOp::Append) {
+                self.store.stats().record_fenced_append();
+                return Err(e);
+            }
+        }
+        Ok(())
     }
 
     /// Reopens a writer over an existing WAL after a crash.
@@ -77,11 +113,20 @@ impl WalWriter {
             records.push(record);
         }
         let tail = Lsn(records.len() as u64);
+        // Continue on the highest epoch the log has seen (promotions bump
+        // it further via `with_fence`).
+        let epoch = records
+            .iter()
+            .map(|r| r.epoch)
+            .max()
+            .unwrap_or(INITIAL_EPOCH);
         let writer = WalWriter {
             store,
             index: Arc::new(RwLock::new(index)),
             tail: Mutex::new(tail),
             retry: RetryPolicy::default(),
+            epoch,
+            fence: None,
         };
         Ok((writer, records))
     }
@@ -90,9 +135,13 @@ impl WalWriter {
     /// The LSN is only consumed if the append (eventually) succeeds.
     pub fn append(&self, tree: u64, page: u64, payload: WalPayload) -> StorageResult<WalRecord> {
         let mut tail = self.tail.lock();
+        // Fence check under the tail lock: a zombie append can neither
+        // consume an LSN nor race a concurrent seal.
+        self.check_fence()?;
         let lsn = tail.next();
         let record = WalRecord {
             lsn,
+            epoch: self.epoch,
             tree,
             page,
             timestamp: self.store.clock().now(),
@@ -202,11 +251,64 @@ mod tests {
         assert!(records.is_empty());
         assert_eq!(w.last_lsn(), Lsn::ZERO);
         assert_eq!(
-            w.append(1, 1, WalPayload::CheckpointComplete { upto: 0 })
-                .unwrap()
-                .lsn,
+            w.append(
+                1,
+                1,
+                WalPayload::CheckpointComplete {
+                    upto: 0,
+                    mapping_version: 0
+                }
+            )
+            .unwrap()
+            .lsn,
             Lsn(1)
         );
+    }
+
+    #[test]
+    fn fenced_writer_rejects_appends_after_seal() {
+        use bg3_storage::EpochFence;
+        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let fence = EpochFence::new();
+        let w = WalWriter::new(store.clone()).with_fence(fence.clone(), 1);
+        assert_eq!(w.epoch(), 1);
+        let rec = w.append(1, 1, WalPayload::Delete { key: vec![1] }).unwrap();
+        assert_eq!(rec.epoch, 1);
+
+        fence.seal(2).unwrap();
+        let err = w
+            .append(1, 2, WalPayload::Delete { key: vec![2] })
+            .unwrap_err();
+        assert!(err.is_fenced());
+        assert_eq!(w.last_lsn(), Lsn(1), "zombie append consumed no LSN");
+        assert_eq!(store.stats().snapshot().fenced_appends, 1);
+
+        // A successor writer on the sealed-in epoch continues the log.
+        let w2 = WalWriter::new(store.clone()).with_fence(fence, 2);
+        // (Fresh writer: it would restart LSNs; real promotions go through
+        // `recover`. Here we only care that its epoch passes the fence.)
+        assert!(w2.check_fence().is_ok());
+    }
+
+    #[test]
+    fn recover_adopts_the_highest_epoch_in_the_log() {
+        use bg3_storage::EpochFence;
+        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let fence = EpochFence::new();
+        let w = WalWriter::new(store.clone()).with_fence(fence.clone(), 1);
+        w.append(1, 1, WalPayload::Delete { key: vec![1] }).unwrap();
+        fence.seal(3).unwrap();
+        let w2 = WalWriter::new(store.clone()).with_fence(fence, 3);
+        // Manually continue the log at the next LSN via recover-free append
+        // is not possible on a fresh writer; recover instead.
+        drop(w2);
+        let (recovered, records) = WalWriter::recover(store).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(recovered.epoch(), 1, "highest epoch present in the log");
+        let rec = recovered
+            .append(1, 2, WalPayload::Delete { key: vec![2] })
+            .unwrap();
+        assert_eq!(rec.epoch, 1);
     }
 
     #[test]
@@ -217,8 +319,15 @@ mod tests {
             let w = Arc::clone(&w);
             handles.push(std::thread::spawn(move || {
                 for i in 0..50 {
-                    w.append(t, i, WalPayload::CheckpointComplete { upto: 0 })
-                        .unwrap();
+                    w.append(
+                        t,
+                        i,
+                        WalPayload::CheckpointComplete {
+                            upto: 0,
+                            mapping_version: 0,
+                        },
+                    )
+                    .unwrap();
                 }
             }));
         }

@@ -21,7 +21,14 @@ echo "==> concurrent stress test (RUSTFLAGS=-D warnings)"
 RUSTFLAGS="-D warnings" cargo test --quiet --test chaos_recovery \
     striped_forest_survives_concurrent_put_get_split_out
 
+echo "==> replication divergence proptest (RUSTFLAGS=-D warnings)"
+RUSTFLAGS="-D warnings" cargo test --quiet --test replication_consistency \
+    follower_never_diverges_under_read_faults_and_dropped_publishes
+
 echo "==> cache_scaling smoke (~5s)"
 cargo run --release --quiet -p bg3-bench --bin reproduce -- cache_scaling --scale quick --threads 2
+
+echo "==> failover smoke (5 kill/promote/zombie cycles)"
+cargo run --release --quiet -p bg3-bench --bin reproduce -- failover --cycles 5
 
 echo "==> all checks passed"

@@ -2,8 +2,9 @@
 //! a follower must agree with the leader's tree after any interleaving of
 //! writes, checkpoints, polls, and cache evictions.
 
-use bg3_storage::{AppendOnlyStore, StoreConfig};
+use bg3_storage::{AppendOnlyStore, FaultKind, FaultOp, FaultPlan, FaultRule, StoreConfig};
 use bg3_sync::{RoNode, RoNodeConfig, RwNode, RwNodeConfig};
+use bg3_wal::Lsn;
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -43,6 +44,7 @@ fn build_pair() -> (RwNode, RoNode) {
         rw.open_wal_reader(),
         RoNodeConfig {
             cache_capacity_pages: 4, // force evictions + storage re-fetches
+            ..RoNodeConfig::default()
         },
     );
     (rw, ro)
@@ -115,6 +117,175 @@ proptest! {
     }
 }
 
+/// Chaos step: like [`Step`] but with explicit consistency checks mixed in.
+#[derive(Debug, Clone)]
+enum ChaosStep {
+    Put { key: u8, value: u8 },
+    Delete { key: u8 },
+    Checkpoint,
+    Poll,
+    EvictRoCache,
+    Check { key: u8 },
+}
+
+fn chaos_step_strategy() -> impl Strategy<Value = ChaosStep> {
+    prop_oneof![
+        6 => (any::<u8>(), any::<u8>()).prop_map(|(key, value)| ChaosStep::Put { key, value }),
+        2 => any::<u8>().prop_map(|key| ChaosStep::Delete { key }),
+        2 => Just(ChaosStep::Checkpoint),
+        3 => Just(ChaosStep::Poll),
+        1 => Just(ChaosStep::EvictRoCache),
+        4 => any::<u8>().prop_map(|key| ChaosStep::Check { key }),
+    ]
+}
+
+/// The logical state once every record with `lsn <= seen` has applied.
+fn state_at(log: &[(Lsn, u8, Option<u8>)], seen: Lsn) -> std::collections::BTreeMap<u8, u8> {
+    let mut state = std::collections::BTreeMap::new();
+    for (lsn, key, value) in log {
+        if *lsn > seen {
+            break;
+        }
+        match value {
+            Some(v) => {
+                state.insert(*key, *v);
+            }
+            None => {
+                state.remove(key);
+            }
+        }
+    }
+    state
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Chaos property (failover satellite): under a budgeted schedule of
+    /// read faults and dropped mapping publishes, a follower may *fail*
+    /// a read (transiently) but must never *answer it wrongly* — every
+    /// successful read reflects exactly the prefix of the log the follower
+    /// has applied. Once the fault budgets are spent the pair converges.
+    #[test]
+    fn follower_never_diverges_under_read_faults_and_dropped_publishes(
+        seed in any::<u64>(),
+        steps in proptest::collection::vec(chaos_step_strategy(), 20..120),
+    ) {
+        let plan = FaultPlan::seeded(seed)
+            .with_rule(FaultRule::new(FaultOp::Read, FaultKind::ReadFail, 0.3).at_most(10))
+            .with_rule(
+                FaultRule::new(FaultOp::MappingPublish, FaultKind::PublishDrop, 0.6).at_most(5),
+            );
+        let store = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let rw = RwNode::new(
+            store.clone(),
+            RwNodeConfig {
+                group_commit_pages: usize::MAX,
+                ..RwNodeConfig::default()
+            },
+        );
+        let ro = RoNode::new(
+            store,
+            rw.mapping().clone(),
+            rw.open_wal_reader(),
+            RoNodeConfig {
+                cache_capacity_pages: 2, // evictions force faultable re-reads
+                ..RoNodeConfig::default()
+            },
+        );
+        // Oracle: the exact WAL order of logical writes. The leader never
+        // reads from shared storage on this path, so its ops are infallible
+        // even under the read-fault rule.
+        let mut log: Vec<(Lsn, u8, Option<u8>)> = Vec::new();
+        for step in &steps {
+            match step {
+                ChaosStep::Put { key, value } => {
+                    rw.put(&[*key], &[*value]).unwrap();
+                    log.push((rw.last_lsn(), *key, Some(*value)));
+                }
+                ChaosStep::Delete { key } => {
+                    rw.delete(&[*key]).unwrap();
+                    log.push((rw.last_lsn(), *key, None));
+                }
+                ChaosStep::Checkpoint => {
+                    // A dropped publish inside is absorbed (the horizon is
+                    // withheld and the updates restaged); a read fault in
+                    // the flush path surfaces transiently and the next
+                    // checkpoint picks the work back up.
+                    if let Err(e) = rw.checkpoint() {
+                        prop_assert!(e.is_transient(), "checkpoint failed hard: {}", e);
+                    }
+                }
+                ChaosStep::Poll => {
+                    // A mid-poll read fault leaves a prefix applied; that
+                    // is fine because `seen_lsn` only covers applied records.
+                    if let Err(e) = ro.poll() {
+                        prop_assert!(e.is_transient(), "poll failed hard: {}", e);
+                    }
+                }
+                ChaosStep::EvictRoCache => ro.evict_all(),
+                ChaosStep::Check { key } => {
+                    let expected = state_at(&log, ro.seen_lsn()).get(key).map(|v| vec![*v]);
+                    match ro.get(1, &[*key]) {
+                        Ok(got) => prop_assert_eq!(got, expected, "diverged at {}", key),
+                        Err(e) => prop_assert!(e.is_transient(), "read failed hard: {}", e),
+                    }
+                }
+            }
+        }
+        // Both budgets are finite, so the storm passes. Two clean
+        // checkpoints: the first republishes anything a dropped RPC left
+        // staged, the second can then land the checkpoint horizon.
+        for _ in 0..2 {
+            for attempt in 0..16 {
+                match rw.checkpoint() {
+                    Ok(_) => break,
+                    Err(e) => {
+                        prop_assert!(e.is_transient(), "checkpoint failed hard: {}", e);
+                        prop_assert!(attempt < 15, "fault budget never drained");
+                    }
+                }
+            }
+        }
+        let mut clean_polls = 0;
+        for _ in 0..64 {
+            match ro.poll() {
+                Ok(0) => {
+                    clean_polls += 1;
+                    if clean_polls >= 2 {
+                        break;
+                    }
+                }
+                Ok(_) => clean_polls = 0,
+                Err(e) => {
+                    prop_assert!(e.is_transient(), "poll failed hard: {}", e);
+                    clean_polls = 0;
+                }
+            }
+        }
+        prop_assert!(clean_polls >= 2, "fault budget never drained");
+        let full = state_at(&log, Lsn(u64::MAX));
+        for key in 0u8..=255 {
+            let expected = full.get(&key).map(|v| vec![*v]);
+            // The read budget may have a few fires left; burning them on
+            // retries is part of the property (reads fail, never lie).
+            let mut got = ro.get(1, &[key]);
+            for _ in 0..8 {
+                if got.is_ok() {
+                    break;
+                }
+                got = ro.get(1, &[key]);
+            }
+            prop_assert_eq!(
+                got.unwrap(),
+                expected,
+                "follower failed to converge at {}",
+                key
+            );
+        }
+    }
+}
+
 #[test]
 fn two_followers_with_different_access_patterns_agree() {
     let store = AppendOnlyStore::new(StoreConfig::counting());
@@ -137,6 +308,7 @@ fn two_followers_with_different_access_patterns_agree() {
         rw.open_wal_reader(),
         RoNodeConfig {
             cache_capacity_pages: 1,
+            ..RoNodeConfig::default()
         },
     );
     for i in 0..300u32 {
