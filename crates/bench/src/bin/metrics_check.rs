@@ -1,0 +1,81 @@
+//! `metrics_check <path>` — the `--metrics-json` drift gate.
+//!
+//! Parses a file written by `reproduce --metrics-json`, re-hydrates every
+//! per-experiment [`MetricsSnapshot`], and verifies the stable-name
+//! contract: the `total` entry must carry every counter in
+//! [`bg3_obs::names::REQUIRED_COUNTERS`] and every histogram in
+//! [`bg3_obs::names::REQUIRED_HISTOGRAMS`]. Exits nonzero (with one line
+//! per violation) on any failure, so `scripts/check.sh` can gate on it.
+
+use bg3_obs::names;
+use bg3_obs::MetricsSnapshot;
+use serde_json::Value;
+use std::process::ExitCode;
+
+fn check(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = bg3_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let Value::Object(entries) = &doc else {
+        return Err(format!("{path}: top level is not an object"));
+    };
+
+    let mut errors = Vec::new();
+    let mut snapshots = 0usize;
+    let mut total: Option<MetricsSnapshot> = None;
+    for (name, value) in entries.iter() {
+        match MetricsSnapshot::from_value(value) {
+            Some(snap) => {
+                snapshots += 1;
+                if name == "total" {
+                    total = Some(snap);
+                }
+            }
+            None => errors.push(format!("entry {name:?} is not a metrics snapshot")),
+        }
+    }
+    if snapshots == 0 {
+        errors.push("no metrics snapshots in the document".to_string());
+    }
+    match &total {
+        None => errors.push("missing the merged `total` entry".to_string()),
+        Some(total) => {
+            for name in names::REQUIRED_COUNTERS {
+                if total.counter(name).is_none() {
+                    errors.push(format!("total: missing required counter {name}"));
+                }
+            }
+            for name in names::REQUIRED_HISTOGRAMS {
+                if total.histogram(name).is_none() {
+                    errors.push(format!("total: missing required histogram {name}"));
+                }
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(format!(
+            "{path}: {snapshots} snapshot(s), all {} required counters and {} histograms present",
+            names::REQUIRED_COUNTERS.len(),
+            names::REQUIRED_HISTOGRAMS.len(),
+        ))
+    } else {
+        Err(errors.join("\n"))
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: metrics_check <metrics.json>");
+        return ExitCode::FAILURE;
+    };
+    match check(&path) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(errors) => {
+            eprintln!("{errors}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -3,19 +3,25 @@
 //! ```text
 //! reproduce [all|table1|fig8|cost|fig9|fig10|fig11|table2|fig12|fig13|fig14
 //!            |ablation|chaos|failover|cache_scaling]
-//!           [--scale full|quick] [--json <path>] [--threads N] [--cycles N]
+//!           [--scale full|quick] [--json <path>] [--metrics-json <path>]
+//!           [--threads N] [--cycles N]
 //! ```
 //!
 //! Prints each experiment's rows in the shape of the paper's artifact and,
-//! with `--json`, writes all raw results to a JSON file. Experiments whose
-//! reports embed cache-adjusted I/O counters additionally get a
-//! per-experiment `cache:` summary line; reports embedding epoch-fence
-//! counters get a `fencing:` line. `--threads N` appends a real-OS-thread
-//! `cache_scaling` run at that thread count (wall-clock throughput over one
-//! shared engine). `--cycles N` overrides the failover experiment's
-//! kill→promote cycle count.
+//! with `--json`, writes all raw results to a JSON file. Every experiment
+//! additionally gets the shared [`bg3_obs::export::experiment_summary`]
+//! lines: a `cache:` line when the report embeds cache-adjusted I/O
+//! counters, a `fencing:` line when it embeds epoch-fence counters, and
+//! `latency <op>: p50 … p95 … p99 … max …` lines from the virtual-time
+//! histograms. `--metrics-json <path>` writes the merged
+//! [`MetricsSnapshot`](bg3_storage::MetricsSnapshot) per experiment (plus a
+//! `total` entry across all of them) for the `scripts/check.sh` drift gate.
+//! `--threads N` appends a real-OS-thread `cache_scaling` run at that
+//! thread count (wall-clock throughput over one shared engine). `--cycles
+//! N` overrides the failover experiment's kill→promote cycle count.
 
 use bg3_bench::experiments::*;
+use bg3_obs::export;
 use serde_json::{json, Value};
 use std::time::Instant;
 
@@ -68,6 +74,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
+    let mut metrics_json_path: Option<String> = None;
     let mut scale = &FULL;
     let mut threads: Option<usize> = None;
     let mut cycles: Option<usize> = None;
@@ -75,6 +82,7 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json_path = it.next().cloned(),
+            "--metrics-json" => metrics_json_path = it.next().cloned(),
             "--scale" => {
                 scale = match it.next().map(|s| s.as_str()) {
                     Some("quick") => &QUICK,
@@ -125,11 +133,8 @@ fn main() {
         let started = Instant::now();
         let (rendered, value) = run_one(name, scale, cycles);
         println!("{rendered}");
-        if let Some(line) = cache_summary(&value) {
-            println!("[{name} cache: {line}]");
-        }
-        if let Some(line) = fencing_summary(&value) {
-            println!("[{name} fencing: {line}]");
+        for line in export::experiment_summary(&value) {
+            println!("[{name} {line}]");
         }
         println!("[{name} took {:.1}s]\n", started.elapsed().as_secs_f64());
         results.push((name.clone(), value));
@@ -147,6 +152,24 @@ fn main() {
             "cache_scaling_threads".to_string(),
             serde_json::to_value(&report).unwrap(),
         ));
+    }
+
+    if let Some(path) = metrics_json_path {
+        // One merged registry snapshot per experiment, plus a `total`
+        // across all of them — the shape the check.sh drift gate consumes.
+        let mut total = bg3_storage::MetricsSnapshot::default();
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        for (name, value) in &results {
+            if let Some(snap) = export::collect_metrics(value) {
+                total.merge(&snap);
+                entries.push((name.clone(), serde_json::to_value(&snap).unwrap()));
+            }
+        }
+        entries.push(("total".to_string(), serde_json::to_value(&total).unwrap()));
+        let doc: Value = Value::Object(entries.into_iter().collect());
+        std::fs::write(&path, serde_json::to_string_pretty(&doc).unwrap())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("metrics written to {path}");
     }
 
     if let Some(path) = json_path {
@@ -254,117 +277,4 @@ fn run_one(name: &str, scale: &Scale, cycles: Option<usize>) -> (String, Value) 
         }
         other => (format!("unknown experiment: {other}"), json!(null)),
     }
-}
-
-/// Sums every embedded [`bg3_bench::experiments::IoSummary`] in a report
-/// (objects carrying the `cache_hits`/`cache_misses` contract) into one
-/// per-experiment cache line. `None` when the report embeds no cache
-/// accounting.
-fn cache_summary(value: &Value) -> Option<String> {
-    fn as_u64(value: Option<&Value>) -> Option<u64> {
-        match value {
-            Some(Value::Number(serde_json::Number::U64(n))) => Some(*n),
-            _ => None,
-        }
-    }
-    fn walk(value: &Value, acc: &mut [u64; 4], seen: &mut bool) {
-        match value {
-            Value::Object(map) => {
-                if let (Some(hits), Some(misses)) = (
-                    as_u64(map.get("cache_hits")),
-                    as_u64(map.get("cache_misses")),
-                ) {
-                    *seen = true;
-                    acc[0] += hits;
-                    acc[1] += misses;
-                    acc[2] += as_u64(map.get("cache_evictions")).unwrap_or(0);
-                    acc[3] += as_u64(map.get("random_reads")).unwrap_or(0);
-                }
-                for (_, v) in map.iter() {
-                    walk(v, acc, seen);
-                }
-            }
-            Value::Array(items) => {
-                for v in items {
-                    walk(v, acc, seen);
-                }
-            }
-            _ => {}
-        }
-    }
-    let mut acc = [0u64; 4];
-    let mut seen = false;
-    walk(value, &mut acc, &mut seen);
-    if !seen {
-        return None;
-    }
-    let [hits, misses, evictions, random_reads] = acc;
-    let logical = hits + random_reads;
-    let amp = if logical == 0 {
-        1.0
-    } else {
-        random_reads as f64 / logical as f64
-    };
-    Some(format!(
-        "hits {hits}  misses {misses}  evictions {evictions}  storage reads {random_reads}  read-amp {amp:.2}"
-    ))
-}
-
-/// Walks a report for embedded epoch-fence counters (objects carrying the
-/// `seals`/`rejected_publishes`/`rejected_appends` contract, i.e. a
-/// serialized `EpochFenceSnapshot`) plus the failover counters that ride
-/// beside them, and folds them into one `fencing:` line. `None` when the
-/// report embeds no fence accounting.
-fn fencing_summary(value: &Value) -> Option<String> {
-    fn as_u64(value: Option<&Value>) -> Option<u64> {
-        match value {
-            Some(Value::Number(serde_json::Number::U64(n))) => Some(*n),
-            _ => None,
-        }
-    }
-    fn walk(value: &Value, acc: &mut [u64; 5], seen: &mut bool) {
-        match value {
-            Value::Object(map) => {
-                if let (Some(seals), Some(pubs), Some(appends)) = (
-                    as_u64(map.get("seals")),
-                    as_u64(map.get("rejected_publishes")),
-                    as_u64(map.get("rejected_appends")),
-                ) {
-                    *seen = true;
-                    acc[0] += seals;
-                    acc[1] += pubs;
-                    acc[2] += appends;
-                }
-                // Failover counters ride beside the fence in a stats
-                // snapshot; per-cycle rows carry only one of the pair, so
-                // requiring both avoids double-counting them.
-                if let (Some(replays), Some(stale)) = (
-                    as_u64(map.get("promotion_replay_records")),
-                    as_u64(map.get("stale_reads_served")),
-                ) {
-                    acc[3] += replays;
-                    acc[4] += stale;
-                }
-                for (_, v) in map.iter() {
-                    walk(v, acc, seen);
-                }
-            }
-            Value::Array(items) => {
-                for v in items {
-                    walk(v, acc, seen);
-                }
-            }
-            _ => {}
-        }
-    }
-    let mut acc = [0u64; 5];
-    let mut seen = false;
-    walk(value, &mut acc, &mut seen);
-    if !seen {
-        return None;
-    }
-    let [seals, pubs, appends, replays, stale] = acc;
-    Some(format!(
-        "epochs bumped {seals}  zombie publishes rejected {pubs}  zombie appends rejected {appends}  promotion replays {replays}  stale reads served {stale}"
-    ))
 }

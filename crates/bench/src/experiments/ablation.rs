@@ -49,10 +49,15 @@ pub struct AblationReport {
     pub gc_rows: Vec<GcAblationRow>,
     /// Consolidation threshold sweep.
     pub consolidation_rows: Vec<ConsolidationRow>,
+    /// Merged registry snapshot across every ablation cell.
+    pub metrics: bg3_storage::MetricsSnapshot,
 }
 
 /// The Table 2 follow workload under one policy (shared shape).
-fn run_gc_policy(policy: Option<GcPolicyKind>, ops: usize) -> GcAblationRow {
+fn run_gc_policy(
+    policy: Option<GcPolicyKind>,
+    ops: usize,
+) -> (GcAblationRow, bg3_storage::MetricsSnapshot) {
     let mut config = Bg3Config {
         store: StoreConfig::counting().with_extent_capacity(8 * 1024),
         ..Bg3Config::default()
@@ -102,14 +107,18 @@ fn run_gc_policy(policy: Option<GcPolicyKind>, ops: usize) -> GcAblationRow {
         Some(GcPolicyKind::WorkloadAware) => "Workload-aware (BG3)",
         None => "Hybrid TTL+gradient (future work)",
     };
-    GcAblationRow {
+    let row = GcAblationRow {
         policy: label.into(),
         moved_bytes: moved,
         wasted_bytes: db.store().stats().snapshot().wasted_relocation_bytes,
-    }
+    };
+    (row, db.store().metrics_snapshot())
 }
 
-fn run_consolidation(threshold: usize, ops: usize) -> ConsolidationRow {
+fn run_consolidation(
+    threshold: usize,
+    ops: usize,
+) -> (ConsolidationRow, bg3_storage::MetricsSnapshot) {
     let store = AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1 << 20));
     let tree = BwTree::new(
         1,
@@ -125,26 +134,38 @@ fn run_consolidation(threshold: usize, ops: usize) -> ConsolidationRow {
         let _ = tree.get(&read_key).unwrap();
     }
     let stats = tree.stats().snapshot();
-    ConsolidationRow {
+    let row = ConsolidationRow {
         threshold,
         read_amplification: stats.read_amplification(),
         write_bytes_per_op: store.stats().snapshot().bytes_appended as f64 / ops as f64,
-    }
+    };
+    (row, store.metrics_snapshot())
 }
 
 /// Runs both ablations.
 pub fn run(ops: usize) -> AblationReport {
+    let mut metrics = bg3_storage::MetricsSnapshot::default();
+    let mut gc_rows = Vec::new();
+    for policy in [
+        Some(GcPolicyKind::Fifo),
+        Some(GcPolicyKind::DirtyRatio),
+        Some(GcPolicyKind::WorkloadAware),
+        None,
+    ] {
+        let (row, snap) = run_gc_policy(policy, ops);
+        gc_rows.push(row);
+        metrics.merge(&snap);
+    }
+    let mut consolidation_rows = Vec::new();
+    for t in [2, 5, 10, 20, 40] {
+        let (row, snap) = run_consolidation(t, ops / 2);
+        consolidation_rows.push(row);
+        metrics.merge(&snap);
+    }
     AblationReport {
-        gc_rows: vec![
-            run_gc_policy(Some(GcPolicyKind::Fifo), ops),
-            run_gc_policy(Some(GcPolicyKind::DirtyRatio), ops),
-            run_gc_policy(Some(GcPolicyKind::WorkloadAware), ops),
-            run_gc_policy(None, ops),
-        ],
-        consolidation_rows: [2, 5, 10, 20, 40]
-            .into_iter()
-            .map(|t| run_consolidation(t, ops / 2))
-            .collect(),
+        gc_rows,
+        consolidation_rows,
+        metrics,
     }
 }
 

@@ -72,6 +72,8 @@ pub struct CacheScalingReport {
     pub rows: Vec<CacheScalingRow>,
     /// Per-cache-size hit rate and read amplification.
     pub cells: Vec<CacheCell>,
+    /// Merged registry snapshot across every cache-size cell.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Result of one real-OS-thread run (`--threads N`).
@@ -87,6 +89,8 @@ pub struct ThreadedRunReport {
     pub hit_rate: f64,
     /// Cache-adjusted I/O counters for the run.
     pub io: super::IoSummary,
+    /// Registry snapshot of the shared engine after the run.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Durable engine with Bw-tree page-image serving off: point reads take the
@@ -187,11 +191,13 @@ fn measure(db: &Bg3Db, cache_bytes: usize, ops: usize) -> (Vec<(u64, Option<u64>
 pub fn run(ops: usize) -> CacheScalingReport {
     let mut rows = Vec::new();
     let mut cells = Vec::new();
+    let mut metrics = MetricsSnapshot::default();
     for cache_bytes in CACHE_SIZES {
         let db = build_engine(cache_bytes);
         preload(&db);
         let (samples, cell) = measure(&db, cache_bytes, ops);
         cells.push(cell);
+        metrics.merge(&db.metrics_snapshot());
         for threads in THREADS {
             let mut cluster = VirtualCluster::new(threads);
             for &(cost, resource) in &samples {
@@ -204,7 +210,11 @@ pub fn run(ops: usize) -> CacheScalingReport {
             });
         }
     }
-    CacheScalingReport { rows, cells }
+    CacheScalingReport {
+        rows,
+        cells,
+        metrics,
+    }
 }
 
 /// Real-OS-thread driver mode: `threads` actual threads share one warm
@@ -247,6 +257,7 @@ pub fn run_threads(threads: usize, ops: usize) -> ThreadedRunReport {
             hits as f64 / looked as f64
         },
         io: super::IoSummary::from_delta(&io),
+        metrics: db.metrics_snapshot(),
     }
 }
 

@@ -35,6 +35,9 @@ pub struct ChaosReport {
     pub rows: Vec<ChaosRow>,
     /// Zero-cost contract: I/O counters with an empty fault plan vs none.
     pub faultless_iostats_identical: bool,
+    /// Merged registry snapshot across every crash-point scenario
+    /// (pre-crash and post-recovery activity share one store).
+    pub metrics: MetricsSnapshot,
 }
 
 const USERS: u64 = 48;
@@ -97,7 +100,7 @@ fn graphs_match(db: &Bg3Db, shadow: &MemGraph) -> bool {
 }
 
 /// Runs one crash-point scenario; see the module docs.
-fn scenario(point: CrashPoint, ops: u64) -> ChaosRow {
+fn scenario(point: CrashPoint, ops: u64) -> (ChaosRow, MetricsSnapshot) {
     let config = chaos_config();
     let db = Bg3Db::new(config.clone());
     let shadow = MemGraph::new();
@@ -140,13 +143,14 @@ fn scenario(point: CrashPoint, ops: u64) -> ChaosRow {
             shadow.insert_edge(edge).unwrap();
         }
     }
-    ChaosRow {
+    let row = ChaosRow {
         crash_point: format!("{point:?}"),
         ops_before_crash,
         faults_fired,
         recovered_lsn: recovered.last_lsn().0,
         recovered_match: graphs_match(&recovered, &shadow),
-    }
+    };
+    (row, recovered.metrics_snapshot())
 }
 
 /// Identical workload on two non-durable engines: one with no fault plan,
@@ -171,18 +175,22 @@ fn faultless_identical(ops: u64) -> bool {
 
 /// Runs every crash-point scenario plus the zero-cost check.
 pub fn run(ops: u64) -> ChaosReport {
-    let rows = [
+    let mut rows = Vec::new();
+    let mut metrics = MetricsSnapshot::default();
+    for point in [
         CrashPoint::MidFlush,
         CrashPoint::MidSplit,
         CrashPoint::MidGcCycle,
         CrashPoint::MidGroupCommit,
-    ]
-    .into_iter()
-    .map(|point| scenario(point, ops))
-    .collect();
+    ] {
+        let (row, snap) = scenario(point, ops);
+        rows.push(row);
+        metrics.merge(&snap);
+    }
     ChaosReport {
         rows,
         faultless_iostats_identical: faultless_identical(ops.min(2_000)),
+        metrics,
     }
 }
 

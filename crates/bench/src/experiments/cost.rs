@@ -58,6 +58,8 @@ pub struct CostReport {
     pub capacity_savings_pct: f64,
     /// Background-write savings of BG3 vs ByteGraph, percent.
     pub background_savings_pct: f64,
+    /// Merged registry snapshot of both systems' stores.
+    pub metrics: bg3_storage::MetricsSnapshot,
 }
 
 fn workload(store_ops: usize, mut insert: impl FnMut(Edge)) {
@@ -144,6 +146,7 @@ pub fn run(ops: usize) -> CostReport {
         rows: vec![bg3_row, byte_row],
         capacity_savings_pct,
         background_savings_pct,
+        metrics: super::merged_metrics([bg3.store(), byte.lsm().store()]),
     }
 }
 

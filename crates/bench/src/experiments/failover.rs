@@ -50,6 +50,12 @@ pub struct FailoverReport {
     pub all_acked_writes_survived: bool,
     /// True iff no zombie write ever became visible.
     pub no_zombie_writes_visible: bool,
+    /// True iff, for every promoted epoch, the trace shows its
+    /// `epoch_seal` event strictly before the new leader's first WAL
+    /// append under that epoch (the fencing order §3.4 demands).
+    pub seal_precedes_new_leader_appends: bool,
+    /// Merged registry snapshot (data plane + metadata plane).
+    pub metrics: MetricsSnapshot,
 }
 
 const WRITES_PER_CYCLE: usize = 120;
@@ -241,11 +247,39 @@ pub fn run(cycles: usize) -> FailoverReport {
         });
     }
 
+    // Whole-stream trace-order check: every promotion this run performed
+    // must show `epoch_seal` for the new epoch strictly before the new
+    // leader's first WAL append under that epoch. A promotion with no seal
+    // event — or a seal sequenced after an append it should have fenced —
+    // fails the check.
+    let events = cluster.trace().events();
+    let seal_precedes_new_leader_appends = events
+        .iter()
+        .filter(|e| e.kind == TraceKind::Promotion)
+        .all(|promotion| {
+            let epoch = promotion.subject;
+            let seal = events
+                .iter()
+                .find(|e| e.kind == TraceKind::EpochSeal && e.subject == epoch)
+                .map(|e| e.seq);
+            let first_append = events
+                .iter()
+                .find(|e| e.kind == TraceKind::WalAppend && e.detail == epoch)
+                .map(|e| e.seq);
+            match (seal, first_append) {
+                (Some(seal), Some(append)) => seal < append,
+                (Some(_), None) => true, // sealed; new leader never wrote
+                (None, _) => false,      // promotion without a seal
+            }
+        });
+
     let final_stats = cluster.stats();
     FailoverReport {
         total_acked_writes: shadow.len(),
         all_acked_writes_survived: rows.iter().all(|r| r.lost_acked_writes == 0),
         no_zombie_writes_visible: rows.iter().all(|r| r.zombie_writes_visible == 0),
+        seal_precedes_new_leader_appends,
+        metrics: cluster.metrics_snapshot(),
         cycles: rows,
         final_stats,
     }
@@ -273,12 +307,13 @@ pub fn render(report: &FailoverReport) -> String {
     }
     let s = &report.final_stats;
     out.push_str(&format!(
-        "acked writes {} | survived {} | zombies invisible {} | epochs bumped {} | \
+        "acked writes {} | survived {} | zombies invisible {} | seal-before-append {} | epochs bumped {} | \
          zombie publishes rejected {} | zombie appends rejected {} | \
          promotion replays {} | stale reads served {}\n",
         report.total_acked_writes,
         report.all_acked_writes_survived,
         report.no_zombie_writes_visible,
+        report.seal_precedes_new_leader_appends,
         s.fence.seals,
         s.fence.rejected_publishes,
         s.fence.rejected_appends,
@@ -298,6 +333,10 @@ mod tests {
         assert_eq!(report.cycles.len(), 3);
         assert!(report.all_acked_writes_survived);
         assert!(report.no_zombie_writes_visible);
+        assert!(
+            report.seal_precedes_new_leader_appends,
+            "every promoted epoch was sealed before the new leader appended"
+        );
         assert_eq!(report.final_stats.failovers, 3);
         assert_eq!(report.final_stats.epoch, 1 + 3);
         assert_eq!(report.final_stats.fence.seals, 3);

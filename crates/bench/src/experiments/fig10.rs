@@ -32,9 +32,11 @@ pub struct Fig10Report {
     pub rows: Vec<Fig10Row>,
     /// Extra write volume of the read-optimized tree (paper: +9.3%).
     pub overhead_pct: f64,
+    /// Merged registry snapshot of both systems' stores.
+    pub metrics: bg3_storage::MetricsSnapshot,
 }
 
-fn run_mode(config: BwTreeConfig, label: &str, ops: usize) -> Fig10Row {
+fn run_mode(config: BwTreeConfig, label: &str, ops: usize) -> (Fig10Row, AppendOnlyStore) {
     let store = AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1 << 20));
     let tree = BwTree::new(1, store.clone(), config);
     let zipf = Zipf::new(512, 1.0);
@@ -45,18 +47,19 @@ fn run_mode(config: BwTreeConfig, label: &str, ops: usize) -> Fig10Row {
     }
     let base = store.stream_stats(StreamId::BASE).unwrap().used_bytes;
     let delta = store.stream_stats(StreamId::DELTA).unwrap().used_bytes;
-    Fig10Row {
+    let row = Fig10Row {
         system: label.to_string(),
         base_bytes: base,
         delta_bytes: delta,
         total_bytes: store.stats().snapshot().bytes_appended,
-    }
+    };
+    (row, store)
 }
 
 /// Runs the experiment with `ops` writes.
 pub fn run(ops: usize) -> Fig10Report {
-    let sled = run_mode(BwTreeConfig::sled_baseline(), "SLED (traditional)", ops);
-    let bg3 = run_mode(
+    let (sled, sled_store) = run_mode(BwTreeConfig::sled_baseline(), "SLED (traditional)", ops);
+    let (bg3, bg3_store) = run_mode(
         BwTreeConfig::read_optimized_baseline(),
         "BG3 (read-optimized)",
         ops,
@@ -69,6 +72,7 @@ pub fn run(ops: usize) -> Fig10Report {
     Fig10Report {
         rows: vec![sled, bg3],
         overhead_pct,
+        metrics: super::merged_metrics([&sled_store, &bg3_store]),
     }
 }
 

@@ -35,14 +35,16 @@ pub struct Fig11Row {
 pub struct Fig11Report {
     /// One row per threshold, most-coarse first.
     pub rows: Vec<Fig11Row>,
+    /// Merged registry snapshot across every threshold's store.
+    pub metrics: bg3_storage::MetricsSnapshot,
 }
 
-fn run_threshold(threshold: Option<usize>, ops: usize, groups: u64) -> Fig11Row {
+fn run_threshold(threshold: Option<usize>, ops: usize, groups: u64) -> (Fig11Row, AppendOnlyStore) {
     let store = AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1 << 20));
     let config = ForestConfig::default()
         .with_split_out_threshold(threshold.unwrap_or(usize::MAX))
         .with_init_tree_max_entries(usize::MAX);
-    let forest = BwTreeForest::new(store, config);
+    let forest = BwTreeForest::new(store.clone(), config);
     let zipf = Zipf::new(groups, 1.0);
     let mut rng = StdRng::seed_from_u64(31);
     let mut cluster = VirtualCluster::new(16);
@@ -59,12 +61,13 @@ fn run_threshold(threshold: Option<usize>, ops: usize, groups: u64) -> Fig11Row 
         forest.put(&group, &item, &[0u8; 16]).unwrap();
         cluster.submit(started.elapsed().as_nanos() as u64, resource);
     }
-    Fig11Row {
+    let row = Fig11Row {
         threshold,
         trees: forest.tree_count(),
         write_qps: cluster.throughput(),
         memory_bytes: forest.memory_footprint(),
-    }
+    };
+    (row, store)
 }
 
 fn fxhash(bytes: &[u8]) -> u64 {
@@ -78,12 +81,14 @@ fn fxhash(bytes: &[u8]) -> u64 {
 /// Sweeps the threshold over `ops` power-law writes across `groups` users.
 pub fn run(ops: usize, groups: u64) -> Fig11Report {
     let thresholds = [None, Some(512), Some(32), Some(2)];
-    Fig11Report {
-        rows: thresholds
-            .into_iter()
-            .map(|t| run_threshold(t, ops, groups))
-            .collect(),
+    let mut rows = Vec::new();
+    let mut metrics = bg3_storage::MetricsSnapshot::default();
+    for t in thresholds {
+        let (row, store) = run_threshold(t, ops, groups);
+        rows.push(row);
+        metrics.merge(&store.metrics_snapshot());
     }
+    Fig11Report { rows, metrics }
 }
 
 /// Renders the figure's series.

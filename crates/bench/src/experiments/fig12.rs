@@ -27,6 +27,8 @@ pub struct Fig12Row {
 pub struct Fig12Report {
     /// One row per loss rate.
     pub rows: Vec<Fig12Row>,
+    /// Merged registry snapshot across every loss rate's BG3 deployment.
+    pub metrics: bg3_storage::MetricsSnapshot,
 }
 
 /// Runs the experiment with `writes` edge insertions per configuration.
@@ -36,6 +38,7 @@ pub fn run(writes: usize) -> Fig12Report {
         .collect();
 
     let mut rows = Vec::new();
+    let mut metrics = bg3_storage::MetricsSnapshot::default();
     for loss in [0.0, 0.01, 0.05, 0.10] {
         // Baseline: forward commands over a lossy channel.
         let fwd = ForwardingReplicator::new(ForwardingConfig {
@@ -57,13 +60,14 @@ pub fn run(writes: usize) -> Fig12Report {
         dep.poll_all().unwrap();
         let bg3_recall = dep.recall(0, &edges).unwrap();
 
+        metrics.merge(&dep.metrics_snapshot());
         rows.push(Fig12Row {
             packet_loss: loss,
             bytegraph_recall,
             bg3_recall,
         });
     }
-    Fig12Report { rows }
+    Fig12Report { rows, metrics }
 }
 
 /// Renders the figure's series.

@@ -32,6 +32,8 @@ pub struct Fig13Row {
 pub struct Fig13Report {
     /// One row per write rate.
     pub rows: Vec<Fig13Row>,
+    /// Merged registry snapshot across every write rate's deployment.
+    pub metrics: bg3_storage::MetricsSnapshot,
 }
 
 /// WAL-oriented latency model: appends cost 10 µs (pipelined log writes);
@@ -51,7 +53,7 @@ fn wal_latency() -> LatencyModel {
 /// the expected pickup delay).
 const POLL_INTERVAL_NANOS: u64 = 200_000_000;
 
-fn run_rate(write_qps: u64, sim_millis: u64) -> Fig13Row {
+fn run_rate(write_qps: u64, sim_millis: u64) -> (Fig13Row, bg3_storage::MetricsSnapshot) {
     // Fixed simulated duration, not a fixed write count: every rate must
     // span several poll intervals or the latency sample is truncated.
     let writes = (write_qps * sim_millis / 1000) as usize;
@@ -88,18 +90,24 @@ fn run_rate(write_qps: u64, sim_millis: u64) -> Fig13Row {
     }
     dep.poll_all().unwrap();
     let latency = dep.ro(0).sync_latency();
-    Fig13Row {
+    let row = Fig13Row {
         write_qps,
         mean_ms: latency.mean_nanos() as f64 / 1e6,
         p99_ms: latency.percentile_nanos(0.99) as f64 / 1e6,
-    }
+    };
+    (row, dep.metrics_snapshot())
 }
 
 /// Runs the sweep, simulating `sim_millis` milliseconds per write rate.
 pub fn run(sim_millis: u64) -> Fig13Report {
-    Fig13Report {
-        rows: (1..=6).map(|i| run_rate(i * 10_000, sim_millis)).collect(),
+    let mut rows = Vec::new();
+    let mut metrics = bg3_storage::MetricsSnapshot::default();
+    for i in 1..=6 {
+        let (row, snap) = run_rate(i * 10_000, sim_millis);
+        rows.push(row);
+        metrics.merge(&snap);
     }
+    Fig13Report { rows, metrics }
 }
 
 /// Renders the figure's series.

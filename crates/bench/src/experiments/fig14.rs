@@ -32,9 +32,15 @@ pub struct Fig14Row {
 pub struct Fig14Report {
     /// One row per follower count.
     pub rows: Vec<Fig14Row>,
+    /// Merged registry snapshot across every follower count's deployment.
+    pub metrics: bg3_storage::MetricsSnapshot,
 }
 
-fn run_scale(ro_nodes: usize, reads: usize, writes: usize) -> Fig14Row {
+fn run_scale(
+    ro_nodes: usize,
+    reads: usize,
+    writes: usize,
+) -> (Fig14Row, bg3_storage::MetricsSnapshot) {
     let dep = ReplicatedBg3::new(ReplicatedConfig {
         store: StoreConfig {
             extent_capacity: 1 << 20,
@@ -93,21 +99,24 @@ fn run_scale(ro_nodes: usize, reads: usize, writes: usize) -> Fig14Row {
         .map(|i| dep.ro(i).sync_latency().mean_nanos() as f64 / 1e6)
         .sum::<f64>()
         / ro_nodes as f64;
-    Fig14Row {
+    let row = Fig14Row {
         ro_nodes,
         read_qps: cluster.throughput(),
         sync_latency_ms: mean_latency,
-    }
+    };
+    (row, dep.metrics_snapshot())
 }
 
 /// Runs the sweep with `reads` follower reads per configuration.
 pub fn run(reads: usize) -> Fig14Report {
-    Fig14Report {
-        rows: [1usize, 2, 4]
-            .into_iter()
-            .map(|n| run_scale(n, reads, 2_000))
-            .collect(),
+    let mut rows = Vec::new();
+    let mut metrics = bg3_storage::MetricsSnapshot::default();
+    for n in [1usize, 2, 4] {
+        let (row, snap) = run_scale(n, reads, 2_000);
+        rows.push(row);
+        metrics.merge(&snap);
     }
+    Fig14Report { rows, metrics }
 }
 
 /// Renders the figure's series.

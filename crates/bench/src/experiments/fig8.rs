@@ -35,6 +35,8 @@ pub struct Fig8Row {
 pub struct Fig8Report {
     /// All (workload × system × scale) measurements.
     pub rows: Vec<Fig8Row>,
+    /// Merged registry snapshot across every (workload × system) cell.
+    pub metrics: bg3_storage::MetricsSnapshot,
 }
 
 const WORKLOADS: [&str; 3] = [
@@ -116,6 +118,7 @@ pub fn run(ops: usize) -> Fig8Report {
     let population = 20_000;
     let preload_edges = 60_000;
     let mut rows = Vec::new();
+    let mut metrics = bg3_storage::MetricsSnapshot::default();
     for workload in WORKLOADS {
         for kind in EngineKind::all() {
             let engine = Engine::build(kind);
@@ -144,9 +147,10 @@ pub fn run(ops: usize) -> Fig8Report {
                     qps: replay(&samples, nodes * 16, nodes),
                 });
             }
+            metrics.merge(&engine.runtime().metrics_snapshot());
         }
     }
-    Fig8Report { rows }
+    Fig8Report { rows, metrics }
 }
 
 /// Renders the figure's series, grouped like the paper's six panels.

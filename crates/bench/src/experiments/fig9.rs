@@ -37,9 +37,11 @@ pub struct Fig9Report {
     pub rows: Vec<Fig9Row>,
     /// Relative reduction of storage reads, BG3 vs SLED (paper: 36.8%).
     pub reduction_pct: f64,
+    /// Merged registry snapshot of both systems' stores.
+    pub metrics: bg3_storage::MetricsSnapshot,
 }
 
-fn run_mode(config: BwTreeConfig, label: &str, ops: usize) -> Fig9Row {
+fn run_mode(config: BwTreeConfig, label: &str, ops: usize) -> (Fig9Row, AppendOnlyStore) {
     let store = AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1 << 20));
     let tree = BwTree::new(1, store.clone(), config);
     let zipf = Zipf::new(512, 1.0);
@@ -51,19 +53,20 @@ fn run_mode(config: BwTreeConfig, label: &str, ops: usize) -> Fig9Row {
         let _ = tree.get(&read_key).unwrap();
     }
     let stats = tree.stats().snapshot();
-    Fig9Row {
+    let row = Fig9Row {
         system: label.to_string(),
         entry_reads: stats.cold_reads,
         storage_reads: stats.cold_read_ios,
         amplification: stats.read_amplification(),
         io: super::IoSummary::from_delta(&store.stats().snapshot()),
-    }
+    };
+    (row, store)
 }
 
 /// Runs the experiment with `ops` interleaved write+read pairs.
 pub fn run(ops: usize) -> Fig9Report {
-    let sled = run_mode(BwTreeConfig::sled_baseline(), "SLED (traditional)", ops);
-    let bg3 = run_mode(
+    let (sled, sled_store) = run_mode(BwTreeConfig::sled_baseline(), "SLED (traditional)", ops);
+    let (bg3, bg3_store) = run_mode(
         BwTreeConfig::read_optimized_baseline(),
         "BG3 (read-optimized)",
         ops,
@@ -76,6 +79,7 @@ pub fn run(ops: usize) -> Fig9Report {
     Fig9Report {
         rows: vec![sled, bg3],
         reduction_pct,
+        metrics: super::merged_metrics([&sled_store, &bg3_store]),
     }
 }
 

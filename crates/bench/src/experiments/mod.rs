@@ -45,6 +45,20 @@ impl IoSummary {
     }
 }
 
+/// Merges the registry snapshots of every store an experiment touched into
+/// the single `metrics` field its report embeds. Counters and histograms
+/// sum across stores; the `reproduce` binary turns the merged histograms
+/// into the per-experiment `latency …: p50/p95/p99/max` lines.
+pub fn merged_metrics<'a>(
+    stores: impl IntoIterator<Item = &'a bg3_storage::AppendOnlyStore>,
+) -> bg3_storage::MetricsSnapshot {
+    let mut merged = bg3_storage::MetricsSnapshot::default();
+    for store in stores {
+        merged.merge(&store.metrics_snapshot());
+    }
+    merged
+}
+
 /// Formats a throughput as `x.y Kq/s`.
 pub(crate) fn kqps(ops_per_sec: f64) -> String {
     format!("{:.1} Kq/s", ops_per_sec / 1e3)

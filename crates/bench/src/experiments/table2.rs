@@ -10,7 +10,7 @@
 //!   the TTL-aware policy, background movement drops to exactly zero — the
 //!   extents expire wholesale (paper: 8 MB/s vs 0).
 
-use bg3_core::{Bg3Config, Bg3Db, GcPolicyKind};
+use bg3_core::{Bg3Config, Bg3Db, EngineRuntime, GcPolicyKind};
 use bg3_graph::{Edge, EdgeType, GraphStore, VertexId};
 use bg3_storage::StoreConfig;
 use bg3_workloads::Zipf;
@@ -45,6 +45,8 @@ pub struct Table2Report {
     /// Relative reduction of *wasted* background writes on workload 1
     /// (the paper reports ~16% lower background bandwidth).
     pub w1_waste_reduction_pct: f64,
+    /// Merged registry snapshot across every cell's engine.
+    pub metrics: bg3_storage::MetricsSnapshot,
 }
 
 /// Workload 1: a moving hotspot — §3.3 Observation 1. Videos attract most
@@ -52,7 +54,7 @@ pub struct Table2Report {
 /// extents churn (their records keep getting overwritten) while old extents
 /// go quiet with a mix of garbage and survivors. GC runs under space
 /// pressure, interleaved with the writes.
-fn run_follow(policy: GcPolicyKind, ops: usize) -> Table2Cell {
+fn run_follow(policy: GcPolicyKind, ops: usize) -> (Table2Cell, bg3_storage::MetricsSnapshot) {
     let mut config = Bg3Config {
         store: StoreConfig::counting().with_extent_capacity(8 * 1024),
         gc_policy: policy,
@@ -95,18 +97,19 @@ fn run_follow(policy: GcPolicyKind, ops: usize) -> Table2Cell {
     db.store().clock().advance_millis(50);
     total.absorb(db.reclaim_to_utilization(0.90, 16).unwrap());
     let wasted = db.store().stats().snapshot().wasted_relocation_bytes;
-    Table2Cell {
+    let cell = Table2Cell {
         workload: "Douyin Follow (no TTL)".into(),
         policy: policy_name(policy),
         moved_bytes: total.moved_bytes,
         wasted_bytes: wasted,
         relocated_extents: total.relocated_extents,
         expired_extents: total.expired_extents,
-    }
+    };
+    (cell, db.metrics_snapshot())
 }
 
 /// Workload 2: TTL'd inserts; after the TTL elapses whole extents die.
-fn run_risk(policy: GcPolicyKind, ops: usize) -> Table2Cell {
+fn run_risk(policy: GcPolicyKind, ops: usize) -> (Table2Cell, bg3_storage::MetricsSnapshot) {
     let ttl_nanos = 50_000_000; // 50 simulated ms
     let mut config = Bg3Config {
         store: StoreConfig::counting().with_extent_capacity(8 * 1024),
@@ -136,14 +139,15 @@ fn run_risk(policy: GcPolicyKind, ops: usize) -> Table2Cell {
     db.store().clock().advance_millis(60);
     total.absorb(db.reclaim_to_utilization(0.90, 16).unwrap());
     let wasted = db.store().stats().snapshot().wasted_relocation_bytes;
-    Table2Cell {
+    let cell = Table2Cell {
         workload: "Financial Risk Control (TTL)".into(),
         policy: policy_name(policy),
         moved_bytes: total.moved_bytes,
         wasted_bytes: wasted,
         relocated_extents: total.relocated_extents,
         expired_extents: total.expired_extents,
-    }
+    };
+    (cell, db.metrics_snapshot())
 }
 
 fn policy_name(policy: GcPolicyKind) -> String {
@@ -156,12 +160,17 @@ fn policy_name(policy: GcPolicyKind) -> String {
 
 /// Runs both workloads under both policies.
 pub fn run(ops: usize) -> Table2Report {
-    let cells = vec![
+    let mut metrics = bg3_storage::MetricsSnapshot::default();
+    let mut cells = Vec::new();
+    for (cell, snap) in [
         run_follow(GcPolicyKind::DirtyRatio, ops),
         run_follow(GcPolicyKind::WorkloadAware, ops),
         run_risk(GcPolicyKind::DirtyRatio, ops),
         run_risk(GcPolicyKind::WorkloadAware, ops),
-    ];
+    ] {
+        cells.push(cell);
+        metrics.merge(&snap);
+    }
     let w1_waste_reduction_pct = if cells[0].wasted_bytes > 0 {
         100.0 * (1.0 - cells[1].wasted_bytes as f64 / cells[0].wasted_bytes as f64)
     } else {
@@ -170,6 +179,7 @@ pub fn run(ops: usize) -> Table2Report {
     Table2Report {
         cells,
         w1_waste_reduction_pct,
+        metrics,
     }
 }
 

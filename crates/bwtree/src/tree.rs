@@ -37,6 +37,7 @@ use crate::stats::BwTreeStats;
 use crate::tag::PageTag;
 use bg3_storage::{
     AppendOnlyStore, CrashPoint, CrashSwitch, ErrorKind, PageAddr, StorageResult, StreamId,
+    TraceKind,
 };
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -460,6 +461,12 @@ impl BwTree {
             }
             BwTreeStats::bump(&self.stats.base_flushes);
             BwTreeStats::bump(&self.stats.consolidations);
+            self.store.trace().emit(
+                self.store.clock().now().0,
+                TraceKind::DeltaMerge,
+                leaf as u64,
+                self.id as u64,
+            );
             let image = encode_base_page(&state.base);
             self.listener.on_event(
                 self.id as u64,

@@ -15,8 +15,8 @@
 
 use bg3_graph::{Edge, EdgeType, GraphStore, Vertex, VertexId};
 use bg3_storage::{
-    AppendOnlyStore, EpochFenceSnapshot, SharedMappingTable, SimInstant, StorageError, StorageOp,
-    StorageResult, StoreConfig,
+    AppendOnlyStore, EpochFenceSnapshot, MetricsSnapshot, SharedMappingTable, SimInstant,
+    StorageError, StorageOp, StorageResult, StoreConfig, TraceBuffer, TraceKind,
 };
 use bg3_sync::{RoNode, RoNodeConfig, RwNode, RwNodeConfig};
 use parking_lot::Mutex;
@@ -391,8 +391,33 @@ impl FailoverCluster {
         state.followers = Self::build_followers(&self.store, &rw, &self.config);
         state.leader = Some(rw);
         state.last_heartbeat = self.store.clock().now();
-        self.failovers.fetch_add(1, Ordering::Relaxed);
+        let failovers = self.failovers.fetch_add(1, Ordering::Relaxed) + 1;
+        // Trace order per promotion cycle: the fence's `epoch_seal` and the
+        // winner's `promotion` were already emitted inside `promote`; the
+        // coordinator's election record closes the sequence.
+        self.store.trace().emit(
+            self.store.clock().now().0,
+            TraceKind::LeaderElected,
+            epoch,
+            failovers,
+        );
         Ok(FailoverTick::Promoted { epoch })
+    }
+
+    /// The structured trace of the deployment's state transitions (epoch
+    /// seals, promotions, elections, fence rejections, WAL appends — all
+    /// subsystems share the store's ring).
+    pub fn trace(&self) -> &TraceBuffer {
+        self.store.trace()
+    }
+
+    /// Merged metric registries of the data plane (store) and the metadata
+    /// plane (mapping table): counters and histograms sum, gauges take the
+    /// mapping's value when both planes registered the same name.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut merged = self.store.metrics_snapshot();
+        merged.merge(&self.mapping.stats().metrics());
+        merged
     }
 
     /// Counter snapshot: fence state plus counters accumulated across every
@@ -587,6 +612,56 @@ mod tests {
         assert_eq!(cluster.get(b"new-era").unwrap(), Some(b"ok".to_vec()));
         assert_eq!(cluster.get(b"zombie").unwrap(), None);
         assert_eq!(cluster.get(b"lost").unwrap(), None);
+    }
+
+    #[test]
+    fn promotion_trace_seals_the_epoch_before_the_new_leader_appends() {
+        use bg3_obs::names as bg3_obs_names;
+        use bg3_storage::TraceKind;
+        let cluster = failover_cluster();
+        cluster.put(b"before", b"v").unwrap();
+        cluster.kill_leader().unwrap();
+        cluster.store().clock().advance_nanos(2_000_000);
+        assert_eq!(cluster.tick().unwrap(), FailoverTick::Promoted { epoch: 2 });
+        cluster.put(b"after", b"v").unwrap();
+
+        let events = cluster.trace().events();
+        let seal_seq = events
+            .iter()
+            .find(|e| e.kind == TraceKind::EpochSeal && e.subject == 2)
+            .expect("promotion sealed epoch 2")
+            .seq;
+        let promo_seq = events
+            .iter()
+            .find(|e| e.kind == TraceKind::Promotion && e.subject == 2)
+            .expect("promotion recorded")
+            .seq;
+        let elect_seq = events
+            .iter()
+            .find(|e| e.kind == TraceKind::LeaderElected && e.subject == 2)
+            .expect("election recorded")
+            .seq;
+        let first_new_append = events
+            .iter()
+            .find(|e| e.kind == TraceKind::WalAppend && e.detail == 2)
+            .expect("new leader appended on epoch 2")
+            .seq;
+        assert!(seal_seq < promo_seq, "seal before promotion completes");
+        assert!(promo_seq < elect_seq, "promotion before election record");
+        assert!(
+            seal_seq < first_new_append,
+            "epoch_seal precedes every post-promotion append"
+        );
+        // Metrics cover both planes: the data-plane appends and the
+        // metadata-plane epoch seal land in one merged snapshot.
+        let metrics = cluster.metrics_snapshot();
+        assert!(
+            metrics
+                .counter(bg3_obs_names::STORAGE_APPENDS_TOTAL)
+                .unwrap()
+                > 0
+        );
+        assert_eq!(metrics.counter(bg3_obs_names::EPOCH_SEALS_TOTAL), Some(1));
     }
 
     #[test]

@@ -72,6 +72,14 @@ impl ReplicatedBg3 {
         &self.store
     }
 
+    /// Merged metrics of the data plane (store) and the metadata plane (the
+    /// leader's mapping table).
+    pub fn metrics_snapshot(&self) -> bg3_storage::MetricsSnapshot {
+        let mut merged = self.store.metrics_snapshot();
+        merged.merge(&self.rw.mapping().stats().metrics());
+        merged
+    }
+
     /// The leader.
     pub fn rw(&self) -> &RwNode {
         &self.rw

@@ -18,7 +18,8 @@ use crate::bytegraph::{ByteGraphConfig, ByteGraphDb};
 use crate::neptune::NeptuneLike;
 use bg3_graph::GraphStore;
 use bg3_storage::{
-    AppendOnlyStore, CacheStatsSnapshot, IoStatsSnapshot, StorageResult, StoreConfig,
+    AppendOnlyStore, CacheStatsSnapshot, IoStatsSnapshot, MetricsSnapshot, StorageResult,
+    StoreConfig,
 };
 
 /// What one bounded background-maintenance pass accomplished, in
@@ -61,6 +62,14 @@ pub trait EngineRuntime: GraphStore {
         self.shared_store().cache_stats()
     }
 
+    /// Full registry snapshot (counters, gauges, latency histograms in
+    /// virtual nanoseconds) of the backing store's data plane. Engines with
+    /// additional metric planes (e.g. BG3's mapping table) override this to
+    /// merge them in.
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared_store().metrics_snapshot()
+    }
+
     /// Runs one bounded background-maintenance pass. `budget` caps the
     /// work in engine-specific units (extents examined for BG3's space
     /// reclamation; ignored by LSM flush). Engines with no background
@@ -90,6 +99,16 @@ impl EngineRuntime for Bg3Db {
 
     fn shared_store(&self) -> &AppendOnlyStore {
         self.store()
+    }
+
+    /// Data plane plus — in durable mode — the mapping table's
+    /// metadata-plane registry (publish latency, epoch seals, fencing).
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut merged = self.store().metrics_snapshot();
+        if let Some(mapping) = self.mapping() {
+            merged.merge(&mapping.stats().metrics());
+        }
+        merged
     }
 
     fn run_maintenance(&self, budget: usize) -> StorageResult<MaintenanceReport> {

@@ -48,8 +48,8 @@ pub mod prelude {
     };
     pub use bg3_graph::{Edge, EdgeType, GraphStore, Vertex, VertexId};
     pub use bg3_storage::{
-        AppendOnlyStore, CacheConfig, CacheStatsSnapshot, CrashPoint, FaultKind, FaultOp,
-        FaultPlan, FaultRule, IoStatsSnapshot, RetryPolicy, StorageError, StorageResult,
-        StoreConfig,
+        obs, AppendOnlyStore, CacheConfig, CacheStatsSnapshot, CrashPoint, FaultKind, FaultOp,
+        FaultPlan, FaultRule, IoStatsSnapshot, MetricsSnapshot, RetryPolicy, StorageError,
+        StorageResult, StoreConfig, TraceBuffer, TraceEvent, TraceKind,
     };
 }

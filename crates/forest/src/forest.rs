@@ -2,7 +2,7 @@
 
 use crate::keys::{composite_key, decode_composite, group_prefix};
 use bg3_bwtree::{BwTree, BwTreeConfig, Entries, TreeEvent, TreeEventListener};
-use bg3_storage::{AppendOnlyStore, CrashPoint, CrashSwitch, StorageResult};
+use bg3_storage::{AppendOnlyStore, CrashPoint, CrashSwitch, StorageResult, TraceKind};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -345,6 +345,12 @@ impl BwTreeForest {
             );
         }
         drop(stripe);
+        self.store.trace().emit(
+            self.store.clock().now().0,
+            TraceKind::TreeSplitOut,
+            id as u64,
+            moved.len() as u64,
+        );
         if eviction {
             self.init_evictions.fetch_add(1, Ordering::Relaxed);
         } else {

@@ -135,6 +135,11 @@ impl<P: ReclaimPolicy, R: RelocationRouter> SpaceReclaimer<P, R> {
                 self.crash.fire(CrashPoint::MidGcCycle)?;
             }
         }
+        let registry = self.store.stats().registry();
+        registry.counter(bg3_obs::names::GC_CYCLES_TOTAL).inc();
+        registry
+            .gauge(bg3_obs::names::GC_LAST_CYCLE_MOVED_BYTES)
+            .set(report.moved_bytes as i64);
         Ok(report)
     }
 

@@ -1,0 +1,357 @@
+//! Renderers: Prometheus text, per-experiment summary lines, and the
+//! report-walking collectors the bench harness uses.
+//!
+//! The summary-line formatters used to live (hand-rolled, per experiment)
+//! in `reproduce.rs`; they are centralized here so every experiment
+//! renders identically.
+
+use crate::hist::HistogramSnapshot;
+use crate::names;
+use crate::registry::MetricsSnapshot;
+use crate::value::ValueExt;
+use serde_json::Value;
+
+/// Formats virtual-time nanoseconds for humans (`840ns`, `3.4µs`,
+/// `1.25ms`, `2.100s`).
+pub fn fmt_nanos(nanos: u64) -> String {
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3}s", nanos as f64 / 1e9)
+    }
+}
+
+/// One `p50 … p95 … p99 … max … (n=…)` fragment for a histogram.
+pub fn percentile_line(hist: &HistogramSnapshot) -> String {
+    format!(
+        "p50 {}  p95 {}  p99 {}  max {}  (n={})",
+        fmt_nanos(hist.value_at_quantile(0.50)),
+        fmt_nanos(hist.value_at_quantile(0.95)),
+        fmt_nanos(hist.value_at_quantile(0.99)),
+        fmt_nanos(hist.max_nanos),
+        hist.count,
+    )
+}
+
+/// Per-experiment latency lines, one per operation. The four headline
+/// operations (storage reads, appends, WAL flushes, GC moves) are always
+/// present — `n=0` when the experiment never exercised them — and any
+/// other histogram with samples is appended after them.
+pub fn latency_lines(metrics: &MetricsSnapshot) -> Vec<String> {
+    let required = [
+        names::STORAGE_READ_LATENCY_NS,
+        names::STORAGE_APPEND_LATENCY_NS,
+        names::WAL_FLUSH_LATENCY_NS,
+        names::GC_MOVE_LATENCY_NS,
+    ];
+    let empty = HistogramSnapshot::default();
+    let mut lines = Vec::new();
+    for name in required {
+        let hist = metrics.histogram(name).unwrap_or(&empty);
+        lines.push(latency_line(name, hist));
+    }
+    for sample in &metrics.histograms {
+        if !required.contains(&sample.name.as_str()) && sample.histogram.count > 0 {
+            lines.push(latency_line(&sample.name, &sample.histogram));
+        }
+    }
+    lines
+}
+
+fn latency_line(metric_name: &str, hist: &HistogramSnapshot) -> String {
+    let op = metric_name
+        .strip_suffix("_latency_ns")
+        .unwrap_or(metric_name);
+    format!("latency {op}: {}", percentile_line(hist))
+}
+
+/// All summary lines for one experiment report: cache, fencing, and
+/// latency. This is the single formatter every experiment goes through.
+pub fn experiment_summary(report: &Value) -> Vec<String> {
+    let mut lines = Vec::new();
+    if let Some(line) = cache_summary(report) {
+        lines.push(format!("cache: {line}"));
+    }
+    if let Some(line) = fencing_summary(report) {
+        lines.push(format!("fencing: {line}"));
+    }
+    let metrics = collect_metrics(report).unwrap_or_default();
+    lines.extend(latency_lines(&metrics));
+    lines
+}
+
+/// Walks a serialized report and merges every embedded
+/// [`MetricsSnapshot`] (objects with the `counters`/`gauges`/`histograms`
+/// contract) into one. `None` when the report embeds no metrics.
+pub fn collect_metrics(value: &Value) -> Option<MetricsSnapshot> {
+    fn walk(value: &Value, acc: &mut MetricsSnapshot, seen: &mut bool) {
+        if let Some(snap) = MetricsSnapshot::from_value(value) {
+            *seen = true;
+            acc.merge(&snap);
+            return; // don't descend into the snapshot's own sample lists
+        }
+        match value {
+            Value::Object(map) => {
+                for (_, v) in map.iter() {
+                    walk(v, acc, seen);
+                }
+            }
+            Value::Array(items) => {
+                for v in items {
+                    walk(v, acc, seen);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut acc = MetricsSnapshot::default();
+    let mut seen = false;
+    walk(value, &mut acc, &mut seen);
+    seen.then_some(acc)
+}
+
+/// Sums every embedded `IoSummary` in a report (objects carrying the
+/// `cache_hits`/`cache_misses` contract) into one per-experiment cache
+/// line. `None` when the report embeds no cache accounting.
+pub fn cache_summary(value: &Value) -> Option<String> {
+    fn walk(value: &Value, acc: &mut [u64; 4], seen: &mut bool) {
+        match value {
+            Value::Object(map) => {
+                if let (Some(hits), Some(misses)) = (
+                    map.get("cache_hits").and_then(ValueExt::as_u64),
+                    map.get("cache_misses").and_then(ValueExt::as_u64),
+                ) {
+                    *seen = true;
+                    acc[0] += hits;
+                    acc[1] += misses;
+                    acc[2] += map
+                        .get("cache_evictions")
+                        .and_then(ValueExt::as_u64)
+                        .unwrap_or(0);
+                    acc[3] += map
+                        .get("random_reads")
+                        .and_then(ValueExt::as_u64)
+                        .unwrap_or(0);
+                }
+                for (_, v) in map.iter() {
+                    walk(v, acc, seen);
+                }
+            }
+            Value::Array(items) => {
+                for v in items {
+                    walk(v, acc, seen);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut acc = [0u64; 4];
+    let mut seen = false;
+    walk(value, &mut acc, &mut seen);
+    if !seen {
+        return None;
+    }
+    let [hits, misses, evictions, random_reads] = acc;
+    let logical = hits + random_reads;
+    // Guard: a cold start with zero logical reads is neutral (1.0), not a
+    // division by zero.
+    let amp = if logical == 0 {
+        1.0
+    } else {
+        random_reads as f64 / logical as f64
+    };
+    Some(format!(
+        "hits {hits}  misses {misses}  evictions {evictions}  storage reads {random_reads}  read-amp {amp:.2}"
+    ))
+}
+
+/// Walks a report for embedded epoch-fence counters (objects carrying the
+/// `seals`/`rejected_publishes`/`rejected_appends` contract, i.e. a
+/// serialized `EpochFenceSnapshot`) plus the failover counters that ride
+/// beside them, and folds them into one `fencing:` line. `None` when the
+/// report embeds no fence accounting.
+pub fn fencing_summary(value: &Value) -> Option<String> {
+    fn walk(value: &Value, acc: &mut [u64; 5], seen: &mut bool) {
+        match value {
+            Value::Object(map) => {
+                if let (Some(seals), Some(pubs), Some(appends)) = (
+                    map.get("seals").and_then(ValueExt::as_u64),
+                    map.get("rejected_publishes").and_then(ValueExt::as_u64),
+                    map.get("rejected_appends").and_then(ValueExt::as_u64),
+                ) {
+                    *seen = true;
+                    acc[0] += seals;
+                    acc[1] += pubs;
+                    acc[2] += appends;
+                }
+                // Failover counters ride beside the fence in a stats
+                // snapshot; per-cycle rows carry only one of the pair, so
+                // requiring both avoids double-counting them.
+                if let (Some(replays), Some(stale)) = (
+                    map.get("promotion_replay_records")
+                        .and_then(ValueExt::as_u64),
+                    map.get("stale_reads_served").and_then(ValueExt::as_u64),
+                ) {
+                    acc[3] += replays;
+                    acc[4] += stale;
+                }
+                for (_, v) in map.iter() {
+                    walk(v, acc, seen);
+                }
+            }
+            Value::Array(items) => {
+                for v in items {
+                    walk(v, acc, seen);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut acc = [0u64; 5];
+    let mut seen = false;
+    walk(value, &mut acc, &mut seen);
+    if !seen {
+        return None;
+    }
+    let [seals, pubs, appends, replays, stale] = acc;
+    Some(format!(
+        "epochs bumped {seals}  zombie publishes rejected {pubs}  zombie appends rejected {appends}  promotion replays {replays}  stale reads served {stale}"
+    ))
+}
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (cumulative `_bucket{le=…}` series per histogram).
+pub fn prometheus_text(metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for c in &metrics.counters {
+        out.push_str(&format!(
+            "# TYPE {} counter\n{} {}\n",
+            c.name, c.name, c.value
+        ));
+    }
+    for g in &metrics.gauges {
+        out.push_str(&format!(
+            "# TYPE {} gauge\n{} {}\n",
+            g.name, g.name, g.value
+        ));
+    }
+    for h in &metrics.histograms {
+        let name = &h.name;
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for b in &h.histogram.buckets {
+            cumulative += b.count;
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                HistogramSnapshot::bucket_upper_nanos(b.index)
+            ));
+        }
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+            h.histogram.count, h.histogram.sum_nanos, h.histogram.count
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricRegistry;
+    use serde_json::json;
+
+    fn sample_registry() -> MetricRegistry {
+        let reg = MetricRegistry::new();
+        reg.counter(names::STORAGE_APPENDS_TOTAL).add(3);
+        reg.gauge(names::GC_LAST_CYCLE_MOVED_BYTES).set(512);
+        let h = reg.histogram(names::STORAGE_READ_LATENCY_NS);
+        for v in [1_000u64, 2_000, 900_000] {
+            h.record(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn fmt_nanos_units() {
+        assert_eq!(fmt_nanos(840), "840ns");
+        assert_eq!(fmt_nanos(3_400), "3.4µs");
+        assert_eq!(fmt_nanos(1_250_000), "1.25ms");
+        assert_eq!(fmt_nanos(2_100_000_000), "2.100s");
+    }
+
+    #[test]
+    fn latency_lines_always_include_required_ops() {
+        let lines = latency_lines(&sample_registry().snapshot());
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("latency storage_read: p50 "));
+        assert!(lines[0].contains("(n=3)"));
+        assert!(
+            lines[1].contains("(n=0)"),
+            "append never recorded: {}",
+            lines[1]
+        );
+        assert!(lines[2].starts_with("latency wal_flush:"));
+        assert!(lines[3].starts_with("latency gc_move:"));
+    }
+
+    #[test]
+    fn collect_metrics_finds_nested_snapshots() {
+        let snap = sample_registry().snapshot();
+        let report = json!({
+            "engine": { "metrics": (serde_json::to_value(&snap).unwrap()) },
+            "other": [1u64, 2u64]
+        });
+        let merged = collect_metrics(&report).expect("snapshot embedded");
+        assert_eq!(merged.counter(names::STORAGE_APPENDS_TOTAL), Some(3));
+        // Two embedded copies sum.
+        let double = json!([
+            (serde_json::to_value(&snap).unwrap()),
+            (serde_json::to_value(&snap).unwrap())
+        ]);
+        let merged = collect_metrics(&double).unwrap();
+        assert_eq!(merged.counter(names::STORAGE_APPENDS_TOTAL), Some(6));
+        assert!(collect_metrics(&json!({ "a": 1u64 })).is_none());
+    }
+
+    #[test]
+    fn cache_summary_guards_zero_division() {
+        let report = json!({ "io": { "cache_hits": 0u64, "cache_misses": 0u64 } });
+        let line = cache_summary(&report).unwrap();
+        assert!(line.contains("read-amp 1.00"), "{line}");
+        assert!(cache_summary(&json!({ "x": 1u64 })).is_none());
+    }
+
+    #[test]
+    fn fencing_summary_folds_counters() {
+        let report = json!({
+            "fence": { "seals": 2u64, "rejected_publishes": 1u64, "rejected_appends": 4u64 },
+            "promotion_replay_records": 9u64,
+            "stale_reads_served": 3u64
+        });
+        let line = fencing_summary(&report).unwrap();
+        assert!(line.contains("epochs bumped 2"));
+        assert!(line.contains("zombie appends rejected 4"));
+        assert!(line.contains("promotion replays 9"));
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = prometheus_text(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE storage_appends_total counter\nstorage_appends_total 3\n"));
+        assert!(text
+            .contains("# TYPE gc_last_cycle_moved_bytes gauge\ngc_last_cycle_moved_bytes 512\n"));
+        assert!(text.contains("# TYPE storage_read_latency_ns histogram\n"));
+        assert!(text.contains("storage_read_latency_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("storage_read_latency_ns_count 3\n"));
+        // Cumulative: the last finite bucket's count never exceeds +Inf's.
+        let sum_line = text
+            .lines()
+            .find(|l| l.starts_with("storage_read_latency_ns_sum"))
+            .unwrap();
+        assert_eq!(sum_line, "storage_read_latency_ns_sum 903000");
+    }
+}

@@ -1,0 +1,406 @@
+//! Lock-free log-bucketed latency histogram (HdrHistogram-style).
+//!
+//! Values are virtual-time durations in **nanoseconds** (the unit every
+//! `*_latency_ns` metric in this workspace uses). Recording is a handful of
+//! relaxed atomic adds — no locks, no allocation — so it is safe on the
+//! hottest read path. Buckets are logarithmic with 32 sub-buckets per
+//! octave, giving a worst-case relative error of 1/32 (~3%) on any
+//! percentile query.
+//!
+//! Snapshots are plain data: they serialize through the vendored serde shim
+//! (sparse `Vec` of non-empty buckets, no maps) and merge across threads,
+//! stores, and subsystems by summing per-bucket counts.
+
+use crate::value::ValueExt;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the number of sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave (32): values below this are counted exactly.
+const SUB: u64 = 1 << SUB_BITS;
+/// Largest exponent with its own buckets. 2^43 ns ≈ 2.4 virtual hours;
+/// anything slower lands in the overflow counter (exact max still tracked).
+const MAX_EXP: u32 = 42;
+/// Total bucket count: 32 exact buckets + 38 octaves × 32 sub-buckets.
+const NUM_BUCKETS: usize = ((MAX_EXP - SUB_BITS + 2) as usize) << SUB_BITS;
+
+/// Bucket index for a value, or `None` if it exceeds the tracked range.
+fn index_for(value: u64) -> Option<usize> {
+    if value < SUB {
+        return Some(value as usize);
+    }
+    let exp = 63 - value.leading_zeros();
+    if exp > MAX_EXP {
+        return None;
+    }
+    let sub = ((value >> (exp - SUB_BITS)) - SUB) as usize;
+    Some((((exp - SUB_BITS + 1) as usize) << SUB_BITS) + sub)
+}
+
+/// Inclusive upper bound of the value range covered by a bucket index.
+pub(crate) fn bucket_upper(index: usize) -> u64 {
+    let i = index as u64;
+    if i < SUB {
+        return i;
+    }
+    let block = i >> SUB_BITS; // >= 1 past the exact region
+    let sub = i & (SUB - 1);
+    let exp = block as u32 + SUB_BITS - 1;
+    let width = 1u64 << (exp - SUB_BITS);
+    (1u64 << exp) + sub * width + width - 1
+}
+
+/// Lock-free histogram of nanosecond durations.
+///
+/// Cheap to record into from many threads at once; `snapshot()` takes a
+/// point-in-time copy that is exact with quiesced writers and
+/// consistent-enough under concurrency (same guarantee as `IoStats`).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    overflow: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(NUM_BUCKETS);
+        buckets.resize_with(NUM_BUCKETS, AtomicU64::default);
+        LatencyHistogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+            buckets,
+        }
+    }
+
+    /// Records one duration in nanoseconds. Atomics only — no locks.
+    pub fn record(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.min.fetch_min(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+        match index_for(nanos) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy with only the non-empty buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum_nanos: self.sum.load(Ordering::Relaxed),
+            min_nanos: if count == 0 { 0 } else { min },
+            max_nanos: self.max.load(Ordering::Relaxed),
+            overflow: self.overflow.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some(BucketCount {
+                        index: i as u32,
+                        count: n,
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One non-empty histogram bucket: `index` is the internal log-bucket
+/// index, `count` the number of samples that landed in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Internal log-bucket index (see [`HistogramSnapshot::bucket_upper_nanos`]).
+    pub index: u32,
+    /// Samples recorded into this bucket.
+    pub count: u64,
+}
+
+/// Serializable point-in-time copy of a [`LatencyHistogram`].
+///
+/// All durations are virtual-time nanoseconds. `buckets` is sparse and
+/// sorted by index; overflow samples (beyond ~2.4 virtual hours) are in
+/// `overflow` with the exact maximum preserved in `max_nanos`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded (including overflow).
+    pub count: u64,
+    /// Sum of all recorded durations, nanoseconds (wrapping on overflow).
+    pub sum_nanos: u64,
+    /// Smallest recorded duration (0 when empty).
+    pub min_nanos: u64,
+    /// Largest recorded duration (exact, even for overflow samples).
+    pub max_nanos: u64,
+    /// Samples beyond the bucketed range.
+    pub overflow: u64,
+    /// Sparse non-empty buckets, ascending by index.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Inclusive upper bound, in nanoseconds, of a bucket index.
+    pub fn bucket_upper_nanos(index: u32) -> u64 {
+        bucket_upper(index as usize)
+    }
+
+    /// Mean duration in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_nanos as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, as a bucket upper bound (≤3%
+    /// relative error), clamped to the exact observed maximum. Returns 0
+    /// for an empty histogram. Quantiles that fall in the overflow region
+    /// return the exact maximum.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= target {
+                return bucket_upper(b.index as usize).min(self.max_nanos);
+            }
+        }
+        self.max_nanos
+    }
+
+    /// Folds another snapshot into this one (per-bucket sum, min/max fold).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum_nanos = self.sum_nanos.wrapping_add(other.sum_nanos);
+        self.min_nanos = self.min_nanos.min(other.min_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+        self.overflow += other.overflow;
+        let mut merged: Vec<BucketCount> =
+            Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) if x.index == y.index => {
+                    merged.push(BucketCount {
+                        index: x.index,
+                        count: x.count + y.count,
+                    });
+                    a.next();
+                    b.next();
+                }
+                (Some(x), Some(y)) if x.index < y.index => {
+                    merged.push(**x);
+                    a.next();
+                }
+                (Some(_), Some(y)) => {
+                    merged.push(**y);
+                    b.next();
+                }
+                (Some(x), None) => {
+                    merged.push(**x);
+                    a.next();
+                }
+                (None, Some(y)) => {
+                    merged.push(**y);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+
+    /// Rebuilds a snapshot from its serialized [`Value`] form.
+    pub fn from_value(value: &Value) -> Option<HistogramSnapshot> {
+        let obj = value.as_object()?;
+        let field = |name: &str| obj.get(name)?.as_u64();
+        let mut buckets = Vec::new();
+        for entry in obj.get("buckets")?.as_array()? {
+            let b = entry.as_object()?;
+            buckets.push(BucketCount {
+                index: b.get("index")?.as_u64()? as u32,
+                count: b.get("count")?.as_u64()?,
+            });
+        }
+        Some(HistogramSnapshot {
+            count: field("count")?,
+            sum_nanos: field("sum_nanos")?,
+            min_nanos: field("min_nanos")?,
+            max_nanos: field("max_nanos")?,
+            overflow: field("overflow")?,
+            buckets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_32() {
+        for v in 0..SUB {
+            assert_eq!(index_for(v), Some(v as usize));
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_cover_value() {
+        for &v in &[
+            32u64,
+            33,
+            63,
+            64,
+            65,
+            100,
+            1_000,
+            1_000_000,
+            123_456_789,
+            (1u64 << 43) - 1,
+        ] {
+            let i = index_for(v).expect("in range");
+            let upper = bucket_upper(i);
+            assert!(upper >= v, "upper {upper} < value {v}");
+            // relative error bound: upper bound within 1/32 of the value
+            assert!((upper - v) as f64 <= v as f64 / 32.0 + 1.0);
+        }
+    }
+
+    #[test]
+    fn out_of_range_overflows() {
+        assert_eq!(index_for(1u64 << 43), None);
+        let h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(5);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.overflow, 1);
+        assert_eq!(snap.max_nanos, u64::MAX);
+        // p99 falls in the overflow region: exact max comes back.
+        assert_eq!(snap.value_at_quantile(0.99), u64::MAX);
+        // p50 is the in-range sample.
+        assert_eq!(snap.value_at_quantile(0.50), 5);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let snap = LatencyHistogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.min_nanos, 0);
+        assert_eq!(snap.max_nanos, 0);
+        assert_eq!(snap.value_at_quantile(0.5), 0);
+        assert_eq!(snap.mean_nanos(), 0.0);
+        assert!(snap.buckets.is_empty());
+    }
+
+    #[test]
+    fn single_sample_every_quantile() {
+        let h = LatencyHistogram::new();
+        h.record(900_000);
+        let snap = h.snapshot();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(snap.value_at_quantile(q), 900_000, "q={q}");
+        }
+        assert_eq!(snap.min_nanos, 900_000);
+        assert_eq!(snap.max_nanos, 900_000);
+    }
+
+    #[test]
+    fn quantiles_on_uniform_data() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1_000); // 1µs..1ms
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        for (q, expect) in [(0.5, 500_000u64), (0.95, 950_000), (0.99, 990_000)] {
+            let got = snap.value_at_quantile(q);
+            let err = (got as f64 - expect as f64).abs() / expect as f64;
+            assert!(err < 0.04, "q={q} got={got} expect~{expect}");
+        }
+        assert_eq!(snap.value_at_quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let both = LatencyHistogram::new();
+        for v in [1u64, 40, 40, 7_000, 1 << 50] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [2u64, 40, 9_999_999] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, both.snapshot());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let h = LatencyHistogram::new();
+        h.record(123);
+        let snap = h.snapshot();
+        let mut m = snap.clone();
+        m.merge(&HistogramSnapshot::default());
+        assert_eq!(m, snap);
+        let mut e = HistogramSnapshot::default();
+        e.merge(&snap);
+        assert_eq!(e, snap);
+    }
+
+    #[test]
+    fn snapshot_value_round_trip() {
+        let h = LatencyHistogram::new();
+        for v in [0u64, 31, 32, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let value = serde_json::to_value(&snap).unwrap();
+        let back = HistogramSnapshot::from_value(&value).expect("round trip");
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,35 @@
+//! Observability for the BG3 reproduction.
+//!
+//! Three pillars, all virtual-time aware and cheap enough for hot paths:
+//!
+//! - [`LatencyHistogram`] / [`MetricRegistry`]: lock-free log-bucketed
+//!   latency distributions and named `Counter`/`Gauge`/`Histogram`
+//!   handles. Recording is relaxed atomics only — no lock acquisition —
+//!   so the striped-forest stress test runs unchanged with metrics on.
+//! - [`TraceBuffer`]: a bounded ring of structured [`TraceEvent`]s at
+//!   state transitions (split-out, delta merge, relocation, epoch seal,
+//!   fence rejection, election, replay), letting chaos and failover
+//!   experiments assert on *sequences*, not just totals.
+//! - [`export`] / [`json`]: Prometheus-text and JSON renderers, the
+//!   shared per-experiment summary formatter, and the parser behind the
+//!   `--metrics-json` round-trip checks.
+//!
+//! All durations are **virtual nanoseconds** from the storage `SimClock`;
+//! wall time never enters the metrics (the bench harness reports
+//! wall-clock runtimes separately).
+
+pub mod export;
+pub mod hist;
+pub mod json;
+pub mod names;
+pub mod registry;
+pub mod trace;
+pub mod value;
+
+pub use hist::{BucketCount, HistogramSnapshot, LatencyHistogram};
+pub use registry::{
+    Counter, CounterSample, Gauge, GaugeSample, Histogram, HistogramSample, MetricRegistry,
+    MetricsSnapshot,
+};
+pub use trace::{TraceBuffer, TraceEvent, TraceKind};
+pub use value::ValueExt;

@@ -1,0 +1,96 @@
+//! Stable metric names.
+//!
+//! These strings are the public contract between the engine, the bench
+//! harness, `--metrics-json` consumers, and the `scripts/check.sh` drift
+//! gate. Add names here (and to DESIGN.md's table) rather than inlining
+//! string literals at call sites.
+//!
+//! Conventions: counters end in `_total` (or `_bytes_total`), gauges are
+//! bare nouns, histograms end in `_latency_ns` and record **virtual-time
+//! nanoseconds** (see `bg3_storage::SimClock`).
+
+/// Append operations (foreground + relocation).
+pub const STORAGE_APPENDS_TOTAL: &str = "storage_appends_total";
+/// Bytes written by appends.
+pub const STORAGE_BYTES_APPENDED_TOTAL: &str = "storage_bytes_appended_total";
+/// Random read operations that reached storage.
+pub const STORAGE_RANDOM_READS_TOTAL: &str = "storage_random_reads_total";
+/// Bytes returned by storage reads.
+pub const STORAGE_BYTES_READ_TOTAL: &str = "storage_bytes_read_total";
+/// Record invalidations.
+pub const STORAGE_INVALIDATIONS_TOTAL: &str = "storage_invalidations_total";
+/// Valid records moved by space reclamation.
+pub const GC_RELOCATION_MOVES_TOTAL: &str = "gc_relocation_moves_total";
+/// Bytes rewritten by space reclamation.
+pub const GC_RELOCATION_BYTES_TOTAL: &str = "gc_relocation_bytes_total";
+/// Relocated bytes that later became garbage anyway (wasted background I/O).
+pub const GC_WASTED_RELOCATION_BYTES_TOTAL: &str = "gc_wasted_relocation_bytes_total";
+/// Extents freed after relocation.
+pub const GC_EXTENTS_RECLAIMED_TOTAL: &str = "gc_extents_reclaimed_total";
+/// Extents dropped wholesale on TTL expiry.
+pub const GC_EXTENTS_EXPIRED_TOTAL: &str = "gc_extents_expired_total";
+/// Completed reclaimer cycles.
+pub const GC_CYCLES_TOTAL: &str = "gc_cycles_total";
+/// Mapping-table version publishes.
+pub const MAPPING_PUBLISHES_TOTAL: &str = "mapping_publishes_total";
+/// Reads served by the page cache instead of storage.
+pub const CACHE_HITS_TOTAL: &str = "cache_hits_total";
+/// Cache lookups that fell through to a storage read.
+pub const CACHE_MISSES_TOTAL: &str = "cache_misses_total";
+/// Cache entries removed (CLOCK displacement + coherence evictions).
+pub const CACHE_EVICTIONS_TOTAL: &str = "cache_evictions_total";
+/// Epoch seals (completed failover promotions).
+pub const EPOCH_SEALS_TOTAL: &str = "epoch_seals_total";
+/// Mapping publishes rejected by the epoch fence.
+pub const FENCED_PUBLISHES_TOTAL: &str = "fenced_publishes_total";
+/// WAL appends rejected by the epoch fence.
+pub const FENCED_APPENDS_TOTAL: &str = "fenced_appends_total";
+
+/// Bytes moved by the most recent reclaimer cycle (gauge).
+pub const GC_LAST_CYCLE_MOVED_BYTES: &str = "gc_last_cycle_moved_bytes";
+
+/// Virtual-time latency of storage random reads (cache misses; ns).
+pub const STORAGE_READ_LATENCY_NS: &str = "storage_read_latency_ns";
+/// Virtual-time latency of storage appends (ns).
+pub const STORAGE_APPEND_LATENCY_NS: &str = "storage_append_latency_ns";
+/// Virtual-time latency of mapping-table version publishes (ns).
+pub const MAPPING_PUBLISH_LATENCY_NS: &str = "mapping_publish_latency_ns";
+/// Virtual-time latency of one WAL append+flush, including retries (ns).
+pub const WAL_FLUSH_LATENCY_NS: &str = "wal_flush_latency_ns";
+/// Virtual-time latency of relocating one record (read + rewrite; ns).
+pub const GC_MOVE_LATENCY_NS: &str = "gc_move_latency_ns";
+/// Virtual-time latency of one RO→RW promotion (seal + replay; ns).
+pub const PROMOTION_LATENCY_NS: &str = "promotion_latency_ns";
+
+/// Counters every store registers up front; the check.sh drift gate
+/// requires all of these in `--metrics-json` output.
+pub const REQUIRED_COUNTERS: &[&str] = &[
+    STORAGE_APPENDS_TOTAL,
+    STORAGE_BYTES_APPENDED_TOTAL,
+    STORAGE_RANDOM_READS_TOTAL,
+    STORAGE_BYTES_READ_TOTAL,
+    STORAGE_INVALIDATIONS_TOTAL,
+    GC_RELOCATION_MOVES_TOTAL,
+    GC_RELOCATION_BYTES_TOTAL,
+    GC_WASTED_RELOCATION_BYTES_TOTAL,
+    GC_EXTENTS_RECLAIMED_TOTAL,
+    GC_EXTENTS_EXPIRED_TOTAL,
+    MAPPING_PUBLISHES_TOTAL,
+    CACHE_HITS_TOTAL,
+    CACHE_MISSES_TOTAL,
+    CACHE_EVICTIONS_TOTAL,
+    EPOCH_SEALS_TOTAL,
+    FENCED_PUBLISHES_TOTAL,
+    FENCED_APPENDS_TOTAL,
+];
+
+/// Histograms every store registers up front; also enforced by the gate,
+/// and the first four are the per-experiment summary's latency lines.
+pub const REQUIRED_HISTOGRAMS: &[&str] = &[
+    STORAGE_READ_LATENCY_NS,
+    STORAGE_APPEND_LATENCY_NS,
+    WAL_FLUSH_LATENCY_NS,
+    GC_MOVE_LATENCY_NS,
+    MAPPING_PUBLISH_LATENCY_NS,
+    PROMOTION_LATENCY_NS,
+];

@@ -1,0 +1,364 @@
+//! Metric registry: named `Counter` / `Gauge` / `Histogram` handles.
+//!
+//! Registration (name lookup) takes a short mutex and happens once per
+//! metric per subsystem, at construction time. The handles themselves are
+//! `Arc`-wrapped atomics: recording is a relaxed `fetch_add` / `store` /
+//! histogram bucket add with **no lock acquisition**, which is the hot-path
+//! contract the striped-forest stress test enforces.
+
+use crate::hist::{HistogramSnapshot, LatencyHistogram};
+use crate::value::ValueExt;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic counter handle. Clone is cheap (Arc).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (relaxed atomic, lock-free).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-value gauge handle. Clone is cheap (Arc).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrites the value (relaxed atomic, lock-free).
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared latency histogram handle (nanosecond durations). Clone is cheap.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<LatencyHistogram>);
+
+impl Histogram {
+    /// Records one duration in nanoseconds (atomics only).
+    pub fn record(&self, nanos: u64) {
+        self.0.record(nanos);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count()
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.snapshot()
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Mutex<Vec<(String, Counter)>>,
+    gauges: Mutex<Vec<(String, Gauge)>>,
+    histograms: Mutex<Vec<(String, Histogram)>>,
+}
+
+/// A set of named metrics owned by one subsystem (e.g. one store's
+/// `IoStats`). Cloning shares the underlying metrics; snapshots from
+/// different registries merge by metric name at export time.
+#[derive(Clone, Default)]
+pub struct MetricRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl std::fmt::Debug for MetricRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricRegistry")
+            .field("counters", &self.inner.counters.lock().len())
+            .field("gauges", &self.inner.gauges.lock().len())
+            .field("histograms", &self.inner.histograms.lock().len())
+            .finish()
+    }
+}
+
+fn get_or_insert<T: Clone + Default>(list: &Mutex<Vec<(String, T)>>, name: &str) -> T {
+    let mut list = list.lock();
+    if let Some((_, handle)) = list.iter().find(|(n, _)| n == name) {
+        return handle.clone();
+    }
+    let handle = T::default();
+    list.push((name.to_string(), handle.clone()));
+    handle
+}
+
+impl MetricRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it if needed.
+    pub fn counter(&self, name: &str) -> Counter {
+        get_or_insert(&self.inner.counters, name)
+    }
+
+    /// Returns the gauge registered under `name`, creating it if needed.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        get_or_insert(&self.inner.gauges, name)
+    }
+
+    /// Returns the histogram registered under `name`, creating it if needed.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        get_or_insert(&self.inner.histograms, name)
+    }
+
+    /// Point-in-time copy of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<CounterSample> = self
+            .inner
+            .counters
+            .lock()
+            .iter()
+            .map(|(name, c)| CounterSample {
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut gauges: Vec<GaugeSample> = self
+            .inner
+            .gauges
+            .lock()
+            .iter()
+            .map(|(name, g)| GaugeSample {
+                name: name.clone(),
+                value: g.get(),
+            })
+            .collect();
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut histograms: Vec<HistogramSample> = self
+            .inner
+            .histograms
+            .lock()
+            .iter()
+            .map(|(name, h)| HistogramSample {
+                name: name.clone(),
+                histogram: h.snapshot(),
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// One counter sample: cumulative count since process start.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Stable metric name (see `bg3_obs::names`).
+    pub name: String,
+    /// Cumulative value.
+    pub value: u64,
+}
+
+/// One gauge sample: last observed value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Stable metric name.
+    pub name: String,
+    /// Last set value.
+    pub value: i64,
+}
+
+/// One histogram sample: name plus its full snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Stable metric name (`*_latency_ns` — virtual-time nanoseconds).
+    pub name: String,
+    /// The histogram contents.
+    pub histogram: HistogramSnapshot,
+}
+
+/// Serializable point-in-time copy of a whole registry (or several merged
+/// ones). Vec-of-samples rather than maps so it round-trips through the
+/// vendored serde shim; each list is sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter samples, ascending by name.
+    pub counters: Vec<CounterSample>,
+    /// Gauge samples, ascending by name.
+    pub gauges: Vec<GaugeSample>,
+    /// Histogram samples, ascending by name.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name)
+            .map(|h| &h.histogram)
+    }
+
+    /// True when no metrics are present at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds another snapshot into this one: counters and histograms sum
+    /// by name, gauges keep the other side's value when both are present
+    /// (last-writer-wins, matching gauge semantics). Name lists stay sorted.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for c in &other.counters {
+            match self.counters.iter_mut().find(|m| m.name == c.name) {
+                Some(m) => m.value += c.value,
+                None => self.counters.push(c.clone()),
+            }
+        }
+        self.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        for g in &other.gauges {
+            match self.gauges.iter_mut().find(|m| m.name == g.name) {
+                Some(m) => m.value = g.value,
+                None => self.gauges.push(g.clone()),
+            }
+        }
+        self.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        for h in &other.histograms {
+            match self.histograms.iter_mut().find(|m| m.name == h.name) {
+                Some(m) => m.histogram.merge(&h.histogram),
+                None => self.histograms.push(h.clone()),
+            }
+        }
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// Rebuilds a snapshot from its serialized [`Value`] form. Returns
+    /// `None` when the value does not have the snapshot shape.
+    pub fn from_value(value: &Value) -> Option<MetricsSnapshot> {
+        let obj = value.as_object()?;
+        let mut out = MetricsSnapshot::default();
+        for entry in obj.get("counters")?.as_array()? {
+            let c = entry.as_object()?;
+            out.counters.push(CounterSample {
+                name: c.get("name")?.as_str()?.to_string(),
+                value: c.get("value")?.as_u64()?,
+            });
+        }
+        for entry in obj.get("gauges")?.as_array()? {
+            let g = entry.as_object()?;
+            out.gauges.push(GaugeSample {
+                name: g.get("name")?.as_str()?.to_string(),
+                value: g.get("value")?.as_i64()?,
+            });
+        }
+        for entry in obj.get("histograms")?.as_array()? {
+            let h = entry.as_object()?;
+            out.histograms.push(HistogramSample {
+                name: h.get("name")?.as_str()?.to_string(),
+                histogram: HistogramSnapshot::from_value(h.get("histogram")?)?,
+            });
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_by_name() {
+        let reg = MetricRegistry::new();
+        let a = reg.counter("x_total");
+        let b = reg.counter("x_total");
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.counter("x_total").get(), 4);
+        reg.gauge("g").set(-7);
+        assert_eq!(reg.gauge("g").get(), -7);
+        reg.histogram("h_ns").record(42);
+        assert_eq!(reg.histogram("h_ns").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = MetricRegistry::new();
+        reg.counter("zz").inc();
+        reg.counter("aa").add(2);
+        reg.histogram("h_ns").record(10);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].name, "aa");
+        assert_eq!(snap.counters[1].name, "zz");
+        assert_eq!(snap.counter("aa"), Some(2));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.histogram("h_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms() {
+        let r1 = MetricRegistry::new();
+        let r2 = MetricRegistry::new();
+        r1.counter("ops_total").add(5);
+        r2.counter("ops_total").add(7);
+        r2.counter("only_r2_total").inc();
+        r1.histogram("lat_ns").record(100);
+        r2.histogram("lat_ns").record(200);
+        r1.gauge("depth").set(1);
+        r2.gauge("depth").set(9);
+        let mut merged = r1.snapshot();
+        merged.merge(&r2.snapshot());
+        assert_eq!(merged.counter("ops_total"), Some(12));
+        assert_eq!(merged.counter("only_r2_total"), Some(1));
+        assert_eq!(merged.histogram("lat_ns").unwrap().count, 2);
+        assert_eq!(merged.gauge("depth"), Some(9));
+    }
+
+    #[test]
+    fn snapshot_value_round_trip() {
+        let reg = MetricRegistry::new();
+        reg.counter("a_total").add(9);
+        reg.gauge("b").set(-2);
+        reg.histogram("c_ns").record(1234);
+        let snap = reg.snapshot();
+        let value = serde_json::to_value(&snap).unwrap();
+        assert_eq!(MetricsSnapshot::from_value(&value).unwrap(), snap);
+    }
+}

@@ -1,0 +1,247 @@
+//! Structured trace events: a bounded ring of "what the engine did".
+//!
+//! Counters say *how many*; the trace says *in what order*. Events are
+//! emitted at state transitions only (split-out, delta merge, relocation,
+//! epoch seal, fence rejection, election, replay) — never on plain reads —
+//! so the ring mutex is off the hot path. Sequence numbers are assigned
+//! atomically and are deterministic for the seeded single-threaded
+//! experiments, which is what lets the failover test assert on event
+//! *order* (e.g. `epoch_seal` before any post-promotion `wal_append`).
+//!
+//! Timestamps are virtual-time nanoseconds from the store's `SimClock`,
+//! not wall time.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What kind of state transition an event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Deserialize)]
+pub enum TraceKind {
+    /// Forest moved a group out of the INIT tree into a dedicated tree.
+    TreeSplitOut,
+    /// Bw-tree consolidated a delta chain into a new base page.
+    DeltaMerge,
+    /// GC moved the live records out of an extent.
+    ExtentRelocate,
+    /// GC dropped an extent wholesale on TTL expiry.
+    ExtentExpire,
+    /// The mapping table sealed an epoch (failover promotion barrier).
+    EpochSeal,
+    /// A mapping publish was rejected by the epoch fence.
+    FenceRejectedPublish,
+    /// A WAL append was rejected by the epoch fence.
+    FenceRejectedAppend,
+    /// The failover coordinator elected a new leader.
+    LeaderElected,
+    /// An RO follower applied a batch of WAL records.
+    RoReplay,
+    /// The WAL durably appended a record.
+    WalAppend,
+    /// An RO follower finished promotion to leader.
+    Promotion,
+}
+
+impl TraceKind {
+    /// Stable snake_case name (the form used in serialized traces and in
+    /// DESIGN.md's event catalog).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TraceKind::TreeSplitOut => "tree_split_out",
+            TraceKind::DeltaMerge => "delta_merge",
+            TraceKind::ExtentRelocate => "extent_relocate",
+            TraceKind::ExtentExpire => "extent_expire",
+            TraceKind::EpochSeal => "epoch_seal",
+            TraceKind::FenceRejectedPublish => "fence_rejected_publish",
+            TraceKind::FenceRejectedAppend => "fence_rejected_append",
+            TraceKind::LeaderElected => "leader_elected",
+            TraceKind::RoReplay => "ro_replay",
+            TraceKind::WalAppend => "wal_append",
+            TraceKind::Promotion => "promotion",
+        }
+    }
+}
+
+// Hand-written so traces serialize as the stable snake_case names rather
+// than the Rust variant names.
+impl Serialize for TraceKind {
+    fn to_value(&self) -> Value {
+        Value::String(self.as_str().to_string())
+    }
+}
+
+/// One trace event. `subject` and `detail` are kind-specific numeric
+/// payloads (extent id, epoch, LSN, byte count, ...) documented in
+/// DESIGN.md's catalog — numeric so events stay POD and allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (gap-free even when the ring drops).
+    pub seq: u64,
+    /// Virtual-time nanoseconds at emission.
+    pub at_nanos: u64,
+    /// The state transition.
+    pub kind: TraceKind,
+    /// Primary id: extent, epoch, LSN, or tree id depending on `kind`.
+    pub subject: u64,
+    /// Secondary payload: byte count, record count, or epoch.
+    pub detail: u64,
+}
+
+struct TraceInner {
+    capacity: usize,
+    next_seq: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<TraceEvent>>,
+}
+
+/// Shared, bounded buffer of [`TraceEvent`]s. Cloning shares the ring, so
+/// every subsystem wired to one store appends into the same ordered
+/// stream. When full, the oldest events are dropped (and counted).
+#[derive(Clone)]
+pub struct TraceBuffer {
+    inner: Arc<TraceInner>,
+}
+
+impl std::fmt::Debug for TraceBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuffer")
+            .field("capacity", &self.inner.capacity)
+            .field("len", &self.inner.ring.lock().len())
+            .field("dropped", &self.inner.dropped.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl TraceBuffer {
+    /// Default ring size: comfortably holds a full failover experiment
+    /// while bounding memory for append-heavy chaos runs.
+    pub const DEFAULT_CAPACITY: usize = 8192;
+
+    /// Creates an empty ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            inner: Arc::new(TraceInner {
+                capacity: capacity.max(1),
+                next_seq: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                ring: Mutex::new(VecDeque::new()),
+            }),
+        }
+    }
+
+    /// Appends an event, evicting the oldest if full. Returns the
+    /// sequence number assigned to the event.
+    pub fn emit(&self, at_nanos: u64, kind: TraceKind, subject: u64, detail: u64) -> u64 {
+        let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.inner.ring.lock();
+        if ring.len() == self.inner.capacity {
+            ring.pop_front();
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(TraceEvent {
+            seq,
+            at_nanos,
+            kind,
+            subject,
+            detail,
+        });
+        seq
+    }
+
+    /// Copy of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.ring.lock().iter().copied().collect()
+    }
+
+    /// Buffered events with `seq >= since`, oldest first.
+    pub fn events_since(&self, since: u64) -> Vec<TraceEvent> {
+        self.inner
+            .ring
+            .lock()
+            .iter()
+            .filter(|e| e.seq >= since)
+            .copied()
+            .collect()
+    }
+
+    /// Sequence number the next emitted event will get.
+    pub fn next_seq(&self) -> u64 {
+        self.inner.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Maximum number of buffered events.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Discards buffered events (sequence numbers keep advancing).
+    pub fn clear(&self) {
+        self.inner.ring.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueExt;
+
+    #[test]
+    fn emits_in_order_with_gapless_seq() {
+        let buf = TraceBuffer::new(16);
+        for i in 0..5 {
+            let seq = buf.emit(i * 10, TraceKind::WalAppend, i, 0);
+            assert_eq!(seq, i);
+        }
+        let events = buf.events();
+        assert_eq!(events.len(), 5);
+        assert!(events.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        assert_eq!(buf.events_since(3).len(), 2);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let buf = TraceBuffer::new(3);
+        for i in 0..5u64 {
+            buf.emit(i, TraceKind::DeltaMerge, i, 0);
+        }
+        let events = buf.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 2, "oldest two evicted");
+        assert_eq!(buf.dropped(), 2);
+        assert_eq!(buf.next_seq(), 5, "seq keeps counting past drops");
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let a = TraceBuffer::new(8);
+        let b = a.clone();
+        a.emit(1, TraceKind::EpochSeal, 2, 0);
+        b.emit(2, TraceKind::WalAppend, 3, 2);
+        assert_eq!(a.events().len(), 2);
+        assert_eq!(b.events()[0].kind, TraceKind::EpochSeal);
+    }
+
+    #[test]
+    fn serializes_snake_case_kinds() {
+        let buf = TraceBuffer::new(4);
+        buf.emit(7, TraceKind::EpochSeal, 3, 0);
+        let value = serde_json::to_value(&buf.events()).unwrap();
+        let first = value.as_array().unwrap()[0].as_object().unwrap();
+        assert_eq!(first.get("kind").unwrap().as_str(), Some("epoch_seal"));
+        assert_eq!(first.get("at_nanos").unwrap().as_u64(), Some(7));
+    }
+}

@@ -1,0 +1,105 @@
+//! Accessor helpers for the vendored serde value tree.
+//!
+//! The shim `Value` is a plain enum with no convenience methods; this
+//! extension trait adds the handful of `as_*` accessors the exporters and
+//! parsers need, with real-serde-compatible semantics.
+
+use serde_json::{Map, Number, Value};
+
+/// `as_*` accessors over the shim [`Value`].
+pub trait ValueExt {
+    /// The object map, if this is `Value::Object`.
+    fn as_object(&self) -> Option<&Map>;
+    /// The array, if this is `Value::Array`.
+    fn as_array(&self) -> Option<&Vec<Value>>;
+    /// The string slice, if this is `Value::String`.
+    fn as_str(&self) -> Option<&str>;
+    /// The value as a `u64`, if it is a non-negative integral number.
+    fn as_u64(&self) -> Option<u64>;
+    /// The value as an `i64`, if it is an in-range integral number.
+    fn as_i64(&self) -> Option<i64>;
+    /// The value as an `f64`, if it is any number.
+    fn as_f64(&self) -> Option<f64>;
+}
+
+impl ValueExt for Value {
+    fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(v)) => Some(*v),
+            Value::Number(Number::I64(v)) => u64::try_from(*v).ok(),
+            Value::Number(Number::F64(v))
+                if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 =>
+            {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I64(v)) => Some(*v),
+            Value::Number(Number::U64(v)) => i64::try_from(*v).ok(),
+            Value::Number(Number::F64(v)) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => {
+                Some(*v as i64)
+            }
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::U64(v)) => Some(*v as f64),
+            Value::Number(Number::I64(v)) => Some(*v as f64),
+            Value::Number(Number::F64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn accessors_match_variants() {
+        let v = json!({ "n": 7u64, "s": "x", "a": [1u64] });
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("n").unwrap().as_u64(), Some(7));
+        assert_eq!(obj.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(obj.get("a").unwrap().as_array().unwrap().len(), 1);
+        assert_eq!(obj.get("n").unwrap().as_f64(), Some(7.0));
+        assert!(v.as_str().is_none());
+    }
+
+    #[test]
+    fn signed_unsigned_conversions() {
+        assert_eq!(json!(-3i64).as_i64(), Some(-3));
+        assert_eq!(json!(-3i64).as_u64(), None);
+        assert_eq!(json!(3u64).as_i64(), Some(3));
+        assert_eq!(json!(2.0f64).as_u64(), Some(2));
+        assert_eq!(json!(2.5f64).as_u64(), None);
+    }
+}

@@ -44,6 +44,13 @@ pub mod stream;
 
 pub use addr::{ExtentId, PageAddr, RecordId, StreamId};
 pub use bg3_cache::{CacheConfig, CacheStatsSnapshot, PageCache};
+// The whole observability crate rides along (`bg3_storage::obs::names`,
+// `::export`, `::json`) so downstream crates reach the stable metric
+// names and renderers without a direct bg3-obs dependency.
+pub use bg3_obs as obs;
+pub use bg3_obs::{
+    HistogramSnapshot, MetricRegistry, MetricsSnapshot, TraceBuffer, TraceEvent, TraceKind,
+};
 pub use clock::{SimClock, SimInstant};
 pub use epoch::{EpochFence, EpochFenceSnapshot, INITIAL_EPOCH};
 pub use error::{ErrorKind, StorageError, StorageOp, StorageResult};

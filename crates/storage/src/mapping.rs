@@ -18,6 +18,7 @@ use crate::fault::{FaultInjector, FaultKind, FaultOp};
 use crate::latency::LatencyModel;
 use crate::stats::IoStats;
 use crate::PageAddr;
+use bg3_obs::{TraceBuffer, TraceKind};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -74,6 +75,10 @@ pub struct SharedMappingTable {
     latency: LatencyModel,
     stats: Arc<IoStats>,
     faults: FaultInjector,
+    /// Trace ring for metadata-plane events (seals, fence rejections).
+    /// [`SharedMappingTable::for_store`] shares the store's ring so data-
+    /// and metadata-plane events interleave into one ordered stream.
+    trace: TraceBuffer,
     /// The storage-service-side fencing token: sealed on failover, checked
     /// by [`SharedMappingTable::publish_fenced`]. Shared with the WAL writer
     /// so one seal fences both the metadata and the log plane.
@@ -100,12 +105,21 @@ impl SharedMappingTable {
             latency,
             stats: Arc::new(IoStats::new()),
             faults,
+            trace: TraceBuffer::default(),
             fence: EpochFence::new(),
         }
     }
 
-    /// Convenience constructor tied to a store's clock, latency model, and
-    /// fault injector (so one [`crate::FaultPlan`] covers data and metadata).
+    /// Replaces the trace ring (builder-style). Used by
+    /// [`SharedMappingTable::for_store`] to join the store's event stream.
+    pub fn with_trace(mut self, trace: TraceBuffer) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Convenience constructor tied to a store's clock, latency model,
+    /// fault injector, and trace ring (so one [`crate::FaultPlan`] covers
+    /// data and metadata, and one event stream orders both planes).
     pub fn for_store(store: &crate::AppendOnlyStore) -> Self {
         // The mapping service shares the store's clock; it keeps its own
         // publish counters (the store's stats track data-plane I/O only).
@@ -114,6 +128,7 @@ impl SharedMappingTable {
             LatencyModel::default(),
             store.fault_injector().clone(),
         )
+        .with_trace(store.trace().clone())
     }
 
     /// Latest published snapshot. Cheap: clones two `Arc`s.
@@ -198,6 +213,12 @@ impl SharedMappingTable {
         let guard = self.inner.current.write();
         if let Err(e) = self.fence.check(epoch, StorageOp::MappingPublish) {
             self.stats.record_fenced_publish();
+            self.trace.emit(
+                self.clock.now().0,
+                TraceKind::FenceRejectedPublish,
+                epoch,
+                self.fence.current(),
+            );
             return Err(e);
         }
         Ok(self.apply_locked(guard, updates))
@@ -235,8 +256,10 @@ impl SharedMappingTable {
         }
         *guard = snapshot;
         drop(guard);
-        self.clock.advance_nanos(self.latency.mapping_cost_nanos());
+        let cost = self.latency.mapping_cost_nanos();
+        self.clock.advance_nanos(cost);
         self.stats.record_mapping_publish();
+        self.stats.record_publish_latency(cost);
         version
     }
 
@@ -256,6 +279,12 @@ impl SharedMappingTable {
     pub fn check_epoch(&self, epoch: u64) -> StorageResult<()> {
         if let Err(e) = self.fence.check(epoch, StorageOp::MappingPublish) {
             self.stats.record_fenced_publish();
+            self.trace.emit(
+                self.clock.now().0,
+                TraceKind::FenceRejectedPublish,
+                epoch,
+                self.fence.current(),
+            );
             return Err(e);
         }
         Ok(())
@@ -269,7 +298,14 @@ impl SharedMappingTable {
         let _guard = self.inner.current.write();
         let sealed = self.fence.seal(epoch)?;
         self.stats.record_epoch_seal();
+        self.trace
+            .emit(self.clock.now().0, TraceKind::EpochSeal, sealed, 0);
         Ok(sealed)
+    }
+
+    /// The trace ring this table emits metadata-plane events into.
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
     }
 
     /// Number of publishes so far.

@@ -1,130 +1,234 @@
-//! Atomic I/O accounting.
+//! Atomic I/O accounting, backed by the `bg3-obs` metric registry.
 //!
 //! These counters are the primary measurement surface for the paper's
 //! micro-benchmarks: storage-side read QPS (Fig. 9), bytes written (Fig. 10),
 //! and background relocation bandwidth (Table 2) are all derived from here.
+//!
+//! Each [`IoStats`] owns a [`MetricRegistry`] in which every counter and
+//! latency histogram is registered under a stable name from
+//! [`bg3_obs::names`]. [`IoStatsSnapshot`] remains the compatibility view
+//! (plain named totals) the experiments and their deltas are built on;
+//! [`IoStats::metrics`] exposes the full registry snapshot including the
+//! latency distributions. Recording is relaxed atomics only — no lock is
+//! taken on any hot path.
+//!
+//! Units: counters named `*_bytes*` are bytes, everything else counts
+//! operations; histograms record **virtual-time nanoseconds** (simulated
+//! `SimClock` time, not wall time).
 
+use bg3_obs::{names, Counter, Histogram, MetricRegistry, MetricsSnapshot};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Shared, thread-safe I/O counters for one store.
-#[derive(Debug, Default)]
+/// Shared, thread-safe I/O counters and latency histograms for one store.
+#[derive(Debug)]
 pub struct IoStats {
-    appends: AtomicU64,
-    bytes_appended: AtomicU64,
-    random_reads: AtomicU64,
-    bytes_read: AtomicU64,
-    invalidations: AtomicU64,
-    relocation_moves: AtomicU64,
-    relocation_bytes: AtomicU64,
-    wasted_relocation_bytes: AtomicU64,
-    extents_reclaimed: AtomicU64,
-    extents_expired: AtomicU64,
-    mapping_publishes: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    cache_evictions: AtomicU64,
-    epoch_seals: AtomicU64,
-    fenced_publishes: AtomicU64,
-    fenced_appends: AtomicU64,
+    registry: MetricRegistry,
+    appends: Counter,
+    bytes_appended: Counter,
+    random_reads: Counter,
+    bytes_read: Counter,
+    invalidations: Counter,
+    relocation_moves: Counter,
+    relocation_bytes: Counter,
+    wasted_relocation_bytes: Counter,
+    extents_reclaimed: Counter,
+    extents_expired: Counter,
+    mapping_publishes: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_evictions: Counter,
+    epoch_seals: Counter,
+    fenced_publishes: Counter,
+    fenced_appends: Counter,
+    read_latency: Histogram,
+    append_latency: Histogram,
+    publish_latency: Histogram,
+    wal_flush_latency: Histogram,
+    gc_move_latency: Histogram,
+    promotion_latency: Histogram,
+}
+
+impl Default for IoStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl IoStats {
-    /// Creates zeroed counters.
+    /// Creates zeroed counters in a fresh registry.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_registry(MetricRegistry::new())
+    }
+
+    /// Creates counters registered in `registry` (pre-registering every
+    /// stable metric name, so even an idle store exports the full set).
+    pub fn with_registry(registry: MetricRegistry) -> Self {
+        IoStats {
+            appends: registry.counter(names::STORAGE_APPENDS_TOTAL),
+            bytes_appended: registry.counter(names::STORAGE_BYTES_APPENDED_TOTAL),
+            random_reads: registry.counter(names::STORAGE_RANDOM_READS_TOTAL),
+            bytes_read: registry.counter(names::STORAGE_BYTES_READ_TOTAL),
+            invalidations: registry.counter(names::STORAGE_INVALIDATIONS_TOTAL),
+            relocation_moves: registry.counter(names::GC_RELOCATION_MOVES_TOTAL),
+            relocation_bytes: registry.counter(names::GC_RELOCATION_BYTES_TOTAL),
+            wasted_relocation_bytes: registry.counter(names::GC_WASTED_RELOCATION_BYTES_TOTAL),
+            extents_reclaimed: registry.counter(names::GC_EXTENTS_RECLAIMED_TOTAL),
+            extents_expired: registry.counter(names::GC_EXTENTS_EXPIRED_TOTAL),
+            mapping_publishes: registry.counter(names::MAPPING_PUBLISHES_TOTAL),
+            cache_hits: registry.counter(names::CACHE_HITS_TOTAL),
+            cache_misses: registry.counter(names::CACHE_MISSES_TOTAL),
+            cache_evictions: registry.counter(names::CACHE_EVICTIONS_TOTAL),
+            epoch_seals: registry.counter(names::EPOCH_SEALS_TOTAL),
+            fenced_publishes: registry.counter(names::FENCED_PUBLISHES_TOTAL),
+            fenced_appends: registry.counter(names::FENCED_APPENDS_TOTAL),
+            read_latency: registry.histogram(names::STORAGE_READ_LATENCY_NS),
+            append_latency: registry.histogram(names::STORAGE_APPEND_LATENCY_NS),
+            publish_latency: registry.histogram(names::MAPPING_PUBLISH_LATENCY_NS),
+            wal_flush_latency: registry.histogram(names::WAL_FLUSH_LATENCY_NS),
+            gc_move_latency: registry.histogram(names::GC_MOVE_LATENCY_NS),
+            promotion_latency: registry.histogram(names::PROMOTION_LATENCY_NS),
+            registry,
+        }
+    }
+
+    /// The registry these counters live in. Subsystems without their own
+    /// `IoStats` (the reclaimer, the failover coordinator) register their
+    /// extra metrics here so one snapshot covers the whole node.
+    pub fn registry(&self) -> &MetricRegistry {
+        &self.registry
+    }
+
+    /// Full registry snapshot: every counter, gauge, and latency
+    /// histogram under its stable name.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
     }
 
     pub(crate) fn record_append(&self, len: usize) {
-        self.appends.fetch_add(1, Ordering::Relaxed);
-        self.bytes_appended.fetch_add(len as u64, Ordering::Relaxed);
+        self.appends.inc();
+        self.bytes_appended.add(len as u64);
     }
 
     pub(crate) fn record_read(&self, len: usize) {
-        self.random_reads.fetch_add(1, Ordering::Relaxed);
-        self.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
+        self.random_reads.inc();
+        self.bytes_read.add(len as u64);
     }
 
     pub(crate) fn record_invalidation(&self) {
-        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        self.invalidations.inc();
     }
 
     pub(crate) fn record_relocation(&self, len: usize) {
-        self.relocation_moves.fetch_add(1, Ordering::Relaxed);
-        self.relocation_bytes
-            .fetch_add(len as u64, Ordering::Relaxed);
+        self.relocation_moves.inc();
+        self.relocation_bytes.add(len as u64);
     }
 
     pub(crate) fn record_wasted_relocation(&self, len: u64) {
-        self.wasted_relocation_bytes
-            .fetch_add(len, Ordering::Relaxed);
+        self.wasted_relocation_bytes.add(len);
     }
 
     pub(crate) fn record_extent_reclaimed(&self) {
-        self.extents_reclaimed.fetch_add(1, Ordering::Relaxed);
+        self.extents_reclaimed.inc();
     }
 
     pub(crate) fn record_extent_expired(&self) {
-        self.extents_expired.fetch_add(1, Ordering::Relaxed);
+        self.extents_expired.inc();
     }
 
     pub(crate) fn record_mapping_publish(&self) {
-        self.mapping_publishes.fetch_add(1, Ordering::Relaxed);
+        self.mapping_publishes.inc();
     }
 
     pub(crate) fn record_cache_hit(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.inc();
     }
 
     pub(crate) fn record_cache_miss(&self) {
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.inc();
     }
 
     pub(crate) fn record_cache_evictions(&self, n: u64) {
-        self.cache_evictions.fetch_add(n, Ordering::Relaxed);
+        self.cache_evictions.add(n);
     }
 
     /// Records an epoch seal (failover promotion). Public: the failover
     /// machinery lives outside this crate and records on the store's stats.
     pub fn record_epoch_seal(&self) {
-        self.epoch_seals.fetch_add(1, Ordering::Relaxed);
+        self.epoch_seals.inc();
     }
 
     /// Records a mapping publish rejected by the epoch fence.
     pub fn record_fenced_publish(&self) {
-        self.fenced_publishes.fetch_add(1, Ordering::Relaxed);
+        self.fenced_publishes.inc();
     }
 
     /// Records a WAL append rejected by the epoch fence.
     pub fn record_fenced_append(&self) {
-        self.fenced_appends.fetch_add(1, Ordering::Relaxed);
+        self.fenced_appends.inc();
+    }
+
+    /// Records the virtual-time cost of one storage random read (ns).
+    pub fn record_read_latency(&self, nanos: u64) {
+        self.read_latency.record(nanos);
+    }
+
+    /// Records the virtual-time cost of one append (ns).
+    pub fn record_append_latency(&self, nanos: u64) {
+        self.append_latency.record(nanos);
+    }
+
+    /// Records the virtual-time cost of one mapping publish (ns).
+    pub fn record_publish_latency(&self, nanos: u64) {
+        self.publish_latency.record(nanos);
+    }
+
+    /// Records one WAL append+flush duration, retries included (ns).
+    /// Public: the WAL writer lives outside this crate.
+    pub fn record_wal_flush_latency(&self, nanos: u64) {
+        self.wal_flush_latency.record(nanos);
+    }
+
+    /// Records the cost of relocating one record: its GC read + rewrite (ns).
+    pub fn record_gc_move_latency(&self, nanos: u64) {
+        self.gc_move_latency.record(nanos);
+    }
+
+    /// Records one RO→RW promotion duration: seal + parked replay (ns).
+    /// Public: the failover machinery lives outside this crate.
+    pub fn record_promotion_latency(&self, nanos: u64) {
+        self.promotion_latency.record(nanos);
     }
 
     /// Takes a consistent-enough point-in-time copy of all counters.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
-            appends: self.appends.load(Ordering::Relaxed),
-            bytes_appended: self.bytes_appended.load(Ordering::Relaxed),
-            random_reads: self.random_reads.load(Ordering::Relaxed),
-            bytes_read: self.bytes_read.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
-            relocation_moves: self.relocation_moves.load(Ordering::Relaxed),
-            relocation_bytes: self.relocation_bytes.load(Ordering::Relaxed),
-            wasted_relocation_bytes: self.wasted_relocation_bytes.load(Ordering::Relaxed),
-            extents_reclaimed: self.extents_reclaimed.load(Ordering::Relaxed),
-            extents_expired: self.extents_expired.load(Ordering::Relaxed),
-            mapping_publishes: self.mapping_publishes.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
-            epoch_seals: self.epoch_seals.load(Ordering::Relaxed),
-            fenced_publishes: self.fenced_publishes.load(Ordering::Relaxed),
-            fenced_appends: self.fenced_appends.load(Ordering::Relaxed),
+            appends: self.appends.get(),
+            bytes_appended: self.bytes_appended.get(),
+            random_reads: self.random_reads.get(),
+            bytes_read: self.bytes_read.get(),
+            invalidations: self.invalidations.get(),
+            relocation_moves: self.relocation_moves.get(),
+            relocation_bytes: self.relocation_bytes.get(),
+            wasted_relocation_bytes: self.wasted_relocation_bytes.get(),
+            extents_reclaimed: self.extents_reclaimed.get(),
+            extents_expired: self.extents_expired.get(),
+            mapping_publishes: self.mapping_publishes.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            cache_evictions: self.cache_evictions.get(),
+            epoch_seals: self.epoch_seals.get(),
+            fenced_publishes: self.fenced_publishes.get(),
+            fenced_appends: self.fenced_appends.get(),
         }
     }
 }
 
 /// Point-in-time copy of [`IoStats`]; supports subtraction for intervals.
+///
+/// This is the stable compatibility view over the metric registry: each
+/// field mirrors one registry counter (`*_bytes*` fields are bytes, all
+/// others are operation counts). Latency histograms are not part of this
+/// view — use [`IoStats::metrics`] for the full registry snapshot.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IoStatsSnapshot {
     /// Number of append operations.
@@ -202,7 +306,12 @@ impl IoStatsSnapshot {
     }
 
     /// Write amplification: total bytes appended divided by "useful" bytes
-    /// (total minus relocation rewrites). 1.0 means no background movement.
+    /// (total minus relocation rewrites). Dimensionless ratio ≥ 1.0; 1.0
+    /// means no background movement.
+    ///
+    /// Division-by-zero guards: with nothing appended at all the ratio is
+    /// neutral (1.0); when *every* appended byte was a relocation rewrite
+    /// the useful denominator is 0 and the ratio is `f64::INFINITY`.
     pub fn write_amplification(&self) -> f64 {
         let useful = self.bytes_appended.saturating_sub(self.relocation_bytes);
         if useful == 0 {
@@ -216,8 +325,12 @@ impl IoStatsSnapshot {
     }
 
     /// Cache-adjusted read amplification: storage reads divided by logical
-    /// reads (cache hits + storage reads). 1.0 with the cache disabled or
-    /// stone cold; strictly below 1.0 once the cache absorbs traffic.
+    /// reads (cache hits + storage reads). Dimensionless ratio in
+    /// `[0.0, 1.0]`: 1.0 with the cache disabled or stone cold, strictly
+    /// below 1.0 once the cache absorbs traffic.
+    ///
+    /// Division-by-zero guard: with zero logical reads (no traffic) the
+    /// ratio is neutral (1.0), never `NaN`.
     pub fn read_amplification(&self) -> f64 {
         let logical = self.cache_hits + self.random_reads;
         if logical == 0 {
@@ -288,5 +401,58 @@ mod tests {
         assert!((snap.write_amplification() - 1.5).abs() < 1e-9);
         snap.relocation_bytes = 150;
         assert!(snap.write_amplification().is_infinite());
+    }
+
+    #[test]
+    fn counters_are_mirrored_in_the_registry() {
+        let stats = IoStats::new();
+        stats.record_append(64);
+        stats.record_read(32);
+        stats.record_fenced_append();
+        let metrics = stats.metrics();
+        assert_eq!(
+            metrics.counter(bg3_obs::names::STORAGE_APPENDS_TOTAL),
+            Some(1)
+        );
+        assert_eq!(
+            metrics.counter(bg3_obs::names::STORAGE_BYTES_APPENDED_TOTAL),
+            Some(64)
+        );
+        assert_eq!(
+            metrics.counter(bg3_obs::names::STORAGE_BYTES_READ_TOTAL),
+            Some(32)
+        );
+        assert_eq!(
+            metrics.counter(bg3_obs::names::FENCED_APPENDS_TOTAL),
+            Some(1)
+        );
+        // Every required name is pre-registered even when untouched.
+        for name in bg3_obs::names::REQUIRED_COUNTERS {
+            assert!(metrics.counter(name).is_some(), "missing {name}");
+        }
+        for name in bg3_obs::names::REQUIRED_HISTOGRAMS {
+            assert!(metrics.histogram(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn latency_recorders_feed_named_histograms() {
+        let stats = IoStats::new();
+        stats.record_read_latency(50_000);
+        stats.record_read_latency(70_000);
+        stats.record_wal_flush_latency(400_000);
+        let metrics = stats.metrics();
+        let reads = metrics
+            .histogram(bg3_obs::names::STORAGE_READ_LATENCY_NS)
+            .unwrap();
+        assert_eq!(reads.count, 2);
+        assert_eq!(reads.max_nanos, 70_000);
+        assert_eq!(
+            metrics
+                .histogram(bg3_obs::names::WAL_FLUSH_LATENCY_NS)
+                .unwrap()
+                .count,
+            1
+        );
     }
 }

@@ -15,6 +15,7 @@ use crate::latency::LatencyModel;
 use crate::stats::IoStats;
 use crate::stream::{StreamInner, StreamStats};
 use bg3_cache::{CacheConfig, CacheStatsSnapshot, PageCache};
+use bg3_obs::{MetricsSnapshot, TraceBuffer, TraceKind};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -96,6 +97,7 @@ struct StoreInner {
     stats: IoStats,
     faults: FaultInjector,
     cache: PageCache<SlotKey>,
+    trace: TraceBuffer,
     streams: HashMap<StreamId, Mutex<StreamInner>>,
     next_extent: AtomicU64,
     next_record: AtomicU64,
@@ -134,6 +136,7 @@ impl AppendOnlyStore {
                 stats: IoStats::new(),
                 faults,
                 cache,
+                trace: TraceBuffer::default(),
                 streams,
                 next_extent: AtomicU64::new(1),
                 next_record: AtomicU64::new(1),
@@ -149,6 +152,20 @@ impl AppendOnlyStore {
     /// The store's I/O counters.
     pub fn stats(&self) -> &IoStats {
         &self.inner.stats
+    }
+
+    /// The store's structured trace ring. Shared by every clone (and, via
+    /// [`crate::SharedMappingTable::for_store`], by the metadata plane), so
+    /// all subsystems of one node interleave into a single ordered stream.
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.inner.trace
+    }
+
+    /// Full registry snapshot: counters plus latency histograms. This is
+    /// the data-plane view only; merge the mapping table's
+    /// [`IoStats::metrics`] for a whole-node picture.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.stats.metrics()
     }
 
     /// The store's fault injector (shared with the mapping table so publish
@@ -210,6 +227,9 @@ impl AppendOnlyStore {
             return Err(StorageError::record_too_large(bytes.len(), capacity));
         }
         let fault = self.inner.faults.decide(FaultOp::Append, Some(stream));
+        // Virtual-time charged to *this* append: injected delay + modelled
+        // cost. (Not a clock delta — concurrent writers share the clock.)
+        let mut charged_nanos = 0u64;
         match fault {
             Some(FaultKind::AppendFail) => {
                 // The request never reaches the service; nothing is written
@@ -221,14 +241,14 @@ impl AppendOnlyStore {
             }
             Some(FaultKind::Delay { nanos }) => {
                 self.inner.clock.advance_nanos(nanos);
+                charged_nanos += nanos;
             }
             _ => {}
         }
         let torn = fault == Some(FaultKind::AppendTorn);
-        let now = self
-            .inner
-            .clock
-            .advance_nanos(self.inner.config.latency.append_cost_nanos(bytes.len()));
+        let cost = self.inner.config.latency.append_cost_nanos(bytes.len());
+        let now = self.inner.clock.advance_nanos(cost);
+        charged_nanos += cost;
         let expires_at = ttl_nanos.map(|ttl| now.plus_nanos(ttl));
         let record = RecordId(self.inner.next_record.fetch_add(1, Ordering::Relaxed));
 
@@ -247,6 +267,7 @@ impl AppendOnlyStore {
         drop(guard);
 
         self.inner.stats.record_append(bytes.len());
+        self.inner.stats.record_append_latency(charged_nanos);
         if is_relocation {
             self.inner.stats.record_relocation(bytes.len());
         }
@@ -302,6 +323,7 @@ impl AppendOnlyStore {
     /// sequential rescans use this path so one-shot traffic neither
     /// pollutes the cache nor skews hit-rate measurements.
     pub fn read_uncached(&self, addr: PageAddr) -> StorageResult<Bytes> {
+        let mut charged_nanos = 0u64;
         match self.inner.faults.decide(FaultOp::Read, Some(addr.stream)) {
             Some(FaultKind::ReadFail) => {
                 return Err(
@@ -310,6 +332,7 @@ impl AppendOnlyStore {
             }
             Some(FaultKind::Delay { nanos }) => {
                 self.inner.clock.advance_nanos(nanos);
+                charged_nanos += nanos;
             }
             _ => {}
         }
@@ -328,10 +351,11 @@ impl AppendOnlyStore {
         let bytes = Bytes::copy_from_slice(&ext.data[addr.offset as usize..end]);
         drop(guard);
 
-        self.inner
-            .clock
-            .advance_nanos(self.inner.config.latency.read_cost_nanos(bytes.len()));
+        let cost = self.inner.config.latency.read_cost_nanos(bytes.len());
+        self.inner.clock.advance_nanos(cost);
+        charged_nanos += cost;
         self.inner.stats.record_read(bytes.len());
+        self.inner.stats.record_read_latency(charged_nanos);
         Ok(bytes)
     }
 
@@ -401,10 +425,10 @@ impl AppendOnlyStore {
         }
         drop(guard);
         for (_, _, bytes) in &out {
-            self.inner
-                .clock
-                .advance_nanos(self.inner.config.latency.read_cost_nanos(bytes.len()));
+            let cost = self.inner.config.latency.read_cost_nanos(bytes.len());
+            self.inner.clock.advance_nanos(cost);
             self.inner.stats.record_read(bytes.len());
+            self.inner.stats.record_read_latency(cost);
         }
         Ok(out)
     }
@@ -496,6 +520,12 @@ impl AppendOnlyStore {
             let remaining_ttl = deadline.map(|d| d.duration_since(self.inner.clock.now()));
             let new = self.append_impl(stream, &bytes, *tag, remaining_ttl, true)?;
             moved_bytes += *len as u64;
+            // One GC move = the victim's read plus its rewrite, in
+            // modelled virtual time (deterministic under concurrency).
+            self.inner.stats.record_gc_move_latency(
+                self.inner.config.latency.read_cost_nanos(*len as usize)
+                    + self.inner.config.latency.append_cost_nanos(*len as usize),
+            );
             on_move(*tag, old, new);
         }
 
@@ -519,6 +549,12 @@ impl AppendOnlyStore {
             self.inner.stats.record_cache_evictions(evicted);
         }
         self.inner.stats.record_extent_reclaimed();
+        self.inner.trace.emit(
+            self.inner.clock.now().0,
+            TraceKind::ExtentRelocate,
+            extent.0,
+            moved_bytes,
+        );
         Ok(moved_bytes)
     }
 
@@ -566,6 +602,9 @@ impl AppendOnlyStore {
             self.inner.stats.record_cache_evictions(evicted);
         }
         self.inner.stats.record_extent_expired();
+        self.inner
+            .trace
+            .emit(now.0, TraceKind::ExtentExpire, extent.0, freed);
         Ok(freed)
     }
 }

@@ -8,7 +8,7 @@ use bg3_bwtree::tree::{FlushMode, FIRST_LEAF};
 use bg3_bwtree::{decode_base_page, Entries, PageTag, TreeEventListener};
 use bg3_storage::{
     AppendOnlyStore, CrashSwitch, MappingSnapshot, SharedMappingTable, StorageError, StorageOp,
-    StorageResult, INITIAL_EPOCH,
+    StorageResult, TraceKind, INITIAL_EPOCH,
 };
 use bg3_wal::{Lsn, WalPayload, WalReader, WalWriter};
 use parking_lot::Mutex;
@@ -294,6 +294,10 @@ impl RoNode {
                 }
             }
         }
+        drop(inner);
+        self.store
+            .trace()
+            .emit(now.0, TraceKind::RoReplay, self.seen_lsn().0, count as u64);
         match first_error {
             Some(e) => Err(e),
             None => Ok(count),
@@ -607,6 +611,10 @@ impl RoNode {
     /// 4. **Rebuild** the tree via [`recover_tree`] (mapping images + WAL
     ///    tail) and come up as a deferred-flush leader on the new epoch.
     pub fn promote(&self, epoch: u64, config: RwNodeConfig) -> StorageResult<RwNode> {
+        // Promotion latency is a clock delta: failover is single-threaded
+        // (one replica promotes at a time), so the delta captures the
+        // drain + seal + rescan + rebuild cost without concurrent pollution.
+        let started = self.store.clock().now();
         // 1. Drain whatever the reader can still see. `seen` is captured
         //    *before* the drain: promotion replay work is measured against
         //    what this replica had applied when the failover began.
@@ -641,6 +649,13 @@ impl RoNode {
         let crash = CrashSwitch::new();
         tree.set_crash_switch(crash.clone());
         self.set_serving_stale(false);
+        let done = self.store.clock().now();
+        self.store
+            .stats()
+            .record_promotion_latency(done.duration_since(started));
+        self.store
+            .trace()
+            .emit(done.0, TraceKind::Promotion, epoch, replayed_past_seen);
         Ok(RwNode::from_parts(
             Arc::new(tree),
             writer,

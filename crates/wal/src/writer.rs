@@ -5,7 +5,7 @@ use crate::reader::WalReader;
 use crate::record::{Lsn, WalPayload, WalRecord};
 use bg3_storage::{
     AppendOnlyStore, EpochFence, PageAddr, RetryPolicy, StorageError, StorageOp, StorageResult,
-    StreamId, INITIAL_EPOCH,
+    StreamId, TraceKind, INITIAL_EPOCH,
 };
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
@@ -76,6 +76,12 @@ impl WalWriter {
         if let Some(fence) = &self.fence {
             if let Err(e) = fence.check(self.epoch, StorageOp::Append) {
                 self.store.stats().record_fenced_append();
+                self.store.trace().emit(
+                    self.store.clock().now().0,
+                    TraceKind::FenceRejectedAppend,
+                    self.epoch,
+                    fence.current(),
+                );
                 return Err(e);
             }
         }
@@ -148,9 +154,20 @@ impl WalWriter {
             payload,
         };
         let encoded = encode_record(&record);
+        // Flush latency is the virtual-time delta around the (possibly
+        // retried) durable append; the tail lock serialises appends, so the
+        // delta is not polluted by concurrent writers advancing the clock.
+        let started = self.store.clock().now();
         let addr = self.retry.run(self.store.clock(), || {
             self.store.append(StreamId::WAL, &encoded, lsn.0, None)
         })?;
+        let flushed = self.store.clock().now();
+        self.store
+            .stats()
+            .record_wal_flush_latency(flushed.duration_since(started));
+        self.store
+            .trace()
+            .emit(flushed.0, TraceKind::WalAppend, lsn.0, self.epoch);
         // Publish to the reader index only after the store accepted it, and
         // while still holding the tail lock so positions match LSNs.
         self.index.write().push(addr);

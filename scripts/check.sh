@@ -28,7 +28,9 @@ RUSTFLAGS="-D warnings" cargo test --quiet --test replication_consistency \
 echo "==> cache_scaling smoke (~5s)"
 cargo run --release --quiet -p bg3-bench --bin reproduce -- cache_scaling --scale quick --threads 2
 
-echo "==> failover smoke (5 kill/promote/zombie cycles)"
-cargo run --release --quiet -p bg3-bench --bin reproduce -- failover --cycles 5
+echo "==> failover smoke (5 kill/promote/zombie cycles) + metrics drift gate"
+cargo run --release --quiet -p bg3-bench --bin reproduce -- failover --cycles 5 \
+    --metrics-json target/metrics-smoke.json
+cargo run --release --quiet -p bg3-bench --bin metrics_check -- target/metrics-smoke.json
 
 echo "==> all checks passed"
