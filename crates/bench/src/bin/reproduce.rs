@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [all|table1|fig8|cost|fig9|fig10|fig11|table2|fig12|fig13|fig14
-//!            |ablation|chaos|failover|cache_scaling]
+//!            |ablation|chaos|failover|scrub|cache_scaling]
 //!           [--scale full|quick] [--json <path>] [--metrics-json <path>]
 //!           [--threads N] [--cycles N]
 //! ```
@@ -18,7 +18,8 @@
 //! `total` entry across all of them) for the `scripts/check.sh` drift gate.
 //! `--threads N` appends a real-OS-thread `cache_scaling` run at that
 //! thread count (wall-clock throughput over one shared engine). `--cycles
-//! N` overrides the failover experiment's kill→promote cycle count.
+//! N` overrides the failover and scrub experiments' crash/failover cycle
+//! counts.
 
 use bg3_bench::experiments::*;
 use bg3_obs::export;
@@ -38,6 +39,7 @@ struct Scale {
     chaos_ops: u64,
     cache_ops: usize,
     failover_cycles: usize,
+    scrub_cycles: usize,
 }
 
 const FULL: Scale = Scale {
@@ -53,6 +55,7 @@ const FULL: Scale = Scale {
     chaos_ops: 6_000,
     cache_ops: 12_000,
     failover_cycles: 5,
+    scrub_cycles: 4,
 };
 
 const QUICK: Scale = Scale {
@@ -68,6 +71,7 @@ const QUICK: Scale = Scale {
     chaos_ops: 1_500,
     cache_ops: 2_000,
     failover_cycles: 3,
+    scrub_cycles: 2,
 };
 
 fn main() {
@@ -121,6 +125,7 @@ fn main() {
             "ablation",
             "chaos",
             "failover",
+            "scrub",
             "cache_scaling",
         ]
         .iter()
@@ -265,6 +270,13 @@ fn run_one(name: &str, scale: &Scale, cycles: Option<usize>) -> (String, Value) 
             let report = failover::run(cycles.unwrap_or(scale.failover_cycles));
             (
                 failover::render(&report),
+                serde_json::to_value(&report).unwrap(),
+            )
+        }
+        "scrub" => {
+            let report = scrub::run(cycles.unwrap_or(scale.scrub_cycles));
+            (
+                scrub::render(&report),
                 serde_json::to_value(&report).unwrap(),
             )
         }

@@ -36,8 +36,8 @@ use crate::page::{
 use crate::stats::BwTreeStats;
 use crate::tag::PageTag;
 use bg3_storage::{
-    AppendOnlyStore, CrashPoint, CrashSwitch, ErrorKind, PageAddr, StorageResult, StreamId,
-    TraceKind,
+    AppendOnlyStore, CrashPoint, CrashSwitch, ErrorKind, PageAddr, StorageError, StorageOp,
+    StorageResult, StreamId, TraceKind,
 };
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -609,18 +609,31 @@ impl BwTree {
             (state.base_addr, state.delta_addrs.clone())
         };
         BwTreeStats::bump(&self.stats.cold_reads);
+        // Verified reads under the tree's retry policy: a checksum mismatch
+        // or transient read fault re-reads a bounded number of times; what
+        // survives retries surfaces as a structured error, never a panic
+        // and never garbage entries.
+        let read_verified = |addr: PageAddr| {
+            self.config.retry.run_when(
+                self.store.clock(),
+                |e| e.is_retryable(),
+                || self.store.read(addr),
+            )
+        };
         let mut entries = match base_addr {
             Some(addr) => {
-                let bytes = self.store.read(addr)?;
+                let bytes = read_verified(addr)?;
                 BwTreeStats::bump(&self.stats.cold_read_ios);
-                decode_base_page(&bytes).expect("store returned a valid base image")
+                decode_base_page(&bytes)
+                    .map_err(|_| StorageError::corrupt_record(StorageOp::Read, addr))?
             }
             None => Vec::new(),
         };
         for addr in delta_addrs {
-            let bytes = self.store.read(addr)?;
+            let bytes = read_verified(addr)?;
             BwTreeStats::bump(&self.stats.cold_read_ios);
-            let ops = decode_delta(&bytes).expect("store returned a valid delta image");
+            let ops = decode_delta(&bytes)
+                .map_err(|_| StorageError::corrupt_record(StorageOp::Read, addr))?;
             entries = apply_ops(&entries, &ops);
         }
         Ok(entries
@@ -833,6 +846,32 @@ impl BwTree {
             return true;
         }
         false
+    }
+
+    /// Re-encodes the durable record this tree owns at `old`, if any — the
+    /// scrubber's repair source. The in-memory page image is authoritative,
+    /// so the returned bytes equal what the (possibly rotted) stored record
+    /// originally held. Returns `None` when no current address of `page`
+    /// occupies `old`'s slot (the record is a superseded garbage copy).
+    pub fn materialize_record(&self, page: PageId, old: PageAddr) -> Option<Vec<u8>> {
+        let inner = self.inner.read();
+        let state = inner.pages.get(&page)?;
+        let matches_slot = |a: &PageAddr| {
+            a.extent == old.extent && a.offset == old.offset && a.stream == old.stream
+        };
+        if state.base_addr.as_ref().is_some_and(matches_slot) {
+            return Some(encode_base_page(&state.base));
+        }
+        let i = state.delta_addrs.iter().position(matches_slot)?;
+        match self.config.mode {
+            // One merged delta holding every pending op.
+            WriteMode::ReadOptimized => Some(encode_delta(&state.pending)),
+            // One op per delta record, `delta_addrs` parallel to `pending`.
+            WriteMode::Traditional => state
+                .pending
+                .get(i)
+                .map(|op| encode_delta(std::slice::from_ref(op))),
+        }
     }
 
     /// The shared store this tree persists to.

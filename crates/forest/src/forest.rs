@@ -501,6 +501,19 @@ impl BwTreeForest {
             .find(|t| t.id() == decoded.tree)
             .is_some_and(|t| t.repair_relocated(decoded.page, old, new))
     }
+
+    /// Routes a scrubber resupply request to the owning tree: re-encodes
+    /// the record `tag` kept at `old`, if this forest still owns that slot.
+    pub fn materialize_record(&self, tag: u64, old: bg3_storage::PageAddr) -> Option<Vec<u8>> {
+        let decoded = bg3_bwtree::PageTag::decode(tag);
+        if decoded.tree == INIT_TREE_ID {
+            return self.init.materialize_record(decoded.page, old);
+        }
+        self.dedicated_trees()
+            .iter()
+            .find(|t| t.id() == decoded.tree)
+            .and_then(|t| t.materialize_record(decoded.page, old))
+    }
 }
 
 impl std::fmt::Debug for BwTreeForest {

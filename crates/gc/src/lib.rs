@@ -24,9 +24,14 @@
 
 pub mod policy;
 pub mod reclaimer;
+pub mod scrubber;
 
+pub use bg3_storage::RepairSupply;
 pub use policy::{
     DirtyRatioPolicy, FifoPolicy, HybridTtlGradientPolicy, PlanAction, ReclaimPlan, ReclaimPolicy,
     WorkloadAwarePolicy,
 };
 pub use reclaimer::{CycleReport, NullRouter, RelocationRouter, SpaceReclaimer};
+pub use scrubber::{
+    NullRepairSource, RepairSource, ScrubConfig, ScrubCursor, ScrubReport, Scrubber,
+};

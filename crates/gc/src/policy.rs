@@ -289,6 +289,7 @@ mod tests {
             id: ExtentId(id),
             stream: StreamId::DELTA,
             state,
+            quarantined: false,
             valid_records: 10 - invalid,
             invalid_records: invalid,
             valid_bytes: (10 - invalid) * 100,

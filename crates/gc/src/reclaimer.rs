@@ -108,7 +108,11 @@ impl<P: ReclaimPolicy, R: RelocationRouter> SpaceReclaimer<P, R> {
         let mut report = CycleReport::default();
         let now = self.store.clock().now();
         for &stream in &self.streams {
-            let candidates = self.store.extent_infos(stream)?;
+            let mut candidates = self.store.extent_infos(stream)?;
+            // Quarantined extents are the scrubber's to repair: relocation
+            // would copy corrupt frames forward, expiry would drop records
+            // the repair path could still re-home.
+            candidates.retain(|i| !i.quarantined);
             let plan = self.policy.plan(&candidates, now, n);
             for action in plan {
                 match action {

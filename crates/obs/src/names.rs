@@ -45,6 +45,18 @@ pub const EPOCH_SEALS_TOTAL: &str = "epoch_seals_total";
 pub const FENCED_PUBLISHES_TOTAL: &str = "fenced_publishes_total";
 /// WAL appends rejected by the epoch fence.
 pub const FENCED_APPENDS_TOTAL: &str = "fenced_appends_total";
+/// Record frames that failed verification (reads, rescans, scrub passes).
+pub const CHECKSUM_MISMATCHES_TOTAL: &str = "checksum_mismatches_total";
+/// Extents moved into quarantine by frame verification.
+pub const SCRUB_EXTENTS_QUARANTINED_TOTAL: &str = "scrub_extents_quarantined_total";
+/// Quarantined extents successfully repaired and reclaimed.
+pub const SCRUB_EXTENTS_REPAIRED_TOTAL: &str = "scrub_extents_repaired_total";
+/// Record frames checked by scrub passes (intact + corrupt).
+pub const SCRUB_RECORDS_VERIFIED_TOTAL: &str = "scrub_records_verified_total";
+/// Corrupt records re-materialized from a repair source.
+pub const SCRUB_RECORDS_RESUPPLIED_TOTAL: &str = "scrub_records_resupplied_total";
+/// Completed scrubber cycles.
+pub const SCRUB_CYCLES_TOTAL: &str = "scrub_cycles_total";
 
 /// Bytes moved by the most recent reclaimer cycle (gauge).
 pub const GC_LAST_CYCLE_MOVED_BYTES: &str = "gc_last_cycle_moved_bytes";
@@ -61,6 +73,8 @@ pub const WAL_FLUSH_LATENCY_NS: &str = "wal_flush_latency_ns";
 pub const GC_MOVE_LATENCY_NS: &str = "gc_move_latency_ns";
 /// Virtual-time latency of one RO→RW promotion (seal + replay; ns).
 pub const PROMOTION_LATENCY_NS: &str = "promotion_latency_ns";
+/// Virtual-time latency of one scrubber cycle (verify + repair; ns).
+pub const SCRUB_CYCLE_LATENCY_NS: &str = "scrub_cycle_latency_ns";
 
 /// Counters every store registers up front; the check.sh drift gate
 /// requires all of these in `--metrics-json` output.
@@ -82,6 +96,11 @@ pub const REQUIRED_COUNTERS: &[&str] = &[
     EPOCH_SEALS_TOTAL,
     FENCED_PUBLISHES_TOTAL,
     FENCED_APPENDS_TOTAL,
+    CHECKSUM_MISMATCHES_TOTAL,
+    SCRUB_EXTENTS_QUARANTINED_TOTAL,
+    SCRUB_EXTENTS_REPAIRED_TOTAL,
+    SCRUB_RECORDS_VERIFIED_TOTAL,
+    SCRUB_RECORDS_RESUPPLIED_TOTAL,
 ];
 
 /// Histograms every store registers up front; also enforced by the gate,
@@ -93,4 +112,5 @@ pub const REQUIRED_HISTOGRAMS: &[&str] = &[
     GC_MOVE_LATENCY_NS,
     MAPPING_PUBLISH_LATENCY_NS,
     PROMOTION_LATENCY_NS,
+    SCRUB_CYCLE_LATENCY_NS,
 ];

@@ -43,6 +43,15 @@ pub enum TraceKind {
     WalAppend,
     /// An RO follower finished promotion to leader.
     Promotion,
+    /// A record frame failed verification on a read or rescan.
+    ChecksumMismatch,
+    /// The scrubber (or a verify pass) quarantined an extent.
+    ExtentQuarantine,
+    /// A quarantined extent was repaired: records re-homed, holes
+    /// re-materialized from the repair source.
+    ExtentRepair,
+    /// The scrubber completed one verification cycle.
+    ScrubCycle,
 }
 
 impl TraceKind {
@@ -61,6 +70,10 @@ impl TraceKind {
             TraceKind::RoReplay => "ro_replay",
             TraceKind::WalAppend => "wal_append",
             TraceKind::Promotion => "promotion",
+            TraceKind::ChecksumMismatch => "checksum_mismatch",
+            TraceKind::ExtentQuarantine => "extent_quarantine",
+            TraceKind::ExtentRepair => "extent_repair",
+            TraceKind::ScrubCycle => "scrub_cycle",
         }
     }
 }

@@ -72,6 +72,14 @@ pub enum ErrorKind {
     ExtentStillLive { extent: ExtentId, valid: usize },
     /// The bytes at the address do not decode as the expected record shape.
     CorruptRecord,
+    /// The record frame at the address failed integrity verification (bad
+    /// magic, CRC32C mismatch, wrong length, or wrong record identity).
+    /// Distinct from [`ErrorKind::CorruptRecord`]: the *store* detected the
+    /// damage before any caller tried to decode the payload.
+    ChecksumMismatch,
+    /// The extent has been quarantined by the scrubber: at least one of its
+    /// frames failed verification and reads fail fast until it is repaired.
+    ExtentQuarantined(ExtentId),
     /// The write carried a sealed (stale) epoch: a newer leader has been
     /// promoted and the store rejects the zombie writer.
     EpochFenced {
@@ -113,6 +121,10 @@ impl fmt::Display for ErrorKind {
                 write!(f, "{extent} still holds {valid} valid records")
             }
             ErrorKind::CorruptRecord => write!(f, "record bytes failed to decode"),
+            ErrorKind::ChecksumMismatch => write!(f, "record frame failed checksum verification"),
+            ErrorKind::ExtentQuarantined(e) => {
+                write!(f, "{e} is quarantined pending repair")
+            }
             ErrorKind::EpochFenced { attempted, current } => {
                 write!(f, "epoch {attempted} is fenced (store is at {current})")
             }
@@ -200,6 +212,16 @@ impl StorageError {
         Self::new(ErrorKind::CorruptRecord, op).with_addr(addr)
     }
 
+    /// Frame verification failure during `op` at `addr`.
+    pub fn checksum_mismatch(op: StorageOp, addr: PageAddr) -> Self {
+        Self::new(ErrorKind::ChecksumMismatch, op).with_addr(addr)
+    }
+
+    /// Read or relocation refused because `extent` is quarantined.
+    pub fn extent_quarantined(op: StorageOp, extent: ExtentId) -> Self {
+        Self::new(ErrorKind::ExtentQuarantined(extent), op)
+    }
+
     /// A write from sealed epoch `attempted` rejected during `op` while the
     /// store accepts `current`.
     pub fn epoch_fenced(op: StorageOp, attempted: u64, current: u64) -> Self {
@@ -260,6 +282,21 @@ impl StorageError {
             ErrorKind::Injected(
                 FaultKind::AppendFail | FaultKind::AppendTorn | FaultKind::ReadFail
             )
+        )
+    }
+
+    /// True when retrying the operation has a chance of succeeding. This is
+    /// a superset of [`Self::is_transient`]: a checksum mismatch on a *read*
+    /// is retryable (the store may serve a clean replica, or a short/stale
+    /// read may not recur), whereas a quarantined extent is not — the
+    /// scrubber must repair it first. Crashes and fencing are never retried.
+    pub fn is_retryable(&self) -> bool {
+        if self.is_transient() {
+            return true;
+        }
+        matches!(
+            (&self.kind, self.op),
+            (ErrorKind::ChecksumMismatch, StorageOp::Read)
         )
     }
 }
@@ -346,6 +383,33 @@ mod tests {
         let no_leader = StorageError::no_leader(StorageOp::Append);
         assert!(!no_leader.is_transient());
         assert_eq!(no_leader.to_string(), "append failed: no leader available");
+    }
+
+    #[test]
+    fn retryable_covers_read_checksum_but_not_quarantine() {
+        let mismatch = StorageError::checksum_mismatch(StorageOp::Read, addr());
+        assert!(!mismatch.is_transient());
+        assert!(mismatch.is_retryable(), "store may serve a clean replica");
+        assert_eq!(
+            mismatch.to_string(),
+            "read failed at base/ext#2@4+8: record frame failed checksum verification"
+        );
+
+        // A mismatch found while relocating is not retryable: the damage is
+        // in our own extent, not in a flaky read path.
+        let relocating = StorageError::checksum_mismatch(StorageOp::Relocate, addr());
+        assert!(!relocating.is_retryable());
+
+        let quarantined = StorageError::extent_quarantined(StorageOp::Read, ExtentId(7));
+        assert!(!quarantined.is_retryable(), "repair must happen first");
+        assert_eq!(
+            quarantined.to_string(),
+            "read failed: ext#7 is quarantined pending repair"
+        );
+
+        // Transient injected faults remain retryable.
+        assert!(StorageError::injected(StorageOp::Read, FaultKind::ReadFail).is_retryable());
+        assert!(!StorageError::crash(CrashPoint::MidFlush).is_retryable());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use crate::addr::RecordId;
 use crate::clock::SimInstant;
+use crate::frame::{self, FrameKind};
 use serde::{Deserialize, Serialize};
 
 /// One record slot within an extent.
@@ -54,6 +55,10 @@ pub struct UsageSample {
 /// The in-memory body of one extent.
 #[derive(Debug)]
 pub(crate) struct Extent {
+    /// Physical bytes: a sequence of framed records (20-byte checksummed
+    /// header, then payload — see [`crate::frame`]). Slot offsets point at
+    /// payloads; the frame header sits in the `FRAME_HEADER_LEN` bytes
+    /// before each offset.
     pub data: Vec<u8>,
     pub capacity: usize,
     pub slots: Vec<RecordSlot>,
@@ -61,6 +66,15 @@ pub(crate) struct Extent {
     pub valid_count: u64,
     pub invalid_count: u64,
     pub valid_bytes: u64,
+    /// Logical (payload) bytes appended. Capacity accounting is payload-
+    /// based: frame headers are integrity metadata, invisible to record
+    /// packing and to every space statistic, so experiment numbers do not
+    /// drift with the header size.
+    pub payload_used: u64,
+    /// Set when scrubbing found a frame that fails verification. Reads
+    /// fail fast ([`crate::ErrorKind::ExtentQuarantined`]) and GC refuses
+    /// to relocate or expire the extent until it has been repaired.
+    pub quarantined: bool,
     pub last_update: SimInstant,
     pub created_at: SimInstant,
     /// Bounded history of invalidation samples, oldest first.
@@ -83,6 +97,8 @@ impl Extent {
             valid_count: 0,
             invalid_count: 0,
             valid_bytes: 0,
+            payload_used: 0,
+            quarantined: false,
             last_update: now,
             created_at: now,
             usage_history: Vec::new(),
@@ -90,15 +106,18 @@ impl Extent {
         }
     }
 
-    /// Remaining append capacity in bytes.
+    /// Remaining append capacity in payload bytes.
     pub fn remaining(&self) -> usize {
-        self.capacity - self.data.len()
+        self.capacity - self.payload_used as usize
     }
 
-    /// Appends a record body; caller has verified it fits.
+    /// Appends a record body wrapped in a checksummed frame; caller has
+    /// verified the payload fits. Returns the payload offset.
+    #[allow(clippy::too_many_arguments)] // every argument is a distinct per-record fact
     pub fn push(
         &mut self,
         record: RecordId,
+        kind: FrameKind,
         bytes: &[u8],
         tag: u64,
         now: SimInstant,
@@ -106,8 +125,11 @@ impl Extent {
         relocated: bool,
     ) -> u32 {
         debug_assert!(bytes.len() <= self.remaining());
+        let header = frame::encode_header(kind, record, bytes);
+        self.data.extend_from_slice(&header);
         let offset = self.data.len() as u32;
         self.data.extend_from_slice(bytes);
+        self.payload_used += bytes.len() as u64;
         self.slots.push(RecordSlot {
             record,
             offset,
@@ -207,11 +229,12 @@ impl Extent {
             id,
             stream,
             state: self.state,
+            quarantined: self.quarantined,
             valid_records: self.valid_count,
             invalid_records: self.invalid_count,
             valid_bytes: self.valid_bytes,
             capacity: self.capacity as u64,
-            used_bytes: self.data.len() as u64,
+            used_bytes: self.payload_used,
             fragmentation_rate: self.fragmentation_rate(),
             update_gradient: self.update_gradient(now),
             last_update: self.last_update,
@@ -230,6 +253,9 @@ pub struct ExtentInfo {
     pub stream: crate::addr::StreamId,
     /// Lifecycle state.
     pub state: ExtentState,
+    /// Scrubbing found corruption; the extent is read-fenced and must be
+    /// repaired (not relocated or expired) before its space is reclaimed.
+    pub quarantined: bool,
     /// Records still valid.
     pub valid_records: u64,
     /// Records invalidated by out-of-place updates/deletes.
@@ -256,6 +282,7 @@ pub struct ExtentInfo {
 mod tests {
     use super::*;
     use crate::addr::{ExtentId, StreamId};
+    use crate::frame::FRAME_HEADER_LEN;
 
     fn ext() -> Extent {
         Extent::new(1024, SimInstant(0))
@@ -264,10 +291,27 @@ mod tests {
     #[test]
     fn push_tracks_counts_and_bytes() {
         let mut e = ext();
-        let off0 = e.push(RecordId(0), b"hello", 1, SimInstant(10), None, false);
-        let off1 = e.push(RecordId(1), b"world!", 2, SimInstant(20), None, false);
-        assert_eq!(off0, 0);
-        assert_eq!(off1, 5);
+        let off0 = e.push(
+            RecordId(0),
+            FrameKind::Delta,
+            b"hello",
+            1,
+            SimInstant(10),
+            None,
+            false,
+        );
+        let off1 = e.push(
+            RecordId(1),
+            FrameKind::Delta,
+            b"world!",
+            2,
+            SimInstant(20),
+            None,
+            false,
+        );
+        // Offsets point at payloads; each is preceded by its frame header.
+        assert_eq!(off0, FRAME_HEADER_LEN as u32);
+        assert_eq!(off1, 2 * FRAME_HEADER_LEN as u32 + 5);
         assert_eq!(e.valid_count, 2);
         assert_eq!(e.valid_bytes, 11);
         assert_eq!(e.remaining(), 1024 - 11);
@@ -277,7 +321,15 @@ mod tests {
     #[test]
     fn invalidate_flips_exactly_once() {
         let mut e = ext();
-        let off = e.push(RecordId(0), b"abc", 0, SimInstant(0), None, false);
+        let off = e.push(
+            RecordId(0),
+            FrameKind::Delta,
+            b"abc",
+            0,
+            SimInstant(0),
+            None,
+            false,
+        );
         assert!(e.invalidate(off, SimInstant(5)).is_some());
         assert!(
             e.invalidate(off, SimInstant(6)).is_none(),
@@ -294,7 +346,17 @@ mod tests {
         // Fig. 5: extents A and B with 3 invalid out of 5 → 3/5.
         let mut e = ext();
         let offs: Vec<u32> = (0..5)
-            .map(|i| e.push(RecordId(i), b"x", 0, SimInstant(0), None, false))
+            .map(|i| {
+                e.push(
+                    RecordId(i),
+                    FrameKind::Delta,
+                    b"x",
+                    0,
+                    SimInstant(0),
+                    None,
+                    false,
+                )
+            })
             .collect();
         for &o in &offs[..3] {
             e.invalidate(o, SimInstant(1));
@@ -307,7 +369,17 @@ mod tests {
         // Fig. 5: Extent A has 1 invalid page at t0 and 3 at t1 → (3-1)/(t1-t0).
         let mut e = ext();
         let offs: Vec<u32> = (0..5)
-            .map(|i| e.push(RecordId(i), b"x", 0, SimInstant(0), None, false))
+            .map(|i| {
+                e.push(
+                    RecordId(i),
+                    FrameKind::Delta,
+                    b"x",
+                    0,
+                    SimInstant(0),
+                    None,
+                    false,
+                )
+            })
             .collect();
         let t0 = SimInstant(1_000_000_000); // 1s
         let t1 = SimInstant(3_000_000_000); // 3s
@@ -323,10 +395,18 @@ mod tests {
     #[test]
     fn gradient_of_cold_extent_is_zero() {
         let mut e = ext();
-        e.push(RecordId(0), b"x", 0, SimInstant(0), None, false);
+        let off = e.push(
+            RecordId(0),
+            FrameKind::Delta,
+            b"x",
+            0,
+            SimInstant(0),
+            None,
+            false,
+        );
         assert_eq!(e.update_gradient(SimInstant(0)), 0.0);
         // One sample only: still zero.
-        e.invalidate(0, SimInstant(10));
+        e.invalidate(off, SimInstant(10));
         assert_eq!(e.update_gradient(SimInstant(10)), 0.0);
     }
 
@@ -334,7 +414,17 @@ mod tests {
     fn gradient_burst_at_same_instant_is_infinite() {
         let mut e = ext();
         let offs: Vec<u32> = (0..3)
-            .map(|i| e.push(RecordId(i), b"x", 0, SimInstant(0), None, false))
+            .map(|i| {
+                e.push(
+                    RecordId(i),
+                    FrameKind::Delta,
+                    b"x",
+                    0,
+                    SimInstant(0),
+                    None,
+                    false,
+                )
+            })
             .collect();
         for &o in &offs {
             e.invalidate(o, SimInstant(42));
@@ -349,6 +439,7 @@ mod tests {
         let mut e = ext();
         e.push(
             RecordId(0),
+            FrameKind::Delta,
             b"a",
             0,
             SimInstant(0),
@@ -357,6 +448,7 @@ mod tests {
         );
         e.push(
             RecordId(1),
+            FrameKind::Delta,
             b"b",
             0,
             SimInstant(1),
@@ -366,6 +458,7 @@ mod tests {
         assert_eq!(e.ttl_deadline, Some(SimInstant(100)));
         e.push(
             RecordId(2),
+            FrameKind::Delta,
             b"c",
             0,
             SimInstant(2),
@@ -379,7 +472,17 @@ mod tests {
     fn usage_history_is_bounded() {
         let mut e = Extent::new(1 << 16, SimInstant(0));
         let offs: Vec<u32> = (0..64)
-            .map(|i| e.push(RecordId(i), b"x", 0, SimInstant(0), None, false))
+            .map(|i| {
+                e.push(
+                    RecordId(i),
+                    FrameKind::Delta,
+                    b"x",
+                    0,
+                    SimInstant(0),
+                    None,
+                    false,
+                )
+            })
             .collect();
         for (i, &o) in offs.iter().enumerate() {
             e.invalidate(o, SimInstant(i as u64 + 1));
@@ -397,6 +500,7 @@ mod tests {
         let mut e = ext();
         let off = e.push(
             RecordId(0),
+            FrameKind::Delta,
             b"abcd",
             7,
             SimInstant(3),

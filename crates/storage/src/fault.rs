@@ -46,6 +46,17 @@ pub enum FaultKind {
     /// The mapping-table publish is silently dropped: readers keep seeing
     /// the previous version. Models a lost metadata-service RPC.
     PublishDrop,
+    /// Silent corruption: one bit of the stored record is flipped *in
+    /// place* before the read is served. The call succeeds; only frame
+    /// verification can notice, and the rot persists until repaired.
+    ReadBitFlip,
+    /// Silent misdirection: the read returns a frame whose checksum is
+    /// internally valid but which belongs to a *different* record — a
+    /// stale replica or a misdirected block. Caught by record binding.
+    ReadStale,
+    /// Silent truncation: the read returns fewer bytes than addressed.
+    /// Transient — the stored bytes are intact.
+    ReadShort,
 }
 
 impl fmt::Display for FaultKind {
@@ -56,6 +67,9 @@ impl fmt::Display for FaultKind {
             FaultKind::ReadFail => write!(f, "read-fail"),
             FaultKind::Delay { nanos } => write!(f, "delay({nanos}ns)"),
             FaultKind::PublishDrop => write!(f, "publish-drop"),
+            FaultKind::ReadBitFlip => write!(f, "read-bit-flip"),
+            FaultKind::ReadStale => write!(f, "read-stale"),
+            FaultKind::ReadShort => write!(f, "read-short"),
         }
     }
 }
@@ -160,7 +174,7 @@ impl FaultRule {
     }
 }
 
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -236,6 +250,36 @@ impl FaultPlan {
     /// Convenience: delay operations of `op` by `nanos` with `probability`.
     pub fn delay(self, op: FaultOp, nanos: u64, probability: f64) -> Self {
         self.with_rule(FaultRule::new(op, FaultKind::Delay { nanos }, probability))
+    }
+
+    /// Convenience: silently flip one stored bit on reads with
+    /// `probability` ([`FaultKind::ReadBitFlip`]).
+    pub fn flip_reads(self, probability: f64) -> Self {
+        self.with_rule(FaultRule::new(
+            FaultOp::Read,
+            FaultKind::ReadBitFlip,
+            probability,
+        ))
+    }
+
+    /// Convenience: serve stale/misdirected frames on reads with
+    /// `probability` ([`FaultKind::ReadStale`]).
+    pub fn stale_reads(self, probability: f64) -> Self {
+        self.with_rule(FaultRule::new(
+            FaultOp::Read,
+            FaultKind::ReadStale,
+            probability,
+        ))
+    }
+
+    /// Convenience: truncate reads with `probability`
+    /// ([`FaultKind::ReadShort`]).
+    pub fn short_reads(self, probability: f64) -> Self {
+        self.with_rule(FaultRule::new(
+            FaultOp::Read,
+            FaultKind::ReadShort,
+            probability,
+        ))
     }
 
     /// Convenience: drop mapping publishes with `probability`.
@@ -453,6 +497,18 @@ impl RetryPolicy {
     pub fn run<T>(
         &self,
         clock: &SimClock,
+        operation: impl FnMut() -> StorageResult<T>,
+    ) -> StorageResult<T> {
+        self.run_when(clock, |err| err.is_transient(), operation)
+    }
+
+    /// Like [`Self::run`], but retrying whenever `retry_if(err)` holds —
+    /// used by read paths that also retry checksum mismatches
+    /// ([`crate::StorageError::is_retryable`]).
+    pub fn run_when<T>(
+        &self,
+        clock: &SimClock,
+        mut retry_if: impl FnMut(&crate::StorageError) -> bool,
         mut operation: impl FnMut() -> StorageResult<T>,
     ) -> StorageResult<T> {
         let mut backoff = self.initial_backoff_nanos;
@@ -460,7 +516,7 @@ impl RetryPolicy {
         loop {
             match operation() {
                 Ok(value) => return Ok(value),
-                Err(err) if err.is_transient() && attempt < self.max_attempts => {
+                Err(err) if retry_if(&err) && attempt < self.max_attempts => {
                     clock.advance_nanos(backoff);
                     backoff = backoff.saturating_mul(2);
                     attempt += 1;
@@ -692,6 +748,46 @@ mod tests {
         assert_eq!(attempts, 1, "crash must propagate on first attempt");
         assert!(result.unwrap_err().is_crash());
         assert_eq!(clock.now().as_micros(), 0, "no backoff charged");
+    }
+
+    #[test]
+    fn run_when_retries_by_custom_predicate() {
+        let clock = SimClock::new();
+        let addr = crate::PageAddr {
+            stream: StreamId::BASE,
+            extent: crate::ExtentId(1),
+            offset: 20,
+            len: 4,
+            record: crate::RecordId(9),
+        };
+        // `run` would give up immediately on a checksum mismatch...
+        let mut attempts = 0;
+        let _ = RetryPolicy::default().run(&clock, || -> StorageResult<()> {
+            attempts += 1;
+            Err(crate::StorageError::checksum_mismatch(
+                StorageOp::Read,
+                addr,
+            ))
+        });
+        assert_eq!(attempts, 1);
+        // ...while `run_when(is_retryable)` keeps trying.
+        let mut failures_left = 2;
+        let result = RetryPolicy::default().run_when(
+            &clock,
+            |e| e.is_retryable(),
+            || {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    Err(crate::StorageError::checksum_mismatch(
+                        StorageOp::Read,
+                        addr,
+                    ))
+                } else {
+                    Ok(7)
+                }
+            },
+        );
+        assert_eq!(result.unwrap(), 7);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod epoch;
 pub mod error;
 pub mod extent;
 pub mod fault;
+pub mod frame;
 pub mod latency;
 pub mod mapping;
 pub mod stats;
@@ -58,8 +59,12 @@ pub use extent::{ExtentInfo, ExtentState, UsageSample};
 pub use fault::{
     CrashPoint, CrashSwitch, FaultInjector, FaultKind, FaultOp, FaultPlan, FaultRule, RetryPolicy,
 };
+pub use frame::{
+    crc32c, encode_frame, encode_header, verify_frame, FrameKind, FrameViolation, FRAME_HEADER_LEN,
+    FRAME_MAGIC,
+};
 pub use latency::LatencyModel;
 pub use mapping::{MappingSnapshot, SharedMappingTable};
 pub use stats::{IoStats, IoStatsSnapshot};
-pub use store::{AppendOnlyStore, SlotKey, StoreConfig};
+pub use store::{AppendOnlyStore, RepairReport, RepairSupply, ScrubCheck, SlotKey, StoreConfig};
 pub use stream::StreamStats;

@@ -28,6 +28,23 @@ use std::sync::Arc;
 pub struct MappingSnapshot {
     version: u64,
     entries: Arc<HashMap<u64, PageAddr>>,
+    /// Order-independent XOR-fold of every entry's digest, maintained
+    /// incrementally across publishes. Mapping publishes are in-memory
+    /// snapshot swaps (no extent append to frame), so this is their
+    /// integrity check: [`MappingSnapshot::verify_integrity`] recomputes
+    /// the fold from scratch and compares.
+    fingerprint: u64,
+}
+
+/// Digest of one `(page_id, addr)` mapping entry, XOR-folded into the
+/// snapshot fingerprint. splitmix64-chained so every field of the address
+/// participates.
+fn entry_digest(page_id: u64, addr: &PageAddr) -> u64 {
+    use crate::fault::splitmix64;
+    let mut h = splitmix64(page_id ^ 0xA5A5_5A5A_C3C3_3C3C);
+    h = splitmix64(h ^ (addr.stream.0 as u64) ^ addr.extent.0.rotate_left(8));
+    h = splitmix64(h ^ ((addr.offset as u64) << 32) ^ (addr.len as u64));
+    splitmix64(h ^ addr.record.0)
 }
 
 impl MappingSnapshot {
@@ -36,9 +53,31 @@ impl MappingSnapshot {
         self.version
     }
 
+    /// The incrementally-maintained integrity fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Recomputes the fingerprint from every entry and compares it to the
+    /// maintained one. Adoption sites (checkpoint handling, promotion) call
+    /// this to catch a mapping plane that drifted from its own accounting.
+    pub fn verify_integrity(&self) -> bool {
+        let recomputed = self.entries.iter().fold(0u64, |acc, (&page_id, addr)| {
+            acc ^ entry_digest(page_id, addr)
+        });
+        recomputed == self.fingerprint
+    }
+
     /// Resolves `page_id` to its storage address at this version.
     pub fn get(&self, page_id: u64) -> Option<PageAddr> {
         self.entries.get(&page_id).copied()
+    }
+
+    /// Iterates every `(page_id, addr)` entry, in no particular order —
+    /// audit/scrub passes use this to cross-check the mapping against the
+    /// store's extent population.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, PageAddr)> + '_ {
+        self.entries.iter().map(|(&page_id, &addr)| (page_id, addr))
     }
 
     /// Number of mapped pages.
@@ -98,6 +137,7 @@ impl SharedMappingTable {
                 current: RwLock::new(MappingSnapshot {
                     version: 0,
                     entries: Arc::new(HashMap::new()),
+                    fingerprint: 0,
                 }),
                 history: Mutex::new(VecDeque::new()),
             }),
@@ -230,13 +270,19 @@ impl SharedMappingTable {
         updates: impl IntoIterator<Item = (u64, Option<PageAddr>)>,
     ) -> u64 {
         let mut next: HashMap<u64, PageAddr> = (*guard.entries).clone();
+        let mut fingerprint = guard.fingerprint;
         for (page_id, addr) in updates {
             match addr {
                 Some(a) => {
-                    next.insert(page_id, a);
+                    if let Some(old) = next.insert(page_id, a) {
+                        fingerprint ^= entry_digest(page_id, &old);
+                    }
+                    fingerprint ^= entry_digest(page_id, &a);
                 }
                 None => {
-                    next.remove(&page_id);
+                    if let Some(old) = next.remove(&page_id) {
+                        fingerprint ^= entry_digest(page_id, &old);
+                    }
                 }
             }
         }
@@ -244,6 +290,7 @@ impl SharedMappingTable {
         let snapshot = MappingSnapshot {
             version,
             entries: Arc::new(next),
+            fingerprint,
         };
         {
             // Retain the superseded version while the publish lock is still
@@ -482,6 +529,35 @@ mod tests {
         t.seal_epoch(5).unwrap();
         assert!(t.seal_epoch(4).unwrap_err().is_fenced());
         assert_eq!(t.epoch(), 5);
+    }
+
+    #[test]
+    fn fingerprint_tracks_publishes_incrementally() {
+        let t = table();
+        assert!(t.snapshot().verify_integrity(), "empty table verifies");
+        t.publish([(1, Some(addr(0))), (2, Some(addr(16)))]);
+        t.publish([(1, Some(addr(32))), (3, Some(addr(8)))]); // overwrite + insert
+        t.publish([(2, None)]); // remove
+        let snap = t.snapshot();
+        assert!(snap.verify_integrity());
+        assert_ne!(snap.fingerprint(), 0);
+        // Publishing back to an equivalent state yields an equal fold no
+        // matter the path taken (XOR is order-independent).
+        let u = table();
+        u.publish([(3, Some(addr(8)))]);
+        u.publish([(1, Some(addr(32)))]);
+        assert_eq!(u.snapshot().fingerprint(), snap.fingerprint());
+    }
+
+    #[test]
+    fn tampered_snapshot_fails_verification() {
+        let t = table();
+        t.publish([(1, Some(addr(0)))]);
+        let mut snap = t.snapshot();
+        let mut entries = (*snap.entries).clone();
+        entries.insert(1, addr(64)); // silent in-memory corruption
+        snap.entries = Arc::new(entries);
+        assert!(!snap.verify_integrity());
     }
 
     #[test]

@@ -40,12 +40,18 @@ pub struct IoStats {
     epoch_seals: Counter,
     fenced_publishes: Counter,
     fenced_appends: Counter,
+    checksum_mismatches: Counter,
+    extents_quarantined: Counter,
+    extents_repaired: Counter,
+    scrub_records_verified: Counter,
+    scrub_records_resupplied: Counter,
     read_latency: Histogram,
     append_latency: Histogram,
     publish_latency: Histogram,
     wal_flush_latency: Histogram,
     gc_move_latency: Histogram,
     promotion_latency: Histogram,
+    scrub_cycle_latency: Histogram,
 }
 
 impl Default for IoStats {
@@ -81,12 +87,18 @@ impl IoStats {
             epoch_seals: registry.counter(names::EPOCH_SEALS_TOTAL),
             fenced_publishes: registry.counter(names::FENCED_PUBLISHES_TOTAL),
             fenced_appends: registry.counter(names::FENCED_APPENDS_TOTAL),
+            checksum_mismatches: registry.counter(names::CHECKSUM_MISMATCHES_TOTAL),
+            extents_quarantined: registry.counter(names::SCRUB_EXTENTS_QUARANTINED_TOTAL),
+            extents_repaired: registry.counter(names::SCRUB_EXTENTS_REPAIRED_TOTAL),
+            scrub_records_verified: registry.counter(names::SCRUB_RECORDS_VERIFIED_TOTAL),
+            scrub_records_resupplied: registry.counter(names::SCRUB_RECORDS_RESUPPLIED_TOTAL),
             read_latency: registry.histogram(names::STORAGE_READ_LATENCY_NS),
             append_latency: registry.histogram(names::STORAGE_APPEND_LATENCY_NS),
             publish_latency: registry.histogram(names::MAPPING_PUBLISH_LATENCY_NS),
             wal_flush_latency: registry.histogram(names::WAL_FLUSH_LATENCY_NS),
             gc_move_latency: registry.histogram(names::GC_MOVE_LATENCY_NS),
             promotion_latency: registry.histogram(names::PROMOTION_LATENCY_NS),
+            scrub_cycle_latency: registry.histogram(names::SCRUB_CYCLE_LATENCY_NS),
             registry,
         }
     }
@@ -151,6 +163,30 @@ impl IoStats {
         self.cache_evictions.add(n);
     }
 
+    pub(crate) fn record_checksum_mismatch(&self) {
+        self.checksum_mismatches.inc();
+    }
+
+    pub(crate) fn record_checksum_mismatches(&self, n: u64) {
+        self.checksum_mismatches.add(n);
+    }
+
+    pub(crate) fn record_extent_quarantined(&self) {
+        self.extents_quarantined.inc();
+    }
+
+    pub(crate) fn record_extent_repaired(&self) {
+        self.extents_repaired.inc();
+    }
+
+    pub(crate) fn record_scrub_records_verified(&self, n: u64) {
+        self.scrub_records_verified.add(n);
+    }
+
+    pub(crate) fn record_scrub_records_resupplied(&self, n: u64) {
+        self.scrub_records_resupplied.add(n);
+    }
+
     /// Records an epoch seal (failover promotion). Public: the failover
     /// machinery lives outside this crate and records on the store's stats.
     pub fn record_epoch_seal(&self) {
@@ -199,6 +235,12 @@ impl IoStats {
         self.promotion_latency.record(nanos);
     }
 
+    /// Records one scrubber cycle duration: every extent verified (and
+    /// repaired) in the cycle (ns). Public: the scrubber lives in `bg3-gc`.
+    pub fn record_scrub_cycle_latency(&self, nanos: u64) {
+        self.scrub_cycle_latency.record(nanos);
+    }
+
     /// Takes a consistent-enough point-in-time copy of all counters.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
@@ -219,6 +261,11 @@ impl IoStats {
             epoch_seals: self.epoch_seals.get(),
             fenced_publishes: self.fenced_publishes.get(),
             fenced_appends: self.fenced_appends.get(),
+            checksum_mismatches: self.checksum_mismatches.get(),
+            extents_quarantined: self.extents_quarantined.get(),
+            extents_repaired: self.extents_repaired.get(),
+            scrub_records_verified: self.scrub_records_verified.get(),
+            scrub_records_resupplied: self.scrub_records_resupplied.get(),
         }
     }
 }
@@ -267,6 +314,17 @@ pub struct IoStatsSnapshot {
     pub fenced_publishes: u64,
     /// WAL appends rejected by the epoch fence (zombie leaders).
     pub fenced_appends: u64,
+    /// Record frames that failed verification (on reads, rescans, and
+    /// scrub passes).
+    pub checksum_mismatches: u64,
+    /// Extents moved into quarantine by frame verification.
+    pub extents_quarantined: u64,
+    /// Quarantined extents successfully repaired and reclaimed.
+    pub extents_repaired: u64,
+    /// Record frames checked by scrub passes (intact + corrupt).
+    pub scrub_records_verified: u64,
+    /// Corrupt records re-materialized from a repair source.
+    pub scrub_records_resupplied: u64,
 }
 
 impl IoStatsSnapshot {
@@ -302,6 +360,21 @@ impl IoStatsSnapshot {
                 .fenced_publishes
                 .saturating_sub(earlier.fenced_publishes),
             fenced_appends: self.fenced_appends.saturating_sub(earlier.fenced_appends),
+            checksum_mismatches: self
+                .checksum_mismatches
+                .saturating_sub(earlier.checksum_mismatches),
+            extents_quarantined: self
+                .extents_quarantined
+                .saturating_sub(earlier.extents_quarantined),
+            extents_repaired: self
+                .extents_repaired
+                .saturating_sub(earlier.extents_repaired),
+            scrub_records_verified: self
+                .scrub_records_verified
+                .saturating_sub(earlier.scrub_records_verified),
+            scrub_records_resupplied: self
+                .scrub_records_resupplied
+                .saturating_sub(earlier.scrub_records_resupplied),
         }
     }
 

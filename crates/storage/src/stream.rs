@@ -62,7 +62,7 @@ impl StreamInner {
                     s.valid_records += ext.valid_count;
                     s.invalid_records += ext.invalid_count;
                     s.valid_bytes += ext.valid_bytes;
-                    s.used_bytes += ext.data.len() as u64;
+                    s.used_bytes += ext.payload_used;
                     s.capacity_bytes += ext.capacity as u64;
                 }
             }
@@ -107,6 +107,7 @@ impl StreamStats {
 mod tests {
     use super::*;
     use crate::addr::RecordId;
+    use crate::frame::FrameKind;
 
     #[test]
     fn extent_rollover_seals_previous() {
@@ -120,6 +121,7 @@ mod tests {
         assert_eq!(e1, ExtentId(1));
         s.extents.get_mut(&e1).unwrap().push(
             RecordId(0),
+            FrameKind::Delta,
             &[0u8; 10],
             0,
             SimInstant(0),
@@ -145,6 +147,7 @@ mod tests {
         let e1 = s.extent_for_append(4, 8, SimInstant(0), &mut alloc);
         s.extents.get_mut(&e1).unwrap().push(
             RecordId(0),
+            FrameKind::Delta,
             &[1, 2, 3, 4],
             0,
             SimInstant(0),
@@ -152,10 +155,15 @@ mod tests {
             false,
         );
         let e2 = s.extent_for_append(8, 8, SimInstant(1), &mut alloc);
-        s.extents
-            .get_mut(&e2)
-            .unwrap()
-            .push(RecordId(1), &[0u8; 8], 0, SimInstant(1), None, false);
+        s.extents.get_mut(&e2).unwrap().push(
+            RecordId(1),
+            FrameKind::Delta,
+            &[0u8; 8],
+            0,
+            SimInstant(1),
+            None,
+            false,
+        );
         s.extents.get_mut(&e1).unwrap().state = ExtentState::Reclaimed;
 
         let stats = s.stats();

@@ -10,7 +10,7 @@ use proptest::prelude::*;
 
 /// An arbitrary snapshot built field-by-field (all fields are public).
 fn snapshot_strategy() -> impl Strategy<Value = IoStatsSnapshot> {
-    (proptest::collection::vec(any::<u32>(), 17), Just(())).prop_map(|(v, ())| IoStatsSnapshot {
+    (proptest::collection::vec(any::<u32>(), 22), Just(())).prop_map(|(v, ())| IoStatsSnapshot {
         appends: v[0] as u64,
         bytes_appended: v[1] as u64,
         random_reads: v[2] as u64,
@@ -28,6 +28,11 @@ fn snapshot_strategy() -> impl Strategy<Value = IoStatsSnapshot> {
         epoch_seals: v[14] as u64,
         fenced_publishes: v[15] as u64,
         fenced_appends: v[16] as u64,
+        checksum_mismatches: v[17] as u64,
+        extents_quarantined: v[18] as u64,
+        extents_repaired: v[19] as u64,
+        scrub_records_verified: v[20] as u64,
+        scrub_records_resupplied: v[21] as u64,
     })
 }
 
@@ -50,6 +55,11 @@ fn le(a: &IoStatsSnapshot, b: &IoStatsSnapshot) -> bool {
         && a.epoch_seals <= b.epoch_seals
         && a.fenced_publishes <= b.fenced_publishes
         && a.fenced_appends <= b.fenced_appends
+        && a.checksum_mismatches <= b.checksum_mismatches
+        && a.extents_quarantined <= b.extents_quarantined
+        && a.extents_repaired <= b.extents_repaired
+        && a.scrub_records_verified <= b.scrub_records_verified
+        && a.scrub_records_resupplied <= b.scrub_records_resupplied
 }
 
 /// Fieldwise addition.
@@ -72,6 +82,11 @@ fn add(a: &IoStatsSnapshot, b: &IoStatsSnapshot) -> IoStatsSnapshot {
         epoch_seals: a.epoch_seals + b.epoch_seals,
         fenced_publishes: a.fenced_publishes + b.fenced_publishes,
         fenced_appends: a.fenced_appends + b.fenced_appends,
+        checksum_mismatches: a.checksum_mismatches + b.checksum_mismatches,
+        extents_quarantined: a.extents_quarantined + b.extents_quarantined,
+        extents_repaired: a.extents_repaired + b.extents_repaired,
+        scrub_records_verified: a.scrub_records_verified + b.scrub_records_verified,
+        scrub_records_resupplied: a.scrub_records_resupplied + b.scrub_records_resupplied,
     }
 }
 

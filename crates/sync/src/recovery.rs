@@ -13,12 +13,16 @@
 //! Replaying WAL records older than a page's recovered image is safe: the
 //! record stream is ordered and per-key last-writer-wins, so re-applying a
 //! covered prefix converges to the same state (the same argument that makes
-//! RO lazy replay correct).
+//! RO lazy replay correct). The same property makes recovery robust to a
+//! damaged mapped image: a page whose base image fails integrity (rot,
+//! quarantine, a reclaimed extent) is rebuilt from its full WAL history
+//! instead of failing the failover.
 
 use bg3_bwtree::tree::FIRST_LEAF;
 use bg3_bwtree::{decode_base_page, BwTree, BwTreeConfig, Entries, PageTag, TreeEventListener};
 use bg3_storage::{
-    AppendOnlyStore, PageAddr, SharedMappingTable, StorageError, StorageOp, StorageResult,
+    AppendOnlyStore, ErrorKind, PageAddr, SharedMappingTable, StorageError, StorageOp,
+    StorageResult,
 };
 use bg3_wal::{Lsn, WalPayload, WalRecord};
 use std::collections::{BTreeMap, HashMap};
@@ -66,7 +70,15 @@ pub fn recover_tree(
         .map(Lsn)
         .unwrap_or(Lsn::ZERO);
 
-    // 2. Page images from the published mapping.
+    // 2. Page images from the published mapping. A mapped image that fails
+    //    integrity — a rotted frame, a quarantined or since-reclaimed
+    //    extent, or bytes that no longer decode — does not fail recovery:
+    //    `records` is the page's *full* WAL history, so the page is rebuilt
+    //    from replay alone starting from an empty image (the same
+    //    convergence argument as above, with the covered prefix replayed
+    //    instead of skipped). Rebuilt pages come back dirty with no base
+    //    address, so the next checkpoint re-flushes them and republishes a
+    //    verified mapping entry. Transient faults still surface as errors.
     let snapshot = mapping.snapshot();
     let mut pages: HashMap<u32, (Entries, Option<PageAddr>)> = HashMap::new();
     let mut routing: BTreeMap<Vec<u8>, u32> = BTreeMap::new();
@@ -81,6 +93,7 @@ pub fn recover_tree(
             pages.entry(record.page as u32).or_default();
         }
     }
+    let mut rebuild: std::collections::HashSet<u32> = std::collections::HashSet::new();
     for (&page, slot) in pages.iter_mut() {
         let tag = PageTag {
             tree: tree_id,
@@ -88,25 +101,39 @@ pub fn recover_tree(
         }
         .encode();
         if let Some(addr) = snapshot.get(tag) {
-            let bytes = store.read(addr)?;
-            slot.0 = decode_base_page(&bytes)
-                .map_err(|_| StorageError::corrupt_record(StorageOp::Recovery, addr))?;
-            slot.1 = Some(addr);
+            match store.read(addr) {
+                Ok(bytes) => match decode_base_page(&bytes) {
+                    Ok(entries) => {
+                        slot.0 = entries;
+                        slot.1 = Some(addr);
+                    }
+                    Err(_) => {
+                        rebuild.insert(page);
+                    }
+                },
+                Err(err) if image_lost(&err) => {
+                    rebuild.insert(page);
+                }
+                Err(err) => return Err(err),
+            }
         }
     }
 
     // 3. Replay. Structural records rebuild routing unconditionally; content
     //    records above the checkpoint horizon patch page entries (replaying
     //    a covered prefix would also converge, but skipping it is cheaper).
+    //    Pages whose mapped image was lost replay their whole history.
     //    Pages patched past the horizon come back dirty: their memory is
     //    newer than their mapped image, so they must re-flush before the
     //    next checkpoint advances the horizon over them.
     let mut dirty: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    dirty.extend(rebuild.iter().copied());
     for record in &records {
         if record.tree != tree_id as u64 {
             continue;
         }
         let page = record.page as u32;
+        let replay = record.lsn > durable || rebuild.contains(&page);
         if record.lsn > durable && record.payload.is_page_scoped() {
             dirty.insert(page);
         }
@@ -116,28 +143,28 @@ pub fn recover_tree(
                 separator,
             } => {
                 routing.insert(separator.clone(), *right_page as u32);
-                if record.lsn > durable {
+                if replay {
                     let slot = pages.entry(page).or_default();
                     slot.0.retain(|(k, _)| k.as_slice() < separator.as_slice());
+                }
+                if record.lsn > durable {
                     dirty.insert(*right_page as u32);
                 }
             }
-            WalPayload::Upsert { key, value } if record.lsn > durable => {
+            WalPayload::Upsert { key, value } if replay => {
                 let entries = &mut pages.entry(page).or_default().0;
                 match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
                     Ok(i) => entries[i].1 = value.clone(),
                     Err(i) => entries.insert(i, (key.clone(), value.clone())),
                 }
             }
-            WalPayload::Delete { key } if record.lsn > durable => {
+            WalPayload::Delete { key } if replay => {
                 let entries = &mut pages.entry(page).or_default().0;
                 if let Ok(i) = entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
                     entries.remove(i);
                 }
             }
-            WalPayload::PageImage { image } | WalPayload::NewPage { image }
-                if record.lsn > durable =>
-            {
+            WalPayload::PageImage { image } | WalPayload::NewPage { image } if replay => {
                 pages.entry(page).or_default().0 = decode_base_page(image).map_err(|_| {
                     StorageError::new(bg3_storage::ErrorKind::CorruptRecord, StorageOp::WalReplay)
                 })?;
@@ -162,6 +189,22 @@ pub fn recover_tree(
             .collect(),
         dirty.into_iter().collect(),
     ))
+}
+
+/// True when a mapped base image is damaged or gone — a rotted frame, a
+/// quarantined or since-reclaimed extent, a stale address — as opposed to a
+/// transient I/O failure worth surfacing to the caller. Recovery responds
+/// by rebuilding the page from its full WAL history.
+fn image_lost(err: &StorageError) -> bool {
+    matches!(
+        err.kind,
+        ErrorKind::ChecksumMismatch
+            | ErrorKind::CorruptRecord
+            | ErrorKind::AddrNotFound
+            | ErrorKind::AddrOutOfBounds
+            | ErrorKind::ExtentQuarantined(_)
+            | ErrorKind::UnknownExtent(_)
+    )
 }
 
 #[cfg(test)]
@@ -286,7 +329,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_mapped_image_is_an_error_not_a_panic() {
+    fn corrupt_mapped_image_is_rebuilt_from_wal_history() {
         use bg3_storage::StreamId;
         let store = AppendOnlyStore::new(StoreConfig::counting());
         let rw = RwNode::new(store, RwNodeConfig::default());
@@ -295,30 +338,45 @@ mod tests {
         }
         rw.checkpoint().unwrap();
         // Point the mapping at undecodable bytes, as a torn or misdirected
-        // base-stream write would.
+        // base-stream write would. The WAL still names every acked write,
+        // so recovery rebuilds the page from replay alone.
         let garbage = rw
             .store()
             .append(StreamId::BASE, b"\xff\xff\xff\xffnot a page", 0, None)
             .unwrap();
         let tag = PageTag { tree: 1, page: 1 }.encode();
         rw.mapping().publish([(tag, Some(garbage))]);
-        let mut reader = rw.open_wal_reader();
-        let records = reader.fetch_new().unwrap();
-        let err = recover_tree(
-            1,
-            rw.store().clone(),
-            rw.mapping(),
-            &records,
-            BwTreeConfig::default(),
-            Arc::new(NullListener),
-        )
-        .unwrap_err();
-        assert!(
-            matches!(err.kind, bg3_storage::ErrorKind::CorruptRecord),
-            "structured corruption error, got {err}"
+        let recovered = recover_from(&rw);
+        assert_same_content(
+            &recovered,
+            &rw,
+            (0..10).map(|i| format!("k{i:02}").into_bytes()),
         );
-        assert_eq!(err.op, StorageOp::Recovery);
-        assert_eq!(err.addr, Some(garbage), "names the offending address");
+        assert!(
+            recovered.dirty_count() > 0,
+            "a rebuilt page re-flushes before the next checkpoint"
+        );
+    }
+
+    #[test]
+    fn rotted_mapped_image_is_rebuilt_from_wal_history() {
+        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let rw = RwNode::new(store, RwNodeConfig::default());
+        for i in 0..20u32 {
+            rw.put(format!("k{i:02}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        rw.checkpoint().unwrap();
+        // Silent bit rot lands on the checkpointed base image itself.
+        let tag = PageTag { tree: 1, page: 1 }.encode();
+        let addr = rw.mapping().snapshot().get(tag).expect("page 1 mapped");
+        rw.store().corrupt_record_bit(addr, 11).unwrap();
+        let recovered = recover_from(&rw);
+        assert_same_content(
+            &recovered,
+            &rw,
+            (0..20).map(|i| format!("k{i:02}").into_bytes()),
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@ use crate::wal_listener::WalListener;
 use bg3_bwtree::tree::{FlushMode, FIRST_LEAF};
 use bg3_bwtree::{decode_base_page, Entries, PageTag, TreeEventListener};
 use bg3_storage::{
-    AppendOnlyStore, CrashSwitch, MappingSnapshot, SharedMappingTable, StorageError, StorageOp,
-    StorageResult, TraceKind, INITIAL_EPOCH,
+    AppendOnlyStore, CrashSwitch, ErrorKind, MappingSnapshot, PageAddr, RetryPolicy,
+    SharedMappingTable, StorageError, StorageOp, StorageResult, TraceKind, INITIAL_EPOCH,
 };
 use bg3_wal::{Lsn, WalPayload, WalReader, WalWriter};
 use parking_lot::Mutex;
@@ -96,6 +96,11 @@ pub struct RoStatsSnapshot {
     pub fenced_records_skipped: u64,
     /// WAL records past `seen_lsn` replayed during promotion.
     pub promotion_replay_records: u64,
+    /// Cold page reads re-attempted after a retryable verification failure.
+    pub corrupt_read_retries: u64,
+    /// Cold page reads that fell back to the live mapping's address after
+    /// the adopted address failed verification persistently.
+    pub corrupt_read_failovers: u64,
 }
 
 /// A follower: tails the WAL, parks page records for lazy replay, serves
@@ -117,6 +122,8 @@ pub struct RoNode {
     stale_reads: AtomicU64,
     fenced_records_skipped: AtomicU64,
     promotion_replay_records: AtomicU64,
+    corrupt_read_retries: AtomicU64,
+    corrupt_read_failovers: AtomicU64,
     /// Set by the failover coordinator while the leader is down: reads
     /// still succeed but are counted as (possibly) stale.
     serving_stale: AtomicBool,
@@ -155,6 +162,8 @@ impl RoNode {
             stale_reads: AtomicU64::new(0),
             fenced_records_skipped: AtomicU64::new(0),
             promotion_replay_records: AtomicU64::new(0),
+            corrupt_read_retries: AtomicU64::new(0),
+            corrupt_read_failovers: AtomicU64::new(0),
             serving_stale: AtomicBool::new(false),
         }
     }
@@ -177,6 +186,8 @@ impl RoNode {
             stale_reads: self.stale_reads.load(Ordering::Relaxed),
             fenced_records_skipped: self.fenced_records_skipped.load(Ordering::Relaxed),
             promotion_replay_records: self.promotion_replay_records.load(Ordering::Relaxed),
+            corrupt_read_retries: self.corrupt_read_retries.load(Ordering::Relaxed),
+            corrupt_read_failovers: self.corrupt_read_failovers.load(Ordering::Relaxed),
         }
     }
 
@@ -343,10 +354,21 @@ impl RoNode {
         // bounded staleness degrades to at-least-once visibility instead
         // of data loss, because newer images only ever cover *more* LSNs.
         if mapping_version > inner.adopted.version() {
-            inner.adopted = self
+            let snapshot = self
                 .mapping
                 .snapshot_at(mapping_version)
                 .unwrap_or_else(|| self.mapping.snapshot());
+            // Integrity gate at the adoption boundary: never route cold
+            // reads through a mapping plane whose incremental fingerprint
+            // disagrees with its own contents. The stale adopted snapshot
+            // keeps serving (bounded staleness beats garbage addresses).
+            if !snapshot.verify_integrity() {
+                return Err(StorageError::new(
+                    ErrorKind::ChecksumMismatch,
+                    StorageOp::MappingPublish,
+                ));
+            }
+            inner.adopted = snapshot;
         }
         let mut first_error: Option<bg3_storage::StorageError> = None;
         let RoInner {
@@ -451,16 +473,17 @@ impl RoNode {
                 page: page as u32,
             }
             .encode();
-            let entries = match inner.adopted.get(tag) {
-                Some(addr) => {
-                    let bytes = self.store.read(addr)?;
-                    // A torn base image is a storage-corruption event, not a
-                    // process-abort: report it so the caller can retry
-                    // through a republished mapping or fail over.
-                    decode_base_page(&bytes)
-                        .map_err(|_| StorageError::corrupt_record(StorageOp::Read, addr))?
+            let entries = match self.fetch_base_page(&inner.adopted, tag) {
+                Ok(entries) => entries,
+                Err(e) => {
+                    // Any verification or decode failure follows the same
+                    // eviction path as a torn image during replay: drop
+                    // whatever the cache holds for this page so the next
+                    // read refetches cold instead of trusting a stale or
+                    // half-built entry.
+                    inner.cache.remove(&page_key);
+                    return Err(e);
                 }
-                None => Entries::new(),
             };
             self.evict_if_full(&mut inner);
             inner.cache.insert(
@@ -579,6 +602,62 @@ impl RoNode {
             }
         }
         Ok(out)
+    }
+
+    /// Cold fetch of a base page image with bounded verify-retry-failover
+    /// (the read half of the end-to-end integrity loop):
+    ///
+    /// 1. Read + decode through the adopted mapping's address, retrying
+    ///    retryable failures (checksum mismatches, transient read faults)
+    ///    a bounded number of times on the virtual clock.
+    /// 2. On persistent corruption, fall back to the *live* mapping's
+    ///    address for the same page — the leader or the scrubber may have
+    ///    repaired/re-homed the image since this follower's checkpoint.
+    /// 3. Only when both sources fail does the structured error surface
+    ///    (quarantined extents fail fast here: not retryable).
+    fn fetch_base_page(&self, adopted: &MappingSnapshot, tag: u64) -> StorageResult<Entries> {
+        let Some(addr) = adopted.get(tag) else {
+            // Brand-new page (paper's page Q): built purely from parked
+            // records.
+            return Ok(Entries::new());
+        };
+        let attempt = |addr: PageAddr| -> StorageResult<Entries> {
+            let bytes = self.store.read(addr)?;
+            // A torn base image is a storage-corruption event, not a
+            // process-abort: report it so the caller can retry through a
+            // republished mapping or fail over.
+            decode_base_page(&bytes)
+                .map_err(|_| StorageError::corrupt_record(StorageOp::Read, addr))
+        };
+        let retry = RetryPolicy::default();
+        let clock = self.store.clock();
+        let retry_if = |e: &StorageError| {
+            let again = e.is_retryable();
+            if again {
+                self.corrupt_read_retries.fetch_add(1, Ordering::Relaxed);
+            }
+            again
+        };
+        match retry.run_when(clock, retry_if, || attempt(addr)) {
+            Ok(entries) => Ok(entries),
+            Err(e)
+                if matches!(
+                    e.kind,
+                    ErrorKind::ChecksumMismatch
+                        | ErrorKind::CorruptRecord
+                        | ErrorKind::ExtentQuarantined(_)
+                ) =>
+            {
+                match self.mapping.snapshot().get(tag) {
+                    Some(live) if live != addr => {
+                        self.corrupt_read_failovers.fetch_add(1, Ordering::Relaxed);
+                        retry.run_when(clock, retry_if, || attempt(live))
+                    }
+                    _ => Err(e),
+                }
+            }
+            Err(e) => Err(e),
+        }
     }
 
     fn evict_if_full(&self, inner: &mut RoInner) {
@@ -949,6 +1028,56 @@ mod tests {
         rw.checkpoint().unwrap();
         ro.poll().unwrap();
         assert_eq!(ro.get(1, b"k2").unwrap(), Some(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn corrupt_adopted_image_fails_over_to_the_live_mapping() {
+        use bg3_storage::StreamId;
+        let (rw, ro) = pair(usize::MAX);
+        rw.put(b"k", b"v").unwrap();
+        rw.checkpoint().unwrap();
+        ro.poll().unwrap();
+        ro.evict_all();
+        let tag = bg3_bwtree::PageTag { tree: 1, page: 1 }.encode();
+        let adopted = rw.mapping().snapshot().get(tag).expect("page flushed");
+        // Silent rot lands on the checkpointed image...
+        rw.store().corrupt_record_bit(adopted, 13).unwrap();
+        // ...but the leader (or scrubber) has since re-homed a clean copy
+        // and published it. The follower's adopted snapshot still points
+        // at the rotted address.
+        let clean = bg3_bwtree::encode_base_page(&[(b"k".to_vec(), b"v".to_vec())]);
+        let repaired = rw
+            .store()
+            .append(StreamId::BASE, &clean, tag, None)
+            .unwrap();
+        rw.mapping().publish([(tag, Some(repaired))]);
+        assert_eq!(
+            ro.get(1, b"k").unwrap(),
+            Some(b"v".to_vec()),
+            "read served through the live-mapping fallback"
+        );
+        let stats = ro.stats();
+        assert!(stats.corrupt_read_retries > 0, "bounded retry ran first");
+        assert_eq!(stats.corrupt_read_failovers, 1);
+    }
+
+    #[test]
+    fn persistent_rot_without_an_alternative_is_a_structured_error() {
+        let (rw, ro) = pair(usize::MAX);
+        rw.put(b"k", b"v").unwrap();
+        rw.checkpoint().unwrap();
+        ro.poll().unwrap();
+        ro.evict_all();
+        let tag = bg3_bwtree::PageTag { tree: 1, page: 1 }.encode();
+        let adopted = rw.mapping().snapshot().get(tag).expect("page flushed");
+        rw.store().corrupt_record_bit(adopted, 5).unwrap();
+        // Live mapping still names the same rotted address: nothing to
+        // fail over to, so the checksum error surfaces (no panic, no
+        // garbage bytes).
+        let err = ro.get(1, b"k").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::ChecksumMismatch), "got {err}");
+        assert!(ro.stats().corrupt_read_retries > 0);
+        assert_eq!(ro.stats().corrupt_read_failovers, 0);
     }
 
     #[test]

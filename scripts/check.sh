@@ -25,6 +25,9 @@ echo "==> replication divergence proptest (RUSTFLAGS=-D warnings)"
 RUSTFLAGS="-D warnings" cargo test --quiet --test replication_consistency \
     follower_never_diverges_under_read_faults_and_dropped_publishes
 
+echo "==> frame codec proptests (round-trip + single-bit-flip detection)"
+RUSTFLAGS="-D warnings" cargo test --quiet -p bg3-storage --test frame_properties
+
 echo "==> cache_scaling smoke (~5s)"
 cargo run --release --quiet -p bg3-bench --bin reproduce -- cache_scaling --scale quick --threads 2
 
@@ -32,5 +35,10 @@ echo "==> failover smoke (5 kill/promote/zombie cycles) + metrics drift gate"
 cargo run --release --quiet -p bg3-bench --bin reproduce -- failover --cycles 5 \
     --metrics-json target/metrics-smoke.json
 cargo run --release --quiet -p bg3-bench --bin metrics_check -- target/metrics-smoke.json
+
+echo "==> scrub smoke (bit rot + torn writes + crash cycles) + metrics drift gate"
+cargo run --release --quiet -p bg3-bench --bin reproduce -- scrub --cycles 2 \
+    --metrics-json target/metrics-scrub-smoke.json
+cargo run --release --quiet -p bg3-bench --bin metrics_check -- target/metrics-scrub-smoke.json
 
 echo "==> all checks passed"
