@@ -2,7 +2,7 @@
 //! micro-benchmarks): write cost, warm-read cost, and cold-read cost.
 
 use bg3_bwtree::{BwTree, BwTreeConfig, WriteMode};
-use bg3_storage::{AppendOnlyStore, StoreConfig};
+use bg3_storage::{StoreBuilder, StoreConfig};
 use bg3_workloads::Zipf;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -17,7 +17,7 @@ fn tree(mode: WriteMode, read_cache: bool) -> BwTree {
         .with_max_page_entries(256);
     BwTree::new(
         1,
-        AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1 << 20)),
+        StoreBuilder::from_config(StoreConfig::counting().with_extent_capacity(1 << 20)).build(),
         config,
     )
 }

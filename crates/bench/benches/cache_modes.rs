@@ -4,7 +4,7 @@
 //! its cache-adjusted read amplification — storage reads per logical read
 //! — which is the number the `cache_scaling` experiment sweeps.
 
-use bg3_storage::{AppendOnlyStore, CacheConfig, PageAddr, StoreConfig, StreamId};
+use bg3_storage::{AppendOnlyStore, CacheConfig, PageAddr, StoreBuilder, StoreConfig, StreamId};
 use bg3_workloads::Zipf;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -15,11 +15,12 @@ const RECORDS: u64 = 4_096;
 const RECORD_BYTES: usize = 128;
 
 fn store_with(cache: CacheConfig) -> (AppendOnlyStore, Vec<PageAddr>) {
-    let store = AppendOnlyStore::new(
+    let store = StoreBuilder::from_config(
         StoreConfig::counting()
             .with_extent_capacity(1 << 20)
             .with_cache(cache),
-    );
+    )
+    .build();
     let addrs = (0..RECORDS)
         .map(|i| {
             store

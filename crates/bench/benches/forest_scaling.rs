@@ -2,7 +2,7 @@
 //! split-out thresholds (Fig. 11's per-op cost side).
 
 use bg3_forest::{BwTreeForest, ForestConfig};
-use bg3_storage::{AppendOnlyStore, StoreConfig};
+use bg3_storage::{StoreBuilder, StoreConfig};
 use bg3_workloads::Zipf;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -20,7 +20,8 @@ fn bench_forest_put(c: &mut Criterion) {
         ("threshold-32", 32),
     ] {
         let forest = BwTreeForest::new(
-            AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1 << 20)),
+            StoreBuilder::from_config(StoreConfig::counting().with_extent_capacity(1 << 20))
+                .build(),
             ForestConfig::default()
                 .with_split_out_threshold(threshold)
                 .with_init_tree_max_entries(usize::MAX),
@@ -47,7 +48,7 @@ fn bench_forest_scan(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .sample_size(20);
     let forest = BwTreeForest::new(
-        AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1 << 20)),
+        StoreBuilder::from_config(StoreConfig::counting().with_extent_capacity(1 << 20)).build(),
         ForestConfig::default().with_split_out_threshold(64),
     );
     let zipf = Zipf::new(2_000, 1.0);

@@ -4,13 +4,14 @@
 use bg3_gc::{
     DirtyRatioPolicy, FifoPolicy, NullRouter, ReclaimPolicy, SpaceReclaimer, WorkloadAwarePolicy,
 };
-use bg3_storage::{AppendOnlyStore, StoreConfig, StreamId};
+use bg3_storage::{AppendOnlyStore, StoreBuilder, StoreConfig, StreamId};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 /// Builds a store with many fragmented sealed extents.
 fn fragmented_store(extents: usize) -> AppendOnlyStore {
-    let store = AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1024));
+    let store =
+        StoreBuilder::from_config(StoreConfig::counting().with_extent_capacity(1024)).build();
     let per_extent = 1024 / 64;
     for i in 0..extents * per_extent {
         let addr = store

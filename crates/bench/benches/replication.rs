@@ -1,7 +1,7 @@
 //! Criterion benchmarks of the synchronization path (Figs. 12–14 as
 //! micro-benchmarks): leader write cost, WAL shipping, follower replay.
 
-use bg3_storage::{AppendOnlyStore, StoreConfig};
+use bg3_storage::{StoreBuilder, StoreConfig};
 use bg3_sync::{RoNode, RoNodeConfig, RwNode, RwNodeConfig};
 use bg3_wal::{WalPayload, WalWriter};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -12,7 +12,7 @@ fn bench_wal_append(c: &mut Criterion) {
     group
         .measurement_time(Duration::from_secs(2))
         .sample_size(20);
-    let wal = WalWriter::new(AppendOnlyStore::new(StoreConfig::counting()));
+    let wal = WalWriter::new(StoreBuilder::from_config(StoreConfig::counting()).build());
     let mut i = 0u64;
     group.bench_function("append_upsert", |b| {
         b.iter(|| {
@@ -37,7 +37,7 @@ fn bench_leader_write(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .sample_size(20);
     let rw = RwNode::new(
-        AppendOnlyStore::new(StoreConfig::counting()),
+        StoreBuilder::from_config(StoreConfig::counting()).build(),
         RwNodeConfig::default(),
     );
     let mut i = 0u64;
@@ -55,7 +55,7 @@ fn bench_follower(c: &mut Criterion) {
     group
         .measurement_time(Duration::from_secs(2))
         .sample_size(20);
-    let store = AppendOnlyStore::new(StoreConfig::counting());
+    let store = StoreBuilder::from_config(StoreConfig::counting()).build();
     let rw = RwNode::new(store.clone(), RwNodeConfig::default());
     for i in 0..50_000u64 {
         rw.put(&(i % 4096).to_be_bytes(), &i.to_le_bytes()).unwrap();

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [all|table1|fig8|cost|fig9|fig10|fig11|table2|fig12|fig13|fig14
-//!            |ablation|chaos|failover|scrub|cache_scaling]
+//!            |ablation|chaos|failover|scrub|cache_scaling|disk_smoke]
 //!           [--scale full|quick] [--json <path>] [--metrics-json <path>]
 //!           [--threads N] [--cycles N]
 //! ```
@@ -40,6 +40,8 @@ struct Scale {
     cache_ops: usize,
     failover_cycles: usize,
     scrub_cycles: usize,
+    disk_smoke_threads: usize,
+    disk_smoke_per_thread: usize,
 }
 
 const FULL: Scale = Scale {
@@ -56,6 +58,8 @@ const FULL: Scale = Scale {
     cache_ops: 12_000,
     failover_cycles: 5,
     scrub_cycles: 4,
+    disk_smoke_threads: 4,
+    disk_smoke_per_thread: 200,
 };
 
 const QUICK: Scale = Scale {
@@ -72,6 +76,8 @@ const QUICK: Scale = Scale {
     cache_ops: 2_000,
     failover_cycles: 3,
     scrub_cycles: 2,
+    disk_smoke_threads: 2,
+    disk_smoke_per_thread: 60,
 };
 
 fn main() {
@@ -127,6 +133,7 @@ fn main() {
             "failover",
             "scrub",
             "cache_scaling",
+            "disk_smoke",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -277,6 +284,13 @@ fn run_one(name: &str, scale: &Scale, cycles: Option<usize>) -> (String, Value) 
             let report = scrub::run(cycles.unwrap_or(scale.scrub_cycles));
             (
                 scrub::render(&report),
+                serde_json::to_value(&report).unwrap(),
+            )
+        }
+        "disk_smoke" => {
+            let report = disk_smoke::run(scale.disk_smoke_threads, scale.disk_smoke_per_thread);
+            (
+                disk_smoke::render(&report),
                 serde_json::to_value(&report).unwrap(),
             )
         }

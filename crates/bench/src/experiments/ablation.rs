@@ -14,7 +14,7 @@ use bg3_bwtree::{BwTree, BwTreeConfig};
 use bg3_core::{Bg3Config, Bg3Db, GcPolicyKind};
 use bg3_gc::{HybridTtlGradientPolicy, SpaceReclaimer};
 use bg3_graph::{Edge, EdgeType, GraphStore, VertexId};
-use bg3_storage::{AppendOnlyStore, StoreConfig};
+use bg3_storage::{StoreBuilder, StoreConfig};
 use bg3_workloads::Zipf;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -119,7 +119,8 @@ fn run_consolidation(
     threshold: usize,
     ops: usize,
 ) -> (ConsolidationRow, bg3_storage::MetricsSnapshot) {
-    let store = AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1 << 20));
+    let store =
+        StoreBuilder::from_config(StoreConfig::counting().with_extent_capacity(1 << 20)).build();
     let tree = BwTree::new(
         1,
         store.clone(),

@@ -6,7 +6,7 @@
 //! vs 64.5 MB, +9.3%) — all of them sequential.
 
 use bg3_bwtree::{BwTree, BwTreeConfig};
-use bg3_storage::{AppendOnlyStore, StoreConfig, StreamId};
+use bg3_storage::{AppendOnlyStore, StoreBuilder, StoreConfig, StreamId};
 use bg3_workloads::Zipf;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,7 +37,8 @@ pub struct Fig10Report {
 }
 
 fn run_mode(config: BwTreeConfig, label: &str, ops: usize) -> (Fig10Row, AppendOnlyStore) {
-    let store = AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1 << 20));
+    let store =
+        StoreBuilder::from_config(StoreConfig::counting().with_extent_capacity(1 << 20)).build();
     let tree = BwTree::new(1, store.clone(), config);
     let zipf = Zipf::new(512, 1.0);
     let mut rng = StdRng::seed_from_u64(7);

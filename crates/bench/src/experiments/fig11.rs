@@ -10,7 +10,7 @@
 
 use crate::vdriver::VirtualCluster;
 use bg3_forest::{BwTreeForest, ForestConfig};
-use bg3_storage::{AppendOnlyStore, StoreConfig};
+use bg3_storage::{AppendOnlyStore, StoreBuilder, StoreConfig};
 use bg3_workloads::Zipf;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -40,7 +40,8 @@ pub struct Fig11Report {
 }
 
 fn run_threshold(threshold: Option<usize>, ops: usize, groups: u64) -> (Fig11Row, AppendOnlyStore) {
-    let store = AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1 << 20));
+    let store =
+        StoreBuilder::from_config(StoreConfig::counting().with_extent_capacity(1 << 20)).build();
     let config = ForestConfig::default()
         .with_split_out_threshold(threshold.unwrap_or(usize::MAX))
         .with_init_tree_max_entries(usize::MAX);

@@ -8,7 +8,7 @@
 //! (3.87× amplification) vs 48k for BG3 (2.4×, a 36.8% reduction).
 
 use bg3_bwtree::{BwTree, BwTreeConfig};
-use bg3_storage::{AppendOnlyStore, StoreConfig};
+use bg3_storage::{AppendOnlyStore, StoreBuilder, StoreConfig};
 use bg3_workloads::Zipf;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,7 +42,8 @@ pub struct Fig9Report {
 }
 
 fn run_mode(config: BwTreeConfig, label: &str, ops: usize) -> (Fig9Row, AppendOnlyStore) {
-    let store = AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1 << 20));
+    let store =
+        StoreBuilder::from_config(StoreConfig::counting().with_extent_capacity(1 << 20)).build();
     let tree = BwTree::new(1, store.clone(), config);
     let zipf = Zipf::new(512, 1.0);
     let mut rng = StdRng::seed_from_u64(99);

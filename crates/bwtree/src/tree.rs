@@ -893,10 +893,10 @@ impl std::fmt::Debug for BwTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bg3_storage::StoreConfig;
+    use bg3_storage::{StoreBuilder, StoreConfig};
 
     fn store() -> AppendOnlyStore {
-        AppendOnlyStore::new(StoreConfig::counting())
+        StoreBuilder::from_config(StoreConfig::counting()).build()
     }
 
     fn tree_with(config: BwTreeConfig) -> BwTree {
@@ -1237,7 +1237,7 @@ mod tests {
         // absorbs them without surfacing an error.
         let plan = FaultPlan::seeded(1)
             .with_rule(FaultRule::new(FaultOp::Append, FaultKind::AppendFail, 1.0).at_most(3));
-        let s = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let s = StoreBuilder::from_config(StoreConfig::counting().with_faults(plan)).build();
         let clock = s.clock().clone();
         let t = BwTree::new(1, s.clone(), BwTreeConfig::default());
         t.put(b"a", b"1").unwrap();
@@ -1254,7 +1254,7 @@ mod tests {
         // the third succeeds on its final attempt.
         let plan = FaultPlan::seeded(1)
             .with_rule(FaultRule::new(FaultOp::Append, FaultKind::AppendFail, 1.0).at_most(10));
-        let s = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let s = StoreBuilder::from_config(StoreConfig::counting().with_faults(plan)).build();
         let mut t = BwTree::new(1, s.clone(), BwTreeConfig::default());
         t.set_flush_mode(FlushMode::Deferred);
         t.put(b"a", b"1").unwrap();

@@ -11,7 +11,7 @@ use bg3_graph::{
 };
 use bg3_storage::{
     AppendOnlyStore, CrashPoint, CrashSwitch, PageAddr, RepairSupply, SharedMappingTable,
-    StorageResult, StoreConfig,
+    StorageResult, StoreBuilder, StoreConfig,
 };
 use bg3_sync::{recover_tree, WalListener};
 use bg3_wal::{Lsn, WalPayload, WalWriter};
@@ -89,6 +89,13 @@ impl Bg3Config {
         self
     }
 
+    /// Selects the storage backend (simulated in-memory vs. file-backed)
+    /// for the underlying append-only store.
+    pub fn with_backend(mut self, backend: bg3_storage::BackendKind) -> Self {
+        self.store.backend = backend;
+        self
+    }
+
     /// Applies a TTL (simulated nanoseconds) to all edge data, as the
     /// Financial Risk Control workload requires.
     pub fn with_ttl_nanos(mut self, ttl: Option<u64>) -> Self {
@@ -152,7 +159,7 @@ pub struct Bg3Db {
 impl Bg3Db {
     /// Opens an engine over a fresh store.
     pub fn new(config: Bg3Config) -> Self {
-        let store = AppendOnlyStore::new(config.store.clone());
+        let store = StoreBuilder::from_config(config.store.clone()).build();
         Self::with_store(store, config)
     }
 

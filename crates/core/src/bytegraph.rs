@@ -12,7 +12,7 @@ use bg3_graph::{
     decode_dst, edge_group, edge_item, vertex_key, Edge, EdgeType, GraphStore, Vertex, VertexId,
 };
 use bg3_lsm::{LsmConfig, LsmKv};
-use bg3_storage::{AppendOnlyStore, StorageResult, StoreConfig};
+use bg3_storage::{AppendOnlyStore, StorageResult, StoreBuilder, StoreConfig};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 
@@ -80,7 +80,7 @@ pub struct ByteGraphDb {
 impl ByteGraphDb {
     /// Opens a baseline engine over a fresh store.
     pub fn new(config: ByteGraphConfig) -> Self {
-        let store = AppendOnlyStore::new(config.store.clone());
+        let store = StoreBuilder::from_config(config.store.clone()).build();
         Self::with_store(store, config)
     }
 

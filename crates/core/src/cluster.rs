@@ -16,7 +16,7 @@
 use bg3_graph::{Edge, EdgeType, GraphStore, Vertex, VertexId};
 use bg3_storage::{
     AppendOnlyStore, EpochFenceSnapshot, MetricsSnapshot, SharedMappingTable, SimInstant,
-    StorageError, StorageOp, StorageResult, StoreConfig, TraceBuffer, TraceKind,
+    StorageError, StorageOp, StorageResult, StoreBuilder, StoreConfig, TraceBuffer, TraceKind,
 };
 use bg3_sync::{RoNode, RoNodeConfig, RwNode, RwNodeConfig};
 use parking_lot::Mutex;
@@ -189,7 +189,7 @@ pub struct FailoverCluster {
 impl FailoverCluster {
     /// Builds the deployment: a fresh leader plus `ro_nodes` followers.
     pub fn new(config: FailoverConfig) -> Self {
-        let store = AppendOnlyStore::new(config.store.clone());
+        let store = StoreBuilder::from_config(config.store.clone()).build();
         let rw = RwNode::new(store.clone(), config.rw.clone());
         let mapping = rw.mapping().clone();
         let followers = Self::build_followers(&store, &rw, &config);

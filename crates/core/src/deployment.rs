@@ -8,7 +8,7 @@
 
 use bg3_forest::keys::{composite_key, decode_composite, group_prefix};
 use bg3_graph::{decode_dst, edge_group, edge_item, Edge, EdgeType, VertexId};
-use bg3_storage::{AppendOnlyStore, StorageResult, StoreConfig};
+use bg3_storage::{AppendOnlyStore, StorageResult, StoreBuilder, StoreConfig};
 use bg3_sync::{RoNode, RoNodeConfig, RwNode, RwNodeConfig};
 use std::sync::Arc;
 
@@ -47,7 +47,7 @@ pub struct ReplicatedBg3 {
 impl ReplicatedBg3 {
     /// Builds the deployment.
     pub fn new(config: ReplicatedConfig) -> Self {
-        let store = AppendOnlyStore::new(config.store.clone());
+        let store = StoreBuilder::from_config(config.store.clone()).build();
         let rw = RwNode::new(store.clone(), config.rw.clone());
         let ros = (0..config.ro_nodes)
             .map(|_| {

@@ -202,6 +202,7 @@ impl GraphEngine for NeptuneLike {
 mod tests {
     use super::*;
     use bg3_graph::{Edge, EdgeType, VertexId};
+    use bg3_storage::StoreBuilder;
 
     /// Generic over `GraphEngine`: the same harness body drives any engine.
     fn exercise<E: GraphEngine>() -> (u64, &'static str) {
@@ -304,7 +305,7 @@ mod tests {
 
     #[test]
     fn with_store_attaches_to_a_shared_store() {
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let db = <Bg3Db as GraphEngine>::with_store(store.clone(), Bg3Config::default());
         db.insert_edge(&Edge::new(VertexId(1), EdgeType::FOLLOW, VertexId(2)))
             .unwrap();

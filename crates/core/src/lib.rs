@@ -48,8 +48,9 @@ pub mod prelude {
     };
     pub use bg3_graph::{Edge, EdgeType, GraphStore, Vertex, VertexId};
     pub use bg3_storage::{
-        obs, AppendOnlyStore, CacheConfig, CacheStatsSnapshot, CrashPoint, FaultKind, FaultOp,
-        FaultPlan, FaultRule, IoStatsSnapshot, MetricsSnapshot, RetryPolicy, StorageError,
-        StorageResult, StoreConfig, TraceBuffer, TraceEvent, TraceKind,
+        obs, AppendOnlyStore, BackendKind, CacheConfig, CacheStatsSnapshot, CrashPoint,
+        ExtentBackend, FaultKind, FaultOp, FaultPlan, FaultRule, IoStatsSnapshot, MetricsSnapshot,
+        ReadOpts, RetryPolicy, StorageError, StorageResult, StoreBuilder, StoreConfig, TraceBuffer,
+        TraceEvent, TraceKind,
     };
 }

@@ -10,7 +10,7 @@
 //! multi-hop fan-out.
 
 use bg3_graph::{edge_group, edge_item, vertex_key, Edge, EdgeType, GraphStore, Vertex, VertexId};
-use bg3_storage::{AppendOnlyStore, PageAddr, StorageResult, StoreConfig, StreamId};
+use bg3_storage::{AppendOnlyStore, PageAddr, StorageResult, StoreBuilder, StoreConfig, StreamId};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 
@@ -43,7 +43,7 @@ pub struct NeptuneLike {
 impl NeptuneLike {
     /// Opens the comparator over a fresh store.
     pub fn new(store_config: StoreConfig) -> Self {
-        Self::with_store(AppendOnlyStore::new(store_config))
+        Self::with_store(StoreBuilder::from_config(store_config).build())
     }
 
     /// Opens the comparator over an existing store.

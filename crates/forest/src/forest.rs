@@ -528,11 +528,11 @@ impl std::fmt::Debug for BwTreeForest {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bg3_storage::StoreConfig;
+    use bg3_storage::{StoreBuilder, StoreConfig};
 
     fn forest(threshold: usize) -> BwTreeForest {
         BwTreeForest::new(
-            AppendOnlyStore::new(StoreConfig::counting()),
+            StoreBuilder::from_config(StoreConfig::counting()).build(),
             ForestConfig::default().with_split_out_threshold(threshold),
         )
     }
@@ -600,7 +600,7 @@ mod tests {
     #[test]
     fn init_tree_eviction_kicks_out_heaviest_group() {
         let f = BwTreeForest::new(
-            AppendOnlyStore::new(StoreConfig::counting()),
+            StoreBuilder::from_config(StoreConfig::counting()).build(),
             ForestConfig::default()
                 .with_split_out_threshold(usize::MAX)
                 .with_init_tree_max_entries(10),
@@ -727,7 +727,7 @@ mod tests {
         use bg3_bwtree::RecordingListener;
         let rec = RecordingListener::new();
         let f = BwTreeForest::with_listener(
-            AppendOnlyStore::new(StoreConfig::counting()),
+            StoreBuilder::from_config(StoreConfig::counting()).build(),
             ForestConfig::default().with_split_out_threshold(3),
             rec.clone(),
         );
@@ -753,7 +753,7 @@ mod tests {
         // stripes=1 degenerates to the old global-lock layout; every
         // operation must still work (routing, split-out, aggregates).
         let f = BwTreeForest::new(
-            AppendOnlyStore::new(StoreConfig::counting()),
+            StoreBuilder::from_config(StoreConfig::counting()).build(),
             ForestConfig::default()
                 .with_split_out_threshold(4)
                 .with_stripes(1),
@@ -776,7 +776,7 @@ mod tests {
     #[test]
     fn zero_stripes_clamps_to_one() {
         let f = BwTreeForest::new(
-            AppendOnlyStore::new(StoreConfig::counting()),
+            StoreBuilder::from_config(StoreConfig::counting()).build(),
             ForestConfig::default().with_stripes(0),
         );
         f.put(b"g", b"i", b"v").unwrap();

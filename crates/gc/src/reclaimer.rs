@@ -197,14 +197,14 @@ impl<P: ReclaimPolicy, R: RelocationRouter> SpaceReclaimer<P, R> {
 mod tests {
     use super::*;
     use crate::policy::{DirtyRatioPolicy, WorkloadAwarePolicy};
-    use bg3_storage::StoreConfig;
+    use bg3_storage::{StoreBuilder, StoreConfig};
     use parking_lot::Mutex;
     use std::collections::HashMap;
     use std::sync::Arc;
 
     /// Store with tiny extents so tests roll over quickly.
     fn small_store() -> AppendOnlyStore {
-        AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(64))
+        StoreBuilder::from_config(StoreConfig::counting().with_extent_capacity(64)).build()
     }
 
     /// Fills the DELTA stream with records, invalidating a subset, and
@@ -302,11 +302,12 @@ mod tests {
                 .after(20)
                 .at_most(1),
         );
-        let store = AppendOnlyStore::new(
+        let store = StoreBuilder::from_config(
             StoreConfig::counting()
                 .with_extent_capacity(64)
                 .with_faults(plan),
-        );
+        )
+        .build();
         let live = seed(&store, 20, 2);
         let reclaimer = SpaceReclaimer::new(store.clone(), DirtyRatioPolicy, NullRouter)
             .with_streams(vec![StreamId::DELTA]);

@@ -273,11 +273,11 @@ impl<S: RepairSource, R: RelocationRouter> Scrubber<S, R> {
 mod tests {
     use super::*;
     use crate::reclaimer::NullRouter;
-    use bg3_storage::{StoreConfig, TraceEvent};
+    use bg3_storage::{StoreBuilder, StoreConfig, TraceEvent};
     use std::sync::Arc;
 
     fn small_store() -> AppendOnlyStore {
-        AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(64))
+        StoreBuilder::from_config(StoreConfig::counting().with_extent_capacity(64)).build()
     }
 
     /// Appends `records` 16-byte records, returning (tag, addr, payload).

@@ -398,11 +398,12 @@ impl std::fmt::Debug for LsmKv {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bg3_storage::StoreConfig;
+    use bg3_storage::{StoreBuilder, StoreConfig};
 
     fn engine() -> LsmKv {
         LsmKv::new(
-            AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1 << 20)),
+            StoreBuilder::from_config(StoreConfig::counting().with_extent_capacity(1 << 20))
+                .build(),
             LsmConfig::tiny(),
         )
     }

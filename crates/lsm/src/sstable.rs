@@ -174,10 +174,10 @@ impl SsTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bg3_storage::StoreConfig;
+    use bg3_storage::{StoreBuilder, StoreConfig};
 
     fn store() -> AppendOnlyStore {
-        AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(1 << 20))
+        StoreBuilder::from_config(StoreConfig::counting().with_extent_capacity(1 << 20)).build()
     }
 
     fn run(n: u32) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {

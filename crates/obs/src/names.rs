@@ -57,6 +57,20 @@ pub const SCRUB_RECORDS_VERIFIED_TOTAL: &str = "scrub_records_verified_total";
 pub const SCRUB_RECORDS_RESUPPLIED_TOTAL: &str = "scrub_records_resupplied_total";
 /// Completed scrubber cycles.
 pub const SCRUB_CYCLES_TOTAL: &str = "scrub_cycles_total";
+/// Physical write calls issued to the extent backend (sim or file).
+pub const BACKEND_WRITES_TOTAL: &str = "backend_writes_total";
+/// Physical bytes handed to the extent backend (frame headers included).
+pub const BACKEND_BYTES_WRITTEN_TOTAL: &str = "backend_bytes_written_total";
+/// Physical positioned-read calls issued to the extent backend.
+pub const BACKEND_READS_TOTAL: &str = "backend_reads_total";
+/// Physical bytes returned by the extent backend.
+pub const BACKEND_BYTES_READ_TOTAL: &str = "backend_bytes_read_total";
+/// Durability barriers (fsync / sim no-op) issued to the extent backend.
+pub const BACKEND_SYNCS_TOTAL: &str = "backend_syncs_total";
+/// Extents durably sealed by the backend (sync-then-freeze).
+pub const BACKEND_SEALS_TOTAL: &str = "backend_seals_total";
+/// Extent backing objects deleted (reclaim/expiry/repair).
+pub const BACKEND_DELETES_TOTAL: &str = "backend_deletes_total";
 
 /// Bytes moved by the most recent reclaimer cycle (gauge).
 pub const GC_LAST_CYCLE_MOVED_BYTES: &str = "gc_last_cycle_moved_bytes";
@@ -101,6 +115,13 @@ pub const REQUIRED_COUNTERS: &[&str] = &[
     SCRUB_EXTENTS_REPAIRED_TOTAL,
     SCRUB_RECORDS_VERIFIED_TOTAL,
     SCRUB_RECORDS_RESUPPLIED_TOTAL,
+    BACKEND_WRITES_TOTAL,
+    BACKEND_BYTES_WRITTEN_TOTAL,
+    BACKEND_READS_TOTAL,
+    BACKEND_BYTES_READ_TOTAL,
+    BACKEND_SYNCS_TOTAL,
+    BACKEND_SEALS_TOTAL,
+    BACKEND_DELETES_TOTAL,
 ];
 
 /// Histograms every store registers up front; also enforced by the gate,

@@ -101,6 +101,95 @@ pub enum ErrorKind {
     Injected(FaultKind),
     /// A crash-point kill fired by the chaos harness.
     Crash(CrashPoint),
+    /// An operating-system I/O failure surfaced by a real storage backend
+    /// (the file backend; the simulated backend never produces these). The
+    /// class drives retry policy; the detail preserves the OS message for
+    /// logs without forcing callers to string-match.
+    Io {
+        /// Coarse classification of the underlying `std::io::ErrorKind`.
+        class: IoErrorClass,
+        /// The OS error rendered as text (errno message).
+        detail: String,
+    },
+}
+
+/// Coarse classification of `std::io::ErrorKind` used by [`ErrorKind::Io`].
+/// Each class maps a family of errnos; [`StorageError::is_retryable`]
+/// treats [`IoErrorClass::Interrupted`], [`IoErrorClass::TimedOut`], and
+/// [`IoErrorClass::WouldBlock`] as retryable — everything else fails
+/// closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoErrorClass {
+    /// ENOENT: the extent file or directory vanished underneath us.
+    NotFound,
+    /// EACCES/EPERM: the backend root is not writable.
+    PermissionDenied,
+    /// ENOSPC/EDQUOT: the filesystem is out of space or quota.
+    StorageFull,
+    /// EINTR: the syscall was interrupted; retrying is safe.
+    Interrupted,
+    /// ETIMEDOUT: the device or network filesystem timed out.
+    TimedOut,
+    /// EAGAIN/EWOULDBLOCK: transient back-pressure; retrying is safe.
+    WouldBlock,
+    /// A positioned read ended before the requested range (truncated file).
+    UnexpectedEof,
+    /// A write returned zero bytes of progress.
+    WriteZero,
+    /// EINVAL: a malformed path or offset reached the OS.
+    InvalidInput,
+    /// The operation is not supported by this filesystem.
+    Unsupported,
+    /// Any other `std::io::ErrorKind`.
+    Other,
+}
+
+impl IoErrorClass {
+    /// Classifies a raw `std::io::Error` by its kind.
+    pub fn classify(err: &std::io::Error) -> IoErrorClass {
+        use std::io::ErrorKind as K;
+        match err.kind() {
+            K::NotFound => IoErrorClass::NotFound,
+            K::PermissionDenied => IoErrorClass::PermissionDenied,
+            K::StorageFull | K::QuotaExceeded => IoErrorClass::StorageFull,
+            K::Interrupted => IoErrorClass::Interrupted,
+            K::TimedOut => IoErrorClass::TimedOut,
+            K::WouldBlock => IoErrorClass::WouldBlock,
+            K::UnexpectedEof => IoErrorClass::UnexpectedEof,
+            K::WriteZero => IoErrorClass::WriteZero,
+            K::InvalidInput => IoErrorClass::InvalidInput,
+            K::Unsupported => IoErrorClass::Unsupported,
+            _ => IoErrorClass::Other,
+        }
+    }
+
+    /// True when retrying the same syscall can succeed without any other
+    /// intervention (interrupted, timed out, or back-pressured).
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            IoErrorClass::Interrupted | IoErrorClass::TimedOut | IoErrorClass::WouldBlock
+        )
+    }
+}
+
+impl fmt::Display for IoErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            IoErrorClass::NotFound => "not-found",
+            IoErrorClass::PermissionDenied => "permission-denied",
+            IoErrorClass::StorageFull => "storage-full",
+            IoErrorClass::Interrupted => "interrupted",
+            IoErrorClass::TimedOut => "timed-out",
+            IoErrorClass::WouldBlock => "would-block",
+            IoErrorClass::UnexpectedEof => "unexpected-eof",
+            IoErrorClass::WriteZero => "write-zero",
+            IoErrorClass::InvalidInput => "invalid-input",
+            IoErrorClass::Unsupported => "unsupported",
+            IoErrorClass::Other => "other",
+        };
+        f.write_str(name)
+    }
 }
 
 impl fmt::Display for ErrorKind {
@@ -134,6 +223,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::NoLeader => write!(f, "no leader available"),
             ErrorKind::Injected(fault) => write!(f, "injected fault: {fault}"),
             ErrorKind::Crash(point) => write!(f, "crashed at {point}"),
+            ErrorKind::Io { class, detail } => write!(f, "os i/o error ({class}): {detail}"),
         }
     }
 }
@@ -248,6 +338,19 @@ impl StorageError {
         Self::new(ErrorKind::Crash(point), point.op())
     }
 
+    /// An OS I/O failure surfaced by a real backend during `op`. The error
+    /// is classified by [`IoErrorClass::classify`] so retry policies never
+    /// string-match, and the OS message is preserved for logs.
+    pub fn io(op: StorageOp, err: &std::io::Error) -> Self {
+        Self::new(
+            ErrorKind::Io {
+                class: IoErrorClass::classify(err),
+                detail: err.to_string(),
+            },
+            op,
+        )
+    }
+
     /// True when this error was injected by the chaos layer (fault or
     /// crash), as opposed to arising organically.
     pub fn is_injected(&self) -> bool {
@@ -293,6 +396,9 @@ impl StorageError {
     pub fn is_retryable(&self) -> bool {
         if self.is_transient() {
             return true;
+        }
+        if let ErrorKind::Io { class, .. } = &self.kind {
+            return class.is_retryable();
         }
         matches!(
             (&self.kind, self.op),
@@ -424,5 +530,54 @@ mod tests {
     fn implements_std_error_end_to_end() {
         let e: Box<dyn std::error::Error> = Box::new(StorageError::already_invalid(addr()));
         assert!(e.to_string().contains("already invalidated"));
+    }
+
+    /// One assertion per mapped errno class: the `std::io::ErrorKind` →
+    /// [`IoErrorClass`] mapping and the fail-closed retry policy for each.
+    #[test]
+    fn io_error_classes_map_and_classify_per_errno() {
+        use std::io::{Error as IoError, ErrorKind as K};
+        let cases: &[(K, IoErrorClass, bool)] = &[
+            (K::NotFound, IoErrorClass::NotFound, false),
+            (K::PermissionDenied, IoErrorClass::PermissionDenied, false),
+            (K::StorageFull, IoErrorClass::StorageFull, false),
+            (K::QuotaExceeded, IoErrorClass::StorageFull, false),
+            (K::Interrupted, IoErrorClass::Interrupted, true),
+            (K::TimedOut, IoErrorClass::TimedOut, true),
+            (K::WouldBlock, IoErrorClass::WouldBlock, true),
+            (K::UnexpectedEof, IoErrorClass::UnexpectedEof, false),
+            (K::WriteZero, IoErrorClass::WriteZero, false),
+            (K::InvalidInput, IoErrorClass::InvalidInput, false),
+            (K::Unsupported, IoErrorClass::Unsupported, false),
+            (K::BrokenPipe, IoErrorClass::Other, false),
+        ];
+        for &(kind, class, retryable) in cases {
+            let os = IoError::new(kind, format!("synthetic {kind:?}"));
+            let err = StorageError::io(StorageOp::Append, &os);
+            match &err.kind {
+                ErrorKind::Io { class: got, detail } => {
+                    assert_eq!(*got, class, "errno kind {kind:?} misclassified");
+                    assert!(detail.contains("synthetic"), "OS message dropped");
+                }
+                other => panic!("expected Io kind, got {other:?}"),
+            }
+            assert_eq!(
+                err.is_retryable(),
+                retryable,
+                "retry policy wrong for {kind:?}"
+            );
+            assert!(!err.is_transient(), "OS errors are never chaos-injected");
+            assert!(!err.is_injected());
+        }
+    }
+
+    #[test]
+    fn io_errors_render_class_and_detail() {
+        let os = std::io::Error::new(std::io::ErrorKind::StorageFull, "no space left on device");
+        let err = StorageError::io(StorageOp::Append, &os);
+        assert_eq!(
+            err.to_string(),
+            "append failed: os i/o error (storage-full): no space left on device"
+        );
     }
 }

@@ -12,7 +12,7 @@
 
 use crate::addr::RecordId;
 use crate::clock::SimInstant;
-use crate::frame::{self, FrameKind};
+use crate::frame::FRAME_HEADER_LEN;
 use serde::{Deserialize, Serialize};
 
 /// One record slot within an extent.
@@ -52,14 +52,16 @@ pub struct UsageSample {
     pub invalid: u64,
 }
 
-/// The in-memory body of one extent.
+/// The in-memory *metadata* of one extent. The physical bytes — a
+/// sequence of framed records (28-byte checksummed header, then payload;
+/// see [`crate::frame`]) — live in the store's
+/// [`crate::ExtentBackend`]. Slot offsets point at payloads; the frame
+/// header sits in the `FRAME_HEADER_LEN` bytes before each offset.
 #[derive(Debug)]
 pub(crate) struct Extent {
-    /// Physical bytes: a sequence of framed records (20-byte checksummed
-    /// header, then payload — see [`crate::frame`]). Slot offsets point at
-    /// payloads; the frame header sits in the `FRAME_HEADER_LEN` bytes
-    /// before each offset.
-    pub data: Vec<u8>,
+    /// Physical write cursor: total framed bytes (headers + payloads)
+    /// appended to the backend so far. The next frame starts here.
+    pub physical_len: u64,
     pub capacity: usize,
     pub slots: Vec<RecordSlot>,
     pub state: ExtentState,
@@ -90,7 +92,7 @@ const USAGE_HISTORY_CAP: usize = 16;
 impl Extent {
     pub fn new(capacity: usize, now: SimInstant) -> Self {
         Extent {
-            data: Vec::with_capacity(capacity.min(1 << 20)),
+            physical_len: 0,
             capacity,
             slots: Vec::new(),
             state: ExtentState::Open,
@@ -111,35 +113,34 @@ impl Extent {
         self.capacity - self.payload_used as usize
     }
 
-    /// Appends a record body wrapped in a checksummed frame; caller has
-    /// verified the payload fits. Returns the payload offset.
-    #[allow(clippy::too_many_arguments)] // every argument is a distinct per-record fact
-    pub fn push(
+    /// Records a framed append of `len` payload bytes: advances the
+    /// physical cursor past header + payload and registers the slot. The
+    /// caller has verified the payload fits and writes the actual frame
+    /// to the backend at the pre-advance cursor. Returns the payload
+    /// offset (cursor + header).
+    pub fn push_slot(
         &mut self,
         record: RecordId,
-        kind: FrameKind,
-        bytes: &[u8],
+        len: u32,
         tag: u64,
         now: SimInstant,
         expires_at: Option<SimInstant>,
         relocated: bool,
     ) -> u32 {
-        debug_assert!(bytes.len() <= self.remaining());
-        let header = frame::encode_header(kind, record, bytes);
-        self.data.extend_from_slice(&header);
-        let offset = self.data.len() as u32;
-        self.data.extend_from_slice(bytes);
-        self.payload_used += bytes.len() as u64;
+        debug_assert!(len as usize <= self.remaining());
+        let offset = self.physical_len as u32 + FRAME_HEADER_LEN as u32;
+        self.physical_len += FRAME_HEADER_LEN as u64 + len as u64;
+        self.payload_used += len as u64;
         self.slots.push(RecordSlot {
             record,
             offset,
-            len: bytes.len() as u32,
+            len,
             valid: true,
             relocated,
             tag,
         });
         self.valid_count += 1;
-        self.valid_bytes += bytes.len() as u64;
+        self.valid_bytes += len as u64;
         self.last_update = now;
         if let Some(deadline) = expires_at {
             // The extent expires when its newest record expires: timestamps
@@ -291,24 +292,8 @@ mod tests {
     #[test]
     fn push_tracks_counts_and_bytes() {
         let mut e = ext();
-        let off0 = e.push(
-            RecordId(0),
-            FrameKind::Delta,
-            b"hello",
-            1,
-            SimInstant(10),
-            None,
-            false,
-        );
-        let off1 = e.push(
-            RecordId(1),
-            FrameKind::Delta,
-            b"world!",
-            2,
-            SimInstant(20),
-            None,
-            false,
-        );
+        let off0 = e.push_slot(RecordId(0), 5, 1, SimInstant(10), None, false);
+        let off1 = e.push_slot(RecordId(1), 6, 2, SimInstant(20), None, false);
         // Offsets point at payloads; each is preceded by its frame header.
         assert_eq!(off0, FRAME_HEADER_LEN as u32);
         assert_eq!(off1, 2 * FRAME_HEADER_LEN as u32 + 5);
@@ -321,15 +306,7 @@ mod tests {
     #[test]
     fn invalidate_flips_exactly_once() {
         let mut e = ext();
-        let off = e.push(
-            RecordId(0),
-            FrameKind::Delta,
-            b"abc",
-            0,
-            SimInstant(0),
-            None,
-            false,
-        );
+        let off = e.push_slot(RecordId(0), 3, 0, SimInstant(0), None, false);
         assert!(e.invalidate(off, SimInstant(5)).is_some());
         assert!(
             e.invalidate(off, SimInstant(6)).is_none(),
@@ -346,17 +323,7 @@ mod tests {
         // Fig. 5: extents A and B with 3 invalid out of 5 → 3/5.
         let mut e = ext();
         let offs: Vec<u32> = (0..5)
-            .map(|i| {
-                e.push(
-                    RecordId(i),
-                    FrameKind::Delta,
-                    b"x",
-                    0,
-                    SimInstant(0),
-                    None,
-                    false,
-                )
-            })
+            .map(|i| e.push_slot(RecordId(i), 1, 0, SimInstant(0), None, false))
             .collect();
         for &o in &offs[..3] {
             e.invalidate(o, SimInstant(1));
@@ -369,17 +336,7 @@ mod tests {
         // Fig. 5: Extent A has 1 invalid page at t0 and 3 at t1 → (3-1)/(t1-t0).
         let mut e = ext();
         let offs: Vec<u32> = (0..5)
-            .map(|i| {
-                e.push(
-                    RecordId(i),
-                    FrameKind::Delta,
-                    b"x",
-                    0,
-                    SimInstant(0),
-                    None,
-                    false,
-                )
-            })
+            .map(|i| e.push_slot(RecordId(i), 1, 0, SimInstant(0), None, false))
             .collect();
         let t0 = SimInstant(1_000_000_000); // 1s
         let t1 = SimInstant(3_000_000_000); // 3s
@@ -395,15 +352,7 @@ mod tests {
     #[test]
     fn gradient_of_cold_extent_is_zero() {
         let mut e = ext();
-        let off = e.push(
-            RecordId(0),
-            FrameKind::Delta,
-            b"x",
-            0,
-            SimInstant(0),
-            None,
-            false,
-        );
+        let off = e.push_slot(RecordId(0), 1, 0, SimInstant(0), None, false);
         assert_eq!(e.update_gradient(SimInstant(0)), 0.0);
         // One sample only: still zero.
         e.invalidate(off, SimInstant(10));
@@ -414,17 +363,7 @@ mod tests {
     fn gradient_burst_at_same_instant_is_infinite() {
         let mut e = ext();
         let offs: Vec<u32> = (0..3)
-            .map(|i| {
-                e.push(
-                    RecordId(i),
-                    FrameKind::Delta,
-                    b"x",
-                    0,
-                    SimInstant(0),
-                    None,
-                    false,
-                )
-            })
+            .map(|i| e.push_slot(RecordId(i), 1, 0, SimInstant(0), None, false))
             .collect();
         for &o in &offs {
             e.invalidate(o, SimInstant(42));
@@ -437,29 +376,26 @@ mod tests {
     #[test]
     fn ttl_deadline_takes_newest_record() {
         let mut e = ext();
-        e.push(
+        e.push_slot(
             RecordId(0),
-            FrameKind::Delta,
-            b"a",
+            1,
             0,
             SimInstant(0),
             Some(SimInstant(100)),
             false,
         );
-        e.push(
+        e.push_slot(
             RecordId(1),
-            FrameKind::Delta,
-            b"b",
+            1,
             0,
             SimInstant(1),
             Some(SimInstant(50)),
             false,
         );
         assert_eq!(e.ttl_deadline, Some(SimInstant(100)));
-        e.push(
+        e.push_slot(
             RecordId(2),
-            FrameKind::Delta,
-            b"c",
+            1,
             0,
             SimInstant(2),
             Some(SimInstant(200)),
@@ -472,17 +408,7 @@ mod tests {
     fn usage_history_is_bounded() {
         let mut e = Extent::new(1 << 16, SimInstant(0));
         let offs: Vec<u32> = (0..64)
-            .map(|i| {
-                e.push(
-                    RecordId(i),
-                    FrameKind::Delta,
-                    b"x",
-                    0,
-                    SimInstant(0),
-                    None,
-                    false,
-                )
-            })
+            .map(|i| e.push_slot(RecordId(i), 1, 0, SimInstant(0), None, false))
             .collect();
         for (i, &o) in offs.iter().enumerate() {
             e.invalidate(o, SimInstant(i as u64 + 1));
@@ -498,10 +424,9 @@ mod tests {
     #[test]
     fn info_snapshot_is_consistent() {
         let mut e = ext();
-        let off = e.push(
+        let off = e.push_slot(
             RecordId(0),
-            FrameKind::Delta,
-            b"abcd",
+            4,
             7,
             SimInstant(3),
             Some(SimInstant(99)),

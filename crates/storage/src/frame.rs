@@ -5,11 +5,11 @@
 //! Production log-structured stores therefore pair the append-only layout
 //! with a per-record checksum verified on every read (RocksDB block
 //! checksums, PolarFS verify-on-read). This module is that layer for the
-//! simulated store: every record appended to an extent is wrapped in a
-//! fixed 20-byte header whose CRC32C covers the record's identity (kind,
-//! length, record id) *and* its payload, so a flipped bit anywhere in the
-//! frame — or a frame served for the wrong record — is detected before a
-//! single payload byte reaches a caller.
+//! store: every record appended to an extent is wrapped in a fixed
+//! 28-byte header whose CRC32C covers the record's identity (kind, length,
+//! record id, caller tag) *and* its payload, so a flipped bit anywhere in
+//! the frame — or a frame served for the wrong record — is detected before
+//! a single payload byte reaches a caller.
 //!
 //! Frame layout (all integers little-endian):
 //!
@@ -20,12 +20,18 @@
 //!      3     1  reserved (zero)
 //!      4     4  len     (payload length in bytes)
 //!      8     8  record  (RecordId minted at append time)
-//!     16     4  crc     CRC32C over bytes [2..16] ++ payload
+//!     16     8  tag     (caller-supplied; WAL appends store the LSN here)
+//!     24     4  crc     CRC32C over bytes [2..24] ++ payload
 //! ```
 //!
 //! The magic bytes sit *outside* the CRC so a read landing mid-payload is
 //! reported as a framing error rather than decoding garbage, and the CRC
 //! itself is protected because any flip in it mismatches the recomputation.
+//!
+//! The tag field makes the frame *self-describing for recovery*: a
+//! file-backed store reopened after a crash rebuilds its record index —
+//! including the WAL's dense LSN sequence — by walking frames alone,
+//! without a separate metadata journal ([`decode_header`]).
 
 use crate::addr::RecordId;
 use std::fmt;
@@ -34,7 +40,7 @@ use std::fmt;
 pub const FRAME_MAGIC: u16 = 0xB6F3;
 
 /// Size of the frame header preceding every payload in extent data.
-pub const FRAME_HEADER_LEN: usize = 20;
+pub const FRAME_HEADER_LEN: usize = 28;
 
 /// The record class carried by a frame, derived from the stream the record
 /// was appended to. Verification does not currently bind reads to a kind
@@ -165,29 +171,70 @@ const fn build_crc32c_table() -> [u32; 256] {
     table
 }
 
-/// Builds the 20-byte header for a payload of `len` bytes identified by
-/// `record`, checksumming header fields and payload together.
-pub fn encode_header(kind: FrameKind, record: RecordId, payload: &[u8]) -> [u8; FRAME_HEADER_LEN] {
+/// Builds the 28-byte header for a payload of `len` bytes identified by
+/// `record` and carrying the caller-supplied `tag`, checksumming header
+/// fields and payload together.
+pub fn encode_header(
+    kind: FrameKind,
+    record: RecordId,
+    tag: u64,
+    payload: &[u8],
+) -> [u8; FRAME_HEADER_LEN] {
     let mut header = [0u8; FRAME_HEADER_LEN];
     header[0..2].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
     header[2] = kind.as_u8();
     header[3] = 0; // reserved
     header[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
     header[8..16].copy_from_slice(&record.0.to_le_bytes());
-    let crc = crc32c_extend(crc32c(&header[2..16]), payload);
-    header[16..20].copy_from_slice(&crc.to_le_bytes());
+    header[16..24].copy_from_slice(&tag.to_le_bytes());
+    let crc = crc32c_extend(crc32c(&header[2..24]), payload);
+    header[24..28].copy_from_slice(&crc.to_le_bytes());
     header
 }
 
 /// Encodes a full frame (header ++ payload) into one buffer. The store
-/// writes header and payload separately; this is for tests and for
-/// re-serving synthesized frames.
-pub fn encode_frame(kind: FrameKind, record: RecordId, payload: &[u8]) -> Vec<u8> {
-    let header = encode_header(kind, record, payload);
+/// writes header and payload as one buffer too (a single positioned write
+/// per append); this is also for tests and re-serving synthesized frames.
+pub fn encode_frame(kind: FrameKind, record: RecordId, tag: u64, payload: &[u8]) -> Vec<u8> {
+    let header = encode_header(kind, record, tag, payload);
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
     out.extend_from_slice(&header);
     out.extend_from_slice(payload);
     out
+}
+
+/// Parsed view of a frame header, used by recovery to walk an extent's
+/// physical bytes without addresses. Parsing checks the magic only;
+/// callers must follow with [`verify_frame`] over the full frame before
+/// trusting any field (the CRC covers all of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// The kind byte as written (not decoded back to [`FrameKind`]).
+    pub kind: u8,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// Record identity minted at append time.
+    pub record: RecordId,
+    /// Caller-supplied tag (WAL appends store the LSN here).
+    pub tag: u64,
+}
+
+/// Parses the header at the start of `bytes`. Returns
+/// [`FrameViolation::BadMagic`] when the bytes are too short or do not
+/// start at a record boundary — recovery treats that as the end of the
+/// extent's valid prefix (a torn tail).
+pub fn decode_header(bytes: &[u8]) -> Result<FrameHeader, FrameViolation> {
+    if bytes.len() < FRAME_HEADER_LEN || bytes[0..2] != FRAME_MAGIC.to_le_bytes() {
+        return Err(FrameViolation::BadMagic);
+    }
+    Ok(FrameHeader {
+        kind: bytes[2],
+        len: u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")),
+        record: RecordId(u64::from_le_bytes(
+            bytes[8..16].try_into().expect("8 bytes"),
+        )),
+        tag: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
+    })
 }
 
 /// Verifies `frame` (header ++ payload) against the address it was read
@@ -215,8 +262,8 @@ pub fn verify_frame(
             addressed: addressed_len,
         });
     }
-    let stored = u32::from_le_bytes(frame[16..20].try_into().expect("4 bytes"));
-    let computed = crc32c_extend(crc32c(&frame[2..16]), &frame[FRAME_HEADER_LEN..]);
+    let stored = u32::from_le_bytes(frame[24..28].try_into().expect("4 bytes"));
+    let computed = crc32c_extend(crc32c(&frame[2..24]), &frame[FRAME_HEADER_LEN..]);
     if stored != computed {
         return Err(FrameViolation::CrcMismatch { stored, computed });
     }
@@ -254,7 +301,7 @@ mod tests {
 
     #[test]
     fn frame_round_trips() {
-        let frame = encode_frame(FrameKind::BasePage, RecordId(42), b"payload");
+        let frame = encode_frame(FrameKind::BasePage, RecordId(42), 7, b"payload");
         assert_eq!(frame.len(), FRAME_HEADER_LEN + 7);
         assert_eq!(verify_frame(&frame, 7, RecordId(42)), Ok(()));
         // A zero addressed record skips the binding check.
@@ -264,13 +311,26 @@ mod tests {
 
     #[test]
     fn empty_payload_frames_verify() {
-        let frame = encode_frame(FrameKind::WalRecord, RecordId(1), b"");
+        let frame = encode_frame(FrameKind::WalRecord, RecordId(1), 0, b"");
         assert_eq!(verify_frame(&frame, 0, RecordId(1)), Ok(()));
     }
 
     #[test]
+    fn decode_header_round_trips_every_field() {
+        let frame = encode_frame(FrameKind::WalRecord, RecordId(42), 17, b"lsn payload");
+        let header = decode_header(&frame).expect("valid frame");
+        assert_eq!(header.kind, FrameKind::WalRecord.as_u8());
+        assert_eq!(header.len, 11);
+        assert_eq!(header.record, RecordId(42));
+        assert_eq!(header.tag, 17);
+        // A short or misaligned buffer is the torn-tail signal.
+        assert_eq!(decode_header(&frame[..10]), Err(FrameViolation::BadMagic));
+        assert_eq!(decode_header(&frame[4..]), Err(FrameViolation::BadMagic));
+    }
+
+    #[test]
     fn any_single_bit_flip_is_detected() {
-        let frame = encode_frame(FrameKind::Delta, RecordId(7), b"some record payload");
+        let frame = encode_frame(FrameKind::Delta, RecordId(7), 3, b"some record payload");
         for byte in 0..frame.len() {
             for bit in 0..8 {
                 let mut corrupt = frame.clone();
@@ -284,10 +344,23 @@ mod tests {
     }
 
     #[test]
+    fn tag_is_covered_by_the_crc() {
+        // Two frames differing only in tag must not share a checksum: a
+        // recovered WAL frame claiming the wrong LSN has to fail verify.
+        let a = encode_frame(FrameKind::WalRecord, RecordId(5), 1, b"x");
+        let mut b = a.clone();
+        b[16..24].copy_from_slice(&2u64.to_le_bytes());
+        assert!(matches!(
+            verify_frame(&b, 1, RecordId(5)),
+            Err(FrameViolation::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
     fn wrong_record_is_detected_even_with_valid_crc() {
         // A stale read: the frame is internally consistent but belongs to a
         // different record. Only the identity binding catches it.
-        let frame = encode_frame(FrameKind::BasePage, RecordId(9), b"stale");
+        let frame = encode_frame(FrameKind::BasePage, RecordId(9), 0, b"stale");
         assert_eq!(
             verify_frame(&frame, 5, RecordId(10)),
             Err(FrameViolation::WrongRecord {
@@ -299,7 +372,7 @@ mod tests {
 
     #[test]
     fn truncated_frame_is_a_length_mismatch() {
-        let frame = encode_frame(FrameKind::BasePage, RecordId(3), b"full payload");
+        let frame = encode_frame(FrameKind::BasePage, RecordId(3), 0, b"full payload");
         assert!(matches!(
             verify_frame(&frame[..frame.len() - 4], 12, RecordId(3)),
             Err(FrameViolation::LengthMismatch { .. })
@@ -313,7 +386,7 @@ mod tests {
 
     #[test]
     fn mid_payload_reads_fail_the_magic_check() {
-        let frame = encode_frame(FrameKind::BasePage, RecordId(3), b"abcdefgh");
+        let frame = encode_frame(FrameKind::BasePage, RecordId(3), 0, b"abcdefgh");
         assert_eq!(
             verify_frame(&frame[4..], 4, RecordId(3)),
             Err(FrameViolation::BadMagic)

@@ -31,11 +31,14 @@
 //! node publishes (§3.4, Fig. 7 step (8)).
 
 pub mod addr;
+pub mod backend;
+pub mod builder;
 pub mod clock;
 pub mod epoch;
 pub mod error;
 pub mod extent;
 pub mod fault;
+pub mod file_backend;
 pub mod frame;
 pub mod latency;
 pub mod mapping;
@@ -44,7 +47,9 @@ pub mod store;
 pub mod stream;
 
 pub use addr::{ExtentId, PageAddr, RecordId, StreamId};
+pub use backend::{BackendKind, BackendStats, ExtentBackend, PersistedExtent, SimBackend};
 pub use bg3_cache::{CacheConfig, CacheStatsSnapshot, PageCache};
+pub use builder::StoreBuilder;
 // The whole observability crate rides along (`bg3_storage::obs::names`,
 // `::export`, `::json`) so downstream crates reach the stable metric
 // names and renderers without a direct bg3-obs dependency.
@@ -54,17 +59,20 @@ pub use bg3_obs::{
 };
 pub use clock::{SimClock, SimInstant};
 pub use epoch::{EpochFence, EpochFenceSnapshot, INITIAL_EPOCH};
-pub use error::{ErrorKind, StorageError, StorageOp, StorageResult};
+pub use error::{ErrorKind, IoErrorClass, StorageError, StorageOp, StorageResult};
 pub use extent::{ExtentInfo, ExtentState, UsageSample};
 pub use fault::{
     CrashPoint, CrashSwitch, FaultInjector, FaultKind, FaultOp, FaultPlan, FaultRule, RetryPolicy,
 };
+pub use file_backend::FileBackend;
 pub use frame::{
-    crc32c, encode_frame, encode_header, verify_frame, FrameKind, FrameViolation, FRAME_HEADER_LEN,
-    FRAME_MAGIC,
+    crc32c, decode_header, encode_frame, encode_header, verify_frame, FrameHeader, FrameKind,
+    FrameViolation, FRAME_HEADER_LEN, FRAME_MAGIC,
 };
 pub use latency::LatencyModel;
 pub use mapping::{MappingSnapshot, SharedMappingTable};
 pub use stats::{IoStats, IoStatsSnapshot};
-pub use store::{AppendOnlyStore, RepairReport, RepairSupply, ScrubCheck, SlotKey, StoreConfig};
+pub use store::{
+    AppendOnlyStore, ReadOpts, RepairReport, RepairSupply, ScrubCheck, SlotKey, StoreConfig,
+};
 pub use stream::StreamStats;

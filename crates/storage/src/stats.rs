@@ -69,6 +69,10 @@ impl IoStats {
     /// Creates counters registered in `registry` (pre-registering every
     /// stable metric name, so even an idle store exports the full set).
     pub fn with_registry(registry: MetricRegistry) -> Self {
+        // Pre-register the backend's physical-I/O counters (the store
+        // re-resolves the same handles via `BackendStats::register` at
+        // open), so even an idle store exports the full required set.
+        let _ = crate::backend::BackendStats::register(&registry);
         IoStats {
             appends: registry.counter(names::STORAGE_APPENDS_TOTAL),
             bytes_appended: registry.counter(names::STORAGE_BYTES_APPENDED_TOTAL),

@@ -7,9 +7,10 @@
 //! to the same storage service.
 
 use crate::addr::{ExtentId, PageAddr, RecordId, StreamId};
+use crate::backend::{BackendKind, BackendStats, ExtentBackend};
 use crate::clock::{SimClock, SimInstant};
 use crate::error::{StorageError, StorageOp, StorageResult};
-use crate::extent::{ExtentInfo, ExtentState};
+use crate::extent::{Extent, ExtentInfo, ExtentState};
 use crate::fault::{splitmix64, FaultInjector, FaultKind, FaultOp, FaultPlan};
 use crate::frame::{self, FrameKind, FRAME_HEADER_LEN};
 use crate::latency::LatencyModel;
@@ -36,6 +37,10 @@ pub struct StoreConfig {
     /// `capacity_bytes` to 0 (or use [`StoreConfig::without_cache`]) for
     /// the raw pre-cache behavior.
     pub cache: CacheConfig,
+    /// Which physical byte backend holds extent data
+    /// ([`BackendKind::Sim`] by default; every subsystem runs unchanged
+    /// against either).
+    pub backend: BackendKind,
 }
 
 impl Default for StoreConfig {
@@ -45,6 +50,7 @@ impl Default for StoreConfig {
             latency: LatencyModel::cloud(),
             faults: FaultPlan::none(),
             cache: CacheConfig::default(),
+            backend: BackendKind::Sim,
         }
     }
 }
@@ -57,6 +63,7 @@ impl StoreConfig {
             latency: LatencyModel::zero(),
             faults: FaultPlan::none(),
             cache: CacheConfig::default(),
+            backend: BackendKind::Sim,
         }
     }
 
@@ -83,6 +90,23 @@ impl StoreConfig {
         self.cache = CacheConfig::disabled();
         self
     }
+
+    /// Selects the physical byte backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+}
+
+/// Per-read options for [`AppendOnlyStore::read_with`]. The parameter
+/// object replaces the old `read_uncached` method so new read knobs do not
+/// multiply the method surface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadOpts {
+    /// Bypass (and never populate) the page cache. Relocation and
+    /// sequential rescans set this so one-shot traffic neither pollutes
+    /// the cache nor skews hit-rate measurements.
+    pub bypass_cache: bool,
 }
 
 /// Physical identity of a cached record: `(stream, extent, offset)`.
@@ -100,6 +124,7 @@ struct StoreInner {
     cache: PageCache<SlotKey>,
     trace: TraceBuffer,
     streams: HashMap<StreamId, Mutex<StreamInner>>,
+    backend: Arc<dyn ExtentBackend>,
     next_extent: AtomicU64,
     next_record: AtomicU64,
 }
@@ -113,13 +138,31 @@ pub struct AppendOnlyStore {
 impl AppendOnlyStore {
     /// Opens a store with the four well-known streams (BASE/DELTA/WAL/SST)
     /// and a fresh clock.
+    #[deprecated(note = "use `StoreBuilder::from_config(config).build()`")]
     pub fn new(config: StoreConfig) -> Self {
-        Self::with_clock(config, SimClock::new())
+        crate::builder::StoreBuilder::from_config(config).build()
     }
 
     /// Opens a store that shares an existing simulated clock.
+    #[deprecated(note = "use `StoreBuilder::from_config(config).clock(clock).build()`")]
     pub fn with_clock(config: StoreConfig, clock: SimClock) -> Self {
-        let mut streams = HashMap::new();
+        crate::builder::StoreBuilder::from_config(config)
+            .clock(clock)
+            .build()
+    }
+
+    /// Opens a store against `backend`, rebuilding the metadata plane from
+    /// whatever the backend already holds (crash recovery for file-backed
+    /// stores, reattach for shared sim backends). Called by
+    /// [`crate::StoreBuilder::open`] — the only construction path.
+    pub(crate) fn open_internal(
+        config: StoreConfig,
+        clock: SimClock,
+        backend: Arc<dyn ExtentBackend>,
+    ) -> StorageResult<Self> {
+        let stats = IoStats::new();
+        backend.attach_stats(BackendStats::register(stats.registry()));
+        let mut streams: HashMap<StreamId, Mutex<StreamInner>> = HashMap::new();
         for id in [
             StreamId::BASE,
             StreamId::DELTA,
@@ -128,21 +171,77 @@ impl AppendOnlyStore {
         ] {
             streams.insert(id, Mutex::new(StreamInner::new(id)));
         }
+        let mut next_extent = 1u64;
+        let mut next_record = 1u64;
+        let now = clock.now();
+        for persisted in backend.list_extents()? {
+            let bytes = if persisted.len == 0 {
+                Vec::new()
+            } else {
+                backend.read_at(
+                    persisted.stream,
+                    persisted.extent,
+                    0,
+                    persisted.len as usize,
+                )?
+            };
+            // Walk the extent's valid frame prefix. The first hole — bad
+            // magic, a frame extending past the physical length, or a
+            // failed CRC — is a torn tail from an interrupted append;
+            // everything after it is unreachable garbage.
+            let mut recovered: Vec<(RecordId, u32, u64)> = Vec::new();
+            let mut payload_used = 0u64;
+            let mut pos = 0usize;
+            while pos + FRAME_HEADER_LEN <= bytes.len() {
+                let Ok(header) = frame::decode_header(&bytes[pos..]) else {
+                    break;
+                };
+                let end = pos + FRAME_HEADER_LEN + header.len as usize;
+                if end > bytes.len()
+                    || frame::verify_frame(&bytes[pos..end], header.len, header.record).is_err()
+                {
+                    break;
+                }
+                recovered.push((header.record, header.len, header.tag));
+                payload_used += header.len as u64;
+                next_record = next_record.max(header.record.0 + 1);
+                pos = end;
+            }
+            // An oversized persisted extent (written under a larger
+            // configured capacity) keeps its actual size.
+            let capacity = config.extent_capacity.max(payload_used as usize);
+            let mut ext = Extent::new(capacity, now);
+            for (record, len, tag) in recovered {
+                ext.push_slot(record, len, tag, now, None, false);
+            }
+            // Recovered extents never take further appends: fresh ids start
+            // past them, and sealing keeps any torn suffix from being
+            // overwritten while it is still evidence.
+            ext.state = ExtentState::Sealed;
+            next_extent = next_extent.max(persisted.extent.0 + 1);
+            streams
+                .entry(persisted.stream)
+                .or_insert_with(|| Mutex::new(StreamInner::new(persisted.stream)))
+                .get_mut()
+                .extents
+                .insert(persisted.extent, ext);
+        }
         let faults = FaultInjector::new(config.faults.clone());
         let cache = PageCache::new(config.cache.clone());
-        AppendOnlyStore {
+        Ok(AppendOnlyStore {
             inner: Arc::new(StoreInner {
                 config,
                 clock,
-                stats: IoStats::new(),
+                stats,
                 faults,
                 cache,
                 trace: TraceBuffer::default(),
                 streams,
-                next_extent: AtomicU64::new(1),
-                next_record: AtomicU64::new(1),
+                backend,
+                next_extent: AtomicU64::new(next_extent),
+                next_record: AtomicU64::new(next_record),
             }),
-        }
+        })
     }
 
     /// The store's simulated clock.
@@ -190,6 +289,22 @@ impl AppendOnlyStore {
     /// Extent capacity configured for this store.
     pub fn extent_capacity(&self) -> usize {
         self.inner.config.extent_capacity
+    }
+
+    /// The physical byte backend this store writes through.
+    pub fn backend(&self) -> &Arc<dyn ExtentBackend> {
+        &self.inner.backend
+    }
+
+    /// Durability barrier on `stream`'s active tail extent — the WAL
+    /// writer's group-fsync target. Sealed extents were already synced at
+    /// seal time, so a stream with no open extent has nothing to flush.
+    pub fn sync_stream(&self, stream: StreamId) -> StorageResult<()> {
+        let guard = self.stream(stream, StorageOp::Append)?.lock();
+        let Some(active) = guard.active else {
+            return Ok(());
+        };
+        self.inner.backend.sync(stream, active)
     }
 
     fn stream(&self, id: StreamId, op: StorageOp) -> StorageResult<&Mutex<StreamInner>> {
@@ -254,28 +369,59 @@ impl AppendOnlyStore {
         let record = RecordId(self.inner.next_record.fetch_add(1, Ordering::Relaxed));
 
         let mut guard = self.stream(stream, StorageOp::Append)?.lock();
-        let ext_id = guard.extent_for_append(bytes.len(), capacity, now, || {
+        let placement = guard.extent_for_append(bytes.len(), capacity, now, || {
             ExtentId(self.inner.next_extent.fetch_add(1, Ordering::Relaxed))
         });
+        // Mirror the metadata transitions onto the backend before any bytes
+        // move: the sealed predecessor gets its durability barrier, the
+        // fresh extent gets a backing object. A failed allocation is rolled
+        // back so the stream never points at an extent with no bytes.
+        if let Some(prev) = placement.sealed {
+            if let Err(err) = self.inner.backend.seal(stream, prev) {
+                if placement.allocated {
+                    guard.abort_allocation(placement.extent);
+                }
+                return Err(err);
+            }
+        }
+        if placement.allocated {
+            if let Err(err) = self
+                .inner
+                .backend
+                .allocate(stream, placement.extent, capacity)
+            {
+                guard.abort_allocation(placement.extent);
+                return Err(err);
+            }
+        }
+        let ext_id = placement.extent;
         let ext = guard.extents.get_mut(&ext_id).expect("extent just chosen");
-        let offset = ext.push(
+        let mut framed = frame::encode_frame(FrameKind::for_stream(stream), record, tag, bytes);
+        if torn {
+            // A torn tail write: the bytes consume log space but the record
+            // is unreadable. Scar the stored CRC before it hits the backend
+            // so a read of the slot fails verification rather than serving
+            // intact-looking bytes.
+            framed[FRAME_HEADER_LEN - 4] ^= 0xFF;
+        }
+        // Fail closed: the frame reaches the backend before any metadata
+        // moves, so a failed physical write leaves the cursor unmoved and
+        // the slot unregistered — a retry simply overwrites the same spot.
+        self.inner
+            .backend
+            .write_at(stream, ext_id, ext.physical_len, &framed)?;
+        let offset = ext.push_slot(
             record,
-            FrameKind::for_stream(stream),
-            bytes,
+            bytes.len() as u32,
             tag,
             now,
             expires_at,
             is_relocation,
         );
         if torn {
-            // A torn tail write: the bytes consumed log space but the record
-            // is unreadable. Model it as an immediately-invalid slot so the
-            // space shows up as garbage for the reclaimer, and scar the
-            // stored CRC so a read of the slot fails verification rather
-            // than serving intact-looking bytes.
+            // The scarred slot is immediately-invalid garbage: its space
+            // shows up for the reclaimer but no valid read can land on it.
             let _ = ext.invalidate(offset, now);
-            let crc_at = offset as usize - 4;
-            ext.data[crc_at] ^= 0xFF;
         }
         drop(guard);
 
@@ -306,9 +452,15 @@ impl AppendOnlyStore {
     /// A miss pays the full storage read and the returned bytes are
     /// offered to the cache, so the next reader of the same slot hits.
     pub fn read(&self, addr: PageAddr) -> StorageResult<Bytes> {
+        self.read_with(addr, ReadOpts::default())
+    }
+
+    /// Reads the record at `addr` with explicit [`ReadOpts`]; see
+    /// [`AppendOnlyStore::read`] for cache semantics.
+    pub fn read_with(&self, addr: PageAddr, opts: ReadOpts) -> StorageResult<Bytes> {
         let cache = &self.inner.cache;
-        if !cache.is_enabled() {
-            return self.read_uncached(addr);
+        if opts.bypass_cache || !cache.is_enabled() {
+            return self.read_raw(addr);
         }
         let key: SlotKey = (addr.stream, addr.extent, addr.offset);
         if let Some(bytes) = cache.get(&key) {
@@ -323,7 +475,7 @@ impl AppendOnlyStore {
             self.inner.stats.record_cache_evictions(1);
         }
         self.inner.stats.record_cache_miss();
-        let bytes = self.read_uncached(addr)?;
+        let bytes = self.read_raw(addr)?;
         let outcome = cache.insert(key, bytes.clone());
         if outcome.evicted > 0 {
             self.inner.stats.record_cache_evictions(outcome.evicted);
@@ -332,10 +484,16 @@ impl AppendOnlyStore {
     }
 
     /// Randomly reads the record at `addr` directly from storage,
-    /// bypassing (and never populating) the page cache. Relocation and
-    /// sequential rescans use this path so one-shot traffic neither
-    /// pollutes the cache nor skews hit-rate measurements.
+    /// bypassing (and never populating) the page cache.
+    #[deprecated(note = "use `read_with(addr, ReadOpts { bypass_cache: true })`")]
     pub fn read_uncached(&self, addr: PageAddr) -> StorageResult<Bytes> {
+        self.read_raw(addr)
+    }
+
+    /// The uncached read path: fault-injection draw, backend read, frame
+    /// verification. Relocation and sequential rescans come through here so
+    /// one-shot traffic neither pollutes the cache nor skews hit rates.
+    fn read_raw(&self, addr: PageAddr) -> StorageResult<Bytes> {
         let mut charged_nanos = 0u64;
         let mut silent: Option<FaultKind> = None;
         match self.inner.faults.decide(FaultOp::Read, Some(addr.stream)) {
@@ -355,10 +513,10 @@ impl AppendOnlyStore {
             }
             _ => {}
         }
-        let mut guard = self.stream(addr.stream, StorageOp::Read)?.lock();
+        let guard = self.stream(addr.stream, StorageOp::Read)?.lock();
         let ext = guard
             .extents
-            .get_mut(&addr.extent)
+            .get(&addr.extent)
             .ok_or_else(|| StorageError::unknown_extent(StorageOp::Read, addr.extent))?;
         if ext.state == ExtentState::Reclaimed {
             return Err(StorageError::addr_not_found(StorageOp::Read, addr));
@@ -369,7 +527,7 @@ impl AppendOnlyStore {
             );
         }
         let end = addr.offset as usize + addr.len as usize;
-        if end > ext.data.len() {
+        if end > ext.physical_len as usize {
             return Err(StorageError::addr_out_of_bounds(StorageOp::Read, addr));
         }
         let Some(frame_start) = (addr.offset as usize).checked_sub(FRAME_HEADER_LEN) else {
@@ -388,9 +546,19 @@ impl AppendOnlyStore {
             let span = end - frame_start;
             let byte = frame_start + (h as usize % span);
             let bit = (h >> 32) % 8;
-            ext.data[byte] ^= 1 << bit;
+            self.inner
+                .backend
+                .corrupt_bit(addr.stream, addr.extent, byte as u64 * 8 + bit)?;
         }
-        let mut framed = ext.data[frame_start..end].to_vec();
+        // Backend read under the stream lock: a concurrent reclaim cannot
+        // delete the backing object out from under us (it flips the state
+        // to Reclaimed — checked above — before deleting).
+        let mut framed = self.inner.backend.read_at(
+            addr.stream,
+            addr.extent,
+            frame_start as u64,
+            end - frame_start,
+        )?;
         drop(guard);
         match silent {
             Some(FaultKind::ReadShort) => {
@@ -404,10 +572,10 @@ impl AppendOnlyStore {
                 // wrong record identity. Only record binding catches this.
                 framed[8] ^= 0x01;
                 let crc = frame::crc32c_extend(
-                    frame::crc32c(&framed[2..16]),
+                    frame::crc32c(&framed[2..24]),
                     &framed[FRAME_HEADER_LEN..],
                 );
-                framed[16..20].copy_from_slice(&crc.to_le_bytes());
+                framed[24..28].copy_from_slice(&crc.to_le_bytes());
             }
             _ => {}
         }
@@ -496,8 +664,14 @@ impl AppendOnlyStore {
                     record: slot.record,
                 };
                 let frame_start = slot.offset as usize - FRAME_HEADER_LEN;
-                let end = slot.offset as usize + slot.len as usize;
-                framed.push((addr, slot.tag, ext.data[frame_start..end].to_vec()));
+                let span = FRAME_HEADER_LEN + slot.len as usize;
+                framed.push((
+                    addr,
+                    slot.tag,
+                    self.inner
+                        .backend
+                        .read_at(stream, extent, frame_start as u64, span)?,
+                ));
             }
         }
         drop(guard);
@@ -619,7 +793,7 @@ impl AppendOnlyStore {
                 // frame verification, including record binding.
                 record: *record,
             };
-            let bytes = self.read_uncached(old)?;
+            let bytes = self.read_raw(old)?;
             let remaining_ttl = deadline.map(|d| d.duration_since(self.inner.clock.now()));
             let new = self.append_impl(stream, &bytes, *tag, remaining_ttl, true)?;
             moved_bytes += *len as u64;
@@ -638,11 +812,14 @@ impl AppendOnlyStore {
             .get_mut(&extent)
             .ok_or_else(|| StorageError::unknown_extent(StorageOp::Relocate, extent))?;
         ext.state = ExtentState::Reclaimed;
-        ext.data = Vec::new();
         ext.slots = Vec::new();
         ext.valid_count = 0;
         ext.valid_bytes = 0;
+        ext.physical_len = 0;
         drop(guard);
+        // The tombstone state is visible before the backing object goes
+        // away, so no reader can race the delete into a missing-file error.
+        self.inner.backend.delete(stream, extent)?;
         // Coherence: every cached slot of the freed extent is gone.
         let evicted = self
             .inner
@@ -693,14 +870,15 @@ impl AppendOnlyStore {
         }
         let freed = ext.valid_count;
         ext.state = ExtentState::Reclaimed;
-        ext.data = Vec::new();
         ext.slots = Vec::new();
         ext.valid_count = 0;
         ext.valid_bytes = 0;
+        ext.physical_len = 0;
         if guard.active == Some(extent) {
             guard.active = None;
         }
         drop(guard);
+        self.inner.backend.delete(stream, extent)?;
         // Coherence: expiry frees the extent without reading it; cached
         // slots must die with it.
         let evicted = self
@@ -722,10 +900,10 @@ impl AppendOnlyStore {
     /// rot without going through the read path. The cached copy of the
     /// slot, if any, is evicted so the damage is observable.
     pub fn corrupt_record_bit(&self, addr: PageAddr, bit: u64) -> StorageResult<()> {
-        let mut guard = self.stream(addr.stream, StorageOp::Read)?.lock();
+        let guard = self.stream(addr.stream, StorageOp::Read)?.lock();
         let ext = guard
             .extents
-            .get_mut(&addr.extent)
+            .get(&addr.extent)
             .ok_or_else(|| StorageError::unknown_extent(StorageOp::Read, addr.extent))?;
         if ext.state == ExtentState::Reclaimed {
             return Err(StorageError::addr_not_found(StorageOp::Read, addr));
@@ -734,12 +912,14 @@ impl AppendOnlyStore {
             return Err(StorageError::addr_out_of_bounds(StorageOp::Read, addr));
         };
         let end = addr.offset as usize + addr.len as usize;
-        if end > ext.data.len() {
+        if end > ext.physical_len as usize {
             return Err(StorageError::addr_out_of_bounds(StorageOp::Read, addr));
         }
         let span_bits = ((end - frame_start) * 8) as u64;
         let b = bit % span_bits;
-        ext.data[frame_start + (b / 8) as usize] ^= 1 << (b % 8);
+        self.inner
+            .backend
+            .corrupt_bit(addr.stream, addr.extent, frame_start as u64 * 8 + b)?;
         drop(guard);
         if self
             .inner
@@ -777,9 +957,21 @@ impl AppendOnlyStore {
             }
             for slot in ext.slots.iter().filter(|s| s.valid) {
                 let frame_start = slot.offset as usize - FRAME_HEADER_LEN;
-                let end = slot.offset as usize + slot.len as usize;
+                let span = FRAME_HEADER_LEN + slot.len as usize;
                 scanned_bytes += slot.len as usize;
-                if frame::verify_frame(&ext.data[frame_start..end], slot.len, slot.record).is_ok() {
+                // A frame the backend cannot even produce (truncated file,
+                // vanished object) counts as corruption: the slot's data is
+                // unservable either way.
+                let intact =
+                    match self
+                        .inner
+                        .backend
+                        .read_at(stream, extent, frame_start as u64, span)
+                    {
+                        Ok(framed) => frame::verify_frame(&framed, slot.len, slot.record).is_ok(),
+                        Err(_) => false,
+                    };
+                if intact {
                     check.records_verified += 1;
                 } else {
                     check.corrupt_records += 1;
@@ -866,11 +1058,19 @@ impl AppendOnlyStore {
                 .filter(|s| s.valid)
                 .map(|s| {
                     let frame_start = s.offset as usize - FRAME_HEADER_LEN;
-                    let end = s.offset as usize + s.len as usize;
-                    let framed = &ext.data[frame_start..end];
-                    let payload = frame::verify_frame(framed, s.len, s.record)
+                    let span = FRAME_HEADER_LEN + s.len as usize;
+                    // An unreadable frame (backend error or failed
+                    // verification) is a hole for the resupply source.
+                    let payload = self
+                        .inner
+                        .backend
+                        .read_at(stream, extent, frame_start as u64, span)
                         .ok()
-                        .map(|()| framed[FRAME_HEADER_LEN..].to_vec());
+                        .and_then(|framed| {
+                            frame::verify_frame(&framed, s.len, s.record)
+                                .ok()
+                                .map(|()| framed[FRAME_HEADER_LEN..].to_vec())
+                        });
                     let old = PageAddr {
                         stream,
                         extent,
@@ -933,11 +1133,12 @@ impl AppendOnlyStore {
             .ok_or_else(|| StorageError::unknown_extent(StorageOp::Relocate, extent))?;
         ext.state = ExtentState::Reclaimed;
         ext.quarantined = false;
-        ext.data = Vec::new();
         ext.slots = Vec::new();
         ext.valid_count = 0;
         ext.valid_bytes = 0;
+        ext.physical_len = 0;
         drop(guard);
+        self.inner.backend.delete(stream, extent)?;
         let evicted = self
             .inner
             .cache
@@ -1026,11 +1227,12 @@ impl std::fmt::Debug for AppendOnlyStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::StoreBuilder;
     use crate::error::ErrorKind;
     use crate::fault::FaultRule;
 
     fn store() -> AppendOnlyStore {
-        AppendOnlyStore::new(StoreConfig::counting().with_extent_capacity(64))
+        StoreBuilder::from_config(StoreConfig::counting().with_extent_capacity(64)).build()
     }
 
     #[test]
@@ -1177,7 +1379,7 @@ mod tests {
     #[test]
     fn expire_extent_requires_elapsed_ttl() {
         let cfg = StoreConfig::counting().with_extent_capacity(64);
-        let s = AppendOnlyStore::new(cfg);
+        let s = StoreBuilder::from_config(cfg).build();
         let a = s
             .append(StreamId::DELTA, &[0u8; 16], 0, Some(1_000_000))
             .unwrap();
@@ -1220,8 +1422,9 @@ mod tests {
             },
             faults: FaultPlan::none(),
             cache: CacheConfig::default(),
+            backend: BackendKind::Sim,
         };
-        let s = AppendOnlyStore::new(cfg);
+        let s = StoreBuilder::from_config(cfg).build();
         let addr = s.append(StreamId::BASE, b"x", 0, None).unwrap();
         assert_eq!(s.clock().now().as_micros(), 100);
         s.read(addr).unwrap();
@@ -1240,7 +1443,7 @@ mod tests {
     fn injected_append_failure_writes_nothing() {
         let plan = FaultPlan::seeded(9)
             .with_rule(FaultRule::new(FaultOp::Append, FaultKind::AppendFail, 1.0).at_most(1));
-        let s = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let s = StoreBuilder::from_config(StoreConfig::counting().with_faults(plan)).build();
         let err = s.append(StreamId::BASE, b"lost", 0, None).unwrap_err();
         assert!(err.is_transient());
         assert_eq!(s.stats().snapshot().appends, 0, "nothing reached the store");
@@ -1254,7 +1457,7 @@ mod tests {
     fn torn_append_consumes_space_but_is_unreadable_garbage() {
         let plan = FaultPlan::seeded(9)
             .with_rule(FaultRule::new(FaultOp::Append, FaultKind::AppendTorn, 1.0).at_most(1));
-        let s = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let s = StoreBuilder::from_config(StoreConfig::counting().with_faults(plan)).build();
         let err = s.append(StreamId::BASE, &[7u8; 16], 0, None).unwrap_err();
         assert!(err.is_transient());
         assert_eq!(err.addr.unwrap().len, 16, "torn tail reports its address");
@@ -1267,7 +1470,7 @@ mod tests {
     fn injected_read_failure_is_transient_and_bounded() {
         let plan = FaultPlan::seeded(5)
             .with_rule(FaultRule::new(FaultOp::Read, FaultKind::ReadFail, 1.0).at_most(2));
-        let s = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let s = StoreBuilder::from_config(StoreConfig::counting().with_faults(plan)).build();
         let addr = s.append(StreamId::BASE, b"persistent", 0, None).unwrap();
         assert!(s.read(addr).unwrap_err().is_transient());
         assert!(s.read(addr).unwrap_err().is_transient());
@@ -1304,8 +1507,9 @@ mod tests {
             },
             faults: FaultPlan::none(),
             cache: CacheConfig::default(),
+            backend: BackendKind::Sim,
         };
-        let s = AppendOnlyStore::new(cfg);
+        let s = StoreBuilder::from_config(cfg).build();
         let addr = s.append(StreamId::BASE, b"x", 0, None).unwrap();
         s.read(addr).unwrap();
         assert_eq!(s.clock().now().as_micros(), 50, "cold read pays");
@@ -1316,11 +1520,12 @@ mod tests {
 
     #[test]
     fn disabled_cache_restores_raw_read_counting() {
-        let s = AppendOnlyStore::new(
+        let s = StoreBuilder::from_config(
             StoreConfig::counting()
                 .with_extent_capacity(64)
                 .without_cache(),
-        );
+        )
+        .build();
         let addr = s.append(StreamId::BASE, b"cold", 0, None).unwrap();
         for _ in 0..3 {
             s.read(addr).unwrap();
@@ -1380,7 +1585,7 @@ mod tests {
     fn read_faults_still_fire_on_cold_reads_only() {
         let plan = FaultPlan::seeded(5)
             .with_rule(FaultRule::new(FaultOp::Read, FaultKind::ReadFail, 1.0).at_most(1));
-        let s = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let s = StoreBuilder::from_config(StoreConfig::counting().with_faults(plan)).build();
         let addr = s.append(StreamId::BASE, b"page", 0, None).unwrap();
         assert!(
             s.read(addr).unwrap_err().is_transient(),
@@ -1396,7 +1601,7 @@ mod tests {
     fn bit_flip_reads_are_detected_and_the_rot_persists() {
         let plan = FaultPlan::seeded(0xB17)
             .with_rule(FaultRule::new(FaultOp::Read, FaultKind::ReadBitFlip, 1.0).at_most(1));
-        let s = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let s = StoreBuilder::from_config(StoreConfig::counting().with_faults(plan)).build();
         let addr = s.append(StreamId::BASE, b"precious", 7, None).unwrap();
         let err = s.read(addr).unwrap_err();
         assert!(matches!(err.kind, ErrorKind::ChecksumMismatch));
@@ -1417,7 +1622,7 @@ mod tests {
     fn stale_reads_are_caught_by_record_binding_and_are_transient() {
         let plan = FaultPlan::seeded(0x57A1E)
             .with_rule(FaultRule::new(FaultOp::Read, FaultKind::ReadStale, 1.0).at_most(1));
-        let s = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let s = StoreBuilder::from_config(StoreConfig::counting().with_faults(plan)).build();
         let addr = s.append(StreamId::BASE, b"identity", 7, None).unwrap();
         // The stale frame is internally CRC-consistent; only the record
         // binding in the header exposes it.
@@ -1432,7 +1637,7 @@ mod tests {
     fn short_reads_are_detected_and_are_transient() {
         let plan = FaultPlan::seeded(0x5407)
             .with_rule(FaultRule::new(FaultOp::Read, FaultKind::ReadShort, 1.0).at_most(1));
-        let s = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let s = StoreBuilder::from_config(StoreConfig::counting().with_faults(plan)).build();
         let addr = s.append(StreamId::BASE, b"full length", 7, None).unwrap();
         assert!(matches!(
             s.read(addr).unwrap_err().kind,
@@ -1568,7 +1773,7 @@ mod tests {
     #[test]
     fn delay_fault_charges_the_clock_without_failing() {
         let plan = FaultPlan::seeded(2).delay(FaultOp::Append, 5_000, 1.0);
-        let s = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let s = StoreBuilder::from_config(StoreConfig::counting().with_faults(plan)).build();
         s.append(StreamId::BASE, b"slow", 0, None).unwrap();
         assert_eq!(
             s.clock().now().as_micros(),

@@ -26,26 +26,50 @@ impl StreamInner {
         }
     }
 
-    /// Returns the active extent id, opening a fresh one via `alloc` when the
-    /// current one cannot hold `len` more bytes.
+    /// Returns where the next `len`-byte append lands, opening a fresh
+    /// extent via `alloc` when the current one cannot hold `len` more
+    /// bytes. The placement reports metadata transitions — a sealed
+    /// predecessor and/or a fresh allocation — so the store can mirror
+    /// them onto its [`crate::ExtentBackend`] (seal barrier, backing
+    /// object creation) while still holding the stream lock.
     pub fn extent_for_append(
         &mut self,
         len: usize,
         capacity: usize,
         now: SimInstant,
         mut alloc: impl FnMut() -> ExtentId,
-    ) -> ExtentId {
+    ) -> AppendPlacement {
+        let mut sealed = None;
         if let Some(active) = self.active {
             let ext = self.extents.get_mut(&active).expect("active extent exists");
             if ext.remaining() >= len {
-                return active;
+                return AppendPlacement {
+                    extent: active,
+                    sealed: None,
+                    allocated: false,
+                };
             }
             ext.state = ExtentState::Sealed;
+            sealed = Some(active);
         }
         let id = alloc();
         self.extents.insert(id, Extent::new(capacity, now));
         self.active = Some(id);
-        id
+        AppendPlacement {
+            extent: id,
+            sealed,
+            allocated: true,
+        }
+    }
+
+    /// Rolls back a fresh allocation whose backend counterpart failed:
+    /// removes the metadata inserted by [`StreamInner::extent_for_append`]
+    /// so the stream never points at an extent with no backing object.
+    pub fn abort_allocation(&mut self, extent: ExtentId) {
+        self.extents.remove(&extent);
+        if self.active == Some(extent) {
+            self.active = None;
+        }
     }
 
     /// Aggregate live statistics for this stream.
@@ -69,6 +93,21 @@ impl StreamInner {
         }
         s
     }
+}
+
+/// Where one append lands, plus the metadata transitions that choosing
+/// the spot caused (see [`StreamInner::extent_for_append`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct AppendPlacement {
+    /// Extent that receives the append.
+    pub extent: ExtentId,
+    /// Predecessor sealed by rollover, if any — the store must issue the
+    /// backend seal barrier for it.
+    pub sealed: Option<ExtentId>,
+    /// True when `extent` was freshly allocated — the store must create
+    /// its backing object (and roll back via
+    /// [`StreamInner::abort_allocation`] if that fails).
+    pub allocated: bool,
 }
 
 /// Aggregate snapshot of a stream's space usage.
@@ -107,7 +146,6 @@ impl StreamStats {
 mod tests {
     use super::*;
     use crate::addr::RecordId;
-    use crate::frame::FrameKind;
 
     #[test]
     fn extent_rollover_seals_previous() {
@@ -117,23 +155,39 @@ mod tests {
             next += 1;
             ExtentId(next)
         };
-        let e1 = s.extent_for_append(10, 16, SimInstant(0), &mut alloc);
+        let p1 = s.extent_for_append(10, 16, SimInstant(0), &mut alloc);
+        let e1 = p1.extent;
         assert_eq!(e1, ExtentId(1));
-        s.extents.get_mut(&e1).unwrap().push(
-            RecordId(0),
-            FrameKind::Delta,
-            &[0u8; 10],
-            0,
-            SimInstant(0),
-            None,
-            false,
-        );
+        assert!(p1.allocated);
+        assert_eq!(p1.sealed, None);
+        s.extents
+            .get_mut(&e1)
+            .unwrap()
+            .push_slot(RecordId(0), 10, 0, SimInstant(0), None, false);
         // 6 bytes left; a 10-byte append must roll over.
-        let e2 = s.extent_for_append(10, 16, SimInstant(1), &mut alloc);
+        let p2 = s.extent_for_append(10, 16, SimInstant(1), &mut alloc);
+        let e2 = p2.extent;
         assert_eq!(e2, ExtentId(2));
+        assert!(p2.allocated);
+        assert_eq!(p2.sealed, Some(e1), "rollover reports the sealed extent");
         assert_eq!(s.extents[&e1].state, ExtentState::Sealed);
         assert_eq!(s.extents[&e2].state, ExtentState::Open);
         assert_eq!(s.active, Some(e2));
+        // Fits in place: no transitions to mirror.
+        let p3 = s.extent_for_append(2, 16, SimInstant(2), &mut alloc);
+        assert_eq!(p3.extent, e2);
+        assert!(!p3.allocated);
+        assert_eq!(p3.sealed, None);
+    }
+
+    #[test]
+    fn abort_allocation_rolls_back_metadata() {
+        let mut s = StreamInner::new(StreamId::BASE);
+        let p = s.extent_for_append(4, 16, SimInstant(0), || ExtentId(1));
+        assert!(p.allocated);
+        s.abort_allocation(p.extent);
+        assert!(s.extents.is_empty());
+        assert_eq!(s.active, None);
     }
 
     #[test]
@@ -144,26 +198,16 @@ mod tests {
             next += 1;
             ExtentId(next)
         };
-        let e1 = s.extent_for_append(4, 8, SimInstant(0), &mut alloc);
-        s.extents.get_mut(&e1).unwrap().push(
-            RecordId(0),
-            FrameKind::Delta,
-            &[1, 2, 3, 4],
-            0,
-            SimInstant(0),
-            None,
-            false,
-        );
-        let e2 = s.extent_for_append(8, 8, SimInstant(1), &mut alloc);
-        s.extents.get_mut(&e2).unwrap().push(
-            RecordId(1),
-            FrameKind::Delta,
-            &[0u8; 8],
-            0,
-            SimInstant(1),
-            None,
-            false,
-        );
+        let e1 = s.extent_for_append(4, 8, SimInstant(0), &mut alloc).extent;
+        s.extents
+            .get_mut(&e1)
+            .unwrap()
+            .push_slot(RecordId(0), 4, 0, SimInstant(0), None, false);
+        let e2 = s.extent_for_append(8, 8, SimInstant(1), &mut alloc).extent;
+        s.extents
+            .get_mut(&e2)
+            .unwrap()
+            .push_slot(RecordId(1), 8, 0, SimInstant(1), None, false);
         s.extents.get_mut(&e1).unwrap().state = ExtentState::Reclaimed;
 
         let stats = s.stats();

@@ -27,10 +27,11 @@ proptest! {
             kind_strategy(),
             1u64..u64::MAX,
             proptest::collection::vec(any::<u8>(), 0..512),
+            any::<u64>(),
         ),
     ) {
-        let (kind, record, payload) = params;
-        let frame = encode_frame(kind, RecordId(record), &payload);
+        let (kind, record, payload, tag) = params;
+        let frame = encode_frame(kind, RecordId(record), tag, &payload);
         prop_assert_eq!(frame.len(), FRAME_HEADER_LEN + payload.len());
         prop_assert!(verify_frame(&frame, payload.len() as u32, RecordId(record)).is_ok());
         // Address-blind verification (record 0 skips the binding check).
@@ -45,14 +46,12 @@ proptest! {
     #[test]
     fn any_single_bit_flip_is_detected(
         params in (
-            kind_strategy(),
-            1u64..u64::MAX,
-            proptest::collection::vec(any::<u8>(), 0..256),
-            any::<u32>(),
+            (kind_strategy(), 1u64..u64::MAX, any::<u64>()),
+            (proptest::collection::vec(any::<u8>(), 0..256), any::<u32>()),
         ),
     ) {
-        let (kind, record, payload, flip) = params;
-        let mut frame = encode_frame(kind, RecordId(record), &payload);
+        let ((kind, record, tag), (payload, flip)) = params;
+        let mut frame = encode_frame(kind, RecordId(record), tag, &payload);
         let bit = flip as usize % (frame.len() * 8);
         frame[bit / 8] ^= 1 << (bit % 8);
         prop_assert!(
@@ -71,7 +70,7 @@ proptest! {
         ),
     ) {
         let (record, payload, cut) = params;
-        let frame = encode_frame(FrameKind::Delta, RecordId(record), &payload);
+        let frame = encode_frame(FrameKind::Delta, RecordId(record), 7, &payload);
         let keep = cut as usize % frame.len();
         prop_assert!(
             verify_frame(&frame[..keep], payload.len() as u32, RecordId(record)).is_err(),

@@ -3,8 +3,8 @@
 //! and fault plans must be pure functions of (seed, rules, op index).
 
 use bg3_storage::{
-    AppendOnlyStore, CacheConfig, FaultKind, FaultOp, FaultPlan, FaultRule, IoStatsSnapshot,
-    PageAddr, StoreConfig, StreamId,
+    CacheConfig, FaultKind, FaultOp, FaultPlan, FaultRule, IoStatsSnapshot, PageAddr, ReadOpts,
+    StoreBuilder, StoreConfig, StreamId,
 };
 use proptest::prelude::*;
 
@@ -185,7 +185,7 @@ proptest! {
     /// measurement relies on.
     #[test]
     fn store_snapshots_are_monotone(cmds in proptest::collection::vec(store_cmd_strategy(), 1..40)) {
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let mut prev = store.stats().snapshot();
         let mut last_addr = None;
         for cmd in &cmds {
@@ -225,7 +225,7 @@ proptest! {
         // Tiny extents force many extents; a tiny 2-shard cache forces
         // CLOCK evictions and doorkeeper churn; torn appends consume
         // space without producing a readable record.
-        let store = AppendOnlyStore::new(
+        let store = StoreBuilder::from_config(
             StoreConfig::counting()
                 .with_extent_capacity(256)
                 .with_cache(CacheConfig::default().with_capacity_bytes(2048).with_shards(2))
@@ -234,7 +234,7 @@ proptest! {
                     FaultKind::AppendTorn,
                     0.1,
                 ))),
-        );
+        ).build();
         // Shadow model: (tag, addr, bytes) per live record; tags are unique
         // per append so relocation's `on_move(tag, ..)` pins down the entry.
         // Invalidated records stay physically readable (the bytes sit in
@@ -326,14 +326,16 @@ proptest! {
                 .chain(invalidated.iter().map(|(a, b)| (a, b)))
             {
                 let cached = store.read(*addr);
-                let raw = store.read_uncached(*addr);
+                let raw = store.read_with(*addr, ReadOpts { bypass_cache: true });
                 prop_assert!(cached.is_ok() && raw.is_ok(), "record readable both ways");
                 prop_assert_eq!(cached.unwrap().as_ref(), expected.as_slice());
                 prop_assert_eq!(raw.unwrap().as_ref(), expected.as_slice());
             }
             for addr in &dead {
                 prop_assert!(store.read(*addr).is_err(), "dead addr served from cache");
-                prop_assert!(store.read_uncached(*addr).is_err());
+                prop_assert!(store
+                    .read_with(*addr, ReadOpts { bypass_cache: true })
+                    .is_err());
             }
         }
     }

@@ -212,7 +212,7 @@ mod tests {
     use super::*;
     use crate::rw::{RwNode, RwNodeConfig};
     use bg3_bwtree::events::NullListener;
-    use bg3_storage::StoreConfig;
+    use bg3_storage::{StoreBuilder, StoreConfig};
 
     fn recover_from(rw: &RwNode) -> BwTree {
         let mut reader = rw.open_wal_reader();
@@ -245,7 +245,7 @@ mod tests {
 
     #[test]
     fn recovers_unflushed_writes_from_wal_alone() {
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let rw = RwNode::new(
             store,
             RwNodeConfig {
@@ -268,7 +268,7 @@ mod tests {
 
     #[test]
     fn recovers_across_checkpoints_and_splits() {
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let mut config = RwNodeConfig {
             group_commit_pages: usize::MAX,
             ..RwNodeConfig::default()
@@ -313,7 +313,7 @@ mod tests {
 
     #[test]
     fn recovered_tree_accepts_new_writes() {
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let rw = RwNode::new(store, RwNodeConfig::default());
         for i in 0..30u32 {
             rw.put(format!("k{i:02}").as_bytes(), b"v").unwrap();
@@ -331,7 +331,7 @@ mod tests {
     #[test]
     fn corrupt_mapped_image_is_rebuilt_from_wal_history() {
         use bg3_storage::StreamId;
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let rw = RwNode::new(store, RwNodeConfig::default());
         for i in 0..10u32 {
             rw.put(format!("k{i:02}").as_bytes(), b"v").unwrap();
@@ -360,7 +360,7 @@ mod tests {
 
     #[test]
     fn rotted_mapped_image_is_rebuilt_from_wal_history() {
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let rw = RwNode::new(store, RwNodeConfig::default());
         for i in 0..20u32 {
             rw.put(format!("k{i:02}").as_bytes(), &i.to_le_bytes())
@@ -382,7 +382,7 @@ mod tests {
     #[test]
     fn zombie_epoch_records_are_fenced_out_of_replay() {
         use bg3_storage::SimInstant;
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let rw = RwNode::new(
             store,
             RwNodeConfig {
@@ -436,7 +436,7 @@ mod tests {
 
     #[test]
     fn empty_log_recovers_an_empty_tree() {
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let mapping = SharedMappingTable::for_store(&store);
         let tree = recover_tree(
             1,

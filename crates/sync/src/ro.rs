@@ -774,10 +774,10 @@ impl std::fmt::Debug for RoNode {
 mod tests {
     use super::*;
     use crate::rw::{RwNode, RwNodeConfig};
-    use bg3_storage::StoreConfig;
+    use bg3_storage::{StoreBuilder, StoreConfig};
 
     fn pair(group_commit: usize) -> (RwNode, RoNode) {
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let rw = RwNode::new(
             store.clone(),
             RwNodeConfig {
@@ -854,7 +854,7 @@ mod tests {
 
     #[test]
     fn splits_replicate_via_routing_and_new_pages() {
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let mut cfg = RwNodeConfig {
             group_commit_pages: usize::MAX,
             ..RwNodeConfig::default()
@@ -896,7 +896,7 @@ mod tests {
 
     #[test]
     fn cache_eviction_respects_capacity() {
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let mut cfg = RwNodeConfig {
             group_commit_pages: usize::MAX,
             ..RwNodeConfig::default()
@@ -972,7 +972,7 @@ mod tests {
 
     #[test]
     fn ensure_seen_gives_up_after_the_virtual_deadline() {
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let rw = RwNode::new(store.clone(), RwNodeConfig::default());
         let ro = RoNode::new(
             store.clone(),
@@ -1158,7 +1158,7 @@ mod tests {
 
     #[test]
     fn sync_latency_is_recorded() {
-        let store = AppendOnlyStore::new(bg3_storage::StoreConfig::default()); // real latency
+        let store = StoreBuilder::from_config(bg3_storage::StoreConfig::default()).build(); // real latency
         let rw = RwNode::new(store.clone(), RwNodeConfig::default());
         let ro = RoNode::new(
             store,

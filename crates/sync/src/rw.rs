@@ -253,11 +253,11 @@ impl std::fmt::Debug for RwNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bg3_storage::{StoreConfig, StreamId};
+    use bg3_storage::{StoreBuilder, StoreConfig, StreamId};
 
     fn node(group_commit_pages: usize) -> RwNode {
         RwNode::new(
-            AppendOnlyStore::new(StoreConfig::counting()),
+            StoreBuilder::from_config(StoreConfig::counting()).build(),
             RwNodeConfig {
                 group_commit_pages,
                 ..RwNodeConfig::default()
@@ -309,7 +309,10 @@ mod tests {
             .tree_config
             .with_max_page_entries(4)
             .with_consolidate_threshold(2);
-        let n = RwNode::new(AppendOnlyStore::new(StoreConfig::counting()), config);
+        let n = RwNode::new(
+            StoreBuilder::from_config(StoreConfig::counting()).build(),
+            config,
+        );
         for i in 0..64u32 {
             n.put(format!("key{i:03}").as_bytes(), b"v").unwrap();
         }
@@ -353,7 +356,7 @@ mod tests {
                 .on_stream(StreamId::WAL)
                 .at_most(2),
         );
-        let store = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let store = StoreBuilder::from_config(StoreConfig::counting().with_faults(plan)).build();
         let n = RwNode::new(store.clone(), RwNodeConfig::default());
         n.put(b"k", b"v").unwrap();
         assert_eq!(n.last_lsn(), Lsn(1));
@@ -388,7 +391,7 @@ mod tests {
         let plan = FaultPlan::seeded(11).with_rule(
             FaultRule::new(FaultOp::MappingPublish, FaultKind::PublishDrop, 1.0).at_most(1),
         );
-        let store = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let store = StoreBuilder::from_config(StoreConfig::counting().with_faults(plan)).build();
         let n = RwNode::new(
             store,
             RwNodeConfig {

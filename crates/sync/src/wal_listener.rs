@@ -99,12 +99,12 @@ impl TreeEventListener for WalListener {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bg3_storage::{AppendOnlyStore, StoreConfig};
+    use bg3_storage::{StoreBuilder, StoreConfig};
     use bg3_wal::Lsn;
 
     #[test]
     fn events_become_ordered_wal_records() {
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let wal = Arc::new(WalWriter::new(store));
         let listener = WalListener::new(Arc::clone(&wal));
         listener.on_event(

@@ -81,11 +81,11 @@ mod tests {
     use super::*;
     use crate::record::WalPayload;
     use crate::writer::WalWriter;
-    use bg3_storage::{StoreConfig, StreamId};
+    use bg3_storage::{StoreBuilder, StoreConfig, StreamId};
 
     #[test]
     fn reader_sees_records_in_order_and_once() {
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let w = WalWriter::new(store);
         let mut r = w.open_reader();
         assert!(!r.has_new());
@@ -125,7 +125,7 @@ mod tests {
                 .after(2)
                 .at_most(1),
         );
-        let store = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let store = StoreBuilder::from_config(StoreConfig::counting().with_faults(plan)).build();
         let w = WalWriter::new(store);
         let mut r = w.open_reader();
         for i in 0..5u64 {
@@ -160,7 +160,7 @@ mod tests {
                 .on_stream(StreamId::WAL)
                 .at_most(1),
         );
-        let store = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let store = StoreBuilder::from_config(StoreConfig::counting().with_faults(plan)).build();
         let w = WalWriter::new(store);
         let mut r = w.open_reader();
         w.append(
@@ -180,7 +180,7 @@ mod tests {
 
     #[test]
     fn independent_readers_have_independent_positions() {
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let w = WalWriter::new(store);
         w.append(
             1,
@@ -209,7 +209,7 @@ mod tests {
 
     #[test]
     fn tailing_charges_storage_reads() {
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let w = WalWriter::new(store.clone());
         let mut r = w.open_reader();
         w.append(

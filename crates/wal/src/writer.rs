@@ -8,6 +8,7 @@ use bg3_storage::{
     StreamId, TraceKind, INITIAL_EPOCH,
 };
 use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Appends records to the WAL stream of the shared store, assigning LSNs.
@@ -34,6 +35,15 @@ pub struct WalWriter {
     /// a sealed epoch are rejected before consuming an LSN, so a zombie
     /// leader can never interleave records with its successor.
     fence: Option<EpochFence>,
+    /// How many appends may ride behind one WAL-tail fsync. `1` (the
+    /// default) syncs on every append — the durable-on-return contract.
+    /// Larger values batch fsyncs (group commit on the log tail); callers
+    /// that batch must invoke [`WalWriter::flush`] at their durability
+    /// points.
+    group_sync_every: u64,
+    /// Appends accepted since the last WAL-tail sync. Mutated only under
+    /// the `tail` lock; atomic so observers can read it without locking.
+    pending_sync: AtomicU64,
 }
 
 impl WalWriter {
@@ -46,12 +56,24 @@ impl WalWriter {
             retry: RetryPolicy::default(),
             epoch: INITIAL_EPOCH,
             fence: None,
+            group_sync_every: 1,
+            pending_sync: AtomicU64::new(0),
         }
     }
 
     /// Overrides the append retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Batches up to `every` appends behind one WAL-tail fsync (`0` is
+    /// clamped to `1`). With `every > 1`, an append returns once the store
+    /// accepted the bytes but possibly *before* they are synced; the
+    /// durability point moves to the next batch boundary or explicit
+    /// [`WalWriter::flush`].
+    pub fn with_group_sync_every(mut self, every: u64) -> Self {
+        self.group_sync_every = every.max(1);
         self
     }
 
@@ -133,6 +155,8 @@ impl WalWriter {
             retry: RetryPolicy::default(),
             epoch,
             fence: None,
+            group_sync_every: 1,
+            pending_sync: AtomicU64::new(0),
         };
         Ok((writer, records))
     }
@@ -168,11 +192,41 @@ impl WalWriter {
         self.store
             .trace()
             .emit(flushed.0, TraceKind::WalAppend, lsn.0, self.epoch);
+        // Group fsync on the log tail: sync once every
+        // `group_sync_every` appends rather than per record. Still under
+        // the tail lock, so the pending count cannot race.
+        let pending = self.pending_sync.load(Ordering::Relaxed) + 1;
+        if pending >= self.group_sync_every {
+            self.store.sync_stream(StreamId::WAL)?;
+            self.pending_sync.store(0, Ordering::Relaxed);
+        } else {
+            self.pending_sync.store(pending, Ordering::Relaxed);
+        }
         // Publish to the reader index only after the store accepted it, and
         // while still holding the tail lock so positions match LSNs.
         self.index.write().push(addr);
         *tail = lsn;
         Ok(record)
+    }
+
+    /// Forces any appends batched behind the group-fsync window down to
+    /// the backend. A no-op when nothing is pending. This is the explicit
+    /// durability point for writers configured with
+    /// [`WalWriter::with_group_sync_every`] greater than one.
+    pub fn flush(&self) -> StorageResult<()> {
+        let _tail = self.tail.lock();
+        if self.pending_sync.load(Ordering::Relaxed) == 0 {
+            return Ok(());
+        }
+        self.store.sync_stream(StreamId::WAL)?;
+        self.pending_sync.store(0, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Appends accepted since the last WAL-tail sync (0 means the log tail
+    /// is durable up to [`WalWriter::last_lsn`]).
+    pub fn pending_sync(&self) -> u64 {
+        self.pending_sync.load(Ordering::Relaxed)
     }
 
     /// LSN of the most recently appended record ([`Lsn::ZERO`] if none).
@@ -197,10 +251,10 @@ impl std::fmt::Debug for WalWriter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bg3_storage::StoreConfig;
+    use bg3_storage::{StoreBuilder, StoreConfig};
 
     fn writer() -> WalWriter {
-        WalWriter::new(AppendOnlyStore::new(StoreConfig::counting()))
+        WalWriter::new(StoreBuilder::from_config(StoreConfig::counting()).build())
     }
 
     #[test]
@@ -217,7 +271,7 @@ mod tests {
 
     #[test]
     fn records_are_durable_on_the_wal_stream() {
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let w = WalWriter::new(store.clone());
         w.append(
             3,
@@ -238,7 +292,7 @@ mod tests {
 
     #[test]
     fn recover_rebuilds_index_and_continues_lsns() {
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let w = WalWriter::new(store.clone());
         for i in 1..=4u64 {
             w.append(1, i, WalPayload::Delete { key: vec![i as u8] })
@@ -263,7 +317,7 @@ mod tests {
 
     #[test]
     fn recover_of_empty_store_starts_fresh() {
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let (w, records) = WalWriter::recover(store).unwrap();
         assert!(records.is_empty());
         assert_eq!(w.last_lsn(), Lsn::ZERO);
@@ -285,7 +339,7 @@ mod tests {
     #[test]
     fn fenced_writer_rejects_appends_after_seal() {
         use bg3_storage::EpochFence;
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let fence = EpochFence::new();
         let w = WalWriter::new(store.clone()).with_fence(fence.clone(), 1);
         assert_eq!(w.epoch(), 1);
@@ -310,7 +364,7 @@ mod tests {
     #[test]
     fn recover_adopts_the_highest_epoch_in_the_log() {
         use bg3_storage::EpochFence;
-        let store = AppendOnlyStore::new(StoreConfig::counting());
+        let store = StoreBuilder::from_config(StoreConfig::counting()).build();
         let fence = EpochFence::new();
         let w = WalWriter::new(store.clone()).with_fence(fence.clone(), 1);
         w.append(1, 1, WalPayload::Delete { key: vec![1] }).unwrap();
@@ -326,6 +380,35 @@ mod tests {
             .append(1, 2, WalPayload::Delete { key: vec![2] })
             .unwrap();
         assert_eq!(rec.epoch, 1);
+    }
+
+    #[test]
+    fn default_writer_syncs_every_append() {
+        let w = writer();
+        for i in 1..=3u64 {
+            w.append(1, i, WalPayload::Delete { key: vec![i as u8] })
+                .unwrap();
+            assert_eq!(w.pending_sync(), 0, "durable-on-return by default");
+        }
+    }
+
+    #[test]
+    fn group_sync_batches_and_flush_drains() {
+        let w = writer().with_group_sync_every(4);
+        for i in 1..=3u64 {
+            w.append(1, i, WalPayload::Delete { key: vec![i as u8] })
+                .unwrap();
+            assert_eq!(w.pending_sync(), i);
+        }
+        // The 4th append crosses the batch boundary and syncs.
+        w.append(1, 4, WalPayload::Delete { key: vec![4] }).unwrap();
+        assert_eq!(w.pending_sync(), 0);
+        // Partial batch, then an explicit flush drains it.
+        w.append(1, 5, WalPayload::Delete { key: vec![5] }).unwrap();
+        assert_eq!(w.pending_sync(), 1);
+        w.flush().unwrap();
+        assert_eq!(w.pending_sync(), 0);
+        w.flush().unwrap(); // idempotent when nothing is pending
     }
 
     #[test]

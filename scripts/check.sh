@@ -14,6 +14,12 @@ cargo fmt --all --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The storage crate carries the ExtentBackend trait surface every later PR
+# plugs into; lint it separately so a workspace-level allow can never mask
+# drift on the API seam.
+echo "==> cargo clippy -p bg3-storage (trait surface lint gate)"
+cargo clippy -p bg3-storage --all-targets -- -D warnings
+
 echo "==> cargo test --workspace (tier-1)"
 cargo test --workspace --quiet
 
@@ -28,6 +34,9 @@ RUSTFLAGS="-D warnings" cargo test --quiet --test replication_consistency \
 echo "==> frame codec proptests (round-trip + single-bit-flip detection)"
 RUSTFLAGS="-D warnings" cargo test --quiet -p bg3-storage --test frame_properties
 
+echo "==> backend conformance suite (SimBackend + FileBackend in a tempdir)"
+RUSTFLAGS="-D warnings" cargo test --quiet -p bg3-storage --test backend_conformance
+
 echo "==> cache_scaling smoke (~5s)"
 cargo run --release --quiet -p bg3-bench --bin reproduce -- cache_scaling --scale quick --threads 2
 
@@ -40,5 +49,8 @@ echo "==> scrub smoke (bit rot + torn writes + crash cycles) + metrics drift gat
 cargo run --release --quiet -p bg3-bench --bin reproduce -- scrub --cycles 2 \
     --metrics-json target/metrics-scrub-smoke.json
 cargo run --release --quiet -p bg3-bench --bin metrics_check -- target/metrics-scrub-smoke.json
+
+echo "==> disk smoke (file backend: kill+recover, on-disk bit-flip scrub; tempdir)"
+cargo run --release --quiet -p bg3-bench --bin reproduce -- disk_smoke --scale quick
 
 echo "==> all checks passed"

@@ -3,7 +3,7 @@
 
 use bg3_bwtree::tree::FlushMode;
 use bg3_bwtree::{BwTree, BwTreeConfig, WriteMode};
-use bg3_storage::{AppendOnlyStore, StoreConfig};
+use bg3_storage::{StoreBuilder, StoreConfig};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -76,7 +76,7 @@ proptest! {
     fn read_optimized_tree_matches_model(cmds in proptest::collection::vec(cmd_strategy(), 1..80)) {
         let tree = BwTree::new(
             1,
-            AppendOnlyStore::new(StoreConfig::counting()),
+            StoreBuilder::from_config(StoreConfig::counting()).build(),
             config_for(WriteMode::ReadOptimized, true),
         );
         let mut model = BTreeMap::new();
@@ -88,7 +88,7 @@ proptest! {
     fn traditional_tree_matches_model(cmds in proptest::collection::vec(cmd_strategy(), 1..80)) {
         let tree = BwTree::new(
             1,
-            AppendOnlyStore::new(StoreConfig::counting()),
+            StoreBuilder::from_config(StoreConfig::counting()).build(),
             config_for(WriteMode::Traditional, true),
         );
         let mut model = BTreeMap::new();
@@ -103,7 +103,7 @@ proptest! {
         for mode in [WriteMode::Traditional, WriteMode::ReadOptimized] {
             let tree = BwTree::new(
                 1,
-                AppendOnlyStore::new(StoreConfig::counting()),
+                StoreBuilder::from_config(StoreConfig::counting()).build(),
                 config_for(mode, false),
             );
             let mut model = BTreeMap::new();
@@ -132,7 +132,7 @@ proptest! {
     ) {
         let mut tree = BwTree::new(
             1,
-            AppendOnlyStore::new(StoreConfig::counting()),
+            StoreBuilder::from_config(StoreConfig::counting()).build(),
             config_for(WriteMode::ReadOptimized, true),
         );
         tree.set_flush_mode(FlushMode::Deferred);
@@ -149,7 +149,7 @@ proptest! {
     ) {
         let tree = BwTree::new(
             1,
-            AppendOnlyStore::new(StoreConfig::counting()),
+            StoreBuilder::from_config(StoreConfig::counting()).build(),
             config_for(WriteMode::ReadOptimized, true),
         );
         let mut model = BTreeMap::new();

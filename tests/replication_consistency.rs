@@ -2,7 +2,7 @@
 //! a follower must agree with the leader's tree after any interleaving of
 //! writes, checkpoints, polls, and cache evictions.
 
-use bg3_storage::{AppendOnlyStore, FaultKind, FaultOp, FaultPlan, FaultRule, StoreConfig};
+use bg3_storage::{FaultKind, FaultOp, FaultPlan, FaultRule, StoreBuilder, StoreConfig};
 use bg3_sync::{RoNode, RoNodeConfig, RwNode, RwNodeConfig};
 use bg3_wal::Lsn;
 use proptest::prelude::*;
@@ -27,7 +27,7 @@ fn step_strategy() -> impl Strategy<Value = Step> {
 }
 
 fn build_pair() -> (RwNode, RoNode) {
-    let store = AppendOnlyStore::new(StoreConfig::counting());
+    let store = StoreBuilder::from_config(StoreConfig::counting()).build();
     let mut config = RwNodeConfig {
         group_commit_pages: usize::MAX, // checkpoints only when scripted
         ..RwNodeConfig::default()
@@ -176,7 +176,7 @@ proptest! {
             .with_rule(
                 FaultRule::new(FaultOp::MappingPublish, FaultKind::PublishDrop, 0.6).at_most(5),
             );
-        let store = AppendOnlyStore::new(StoreConfig::counting().with_faults(plan));
+        let store = StoreBuilder::from_config(StoreConfig::counting().with_faults(plan)).build();
         let rw = RwNode::new(
             store.clone(),
             RwNodeConfig {
@@ -288,7 +288,7 @@ proptest! {
 
 #[test]
 fn two_followers_with_different_access_patterns_agree() {
-    let store = AppendOnlyStore::new(StoreConfig::counting());
+    let store = StoreBuilder::from_config(StoreConfig::counting()).build();
     let rw = RwNode::new(
         store.clone(),
         RwNodeConfig {
