@@ -1,0 +1,65 @@
+//! Criterion benchmarks of k-hop expansion: the batched (morsel-driven)
+//! executor vs the scalar per-vertex executor over a warm, checkpointed
+//! BG3 engine whose sealed pages serve CSR-packed adjacency.
+
+use bg3_core::{Bg3Config, Bg3Db, GraphEngine};
+use bg3_graph::{Edge, EdgeType, GraphStore, VertexId};
+use bg3_query::{optimize, parse, Executor, ExecutorConfig};
+use bg3_workloads::Zipf;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Durable engine, checkpointed after preload so base pages seal and the
+/// CSR pack path engages — the regime the batched sweep is built for.
+fn warm_sealed_engine() -> Bg3Db {
+    let mut config = Bg3Config::default().with_durability();
+    config.forest = config.forest.clone().with_split_out_threshold(64);
+    let db = Bg3Db::open(config);
+    let zipf = Zipf::new(4_096, 1.0);
+    let mut rng = StdRng::seed_from_u64(14);
+    for _ in 0..24_000 {
+        let src = VertexId(zipf.sample(&mut rng));
+        let dst = VertexId(zipf.sample(&mut rng));
+        db.insert_edge(&Edge::new(src, EdgeType::FOLLOW, dst))
+            .unwrap();
+    }
+    db.checkpoint().unwrap();
+    db
+}
+
+fn exec_config() -> ExecutorConfig {
+    ExecutorConfig {
+        default_fanout: 32,
+        max_traversers: 1_000_000,
+        ..ExecutorConfig::default()
+    }
+}
+
+fn bench_khop_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("khop_modes");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    let db = warm_sealed_engine();
+    let batched = Executor::new(exec_config());
+    let scalar = Executor::new(exec_config().scalar());
+    for (hops, text) in [
+        (1, "g.V(1).out(follow).count()"),
+        (2, "g.V(1).repeat(out(follow), 2).dedup().count()"),
+        (3, "g.V(1).repeat(out(follow), 3).dedup().count()"),
+    ] {
+        let plan = optimize(&parse(text).unwrap());
+        group.bench_function(format!("batched_{hops}hop"), |b| {
+            b.iter(|| batched.run_plan(&db, &plan).unwrap())
+        });
+        group.bench_function(format!("scalar_{hops}hop"), |b| {
+            b.iter(|| scalar.run_plan(&db, &plan).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_khop_modes);
+criterion_main!(benches);

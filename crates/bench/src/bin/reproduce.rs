@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [all|table1|fig8|cost|fig9|fig10|fig11|table2|fig12|fig13|fig14
-//!            |ablation|chaos|failover|scrub|cache_scaling|disk_smoke]
+//!            |ablation|chaos|failover|scrub|cache_scaling|disk_smoke|khop]
 //!           [--scale full|quick] [--json <path>] [--metrics-json <path>]
 //!           [--threads N] [--cycles N]
 //! ```
@@ -16,8 +16,8 @@
 //! histograms. `--metrics-json <path>` writes the merged
 //! [`MetricsSnapshot`](bg3_storage::MetricsSnapshot) per experiment (plus a
 //! `total` entry across all of them) for the `scripts/check.sh` drift gate.
-//! `--threads N` appends a real-OS-thread `cache_scaling` run at that
-//! thread count (wall-clock throughput over one shared engine). `--cycles
+//! `--threads N` appends real-OS-thread `cache_scaling` and `khop` runs at
+//! that thread count (wall-clock throughput over one shared engine). `--cycles
 //! N` overrides the failover and scrub experiments' crash/failover cycle
 //! counts.
 
@@ -38,6 +38,7 @@ struct Scale {
     fig14_reads: usize,
     chaos_ops: u64,
     cache_ops: usize,
+    khop_queries: usize,
     failover_cycles: usize,
     scrub_cycles: usize,
     disk_smoke_threads: usize,
@@ -56,6 +57,7 @@ const FULL: Scale = Scale {
     fig14_reads: 30_000,
     chaos_ops: 6_000,
     cache_ops: 12_000,
+    khop_queries: 1_200,
     failover_cycles: 5,
     scrub_cycles: 4,
     disk_smoke_threads: 4,
@@ -74,6 +76,7 @@ const QUICK: Scale = Scale {
     fig14_reads: 6_000,
     chaos_ops: 1_500,
     cache_ops: 2_000,
+    khop_queries: 240,
     failover_cycles: 3,
     scrub_cycles: 2,
     disk_smoke_threads: 2,
@@ -134,6 +137,7 @@ fn main() {
             "scrub",
             "cache_scaling",
             "disk_smoke",
+            "khop",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -156,13 +160,19 @@ fn main() {
         let started = Instant::now();
         let report = cache_scaling::run_threads(threads, scale.cache_ops);
         print!("{}", cache_scaling::render_threads(&report));
-        println!(
-            "[threaded run took {:.1}s]\n",
-            started.elapsed().as_secs_f64()
-        );
         results.push((
             "cache_scaling_threads".to_string(),
             serde_json::to_value(&report).unwrap(),
+        ));
+        let khop_report = khop::run_threads(threads, scale.khop_queries);
+        print!("{}", khop::render_threads(&khop_report));
+        println!(
+            "[threaded runs took {:.1}s]\n",
+            started.elapsed().as_secs_f64()
+        );
+        results.push((
+            "khop_threads".to_string(),
+            serde_json::to_value(&khop_report).unwrap(),
         ));
     }
 
@@ -298,6 +308,13 @@ fn run_one(name: &str, scale: &Scale, cycles: Option<usize>) -> (String, Value) 
             let report = cache_scaling::run(scale.cache_ops);
             (
                 cache_scaling::render(&report),
+                serde_json::to_value(&report).unwrap(),
+            )
+        }
+        "khop" => {
+            let report = khop::run(scale.khop_queries);
+            (
+                khop::render(&report),
                 serde_json::to_value(&report).unwrap(),
             )
         }

@@ -13,6 +13,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig8;
 pub mod fig9;
+pub mod khop;
 pub mod scrub;
 pub mod table1;
 pub mod table2;

@@ -26,6 +26,7 @@
 //! into WAL records for RW→RO synchronization (§3.4).
 
 pub mod config;
+pub mod csr;
 pub mod events;
 pub mod page;
 pub mod stats;
@@ -33,6 +34,7 @@ pub mod tag;
 pub mod tree;
 
 pub use config::{BwTreeConfig, WriteMode};
+pub use csr::{BatchVisitor, CsrSegment, ScanOutcome, CSR_ITEM_LEN};
 pub use events::{NullListener, RecordingListener, TreeEvent, TreeEventListener};
 pub use page::{
     decode_base_page, decode_delta, encode_base_page, encode_delta, DeltaOp, Entries,

@@ -29,6 +29,7 @@
 //!   batch. Durability before the flush is provided by the WAL.
 
 use crate::config::{BwTreeConfig, WriteMode};
+use crate::csr::{BatchVisitor, CsrCache, CsrSegment, ScanOutcome};
 use crate::events::{NullListener, TreeEvent, TreeEventListener};
 use crate::page::{
     apply_ops, decode_base_page, decode_delta, encode_base_page, encode_delta, DeltaOp, Entries,
@@ -79,6 +80,10 @@ struct PageState {
     /// Number of updates buffered since the last consolidation (Algorithm 1
     /// `old_delta.count`).
     update_count: usize,
+    /// Lazily built CSR packing of `base` (batched adjacency scans).
+    /// Dropped whenever `base` is rewritten; pending deltas don't touch it
+    /// because dirty pages are always served from the merged image.
+    csr: parking_lot::Mutex<CsrCache>,
 }
 
 impl PageState {
@@ -133,6 +138,33 @@ impl PageState {
             self.base.clone()
         } else {
             apply_ops(&self.base, &self.pending)
+        }
+    }
+
+    /// Drops the packed segment. Must be called at every site that
+    /// reassigns `base` (consolidation, split, flush, fresh install).
+    fn invalidate_csr(&self) {
+        *self.csr.lock() = CsrCache::Unbuilt;
+    }
+
+    /// The packed segment mirroring `base`, built on first use. `None`
+    /// when the page's keys don't fit the CSR layout.
+    fn csr_segment(&self) -> Option<Arc<CsrSegment>> {
+        let mut slot = self.csr.lock();
+        match &*slot {
+            CsrCache::Ready(seg) => Some(Arc::clone(seg)),
+            CsrCache::Unsupported => None,
+            CsrCache::Unbuilt => match CsrSegment::build(&self.base) {
+                Some(seg) => {
+                    let seg = Arc::new(seg);
+                    *slot = CsrCache::Ready(Arc::clone(&seg));
+                    Some(seg)
+                }
+                None => {
+                    *slot = CsrCache::Unsupported;
+                    None
+                }
+            },
         }
     }
 
@@ -402,6 +434,7 @@ impl BwTree {
             state.base = state.merged_entries();
             state.pending.clear();
             state.update_count = 0;
+            state.invalidate_csr();
             BwTreeStats::bump(&self.stats.consolidations);
         }
         inner.dirty.insert(leaf);
@@ -423,6 +456,7 @@ impl BwTree {
             // Lines 2-8: fresh page — install the value in the base page and
             // flush it.
             state.base = apply_ops(&state.base, std::slice::from_ref(&op));
+            state.invalidate_csr();
             let image = encode_base_page(&state.base);
             let addr = self.append_retrying(StreamId::BASE, &image, tag)?;
             state.base_addr = Some(addr);
@@ -449,6 +483,7 @@ impl BwTree {
             state.base = state.merged_entries();
             state.pending.clear();
             state.update_count = 0;
+            state.invalidate_csr();
             let image = encode_base_page(&state.base);
             let addr = self.append_retrying(StreamId::BASE, &image, tag)?;
             let old_base = state.base_addr.replace(addr);
@@ -528,6 +563,7 @@ impl BwTree {
 
             let state = inner.pages.get_mut(&leaf).expect("leaf exists");
             let right_entries = state.base.split_off(mid);
+            state.invalidate_csr();
             let left_image = encode_base_page(&state.base);
             let right_image = encode_base_page(&right_entries);
 
@@ -702,22 +738,115 @@ impl BwTree {
 
     /// All entries whose key starts with `prefix`, up to `limit`.
     pub fn scan_prefix(&self, prefix: &[u8], limit: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
-        let mut end = prefix.to_vec();
-        // Successor prefix; if the prefix is all 0xFF, scan to the end.
-        let mut bounded = false;
-        for i in (0..end.len()).rev() {
-            if end[i] != 0xFF {
-                end[i] += 1;
-                end.truncate(i + 1);
-                bounded = true;
-                break;
+        match prefix_end_bound(prefix) {
+            Some(end) => self.scan_range(Some(prefix), Some(&end), limit),
+            None => self.scan_range(Some(prefix), None, limit),
+        }
+    }
+
+    /// Batched prefix scan over fixed-width 8-byte item tails — the
+    /// vectorized adjacency fast path.
+    ///
+    /// `prefixes` is a list of `(caller tag, key prefix)` pairs, **sorted
+    /// by prefix bytes** so consecutive prefixes sharing a leaf page scan
+    /// that segment once (an unsorted list stays correct but forfeits the
+    /// batching win). For every entry whose key is exactly `prefix` plus
+    /// an 8-byte tail, `visit(tag, tail, value)` is called in key order;
+    /// returning `false` ends that prefix early (limit/count pushdown).
+    /// At most `per_prefix_limit` entries are emitted per prefix.
+    ///
+    /// Clean leaves are served from their packed [`CsrSegment`] — one
+    /// binary search plus a sequential run scan, no per-edge key decode;
+    /// leaves with buffered deltas pay one merge (the delta overlay).
+    pub fn scan_prefix_batch(
+        &self,
+        prefixes: &[(usize, Vec<u8>)],
+        per_prefix_limit: usize,
+        visit: &mut BatchVisitor<'_>,
+    ) -> ScanOutcome {
+        let inner = self.inner.read();
+        let mut outcome = ScanOutcome::default();
+        let mut last_leaf: Option<PageId> = None;
+        if per_prefix_limit == 0 {
+            return outcome;
+        }
+        'prefixes: for &(tag, ref prefix) in prefixes {
+            let end = prefix_end_bound(prefix);
+            let end = end.as_deref();
+            let mut emitted = 0usize;
+            // Leaf covering `prefix`, then every later leaf, visited until
+            // the leaf's largest key passes the prefix's end bound.
+            let first = inner
+                .routing
+                .range::<[u8], _>((Bound::Unbounded, Bound::Included(prefix.as_slice())))
+                .next_back()
+                .map(|(_, &id)| id);
+            let rest = inner
+                .routing
+                .range::<[u8], _>((Bound::Excluded(prefix.as_slice()), Bound::Unbounded))
+                .map(|(_, &id)| id);
+            for leaf in first.into_iter().chain(rest) {
+                let state = inner.pages.get(&leaf).expect("routed page exists");
+                if last_leaf != Some(leaf) {
+                    outcome.segments_scanned += 1;
+                    last_leaf = Some(leaf);
+                }
+                let mut leaf_max_reached_end = false;
+                if state.pending.is_empty() {
+                    if let Some(seg) = state.csr_segment() {
+                        outcome.csr_hits += 1;
+                        if let Some(run) = seg.run(prefix) {
+                            for i in run {
+                                if emitted == per_prefix_limit {
+                                    continue 'prefixes;
+                                }
+                                let tail = seg.neighbor(i).to_be_bytes();
+                                let props = seg.props(i);
+                                outcome.bytes_scanned += 8 + props.len() as u64;
+                                emitted += 1;
+                                if !visit(tag, &tail, props) {
+                                    continue 'prefixes;
+                                }
+                            }
+                        }
+                        leaf_max_reached_end = match end {
+                            Some(e) => seg.max_key() >= e,
+                            None => false,
+                        };
+                        if leaf_max_reached_end {
+                            continue 'prefixes;
+                        }
+                        continue;
+                    }
+                }
+                // Fallback: dirty page (delta overlay) or unsupported keys —
+                // scan the merged image.
+                let merged = state.merged_entries();
+                let begin = merged.partition_point(|(k, _)| k.as_slice() < prefix.as_slice());
+                for (k, v) in &merged[begin..] {
+                    if let Some(e) = end {
+                        if k.as_slice() >= e {
+                            leaf_max_reached_end = true;
+                            break;
+                        }
+                    }
+                    outcome.bytes_scanned += (k.len() + v.len()) as u64;
+                    if k.len() == prefix.len() + 8 {
+                        if emitted == per_prefix_limit {
+                            continue 'prefixes;
+                        }
+                        emitted += 1;
+                        if !visit(tag, &k[prefix.len()..], v) {
+                            continue 'prefixes;
+                        }
+                    }
+                }
+                if leaf_max_reached_end {
+                    continue 'prefixes;
+                }
             }
         }
-        if bounded {
-            self.scan_range(Some(prefix), Some(&end), limit)
-        } else {
-            self.scan_range(Some(prefix), None, limit)
-        }
+        outcome
     }
 
     /// Total number of live entries. O(1): maintained by the write paths.
@@ -793,6 +922,7 @@ impl BwTree {
         state.base = state.merged_entries();
         state.pending.clear();
         state.update_count = 0;
+        state.invalidate_csr();
         let image = encode_base_page(&state.base);
         let addr = self.append_retrying(StreamId::BASE, &image, tag)?;
         let state = inner.pages.get_mut(&page).expect("dirty page exists");
@@ -878,6 +1008,21 @@ impl BwTree {
     pub fn store(&self) -> &AppendOnlyStore {
         &self.store
     }
+}
+
+/// The exclusive upper bound of the key range sharing `prefix`: the
+/// successor prefix, or `None` when the prefix is empty or all `0xFF`
+/// (scan to the end of the tree).
+fn prefix_end_bound(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut end = prefix.to_vec();
+    for i in (0..end.len()).rev() {
+        if end[i] != 0xFF {
+            end[i] += 1;
+            end.truncate(i + 1);
+            return Some(end);
+        }
+    }
+    None
 }
 
 impl std::fmt::Debug for BwTree {
@@ -1096,6 +1241,154 @@ mod tests {
         let hits = t.scan_prefix(&[0xFF, 0xFF], usize::MAX);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].1, b"a".to_vec());
+    }
+
+    /// Composite-ish edge key: 2-byte group tag + 8-byte big-endian dst.
+    fn edge_key(group: u16, dst: u64) -> Vec<u8> {
+        let mut k = group.to_be_bytes().to_vec();
+        k.extend_from_slice(&dst.to_be_bytes());
+        k
+    }
+
+    fn collect_batch(t: &BwTree, prefixes: &[(usize, Vec<u8>)], limit: usize) -> Vec<(usize, u64)> {
+        let mut out = Vec::new();
+        t.scan_prefix_batch(prefixes, limit, &mut |tag, tail, _| {
+            out.push((tag, u64::from_be_bytes(tail.try_into().unwrap())));
+            true
+        });
+        out
+    }
+
+    #[test]
+    fn batch_scan_matches_per_prefix_scans() {
+        let t = tree_with(
+            BwTreeConfig::default()
+                .with_max_page_entries(8)
+                .with_consolidate_threshold(3),
+        );
+        for g in 0..6u16 {
+            for d in 0..7u64 {
+                t.put(&edge_key(g, d * 11), &[g as u8, d as u8]).unwrap();
+            }
+        }
+        let prefixes: Vec<(usize, Vec<u8>)> = (0..6u16)
+            .map(|g| (g as usize, g.to_be_bytes().to_vec()))
+            .collect();
+        let got = collect_batch(&t, &prefixes, usize::MAX);
+        let mut want = Vec::new();
+        for (tag, p) in &prefixes {
+            for (k, _) in t.scan_prefix(p, usize::MAX) {
+                want.push((*tag, u64::from_be_bytes(k[2..].try_into().unwrap())));
+            }
+        }
+        assert_eq!(got, want, "batched ≡ per-prefix, in key order");
+    }
+
+    #[test]
+    fn batch_scan_sees_pending_deltas_and_survives_consolidation() {
+        // Threshold high enough that deltas stay pending (dirty overlay).
+        let t = tree_with(BwTreeConfig::default().with_consolidate_threshold(100));
+        t.put(&edge_key(1, 5), b"old").unwrap();
+        t.put(&edge_key(1, 9), b"x").unwrap();
+        t.put(&edge_key(1, 5), b"new").unwrap();
+        t.delete(&edge_key(1, 9)).unwrap();
+        let mut seen = Vec::new();
+        let outcome = t.scan_prefix_batch(
+            &[(0, 1u16.to_be_bytes().to_vec())],
+            usize::MAX,
+            &mut |_, tail, v| {
+                seen.push((u64::from_be_bytes(tail.try_into().unwrap()), v.to_vec()));
+                true
+            },
+        );
+        assert_eq!(seen, vec![(5, b"new".to_vec())], "overlay applied");
+        assert_eq!(outcome.csr_hits, 0, "dirty page: merged-image fallback");
+
+        // Consolidate (threshold 1: the third write merges the chain into a
+        // fresh base), then the CSR path serves the same answer.
+        let t2 = tree_with(BwTreeConfig::default().with_consolidate_threshold(1));
+        for (d, v) in [(5u64, b"new".as_slice()), (7, b"x"), (9, b"y")] {
+            t2.put(&edge_key(1, d), v).unwrap();
+        }
+        let got = collect_batch(&t2, &[(0, 1u16.to_be_bytes().to_vec())], usize::MAX);
+        assert_eq!(got, vec![(0, 5), (0, 7), (0, 9)]);
+        let outcome =
+            t2.scan_prefix_batch(&[(0, 1u16.to_be_bytes().to_vec())], 10, &mut |_, _, _| true);
+        assert!(outcome.csr_hits > 0, "clean page: CSR fast path");
+    }
+
+    #[test]
+    fn batch_scan_counts_shared_segments_once() {
+        // One page (no splits): N prefixes over the same leaf must count
+        // one segment, while N separate calls count N.
+        let t = tree_with(BwTreeConfig::default().with_max_page_entries(10_000));
+        for g in 0..20u16 {
+            t.put(&edge_key(g, 1), b"v").unwrap();
+        }
+        assert_eq!(t.page_count(), 1);
+        let prefixes: Vec<(usize, Vec<u8>)> = (0..20u16)
+            .map(|g| (g as usize, g.to_be_bytes().to_vec()))
+            .collect();
+        let batched = t.scan_prefix_batch(&prefixes, usize::MAX, &mut |_, _, _| true);
+        assert_eq!(batched.segments_scanned, 1);
+        let mut scalar = ScanOutcome::default();
+        for p in &prefixes {
+            scalar.absorb(t.scan_prefix_batch(
+                std::slice::from_ref(p),
+                usize::MAX,
+                &mut |_, _, _| true,
+            ));
+        }
+        assert_eq!(scalar.segments_scanned, 20);
+    }
+
+    #[test]
+    fn batch_scan_limit_and_early_stop() {
+        let t = tree_with(BwTreeConfig::default().with_consolidate_threshold(0));
+        for d in 0..10u64 {
+            t.put(&edge_key(3, d), b"v").unwrap();
+        }
+        let got = collect_batch(&t, &[(7, 3u16.to_be_bytes().to_vec())], 4);
+        assert_eq!(got, vec![(7, 0), (7, 1), (7, 2), (7, 3)]);
+        // Visitor returning false stops the prefix.
+        let mut n = 0;
+        t.scan_prefix_batch(
+            &[(0, 3u16.to_be_bytes().to_vec())],
+            usize::MAX,
+            &mut |_, _, _| {
+                n += 1;
+                n < 2
+            },
+        );
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn batch_scan_spans_page_splits() {
+        let t = tree_with(
+            BwTreeConfig::default()
+                .with_max_page_entries(4)
+                .with_consolidate_threshold(2),
+        );
+        for d in 0..40u64 {
+            t.put(&edge_key(9, d), b"v").unwrap();
+        }
+        assert!(t.page_count() > 1, "group spans several leaves");
+        let got = collect_batch(&t, &[(0, 9u16.to_be_bytes().to_vec())], usize::MAX);
+        assert_eq!(got.len(), 40);
+        assert!(got.windows(2).all(|w| w[0].1 < w[1].1), "key order");
+    }
+
+    #[test]
+    fn empty_prefix_batch_scans_bare_item_tree() {
+        // Dedicated trees store bare 8-byte items; the empty prefix scans
+        // them all through the CSR path.
+        let t = tree_with(BwTreeConfig::default().with_consolidate_threshold(0));
+        for d in [3u64, 1, 7] {
+            t.put(&d.to_be_bytes(), b"v").unwrap();
+        }
+        let got = collect_batch(&t, &[(0, Vec::new())], usize::MAX);
+        assert_eq!(got, vec![(0, 1), (0, 3), (0, 7)]);
     }
 
     #[test]

@@ -626,12 +626,51 @@ impl GraphStore for Bg3Db {
         etype: EdgeType,
         limit: usize,
     ) -> StorageResult<Vec<(VertexId, Vec<u8>)>> {
-        Ok(self
+        // Routed through the batched sweep with a one-element frontier so
+        // scalar and batched expansion share one scan path (and one set of
+        // scan-cost metrics); a singleton batch still benefits from the
+        // packed CSR run lookup on sealed pages.
+        let groups = [(0usize, edge_group(src, etype))];
+        let mut out = Vec::new();
+        let outcome = self
             .forest
-            .scan_group(&edge_group(src, etype), limit)
-            .into_iter()
-            .filter_map(|(item, props)| decode_dst(&item).map(|dst| (dst, props)))
-            .collect())
+            .scan_groups(&groups, limit, &mut |_, item, props| {
+                if let Some(dst) = decode_dst(item) {
+                    out.push((dst, props.to_vec()));
+                }
+                true
+            });
+        self.store
+            .stats()
+            .record_adjacency_scan(outcome.bytes_scanned, outcome.segments_scanned);
+        Ok(out)
+    }
+
+    fn neighbors_batch(
+        &self,
+        srcs: &[VertexId],
+        etype: EdgeType,
+        per_src_limit: usize,
+        sink: &mut dyn bg3_graph::NeighborSink,
+    ) -> StorageResult<()> {
+        let groups: Vec<(usize, Vec<u8>)> = srcs
+            .iter()
+            .enumerate()
+            .map(|(i, &src)| (i, edge_group(src, etype)))
+            .collect();
+        let outcome =
+            self.forest.scan_groups(
+                &groups,
+                per_src_limit,
+                &mut |tag, item, props| match decode_dst(item) {
+                    Some(dst) => sink.visit(tag, dst, props),
+                    None => true,
+                },
+            );
+        self.store
+            .stats()
+            .record_adjacency_scan(outcome.bytes_scanned, outcome.segments_scanned);
+        Ok(())
     }
 
     fn insert_vertex(&self, vertex: &Vertex) -> StorageResult<()> {
@@ -659,6 +698,68 @@ mod tests {
 
     fn db() -> Bg3Db {
         Bg3Db::new(Bg3Config::default())
+    }
+
+    #[test]
+    fn neighbors_batch_matches_scalar_and_records_scan_metrics() {
+        let mut config = Bg3Config::default();
+        config.forest.split_out_threshold = 8;
+        let db = Bg3Db::new(config);
+        // Vertex 1 is a whale that splits out into a dedicated tree;
+        // vertices 2..=5 stay INIT-resident, vertex 6 has no edges.
+        for dst in 1..=20u64 {
+            db.insert_edge(&Edge::new(
+                VertexId(1),
+                EdgeType::FOLLOW,
+                VertexId(100 + dst),
+            ))
+            .unwrap();
+        }
+        for src in 2..=5u64 {
+            for dst in 0..4u64 {
+                db.insert_edge(&Edge::new(
+                    VertexId(src),
+                    EdgeType::FOLLOW,
+                    VertexId(10 * src + dst),
+                ))
+                .unwrap();
+            }
+        }
+        struct Collect(Vec<Vec<VertexId>>);
+        impl bg3_graph::NeighborSink for Collect {
+            fn visit(&mut self, src_idx: usize, dst: VertexId, _props: &[u8]) -> bool {
+                self.0[src_idx].push(dst);
+                true
+            }
+        }
+        let srcs: Vec<VertexId> = (1..=6u64).map(VertexId).collect();
+        let mut sink = Collect(vec![Vec::new(); srcs.len()]);
+        db.neighbors_batch(&srcs, EdgeType::FOLLOW, usize::MAX, &mut sink)
+            .unwrap();
+        for (i, &src) in srcs.iter().enumerate() {
+            let want: Vec<VertexId> = db
+                .neighbors(src, EdgeType::FOLLOW, usize::MAX)
+                .unwrap()
+                .into_iter()
+                .map(|(d, _)| d)
+                .collect();
+            assert_eq!(sink.0[i], want, "src {src:?}");
+        }
+        let metrics = db.store().metrics_snapshot();
+        assert!(
+            metrics
+                .counter(bg3_obs::names::QUERY_SCAN_BYTES_TOTAL)
+                .unwrap()
+                > 0,
+            "batched scan should account scanned bytes"
+        );
+        assert!(
+            metrics
+                .counter(bg3_obs::names::QUERY_CSR_SEGMENTS_SCANNED_TOTAL)
+                .unwrap()
+                > 0,
+            "batched scan should count leaf segments"
+        );
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! The forest itself.
 
 use crate::keys::{composite_key, decode_composite, group_prefix};
-use bg3_bwtree::{BwTree, BwTreeConfig, Entries, TreeEvent, TreeEventListener};
+use bg3_bwtree::{
+    BatchVisitor, BwTree, BwTreeConfig, Entries, ScanOutcome, TreeEvent, TreeEventListener,
+};
 use bg3_storage::{AppendOnlyStore, CrashPoint, CrashSwitch, StorageResult, TraceKind};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -399,6 +401,67 @@ impl BwTreeForest {
         }
     }
 
+    /// Batched adjacency scan over many groups at once — the vectorized
+    /// fast path behind frontier expansion.
+    ///
+    /// `groups` is a list of `(caller tag, group bytes)` pairs. For every
+    /// edge of each group whose item is a fixed 8-byte tail (the graph
+    /// layer's big-endian `dst` encoding), `visit(tag, item, value)` is
+    /// called in item order; returning `false` ends that group early. At
+    /// most `per_group_limit` edges are emitted per group. Items of any
+    /// other width are skipped — this entry point exists for the edge
+    /// encoding, not for arbitrary forest values.
+    ///
+    /// Groups resident in the INIT tree are sorted by composite prefix and
+    /// scanned in **one** batched pass, so groups sharing a leaf page
+    /// touch that segment once (see [`ScanOutcome::segments_scanned`]);
+    /// requests that repeat the same split-out group are coalesced into a
+    /// single batched scan of its dedicated tree. Sealed pages are
+    /// served from their packed CSR segments; pages with buffered deltas
+    /// pay one merge.
+    pub fn scan_groups(
+        &self,
+        groups: &[(usize, Vec<u8>)],
+        per_group_limit: usize,
+        visit: &mut BatchVisitor<'_>,
+    ) -> ScanOutcome {
+        let mut outcome = ScanOutcome::default();
+        let mut init_resident: Vec<(usize, Vec<u8>)> = Vec::new();
+        // Frontier batches routinely repeat hot groups (power-law graphs
+        // revisit the same whales every hop), so requests against the same
+        // dedicated tree are coalesced into one batched scan: the tree's
+        // leaves are walked once and each requesting tag replays from the
+        // shared segment instead of re-scanning it.
+        type DedicatedBatch<'a> = BTreeMap<&'a [u8], (Arc<BwTree>, Vec<(usize, Vec<u8>)>)>;
+        let mut dedicated: DedicatedBatch<'_> = BTreeMap::new();
+        for &(tag, ref group) in groups {
+            match self.dedicated_tree(group) {
+                Some(tree) => {
+                    dedicated
+                        .entry(group.as_slice())
+                        .or_insert_with(|| (tree, Vec::new()))
+                        .1
+                        .push((tag, Vec::new()));
+                }
+                None => init_resident.push((tag, group_prefix(group))),
+            }
+        }
+        for (_, (tree, requests)) in dedicated {
+            outcome.absorb(tree.scan_prefix_batch(&requests, per_group_limit, visit));
+        }
+        if !init_resident.is_empty() {
+            // Composite prefixes sort exactly like their groups (the
+            // length prefix keeps groups from interleaving), so one sorted
+            // pass walks the INIT tree's leaves monotonically.
+            init_resident.sort_by(|a, b| a.1.cmp(&b.1));
+            outcome.absorb(
+                self.init
+                    .scan_prefix_batch(&init_resident, per_group_limit, visit),
+            );
+        }
+        outcome
+    }
+
     /// Number of edges stored for `group`.
     pub fn group_len(&self, group: &[u8]) -> usize {
         match self.dedicated_tree(group) {
@@ -646,6 +709,52 @@ mod tests {
         }
         assert!(f2.dedicated_tree(b"u").is_some());
         assert_eq!(f2.scan_group(b"u", usize::MAX), scan);
+    }
+
+    #[test]
+    fn scan_groups_matches_scan_group_across_tiers() {
+        // 8-byte items (the edge encoding): "whale" splits out, the rest
+        // stay in INIT; one batched call must agree with per-group scans.
+        let f = forest(6);
+        for d in 0..10u64 {
+            f.put(b"whale", &d.to_be_bytes(), b"W").unwrap();
+        }
+        for u in 0..5u32 {
+            let group = format!("user{u}");
+            for d in 0..3u64 {
+                f.put(group.as_bytes(), &(d * 7).to_be_bytes(), b"v")
+                    .unwrap();
+            }
+        }
+        assert!(f.dedicated_tree(b"whale").is_some());
+        let mut groups: Vec<(usize, Vec<u8>)> = vec![(0, b"whale".to_vec())];
+        for u in 0..5u32 {
+            groups.push((1 + u as usize, format!("user{u}").into_bytes()));
+        }
+        let mut got: Vec<Vec<(u64, Vec<u8>)>> = vec![Vec::new(); groups.len()];
+        let outcome = f.scan_groups(&groups, usize::MAX, &mut |tag, item, value| {
+            got[tag].push((u64::from_be_bytes(item.try_into().unwrap()), value.to_vec()));
+            true
+        });
+        for (tag, group) in &groups {
+            let want: Vec<(u64, Vec<u8>)> = f
+                .scan_group(group, usize::MAX)
+                .into_iter()
+                .map(|(k, v)| (u64::from_be_bytes(k.as_slice().try_into().unwrap()), v))
+                .collect();
+            assert_eq!(got[*tag], want, "group {tag} agrees with scan_group");
+        }
+        // Five INIT-resident groups share one small tree: far fewer
+        // segments than groups.
+        assert!(outcome.segments_scanned < groups.len() as u64 + 1);
+
+        // Per-group limit caps each group independently.
+        let mut counts = vec![0usize; groups.len()];
+        f.scan_groups(&groups, 2, &mut |tag, _, _| {
+            counts[tag] += 1;
+            true
+        });
+        assert_eq!(counts, vec![2, 2, 2, 2, 2, 2]);
     }
 
     #[test]

@@ -23,5 +23,6 @@
 pub mod forest;
 pub mod keys;
 
+pub use bg3_bwtree::{BatchVisitor, ScanOutcome};
 pub use forest::{BwTreeForest, ForestConfig, ForestStatsSnapshot, INIT_TREE_ID};
 pub use keys::{composite_key, decode_composite, group_prefix};

@@ -33,5 +33,5 @@ pub use memgraph::MemGraph;
 pub use model::{Edge, EdgeType, PropertyValue, Vertex, VertexId};
 pub use pattern::{CycleQuery, Pattern, PatternEdge, PatternMatcher};
 pub use props::PropertyList;
-pub use store::GraphStore;
+pub use store::{GraphStore, NeighborSink};
 pub use traverse::{k_hop_neighbors, one_hop, HopSpec};

@@ -3,6 +3,19 @@
 use crate::model::{Edge, EdgeType, Vertex, VertexId};
 use bg3_storage::StorageResult;
 
+/// Receives the edges of a batched frontier expansion, one visit per
+/// edge, without any per-call `Vec` allocation.
+///
+/// `src_idx` is the index of the source vertex in the `srcs` slice passed
+/// to [`GraphStore::neighbors_batch`]; within one source, edges arrive in
+/// destination order. Returning `false` stops further edges of that
+/// source (limit/count pushdown); other sources still run.
+pub trait NeighborSink {
+    /// One edge of the expansion. Returns whether to keep scanning this
+    /// source's adjacency list.
+    fn visit(&mut self, src_idx: usize, dst: VertexId, props: &[u8]) -> bool;
+}
+
 /// Backend-neutral property-graph storage.
 ///
 /// Implementations in this workspace:
@@ -42,6 +55,34 @@ pub trait GraphStore: Send + Sync {
         Ok(self.neighbors(src, etype, usize::MAX)?.len())
     }
 
+    /// Enumerates up to `per_src_limit` out-neighbors of **each** vertex
+    /// in `srcs` along `etype`, streaming every edge into `sink` instead
+    /// of materializing per-source `Vec`s — the frontier-batch API behind
+    /// morsel-driven expansion.
+    ///
+    /// Within one source, edges arrive in destination order; across
+    /// sources the interleaving is implementation-defined (callers
+    /// address results through `src_idx`). The default implementation
+    /// loops over [`GraphStore::neighbors`]; engines with a batched scan
+    /// path (BG3's sorted sweep over packed CSR segments) override it so
+    /// sources sharing a sealed segment scan it once.
+    fn neighbors_batch(
+        &self,
+        srcs: &[VertexId],
+        etype: EdgeType,
+        per_src_limit: usize,
+        sink: &mut dyn NeighborSink,
+    ) -> StorageResult<()> {
+        for (i, &src) in srcs.iter().enumerate() {
+            for (dst, props) in self.neighbors(src, etype, per_src_limit)? {
+                if !sink.visit(i, dst, &props) {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Inserts (or overwrites) a vertex.
     fn insert_vertex(&self, vertex: &Vertex) -> StorageResult<()>;
 
@@ -56,6 +97,35 @@ mod tests {
 
     // The trait's default `degree` is exercised through MemGraph here; the
     // engine-specific implementations get their own integration tests.
+    #[test]
+    fn neighbors_batch_default_matches_neighbors() {
+        let g = MemGraph::new();
+        for (s, d) in [(1u64, 2u64), (1, 3), (2, 3), (2, 4), (3, 1)] {
+            g.insert_edge(&Edge::new(VertexId(s), EdgeType::FOLLOW, VertexId(d)))
+                .unwrap();
+        }
+        struct Collect(Vec<Vec<VertexId>>);
+        impl NeighborSink for Collect {
+            fn visit(&mut self, src_idx: usize, dst: VertexId, _props: &[u8]) -> bool {
+                self.0[src_idx].push(dst);
+                true
+            }
+        }
+        let srcs = [VertexId(1), VertexId(2), VertexId(3), VertexId(9)];
+        let mut sink = Collect(vec![Vec::new(); srcs.len()]);
+        g.neighbors_batch(&srcs, EdgeType::FOLLOW, usize::MAX, &mut sink)
+            .unwrap();
+        for (i, &src) in srcs.iter().enumerate() {
+            let want: Vec<VertexId> = g
+                .neighbors(src, EdgeType::FOLLOW, usize::MAX)
+                .unwrap()
+                .into_iter()
+                .map(|(d, _)| d)
+                .collect();
+            assert_eq!(sink.0[i], want);
+        }
+    }
+
     #[test]
     fn degree_default_counts_neighbors() {
         let g = MemGraph::new();

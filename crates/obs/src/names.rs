@@ -71,6 +71,14 @@ pub const BACKEND_SYNCS_TOTAL: &str = "backend_syncs_total";
 pub const BACKEND_SEALS_TOTAL: &str = "backend_seals_total";
 /// Extent backing objects deleted (reclaim/expiry/repair).
 pub const BACKEND_DELETES_TOTAL: &str = "backend_deletes_total";
+/// Bytes scanned by batched adjacency reads (CSR fast path + fallback).
+pub const QUERY_SCAN_BYTES_TOTAL: &str = "query_scan_bytes_total";
+/// Distinct sealed segments (leaf pages) touched by batched adjacency
+/// scans — the denominator of the "scan once per hop" claim.
+pub const QUERY_CSR_SEGMENTS_SCANNED_TOTAL: &str = "query_csr_segments_scanned_total";
+/// Expand steps whose count/dedup terminal was pushed into the scan, so
+/// no traversers were materialized.
+pub const QUERY_PUSHDOWN_HITS_TOTAL: &str = "query_pushdown_hits_total";
 
 /// Bytes moved by the most recent reclaimer cycle (gauge).
 pub const GC_LAST_CYCLE_MOVED_BYTES: &str = "gc_last_cycle_moved_bytes";
@@ -89,6 +97,10 @@ pub const GC_MOVE_LATENCY_NS: &str = "gc_move_latency_ns";
 pub const PROMOTION_LATENCY_NS: &str = "promotion_latency_ns";
 /// Virtual-time latency of one scrubber cycle (verify + repair; ns).
 pub const SCRUB_CYCLE_LATENCY_NS: &str = "scrub_cycle_latency_ns";
+/// Frontier sizes fed to batched expansion. A *size* histogram, not a
+/// latency one — the single exception to the `_latency_ns` convention,
+/// recorded in vertices rather than nanoseconds.
+pub const QUERY_FRONTIER_LEN: &str = "query_frontier_len";
 
 /// Counters every store registers up front; the check.sh drift gate
 /// requires all of these in `--metrics-json` output.
@@ -122,6 +134,9 @@ pub const REQUIRED_COUNTERS: &[&str] = &[
     BACKEND_SYNCS_TOTAL,
     BACKEND_SEALS_TOTAL,
     BACKEND_DELETES_TOTAL,
+    QUERY_SCAN_BYTES_TOTAL,
+    QUERY_CSR_SEGMENTS_SCANNED_TOTAL,
+    QUERY_PUSHDOWN_HITS_TOTAL,
 ];
 
 /// Histograms every store registers up front; also enforced by the gate,
@@ -134,4 +149,5 @@ pub const REQUIRED_HISTOGRAMS: &[&str] = &[
     MAPPING_PUBLISH_LATENCY_NS,
     PROMOTION_LATENCY_NS,
     SCRUB_CYCLE_LATENCY_NS,
+    QUERY_FRONTIER_LEN,
 ];

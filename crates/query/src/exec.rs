@@ -1,11 +1,28 @@
 //! Plan execution over any [`GraphStore`].
+//!
+//! Expansion runs in one of two modes:
+//!
+//! * **Batched (default)** — morsel-driven: each `Expand` step gathers the
+//!   whole frontier's neighbor lists through one
+//!   [`GraphStore::neighbors_batch`] sweep per direction, so engines with a
+//!   sorted batched scan path (BG3's packed CSR segments) touch each
+//!   sealed page once per hop instead of once per frontier vertex. Plans
+//!   ending in `count()` (optionally through `dedup()`) additionally push
+//!   the aggregation into the expansion and never materialize traversers.
+//! * **Scalar** — the per-vertex baseline: one [`GraphStore::neighbors`]
+//!   call per traverser per direction.
+//!
+//! Both modes produce identical results in identical order (the
+//! `query_equivalence` proptest holds them to that).
 
 use crate::ast::Query;
 use crate::error::QueryError;
 use crate::plan::{optimize, Dir, Plan, PlannedStep};
 use crate::reverse_etype;
-use bg3_graph::{GraphStore, VertexId};
+use bg3_graph::{EdgeType, GraphStore, NeighborSink, VertexId};
+use bg3_obs::{names, Counter, Histogram, MetricRegistry};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Execution knobs.
 #[derive(Debug, Clone)]
@@ -16,6 +33,14 @@ pub struct ExecutorConfig {
     /// Hard cap on live traversers; exceeding it aborts the query rather
     /// than melting the node.
     pub max_traversers: usize,
+    /// Batched (morsel-driven) expansion vs the scalar per-vertex path.
+    /// Results are identical; batching trades per-call overhead for shared
+    /// page scans and enables count/dedup pushdown.
+    pub batch: bool,
+    /// Registry receiving executor metrics (`query_frontier_len`,
+    /// `query_pushdown_hits_total`). Pass the store's registry to merge
+    /// them with the engine's I/O counters.
+    pub metrics: Option<MetricRegistry>,
 }
 
 impl Default for ExecutorConfig {
@@ -23,7 +48,23 @@ impl Default for ExecutorConfig {
         ExecutorConfig {
             default_fanout: 100,
             max_traversers: 100_000,
+            batch: true,
+            metrics: None,
         }
+    }
+}
+
+impl ExecutorConfig {
+    /// Switches to the scalar per-vertex expansion path.
+    pub fn scalar(mut self) -> Self {
+        self.batch = false;
+        self
+    }
+
+    /// Attaches a metrics registry.
+    pub fn with_metrics(mut self, registry: MetricRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
     }
 }
 
@@ -40,28 +81,147 @@ pub enum QueryResult {
     Paths(Vec<Vec<VertexId>>),
 }
 
-/// One in-flight traverser: its path from source to head.
+/// One link in a traverser's provenance chain. Children share their
+/// parent's chain through `Arc` instead of cloning the whole path per
+/// emitted traverser; chains are built at all only when the plan
+/// terminates in `path()`.
+#[derive(Debug)]
+struct PathNode {
+    vertex: VertexId,
+    prev: Option<Arc<PathNode>>,
+}
+
+/// One in-flight traverser: its head vertex, plus (only when the plan asks
+/// for `path()`) a shared link chain back to its source.
 #[derive(Debug, Clone)]
 struct Traverser {
-    path: Vec<VertexId>,
+    head: VertexId,
+    trail: Option<Arc<PathNode>>,
 }
 
 impl Traverser {
-    fn head(&self) -> VertexId {
-        *self.path.last().expect("traversers are never empty")
+    fn source(id: VertexId, need_paths: bool) -> Self {
+        Traverser {
+            head: id,
+            trail: need_paths.then(|| {
+                Arc::new(PathNode {
+                    vertex: id,
+                    prev: None,
+                })
+            }),
+        }
+    }
+
+    /// A child traverser at `dst`, sharing this traverser's trail.
+    fn step_to(&self, dst: VertexId) -> Self {
+        Traverser {
+            head: dst,
+            trail: self.trail.as_ref().map(|t| {
+                Arc::new(PathNode {
+                    vertex: dst,
+                    prev: Some(Arc::clone(t)),
+                })
+            }),
+        }
+    }
+
+    /// Source-to-head path, reconstructed from the trail chain.
+    fn full_path(&self) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        let mut node = self.trail.as_deref();
+        while let Some(n) = node {
+            out.push(n.vertex);
+            node = n.prev.as_deref();
+        }
+        if out.is_empty() {
+            out.push(self.head);
+        }
+        out.reverse();
+        out
     }
 }
 
+/// Collects batched expansion results per frontier slot (destination ids
+/// only — expansion ignores edge properties).
+struct Gather {
+    lists: Vec<Vec<VertexId>>,
+}
+
+impl NeighborSink for Gather {
+    fn visit(&mut self, src_idx: usize, dst: VertexId, _props: &[u8]) -> bool {
+        self.lists[src_idx].push(dst);
+        true
+    }
+}
+
+fn gather(
+    store: &dyn GraphStore,
+    heads: &[VertexId],
+    etype: EdgeType,
+    fanout: usize,
+) -> Result<Vec<Vec<VertexId>>, QueryError> {
+    let mut sink = Gather {
+        lists: vec![Vec::new(); heads.len()],
+    };
+    store.neighbors_batch(heads, etype, fanout, &mut sink)?;
+    Ok(sink.lists)
+}
+
+/// Feeds `visit` one traverser's merged neighbor list in scalar order:
+/// out-neighbors first, then in-neighbors not already emitted (`both`
+/// semantics, deduplicated through a hash set). Stops when `visit`
+/// returns `false`.
+fn merged_neighbors(
+    dir: Dir,
+    out: &[VertexId],
+    inn: &[VertexId],
+    visit: &mut impl FnMut(VertexId) -> bool,
+) {
+    let mut seen: HashSet<VertexId> = match dir {
+        Dir::Both => out.iter().copied().collect(),
+        Dir::Out | Dir::In => HashSet::new(),
+    };
+    for &n in out {
+        if !visit(n) {
+            return;
+        }
+    }
+    for &n in inn {
+        if matches!(dir, Dir::Both) && !seen.insert(n) {
+            continue;
+        }
+        if !visit(n) {
+            return;
+        }
+    }
+}
+
+/// Resolved handles for the executor's own metrics.
+struct QueryMetrics {
+    frontier_len: Histogram,
+    pushdown_hits: Counter,
+}
+
 /// Executes plans against a graph store.
-#[derive(Default)]
 pub struct Executor {
     config: ExecutorConfig,
+    metrics: Option<QueryMetrics>,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new(ExecutorConfig::default())
+    }
 }
 
 impl Executor {
     /// Creates an executor with explicit limits.
     pub fn new(config: ExecutorConfig) -> Self {
-        Executor { config }
+        let metrics = config.metrics.as_ref().map(|registry| QueryMetrics {
+            frontier_len: registry.histogram(names::QUERY_FRONTIER_LEN),
+            pushdown_hits: registry.counter(names::QUERY_PUSHDOWN_HITS_TOTAL),
+        });
+        Executor { config, metrics }
     }
 
     /// Parses, optimizes, and runs a textual query.
@@ -78,58 +238,43 @@ impl Executor {
 
     /// Runs an already-optimized plan.
     pub fn run_plan(&self, store: &dyn GraphStore, plan: &Plan) -> Result<QueryResult, QueryError> {
+        let need_paths = plan.steps.iter().any(|s| matches!(s, PlannedStep::Path));
         let mut traversers: Vec<Traverser> = Vec::new();
-        for step in &plan.steps {
+        for (i, step) in plan.steps.iter().enumerate() {
             match step {
                 PlannedStep::Source(ids) => {
-                    traversers = ids.iter().map(|&id| Traverser { path: vec![id] }).collect();
+                    traversers = ids
+                        .iter()
+                        .map(|&id| Traverser::source(id, need_paths))
+                        .collect();
                 }
                 PlannedStep::Expand { etype, dir, bound } => {
-                    let cap = bound.unwrap_or(usize::MAX);
-                    let fanout = self.config.default_fanout.min(cap);
-                    let mut next = Vec::new();
-                    'expand: for t in &traversers {
-                        // Gather this traverser's neighbor set, per direction,
-                        // deduplicated for `both`.
-                        let mut nbrs: Vec<VertexId> = Vec::new();
-                        if matches!(dir, Dir::Out | Dir::Both) {
-                            nbrs.extend(
-                                store
-                                    .neighbors(t.head(), *etype, fanout)?
-                                    .into_iter()
-                                    .map(|(n, _)| n),
+                    if self.config.batch {
+                        // Count pushdown: a plan ending `…expand().count()`
+                        // or `…expand().dedup().count()` aggregates inside
+                        // the expansion and never materializes traversers.
+                        let dedup = match &plan.steps[i + 1..] {
+                            [PlannedStep::Count] => Some(false),
+                            [PlannedStep::Dedup, PlannedStep::Count] => Some(true),
+                            _ => None,
+                        };
+                        if let Some(dedup) = dedup {
+                            return self.expand_count(
+                                store,
+                                &traversers,
+                                *etype,
+                                *dir,
+                                *bound,
+                                dedup,
                             );
                         }
-                        if matches!(dir, Dir::In | Dir::Both) {
-                            for (n, _) in
-                                store.neighbors(t.head(), reverse_etype(*etype), fanout)?
-                            {
-                                if !(matches!(dir, Dir::Both) && nbrs.contains(&n)) {
-                                    nbrs.push(n);
-                                }
-                            }
-                        }
-                        for n in nbrs {
-                            let mut path = t.path.clone();
-                            path.push(n);
-                            next.push(Traverser { path });
-                            if next.len() >= cap {
-                                break 'expand;
-                            }
-                            if next.len() > self.config.max_traversers {
-                                return Err(QueryError::Invalid(format!(
-                                    "traverser budget exceeded ({})",
-                                    self.config.max_traversers
-                                )));
-                            }
-                        }
                     }
-                    traversers = next;
+                    traversers = self.expand(store, &traversers, *etype, *dir, *bound)?;
                 }
                 PlannedStep::HasVertex => {
                     let mut kept = Vec::with_capacity(traversers.len());
                     for t in traversers {
-                        if store.get_vertex(t.head())?.is_some() {
+                        if store.get_vertex(t.head)?.is_some() {
                             kept.push(t);
                         }
                     }
@@ -137,28 +282,186 @@ impl Executor {
                 }
                 PlannedStep::Dedup => {
                     let mut seen: HashSet<VertexId> = HashSet::new();
-                    traversers.retain(|t| seen.insert(t.head()));
+                    traversers.retain(|t| seen.insert(t.head));
                 }
                 PlannedStep::Limit(n) => traversers.truncate(*n),
-                PlannedStep::Order => traversers.sort_by_key(|t| t.head()),
+                PlannedStep::Order => traversers.sort_by_key(|t| t.head),
                 PlannedStep::Count => return Ok(QueryResult::Count(traversers.len() as u64)),
                 PlannedStep::Values => {
                     let mut out = Vec::with_capacity(traversers.len());
                     for t in &traversers {
-                        out.push((t.head(), store.get_vertex(t.head())?));
+                        out.push((t.head, store.get_vertex(t.head)?));
                     }
                     return Ok(QueryResult::Values(out));
                 }
                 PlannedStep::Path => {
                     return Ok(QueryResult::Paths(
-                        traversers.iter().map(|t| t.path.clone()).collect(),
+                        traversers.iter().map(Traverser::full_path).collect(),
                     ))
                 }
             }
         }
         Ok(QueryResult::Vertices(
-            traversers.iter().map(Traverser::head).collect(),
+            traversers.iter().map(|t| t.head).collect(),
         ))
+    }
+
+    /// Drives one expansion, feeding `(parent, neighbor)` pairs to `emit`
+    /// in scalar order (traverser order; out-neighbors before
+    /// in-neighbors). `emit` returns `false` to stop the whole expansion
+    /// (pushed-down limit, budget abort). Fetches through one
+    /// `neighbors_batch` sweep per direction in batched mode, or one
+    /// `neighbors` call per traverser per direction in scalar mode.
+    fn for_each_expansion(
+        &self,
+        store: &dyn GraphStore,
+        traversers: &[Traverser],
+        etype: EdgeType,
+        dir: Dir,
+        fanout: usize,
+        emit: &mut dyn FnMut(&Traverser, VertexId) -> bool,
+    ) -> Result<(), QueryError> {
+        let wants_out = matches!(dir, Dir::Out | Dir::Both);
+        let wants_in = matches!(dir, Dir::In | Dir::Both);
+        let rev = reverse_etype(etype);
+        let empty: Vec<VertexId> = Vec::new();
+        if self.config.batch {
+            let heads: Vec<VertexId> = traversers.iter().map(|t| t.head).collect();
+            if let Some(m) = &self.metrics {
+                m.frontier_len.record(heads.len() as u64);
+            }
+            let out_lists = if wants_out {
+                gather(store, &heads, etype, fanout)?
+            } else {
+                Vec::new()
+            };
+            let in_lists = if wants_in {
+                gather(store, &heads, rev, fanout)?
+            } else {
+                Vec::new()
+            };
+            for (i, t) in traversers.iter().enumerate() {
+                let out = out_lists.get(i).unwrap_or(&empty);
+                let inn = in_lists.get(i).unwrap_or(&empty);
+                let mut go = true;
+                merged_neighbors(dir, out, inn, &mut |n| {
+                    go = emit(t, n);
+                    go
+                });
+                if !go {
+                    return Ok(());
+                }
+            }
+        } else {
+            for t in traversers {
+                let out: Vec<VertexId> = if wants_out {
+                    store
+                        .neighbors(t.head, etype, fanout)?
+                        .into_iter()
+                        .map(|(n, _)| n)
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let inn: Vec<VertexId> = if wants_in {
+                    store
+                        .neighbors(t.head, rev, fanout)?
+                        .into_iter()
+                        .map(|(n, _)| n)
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let mut go = true;
+                merged_neighbors(dir, &out, &inn, &mut |n| {
+                    go = emit(t, n);
+                    go
+                });
+                if !go {
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn budget_error(&self) -> QueryError {
+        QueryError::Invalid(format!(
+            "traverser budget exceeded ({})",
+            self.config.max_traversers
+        ))
+    }
+
+    /// Materializing expansion: produces the next traverser generation.
+    fn expand(
+        &self,
+        store: &dyn GraphStore,
+        traversers: &[Traverser],
+        etype: EdgeType,
+        dir: Dir,
+        bound: Option<usize>,
+    ) -> Result<Vec<Traverser>, QueryError> {
+        let cap = bound.unwrap_or(usize::MAX);
+        let fanout = self.config.default_fanout.min(cap);
+        let mut next: Vec<Traverser> = Vec::new();
+        let mut err: Option<QueryError> = None;
+        self.for_each_expansion(store, traversers, etype, dir, fanout, &mut |t, n| {
+            next.push(t.step_to(n));
+            if next.len() >= cap {
+                return false;
+            }
+            if next.len() > self.config.max_traversers {
+                err = Some(self.budget_error());
+                return false;
+            }
+            true
+        })?;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(next),
+        }
+    }
+
+    /// Count pushdown: aggregates the expansion without materializing
+    /// traversers. `dedup` counts distinct destination heads instead of
+    /// emissions; cap and budget semantics match the materializing path
+    /// exactly (both are pre-dedup).
+    fn expand_count(
+        &self,
+        store: &dyn GraphStore,
+        traversers: &[Traverser],
+        etype: EdgeType,
+        dir: Dir,
+        bound: Option<usize>,
+        dedup: bool,
+    ) -> Result<QueryResult, QueryError> {
+        if let Some(m) = &self.metrics {
+            m.pushdown_hits.inc();
+        }
+        let cap = bound.unwrap_or(usize::MAX);
+        let fanout = self.config.default_fanout.min(cap);
+        let mut emitted = 0usize;
+        let mut distinct: HashSet<VertexId> = HashSet::new();
+        let mut err: Option<QueryError> = None;
+        self.for_each_expansion(store, traversers, etype, dir, fanout, &mut |_, n| {
+            emitted += 1;
+            if dedup {
+                distinct.insert(n);
+            }
+            if emitted >= cap {
+                return false;
+            }
+            if emitted > self.config.max_traversers {
+                err = Some(self.budget_error());
+                return false;
+            }
+            true
+        })?;
+        if let Some(e) = err {
+            return Err(e);
+        }
+        let count = if dedup { distinct.len() } else { emitted };
+        Ok(QueryResult::Count(count as u64))
     }
 }
 
@@ -300,6 +603,7 @@ mod tests {
         let exec = Executor::new(ExecutorConfig {
             default_fanout: 100,
             max_traversers: 10, // would abort an unbounded expansion
+            ..ExecutorConfig::default()
         });
         let result = exec.run_text(&g, "g.V(1).out(like).limit(3)").unwrap();
         assert_eq!(
@@ -334,11 +638,118 @@ mod tests {
         }
         let exec = Executor::new(ExecutorConfig {
             default_fanout: 50,
-            max_traversers: 100_000,
+            ..ExecutorConfig::default()
         });
         let QueryResult::Count(n) = exec.run_text(&g, "g.V(1).out(like).count()").unwrap() else {
             panic!()
         };
         assert_eq!(n, 50, "default fanout guard applied");
+    }
+
+    #[test]
+    fn scalar_and_batched_agree_on_fixture_queries() {
+        let g = graph();
+        let batched = Executor::default();
+        let scalar = Executor::new(ExecutorConfig::default().scalar());
+        for q in [
+            "g.V(1).out(follow)",
+            "g.V(1).out(follow).count()",
+            "g.V(1).out(follow).out(follow).count()",
+            "g.V(1).out(follow).out(follow).dedup().count()",
+            "g.V(3).both(follow).order()",
+            "g.V(3).both(follow).count()",
+            "g.V(4).in(follow).order()",
+            "g.V(1).repeat(out(follow), 2).path()",
+            "g.V(1).out(follow).limit(1)",
+            "g.V(1).out(follow).order().values()",
+            "g.V().out(follow).count()",
+        ] {
+            assert_eq!(
+                batched.run_text(&g, q).unwrap(),
+                scalar.run_text(&g, q).unwrap(),
+                "query {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_pushdown_skips_materialization_and_counts_hits() {
+        let g = graph();
+        let registry = MetricRegistry::new();
+        let exec = Executor::new(ExecutorConfig::default().with_metrics(registry.clone()));
+        assert_eq!(
+            exec.run_text(&g, "g.V(1).out(follow).out(follow).count()")
+                .unwrap(),
+            QueryResult::Count(3)
+        );
+        assert_eq!(
+            exec.run_text(&g, "g.V(1).out(follow).out(follow).dedup().count()")
+                .unwrap(),
+            QueryResult::Count(2)
+        );
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter(names::QUERY_PUSHDOWN_HITS_TOTAL),
+            Some(2),
+            "each terminal count() aggregated inside the expansion"
+        );
+        // The frontier histogram saw every batched expansion (two per
+        // query: hop 1 materializes, hop 2 is the pushdown).
+        let hist = snap.histogram(names::QUERY_FRONTIER_LEN).unwrap();
+        assert_eq!(hist.count, 4);
+
+        // The scalar path records no pushdown hits.
+        let scalar_registry = MetricRegistry::new();
+        let scalar = Executor::new(
+            ExecutorConfig::default()
+                .scalar()
+                .with_metrics(scalar_registry.clone()),
+        );
+        assert_eq!(
+            scalar.run_text(&g, "g.V(1).out(follow).count()").unwrap(),
+            QueryResult::Count(2)
+        );
+        assert_eq!(
+            scalar_registry
+                .snapshot()
+                .counter(names::QUERY_PUSHDOWN_HITS_TOTAL),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn count_pushdown_keeps_budget_semantics() {
+        let g = MemGraph::new();
+        for d in 0..1000u64 {
+            g.insert_edge(&Edge::new(VertexId(1), EdgeType::LIKE, VertexId(d)))
+                .unwrap();
+        }
+        let tight = ExecutorConfig {
+            default_fanout: 1000,
+            max_traversers: 10,
+            ..ExecutorConfig::default()
+        };
+        let batched = Executor::new(tight.clone());
+        let scalar = Executor::new(tight.scalar());
+        let b = batched.run_text(&g, "g.V(1).out(like).count()");
+        let s = scalar.run_text(&g, "g.V(1).out(like).count()");
+        assert!(b.is_err() && s.is_err(), "both modes abort on budget");
+        assert_eq!(format!("{:?}", b), format!("{:?}", s));
+    }
+
+    #[test]
+    fn paths_share_parent_trails() {
+        // 1 → {2,3} → … fan-out: both hop-2 traversers through vertex 3
+        // must share vertex 3's trail node rather than own path clones.
+        let g = graph();
+        let QueryResult::Paths(mut paths) = Executor::default()
+            .run_text(&g, "g.V(1).out(follow).out(follow).path()")
+            .unwrap()
+        else {
+            panic!("expected paths");
+        };
+        paths.sort();
+        assert_eq!(paths.len(), 3);
+        assert!(paths.iter().all(|p| p[0] == VertexId(1)));
     }
 }

@@ -45,6 +45,10 @@ pub struct IoStats {
     extents_repaired: Counter,
     scrub_records_verified: Counter,
     scrub_records_resupplied: Counter,
+    query_scan_bytes: Counter,
+    query_csr_segments: Counter,
+    query_pushdown_hits: Counter,
+    query_frontier_len: Histogram,
     read_latency: Histogram,
     append_latency: Histogram,
     publish_latency: Histogram,
@@ -96,6 +100,10 @@ impl IoStats {
             extents_repaired: registry.counter(names::SCRUB_EXTENTS_REPAIRED_TOTAL),
             scrub_records_verified: registry.counter(names::SCRUB_RECORDS_VERIFIED_TOTAL),
             scrub_records_resupplied: registry.counter(names::SCRUB_RECORDS_RESUPPLIED_TOTAL),
+            query_scan_bytes: registry.counter(names::QUERY_SCAN_BYTES_TOTAL),
+            query_csr_segments: registry.counter(names::QUERY_CSR_SEGMENTS_SCANNED_TOTAL),
+            query_pushdown_hits: registry.counter(names::QUERY_PUSHDOWN_HITS_TOTAL),
+            query_frontier_len: registry.histogram(names::QUERY_FRONTIER_LEN),
             read_latency: registry.histogram(names::STORAGE_READ_LATENCY_NS),
             append_latency: registry.histogram(names::STORAGE_APPEND_LATENCY_NS),
             publish_latency: registry.histogram(names::MAPPING_PUBLISH_LATENCY_NS),
@@ -243,6 +251,28 @@ impl IoStats {
     /// repaired) in the cycle (ns). Public: the scrubber lives in `bg3-gc`.
     pub fn record_scrub_cycle_latency(&self, nanos: u64) {
         self.scrub_cycle_latency.record(nanos);
+    }
+
+    /// Records one batched adjacency scan: `bytes` scanned across
+    /// `segments` distinct sealed segments (leaf pages). Public: the
+    /// batched read path lives in `bg3-core`/`bg3-query`.
+    pub fn record_adjacency_scan(&self, bytes: u64, segments: u64) {
+        self.query_scan_bytes.add(bytes);
+        self.query_csr_segments.add(segments);
+    }
+
+    /// Records the size of one expansion frontier (vertices, not ns —
+    /// the one size histogram in the registry). Public: recorded by the
+    /// query executor.
+    pub fn record_frontier_len(&self, len: u64) {
+        self.query_frontier_len.record(len);
+    }
+
+    /// Records an Expand whose count/dedup terminal was pushed into the
+    /// scan (no traversers materialized). Public: recorded by the query
+    /// executor.
+    pub fn record_pushdown_hit(&self) {
+        self.query_pushdown_hits.inc();
     }
 
     /// Takes a consistent-enough point-in-time copy of all counters.

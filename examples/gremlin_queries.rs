@@ -39,6 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exec = Executor::new(ExecutorConfig {
         default_fanout: 20,
         max_traversers: 1_000_000,
+        ..ExecutorConfig::default()
     });
     let queries = [
         "g.V(1).out(follow).count()",                     // my followees

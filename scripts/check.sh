@@ -20,6 +20,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy -p bg3-storage (trait surface lint gate)"
 cargo clippy -p bg3-storage --all-targets -- -D warnings
 
+# The vectorized read path spans the graph-store batching seam
+# (NeighborSink / neighbors_batch) and the morsel-driven executor; lint
+# both crates separately for the same reason.
+echo "==> cargo clippy -p bg3-graph -p bg3-query (read path lint gate)"
+cargo clippy -p bg3-graph -p bg3-query --all-targets -- -D warnings
+
 echo "==> cargo test --workspace (tier-1)"
 cargo test --workspace --quiet
 
@@ -52,5 +58,11 @@ cargo run --release --quiet -p bg3-bench --bin metrics_check -- target/metrics-s
 
 echo "==> disk smoke (file backend: kill+recover, on-disk bit-flip scrub; tempdir)"
 cargo run --release --quiet -p bg3-bench --bin reproduce -- disk_smoke --scale quick
+
+echo "==> batched-vs-scalar executor equivalence proptest"
+RUSTFLAGS="-D warnings" cargo test --quiet -p bg3-query --test query_equivalence
+
+echo "==> khop smoke (batched vs per-vertex frontier sweep)"
+cargo run --release --quiet -p bg3-bench --bin reproduce -- khop --scale quick
 
 echo "==> all checks passed"
