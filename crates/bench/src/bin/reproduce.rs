@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! reproduce [all|table1|fig8|cost|fig9|fig10|fig11|table2|fig12|fig13|fig14
-//!            |ablation|chaos|failover|scrub|cache_scaling|disk_smoke|khop]
+//!            |ablation|chaos|failover|scrub|cache_scaling|disk_smoke|khop
+//!            |overload]
 //!           [--scale full|quick] [--json <path>] [--metrics-json <path>]
 //!           [--threads N] [--cycles N]
 //! ```
@@ -43,6 +44,7 @@ struct Scale {
     scrub_cycles: usize,
     disk_smoke_threads: usize,
     disk_smoke_per_thread: usize,
+    overload_ops: usize,
 }
 
 const FULL: Scale = Scale {
@@ -62,6 +64,7 @@ const FULL: Scale = Scale {
     scrub_cycles: 4,
     disk_smoke_threads: 4,
     disk_smoke_per_thread: 200,
+    overload_ops: 4_000,
 };
 
 const QUICK: Scale = Scale {
@@ -81,6 +84,7 @@ const QUICK: Scale = Scale {
     scrub_cycles: 2,
     disk_smoke_threads: 2,
     disk_smoke_per_thread: 60,
+    overload_ops: 1_000,
 };
 
 fn main() {
@@ -138,6 +142,7 @@ fn main() {
             "cache_scaling",
             "disk_smoke",
             "khop",
+            "overload",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -315,6 +320,13 @@ fn run_one(name: &str, scale: &Scale, cycles: Option<usize>) -> (String, Value) 
             let report = khop::run(scale.khop_queries);
             (
                 khop::render(&report),
+                serde_json::to_value(&report).unwrap(),
+            )
+        }
+        "overload" => {
+            let report = overload::run(scale.overload_ops);
+            (
+                overload::render(&report),
                 serde_json::to_value(&report).unwrap(),
             )
         }

@@ -235,6 +235,7 @@ pub fn execute_op(store: &dyn GraphStore, op: &Op) -> StorageResult<()> {
                 )
                 .map(|_| ())
         }
+        Op::DeleteEdge { src, etype, dst } => store.delete_edge(*src, *etype, *dst),
     }
 }
 

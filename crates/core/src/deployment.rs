@@ -7,7 +7,7 @@
 //! uses — so followers can serve adjacency scans with prefix ranges.
 
 use bg3_forest::keys::{composite_key, decode_composite, group_prefix};
-use bg3_graph::{decode_dst, edge_group, edge_item, Edge, EdgeType, VertexId};
+use bg3_graph::{decode_dst, edge_group, edge_item, vertex_key, Edge, EdgeType, Vertex, VertexId};
 use bg3_storage::{AppendOnlyStore, StorageResult, StoreBuilder, StoreConfig};
 use bg3_sync::{RoNode, RoNodeConfig, RwNode, RwNodeConfig};
 use std::sync::Arc;
@@ -101,6 +101,44 @@ impl ReplicatedBg3 {
         self.rw.put(&key, &edge.props)
     }
 
+    /// Deletes an edge on the leader (TTL-churn expiry).
+    pub fn delete_edge(&self, src: VertexId, etype: EdgeType, dst: VertexId) -> StorageResult<()> {
+        let key = composite_key(&edge_group(src, etype), &edge_item(dst));
+        self.rw.delete(&key)
+    }
+
+    /// Inserts a vertex on the leader. Vertex keys use an 8-byte group
+    /// with an empty item, so they can never collide with edge keys
+    /// (10-byte groups) under the length-prefixed composite encoding.
+    pub fn insert_vertex(&self, vertex: &Vertex) -> StorageResult<()> {
+        let key = composite_key(&vertex_key(vertex.id), &[]);
+        self.rw.put(&key, &vertex.props)
+    }
+
+    /// Fetches a vertex's properties from follower `idx`.
+    pub fn ro_get_vertex(&self, idx: usize, id: VertexId) -> StorageResult<Option<Vec<u8>>> {
+        let key = composite_key(&vertex_key(id), &[]);
+        self.ros[idx].get(self.tree_id, &key)
+    }
+
+    /// Fetches one edge's properties from follower `idx`.
+    pub fn ro_get_edge(
+        &self,
+        idx: usize,
+        src: VertexId,
+        etype: EdgeType,
+        dst: VertexId,
+    ) -> StorageResult<Option<Vec<u8>>> {
+        let key = composite_key(&edge_group(src, etype), &edge_item(dst));
+        self.ros[idx].get(self.tree_id, &key)
+    }
+
+    /// Dirty (not yet group-committed) pages on the leader — the WAL
+    /// group-commit depth the write-admission throttle keys off.
+    pub fn rw_dirty_pages(&self) -> usize {
+        self.rw.tree().dirty_count()
+    }
+
     /// Verifies an edge on follower `idx` (the risk-control reconciliation
     /// read).
     pub fn ro_check_edge(
@@ -122,6 +160,22 @@ impl ReplicatedBg3 {
         etype: EdgeType,
         limit: usize,
     ) -> StorageResult<Vec<VertexId>> {
+        Ok(self
+            .ro_neighbors_props(idx, src, etype, limit)?
+            .into_iter()
+            .map(|(dst, _)| dst)
+            .collect())
+    }
+
+    /// One-hop neighbors with edge properties, served by follower `idx` —
+    /// the adjacency read behind the governed engine's traversal view.
+    pub fn ro_neighbors_props(
+        &self,
+        idx: usize,
+        src: VertexId,
+        etype: EdgeType,
+        limit: usize,
+    ) -> StorageResult<Vec<(VertexId, Vec<u8>)>> {
         let prefix = group_prefix(&edge_group(src, etype));
         let mut end = prefix.clone();
         // Prefix successor (group keys are never all-0xFF).
@@ -135,7 +189,11 @@ impl ReplicatedBg3 {
         let hits = self.ros[idx].scan_range(self.tree_id, Some(&prefix), Some(&end), limit)?;
         Ok(hits
             .into_iter()
-            .filter_map(|(k, _)| decode_composite(&k).and_then(|(_, item)| decode_dst(item)))
+            .filter_map(|(k, v)| {
+                decode_composite(&k)
+                    .and_then(|(_, item)| decode_dst(item))
+                    .map(|dst| (dst, v))
+            })
             .collect())
     }
 

@@ -22,7 +22,12 @@
 //! * [`FailoverCluster`] — the availability story on top of that topology:
 //!   heartbeat-driven leader-death detection, epoch-fenced promotion of the
 //!   most caught-up follower, stale-flagged reads through the outage.
+//! * [`GovernedEngine`] — the overload story: per-class token-bucket
+//!   admission control with bounded queues and typed load shedding, plus
+//!   the graceful-degradation ladder (stale replica reads, debt-throttled
+//!   writes, hop-ceiling traversals). See [`admit`].
 
+pub mod admit;
 pub mod bg3db;
 pub mod bytegraph;
 pub mod cluster;
@@ -30,6 +35,10 @@ pub mod deployment;
 pub mod engine;
 pub mod neptune;
 
+pub use admit::{
+    AdmissionConfig, AdmissionController, AdmissionSnapshot, Admitted, ClassBudget, GovernedConfig,
+    GovernedEngine, OpClass, OpOutcome, Served,
+};
 pub use bg3db::{Bg3Config, Bg3Db, DurabilityConfig, GcPolicyKind};
 pub use bytegraph::{ByteGraphConfig, ByteGraphDb};
 pub use cluster::{Cluster, FailoverCluster, FailoverConfig, FailoverStatsSnapshot, FailoverTick};
@@ -43,8 +52,10 @@ pub use neptune::NeptuneLike;
 pub mod prelude {
     pub use crate::engine::{EngineRuntime, GraphEngine, MaintenanceReport};
     pub use crate::{
-        Bg3Config, Bg3Db, ByteGraphConfig, ByteGraphDb, DurabilityConfig, FailoverCluster,
-        FailoverConfig, FailoverStatsSnapshot, FailoverTick, GcPolicyKind, NeptuneLike,
+        AdmissionConfig, AdmissionSnapshot, Bg3Config, Bg3Db, ByteGraphConfig, ByteGraphDb,
+        ClassBudget, DurabilityConfig, FailoverCluster, FailoverConfig, FailoverStatsSnapshot,
+        FailoverTick, GcPolicyKind, GovernedConfig, GovernedEngine, NeptuneLike, OpClass,
+        OpOutcome, Served,
     };
     pub use bg3_graph::{Edge, EdgeType, GraphStore, Vertex, VertexId};
     pub use bg3_storage::{

@@ -79,9 +79,21 @@ pub const QUERY_CSR_SEGMENTS_SCANNED_TOTAL: &str = "query_csr_segments_scanned_t
 /// Expand steps whose count/dedup terminal was pushed into the scan, so
 /// no traversers were materialized.
 pub const QUERY_PUSHDOWN_HITS_TOTAL: &str = "query_pushdown_hits_total";
+/// Operations accepted by admission control (all op classes).
+pub const ADMIT_ADMITTED_TOTAL: &str = "admit_admitted_total";
+/// Operations shed by admission control (queue overflow + deadline sheds).
+pub const ADMIT_SHED_TOTAL: &str = "admit_shed_total";
+/// Reads served stale from an RO replica under the degradation ladder
+/// instead of waiting for WAL catch-up.
+pub const ADMIT_STALE_READS_TOTAL: &str = "admit_stale_reads_total";
+/// Traversal expansions truncated by the executor's per-hop cost ceiling
+/// (degraded-mode traversals only; fresh-mode queries never truncate).
+pub const QUERY_HOP_TRUNCATIONS_TOTAL: &str = "query_hop_truncations_total";
 
 /// Bytes moved by the most recent reclaimer cycle (gauge).
 pub const GC_LAST_CYCLE_MOVED_BYTES: &str = "gc_last_cycle_moved_bytes";
+/// Current virtual queue length of the deepest admission class (gauge).
+pub const ADMIT_QUEUE_DEPTH: &str = "admit_queue_depth";
 
 /// Virtual-time latency of storage random reads (cache misses; ns).
 pub const STORAGE_READ_LATENCY_NS: &str = "storage_read_latency_ns";
@@ -98,9 +110,12 @@ pub const PROMOTION_LATENCY_NS: &str = "promotion_latency_ns";
 /// Virtual-time latency of one scrubber cycle (verify + repair; ns).
 pub const SCRUB_CYCLE_LATENCY_NS: &str = "scrub_cycle_latency_ns";
 /// Frontier sizes fed to batched expansion. A *size* histogram, not a
-/// latency one — the single exception to the `_latency_ns` convention,
-/// recorded in vertices rather than nanoseconds.
+/// latency one — an exception to the `_latency_ns` convention, recorded in
+/// vertices rather than nanoseconds.
 pub const QUERY_FRONTIER_LEN: &str = "query_frontier_len";
+/// Virtual-time queue wait charged to admitted operations by the
+/// token-bucket admission model (ns).
+pub const ADMIT_QUEUE_WAIT_LATENCY_NS: &str = "admit_queue_wait_latency_ns";
 
 /// Counters every store registers up front; the check.sh drift gate
 /// requires all of these in `--metrics-json` output.
@@ -137,6 +152,10 @@ pub const REQUIRED_COUNTERS: &[&str] = &[
     QUERY_SCAN_BYTES_TOTAL,
     QUERY_CSR_SEGMENTS_SCANNED_TOTAL,
     QUERY_PUSHDOWN_HITS_TOTAL,
+    ADMIT_ADMITTED_TOTAL,
+    ADMIT_SHED_TOTAL,
+    ADMIT_STALE_READS_TOTAL,
+    QUERY_HOP_TRUNCATIONS_TOTAL,
 ];
 
 /// Histograms every store registers up front; also enforced by the gate,
@@ -150,4 +169,5 @@ pub const REQUIRED_HISTOGRAMS: &[&str] = &[
     PROMOTION_LATENCY_NS,
     SCRUB_CYCLE_LATENCY_NS,
     QUERY_FRONTIER_LEN,
+    ADMIT_QUEUE_WAIT_LATENCY_NS,
 ];

@@ -38,9 +38,16 @@ pub struct ExecutorConfig {
     /// page scans and enables count/dedup pushdown.
     pub batch: bool,
     /// Registry receiving executor metrics (`query_frontier_len`,
-    /// `query_pushdown_hits_total`). Pass the store's registry to merge
-    /// them with the engine's I/O counters.
+    /// `query_pushdown_hits_total`, `query_hop_truncations_total`). Pass
+    /// the store's registry to merge them with the engine's I/O counters.
     pub metrics: Option<MetricRegistry>,
+    /// Degraded-mode emission ceiling per expansion step (per hop). When
+    /// set, no single hop emits more than this many neighbors — the
+    /// expansion is *truncated* (counted in
+    /// `query_hop_truncations_total`), not aborted, trading recall for
+    /// bounded per-hop cost under overload. `None` (the default) keeps
+    /// exact semantics.
+    pub hop_cost_ceiling: Option<usize>,
 }
 
 impl Default for ExecutorConfig {
@@ -50,6 +57,7 @@ impl Default for ExecutorConfig {
             max_traversers: 100_000,
             batch: true,
             metrics: None,
+            hop_cost_ceiling: None,
         }
     }
 }
@@ -64,6 +72,13 @@ impl ExecutorConfig {
     /// Attaches a metrics registry.
     pub fn with_metrics(mut self, registry: MetricRegistry) -> Self {
         self.metrics = Some(registry);
+        self
+    }
+
+    /// Caps every expansion step at `ceiling` emitted neighbors
+    /// (degradation-ladder traversal mode).
+    pub fn with_hop_cost_ceiling(mut self, ceiling: usize) -> Self {
+        self.hop_cost_ceiling = Some(ceiling);
         self
     }
 }
@@ -200,6 +215,7 @@ fn merged_neighbors(
 struct QueryMetrics {
     frontier_len: Histogram,
     pushdown_hits: Counter,
+    hop_truncations: Counter,
 }
 
 /// Executes plans against a graph store.
@@ -220,6 +236,7 @@ impl Executor {
         let metrics = config.metrics.as_ref().map(|registry| QueryMetrics {
             frontier_len: registry.histogram(names::QUERY_FRONTIER_LEN),
             pushdown_hits: registry.counter(names::QUERY_PUSHDOWN_HITS_TOTAL),
+            hop_truncations: registry.counter(names::QUERY_HOP_TRUNCATIONS_TOTAL),
         });
         Executor { config, metrics }
     }
@@ -392,6 +409,26 @@ impl Executor {
         ))
     }
 
+    /// The effective per-hop emission cap: the plan's own bound tightened
+    /// by the degraded-mode ceiling. Returns `(cap, ceiling_applies)`.
+    fn hop_cap(&self, bound: Option<usize>) -> (usize, bool) {
+        let cap = bound.unwrap_or(usize::MAX);
+        match self.config.hop_cost_ceiling {
+            Some(ceiling) if ceiling < cap => (ceiling, true),
+            _ => (cap, false),
+        }
+    }
+
+    /// Records one truncated expansion when the degraded-mode ceiling (not
+    /// the plan's own bound) is what stopped it.
+    fn note_truncation(&self, emitted: usize, cap: usize, ceiled: bool) {
+        if ceiled && emitted >= cap {
+            if let Some(m) = &self.metrics {
+                m.hop_truncations.inc();
+            }
+        }
+    }
+
     /// Materializing expansion: produces the next traverser generation.
     fn expand(
         &self,
@@ -401,7 +438,7 @@ impl Executor {
         dir: Dir,
         bound: Option<usize>,
     ) -> Result<Vec<Traverser>, QueryError> {
-        let cap = bound.unwrap_or(usize::MAX);
+        let (cap, ceiled) = self.hop_cap(bound);
         let fanout = self.config.default_fanout.min(cap);
         let mut next: Vec<Traverser> = Vec::new();
         let mut err: Option<QueryError> = None;
@@ -418,7 +455,10 @@ impl Executor {
         })?;
         match err {
             Some(e) => Err(e),
-            None => Ok(next),
+            None => {
+                self.note_truncation(next.len(), cap, ceiled);
+                Ok(next)
+            }
         }
     }
 
@@ -438,7 +478,7 @@ impl Executor {
         if let Some(m) = &self.metrics {
             m.pushdown_hits.inc();
         }
-        let cap = bound.unwrap_or(usize::MAX);
+        let (cap, ceiled) = self.hop_cap(bound);
         let fanout = self.config.default_fanout.min(cap);
         let mut emitted = 0usize;
         let mut distinct: HashSet<VertexId> = HashSet::new();
@@ -460,6 +500,7 @@ impl Executor {
         if let Some(e) = err {
             return Err(e);
         }
+        self.note_truncation(emitted, cap, ceiled);
         let count = if dedup { distinct.len() } else { emitted };
         Ok(QueryResult::Count(count as u64))
     }
@@ -735,6 +776,73 @@ mod tests {
         let s = scalar.run_text(&g, "g.V(1).out(like).count()");
         assert!(b.is_err() && s.is_err(), "both modes abort on budget");
         assert_eq!(format!("{:?}", b), format!("{:?}", s));
+    }
+
+    #[test]
+    fn hop_cost_ceiling_truncates_instead_of_aborting() {
+        let g = MemGraph::new();
+        for d in 0..500u64 {
+            g.insert_edge(&Edge::new(VertexId(1), EdgeType::LIKE, VertexId(d)))
+                .unwrap();
+        }
+        let registry = MetricRegistry::new();
+        let degraded = Executor::new(
+            ExecutorConfig {
+                default_fanout: 1000,
+                ..ExecutorConfig::default()
+            }
+            .with_hop_cost_ceiling(25)
+            .with_metrics(registry.clone()),
+        );
+        // Materializing path truncates at the ceiling.
+        let QueryResult::Vertices(heads) = degraded.run_text(&g, "g.V(1).out(like)").unwrap()
+        else {
+            panic!("expected vertices");
+        };
+        assert_eq!(heads.len(), 25);
+        // Count pushdown truncates identically.
+        assert_eq!(
+            degraded.run_text(&g, "g.V(1).out(like).count()").unwrap(),
+            QueryResult::Count(25)
+        );
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter(names::QUERY_HOP_TRUNCATIONS_TOTAL),
+            Some(2),
+            "both truncated expansions counted"
+        );
+        // A plan bound tighter than the ceiling is the plan's own limit,
+        // not a degradation truncation.
+        let before = registry
+            .snapshot()
+            .counter(names::QUERY_HOP_TRUNCATIONS_TOTAL);
+        let QueryResult::Vertices(few) =
+            degraded.run_text(&g, "g.V(1).out(like).limit(3)").unwrap()
+        else {
+            panic!("expected vertices");
+        };
+        assert_eq!(few.len(), 3);
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter(names::QUERY_HOP_TRUNCATIONS_TOTAL),
+            before,
+            "plan-bound stops are not truncations"
+        );
+        // Scalar mode honors the same ceiling.
+        let scalar = Executor::new(
+            ExecutorConfig {
+                default_fanout: 1000,
+                ..ExecutorConfig::default()
+            }
+            .scalar()
+            .with_hop_cost_ceiling(25),
+        );
+        assert_eq!(
+            scalar.run_text(&g, "g.V(1).out(like).count()").unwrap(),
+            QueryResult::Count(25)
+        );
     }
 
     #[test]

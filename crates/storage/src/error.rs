@@ -32,6 +32,8 @@ pub enum StorageOp {
     WalReplay,
     /// Crash-recovery orchestration.
     Recovery,
+    /// Admission control deciding whether to accept the operation at all.
+    Admission,
 }
 
 impl fmt::Display for StorageOp {
@@ -45,6 +47,7 @@ impl fmt::Display for StorageOp {
             StorageOp::MappingPublish => "mapping-publish",
             StorageOp::WalReplay => "wal-replay",
             StorageOp::Recovery => "recovery",
+            StorageOp::Admission => "admission",
         };
         f.write_str(name)
     }
@@ -97,6 +100,25 @@ pub enum ErrorKind {
     },
     /// No leader is available to serve the request (failover in progress).
     NoLeader,
+    /// Admission control shed the operation: the op class's bounded queue is
+    /// full (or its cost budget is exhausted past the queue bound). The
+    /// caller should back off for at least `retry_after_nanos` of virtual
+    /// time before resubmitting — retrying immediately is guaranteed to be
+    /// shed again.
+    Overloaded {
+        /// Virtual nanoseconds until the class's queue is expected to have
+        /// drained enough to accept this operation.
+        retry_after_nanos: u64,
+    },
+    /// Admission control shed the operation because its estimated queue
+    /// wait exceeds the class deadline: the op would have been admitted,
+    /// executed after the caller stopped caring, and wasted the budget.
+    DeadlineExceeded {
+        /// Estimated queue wait at submission, in virtual nanoseconds.
+        estimated_wait_nanos: u64,
+        /// The class deadline it exceeded, in virtual nanoseconds.
+        deadline_nanos: u64,
+    },
     /// A fault injected by the chaos layer (see [`crate::fault`]).
     Injected(FaultKind),
     /// A crash-point kill fired by the chaos harness.
@@ -221,6 +243,17 @@ impl fmt::Display for ErrorKind {
                 write!(f, "timed out after {waited_nanos}ns of virtual time")
             }
             ErrorKind::NoLeader => write!(f, "no leader available"),
+            ErrorKind::Overloaded { retry_after_nanos } => {
+                write!(f, "overloaded; retry after {retry_after_nanos}ns")
+            }
+            ErrorKind::DeadlineExceeded {
+                estimated_wait_nanos,
+                deadline_nanos,
+            } => write!(
+                f,
+                "estimated queue wait {estimated_wait_nanos}ns exceeds the \
+                 {deadline_nanos}ns deadline"
+            ),
             ErrorKind::Injected(fault) => write!(f, "injected fault: {fault}"),
             ErrorKind::Crash(point) => write!(f, "crashed at {point}"),
             ErrorKind::Io { class, detail } => write!(f, "os i/o error ({class}): {detail}"),
@@ -328,6 +361,27 @@ impl StorageError {
         Self::new(ErrorKind::NoLeader, op)
     }
 
+    /// Admission control shed the operation; the caller should back off
+    /// for at least `retry_after_nanos` of virtual time.
+    pub fn overloaded(retry_after_nanos: u64) -> Self {
+        Self::new(
+            ErrorKind::Overloaded { retry_after_nanos },
+            StorageOp::Admission,
+        )
+    }
+
+    /// Admission control shed the operation because its estimated queue
+    /// wait exceeds the class deadline.
+    pub fn deadline_exceeded(estimated_wait_nanos: u64, deadline_nanos: u64) -> Self {
+        Self::new(
+            ErrorKind::DeadlineExceeded {
+                estimated_wait_nanos,
+                deadline_nanos,
+            },
+            StorageOp::Admission,
+        )
+    }
+
     /// A fault injected by the chaos layer during `op`.
     pub fn injected(op: StorageOp, fault: FaultKind) -> Self {
         Self::new(ErrorKind::Injected(fault), op)
@@ -375,6 +429,29 @@ impl StorageError {
         matches!(self.kind, ErrorKind::Timeout { .. })
     }
 
+    /// True when admission control shed the operation — either outright
+    /// ([`ErrorKind::Overloaded`]) or because its estimated queue wait
+    /// exceeded the class deadline ([`ErrorKind::DeadlineExceeded`]). Shed
+    /// ops were never executed, so retrying after backing off is always
+    /// safe.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(
+            self.kind,
+            ErrorKind::Overloaded { .. } | ErrorKind::DeadlineExceeded { .. }
+        )
+    }
+
+    /// The virtual-time backoff hint carried by an [`ErrorKind::Overloaded`]
+    /// shed, when present. Deadline sheds carry no hint: the class queue is
+    /// not over its bound, so any backoff that outlasts the current burst
+    /// will do.
+    pub fn retry_after_nanos(&self) -> Option<u64> {
+        match self.kind {
+            ErrorKind::Overloaded { retry_after_nanos } => Some(retry_after_nanos),
+            _ => None,
+        }
+    }
+
     /// True when the failure is transient and retrying the same operation
     /// can succeed: injected append/read failures and torn appends. Crashes
     /// and organic errors (bad address, oversized record, ...) are
@@ -395,6 +472,12 @@ impl StorageError {
     /// scrubber must repair it first. Crashes and fencing are never retried.
     pub fn is_retryable(&self) -> bool {
         if self.is_transient() {
+            return true;
+        }
+        if self.is_overloaded() {
+            // Shed operations were never executed; once the caller backs
+            // off (see [`Self::retry_after_nanos`]) resubmission is safe
+            // and expected to succeed when pressure drains.
             return true;
         }
         if let ErrorKind::Io { class, .. } = &self.kind {
@@ -516,6 +599,33 @@ mod tests {
         // Transient injected faults remain retryable.
         assert!(StorageError::injected(StorageOp::Read, FaultKind::ReadFail).is_retryable());
         assert!(!StorageError::crash(CrashPoint::MidFlush).is_retryable());
+    }
+
+    #[test]
+    fn overload_sheds_are_retryable_with_backoff_hints() {
+        let shed = StorageError::overloaded(2_500);
+        assert!(shed.is_overloaded());
+        assert!(shed.is_retryable(), "shed ops were never executed");
+        assert!(!shed.is_transient(), "sheds are not chaos injections");
+        assert_eq!(shed.retry_after_nanos(), Some(2_500));
+        assert_eq!(
+            shed.to_string(),
+            "admission failed: overloaded; retry after 2500ns"
+        );
+
+        let late = StorageError::deadline_exceeded(9_000, 5_000);
+        assert!(late.is_overloaded());
+        assert!(late.is_retryable());
+        assert!(!late.is_timeout(), "distinct from an elapsed-wait Timeout");
+        assert_eq!(
+            late.retry_after_nanos(),
+            None,
+            "deadline sheds carry no hint"
+        );
+        assert_eq!(
+            late.to_string(),
+            "admission failed: estimated queue wait 9000ns exceeds the 5000ns deadline"
+        );
     }
 
     #[test]

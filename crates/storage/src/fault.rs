@@ -459,12 +459,27 @@ impl fmt::Debug for FaultInjector {
 /// Retries only *transient* failures ([`crate::StorageError::is_transient`]):
 /// injected append/read faults. Crash-point kills and organic errors
 /// propagate immediately.
+///
+/// Two backoff schedules are available. The default is a fixed schedule —
+/// `initial_backoff_nanos` doubling per retry, capped at
+/// `max_backoff_nanos`. [`Self::with_decorrelated_jitter`] switches to
+/// AWS-style *decorrelated jitter*: each sleep is drawn uniformly from
+/// `[initial, prev_sleep * 3]` (capped), which breaks the retry
+/// synchronization that fixed schedules create when many shed callers back
+/// off at once. The draw uses a deterministic xorshift PRNG seeded by the
+/// caller, so simulations stay reproducible.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts including the first (1 = no retries).
     pub max_attempts: u32,
-    /// Simulated backoff before the first retry; doubles per retry.
+    /// Simulated backoff before the first retry; doubles per retry on the
+    /// fixed schedule, and is the lower bound of every jittered draw.
     pub initial_backoff_nanos: u64,
+    /// Upper bound on a single backoff sleep (both schedules).
+    pub max_backoff_nanos: u64,
+    /// When set, use decorrelated jitter seeded with this value instead of
+    /// the fixed doubling schedule.
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for RetryPolicy {
@@ -472,6 +487,8 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_attempts: 4,
             initial_backoff_nanos: 100_000, // 100µs, ~one cloud-storage RTT
+            max_backoff_nanos: 100_000_000, // 100ms cap
+            jitter_seed: None,
         }
     }
 }
@@ -482,6 +499,8 @@ impl RetryPolicy {
         RetryPolicy {
             max_attempts: 1,
             initial_backoff_nanos: 0,
+            max_backoff_nanos: 0,
+            jitter_seed: None,
         }
     }
 
@@ -489,6 +508,20 @@ impl RetryPolicy {
     pub fn with_attempts(mut self, max_attempts: u32) -> Self {
         assert!(max_attempts >= 1, "at least one attempt is required");
         self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Caps any single backoff sleep at `max_backoff_nanos`.
+    pub fn with_max_backoff_nanos(mut self, max_backoff_nanos: u64) -> Self {
+        self.max_backoff_nanos = max_backoff_nanos;
+        self
+    }
+
+    /// Switches to the decorrelated-jitter schedule: each sleep is drawn
+    /// uniformly from `[initial_backoff_nanos, prev_sleep * 3]`, capped at
+    /// `max_backoff_nanos`. `seed` makes the draw sequence deterministic.
+    pub fn with_decorrelated_jitter(mut self, seed: u64) -> Self {
+        self.jitter_seed = Some(seed);
         self
     }
 
@@ -511,19 +544,86 @@ impl RetryPolicy {
         mut retry_if: impl FnMut(&crate::StorageError) -> bool,
         mut operation: impl FnMut() -> StorageResult<T>,
     ) -> StorageResult<T> {
-        let mut backoff = self.initial_backoff_nanos;
+        let mut schedule = BackoffSchedule::new(self);
         let mut attempt = 1u32;
         loop {
             match operation() {
                 Ok(value) => return Ok(value),
                 Err(err) if retry_if(&err) && attempt < self.max_attempts => {
-                    clock.advance_nanos(backoff);
-                    backoff = backoff.saturating_mul(2);
+                    // A shed carries a floor: sleeping less than the
+                    // engine's retry_after hint guarantees another shed.
+                    clock.advance_nanos(schedule.next(err.retry_after_nanos()));
                     attempt += 1;
                 }
                 Err(err) => return Err(err),
             }
         }
+    }
+
+    /// The full backoff schedule this policy would produce (one sleep per
+    /// retry, `max_attempts - 1` entries). Exposed for tests and for
+    /// callers that pace themselves without `run_when`'s loop.
+    pub fn backoff_schedule(&self) -> Vec<u64> {
+        let mut schedule = BackoffSchedule::new(self);
+        (1..self.max_attempts)
+            .map(|_| schedule.next(None))
+            .collect()
+    }
+}
+
+/// Iterator state for one `run_when` invocation's backoff sleeps.
+struct BackoffSchedule {
+    initial: u64,
+    cap: u64,
+    /// Next fixed-schedule sleep, or previous jittered sleep.
+    current: u64,
+    /// xorshift64* state when jitter is enabled.
+    rng: Option<u64>,
+}
+
+impl BackoffSchedule {
+    fn new(policy: &RetryPolicy) -> Self {
+        BackoffSchedule {
+            initial: policy.initial_backoff_nanos,
+            cap: policy.max_backoff_nanos,
+            current: policy.initial_backoff_nanos,
+            // xorshift64* cannot leave state 0; fold the seed into a
+            // nonzero constant so seed 0 is valid.
+            rng: policy.jitter_seed.map(|seed| seed ^ 0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    fn next(&mut self, floor_hint: Option<u64>) -> u64 {
+        let sleep = match &mut self.rng {
+            None => {
+                let sleep = self.current.min(self.cap);
+                self.current = self.current.saturating_mul(2);
+                sleep
+            }
+            Some(state) => {
+                // xorshift64*: fast, deterministic, good enough to spread
+                // retry times; not a statistical PRNG requirement.
+                *state ^= *state << 13;
+                *state ^= *state >> 7;
+                *state ^= *state << 17;
+                let draw = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                // Uniform in [initial, prev * 3], then capped.
+                let hi = self.current.saturating_mul(3).min(self.cap);
+                let lo = self.initial.min(hi);
+                let span = hi - lo;
+                let sleep = if span == 0 {
+                    lo
+                } else {
+                    lo + draw % (span + 1)
+                };
+                self.current = sleep.max(self.initial);
+                sleep
+            }
+        };
+        // An Overloaded shed's retry_after is a floor, not a suggestion.
+        sleep
+            .max(floor_hint.unwrap_or(0))
+            .min(self.cap.max(floor_hint.unwrap_or(0)))
     }
 }
 
@@ -748,6 +848,59 @@ mod tests {
         assert_eq!(attempts, 1, "crash must propagate on first attempt");
         assert!(result.unwrap_err().is_crash());
         assert_eq!(clock.now().as_micros(), 0, "no backoff charged");
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_bounded_and_decorrelated() {
+        let policy = RetryPolicy::default()
+            .with_attempts(8)
+            .with_decorrelated_jitter(7);
+        let a = policy.backoff_schedule();
+        let b = policy.backoff_schedule();
+        assert_eq!(a, b, "same seed must replay the same sleeps");
+        assert_eq!(a.len(), 7);
+        for &sleep in &a {
+            assert!(sleep >= policy.initial_backoff_nanos, "floor is initial");
+            assert!(sleep <= policy.max_backoff_nanos, "cap holds");
+        }
+        // A different seed decorrelates the sleeps.
+        let other = RetryPolicy::default()
+            .with_attempts(8)
+            .with_decorrelated_jitter(8)
+            .backoff_schedule();
+        assert_ne!(a, other);
+        // The fixed schedule stays what it always was: doubling, capped.
+        let fixed = RetryPolicy::default()
+            .with_attempts(5)
+            .with_max_backoff_nanos(350_000)
+            .backoff_schedule();
+        assert_eq!(fixed, vec![100_000, 200_000, 350_000, 350_000]);
+    }
+
+    #[test]
+    fn overloaded_retry_after_floors_the_backoff_sleep() {
+        let clock = SimClock::new();
+        let mut failures_left = 1;
+        let policy = RetryPolicy::default().with_decorrelated_jitter(3);
+        let result = policy.run_when(
+            &clock,
+            |err| err.is_retryable(),
+            || {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    // retry_after far above the jitter range.
+                    Err(crate::StorageError::overloaded(900_000_000))
+                } else {
+                    Ok(1)
+                }
+            },
+        );
+        assert_eq!(result.unwrap(), 1);
+        assert!(
+            clock.now().0 >= 900_000_000,
+            "slept only {}ns; the shed's retry_after floor was ignored",
+            clock.now().0
+        );
     }
 
     #[test]

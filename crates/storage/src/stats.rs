@@ -77,6 +77,14 @@ impl IoStats {
         // re-resolves the same handles via `BackendStats::register` at
         // open), so even an idle store exports the full required set.
         let _ = crate::backend::BackendStats::register(&registry);
+        // Same for the admission-control plane: the controller re-resolves
+        // these handles from the store's registry when one is attached,
+        // and an engine running without admission still exports them.
+        let _ = registry.counter(names::ADMIT_ADMITTED_TOTAL);
+        let _ = registry.counter(names::ADMIT_SHED_TOTAL);
+        let _ = registry.counter(names::ADMIT_STALE_READS_TOTAL);
+        let _ = registry.counter(names::QUERY_HOP_TRUNCATIONS_TOTAL);
+        let _ = registry.histogram(names::ADMIT_QUEUE_WAIT_LATENCY_NS);
         IoStats {
             appends: registry.counter(names::STORAGE_APPENDS_TOTAL),
             bytes_appended: registry.counter(names::STORAGE_BYTES_APPENDED_TOTAL),

@@ -14,13 +14,19 @@
 //! | [`DouyinFollow`] | 99% / 1% | single-edge inserts + one-hop queries |
 //! | [`FinancialRiskControl`] | 50% / 50% | edge inserts (TTL'd) + existence checks + pattern matching, 5–10 hops |
 //! | [`DouyinRecommendation`] | read-only | 70% 1-hop, 20% 2-hop, 10% 3-hop |
+//!
+//! The [`skewed`] module adds two overload-oriented generators beyond the
+//! Table 1 mix: [`SuperNodeSkew`] (celebrity hotspots growing super-node
+//! adjacency) and [`TtlChurn`] (insert/expire churn at steady state).
 
 pub mod ops;
+pub mod skewed;
 pub mod spec;
 pub mod workload;
 pub mod zipf;
 
 pub use ops::Op;
+pub use skewed::{SuperNodeSkew, SuperNodeSpec, TtlChurn, TtlChurnSpec};
 pub use spec::{table1, WorkloadSpec};
 pub use workload::{DouyinFollow, DouyinRecommendation, FinancialRiskControl, WorkloadGen};
 pub use zipf::Zipf;

@@ -55,12 +55,23 @@ pub enum Op {
         /// Cycle length in edges.
         length: usize,
     },
+    /// Delete a specific edge — emitted by TTL-churn workloads when an
+    /// edge's lifetime elapses (application-level expiry, distinct from
+    /// the store's extent-level TTL reclamation).
+    DeleteEdge {
+        /// Source vertex.
+        src: VertexId,
+        /// Edge type.
+        etype: EdgeType,
+        /// Destination vertex.
+        dst: VertexId,
+    },
 }
 
 impl Op {
     /// True for operations that mutate the graph.
     pub fn is_write(&self) -> bool {
-        matches!(self, Op::InsertEdge { .. })
+        matches!(self, Op::InsertEdge { .. } | Op::DeleteEdge { .. })
     }
 }
 
@@ -87,6 +98,12 @@ mod tests {
             anchor: VertexId(1),
             etype: EdgeType::TRANSFER,
             length: 3
+        }
+        .is_write());
+        assert!(Op::DeleteEdge {
+            src: VertexId(1),
+            etype: EdgeType::TRANSFER,
+            dst: VertexId(2),
         }
         .is_write());
     }

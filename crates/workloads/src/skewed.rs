@@ -1,0 +1,406 @@
+//! Overload-oriented skewed workloads: super-node celebrity skew and
+//! TTL-driven edge churn.
+//!
+//! Table 1's generators draw every vertex from one Zipf distribution; the
+//! two generators here model the shapes that break engines *past* ordinary
+//! power-law skew and that the `overload` experiment sweeps:
+//!
+//! - [`SuperNodeSkew`] concentrates a configurable fraction of all traffic
+//!   on a tiny celebrity set, growing a handful of super-node adjacency
+//!   lists whose one-hop scans dominate read cost (the "viral video"
+//!   hotspot of §2.1).
+//! - [`TtlChurn`] inserts transfer edges with a fixed application-level
+//!   lifetime and deletes each one when it expires, holding the live edge
+//!   set at a steady state while write traffic (insert + delete) never
+//!   stops — the risk-control churn that keeps GC debt permanently nonzero.
+//!
+//! Both are spec-driven ([`SuperNodeSpec`], [`TtlChurnSpec`]) so the bench
+//! harness can print the knobs alongside Table 1's rows, and both are
+//! deterministic per seed like every other generator in this crate.
+
+use crate::ops::Op;
+use crate::workload::WorkloadGen;
+use crate::zipf::Zipf;
+use bg3_graph::{EdgeType, PropertyValue, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Knobs for [`SuperNodeSkew`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuperNodeSpec {
+    /// Total user population.
+    pub users: u64,
+    /// Size of the celebrity set (vertex ids `0..celebrities`).
+    pub celebrities: u64,
+    /// Fraction of all operations that target a celebrity vertex.
+    pub celebrity_fraction: f64,
+    /// Fraction of operations that are writes (edge inserts).
+    pub write_fraction: f64,
+    /// Zipf exponent for the non-celebrity tail.
+    pub tail_exponent: f64,
+    /// Fan-out cap for one-hop reads.
+    pub read_limit: usize,
+}
+
+impl Default for SuperNodeSpec {
+    fn default() -> Self {
+        SuperNodeSpec {
+            users: 100_000,
+            celebrities: 8,
+            celebrity_fraction: 0.5,
+            write_fraction: 0.05,
+            tail_exponent: 1.0,
+            read_limit: 100,
+        }
+    }
+}
+
+/// Celebrity-skew generator: `celebrity_fraction` of traffic lands on a
+/// set of `celebrities` super-nodes; the rest follows the usual Zipf tail.
+/// Writes insert follower edges *onto* the chosen vertex, so celebrity
+/// adjacency lists grow roughly `celebrity_fraction / celebrities` times
+/// the total write volume each — orders of magnitude past the tail.
+pub struct SuperNodeSkew {
+    spec: SuperNodeSpec,
+    rng: StdRng,
+    tail: Zipf,
+    clock: u64,
+}
+
+impl SuperNodeSkew {
+    /// Creates a generator from `spec`, deterministic per `seed`.
+    pub fn new(spec: SuperNodeSpec, seed: u64) -> Self {
+        assert!(spec.celebrities >= 1, "need at least one celebrity");
+        assert!(
+            spec.celebrities < spec.users,
+            "celebrity set must be a strict subset"
+        );
+        assert!((0.0..=1.0).contains(&spec.celebrity_fraction));
+        assert!((0.0..=1.0).contains(&spec.write_fraction));
+        let tail = Zipf::new(spec.users - spec.celebrities, spec.tail_exponent);
+        SuperNodeSkew {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+            tail,
+            clock: 0,
+        }
+    }
+
+    /// The spec this generator was built from.
+    pub fn spec(&self) -> &SuperNodeSpec {
+        &self.spec
+    }
+
+    /// True when `v` is in the celebrity set.
+    pub fn is_celebrity(&self, v: VertexId) -> bool {
+        v.0 < self.spec.celebrities
+    }
+
+    fn pick_target(&mut self) -> VertexId {
+        if self.rng.gen_bool(self.spec.celebrity_fraction) {
+            // Celebrities are uniformly hot: the point of the workload is
+            // a *set* of super-nodes, not one.
+            VertexId(self.rng.gen_range(0..self.spec.celebrities))
+        } else {
+            // Tail ids start above the celebrity range.
+            VertexId(self.spec.celebrities + self.tail.sample(&mut self.rng) - 1)
+        }
+    }
+}
+
+impl WorkloadGen for SuperNodeSkew {
+    fn next_op(&mut self) -> Op {
+        self.clock += 1;
+        let target = self.pick_target();
+        if self.rng.gen_bool(self.spec.write_fraction) {
+            // A new follower (drawn from the whole population) follows the
+            // hot vertex: the edge lands in `target`'s adjacency group.
+            let follower = VertexId(self.rng.gen_range(0..self.spec.users));
+            Op::InsertEdge {
+                src: target,
+                etype: EdgeType::FOLLOW,
+                dst: follower,
+                props: PropertyValue::Int(self.clock as i64).encode(),
+            }
+        } else {
+            Op::OneHop {
+                src: target,
+                etype: EdgeType::FOLLOW,
+                limit: self.spec.read_limit,
+            }
+        }
+    }
+
+    fn etype(&self) -> EdgeType {
+        EdgeType::FOLLOW
+    }
+}
+
+/// Knobs for [`TtlChurn`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TtlChurnSpec {
+    /// Account population (Zipf-distributed).
+    pub accounts: u64,
+    /// Zipf exponent.
+    pub exponent: f64,
+    /// Edge lifetime measured in emitted operations: an edge inserted at
+    /// sequence `i` is deleted by the first op emitted at sequence
+    /// `>= i + ttl_ops`.
+    pub ttl_ops: u64,
+    /// Fraction of non-expiry operations that insert a new edge (the rest
+    /// are existence checks on live edges).
+    pub insert_fraction: f64,
+}
+
+impl Default for TtlChurnSpec {
+    fn default() -> Self {
+        TtlChurnSpec {
+            accounts: 50_000,
+            exponent: 1.0,
+            ttl_ops: 512,
+            insert_fraction: 0.5,
+        }
+    }
+}
+
+/// TTL-churn generator: every inserted transfer edge carries a lifetime of
+/// `ttl_ops` operations; expiry deletes take priority over new traffic, so
+/// the live set is bounded at roughly `ttl_ops * insert_fraction` edges
+/// and the delete rate converges to the insert rate — a workload that is
+/// all churn and no growth.
+pub struct TtlChurn {
+    spec: TtlChurnSpec,
+    rng: StdRng,
+    accounts: Zipf,
+    clock: u64,
+    /// Live edges in insertion order: (inserted_at, src, dst).
+    live: VecDeque<(u64, VertexId, VertexId)>,
+}
+
+impl TtlChurn {
+    /// Creates a generator from `spec`, deterministic per `seed`.
+    pub fn new(spec: TtlChurnSpec, seed: u64) -> Self {
+        assert!(spec.ttl_ops >= 1, "zero-lifetime edges never exist");
+        assert!((0.0..=1.0).contains(&spec.insert_fraction));
+        let accounts = Zipf::new(spec.accounts, spec.exponent);
+        TtlChurn {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+            accounts,
+            clock: 0,
+            live: VecDeque::new(),
+        }
+    }
+
+    /// The spec this generator was built from.
+    pub fn spec(&self) -> &TtlChurnSpec {
+        &self.spec
+    }
+
+    /// Number of currently live (inserted, not yet expired) edges.
+    pub fn live_edges(&self) -> usize {
+        self.live.len()
+    }
+}
+
+impl WorkloadGen for TtlChurn {
+    fn next_op(&mut self) -> Op {
+        self.clock += 1;
+        // Expiry first: an edge past its lifetime is deleted before any
+        // new traffic is generated, so staleness is bounded by one op.
+        if let Some(&(inserted_at, src, dst)) = self.live.front() {
+            if self.clock >= inserted_at + self.spec.ttl_ops {
+                self.live.pop_front();
+                return Op::DeleteEdge {
+                    src,
+                    etype: EdgeType::TRANSFER,
+                    dst,
+                };
+            }
+        }
+        if self.rng.gen_bool(self.spec.insert_fraction) || self.live.is_empty() {
+            let src = VertexId(self.accounts.sample(&mut self.rng));
+            let dst = VertexId(self.accounts.sample(&mut self.rng));
+            self.live.push_back((self.clock, src, dst));
+            Op::InsertEdge {
+                src,
+                etype: EdgeType::TRANSFER,
+                dst,
+                props: PropertyValue::Int(self.clock as i64).encode(),
+            }
+        } else {
+            // Check a uniformly random live edge — recently-written data
+            // is exactly what risk-control reconciliation reads.
+            let idx = self.rng.gen_range(0..self.live.len());
+            let (_, src, dst) = self.live[idx];
+            Op::CheckEdge {
+                src,
+                etype: EdgeType::TRANSFER,
+                dst,
+            }
+        }
+    }
+
+    fn etype(&self) -> EdgeType {
+        EdgeType::TRANSFER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn celebrity_set_receives_configured_traffic_share() {
+        let spec = SuperNodeSpec {
+            users: 10_000,
+            celebrities: 4,
+            celebrity_fraction: 0.6,
+            ..SuperNodeSpec::default()
+        };
+        let mut w = SuperNodeSkew::new(spec, 42);
+        let mut on_celebrity = 0usize;
+        let total = 20_000usize;
+        for _ in 0..total {
+            let src = match w.next_op() {
+                Op::InsertEdge { src, .. } | Op::OneHop { src, .. } => src,
+                other => panic!("unexpected op {other:?}"),
+            };
+            if w.is_celebrity(src) {
+                on_celebrity += 1;
+            }
+        }
+        let frac = on_celebrity as f64 / total as f64;
+        assert!(
+            (frac - 0.6).abs() < 0.02,
+            "celebrity traffic share {frac}, wanted ~0.6"
+        );
+    }
+
+    #[test]
+    fn degree_distribution_concentrates_on_super_nodes() {
+        let spec = SuperNodeSpec {
+            users: 10_000,
+            celebrities: 4,
+            celebrity_fraction: 0.5,
+            write_fraction: 1.0, // writes only: measure adjacency growth
+            ..SuperNodeSpec::default()
+        };
+        let mut w = SuperNodeSkew::new(spec, 7);
+        let mut degree: HashMap<u64, usize> = HashMap::new();
+        let total = 40_000usize;
+        for _ in 0..total {
+            match w.next_op() {
+                Op::InsertEdge { src, .. } => *degree.entry(src.0).or_default() += 1,
+                other => panic!("expected only inserts, got {other:?}"),
+            }
+        }
+        // Each of the 4 celebrities holds ~1/8 of all edges; the hottest
+        // tail vertex (Zipf rank 1 of ~10k at exponent 1.0) holds about
+        // 1/(2·H(10k)) ≈ 5% of the tail half — several times less.
+        let min_celebrity = (0..4).map(|v| degree.get(&v).copied().unwrap_or(0)).min();
+        let max_tail = degree
+            .iter()
+            .filter(|(&v, _)| v >= 4)
+            .map(|(_, &d)| d)
+            .max()
+            .unwrap_or(0);
+        let min_celebrity = min_celebrity.unwrap_or(0);
+        assert!(
+            min_celebrity > 2 * max_tail,
+            "coldest celebrity degree {min_celebrity} not clearly above hottest tail {max_tail}"
+        );
+        assert!(
+            min_celebrity as f64 > 0.08 * total as f64,
+            "each celebrity should hold ~12.5% of edges, got {min_celebrity}/{total}"
+        );
+    }
+
+    #[test]
+    fn ttl_churn_deletes_exactly_at_expiry() {
+        let spec = TtlChurnSpec {
+            ttl_ops: 64,
+            ..TtlChurnSpec::default()
+        };
+        let mut w = TtlChurn::new(spec, 42);
+        // Zipf skew repeats (src, dst) pairs, so track a FIFO of insert
+        // sequences per key: a delete always retires the oldest instance.
+        let mut inserted_at: HashMap<(u64, u64), Vec<u64>> = HashMap::new();
+        let mut deletes = 0usize;
+        for seq in 1..=20_000u64 {
+            match w.next_op() {
+                Op::InsertEdge { src, dst, .. } => {
+                    inserted_at.entry((src.0, dst.0)).or_default().push(seq);
+                }
+                Op::DeleteEdge { src, dst, .. } => {
+                    deletes += 1;
+                    let seqs = inserted_at
+                        .get_mut(&(src.0, dst.0))
+                        .filter(|s| !s.is_empty())
+                        .expect("delete of an edge this workload never inserted");
+                    let at = seqs.remove(0);
+                    let age = seq - at;
+                    // Expiry-first scheduling bounds staleness: the delete
+                    // lands on the first op at or after the deadline, and
+                    // at most one expiry is emitted per op, so a backlog
+                    // of b live-and-due edges drains within b ops. With
+                    // insert_fraction 0.5 the backlog never builds up.
+                    assert!(
+                        age >= 64,
+                        "edge deleted after {age} ops, before its 64-op TTL"
+                    );
+                    assert!(age <= 64 + 16, "delete lagged expiry by {} ops", age - 64);
+                }
+                Op::CheckEdge { src, dst, .. } => {
+                    assert!(
+                        inserted_at
+                            .get(&(src.0, dst.0))
+                            .is_some_and(|s| !s.is_empty()),
+                        "checked an expired or never-inserted edge"
+                    );
+                }
+                other => panic!("unexpected op {other:?}"),
+            }
+        }
+        assert!(deletes > 5_000, "churn steady state reached: {deletes}");
+    }
+
+    #[test]
+    fn ttl_churn_live_set_reaches_steady_state() {
+        let spec = TtlChurnSpec {
+            ttl_ops: 100,
+            insert_fraction: 0.5,
+            ..TtlChurnSpec::default()
+        };
+        let mut w = TtlChurn::new(spec, 9);
+        for _ in 0..5_000 {
+            w.next_op();
+        }
+        // Inserts happen on ~half the non-expiry ops and each lives 100
+        // ops, so the live set hovers near 100 * 0.5 / (1 + 0.5) ≈ 33;
+        // the hard bound is ttl_ops (one insert per op at most).
+        let live = w.live_edges();
+        assert!(live > 0, "steady state must keep edges live");
+        assert!(live <= 100, "live set {live} exceeded the ttl_ops bound");
+    }
+
+    #[test]
+    fn skewed_generators_are_deterministic_per_seed() {
+        let mut a = SuperNodeSkew::new(SuperNodeSpec::default(), 5);
+        let mut b = SuperNodeSkew::new(SuperNodeSpec::default(), 5);
+        for _ in 0..200 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        let mut c = TtlChurn::new(TtlChurnSpec::default(), 5);
+        let mut d = TtlChurn::new(TtlChurnSpec::default(), 5);
+        for _ in 0..200 {
+            assert_eq!(c.next_op(), d.next_op());
+        }
+        let mut e = TtlChurn::new(TtlChurnSpec::default(), 6);
+        let ops_d: Vec<Op> = (0..200).map(|_| d.next_op()).collect();
+        let ops_e: Vec<Op> = (0..200).map(|_| e.next_op()).collect();
+        assert_ne!(ops_d, ops_e, "different seeds diverge");
+    }
+}

@@ -65,4 +65,12 @@ RUSTFLAGS="-D warnings" cargo test --quiet -p bg3-query --test query_equivalence
 echo "==> khop smoke (batched vs per-vertex frontier sweep)"
 cargo run --release --quiet -p bg3-bench --bin reproduce -- khop --scale quick
 
+echo "==> admission conservation + bounded-queue proptests"
+RUSTFLAGS="-D warnings" cargo test --quiet --test admission_properties
+
+echo "==> overload smoke (0.5x-2x saturation sweep) + metrics drift gate"
+cargo run --release --quiet -p bg3-bench --bin reproduce -- overload --scale quick \
+    --metrics-json target/metrics-overload-smoke.json
+cargo run --release --quiet -p bg3-bench --bin metrics_check -- target/metrics-overload-smoke.json
+
 echo "==> all checks passed"

@@ -41,6 +41,9 @@ fn apply(store: &dyn GraphStore, op: &Op) {
             )
             .unwrap();
         }
+        Op::DeleteEdge { src, etype, dst } => {
+            store.delete_edge(*src, *etype, *dst).unwrap();
+        }
         Op::CheckEdge { src, etype, dst } => {
             store.get_edge(*src, *etype, *dst).unwrap();
         }
@@ -143,6 +146,10 @@ fn risk_control_workload_runs_on_replicated_bg3_with_full_recall() {
                     dep.ro_check_edge(0, src, etype, dst).unwrap(),
                     "op {i}: follower missed a verified edge"
                 );
+            }
+            Op::DeleteEdge { src, etype, dst } => {
+                dep.delete_edge(src, etype, dst).unwrap();
+                audit.retain(|e| *e != (src, etype, dst));
             }
             Op::PatternCycle { .. } | Op::OneHop { .. } | Op::KHop { .. } => {
                 // Deep analysis runs against follower 1's replica.
