@@ -3,9 +3,9 @@
 //! ```text
 //! reproduce [all|table1|fig8|cost|fig9|fig10|fig11|table2|fig12|fig13|fig14
 //!            |ablation|chaos|failover|scrub|cache_scaling|disk_smoke|khop
-//!            |overload]
+//!            |overload|profile]
 //!           [--scale full|quick] [--json <path>] [--metrics-json <path>]
-//!           [--threads N] [--cycles N]
+//!           [--threads N] [--cycles N] [--slow-log N]
 //! ```
 //!
 //! Prints each experiment's rows in the shape of the paper's artifact and,
@@ -20,7 +20,8 @@
 //! `--threads N` appends real-OS-thread `cache_scaling` and `khop` runs at
 //! that thread count (wall-clock throughput over one shared engine). `--cycles
 //! N` overrides the failover and scrub experiments' crash/failover cycle
-//! counts.
+//! counts. `--slow-log N` overrides the `profile` experiment's slow-query-log
+//! capacity (the K worst profiles kept by modelled cost).
 
 use bg3_bench::experiments::*;
 use bg3_obs::export;
@@ -45,6 +46,8 @@ struct Scale {
     disk_smoke_threads: usize,
     disk_smoke_per_thread: usize,
     overload_ops: usize,
+    profile_queries: usize,
+    slow_log_k: usize,
 }
 
 const FULL: Scale = Scale {
@@ -65,6 +68,8 @@ const FULL: Scale = Scale {
     disk_smoke_threads: 4,
     disk_smoke_per_thread: 200,
     overload_ops: 4_000,
+    profile_queries: 600,
+    slow_log_k: 8,
 };
 
 const QUICK: Scale = Scale {
@@ -85,6 +90,8 @@ const QUICK: Scale = Scale {
     disk_smoke_threads: 2,
     disk_smoke_per_thread: 60,
     overload_ops: 1_000,
+    profile_queries: 150,
+    slow_log_k: 5,
 };
 
 fn main() {
@@ -95,6 +102,7 @@ fn main() {
     let mut scale = &FULL;
     let mut threads: Option<usize> = None;
     let mut cycles: Option<usize> = None;
+    let mut slow_log: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -120,6 +128,13 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .or_else(|| panic!("--cycles takes a positive integer"));
             }
+            "--slow-log" => {
+                slow_log = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .or_else(|| panic!("--slow-log takes a positive integer"));
+            }
             other => which.push(other.to_string()),
         }
     }
@@ -143,6 +158,7 @@ fn main() {
             "disk_smoke",
             "khop",
             "overload",
+            "profile",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -152,7 +168,7 @@ fn main() {
     let mut results: Vec<(String, Value)> = Vec::new();
     for name in &which {
         let started = Instant::now();
-        let (rendered, value) = run_one(name, scale, cycles);
+        let (rendered, value) = run_one(name, scale, cycles, slow_log);
         println!("{rendered}");
         for line in export::experiment_summary(&value) {
             println!("[{name} {line}]");
@@ -207,7 +223,12 @@ fn main() {
     }
 }
 
-fn run_one(name: &str, scale: &Scale, cycles: Option<usize>) -> (String, Value) {
+fn run_one(
+    name: &str,
+    scale: &Scale,
+    cycles: Option<usize>,
+    slow_log: Option<usize>,
+) -> (String, Value) {
     match name {
         "table1" => (table1::render(), json!(null)),
         "fig8" => {
@@ -327,6 +348,13 @@ fn run_one(name: &str, scale: &Scale, cycles: Option<usize>) -> (String, Value) 
             let report = overload::run(scale.overload_ops);
             (
                 overload::render(&report),
+                serde_json::to_value(&report).unwrap(),
+            )
+        }
+        "profile" => {
+            let report = profile::run(scale.profile_queries, slow_log.unwrap_or(scale.slow_log_k));
+            (
+                profile::render(&report),
                 serde_json::to_value(&report).unwrap(),
             )
         }

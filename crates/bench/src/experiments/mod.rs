@@ -15,6 +15,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod khop;
 pub mod overload;
+pub mod profile;
 pub mod scrub;
 pub mod table1;
 pub mod table2;

@@ -820,7 +820,12 @@ impl BwTree {
                     }
                 }
                 // Fallback: dirty page (delta overlay) or unsupported keys —
-                // scan the merged image.
+                // scan the merged image. Only a dirty page is a true delta
+                // merge crossed; a clean page without a CSR segment is a
+                // plain base scan.
+                if !state.pending.is_empty() {
+                    bg3_obs::span::charge(bg3_obs::CostDim::DeltaMerges, 1);
+                }
                 let merged = state.merged_entries();
                 let begin = merged.partition_point(|(k, _)| k.as_slice() < prefix.as_slice());
                 for (k, v) in &merged[begin..] {

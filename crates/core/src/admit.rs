@@ -369,6 +369,7 @@ impl AdmissionController {
         self.admitted_n.fetch_add(1, Ordering::Relaxed);
         self.admitted_total.inc();
         self.queue_wait.record(wait);
+        bg3_obs::span::charge(bg3_obs::CostDim::AdmitWaitNanos, wait);
         Ok(Admitted {
             queue_wait_nanos: wait,
             pressure,

@@ -643,6 +643,8 @@ impl GraphStore for Bg3Db {
         self.store
             .stats()
             .record_adjacency_scan(outcome.bytes_scanned, outcome.segments_scanned);
+        // Ledger-only dimension: CSR fast-path hits have no global mirror.
+        bg3_obs::span::charge(bg3_obs::CostDim::CsrHits, outcome.csr_hits);
         Ok(out)
     }
 
@@ -670,6 +672,7 @@ impl GraphStore for Bg3Db {
         self.store
             .stats()
             .record_adjacency_scan(outcome.bytes_scanned, outcome.segments_scanned);
+        bg3_obs::span::charge(bg3_obs::CostDim::CsrHits, outcome.csr_hits);
         Ok(())
     }
 

@@ -66,6 +66,11 @@ fn latency_line(metric_name: &str, hist: &HistogramSnapshot) -> String {
     let op = metric_name
         .strip_suffix("_latency_ns")
         .unwrap_or(metric_name);
+    // An empty histogram would render `p50 0ns … max 0ns`, which reads as
+    // a real (and implausibly fast) measurement; mark it unexercised.
+    if hist.count == 0 {
+        return format!("latency {op}: no samples (n=0)");
+    }
     format!("latency {op}: {}", percentile_line(hist))
 }
 
@@ -223,24 +228,55 @@ pub fn fencing_summary(value: &Value) -> Option<String> {
     ))
 }
 
+/// Maps a metric name onto the Prometheus charset `[a-zA-Z0-9_:]`,
+/// replacing every other byte with `_` (and prefixing `_` if the name
+/// would start with a digit). Registry names are already conformant; this
+/// guards externally-sourced names (merged `--metrics-json` files) from
+/// producing an unparsable exposition.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Escapes a label value per the Prometheus text exposition rules:
+/// backslash, double quote, and newline must be escaped inside the
+/// `label="…"` quotes.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders a snapshot in the Prometheus text exposition format
-/// (cumulative `_bucket{le=…}` series per histogram).
+/// (cumulative `_bucket{le=…}` series per histogram). Names are run
+/// through [`sanitize_metric_name`] and label values through
+/// [`escape_label_value`].
 pub fn prometheus_text(metrics: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for c in &metrics.counters {
-        out.push_str(&format!(
-            "# TYPE {} counter\n{} {}\n",
-            c.name, c.name, c.value
-        ));
+        let name = sanitize_metric_name(&c.name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.value));
     }
     for g in &metrics.gauges {
-        out.push_str(&format!(
-            "# TYPE {} gauge\n{} {}\n",
-            g.name, g.name, g.value
-        ));
+        let name = sanitize_metric_name(&g.name);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.value));
     }
     for h in &metrics.histograms {
-        let name = &h.name;
+        let name = sanitize_metric_name(&h.name);
         out.push_str(&format!("# TYPE {name} histogram\n"));
         let mut cumulative = 0u64;
         for b in &h.histogram.buckets {
@@ -251,8 +287,11 @@ pub fn prometheus_text(metrics: &MetricsSnapshot) -> String {
             ));
         }
         out.push_str(&format!(
-            "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
-            h.histogram.count, h.histogram.sum_nanos, h.histogram.count
+            "{name}_bucket{{le=\"{}\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+            escape_label_value("+Inf"),
+            h.histogram.count,
+            h.histogram.sum_nanos,
+            h.histogram.count
         ));
     }
     out
@@ -296,6 +335,67 @@ mod tests {
         );
         assert!(lines[2].starts_with("latency wal_flush:"));
         assert!(lines[3].starts_with("latency gc_move:"));
+    }
+
+    #[test]
+    fn empty_histograms_marked_not_fake_measured() {
+        let lines = latency_lines(&sample_registry().snapshot());
+        // The unexercised ops must not print `max 0ns` lines that read as
+        // real (implausibly fast) measurements.
+        for line in &lines[1..] {
+            assert!(
+                !line.contains("max 0ns"),
+                "empty histogram rendered as a measurement: {line}"
+            );
+            assert!(
+                line.ends_with("no samples (n=0)"),
+                "expected the n=0 marker: {line}"
+            );
+        }
+        assert!(
+            lines[0].contains("max "),
+            "exercised op still shows percentiles: {}",
+            lines[0]
+        );
+    }
+
+    #[test]
+    fn sanitize_metric_name_maps_to_prometheus_charset() {
+        assert_eq!(
+            sanitize_metric_name("storage_appends_total"),
+            "storage_appends_total"
+        );
+        assert_eq!(
+            sanitize_metric_name("bad name-with.dots"),
+            "bad_name_with_dots"
+        );
+        assert_eq!(
+            sanitize_metric_name("9starts_with_digit"),
+            "_9starts_with_digit"
+        );
+        assert_eq!(sanitize_metric_name("colons:ok"), "colons:ok");
+        assert_eq!(sanitize_metric_name("ünïcode"), "_n_code");
+    }
+
+    #[test]
+    fn escape_label_value_escapes_quotes_backslashes_newlines() {
+        assert_eq!(escape_label_value("+Inf"), "+Inf");
+        assert_eq!(escape_label_value(r#"say "hi""#), r#"say \"hi\""#);
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("line1\nline2"), r"line1\nline2");
+    }
+
+    #[test]
+    fn prometheus_text_sanitizes_external_names() {
+        let mut snap = sample_registry().snapshot();
+        // Externally-merged snapshots can carry non-conformant names.
+        snap.counters.push(crate::registry::CounterSample {
+            name: "weird metric.name".to_string(),
+            value: 7,
+        });
+        let text = prometheus_text(&snap);
+        assert!(text.contains("# TYPE weird_metric_name counter\nweird_metric_name 7\n"));
+        assert!(!text.contains("weird metric.name"));
     }
 
     #[test]

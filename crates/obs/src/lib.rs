@@ -10,6 +10,11 @@
 //!   state transitions (split-out, delta merge, relocation, epoch seal,
 //!   fence rejection, election, replay), letting chaos and failover
 //!   experiments assert on *sequences*, not just totals.
+//! - [`span`]: request-scoped tracing — a per-request `CostLedger` of
+//!   attribution counters charged from inside the engine's `IoStats`
+//!   recorders (so summed per-query ledgers equal global registry deltas
+//!   by construction), virtual-time `Span` trees with per-hop cost
+//!   deltas, and a keep-K-worst `SlowQueryLog` of `QueryProfile`s.
 //! - [`export`] / [`json`]: Prometheus-text and JSON renderers, the
 //!   shared per-experiment summary formatter, and the parser behind the
 //!   `--metrics-json` round-trip checks.
@@ -23,6 +28,7 @@ pub mod hist;
 pub mod json;
 pub mod names;
 pub mod registry;
+pub mod span;
 pub mod trace;
 pub mod value;
 
@@ -30,6 +36,10 @@ pub use hist::{BucketCount, HistogramSnapshot, LatencyHistogram};
 pub use registry::{
     Counter, CounterSample, Gauge, GaugeSample, Histogram, HistogramSample, MetricRegistry,
     MetricsSnapshot,
+};
+pub use span::{
+    charge, CostDim, CostLedger, CostSnapshot, QueryProfile, SlowQueryLog, Span, SpanAttr,
+    SpanRecord, TraceContext, VirtualClock,
 };
 pub use trace::{TraceBuffer, TraceEvent, TraceKind};
 pub use value::ValueExt;

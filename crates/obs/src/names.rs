@@ -89,11 +89,25 @@ pub const ADMIT_STALE_READS_TOTAL: &str = "admit_stale_reads_total";
 /// Traversal expansions truncated by the executor's per-hop cost ceiling
 /// (degraded-mode traversals only; fresh-mode queries never truncate).
 pub const QUERY_HOP_TRUNCATIONS_TOTAL: &str = "query_hop_truncations_total";
+/// Queries executed under PROFILE mode (span tree + cost ledger).
+pub const QUERY_PROFILES_TOTAL: &str = "query_profiles_total";
+/// Spans recorded by profiled queries (root + per-hop).
+pub const QUERY_PROFILE_SPANS_TOTAL: &str = "query_profile_spans_total";
+/// Profiles offered to the slow-query log.
+pub const SLOW_QUERY_RECORDED_TOTAL: &str = "slow_query_recorded_total";
+/// Slow-log offers that displaced an entry or were dropped as too cheap.
+pub const SLOW_QUERY_EVICTED_TOTAL: &str = "slow_query_evicted_total";
+/// Trace-ring events overwritten before they could be read (ring wrap).
+pub const TRACE_DROPPED_EVENTS_TOTAL: &str = "trace_dropped_events_total";
 
 /// Bytes moved by the most recent reclaimer cycle (gauge).
 pub const GC_LAST_CYCLE_MOVED_BYTES: &str = "gc_last_cycle_moved_bytes";
 /// Current virtual queue length of the deepest admission class (gauge).
 pub const ADMIT_QUEUE_DEPTH: &str = "admit_queue_depth";
+/// Profiles currently kept by the slow-query log (gauge).
+pub const SLOW_QUERY_LOG_ENTRIES: &str = "slow_query_log_entries";
+/// Modelled cost of the worst profile in the slow-query log (gauge; ns).
+pub const SLOW_QUERY_WORST_COST_NS: &str = "slow_query_worst_cost_ns";
 
 /// Virtual-time latency of storage random reads (cache misses; ns).
 pub const STORAGE_READ_LATENCY_NS: &str = "storage_read_latency_ns";
@@ -116,6 +130,9 @@ pub const QUERY_FRONTIER_LEN: &str = "query_frontier_len";
 /// Virtual-time queue wait charged to admitted operations by the
 /// token-bucket admission model (ns).
 pub const ADMIT_QUEUE_WAIT_LATENCY_NS: &str = "admit_queue_wait_latency_ns";
+/// Modelled virtual-time cost of profiled queries (waits + per-segment +
+/// per-byte scan pricing; ns). The slow-query log ranks by this.
+pub const QUERY_PROFILE_COST_LATENCY_NS: &str = "query_profile_cost_latency_ns";
 
 /// Counters every store registers up front; the check.sh drift gate
 /// requires all of these in `--metrics-json` output.
@@ -156,6 +173,11 @@ pub const REQUIRED_COUNTERS: &[&str] = &[
     ADMIT_SHED_TOTAL,
     ADMIT_STALE_READS_TOTAL,
     QUERY_HOP_TRUNCATIONS_TOTAL,
+    QUERY_PROFILES_TOTAL,
+    QUERY_PROFILE_SPANS_TOTAL,
+    SLOW_QUERY_RECORDED_TOTAL,
+    SLOW_QUERY_EVICTED_TOTAL,
+    TRACE_DROPPED_EVENTS_TOTAL,
 ];
 
 /// Histograms every store registers up front; also enforced by the gate,
@@ -170,4 +192,5 @@ pub const REQUIRED_HISTOGRAMS: &[&str] = &[
     SCRUB_CYCLE_LATENCY_NS,
     QUERY_FRONTIER_LEN,
     ADMIT_QUEUE_WAIT_LATENCY_NS,
+    QUERY_PROFILE_COST_LATENCY_NS,
 ];

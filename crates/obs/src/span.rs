@@ -1,0 +1,703 @@
+//! Request-scoped tracing and per-query cost attribution.
+//!
+//! Three pieces build the query profiler:
+//!
+//! - [`CostLedger`]: a per-request vector of attribution counters
+//!   ([`CostDim`]) — bytes scanned, CSR segments/hits, cache hits/misses,
+//!   storage reads, WAL and admission waits, retries, delta merges
+//!   crossed, hops truncated. A request *installs* its ledger on the
+//!   current thread ([`CostLedger::install`]); every instrumented charge
+//!   site in the engine then calls the free function [`charge`], which
+//!   adds to the innermost installed ledger (a cheap thread-local check
+//!   plus one relaxed atomic add) and is a near-no-op when no ledger is
+//!   active. Charges live *inside* the same `IoStats` recorders that bump
+//!   the global registry counters, so the conservation invariant — summed
+//!   per-query ledgers equal the global registry deltas — holds by
+//!   construction whenever every operation in a measurement window runs
+//!   under an installed ledger.
+//! - [`TraceContext`] / [`Span`]: cheap request-scoped span trees. IDs are
+//!   plain `u64`s (a process-global trace id, per-context span ids),
+//!   timestamps come from an injectable [`VirtualClock`] (virtual-time
+//!   nanoseconds, never wall time), parent links make the flat
+//!   [`SpanRecord`] list a serializable tree, and every finished span
+//!   carries the ledger delta observed during its lifetime (inclusive of
+//!   its children, like wall time).
+//! - [`SlowQueryLog`]: a bounded keep-K-worst log of [`QueryProfile`]s
+//!   ranked by modelled cost, with its occupancy and worst cost mirrored
+//!   into `slow_query_*` registry metrics for the Prometheus/JSON
+//!   exporters.
+
+use crate::names;
+use crate::registry::{Counter, Gauge, MetricRegistry};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Modelled cost of touching one adjacency segment (leaf page) — the same
+/// random-storage-round-trip constant the Fig. 8 and khop experiments
+/// charge per scan unit.
+pub const SEGMENT_SCAN_NS: u64 = 150_000;
+
+/// One attribution dimension of a [`CostLedger`].
+///
+/// The discriminants index the ledger's atomic cells; [`CostSnapshot`]
+/// names the same dimensions as serializable fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostDim {
+    /// Adjacency bytes scanned (mirrors `query_scan_bytes_total`).
+    BytesScanned = 0,
+    /// Distinct sealed segments touched by batched adjacency scans
+    /// (mirrors `query_csr_segments_scanned_total`).
+    CsrSegments = 1,
+    /// Leaf scans served from a packed CSR segment (no delta merge).
+    CsrHits = 2,
+    /// Page-cache hits (mirrors `cache_hits_total`).
+    CacheHits = 3,
+    /// Page-cache misses (mirrors `cache_misses_total`).
+    CacheMisses = 4,
+    /// Random reads that reached storage (mirrors
+    /// `storage_random_reads_total`).
+    StorageReads = 5,
+    /// Bytes returned by storage reads (mirrors `storage_bytes_read_total`).
+    StorageReadBytes = 6,
+    /// Virtual-time nanoseconds of storage random reads (mirrors the
+    /// `storage_read_latency_ns` histogram sum).
+    ReadWaitNanos = 7,
+    /// Virtual-time nanoseconds of WAL append+flush waits (mirrors the
+    /// `wal_flush_latency_ns` histogram sum).
+    WalWaitNanos = 8,
+    /// Virtual-time nanoseconds of admission queue wait (mirrors the
+    /// `admit_queue_wait_latency_ns` histogram sum).
+    AdmitWaitNanos = 9,
+    /// Retry attempts taken by `RetryPolicy` backoff loops.
+    Retries = 10,
+    /// Delta merges crossed: leaf scans that had to consolidate pending
+    /// deltas over the base page.
+    DeltaMerges = 11,
+    /// Expansion hops truncated by the degraded-mode cost ceiling
+    /// (mirrors `query_hop_truncations_total`).
+    HopsTruncated = 12,
+}
+
+const COST_DIMS: usize = 13;
+
+#[derive(Debug, Default)]
+struct LedgerCells {
+    dims: [AtomicU64; COST_DIMS],
+}
+
+thread_local! {
+    /// Innermost-wins stack of installed ledgers for this thread.
+    static ACTIVE_LEDGERS: RefCell<Vec<Arc<LedgerCells>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Adds `n` to dimension `dim` of the innermost ledger installed on this
+/// thread, if any. Charge sites call this unconditionally; with no ledger
+/// active it is one thread-local read.
+pub fn charge(dim: CostDim, n: u64) {
+    ACTIVE_LEDGERS.with(|stack| {
+        if let Some(cells) = stack.borrow().last() {
+            cells.dims[dim as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    });
+}
+
+/// True when a ledger is installed on this thread (test/debug aid).
+pub fn ledger_active() -> bool {
+    ACTIVE_LEDGERS.with(|stack| !stack.borrow().is_empty())
+}
+
+/// Per-request attribution counters. Clone is cheap (Arc); clones share
+/// the cells, so a ledger can be held by the request and read elsewhere.
+#[derive(Debug, Clone, Default)]
+pub struct CostLedger {
+    cells: Arc<LedgerCells>,
+}
+
+impl CostLedger {
+    /// A zeroed ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to `dim` directly (bypassing the thread-local lookup).
+    pub fn charge(&self, dim: CostDim, n: u64) {
+        self.cells.dims[dim as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of one dimension.
+    pub fn get(&self, dim: CostDim) -> u64 {
+        self.cells.dims[dim as usize].load(Ordering::Relaxed)
+    }
+
+    /// Installs this ledger as the innermost attribution target on the
+    /// current thread until the guard drops. Install/uninstall pairs nest
+    /// (charges always go to the innermost ledger only, so sums over
+    /// disjoint ledgers never double-count).
+    pub fn install(&self) -> LedgerGuard {
+        ACTIVE_LEDGERS.with(|stack| stack.borrow_mut().push(Arc::clone(&self.cells)));
+        LedgerGuard {
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Point-in-time copy of every dimension.
+    pub fn snapshot(&self) -> CostSnapshot {
+        let d = |dim: CostDim| self.get(dim);
+        CostSnapshot {
+            bytes_scanned: d(CostDim::BytesScanned),
+            csr_segments: d(CostDim::CsrSegments),
+            csr_hits: d(CostDim::CsrHits),
+            cache_hits: d(CostDim::CacheHits),
+            cache_misses: d(CostDim::CacheMisses),
+            storage_reads: d(CostDim::StorageReads),
+            storage_read_bytes: d(CostDim::StorageReadBytes),
+            read_wait_nanos: d(CostDim::ReadWaitNanos),
+            wal_wait_nanos: d(CostDim::WalWaitNanos),
+            admit_wait_nanos: d(CostDim::AdmitWaitNanos),
+            retries: d(CostDim::Retries),
+            delta_merges: d(CostDim::DeltaMerges),
+            hops_truncated: d(CostDim::HopsTruncated),
+        }
+    }
+}
+
+/// Uninstalls the ledger pushed by [`CostLedger::install`] on drop.
+/// Deliberately `!Send`: a ledger must be uninstalled on the thread that
+/// installed it.
+pub struct LedgerGuard {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for LedgerGuard {
+    fn drop(&mut self) {
+        ACTIVE_LEDGERS.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// Serializable point-in-time copy of a [`CostLedger`], one named field
+/// per [`CostDim`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostSnapshot {
+    /// Adjacency bytes scanned.
+    pub bytes_scanned: u64,
+    /// Distinct sealed segments touched by adjacency scans.
+    pub csr_segments: u64,
+    /// Leaf scans served from a packed CSR segment.
+    pub csr_hits: u64,
+    /// Page-cache hits.
+    pub cache_hits: u64,
+    /// Page-cache misses.
+    pub cache_misses: u64,
+    /// Random reads that reached storage.
+    pub storage_reads: u64,
+    /// Bytes returned by storage reads.
+    pub storage_read_bytes: u64,
+    /// Virtual-time storage read wait (ns).
+    pub read_wait_nanos: u64,
+    /// Virtual-time WAL flush wait (ns).
+    pub wal_wait_nanos: u64,
+    /// Virtual-time admission queue wait (ns).
+    pub admit_wait_nanos: u64,
+    /// Retry attempts taken by backoff loops.
+    pub retries: u64,
+    /// Delta merges crossed by scans.
+    pub delta_merges: u64,
+    /// Expansion hops truncated by the degraded-mode ceiling.
+    pub hops_truncated: u64,
+}
+
+impl CostSnapshot {
+    /// Per-dimension deltas from `earlier` to `self` (saturating).
+    pub fn delta_since(&self, earlier: &CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            bytes_scanned: self.bytes_scanned.saturating_sub(earlier.bytes_scanned),
+            csr_segments: self.csr_segments.saturating_sub(earlier.csr_segments),
+            csr_hits: self.csr_hits.saturating_sub(earlier.csr_hits),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            storage_reads: self.storage_reads.saturating_sub(earlier.storage_reads),
+            storage_read_bytes: self
+                .storage_read_bytes
+                .saturating_sub(earlier.storage_read_bytes),
+            read_wait_nanos: self.read_wait_nanos.saturating_sub(earlier.read_wait_nanos),
+            wal_wait_nanos: self.wal_wait_nanos.saturating_sub(earlier.wal_wait_nanos),
+            admit_wait_nanos: self
+                .admit_wait_nanos
+                .saturating_sub(earlier.admit_wait_nanos),
+            retries: self.retries.saturating_sub(earlier.retries),
+            delta_merges: self.delta_merges.saturating_sub(earlier.delta_merges),
+            hops_truncated: self.hops_truncated.saturating_sub(earlier.hops_truncated),
+        }
+    }
+
+    /// Adds `other` into this snapshot, dimension by dimension.
+    pub fn add(&mut self, other: &CostSnapshot) {
+        self.bytes_scanned += other.bytes_scanned;
+        self.csr_segments += other.csr_segments;
+        self.csr_hits += other.csr_hits;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.storage_reads += other.storage_reads;
+        self.storage_read_bytes += other.storage_read_bytes;
+        self.read_wait_nanos += other.read_wait_nanos;
+        self.wal_wait_nanos += other.wal_wait_nanos;
+        self.admit_wait_nanos += other.admit_wait_nanos;
+        self.retries += other.retries;
+        self.delta_merges += other.delta_merges;
+        self.hops_truncated += other.hops_truncated;
+    }
+
+    /// Modelled virtual-time cost of the request: the waits it actually
+    /// accrued (admission + WAL + storage reads) plus [`SEGMENT_SCAN_NS`]
+    /// per adjacency segment touched and 1 ns per adjacency byte streamed.
+    /// The slow-query log ranks by this.
+    pub fn modelled_cost_ns(&self) -> u64 {
+        self.admit_wait_nanos
+            + self.wal_wait_nanos
+            + self.read_wait_nanos
+            + self.csr_segments * SEGMENT_SCAN_NS
+            + self.bytes_scanned
+    }
+}
+
+/// Injectable virtual-time source for span timestamps. Wraps `Fn() -> u64`
+/// (nanoseconds) so crates without a native `SimClock` (the query
+/// executor) can still stamp spans; [`VirtualClock::zero`] is the no-clock
+/// fallback used by pure in-memory tests.
+#[derive(Clone)]
+pub struct VirtualClock(Arc<dyn Fn() -> u64 + Send + Sync>);
+
+impl VirtualClock {
+    /// Wraps a nanosecond source (usually a `SimClock::now` closure).
+    pub fn new(now: impl Fn() -> u64 + Send + Sync + 'static) -> Self {
+        VirtualClock(Arc::new(now))
+    }
+
+    /// A clock pinned at 0 — spans carry structure and costs but no times.
+    pub fn zero() -> Self {
+        VirtualClock(Arc::new(|| 0))
+    }
+
+    /// Current virtual-time nanoseconds.
+    pub fn now(&self) -> u64 {
+        (self.0)()
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl std::fmt::Debug for VirtualClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualClock").finish_non_exhaustive()
+    }
+}
+
+/// One attribute on a span (numeric, like trace-event payloads).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanAttr {
+    /// Attribute key (`frontier`, `emitted`, `pushdown`, ...).
+    pub key: String,
+    /// Attribute value.
+    pub value: u64,
+}
+
+/// One finished span: parent links make the flat list a tree. `cost` is
+/// the ledger delta observed while the span was open — inclusive of child
+/// spans, like wall time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span id, unique within its trace.
+    pub id: u64,
+    /// Parent span id; `None` for the root.
+    pub parent: Option<u64>,
+    /// Span name (`query`, `hop0`, `hop1`, ...).
+    pub name: String,
+    /// Virtual-time nanoseconds at open.
+    pub start_nanos: u64,
+    /// Virtual-time nanoseconds at finish.
+    pub end_nanos: u64,
+    /// Numeric attributes set while the span was open.
+    pub attrs: Vec<SpanAttr>,
+    /// Attribution accrued while the span was open.
+    pub cost: CostSnapshot,
+}
+
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One request's tracing state: a process-unique trace id, its
+/// [`CostLedger`], a span-id allocator, and the finished-span list.
+#[derive(Debug)]
+pub struct TraceContext {
+    trace_id: u64,
+    clock: VirtualClock,
+    ledger: CostLedger,
+    next_span_id: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl TraceContext {
+    /// A fresh context with a process-unique trace id.
+    pub fn new(clock: VirtualClock) -> Self {
+        TraceContext {
+            trace_id: NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
+            clock,
+            ledger: CostLedger::new(),
+            next_span_id: AtomicU64::new(0),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The process-unique trace id.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// The request's attribution ledger (install it before executing).
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Opens a span. Spans record themselves on [`Span::finish`]; a span
+    /// dropped without finishing is discarded.
+    pub fn start_span(&self, name: &str, parent: Option<u64>) -> Span<'_> {
+        Span {
+            ctx: self,
+            id: self.next_span_id.fetch_add(1, Ordering::Relaxed),
+            parent,
+            name: name.to_string(),
+            start_nanos: self.clock.now(),
+            start_cost: self.ledger.snapshot(),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Finished spans so far, in finish order.
+    pub fn take_spans(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.spans.lock())
+    }
+}
+
+/// An open span. Set attributes while it is open; call [`Span::finish`]
+/// to record it on its [`TraceContext`].
+#[derive(Debug)]
+pub struct Span<'a> {
+    ctx: &'a TraceContext,
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start_nanos: u64,
+    start_cost: CostSnapshot,
+    attrs: Vec<SpanAttr>,
+}
+
+impl Span<'_> {
+    /// This span's id (for parenting children).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Sets (or overwrites) a numeric attribute.
+    pub fn set_attr(&mut self, key: &str, value: u64) {
+        match self.attrs.iter_mut().find(|a| a.key == key) {
+            Some(attr) => attr.value = value,
+            None => self.attrs.push(SpanAttr {
+                key: key.to_string(),
+                value,
+            }),
+        }
+    }
+
+    /// Closes the span: stamps the end time, computes the ledger delta
+    /// accrued since open, and records the [`SpanRecord`].
+    pub fn finish(self) {
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name.clone(),
+            start_nanos: self.start_nanos,
+            end_nanos: self.ctx.clock.now(),
+            attrs: self.attrs.clone(),
+            cost: self.ctx.ledger.snapshot().delta_since(&self.start_cost),
+        };
+        self.ctx.spans.lock().push(record);
+    }
+}
+
+/// A profiled query: the serializable span tree plus the request's total
+/// attribution — what `Executor::run_profiled*` returns and what the
+/// [`SlowQueryLog`] keeps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryProfile {
+    /// Process-unique trace id.
+    pub trace_id: u64,
+    /// The query text (or plan label).
+    pub query: String,
+    /// Ranking key: [`CostSnapshot::modelled_cost_ns`] of `cost`.
+    pub modelled_cost_ns: u64,
+    /// The request's total attribution (the root span's cost).
+    pub cost: CostSnapshot,
+    /// Finished spans; parent links encode the tree (root has
+    /// `parent: None`).
+    pub spans: Vec<SpanRecord>,
+}
+
+impl QueryProfile {
+    /// The root span, if recorded.
+    pub fn root(&self) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.parent.is_none())
+    }
+
+    /// Direct children of span `id`, in finish order.
+    pub fn children(&self, id: u64) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent == Some(id)).collect()
+    }
+
+    /// Per-hop spans (children of the root), in hop order.
+    pub fn hop_spans(&self) -> Vec<&SpanRecord> {
+        let Some(root) = self.root() else {
+            return Vec::new();
+        };
+        let mut hops = self.children(root.id);
+        hops.sort_by_key(|s| s.id);
+        hops
+    }
+}
+
+struct SlowLogInner {
+    capacity: usize,
+    entries: Mutex<Vec<QueryProfile>>,
+    recorded: Counter,
+    evicted: Counter,
+    occupancy: Gauge,
+    worst_cost: Gauge,
+}
+
+/// Bounded keep-K-worst log of [`QueryProfile`]s ranked by modelled cost.
+/// Clone shares the log. Occupancy, worst cost, and record/evict totals
+/// are mirrored into the registry the log was built with (`slow_query_*`
+/// names), so the existing Prometheus/JSON exporters pick them up.
+#[derive(Clone)]
+pub struct SlowQueryLog {
+    inner: Arc<SlowLogInner>,
+}
+
+impl std::fmt::Debug for SlowQueryLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlowQueryLog")
+            .field("capacity", &self.inner.capacity)
+            .field("len", &self.inner.entries.lock().len())
+            .finish()
+    }
+}
+
+impl SlowQueryLog {
+    /// A log keeping the `capacity` worst profiles, with metrics detached
+    /// (a private registry).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_registry(capacity, &MetricRegistry::new())
+    }
+
+    /// A log keeping the `capacity` worst profiles, mirroring its
+    /// `slow_query_*` metrics into `registry`.
+    pub fn with_registry(capacity: usize, registry: &MetricRegistry) -> Self {
+        SlowQueryLog {
+            inner: Arc::new(SlowLogInner {
+                capacity: capacity.max(1),
+                entries: Mutex::new(Vec::new()),
+                recorded: registry.counter(names::SLOW_QUERY_RECORDED_TOTAL),
+                evicted: registry.counter(names::SLOW_QUERY_EVICTED_TOTAL),
+                occupancy: registry.gauge(names::SLOW_QUERY_LOG_ENTRIES),
+                worst_cost: registry.gauge(names::SLOW_QUERY_WORST_COST_NS),
+            }),
+        }
+    }
+
+    /// Offers a profile: kept if the log has room or the profile costs
+    /// more than the current cheapest entry (which is then evicted).
+    pub fn offer(&self, profile: QueryProfile) {
+        self.inner.recorded.inc();
+        let mut entries = self.inner.entries.lock();
+        if entries.len() == self.inner.capacity {
+            // Full: the cheapest entry yields only to a costlier profile.
+            let (idx, _) = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, p)| p.modelled_cost_ns)
+                .expect("capacity >= 1");
+            if entries[idx].modelled_cost_ns >= profile.modelled_cost_ns {
+                self.inner.evicted.inc();
+                return;
+            }
+            entries.swap_remove(idx);
+            self.inner.evicted.inc();
+        }
+        entries.push(profile);
+        self.inner.occupancy.set(entries.len() as i64);
+        let worst = entries
+            .iter()
+            .map(|p| p.modelled_cost_ns)
+            .max()
+            .unwrap_or(0);
+        self.inner.worst_cost.set(worst.min(i64::MAX as u64) as i64);
+    }
+
+    /// The kept profiles, costliest first.
+    pub fn entries(&self) -> Vec<QueryProfile> {
+        let mut out = self.inner.entries.lock().clone();
+        out.sort_by_key(|p| std::cmp::Reverse(p.modelled_cost_ns));
+        out
+    }
+
+    /// Profiles offered so far.
+    pub fn recorded(&self) -> u64 {
+        self.inner.recorded.get()
+    }
+
+    /// Offers that displaced an entry or were dropped as too cheap.
+    pub fn evicted(&self) -> u64 {
+        self.inner.evicted.get()
+    }
+
+    /// Maximum number of kept profiles.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// The kept profiles as a JSON value (costliest first) — the JSON
+    /// export surface next to [`crate::export::prometheus_text`].
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::to_value(&self.entries()).unwrap_or(serde_json::Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ValueExt;
+
+    #[test]
+    fn charges_reach_only_the_innermost_installed_ledger() {
+        let outer = CostLedger::new();
+        let inner = CostLedger::new();
+        charge(CostDim::CacheHits, 5); // no ledger active: dropped
+        {
+            let _o = outer.install();
+            charge(CostDim::CacheHits, 1);
+            {
+                let _i = inner.install();
+                charge(CostDim::CacheHits, 2);
+                assert!(ledger_active());
+            }
+            charge(CostDim::BytesScanned, 7);
+        }
+        assert!(!ledger_active());
+        assert_eq!(outer.get(CostDim::CacheHits), 1);
+        assert_eq!(outer.get(CostDim::BytesScanned), 7);
+        assert_eq!(inner.get(CostDim::CacheHits), 2);
+        assert_eq!(inner.get(CostDim::BytesScanned), 0);
+    }
+
+    #[test]
+    fn snapshot_delta_add_and_modelled_cost() {
+        let ledger = CostLedger::new();
+        ledger.charge(CostDim::CsrSegments, 2);
+        ledger.charge(CostDim::BytesScanned, 100);
+        let first = ledger.snapshot();
+        ledger.charge(CostDim::CsrSegments, 3);
+        ledger.charge(CostDim::AdmitWaitNanos, 400);
+        let second = ledger.snapshot();
+        let delta = second.delta_since(&first);
+        assert_eq!(delta.csr_segments, 3);
+        assert_eq!(delta.bytes_scanned, 0);
+        assert_eq!(delta.admit_wait_nanos, 400);
+        let mut sum = first;
+        sum.add(&delta);
+        assert_eq!(sum, second);
+        assert_eq!(
+            second.modelled_cost_ns(),
+            400 + 5 * SEGMENT_SCAN_NS + 100,
+            "waits + per-segment + per-byte model"
+        );
+    }
+
+    #[test]
+    fn span_tree_records_parent_links_times_and_cost_deltas() {
+        let tick = Arc::new(AtomicU64::new(0));
+        let t = Arc::clone(&tick);
+        let ctx = TraceContext::new(VirtualClock::new(move || {
+            t.fetch_add(10, Ordering::Relaxed)
+        }));
+        let _guard = ctx.ledger().install();
+        let root = ctx.start_span("query", None);
+        let root_id = root.id();
+        let mut hop = ctx.start_span("hop0", Some(root_id));
+        hop.set_attr("frontier", 1);
+        hop.set_attr("frontier", 3); // overwrite, not duplicate
+        charge(CostDim::BytesScanned, 64);
+        hop.finish();
+        charge(CostDim::BytesScanned, 36);
+        root.finish();
+        let spans = ctx.take_spans();
+        assert_eq!(spans.len(), 2);
+        let hop = &spans[0];
+        let root = &spans[1];
+        assert_eq!(hop.parent, Some(root.id));
+        assert_eq!(root.parent, None);
+        assert!(hop.end_nanos > hop.start_nanos, "virtual clock advanced");
+        assert_eq!(
+            hop.attrs,
+            vec![SpanAttr {
+                key: "frontier".into(),
+                value: 3
+            }]
+        );
+        assert_eq!(hop.cost.bytes_scanned, 64, "only while the span was open");
+        assert_eq!(root.cost.bytes_scanned, 100, "inclusive of children");
+        assert!(ctx.take_spans().is_empty(), "take drains");
+    }
+
+    fn profile(cost: u64) -> QueryProfile {
+        QueryProfile {
+            trace_id: cost,
+            query: format!("q{cost}"),
+            modelled_cost_ns: cost,
+            cost: CostSnapshot::default(),
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn slow_log_keeps_k_worst_and_mirrors_metrics() {
+        let registry = MetricRegistry::new();
+        let log = SlowQueryLog::with_registry(2, &registry);
+        for cost in [50, 10, 70, 30, 60] {
+            log.offer(profile(cost));
+        }
+        let kept: Vec<u64> = log.entries().iter().map(|p| p.modelled_cost_ns).collect();
+        assert_eq!(kept, vec![70, 60], "two worst, costliest first");
+        assert_eq!(log.recorded(), 5);
+        assert_eq!(log.evicted(), 3);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(names::SLOW_QUERY_RECORDED_TOTAL), Some(5));
+        assert_eq!(snap.counter(names::SLOW_QUERY_EVICTED_TOTAL), Some(3));
+        assert_eq!(snap.gauge(names::SLOW_QUERY_LOG_ENTRIES), Some(2));
+        assert_eq!(snap.gauge(names::SLOW_QUERY_WORST_COST_NS), Some(70));
+        let json = log.to_json();
+        let arr = json.as_array().expect("entries serialize as an array");
+        assert_eq!(arr.len(), 2);
+        assert_eq!(
+            arr[0].as_object().unwrap().get("query").unwrap().as_str(),
+            Some("q70")
+        );
+    }
+}

@@ -107,6 +107,9 @@ struct TraceInner {
     capacity: usize,
     next_seq: AtomicU64,
     dropped: AtomicU64,
+    // Registry counter mirroring `dropped`, wired by the owning store so
+    // ring overflow is visible in exports, not just via `dropped()`.
+    drop_counter: Mutex<Option<crate::registry::Counter>>,
     ring: Mutex<VecDeque<TraceEvent>>,
 }
 
@@ -146,6 +149,7 @@ impl TraceBuffer {
                 capacity: capacity.max(1),
                 next_seq: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),
+                drop_counter: Mutex::new(None),
                 ring: Mutex::new(VecDeque::new()),
             }),
         }
@@ -159,6 +163,9 @@ impl TraceBuffer {
         if ring.len() == self.inner.capacity {
             ring.pop_front();
             self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(counter) = &*self.inner.drop_counter.lock() {
+                counter.inc();
+            }
         }
         ring.push_back(TraceEvent {
             seq,
@@ -194,6 +201,15 @@ impl TraceBuffer {
     /// Events evicted because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Mirrors future drops into `counter` (normally the registry's
+    /// `trace_dropped_events_total`), so ring overflow shows up in the
+    /// Prometheus/JSON exports instead of vanishing silently.
+    pub fn set_drop_counter(&self, counter: crate::registry::Counter) {
+        // Catch up on drops that happened before wiring.
+        counter.add(self.inner.dropped.load(Ordering::Relaxed));
+        *self.inner.drop_counter.lock() = Some(counter);
     }
 
     /// Maximum number of buffered events.
@@ -236,6 +252,32 @@ mod tests {
         assert_eq!(events[0].seq, 2, "oldest two evicted");
         assert_eq!(buf.dropped(), 2);
         assert_eq!(buf.next_seq(), 5, "seq keeps counting past drops");
+    }
+
+    #[test]
+    fn ring_overflow_is_exported_via_drop_counter() {
+        let registry = crate::MetricRegistry::new();
+        let buf = TraceBuffer::new(2);
+        buf.emit(0, TraceKind::WalAppend, 0, 0);
+        buf.emit(1, TraceKind::WalAppend, 1, 0);
+        buf.emit(2, TraceKind::WalAppend, 2, 0); // drops before wiring
+        buf.set_drop_counter(registry.counter(crate::names::TRACE_DROPPED_EVENTS_TOTAL));
+        buf.emit(3, TraceKind::WalAppend, 3, 0); // drops after wiring
+        assert_eq!(buf.dropped(), 2);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter(crate::names::TRACE_DROPPED_EVENTS_TOTAL),
+            Some(2),
+            "pre-wiring drops caught up, post-wiring drops counted live"
+        );
+        assert!(
+            snap.counter(crate::names::TRACE_DROPPED_EVENTS_TOTAL)
+                .unwrap()
+                > 0,
+            "overflow must be visible in exports, never silent"
+        );
+        let text = crate::export::prometheus_text(&snap);
+        assert!(text.contains("trace_dropped_events_total 2"));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! indistinguishable from recording the same samples sequentially — the
 //! histogram is lock-free and loses nothing under contention.
 
+use bg3_obs::span::{charge, CostDim, TraceContext, VirtualClock};
 use bg3_obs::{LatencyHistogram, MetricRegistry};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -71,5 +72,76 @@ proptest! {
             h.join().expect("counter thread");
         }
         prop_assert_eq!(reg.snapshot().counter("ops_total"), Some(expected));
+    }
+
+    /// Spans recording histogram samples from 8 real threads (one
+    /// per-thread registry each) must merge to the same snapshot no
+    /// matter the merge order — merge is deterministic and loses nothing.
+    #[test]
+    fn span_recording_from_8_threads_merges_deterministically(
+        samples in proptest::collection::vec(1u64..2_000_000_000u64, 64..256)
+    ) {
+        let threads = 8;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let mine: Vec<u64> = samples
+                    .iter()
+                    .copied()
+                    .skip(t)
+                    .step_by(threads)
+                    .collect();
+                std::thread::spawn(move || {
+                    // Each thread runs its own profiled "request": a
+                    // ledger installed thread-locally, a span tree, and a
+                    // private registry it records span costs into.
+                    let reg = MetricRegistry::new();
+                    let ctx = TraceContext::new(VirtualClock::zero());
+                    let guard = ctx.ledger().install();
+                    let span = ctx.start_span("query", None);
+                    let hist = reg.histogram("query_profile_cost_latency_ns");
+                    for &v in &mine {
+                        charge(CostDim::ReadWaitNanos, v);
+                        hist.record(v);
+                    }
+                    span.finish();
+                    drop(guard);
+                    let total: u64 = mine.iter().sum();
+                    assert_eq!(
+                        ctx.ledger().get(CostDim::ReadWaitNanos),
+                        total,
+                        "TLS ledger isolated per thread"
+                    );
+                    let spans = ctx.take_spans();
+                    assert_eq!(spans.len(), 1);
+                    assert_eq!(spans[0].cost.read_wait_nanos, total);
+                    reg.snapshot()
+                })
+            })
+            .collect();
+        let snaps: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("span thread"))
+            .collect();
+
+        // Merge in two different orders; both must equal each other and
+        // carry exactly the sequential recording of all samples.
+        let mut forward = bg3_obs::MetricsSnapshot::default();
+        for s in &snaps {
+            forward.merge(s);
+        }
+        let mut reverse = bg3_obs::MetricsSnapshot::default();
+        for s in snaps.iter().rev() {
+            reverse.merge(s);
+        }
+        prop_assert_eq!(&forward, &reverse);
+
+        let sequential = LatencyHistogram::new();
+        for &v in &samples {
+            sequential.record(v);
+        }
+        prop_assert_eq!(
+            forward.histogram("query_profile_cost_latency_ns"),
+            Some(&sequential.snapshot())
+        );
     }
 }

@@ -20,7 +20,9 @@ use crate::error::QueryError;
 use crate::plan::{optimize, Dir, Plan, PlannedStep};
 use crate::reverse_etype;
 use bg3_graph::{EdgeType, GraphStore, NeighborSink, VertexId};
+use bg3_obs::span::{CostDim, QueryProfile, SlowQueryLog, Span, TraceContext, VirtualClock};
 use bg3_obs::{names, Counter, Histogram, MetricRegistry};
+use std::cell::Cell;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -48,6 +50,14 @@ pub struct ExecutorConfig {
     /// bounded per-hop cost under overload. `None` (the default) keeps
     /// exact semantics.
     pub hop_cost_ceiling: Option<usize>,
+    /// Virtual-time source stamped onto PROFILE spans. Pass the engine's
+    /// `SimClock` (wrapped) so span times line up with the I/O latency
+    /// histograms; `None` pins span timestamps at 0 (structure and cost
+    /// attribution still recorded).
+    pub clock: Option<VirtualClock>,
+    /// Slow-query log every PROFILE run is offered to (keep-K-worst by
+    /// modelled cost). `None` disables the log.
+    pub slow_log: Option<SlowQueryLog>,
 }
 
 impl Default for ExecutorConfig {
@@ -58,6 +68,8 @@ impl Default for ExecutorConfig {
             batch: true,
             metrics: None,
             hop_cost_ceiling: None,
+            clock: None,
+            slow_log: None,
         }
     }
 }
@@ -79,6 +91,18 @@ impl ExecutorConfig {
     /// (degradation-ladder traversal mode).
     pub fn with_hop_cost_ceiling(mut self, ceiling: usize) -> Self {
         self.hop_cost_ceiling = Some(ceiling);
+        self
+    }
+
+    /// Attaches a virtual-time source for PROFILE span timestamps.
+    pub fn with_clock(mut self, clock: VirtualClock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Attaches a slow-query log; every PROFILE run is offered to it.
+    pub fn with_slow_log(mut self, log: SlowQueryLog) -> Self {
+        self.slow_log = Some(log);
         self
     }
 }
@@ -216,6 +240,30 @@ struct QueryMetrics {
     frontier_len: Histogram,
     pushdown_hits: Counter,
     hop_truncations: Counter,
+    profiles: Counter,
+    profile_spans: Counter,
+    profile_cost: Histogram,
+}
+
+/// Per-request PROFILE state threaded through `run_plan_inner`: the
+/// request's [`TraceContext`], the root span to parent hop spans under,
+/// and a hop counter for span naming.
+struct ProfileCtx<'a> {
+    ctx: &'a TraceContext,
+    root: u64,
+    hop: Cell<usize>,
+}
+
+impl ProfileCtx<'_> {
+    /// Opens the next `hop{i}` span under the root, tagged with the
+    /// frontier size feeding the expansion.
+    fn start_hop(&self, frontier: usize) -> Span<'_> {
+        let i = self.hop.get();
+        self.hop.set(i + 1);
+        let mut span = self.ctx.start_span(&format!("hop{i}"), Some(self.root));
+        span.set_attr("frontier", frontier as u64);
+        span
+    }
 }
 
 /// Executes plans against a graph store.
@@ -237,6 +285,9 @@ impl Executor {
             frontier_len: registry.histogram(names::QUERY_FRONTIER_LEN),
             pushdown_hits: registry.counter(names::QUERY_PUSHDOWN_HITS_TOTAL),
             hop_truncations: registry.counter(names::QUERY_HOP_TRUNCATIONS_TOTAL),
+            profiles: registry.counter(names::QUERY_PROFILES_TOTAL),
+            profile_spans: registry.counter(names::QUERY_PROFILE_SPANS_TOTAL),
+            profile_cost: registry.histogram(names::QUERY_PROFILE_COST_LATENCY_NS),
         });
         Executor { config, metrics }
     }
@@ -253,8 +304,74 @@ impl Executor {
         self.run_plan(store, &optimize(query))
     }
 
+    /// Parses, optimizes, and runs a textual query in PROFILE mode:
+    /// alongside the result, returns a [`QueryProfile`] — the serializable
+    /// span tree (root + one span per hop, with frontier sizes) and the
+    /// request's full cost-attribution ledger.
+    pub fn run_profiled_text(
+        &self,
+        store: &dyn GraphStore,
+        text: &str,
+    ) -> Result<(QueryResult, QueryProfile), QueryError> {
+        let query = crate::parser::parse(text)?;
+        query.validate().map_err(QueryError::Invalid)?;
+        self.run_plan_profiled(store, &optimize(&query), text)
+    }
+
+    /// Runs an already-optimized plan in PROFILE mode; `label` becomes the
+    /// profile's `query` field (and the slow-query log entry's name).
+    pub fn run_plan_profiled(
+        &self,
+        store: &dyn GraphStore,
+        plan: &Plan,
+        label: &str,
+    ) -> Result<(QueryResult, QueryProfile), QueryError> {
+        let clock = self.config.clock.clone().unwrap_or_default();
+        let ctx = TraceContext::new(clock);
+        // Install the request ledger: every instrumented charge site the
+        // plan touches (storage, cache, scans, WAL, admission, retries)
+        // attributes to this request while the guard lives.
+        let guard = ctx.ledger().install();
+        let root = ctx.start_span("query", None);
+        let pctx = ProfileCtx {
+            ctx: &ctx,
+            root: root.id(),
+            hop: Cell::new(0),
+        };
+        let result = self.run_plan_inner(store, plan, Some(&pctx));
+        root.finish();
+        drop(guard);
+        let result = result?;
+        let cost = ctx.ledger().snapshot();
+        let profile = QueryProfile {
+            trace_id: ctx.trace_id(),
+            query: label.to_string(),
+            modelled_cost_ns: cost.modelled_cost_ns(),
+            cost,
+            spans: ctx.take_spans(),
+        };
+        if let Some(m) = &self.metrics {
+            m.profiles.inc();
+            m.profile_spans.add(profile.spans.len() as u64);
+            m.profile_cost.record(profile.modelled_cost_ns);
+        }
+        if let Some(log) = &self.config.slow_log {
+            log.offer(profile.clone());
+        }
+        Ok((result, profile))
+    }
+
     /// Runs an already-optimized plan.
     pub fn run_plan(&self, store: &dyn GraphStore, plan: &Plan) -> Result<QueryResult, QueryError> {
+        self.run_plan_inner(store, plan, None)
+    }
+
+    fn run_plan_inner(
+        &self,
+        store: &dyn GraphStore,
+        plan: &Plan,
+        profile: Option<&ProfileCtx<'_>>,
+    ) -> Result<QueryResult, QueryError> {
         let need_paths = plan.steps.iter().any(|s| matches!(s, PlannedStep::Path));
         let mut traversers: Vec<Traverser> = Vec::new();
         for (i, step) in plan.steps.iter().enumerate() {
@@ -266,6 +383,7 @@ impl Executor {
                         .collect();
                 }
                 PlannedStep::Expand { etype, dir, bound } => {
+                    let span = profile.map(|p| p.start_hop(traversers.len()));
                     if self.config.batch {
                         // Count pushdown: a plan ending `…expand().count()`
                         // or `…expand().dedup().count()` aggregates inside
@@ -276,17 +394,23 @@ impl Executor {
                             _ => None,
                         };
                         if let Some(dedup) = dedup {
-                            return self.expand_count(
-                                store,
-                                &traversers,
-                                *etype,
-                                *dir,
-                                *bound,
-                                dedup,
-                            );
+                            let result =
+                                self.expand_count(store, &traversers, *etype, *dir, *bound, dedup)?;
+                            if let Some(mut span) = span {
+                                span.set_attr("pushdown", 1);
+                                if let QueryResult::Count(n) = &result {
+                                    span.set_attr("emitted", *n);
+                                }
+                                span.finish();
+                            }
+                            return Ok(result);
                         }
                     }
                     traversers = self.expand(store, &traversers, *etype, *dir, *bound)?;
+                    if let Some(mut span) = span {
+                        span.set_attr("emitted", traversers.len() as u64);
+                        span.finish();
+                    }
                 }
                 PlannedStep::HasVertex => {
                     let mut kept = Vec::with_capacity(traversers.len());
@@ -423,6 +547,7 @@ impl Executor {
     /// the plan's own bound) is what stopped it.
     fn note_truncation(&self, emitted: usize, cap: usize, ceiled: bool) {
         if ceiled && emitted >= cap {
+            bg3_obs::span::charge(CostDim::HopsTruncated, 1);
             if let Some(m) = &self.metrics {
                 m.hop_truncations.inc();
             }
@@ -843,6 +968,133 @@ mod tests {
             scalar.run_text(&g, "g.V(1).out(like).count()").unwrap(),
             QueryResult::Count(25)
         );
+    }
+
+    fn assert_hop_tree(profile: &QueryProfile, hops: usize, first_frontier: u64) {
+        let root = profile.root().expect("root span recorded");
+        assert_eq!(root.name, "query");
+        let hop_spans = profile.hop_spans();
+        assert_eq!(hop_spans.len(), hops, "one span per hop");
+        for (i, span) in hop_spans.iter().enumerate() {
+            assert_eq!(span.name, format!("hop{i}"));
+            assert_eq!(span.parent, Some(root.id));
+            assert!(
+                span.attrs.iter().any(|a| a.key == "frontier"),
+                "hop spans carry frontier sizes"
+            );
+        }
+        assert_eq!(
+            hop_spans[0]
+                .attrs
+                .iter()
+                .find(|a| a.key == "frontier")
+                .unwrap()
+                .value,
+            first_frontier
+        );
+    }
+
+    #[test]
+    fn profile_records_per_hop_span_tree_in_both_modes() {
+        let g = graph();
+        for config in [
+            ExecutorConfig::default(),
+            ExecutorConfig::default().scalar(),
+        ] {
+            let registry = MetricRegistry::new();
+            let exec = Executor::new(config.clone().with_metrics(registry.clone()));
+            let (result, profile) = exec
+                .run_profiled_text(&g, "g.V(1).out(follow).out(follow).dedup().order()")
+                .unwrap();
+            assert_eq!(
+                result,
+                QueryResult::Vertices(vec![VertexId(4), VertexId(5)]),
+                "profiling must not change results (batch={})",
+                config.batch
+            );
+            assert_hop_tree(&profile, 2, 1);
+            let emitted: Vec<u64> = profile
+                .hop_spans()
+                .iter()
+                .map(|s| s.attrs.iter().find(|a| a.key == "emitted").unwrap().value)
+                .collect();
+            assert_eq!(emitted, vec![2, 3], "1→{{2,3}}, then {{2,3}}→{{4,4,5}}");
+            let snap = registry.snapshot();
+            assert_eq!(snap.counter(names::QUERY_PROFILES_TOTAL), Some(1));
+            assert_eq!(
+                snap.counter(names::QUERY_PROFILE_SPANS_TOTAL),
+                Some(3),
+                "root + two hops"
+            );
+            assert_eq!(
+                snap.histogram(names::QUERY_PROFILE_COST_LATENCY_NS)
+                    .unwrap()
+                    .count,
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn profile_marks_pushdown_hops() {
+        let g = graph();
+        let (result, profile) = Executor::default()
+            .run_profiled_text(&g, "g.V(1).out(follow).out(follow).count()")
+            .unwrap();
+        assert_eq!(result, QueryResult::Count(3));
+        assert_hop_tree(&profile, 2, 1);
+        let last = profile.hop_spans()[1].clone();
+        assert!(last
+            .attrs
+            .iter()
+            .any(|a| a.key == "pushdown" && a.value == 1));
+        assert!(last
+            .attrs
+            .iter()
+            .any(|a| a.key == "emitted" && a.value == 3));
+    }
+
+    #[test]
+    fn profile_feeds_slow_query_log_worst_first() {
+        let g = graph();
+        let log = SlowQueryLog::new(2);
+        let exec = Executor::new(ExecutorConfig::default().with_slow_log(log.clone()));
+        for q in [
+            "g.V(1).out(follow)",
+            "g.V(1).out(follow).out(follow)",
+            "g.V(2).out(follow)",
+        ] {
+            exec.run_profiled_text(&g, q).unwrap();
+        }
+        assert_eq!(log.recorded(), 3);
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2, "keep-K-worst");
+        assert!(
+            entries
+                .windows(2)
+                .all(|w| w[0].modelled_cost_ns >= w[1].modelled_cost_ns),
+            "costliest first"
+        );
+        // Unprofiled runs are never offered.
+        exec.run_text(&g, "g.V(1).out(follow)").unwrap();
+        assert_eq!(log.recorded(), 3);
+    }
+
+    #[test]
+    fn profile_span_times_use_injected_clock() {
+        let g = graph();
+        let tick = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let t = Arc::clone(&tick);
+        let exec = Executor::new(ExecutorConfig::default().with_clock(VirtualClock::new(
+            move || t.fetch_add(100, std::sync::atomic::Ordering::Relaxed),
+        )));
+        let (_, profile) = exec.run_profiled_text(&g, "g.V(1).out(follow)").unwrap();
+        let root = profile.root().unwrap();
+        assert!(root.end_nanos > root.start_nanos);
+        for hop in profile.hop_spans() {
+            assert!(hop.start_nanos >= root.start_nanos);
+            assert!(hop.end_nanos <= root.end_nanos);
+        }
     }
 
     #[test]

@@ -554,6 +554,7 @@ impl RetryPolicy {
                     // engine's retry_after hint guarantees another shed.
                     clock.advance_nanos(schedule.next(err.retry_after_nanos()));
                     attempt += 1;
+                    bg3_obs::span::charge(bg3_obs::CostDim::Retries, 1);
                 }
                 Err(err) => return Err(err),
             }

@@ -16,6 +16,7 @@
 //! operations; histograms record **virtual-time nanoseconds** (simulated
 //! `SimClock` time, not wall time).
 
+use bg3_obs::span::{charge, CostDim};
 use bg3_obs::{names, Counter, Histogram, MetricRegistry, MetricsSnapshot};
 use serde::{Deserialize, Serialize};
 
@@ -85,6 +86,17 @@ impl IoStats {
         let _ = registry.counter(names::ADMIT_STALE_READS_TOTAL);
         let _ = registry.counter(names::QUERY_HOP_TRUNCATIONS_TOTAL);
         let _ = registry.histogram(names::ADMIT_QUEUE_WAIT_LATENCY_NS);
+        // Profiler plane: the executor and slow-query log re-resolve these
+        // handles when profiling is on; an unprofiled store still exports
+        // the full required set.
+        let _ = registry.counter(names::QUERY_PROFILES_TOTAL);
+        let _ = registry.counter(names::QUERY_PROFILE_SPANS_TOTAL);
+        let _ = registry.counter(names::SLOW_QUERY_RECORDED_TOTAL);
+        let _ = registry.counter(names::SLOW_QUERY_EVICTED_TOTAL);
+        let _ = registry.counter(names::TRACE_DROPPED_EVENTS_TOTAL);
+        let _ = registry.gauge(names::SLOW_QUERY_LOG_ENTRIES);
+        let _ = registry.gauge(names::SLOW_QUERY_WORST_COST_NS);
+        let _ = registry.histogram(names::QUERY_PROFILE_COST_LATENCY_NS);
         IoStats {
             appends: registry.counter(names::STORAGE_APPENDS_TOTAL),
             bytes_appended: registry.counter(names::STORAGE_BYTES_APPENDED_TOTAL),
@@ -141,9 +153,15 @@ impl IoStats {
         self.bytes_appended.add(len as u64);
     }
 
+    // Per-request attribution (`bg3_obs::span::charge`) is placed inside
+    // the same recorders that bump the global counters, so summed
+    // per-query ledgers equal the global registry deltas by construction
+    // whenever every operation in a window runs under an installed ledger.
     pub(crate) fn record_read(&self, len: usize) {
         self.random_reads.inc();
         self.bytes_read.add(len as u64);
+        charge(CostDim::StorageReads, 1);
+        charge(CostDim::StorageReadBytes, len as u64);
     }
 
     pub(crate) fn record_invalidation(&self) {
@@ -173,10 +191,12 @@ impl IoStats {
 
     pub(crate) fn record_cache_hit(&self) {
         self.cache_hits.inc();
+        charge(CostDim::CacheHits, 1);
     }
 
     pub(crate) fn record_cache_miss(&self) {
         self.cache_misses.inc();
+        charge(CostDim::CacheMisses, 1);
     }
 
     pub(crate) fn record_cache_evictions(&self, n: u64) {
@@ -226,6 +246,7 @@ impl IoStats {
     /// Records the virtual-time cost of one storage random read (ns).
     pub fn record_read_latency(&self, nanos: u64) {
         self.read_latency.record(nanos);
+        charge(CostDim::ReadWaitNanos, nanos);
     }
 
     /// Records the virtual-time cost of one append (ns).
@@ -242,6 +263,7 @@ impl IoStats {
     /// Public: the WAL writer lives outside this crate.
     pub fn record_wal_flush_latency(&self, nanos: u64) {
         self.wal_flush_latency.record(nanos);
+        charge(CostDim::WalWaitNanos, nanos);
     }
 
     /// Records the cost of relocating one record: its GC read + rewrite (ns).
@@ -267,6 +289,8 @@ impl IoStats {
     pub fn record_adjacency_scan(&self, bytes: u64, segments: u64) {
         self.query_scan_bytes.add(bytes);
         self.query_csr_segments.add(segments);
+        charge(CostDim::BytesScanned, bytes);
+        charge(CostDim::CsrSegments, segments);
     }
 
     /// Records the size of one expansion frontier (vertices, not ns —
@@ -548,6 +572,33 @@ mod tests {
         for name in bg3_obs::names::REQUIRED_HISTOGRAMS {
             assert!(metrics.histogram(name).is_some(), "missing {name}");
         }
+    }
+
+    #[test]
+    fn ledger_charges_mirror_registry_increments() {
+        let stats = IoStats::new();
+        let ledger = bg3_obs::CostLedger::new();
+        {
+            let _guard = ledger.install();
+            stats.record_read(32);
+            stats.record_cache_hit();
+            stats.record_cache_miss();
+            stats.record_read_latency(150_000);
+            stats.record_wal_flush_latency(400_000);
+            stats.record_adjacency_scan(512, 3);
+        }
+        // Outside the guard: global counters move, the ledger doesn't.
+        stats.record_read(100);
+        let snap = ledger.snapshot();
+        assert_eq!(snap.storage_reads, 1);
+        assert_eq!(snap.storage_read_bytes, 32);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.read_wait_nanos, 150_000);
+        assert_eq!(snap.wal_wait_nanos, 400_000);
+        assert_eq!(snap.bytes_scanned, 512);
+        assert_eq!(snap.csr_segments, 3);
+        assert_eq!(stats.snapshot().random_reads, 2);
     }
 
     #[test]

@@ -228,6 +228,13 @@ impl AppendOnlyStore {
         }
         let faults = FaultInjector::new(config.faults.clone());
         let cache = PageCache::new(config.cache.clone());
+        let trace = TraceBuffer::default();
+        // Ring-wrap drops must surface in exports, not just `dropped()`.
+        trace.set_drop_counter(
+            stats
+                .registry()
+                .counter(bg3_obs::names::TRACE_DROPPED_EVENTS_TOTAL),
+        );
         Ok(AppendOnlyStore {
             inner: Arc::new(StoreInner {
                 config,
@@ -235,7 +242,7 @@ impl AppendOnlyStore {
                 stats,
                 faults,
                 cache,
-                trace: TraceBuffer::default(),
+                trace,
                 streams,
                 backend,
                 next_extent: AtomicU64::new(next_extent),

@@ -26,6 +26,12 @@ cargo clippy -p bg3-storage --all-targets -- -D warnings
 echo "==> cargo clippy -p bg3-graph -p bg3-query (read path lint gate)"
 cargo clippy -p bg3-graph -p bg3-query --all-targets -- -D warnings
 
+# The obs crate carries the span/ledger plane every engine layer charges
+# into; lint it separately so the attribution seam can never drift behind
+# a workspace-level allow.
+echo "==> cargo clippy -p bg3-obs (span/ledger lint gate)"
+cargo clippy -p bg3-obs --all-targets -- -D warnings
+
 echo "==> cargo test --workspace (tier-1)"
 cargo test --workspace --quiet
 
@@ -72,5 +78,13 @@ echo "==> overload smoke (0.5x-2x saturation sweep) + metrics drift gate"
 cargo run --release --quiet -p bg3-bench --bin reproduce -- overload --scale quick \
     --metrics-json target/metrics-overload-smoke.json
 cargo run --release --quiet -p bg3-bench --bin metrics_check -- target/metrics-overload-smoke.json
+
+echo "==> profile smoke (attribution conservation on the Table-1 mixes) + metrics drift gate"
+cargo run --release --quiet -p bg3-bench --bin reproduce -- profile --scale quick \
+    --metrics-json target/metrics-profile-smoke.json
+cargo run --release --quiet -p bg3-bench --bin metrics_check -- target/metrics-profile-smoke.json
+
+echo "==> span overhead bench (profiled-over-plain ratio bound asserted)"
+cargo bench --quiet -p bg3-bench --bench span_overhead
 
 echo "==> all checks passed"
