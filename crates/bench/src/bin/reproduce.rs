@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! reproduce [all|table1|fig8|cost|fig9|fig10|fig11|table2|fig12|fig13|fig14
-//!            |ablation|chaos|failover|scrub|cache_scaling|disk_smoke|khop
-//!            |overload|profile]
+//!            |ablation|chaos|failover|scrub|cache_scaling|disk_smoke
+//!            |disk_chaos|khop|overload|profile]
 //!           [--scale full|quick] [--json <path>] [--metrics-json <path>]
 //!           [--threads N] [--cycles N] [--slow-log N]
 //! ```
@@ -45,6 +45,7 @@ struct Scale {
     scrub_cycles: usize,
     disk_smoke_threads: usize,
     disk_smoke_per_thread: usize,
+    disk_chaos_rounds: usize,
     overload_ops: usize,
     profile_queries: usize,
     slow_log_k: usize,
@@ -67,6 +68,7 @@ const FULL: Scale = Scale {
     scrub_cycles: 4,
     disk_smoke_threads: 4,
     disk_smoke_per_thread: 200,
+    disk_chaos_rounds: 24,
     overload_ops: 4_000,
     profile_queries: 600,
     slow_log_k: 8,
@@ -89,6 +91,7 @@ const QUICK: Scale = Scale {
     scrub_cycles: 2,
     disk_smoke_threads: 2,
     disk_smoke_per_thread: 60,
+    disk_chaos_rounds: 6,
     overload_ops: 1_000,
     profile_queries: 150,
     slow_log_k: 5,
@@ -156,6 +159,7 @@ fn main() {
             "scrub",
             "cache_scaling",
             "disk_smoke",
+            "disk_chaos",
             "khop",
             "overload",
             "profile",
@@ -327,6 +331,13 @@ fn run_one(
             let report = disk_smoke::run(scale.disk_smoke_threads, scale.disk_smoke_per_thread);
             (
                 disk_smoke::render(&report),
+                serde_json::to_value(&report).unwrap(),
+            )
+        }
+        "disk_chaos" => {
+            let report = disk_chaos::run(scale.disk_chaos_rounds);
+            (
+                disk_chaos::render(&report),
                 serde_json::to_value(&report).unwrap(),
             )
         }

@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod cache_scaling;
 pub mod chaos;
 pub mod cost;
+pub mod disk_chaos;
 pub mod disk_smoke;
 pub mod failover;
 pub mod fig10;

@@ -434,6 +434,11 @@ pub struct GovernedConfig {
     /// GC debt (invalidated-but-not-relocated records) that adds 1.0× to
     /// the write-cost multiplier.
     pub gc_debt_norm: u64,
+    /// `retry_after` hint attached to writes shed because the store's
+    /// disk health is Full or Poisoned (ENOSPC graceful degradation).
+    /// Sized to a GC reclaim cadence rather than a token-bucket drain:
+    /// the disk recovers when reclaim frees an extent, not with time.
+    pub disk_full_retry_after_nanos: u64,
 }
 
 impl Default for GovernedConfig {
@@ -445,6 +450,7 @@ impl Default for GovernedConfig {
             default_fanout: 100,
             write_throttle_cap: 4.0,
             gc_debt_norm: 10_000,
+            disk_full_retry_after_nanos: 5_000_000,
         }
     }
 }
@@ -491,6 +497,8 @@ pub struct GovernedEngine {
     next_ro: AtomicUsize,
     config: GovernedConfig,
     group_commit_pages: usize,
+    /// Writes shed at admission because disk health was Full/Poisoned.
+    enospc_sheds: Counter,
 }
 
 /// A [`GraphStore`] view over one RO replica (reads) and the leader
@@ -561,6 +569,7 @@ impl GovernedEngine {
         let exec_fresh = Executor::new(exec_config.clone());
         let exec_degraded =
             Executor::new(exec_config.with_hop_cost_ceiling(config.hop_cost_ceiling));
+        let enospc_sheds = registry.counter(names::ENOSPC_SHEDS_TOTAL);
         GovernedEngine {
             rep,
             admit,
@@ -569,6 +578,7 @@ impl GovernedEngine {
             next_ro: AtomicUsize::new(0),
             config,
             group_commit_pages,
+            enospc_sheds,
         }
     }
 
@@ -633,8 +643,21 @@ impl GovernedEngine {
     /// ladder. Shed ops return the typed `Overloaded`/`DeadlineExceeded`
     /// error without touching the engine.
     pub fn submit(&self, op: &Op) -> StorageResult<OpOutcome> {
+        let class = OpClass::of(op);
+        // ENOSPC graceful degradation: when the disk under the store is
+        // Full (or its tail is Poisoned), writes shed *before* touching
+        // the token bucket — accepting them could only fail deeper in the
+        // stack. Reads and traversals keep flowing: serving the data that
+        // is already durable needs no free space, and GC-driven reclaim
+        // (which restores health) runs below admission entirely.
+        if class == OpClass::Write && self.rep.store().disk_health().sheds_writes() {
+            self.enospc_sheds.inc();
+            return Err(StorageError::overloaded(
+                self.config.disk_full_retry_after_nanos,
+            ));
+        }
         let cost = self.op_cost(op);
-        let admitted = self.admit.admit(OpClass::of(op), cost)?;
+        let admitted = self.admit.admit(class, cost)?;
         let degraded = admitted.pressure >= self.config.degrade_pressure;
         let served = self.execute(op, degraded)?;
         Ok(OpOutcome {
@@ -1031,6 +1054,79 @@ mod tests {
             props: vec![],
         });
         assert!(loaded_cost >= idle_cost);
+    }
+
+    #[test]
+    fn full_disk_sheds_writes_but_keeps_reads_and_traversals_flowing() {
+        use bg3_storage::DiskHealth;
+        let engine = governed(GovernedConfig::default());
+        seed_fanout(&engine, 5, 4);
+        let write = Op::InsertEdge {
+            src: VertexId(5),
+            etype: EdgeType::FOLLOW,
+            dst: VertexId(99),
+            props: vec![],
+        };
+        let read = Op::CheckEdge {
+            src: VertexId(5),
+            etype: EdgeType::FOLLOW,
+            dst: VertexId(1),
+        };
+        let traversal = Op::OneHop {
+            src: VertexId(5),
+            etype: EdgeType::FOLLOW,
+            limit: usize::MAX,
+        };
+
+        for health in [DiskHealth::Full, DiskHealth::Poisoned] {
+            engine.rep().store().disk_health_tracker().set(health);
+            let err = engine.submit(&write).unwrap_err();
+            assert!(err.is_overloaded(), "{health}: writes shed typed");
+            assert_eq!(
+                err.retry_after_nanos(),
+                Some(engine.config.disk_full_retry_after_nanos),
+                "{health}: the hint points at the reclaim cadence"
+            );
+            // The data plane that is already durable stays fully served.
+            assert!(matches!(
+                engine.submit(&read).unwrap().served,
+                Served::Read { present: true, .. }
+            ));
+            assert!(matches!(
+                engine.submit(&traversal).unwrap().served,
+                Served::Traversal { results: 4, .. }
+            ));
+        }
+        let metrics = engine.rep().store().metrics_snapshot();
+        assert_eq!(metrics.counter(names::ENOSPC_SHEDS_TOTAL), Some(2));
+        assert_eq!(
+            metrics.gauge(names::DISK_HEALTH),
+            Some(DiskHealth::Poisoned.level() as i64)
+        );
+
+        // Reclaim frees space (Full → NearFull): writes are admitted again
+        // — they are the proof the disk recovered.
+        engine
+            .rep()
+            .store()
+            .disk_health_tracker()
+            .set(DiskHealth::Full);
+        engine.rep().store().disk_health_tracker().on_reclaim();
+        assert_eq!(
+            engine.rep().store().disk_health(),
+            DiskHealth::NearFull,
+            "reclaim steps the ladder down"
+        );
+        engine.submit(&write).unwrap();
+        assert_eq!(
+            engine
+                .rep()
+                .store()
+                .metrics_snapshot()
+                .counter(names::ENOSPC_SHEDS_TOTAL),
+            Some(2),
+            "no further sheds once reclaim freed space"
+        );
     }
 
     #[test]

@@ -338,6 +338,44 @@ mod tests {
     }
 
     #[test]
+    fn reclaim_under_a_full_disk_restores_health_and_write_flow() {
+        use bg3_storage::DiskHealth;
+        let store = small_store();
+        for i in 0..8 {
+            store
+                .append(StreamId::DELTA, &[i; 16], i as u64, Some(1_000))
+                .unwrap();
+        }
+        store.clock().advance_nanos(10_000);
+        // Seal the open tail so the TTL extents are candidates.
+        store
+            .append(StreamId::DELTA, &[0xEE; 64], 99, None)
+            .unwrap();
+        store.disk_health_tracker().set(DiskHealth::Full);
+        assert!(store.disk_health().sheds_writes());
+
+        // GC runs below admission, so a full disk never blocks it. TTL
+        // expiry frees extents without appending a byte — exactly the
+        // recovery path a full disk needs.
+        let reclaimer =
+            SpaceReclaimer::new(store.clone(), WorkloadAwarePolicy::default(), NullRouter)
+                .with_streams(vec![StreamId::DELTA]);
+        let report = reclaimer.run_cycle(10).unwrap();
+        assert!(report.expired_extents > 0, "expiry reclaims without writes");
+        assert_eq!(
+            store.disk_health(),
+            DiskHealth::NearFull,
+            "backend deletes stepped the ladder down"
+        );
+        assert!(!store.disk_health().sheds_writes(), "writes admitted again");
+
+        // The next durable write is the proof of full recovery.
+        store.append(StreamId::DELTA, b"proof", 1, None).unwrap();
+        store.sync_stream(StreamId::DELTA).unwrap();
+        assert_eq!(store.disk_health(), DiskHealth::Ok);
+    }
+
+    #[test]
     fn cycle_report_absorb_sums() {
         let mut a = CycleReport {
             relocated_extents: 1,

@@ -99,6 +99,12 @@ pub const SLOW_QUERY_RECORDED_TOTAL: &str = "slow_query_recorded_total";
 pub const SLOW_QUERY_EVICTED_TOTAL: &str = "slow_query_evicted_total";
 /// Trace-ring events overwritten before they could be read (ring wrap).
 pub const TRACE_DROPPED_EVENTS_TOTAL: &str = "trace_dropped_events_total";
+/// Streams poisoned by a failed durability barrier (fsyncgate rule: the
+/// first failed sync/seal permanently fails the tail closed).
+pub const SYNC_POISONED_TOTAL: &str = "sync_poisoned_total";
+/// Writes shed by the governed engine because the disk is full or the
+/// store is poisoned (ENOSPC graceful degradation).
+pub const ENOSPC_SHEDS_TOTAL: &str = "enospc_sheds_total";
 
 /// Bytes moved by the most recent reclaimer cycle (gauge).
 pub const GC_LAST_CYCLE_MOVED_BYTES: &str = "gc_last_cycle_moved_bytes";
@@ -108,6 +114,9 @@ pub const ADMIT_QUEUE_DEPTH: &str = "admit_queue_depth";
 pub const SLOW_QUERY_LOG_ENTRIES: &str = "slow_query_log_entries";
 /// Modelled cost of the worst profile in the slow-query log (gauge; ns).
 pub const SLOW_QUERY_WORST_COST_NS: &str = "slow_query_worst_cost_ns";
+/// Current disk-health level (gauge): 0 = Ok, 1 = NearFull, 2 = Full,
+/// 3 = Poisoned. Drives the governed engine's ENOSPC write shedding.
+pub const DISK_HEALTH: &str = "disk_health";
 
 /// Virtual-time latency of storage random reads (cache misses; ns).
 pub const STORAGE_READ_LATENCY_NS: &str = "storage_read_latency_ns";
@@ -178,6 +187,8 @@ pub const REQUIRED_COUNTERS: &[&str] = &[
     SLOW_QUERY_RECORDED_TOTAL,
     SLOW_QUERY_EVICTED_TOTAL,
     TRACE_DROPPED_EVENTS_TOTAL,
+    SYNC_POISONED_TOTAL,
+    ENOSPC_SHEDS_TOTAL,
 ];
 
 /// Histograms every store registers up front; also enforced by the gate,

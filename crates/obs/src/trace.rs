@@ -52,6 +52,8 @@ pub enum TraceKind {
     ExtentRepair,
     /// The scrubber completed one verification cycle.
     ScrubCycle,
+    /// A failed durability barrier poisoned a stream tail (fsyncgate).
+    SyncPoisoned,
 }
 
 impl TraceKind {
@@ -74,6 +76,7 @@ impl TraceKind {
             TraceKind::ExtentQuarantine => "extent_quarantine",
             TraceKind::ExtentRepair => "extent_repair",
             TraceKind::ScrubCycle => "scrub_cycle",
+            TraceKind::SyncPoisoned => "sync_poisoned",
         }
     }
 }

@@ -119,6 +119,17 @@ pub enum ErrorKind {
         /// The class deadline it exceeded, in virtual nanoseconds.
         deadline_nanos: u64,
     },
+    /// The stream's tail is poisoned by an earlier failed durability
+    /// barrier (the "fsyncgate" rule): after a `sync`/`seal` fails, the
+    /// kernel may have silently dropped the dirty pages, so the in-memory
+    /// picture of the tail can no longer be trusted. The store and the WAL
+    /// writer fail every subsequent append closed with this kind instead of
+    /// retrying the fsync; only a fresh open (which re-derives durability
+    /// from the frames actually on disk) clears the state.
+    SyncPoisoned {
+        /// The stream whose tail is poisoned.
+        stream: StreamId,
+    },
     /// A fault injected by the chaos layer (see [`crate::fault`]).
     Injected(FaultKind),
     /// A crash-point kill fired by the chaos harness.
@@ -146,8 +157,15 @@ pub enum IoErrorClass {
     NotFound,
     /// EACCES/EPERM: the backend root is not writable.
     PermissionDenied,
-    /// ENOSPC/EDQUOT: the filesystem is out of space or quota.
-    StorageFull,
+    /// ENOSPC/EDQUOT: the filesystem is out of space or quota. Not
+    /// syscall-retryable — retrying the write cannot free space; the only
+    /// recovery path is the admission layer's `Overloaded{retry_after}`
+    /// shed while GC reclaims extents.
+    NoSpace,
+    /// A durability barrier (fsync/fdatasync) failed. Never retryable: the
+    /// kernel may have dropped the dirty pages on the first failure, so a
+    /// later "successful" fsync proves nothing about the lost writes.
+    SyncFailed,
     /// EINTR: the syscall was interrupted; retrying is safe.
     Interrupted,
     /// ETIMEDOUT: the device or network filesystem timed out.
@@ -173,7 +191,7 @@ impl IoErrorClass {
         match err.kind() {
             K::NotFound => IoErrorClass::NotFound,
             K::PermissionDenied => IoErrorClass::PermissionDenied,
-            K::StorageFull | K::QuotaExceeded => IoErrorClass::StorageFull,
+            K::StorageFull | K::QuotaExceeded => IoErrorClass::NoSpace,
             K::Interrupted => IoErrorClass::Interrupted,
             K::TimedOut => IoErrorClass::TimedOut,
             K::WouldBlock => IoErrorClass::WouldBlock,
@@ -200,7 +218,8 @@ impl fmt::Display for IoErrorClass {
         let name = match self {
             IoErrorClass::NotFound => "not-found",
             IoErrorClass::PermissionDenied => "permission-denied",
-            IoErrorClass::StorageFull => "storage-full",
+            IoErrorClass::NoSpace => "no-space",
+            IoErrorClass::SyncFailed => "sync-failed",
             IoErrorClass::Interrupted => "interrupted",
             IoErrorClass::TimedOut => "timed-out",
             IoErrorClass::WouldBlock => "would-block",
@@ -254,6 +273,13 @@ impl fmt::Display for ErrorKind {
                 "estimated queue wait {estimated_wait_nanos}ns exceeds the \
                  {deadline_nanos}ns deadline"
             ),
+            ErrorKind::SyncPoisoned { stream } => {
+                write!(
+                    f,
+                    "{stream} tail is poisoned by an earlier failed fsync; \
+                     reopen to recover from on-disk frames"
+                )
+            }
             ErrorKind::Injected(fault) => write!(f, "injected fault: {fault}"),
             ErrorKind::Crash(point) => write!(f, "crashed at {point}"),
             ErrorKind::Io { class, detail } => write!(f, "os i/o error ({class}): {detail}"),
@@ -382,6 +408,12 @@ impl StorageError {
         )
     }
 
+    /// An append or sync rejected because `stream`'s tail was poisoned by
+    /// an earlier failed durability barrier (fsyncgate rule).
+    pub fn sync_poisoned(op: StorageOp, stream: StreamId) -> Self {
+        Self::new(ErrorKind::SyncPoisoned { stream }, op)
+    }
+
     /// A fault injected by the chaos layer during `op`.
     pub fn injected(op: StorageOp, fault: FaultKind) -> Self {
         Self::new(ErrorKind::Injected(fault), op)
@@ -405,6 +437,27 @@ impl StorageError {
         )
     }
 
+    /// An OS I/O failure with a caller-forced class — used where the
+    /// syscall context, not the errno, decides the class (fault-injecting
+    /// backends, and fsync paths that must report [`IoErrorClass::SyncFailed`]).
+    pub fn io_class(op: StorageOp, class: IoErrorClass, detail: impl Into<String>) -> Self {
+        Self::new(
+            ErrorKind::Io {
+                class,
+                detail: detail.into(),
+            },
+            op,
+        )
+    }
+
+    /// A failed durability barrier surfaced by a real backend during `op`.
+    /// Always classed [`IoErrorClass::SyncFailed`] regardless of errno:
+    /// whatever the kernel reported, the dirty pages may already be gone,
+    /// so the failure must not be retried (fsyncgate rule).
+    pub fn io_sync(op: StorageOp, err: &std::io::Error) -> Self {
+        Self::io_class(op, IoErrorClass::SyncFailed, err.to_string())
+    }
+
     /// True when this error was injected by the chaos layer (fault or
     /// crash), as opposed to arising organically.
     pub fn is_injected(&self) -> bool {
@@ -415,6 +468,12 @@ impl StorageError {
     /// propagate to the harness — retrying them would defeat the kill.
     pub fn is_crash(&self) -> bool {
         matches!(self.kind, ErrorKind::Crash(_))
+    }
+
+    /// True when the stream tail is poisoned by an earlier failed fsync.
+    /// Never retryable: only a fresh open clears the state.
+    pub fn is_sync_poisoned(&self) -> bool {
+        matches!(self.kind, ErrorKind::SyncPoisoned { .. })
     }
 
     /// True when the error is an epoch-fencing rejection. A fenced writer
@@ -650,8 +709,8 @@ mod tests {
         let cases: &[(K, IoErrorClass, bool)] = &[
             (K::NotFound, IoErrorClass::NotFound, false),
             (K::PermissionDenied, IoErrorClass::PermissionDenied, false),
-            (K::StorageFull, IoErrorClass::StorageFull, false),
-            (K::QuotaExceeded, IoErrorClass::StorageFull, false),
+            (K::StorageFull, IoErrorClass::NoSpace, false),
+            (K::QuotaExceeded, IoErrorClass::NoSpace, false),
             (K::Interrupted, IoErrorClass::Interrupted, true),
             (K::TimedOut, IoErrorClass::TimedOut, true),
             (K::WouldBlock, IoErrorClass::WouldBlock, true),
@@ -687,7 +746,61 @@ mod tests {
         let err = StorageError::io(StorageOp::Append, &os);
         assert_eq!(
             err.to_string(),
-            "append failed: os i/o error (storage-full): no space left on device"
+            "append failed: os i/o error (no-space): no space left on device"
+        );
+    }
+
+    /// `NoSpace` is not syscall-retryable — the only recovery path is the
+    /// admission layer's `Overloaded{retry_after}` shed while GC reclaims.
+    #[test]
+    fn no_space_retries_only_through_the_admission_path() {
+        let os = std::io::Error::new(std::io::ErrorKind::StorageFull, "ENOSPC");
+        let enospc = StorageError::io(StorageOp::Append, &os);
+        assert!(!enospc.is_retryable(), "retrying a full disk is futile");
+        assert!(!enospc.is_transient());
+
+        // The degradation ladder converts the condition into an admission
+        // shed, and *that* carries the retry contract.
+        let shed = StorageError::overloaded(7_000);
+        assert!(shed.is_retryable());
+        assert_eq!(shed.retry_after_nanos(), Some(7_000));
+    }
+
+    /// The fsyncgate rule end to end at the error layer: a failed barrier
+    /// is always classed `SyncFailed` (whatever errno the kernel chose),
+    /// and a poisoned tail is never retryable.
+    #[test]
+    fn sync_failures_and_poisoned_tails_are_never_retryable() {
+        // Any errno on the fsync path maps to SyncFailed, even ones that
+        // would be retryable on a read/write path.
+        for kind in [
+            std::io::ErrorKind::Interrupted,
+            std::io::ErrorKind::StorageFull,
+            std::io::ErrorKind::Other,
+        ] {
+            let os = std::io::Error::new(kind, format!("fsync {kind:?}"));
+            let err = StorageError::io_sync(StorageOp::Append, &os);
+            match &err.kind {
+                ErrorKind::Io { class, detail } => {
+                    assert_eq!(*class, IoErrorClass::SyncFailed);
+                    assert!(detail.contains("fsync"));
+                }
+                other => panic!("expected Io kind, got {other:?}"),
+            }
+            assert!(!err.is_retryable(), "fsync must never be retried");
+        }
+        assert!(!IoErrorClass::SyncFailed.is_retryable());
+        assert!(!IoErrorClass::NoSpace.is_retryable());
+
+        let poisoned = StorageError::sync_poisoned(StorageOp::Append, StreamId::WAL);
+        assert!(poisoned.is_sync_poisoned());
+        assert!(!poisoned.is_retryable(), "poison clears only on reopen");
+        assert!(!poisoned.is_transient());
+        assert!(!poisoned.is_overloaded());
+        assert_eq!(
+            poisoned.to_string(),
+            "append failed: wal tail is poisoned by an earlier failed fsync; \
+             reopen to recover from on-disk frames"
         );
     }
 }

@@ -57,6 +57,21 @@ pub enum FaultKind {
     /// Silent truncation: the read returns fewer bytes than addressed.
     /// Transient — the stored bytes are intact.
     ReadShort,
+    /// The durability barrier (fsync/fdatasync or seal) fails with EIO.
+    /// Errno-level: injected by [`crate::FaultBackend`] *below* the store,
+    /// so the fail-closed poisoning path is exercised on both backends.
+    SyncFail,
+    /// The physical backend write fails with ENOSPC; nothing is written.
+    WriteNoSpace,
+    /// The physical backend write lands a prefix of its bytes and then
+    /// fails — a torn write at the media level (short write + error).
+    WriteShortTorn,
+    /// The physical backend read fails with EIO.
+    ReadEio,
+    /// The disk enters a *sticky* full regime: this write and every later
+    /// write or allocation fails ENOSPC until space is reclaimed (an
+    /// extent delete reaches the backend).
+    DiskFull,
 }
 
 impl fmt::Display for FaultKind {
@@ -70,6 +85,11 @@ impl fmt::Display for FaultKind {
             FaultKind::ReadBitFlip => write!(f, "read-bit-flip"),
             FaultKind::ReadStale => write!(f, "read-stale"),
             FaultKind::ReadShort => write!(f, "read-short"),
+            FaultKind::SyncFail => write!(f, "sync-fail"),
+            FaultKind::WriteNoSpace => write!(f, "write-no-space"),
+            FaultKind::WriteShortTorn => write!(f, "write-short-torn"),
+            FaultKind::ReadEio => write!(f, "read-eio"),
+            FaultKind::DiskFull => write!(f, "disk-full"),
         }
     }
 }
@@ -85,16 +105,35 @@ pub enum FaultOp {
     /// Mapping-table publishes ([`FaultKind::PublishDrop`],
     /// [`FaultKind::Delay`]).
     MappingPublish,
+    /// Backend durability barriers — `sync` and `seal` calls
+    /// ([`FaultKind::SyncFail`]). Errno-level: drawn by
+    /// [`crate::FaultBackend`], not by the store.
+    Sync,
+    /// Physical backend writes ([`FaultKind::WriteNoSpace`],
+    /// [`FaultKind::WriteShortTorn`], [`FaultKind::DiskFull`]).
+    BackendWrite,
+    /// Physical backend positioned reads ([`FaultKind::ReadEio`]).
+    BackendRead,
 }
 
 impl FaultOp {
-    const ALL: [FaultOp; 3] = [FaultOp::Append, FaultOp::Read, FaultOp::MappingPublish];
+    const ALL: [FaultOp; 6] = [
+        FaultOp::Append,
+        FaultOp::Read,
+        FaultOp::MappingPublish,
+        FaultOp::Sync,
+        FaultOp::BackendWrite,
+        FaultOp::BackendRead,
+    ];
 
     fn index(self) -> usize {
         match self {
             FaultOp::Append => 0,
             FaultOp::Read => 1,
             FaultOp::MappingPublish => 2,
+            FaultOp::Sync => 3,
+            FaultOp::BackendWrite => 4,
+            FaultOp::BackendRead => 5,
         }
     }
 }
@@ -291,6 +330,57 @@ impl FaultPlan {
         ))
     }
 
+    /// Convenience: fail backend durability barriers (fsync/seal) with
+    /// `probability` ([`FaultKind::SyncFail`]).
+    pub fn fail_syncs(self, probability: f64) -> Self {
+        self.with_rule(FaultRule::new(
+            FaultOp::Sync,
+            FaultKind::SyncFail,
+            probability,
+        ))
+    }
+
+    /// Convenience: fail backend writes ENOSPC with `probability`
+    /// ([`FaultKind::WriteNoSpace`]).
+    pub fn no_space_writes(self, probability: f64) -> Self {
+        self.with_rule(FaultRule::new(
+            FaultOp::BackendWrite,
+            FaultKind::WriteNoSpace,
+            probability,
+        ))
+    }
+
+    /// Convenience: tear backend writes at the media level with
+    /// `probability` ([`FaultKind::WriteShortTorn`]).
+    pub fn torn_backend_writes(self, probability: f64) -> Self {
+        self.with_rule(FaultRule::new(
+            FaultOp::BackendWrite,
+            FaultKind::WriteShortTorn,
+            probability,
+        ))
+    }
+
+    /// Convenience: fail backend reads EIO with `probability`
+    /// ([`FaultKind::ReadEio`]).
+    pub fn eio_reads(self, probability: f64) -> Self {
+        self.with_rule(FaultRule::new(
+            FaultOp::BackendRead,
+            FaultKind::ReadEio,
+            probability,
+        ))
+    }
+
+    /// Convenience: arm the sticky disk-full regime on the `n`-th backend
+    /// write ([`FaultKind::DiskFull`]); it clears only when reclaim
+    /// deletes an extent.
+    pub fn disk_full_after(self, n: u64) -> Self {
+        self.with_rule(
+            FaultRule::new(FaultOp::BackendWrite, FaultKind::DiskFull, 1.0)
+                .after(n)
+                .at_most(1),
+        )
+    }
+
     /// True when the plan can never inject anything.
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty()
@@ -336,11 +426,11 @@ impl FaultPlan {
 struct InjectorInner {
     plan: FaultPlan,
     /// Per-class operation counters (index = FaultOp::index()).
-    op_counters: [AtomicU64; 3],
+    op_counters: [AtomicU64; 6],
     /// Remaining fire budget per rule.
     budgets: Vec<AtomicU64>,
     /// Total faults fired per class.
-    fired: [AtomicU64; 3],
+    fired: [AtomicU64; 6],
 }
 
 /// Runtime fault decisions over a [`FaultPlan`]. Cheap to clone; clones
@@ -362,9 +452,9 @@ impl FaultInjector {
         FaultInjector {
             inner: Arc::new(InjectorInner {
                 plan,
-                op_counters: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+                op_counters: Default::default(),
                 budgets,
-                fired: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+                fired: Default::default(),
             }),
         }
     }
@@ -787,6 +877,30 @@ mod tests {
             plan.decision(FaultOp::Append, Some(StreamId::WAL), 10),
             Some(FaultKind::AppendFail)
         );
+    }
+
+    #[test]
+    fn backend_op_classes_schedule_independently_of_store_classes() {
+        let plan = FaultPlan::seeded(9)
+            .fail_syncs(0.5)
+            .no_space_writes(0.2)
+            .eio_reads(0.2);
+        // Errno-level rules never bleed into the store-level classes.
+        assert!(plan
+            .schedule(FaultOp::Append, None, 64)
+            .iter()
+            .all(|d| d.is_none()));
+        let syncs = plan.schedule(FaultOp::Sync, None, 64);
+        assert!(syncs.contains(&Some(FaultKind::SyncFail)));
+        assert_eq!(syncs, plan.schedule(FaultOp::Sync, None, 64));
+
+        // The sticky disk-full rule arms exactly once, at its window.
+        let injector = FaultInjector::new(FaultPlan::seeded(1).disk_full_after(5));
+        let fires: Vec<bool> = (0..10)
+            .map(|_| injector.decide(FaultOp::BackendWrite, None).is_some())
+            .collect();
+        assert_eq!(fires.iter().filter(|f| **f).count(), 1);
+        assert!(fires[5], "disk-full must arm at the configured write");
     }
 
     #[test]

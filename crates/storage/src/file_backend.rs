@@ -85,7 +85,10 @@ fn parse_extent_file(name: &str) -> Option<ExtentId> {
 /// the inode.
 fn fsync_dir(dir: &Path, op: StorageOp) -> StorageResult<()> {
     let d = File::open(dir).map_err(|e| StorageError::io(op, &e))?;
-    d.sync_all().map_err(|e| StorageError::io(op, &e))
+    // A failed directory fsync is a failed durability barrier: the kernel
+    // may have dropped the dirty entry, so report it as `SyncFailed`
+    // (never retryable) rather than classifying the raw errno.
+    d.sync_all().map_err(|e| StorageError::io_sync(op, &e))
 }
 
 /// The file-per-extent backend. Open file handles are cached (extents are
@@ -215,8 +218,11 @@ impl ExtentBackend for FileBackend {
 
     fn sync(&self, stream: StreamId, extent: ExtentId) -> StorageResult<()> {
         let file = self.handle(stream, extent, StorageOp::Append)?;
+        // Fsyncgate: after a failed fdatasync the kernel may already have
+        // dropped the dirty pages, so the error is `SyncFailed` — callers
+        // must poison the tail, never retry the sync.
         file.sync_data()
-            .map_err(|e| StorageError::io(StorageOp::Append, &e))?;
+            .map_err(|e| StorageError::io_sync(StorageOp::Append, &e))?;
         self.stats.with(|s| s.record_sync());
         Ok(())
     }
@@ -227,7 +233,7 @@ impl ExtentBackend for FileBackend {
         // durable extent, never a sealed extent with undurable bytes.
         let file = self.handle(stream, extent, StorageOp::Append)?;
         file.sync_data()
-            .map_err(|e| StorageError::io(StorageOp::Append, &e))?;
+            .map_err(|e| StorageError::io_sync(StorageOp::Append, &e))?;
         self.stats.with(|s| s.record_sync());
         let marker = OpenOptions::new()
             .write(true)
@@ -237,7 +243,7 @@ impl ExtentBackend for FileBackend {
             .map_err(|e| StorageError::io(StorageOp::Append, &e))?;
         marker
             .sync_all()
-            .map_err(|e| StorageError::io(StorageOp::Append, &e))?;
+            .map_err(|e| StorageError::io_sync(StorageOp::Append, &e))?;
         fsync_dir(&self.stream_dir(stream), StorageOp::Append)?;
         self.stats.with(|s| s.record_seal());
         Ok(())

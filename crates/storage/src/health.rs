@@ -1,0 +1,215 @@
+//! Disk-health tracking for ENOSPC graceful degradation.
+//!
+//! The store distills every backend outcome into one gauge —
+//! [`bg3_obs::names::DISK_HEALTH`] — that the governed engine polls before
+//! admitting writes. The ladder:
+//!
+//! ```text
+//!   Ok ──ENOSPC──▶ Full ──reclaim frees space──▶ NearFull ──write ok──▶ Ok
+//!    │                                                │
+//!    └──────────────failed fsync/seal────────────────▶ Poisoned (absorbing)
+//! ```
+//!
+//! * **Full**: a backend write or allocation failed with
+//!   [`crate::IoErrorClass::NoSpace`]. Writes must shed; reads, traversals
+//!   and GC keep running — GC is the recovery path.
+//! * **NearFull**: reclaim deleted an extent after a full episode, but no
+//!   write has proven the disk writable yet. Writes are admitted again
+//!   (they are the proof).
+//! * **Poisoned**: a durability barrier failed (fsyncgate). Absorbing: no
+//!   runtime transition clears it; only a fresh store open — which
+//!   re-derives durability from on-disk frames — starts back at Ok.
+
+use bg3_obs::{names, Gauge, MetricRegistry};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Coarse health of the disk under the store, exported as a gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiskHealth {
+    /// Writes flow normally.
+    Ok,
+    /// Space was reclaimed after a full episode; the next successful
+    /// durable write confirms recovery.
+    NearFull,
+    /// The disk is out of space: writes shed, reads and reclaim continue.
+    Full,
+    /// A durability barrier failed; the tail cannot be trusted until the
+    /// store is reopened from on-disk frames.
+    Poisoned,
+}
+
+impl DiskHealth {
+    /// The gauge encoding (0..=3, monotone in severity).
+    pub fn level(self) -> u8 {
+        match self {
+            DiskHealth::Ok => 0,
+            DiskHealth::NearFull => 1,
+            DiskHealth::Full => 2,
+            DiskHealth::Poisoned => 3,
+        }
+    }
+
+    fn from_level(level: u8) -> DiskHealth {
+        match level {
+            0 => DiskHealth::Ok,
+            1 => DiskHealth::NearFull,
+            2 => DiskHealth::Full,
+            _ => DiskHealth::Poisoned,
+        }
+    }
+
+    /// True when the governed engine must shed writes at admission.
+    pub fn sheds_writes(self) -> bool {
+        matches!(self, DiskHealth::Full | DiskHealth::Poisoned)
+    }
+}
+
+impl std::fmt::Display for DiskHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            DiskHealth::Ok => "ok",
+            DiskHealth::NearFull => "near-full",
+            DiskHealth::Full => "full",
+            DiskHealth::Poisoned => "poisoned",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Lock-free tracker backing the `disk_health` gauge.
+#[derive(Debug)]
+pub struct DiskHealthTracker {
+    level: AtomicU8,
+    gauge: Gauge,
+}
+
+impl DiskHealthTracker {
+    /// A tracker starting at [`DiskHealth::Ok`], publishing into
+    /// `registry`'s `disk_health` gauge.
+    pub fn new(registry: &MetricRegistry) -> Self {
+        let gauge = registry.gauge(names::DISK_HEALTH);
+        gauge.set(0);
+        DiskHealthTracker {
+            level: AtomicU8::new(0),
+            gauge,
+        }
+    }
+
+    /// Current health.
+    pub fn get(&self) -> DiskHealth {
+        DiskHealth::from_level(self.level.load(Ordering::Relaxed))
+    }
+
+    /// Forces a state (tests and experiments). Note this *can* clear
+    /// Poisoned — runtime transitions never do.
+    pub fn set(&self, health: DiskHealth) {
+        self.level.store(health.level(), Ordering::Relaxed);
+        self.gauge.set(health.level() as i64);
+    }
+
+    /// A backend write/allocation failed ENOSPC: Ok/NearFull → Full.
+    pub fn on_no_space(&self) {
+        self.transition(|h| match h {
+            DiskHealth::Ok | DiskHealth::NearFull => Some(DiskHealth::Full),
+            DiskHealth::Full | DiskHealth::Poisoned => None,
+        });
+    }
+
+    /// A durability barrier failed: everything → Poisoned (absorbing).
+    pub fn on_poisoned(&self) {
+        self.transition(|h| match h {
+            DiskHealth::Poisoned => None,
+            _ => Some(DiskHealth::Poisoned),
+        });
+    }
+
+    /// Reclaim deleted an extent: Full → NearFull.
+    pub fn on_reclaim(&self) {
+        self.transition(|h| match h {
+            DiskHealth::Full => Some(DiskHealth::NearFull),
+            _ => None,
+        });
+    }
+
+    /// A durable write succeeded: NearFull → Ok.
+    pub fn on_durable_write(&self) {
+        self.transition(|h| match h {
+            DiskHealth::NearFull => Some(DiskHealth::Ok),
+            _ => None,
+        });
+    }
+
+    fn transition(&self, next: impl Fn(DiskHealth) -> Option<DiskHealth>) {
+        let mut current = self.level.load(Ordering::Relaxed);
+        loop {
+            let Some(to) = next(DiskHealth::from_level(current)) else {
+                return;
+            };
+            match self.level.compare_exchange_weak(
+                current,
+                to.level(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.gauge.set(to.level() as i64);
+                    return;
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> (MetricRegistry, DiskHealthTracker) {
+        let registry = MetricRegistry::new();
+        let tracker = DiskHealthTracker::new(&registry);
+        (registry, tracker)
+    }
+
+    #[test]
+    fn ladder_walks_full_reclaim_near_full_ok() {
+        let (registry, t) = tracker();
+        assert_eq!(t.get(), DiskHealth::Ok);
+        assert!(!t.get().sheds_writes());
+
+        t.on_no_space();
+        assert_eq!(t.get(), DiskHealth::Full);
+        assert!(t.get().sheds_writes());
+        // Reclaim is the only way down from Full.
+        t.on_durable_write();
+        assert_eq!(t.get(), DiskHealth::Full);
+
+        t.on_reclaim();
+        assert_eq!(t.get(), DiskHealth::NearFull);
+        assert!(!t.get().sheds_writes(), "writes prove recovery");
+        // A repeat ENOSPC during NearFull goes straight back to Full.
+        t.on_no_space();
+        assert_eq!(t.get(), DiskHealth::Full);
+        t.on_reclaim();
+
+        t.on_durable_write();
+        assert_eq!(t.get(), DiskHealth::Ok);
+        assert_eq!(registry.snapshot().gauge(names::DISK_HEALTH), Some(0));
+    }
+
+    #[test]
+    fn poisoned_is_absorbing_for_runtime_transitions() {
+        let (registry, t) = tracker();
+        t.on_poisoned();
+        assert_eq!(t.get(), DiskHealth::Poisoned);
+        assert!(t.get().sheds_writes());
+        t.on_reclaim();
+        t.on_durable_write();
+        t.on_no_space();
+        assert_eq!(t.get(), DiskHealth::Poisoned, "nothing clears poison");
+        assert_eq!(registry.snapshot().gauge(names::DISK_HEALTH), Some(3));
+        // Except an explicit reset — the fresh-open path.
+        t.set(DiskHealth::Ok);
+        assert_eq!(t.get(), DiskHealth::Ok);
+    }
+}

@@ -38,8 +38,10 @@ pub mod epoch;
 pub mod error;
 pub mod extent;
 pub mod fault;
+pub mod fault_backend;
 pub mod file_backend;
 pub mod frame;
+pub mod health;
 pub mod latency;
 pub mod mapping;
 pub mod stats;
@@ -64,11 +66,13 @@ pub use extent::{ExtentInfo, ExtentState, UsageSample};
 pub use fault::{
     CrashPoint, CrashSwitch, FaultInjector, FaultKind, FaultOp, FaultPlan, FaultRule, RetryPolicy,
 };
+pub use fault_backend::FaultBackend;
 pub use file_backend::FileBackend;
 pub use frame::{
     crc32c, decode_header, encode_frame, encode_header, verify_frame, FrameHeader, FrameKind,
     FrameViolation, FRAME_HEADER_LEN, FRAME_MAGIC,
 };
+pub use health::{DiskHealth, DiskHealthTracker};
 pub use latency::LatencyModel;
 pub use mapping::{MappingSnapshot, SharedMappingTable};
 pub use stats::{IoStats, IoStatsSnapshot};

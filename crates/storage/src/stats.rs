@@ -49,6 +49,7 @@ pub struct IoStats {
     query_scan_bytes: Counter,
     query_csr_segments: Counter,
     query_pushdown_hits: Counter,
+    sync_poisoned: Counter,
     query_frontier_len: Histogram,
     read_latency: Histogram,
     append_latency: Histogram,
@@ -97,6 +98,11 @@ impl IoStats {
         let _ = registry.gauge(names::SLOW_QUERY_LOG_ENTRIES);
         let _ = registry.gauge(names::SLOW_QUERY_WORST_COST_NS);
         let _ = registry.histogram(names::QUERY_PROFILE_COST_LATENCY_NS);
+        // Disk-fault envelope: the governed engine re-resolves the ENOSPC
+        // shed counter from this registry, and the health tracker owns the
+        // gauge; pre-register both so idle stores export them.
+        let _ = registry.counter(names::ENOSPC_SHEDS_TOTAL);
+        let _ = registry.gauge(names::DISK_HEALTH);
         IoStats {
             appends: registry.counter(names::STORAGE_APPENDS_TOTAL),
             bytes_appended: registry.counter(names::STORAGE_BYTES_APPENDED_TOTAL),
@@ -123,6 +129,7 @@ impl IoStats {
             query_scan_bytes: registry.counter(names::QUERY_SCAN_BYTES_TOTAL),
             query_csr_segments: registry.counter(names::QUERY_CSR_SEGMENTS_SCANNED_TOTAL),
             query_pushdown_hits: registry.counter(names::QUERY_PUSHDOWN_HITS_TOTAL),
+            sync_poisoned: registry.counter(names::SYNC_POISONED_TOTAL),
             query_frontier_len: registry.histogram(names::QUERY_FRONTIER_LEN),
             read_latency: registry.histogram(names::STORAGE_READ_LATENCY_NS),
             append_latency: registry.histogram(names::STORAGE_APPEND_LATENCY_NS),
@@ -209,6 +216,10 @@ impl IoStats {
 
     pub(crate) fn record_checksum_mismatches(&self, n: u64) {
         self.checksum_mismatches.add(n);
+    }
+
+    pub(crate) fn record_sync_poisoned(&self) {
+        self.sync_poisoned.inc();
     }
 
     pub(crate) fn record_extent_quarantined(&self) {

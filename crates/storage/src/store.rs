@@ -9,10 +9,11 @@
 use crate::addr::{ExtentId, PageAddr, RecordId, StreamId};
 use crate::backend::{BackendKind, BackendStats, ExtentBackend};
 use crate::clock::{SimClock, SimInstant};
-use crate::error::{StorageError, StorageOp, StorageResult};
+use crate::error::{ErrorKind, IoErrorClass, StorageError, StorageOp, StorageResult};
 use crate::extent::{Extent, ExtentInfo, ExtentState};
 use crate::fault::{splitmix64, FaultInjector, FaultKind, FaultOp, FaultPlan};
 use crate::frame::{self, FrameKind, FRAME_HEADER_LEN};
+use crate::health::{DiskHealth, DiskHealthTracker};
 use crate::latency::LatencyModel;
 use crate::stats::IoStats;
 use crate::stream::{StreamInner, StreamStats};
@@ -125,6 +126,7 @@ struct StoreInner {
     trace: TraceBuffer,
     streams: HashMap<StreamId, Mutex<StreamInner>>,
     backend: Arc<dyn ExtentBackend>,
+    health: DiskHealthTracker,
     next_extent: AtomicU64,
     next_record: AtomicU64,
 }
@@ -162,6 +164,10 @@ impl AppendOnlyStore {
     ) -> StorageResult<Self> {
         let stats = IoStats::new();
         backend.attach_stats(BackendStats::register(stats.registry()));
+        // A fresh open always starts at Ok: durability below this point is
+        // exactly the valid frame prefixes recovered from the backend, so
+        // any pre-crash poison is moot.
+        let health = DiskHealthTracker::new(stats.registry());
         let mut streams: HashMap<StreamId, Mutex<StreamInner>> = HashMap::new();
         for id in [
             StreamId::BASE,
@@ -245,6 +251,7 @@ impl AppendOnlyStore {
                 trace,
                 streams,
                 backend,
+                health,
                 next_extent: AtomicU64::new(next_extent),
                 next_record: AtomicU64::new(next_record),
             }),
@@ -306,12 +313,77 @@ impl AppendOnlyStore {
     /// Durability barrier on `stream`'s active tail extent — the WAL
     /// writer's group-fsync target. Sealed extents were already synced at
     /// seal time, so a stream with no open extent has nothing to flush.
+    ///
+    /// Fail closed (the fsyncgate rule): a failed barrier *poisons* the
+    /// stream. The kernel may have dropped the dirty tail pages on the
+    /// first failure, so retrying the fsync — or appending past it — would
+    /// ack writes whose durability is unknowable. Every later append or
+    /// sync on the stream returns [`crate::ErrorKind::SyncPoisoned`];
+    /// reads, reclaim, and recovery keep working, and a fresh open
+    /// re-derives the durable tail from the frames actually on disk.
     pub fn sync_stream(&self, stream: StreamId) -> StorageResult<()> {
-        let guard = self.stream(stream, StorageOp::Append)?.lock();
+        let mut guard = self.stream(stream, StorageOp::Append)?.lock();
+        if guard.poisoned {
+            return Err(StorageError::sync_poisoned(StorageOp::Append, stream));
+        }
         let Some(active) = guard.active else {
             return Ok(());
         };
-        self.inner.backend.sync(stream, active)
+        match self.inner.backend.sync(stream, active) {
+            Ok(()) => {
+                self.inner.health.on_durable_write();
+                Ok(())
+            }
+            Err(err) => {
+                self.poison(&mut guard, stream);
+                Err(err)
+            }
+        }
+    }
+
+    /// True when `stream`'s tail is poisoned by a failed durability
+    /// barrier (see [`AppendOnlyStore::sync_stream`]).
+    pub fn is_poisoned(&self, stream: StreamId) -> bool {
+        self.stream(stream, StorageOp::Append)
+            .map(|s| s.lock().poisoned)
+            .unwrap_or(false)
+    }
+
+    /// Current disk health (the `disk_health` gauge).
+    pub fn disk_health(&self) -> DiskHealth {
+        self.inner.health.get()
+    }
+
+    /// The tracker behind [`AppendOnlyStore::disk_health`] — experiments
+    /// and the governed engine's tests drive transitions directly.
+    pub fn disk_health_tracker(&self) -> &DiskHealthTracker {
+        &self.inner.health
+    }
+
+    /// Marks `stream` poisoned and records the transition (once).
+    fn poison(&self, guard: &mut StreamInner, stream: StreamId) {
+        if !guard.poisoned {
+            guard.poisoned = true;
+            self.inner.stats.record_sync_poisoned();
+            self.inner.health.on_poisoned();
+            self.inner.trace.emit(
+                self.inner.clock.now().0,
+                TraceKind::SyncPoisoned,
+                u64::from(stream.0),
+                0,
+            );
+        }
+    }
+
+    /// Notes a failed backend write/allocation on the health gauge.
+    fn note_append_error(&self, err: &StorageError) {
+        if let ErrorKind::Io {
+            class: IoErrorClass::NoSpace,
+            ..
+        } = err.kind
+        {
+            self.inner.health.on_no_space();
+        }
     }
 
     fn stream(&self, id: StreamId, op: StorageOp) -> StorageResult<&Mutex<StreamInner>> {
@@ -376,6 +448,11 @@ impl AppendOnlyStore {
         let record = RecordId(self.inner.next_record.fetch_add(1, Ordering::Relaxed));
 
         let mut guard = self.stream(stream, StorageOp::Append)?.lock();
+        if guard.poisoned {
+            // Fsyncgate: a failed barrier already disowned this tail; no
+            // append may be acked past it (see `sync_stream`).
+            return Err(StorageError::sync_poisoned(StorageOp::Append, stream));
+        }
         let placement = guard.extent_for_append(bytes.len(), capacity, now, || {
             ExtentId(self.inner.next_extent.fetch_add(1, Ordering::Relaxed))
         });
@@ -388,6 +465,10 @@ impl AppendOnlyStore {
                 if placement.allocated {
                     guard.abort_allocation(placement.extent);
                 }
+                // A rollover seal is a durability barrier: its failure
+                // leaves the predecessor's tail in doubt, so the stream
+                // poisons just like a failed `sync_stream`.
+                self.poison(&mut guard, stream);
                 return Err(err);
             }
         }
@@ -398,6 +479,7 @@ impl AppendOnlyStore {
                 .allocate(stream, placement.extent, capacity)
             {
                 guard.abort_allocation(placement.extent);
+                self.note_append_error(&err);
                 return Err(err);
             }
         }
@@ -414,9 +496,16 @@ impl AppendOnlyStore {
         // Fail closed: the frame reaches the backend before any metadata
         // moves, so a failed physical write leaves the cursor unmoved and
         // the slot unregistered — a retry simply overwrites the same spot.
-        self.inner
+        // (A torn backend write may still land a frame *prefix*; recovery's
+        // valid-prefix walk discards it, exactly like a crash mid-write.)
+        if let Err(err) = self
+            .inner
             .backend
-            .write_at(stream, ext_id, ext.physical_len, &framed)?;
+            .write_at(stream, ext_id, ext.physical_len, &framed)
+        {
+            self.note_append_error(&err);
+            return Err(err);
+        }
         let offset = ext.push_slot(
             record,
             bytes.len() as u32,
@@ -827,6 +916,8 @@ impl AppendOnlyStore {
         // The tombstone state is visible before the backing object goes
         // away, so no reader can race the delete into a missing-file error.
         self.inner.backend.delete(stream, extent)?;
+        // Reclaim freed physical space: a full disk steps down the ladder.
+        self.inner.health.on_reclaim();
         // Coherence: every cached slot of the freed extent is gone.
         let evicted = self
             .inner
@@ -886,6 +977,7 @@ impl AppendOnlyStore {
         }
         drop(guard);
         self.inner.backend.delete(stream, extent)?;
+        self.inner.health.on_reclaim();
         // Coherence: expiry frees the extent without reading it; cached
         // slots must die with it.
         let evicted = self
@@ -1146,6 +1238,7 @@ impl AppendOnlyStore {
         ext.physical_len = 0;
         drop(guard);
         self.inner.backend.delete(stream, extent)?;
+        self.inner.health.on_reclaim();
         let evicted = self
             .inner
             .cache

@@ -15,6 +15,12 @@ pub(crate) struct StreamInner {
     pub extents: BTreeMap<ExtentId, Extent>,
     /// Extent currently receiving appends, if any.
     pub active: Option<ExtentId>,
+    /// Fsyncgate state: set when a durability barrier (sync or rollover
+    /// seal) for this stream fails. The tail can no longer be trusted, so
+    /// every later append or sync fails closed with
+    /// [`crate::ErrorKind::SyncPoisoned`] until a fresh store open
+    /// re-derives the tail from on-disk frames.
+    pub poisoned: bool,
 }
 
 impl StreamInner {
@@ -23,6 +29,7 @@ impl StreamInner {
             id,
             extents: BTreeMap::new(),
             active: None,
+            poisoned: false,
         }
     }
 

@@ -13,8 +13,8 @@
 //!   detected at read time.
 
 use bg3_storage::{
-    BackendKind, ErrorKind, ExtentBackend, PageAddr, ReadOpts, SimBackend, StoreBuilder, StreamId,
-    FRAME_HEADER_LEN,
+    BackendKind, ErrorKind, ExtentBackend, ExtentId, FaultBackend, FaultPlan, FileBackend,
+    PageAddr, ReadOpts, SimBackend, StoreBuilder, StreamId, FRAME_HEADER_LEN,
 };
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -48,6 +48,10 @@ impl Drop for TempDir {
 enum Fixture {
     Sim(Arc<dyn ExtentBackend>),
     File(TempDir),
+    /// [`FaultBackend`] with an empty fault plan wrapping a real
+    /// [`FileBackend`]: the decorator must be behaviorally invisible when
+    /// no fault fires, so every conformance case runs through it too.
+    FaultFile(TempDir),
 }
 
 impl Fixture {
@@ -55,6 +59,7 @@ impl Fixture {
         vec![
             Fixture::Sim(Arc::new(SimBackend::new())),
             Fixture::File(TempDir::new(tag)),
+            Fixture::FaultFile(TempDir::new(&format!("fault-{tag}"))),
         ]
     }
 
@@ -62,6 +67,7 @@ impl Fixture {
         match self {
             Fixture::Sim(_) => "sim",
             Fixture::File(_) => "file",
+            Fixture::FaultFile(_) => "fault(file)",
         }
     }
 
@@ -72,6 +78,12 @@ impl Fixture {
             Fixture::File(dir) => b.backend_kind(BackendKind::File {
                 root: dir.0.clone(),
             }),
+            Fixture::FaultFile(dir) => {
+                // A fresh decorator per open models recovery the same way
+                // the plain file fixture does: only the root survives.
+                let inner = Arc::new(FileBackend::open(dir.0.clone()).unwrap());
+                b.backend(Arc::new(FaultBackend::new(inner, FaultPlan::none())))
+            }
         }
     }
 
@@ -206,8 +218,59 @@ fn only_extent_file(root: &std::path::Path) -> PathBuf {
     found.into_iter().next().unwrap()
 }
 
+/// Runs a fixed backend op script through a freshly seeded
+/// [`FaultBackend`] over a fresh [`SimBackend`] and returns a transcript
+/// of every outcome. Two runs with the same `(seed, probability)` must
+/// produce bit-identical transcripts — the errno storm is a pure function
+/// of the seed and the op sequence.
+fn fault_transcript(seed: u64, probability: f64) -> Vec<String> {
+    fn show<T: std::fmt::Debug>(r: &Result<T, bg3_storage::StorageError>) -> String {
+        match r {
+            Ok(v) => format!("ok:{v:?}"),
+            Err(e) => format!("err:{e}"),
+        }
+    }
+    let plan = FaultPlan::seeded(seed)
+        .fail_syncs(probability)
+        .no_space_writes(probability)
+        .eio_reads(probability)
+        .torn_backend_writes(probability / 2.0);
+    let backend = FaultBackend::new(Arc::new(SimBackend::new()), plan);
+    let stream = StreamId::BASE;
+    backend.allocate(stream, ExtentId(1), 4096).unwrap();
+    let mut log = Vec::new();
+    for i in 0..24u64 {
+        log.push(show(&backend.write_at(
+            stream,
+            ExtentId(1),
+            i * 4,
+            &[i as u8; 4],
+        )));
+        log.push(show(&backend.read_at(stream, ExtentId(1), i * 4, 4)));
+        if i % 4 == 3 {
+            log.push(show(&backend.sync(stream, ExtentId(1))));
+        }
+    }
+    log.push(show(&backend.seal(stream, ExtentId(1))));
+    log
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Seeded errno schedules are deterministic: the same seed and fault
+    /// probability produce the exact same sequence of injected failures
+    /// (and surviving data) across two independent runs.
+    #[test]
+    fn seeded_errno_schedules_replay_identically(
+        seed in any::<u64>(),
+        p_mille in 0u32..=1000,
+    ) {
+        let probability = f64::from(p_mille) / 1000.0;
+        let first = fault_transcript(seed, probability);
+        let second = fault_transcript(seed, probability);
+        prop_assert_eq!(first, second, "seed {} diverged", seed);
+    }
 
     /// Flip any single bit of the frame (header or payload) directly in
     /// the on-disk extent file — no store API involved — and the next

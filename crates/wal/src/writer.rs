@@ -8,7 +8,7 @@ use bg3_storage::{
     StreamId, TraceKind, INITIAL_EPOCH,
 };
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Appends records to the WAL stream of the shared store, assigning LSNs.
@@ -44,6 +44,14 @@ pub struct WalWriter {
     /// Appends accepted since the last WAL-tail sync. Mutated only under
     /// the `tail` lock; atomic so observers can read it without locking.
     pending_sync: AtomicU64,
+    /// Fsyncgate flag: set the first time a WAL-tail sync fails. After a
+    /// failed fsync the kernel may already have discarded the dirty tail
+    /// pages, so "retry the fsync" would silently drop the riders it
+    /// claimed to cover. The writer therefore fails closed: every later
+    /// append or flush returns [`bg3_storage::ErrorKind::SyncPoisoned`]
+    /// and durability is re-derived by reopening the log with
+    /// [`WalWriter::recover`].
+    poisoned: AtomicBool,
 }
 
 impl WalWriter {
@@ -58,6 +66,7 @@ impl WalWriter {
             fence: None,
             group_sync_every: 1,
             pending_sync: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -72,6 +81,15 @@ impl WalWriter {
     /// accepted the bytes but possibly *before* they are synced; the
     /// durability point moves to the next batch boundary or explicit
     /// [`WalWriter::flush`].
+    ///
+    /// **The group-commit ack hole.** Between an accepted append and the
+    /// group fsync that covers it, the record is *accepted but not
+    /// durable*: a crash in that window may lose it, and that is within
+    /// contract — the caller's durability point had not been reached. What
+    /// the contract does guarantee is the boundary: every record at or
+    /// below [`WalWriter::durable_lsn`] survives any crash, and once a
+    /// group fsync *fails* no later append is ever acked (see `poisoned`).
+    /// Riders of a failed group commit get the error, not an ack.
     pub fn with_group_sync_every(mut self, every: u64) -> Self {
         self.group_sync_every = every.max(1);
         self
@@ -157,6 +175,10 @@ impl WalWriter {
             fence: None,
             group_sync_every: 1,
             pending_sync: AtomicU64::new(0),
+            // A fresh writer over on-disk frames starts unpoisoned: recovery
+            // *is* the fsyncgate exit — durability was just re-derived from
+            // what the disk actually holds.
+            poisoned: AtomicBool::new(false),
         };
         Ok((writer, records))
     }
@@ -165,6 +187,14 @@ impl WalWriter {
     /// The LSN is only consumed if the append (eventually) succeeds.
     pub fn append(&self, tree: u64, page: u64, payload: WalPayload) -> StorageResult<WalRecord> {
         let mut tail = self.tail.lock();
+        // Fsyncgate: a poisoned tail accepts nothing. Checked under the
+        // tail lock so no append can slip past a concurrent poisoning.
+        if self.poisoned.load(Ordering::Relaxed) {
+            return Err(StorageError::sync_poisoned(
+                StorageOp::Append,
+                StreamId::WAL,
+            ));
+        }
         // Fence check under the tail lock: a zombie append can neither
         // consume an LSN nor race a concurrent seal.
         self.check_fence()?;
@@ -197,7 +227,15 @@ impl WalWriter {
         // the tail lock, so the pending count cannot race.
         let pending = self.pending_sync.load(Ordering::Relaxed) + 1;
         if pending >= self.group_sync_every {
-            self.store.sync_stream(StreamId::WAL)?;
+            if let Err(err) = self.store.sync_stream(StreamId::WAL) {
+                // Failed group commit: no rider of this batch gets acked —
+                // this record is not published to the index, the LSN tail
+                // does not advance, and the writer poisons itself so the
+                // fsync is never retried (the kernel may have dropped the
+                // very pages a retry would claim to flush).
+                self.poisoned.store(true, Ordering::Relaxed);
+                return Err(err);
+            }
             self.pending_sync.store(0, Ordering::Relaxed);
         } else {
             self.pending_sync.store(pending, Ordering::Relaxed);
@@ -215,12 +253,36 @@ impl WalWriter {
     /// [`WalWriter::with_group_sync_every`] greater than one.
     pub fn flush(&self) -> StorageResult<()> {
         let _tail = self.tail.lock();
+        if self.poisoned.load(Ordering::Relaxed) {
+            return Err(StorageError::sync_poisoned(
+                StorageOp::Append,
+                StreamId::WAL,
+            ));
+        }
         if self.pending_sync.load(Ordering::Relaxed) == 0 {
             return Ok(());
         }
-        self.store.sync_stream(StreamId::WAL)?;
+        if let Err(err) = self.store.sync_stream(StreamId::WAL) {
+            self.poisoned.store(true, Ordering::Relaxed);
+            return Err(err);
+        }
         self.pending_sync.store(0, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// True once a WAL-tail fsync has failed: the writer rejects all
+    /// further appends/flushes until the log is reopened via
+    /// [`WalWriter::recover`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Highest LSN covered by a successful WAL-tail sync — the acked
+    /// durability boundary under group commit. Records above it are
+    /// accepted but may not survive a crash.
+    pub fn durable_lsn(&self) -> Lsn {
+        let tail = self.tail.lock();
+        Lsn(tail.0 - self.pending_sync.load(Ordering::Relaxed))
     }
 
     /// Appends accepted since the last WAL-tail sync (0 means the log tail
@@ -409,6 +471,120 @@ mod tests {
         w.flush().unwrap();
         assert_eq!(w.pending_sync(), 0);
         w.flush().unwrap(); // idempotent when nothing is pending
+    }
+
+    #[test]
+    fn failed_group_fsync_poisons_the_writer_and_acks_no_riders() {
+        use bg3_storage::{
+            ErrorKind, FaultBackend, FaultKind, FaultOp, FaultPlan, FaultRule, IoErrorClass,
+            SimBackend,
+        };
+        let inner = Arc::new(SimBackend::new());
+        // Exactly one sync failure: the first WAL-tail fsync dies.
+        let plan = FaultPlan::seeded(7)
+            .with_rule(FaultRule::new(FaultOp::Sync, FaultKind::SyncFail, 1.0).at_most(1));
+        let faulty = Arc::new(FaultBackend::new(inner.clone(), plan));
+        let store = StoreBuilder::counting().backend(faulty).build();
+        let w = WalWriter::new(store.clone()).with_group_sync_every(2);
+
+        // Rider 1 is accepted behind the group window; rider 2 crosses the
+        // batch boundary and triggers the doomed fsync.
+        w.append(1, 1, WalPayload::Delete { key: vec![1] }).unwrap();
+        let err = w
+            .append(1, 2, WalPayload::Delete { key: vec![2] })
+            .unwrap_err();
+        assert!(
+            matches!(
+                err.kind,
+                ErrorKind::Io {
+                    class: IoErrorClass::SyncFailed,
+                    ..
+                }
+            ),
+            "the failing rider sees the sync error itself: {err:?}"
+        );
+        assert!(!err.is_retryable(), "a failed fsync is never retried");
+        assert!(w.is_poisoned());
+        assert_eq!(w.last_lsn(), Lsn(1), "the failed rider was never acked");
+        assert_eq!(w.durable_lsn(), Lsn::ZERO, "no fsync ever succeeded");
+
+        // Every later append and flush fails closed with SyncPoisoned.
+        for attempt in [
+            w.append(1, 3, WalPayload::Delete { key: vec![3] })
+                .unwrap_err(),
+            w.flush().unwrap_err(),
+        ] {
+            assert!(
+                matches!(attempt.kind, ErrorKind::SyncPoisoned { .. }),
+                "poisoned tail fails closed: {attempt:?}"
+            );
+        }
+        // Reads keep working: the published prefix is still servable.
+        let mut reader = w.open_reader();
+        assert_eq!(reader.fetch_new().unwrap().len(), 1);
+
+        // Fresh open over the surviving media re-derives durability from
+        // on-disk frames. The unacked rider 2 *was* written before the
+        // fsync failed, so recovery may resurrect it — durable ⊆ recovered
+        // ⊆ accepted is the contract.
+        drop(w);
+        drop(store);
+        let reopened = StoreBuilder::counting().backend(inner).build();
+        let (w2, records) = WalWriter::recover(reopened).unwrap();
+        assert_eq!(records.len(), 2, "accepted frames survive on the media");
+        assert!(!w2.is_poisoned(), "recovery is the fsyncgate exit");
+        assert_eq!(
+            w2.append(1, 9, WalPayload::Delete { key: vec![9] })
+                .unwrap()
+                .lsn,
+            Lsn(3)
+        );
+    }
+
+    #[test]
+    fn crash_in_the_group_commit_window_loses_only_unacked_riders() {
+        let backend = Arc::new(bg3_storage::SimBackend::new());
+        let store = StoreBuilder::counting().backend(backend.clone()).build();
+        let w = WalWriter::new(store.clone()).with_group_sync_every(3);
+        for i in 1..=5u64 {
+            w.append(1, i, WalPayload::Delete { key: vec![i as u8] })
+                .unwrap();
+        }
+        assert_eq!(w.last_lsn(), Lsn(5), "all five accepted");
+        assert_eq!(
+            w.durable_lsn(),
+            Lsn(3),
+            "only the first batch crossed its fsync boundary"
+        );
+
+        // Crash in the ack hole: the unsynced tail after LSN 3 is torn at
+        // the media level (the kernel never flushed those pages).
+        let addr4 = store
+            .scan_stream(StreamId::WAL)
+            .unwrap()
+            .into_iter()
+            .find(|(_, tag, _)| *tag == 4)
+            .unwrap()
+            .0;
+        store.corrupt_record_bit(addr4, 40).unwrap();
+        drop(w);
+        drop(store);
+
+        // Recovery keeps exactly the durable prefix: LSNs above
+        // `durable_lsn` were never acked as durable, so losing them is
+        // within contract; losing anything at or below it would not be.
+        let reopened = StoreBuilder::counting().backend(backend).build();
+        let (w2, records) = WalWriter::recover(reopened).unwrap();
+        let lsns: Vec<u64> = records.iter().map(|r| r.lsn.0).collect();
+        assert_eq!(lsns, vec![1, 2, 3], "acked/unacked boundary is exact");
+        assert_eq!(w2.last_lsn(), Lsn(3));
+        assert_eq!(
+            w2.append(1, 6, WalPayload::Delete { key: vec![6] })
+                .unwrap()
+                .lsn,
+            Lsn(4),
+            "the log continues from the durable prefix"
+        );
     }
 
     #[test]

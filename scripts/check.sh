@@ -46,7 +46,7 @@ RUSTFLAGS="-D warnings" cargo test --quiet --test replication_consistency \
 echo "==> frame codec proptests (round-trip + single-bit-flip detection)"
 RUSTFLAGS="-D warnings" cargo test --quiet -p bg3-storage --test frame_properties
 
-echo "==> backend conformance suite (SimBackend + FileBackend in a tempdir)"
+echo "==> backend conformance suite (SimBackend + FileBackend + FaultBackend(file), tempdir)"
 RUSTFLAGS="-D warnings" cargo test --quiet -p bg3-storage --test backend_conformance
 
 echo "==> cache_scaling smoke (~5s)"
@@ -64,6 +64,11 @@ cargo run --release --quiet -p bg3-bench --bin metrics_check -- target/metrics-s
 
 echo "==> disk smoke (file backend: kill+recover, on-disk bit-flip scrub; tempdir)"
 cargo run --release --quiet -p bg3-bench --bin reproduce -- disk_smoke --scale quick
+
+echo "==> disk chaos smoke (errno storms, fsyncgate, ENOSPC degradation) + metrics drift gate"
+cargo run --release --quiet -p bg3-bench --bin reproduce -- disk_chaos --scale quick \
+    --metrics-json target/metrics-disk-chaos-smoke.json
+cargo run --release --quiet -p bg3-bench --bin metrics_check -- target/metrics-disk-chaos-smoke.json
 
 echo "==> batched-vs-scalar executor equivalence proptest"
 RUSTFLAGS="-D warnings" cargo test --quiet -p bg3-query --test query_equivalence
